@@ -1,0 +1,97 @@
+//! Error types for the analytical model.
+
+use core::fmt;
+
+use tlp_tech::TechError;
+
+/// Errors produced by the analytical scenario solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalyticError {
+    /// The configuration cannot meet the iso-performance target: with
+    /// nominal parallel efficiency below `1/N`, the `N`-core configuration
+    /// would need to clock *above* nominal, which the model forbids.
+    Infeasible {
+        /// Number of cores in the rejected configuration.
+        n: usize,
+        /// The nominal parallel efficiency supplied.
+        efficiency: f64,
+    },
+    /// An efficiency value outside the supported range was supplied.
+    InvalidEfficiency {
+        /// The offending value.
+        value: f64,
+        /// Explanation of the constraint violated.
+        reason: &'static str,
+    },
+    /// A core count outside the chip's range was requested.
+    InvalidCoreCount {
+        /// The requested core count.
+        n: usize,
+        /// Maximum cores on the modeled chip.
+        max: usize,
+    },
+    /// A numeric solve failed to converge.
+    NoConvergence {
+        /// What was being solved.
+        what: &'static str,
+    },
+    /// An underlying technology-model error.
+    Tech(TechError),
+}
+
+impl fmt::Display for AnalyticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyticError::Infeasible { n, efficiency } => write!(
+                f,
+                "{n}-core configuration with efficiency {efficiency} cannot match \
+                 single-core performance without exceeding nominal frequency"
+            ),
+            AnalyticError::InvalidEfficiency { value, reason } => {
+                write!(f, "invalid parallel efficiency {value}: {reason}")
+            }
+            AnalyticError::InvalidCoreCount { n, max } => {
+                write!(f, "core count {n} outside chip range 1..={max}")
+            }
+            AnalyticError::NoConvergence { what } => write!(f, "solver for {what} did not converge"),
+            AnalyticError::Tech(e) => write!(f, "technology model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyticError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyticError::Tech(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TechError> for AnalyticError {
+    fn from(e: TechError) -> Self {
+        AnalyticError::Tech(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AnalyticError::Infeasible {
+            n: 8,
+            efficiency: 0.1,
+        };
+        assert!(e.to_string().contains("8-core"));
+    }
+
+    #[test]
+    fn tech_error_is_source() {
+        use std::error::Error;
+        let e = AnalyticError::from(TechError::InvalidTechnology("x".into()));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,274 @@
+//! Scenario I: power optimization at an iso-performance target (paper
+//! Section 2.2, Fig. 1).
+//!
+//! All configurations must deliver the performance of the single-core
+//! full-throttle execution. Eq. 7 gives the required per-core frequency,
+//! `f_N = f_1 / (N·εn(N))`; the supply voltage follows from the alpha-power
+//! law (clamped at the noise-margin floor), and normalized chip power
+//! `P_N/P_1` follows from Eq. 9 with the temperature solved to equilibrium.
+
+use serde::{Deserialize, Serialize};
+
+use tlp_tech::units::{Celsius, Hertz, Volts, Watts};
+
+use crate::chip::AnalyticChip;
+use crate::error::AnalyticError;
+
+/// One solved iso-performance configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario1Point {
+    /// Number of active cores.
+    pub n: usize,
+    /// Nominal parallel efficiency εn(N) used.
+    pub efficiency: f64,
+    /// Required per-core frequency (Eq. 7).
+    pub frequency: Hertz,
+    /// Supply voltage chosen for that frequency.
+    pub voltage: Volts,
+    /// Equilibrium average temperature over the active cores.
+    pub temperature: Celsius,
+    /// Total chip power.
+    pub power: Watts,
+    /// `P_N / P_1` — the Fig. 1 y-axis.
+    pub normalized_power: f64,
+}
+
+/// Scenario-I solver over an [`AnalyticChip`].
+///
+/// # Examples
+///
+/// ```
+/// use tlp_analytic::{AnalyticChip, Scenario1};
+/// use tlp_tech::Technology;
+///
+/// let chip = AnalyticChip::new(Technology::itrs_65nm(), 32);
+/// let s1 = Scenario1::new(&chip);
+/// // A perfectly scalable app on 4 cores saves a lot of power:
+/// let p = s1.solve(4, 1.0)?;
+/// assert!(p.normalized_power < 0.5);
+/// // With efficiency below 1/N the target is unreachable:
+/// assert!(s1.solve(4, 0.2).is_err());
+/// # Ok::<(), tlp_analytic::AnalyticError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario1<'a> {
+    chip: &'a AnalyticChip,
+}
+
+impl<'a> Scenario1<'a> {
+    /// Creates a solver bound to a chip model.
+    pub fn new(chip: &'a AnalyticChip) -> Self {
+        Self { chip }
+    }
+
+    /// Solves the iso-performance configuration for `n` cores at nominal
+    /// parallel efficiency `efficiency`.
+    ///
+    /// # Errors
+    ///
+    /// - [`AnalyticError::InvalidEfficiency`] if `efficiency` ∉ (0, 2].
+    /// - [`AnalyticError::Infeasible`] if `efficiency < 1/n` (Eq. 7 would
+    ///   demand a frequency above nominal, which the model forbids).
+    /// - [`AnalyticError::InvalidCoreCount`] if `n` is out of range.
+    pub fn solve(&self, n: usize, efficiency: f64) -> Result<Scenario1Point, AnalyticError> {
+        if !(efficiency > 0.0 && efficiency <= 2.0) {
+            return Err(AnalyticError::InvalidEfficiency {
+                value: efficiency,
+                reason: "efficiency must lie in (0, 2]",
+            });
+        }
+        if n == 0 || n > self.chip.max_cores() {
+            return Err(AnalyticError::InvalidCoreCount {
+                n,
+                max: self.chip.max_cores(),
+            });
+        }
+        let tech = self.chip.tech();
+        // Eq. 7: f_N / f_1 = 1 / (N · εn).
+        let f_ratio = 1.0 / (n as f64 * efficiency);
+        if f_ratio > 1.0 + 1e-12 {
+            return Err(AnalyticError::Infeasible { n, efficiency });
+        }
+        let f = Hertz::new(tech.f_nominal().as_f64() * f_ratio.min(1.0));
+        let op = self.chip.frequency_model().operating_point_for(f)?;
+        let eq = self.chip.equilibrium(n, op.voltage, f)?;
+        let p1 = self.chip.reference().power;
+        Ok(Scenario1Point {
+            n,
+            efficiency,
+            frequency: f,
+            voltage: op.voltage,
+            temperature: eq.temperature,
+            power: eq.total(),
+            normalized_power: eq.total() / p1,
+        })
+    }
+
+    /// Sweeps efficiency over `[eps_min, 1]` in `steps` points for each of
+    /// `core_counts`, producing the Fig. 1 series. Infeasible points
+    /// (ε < 1/N) are omitted, matching the plotted domain.
+    pub fn sweep(
+        &self,
+        core_counts: &[usize],
+        eps_min: f64,
+        steps: usize,
+    ) -> Vec<Scenario1Series> {
+        assert!(steps >= 2, "need at least two sweep points");
+        core_counts
+            .iter()
+            .map(|&n| {
+                let mut points = Vec::new();
+                for i in 0..steps {
+                    let eps = eps_min + (1.0 - eps_min) * i as f64 / (steps - 1) as f64;
+                    if let Ok(p) = self.solve(n, eps) {
+                        points.push(p);
+                    }
+                }
+                Scenario1Series { n, points }
+            })
+            .collect()
+    }
+}
+
+/// A Fig. 1 series: normalized power vs. efficiency for one core count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario1Series {
+    /// Core count for this series.
+    pub n: usize,
+    /// Feasible solved points in ascending efficiency order.
+    pub points: Vec<Scenario1Point>,
+}
+
+impl Scenario1Series {
+    /// The efficiency at which this configuration breaks even with the
+    /// single-core power (first point with normalized power ≤ 1), if the
+    /// series reaches it.
+    pub fn breakeven_efficiency(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.normalized_power <= 1.0)
+            .map(|p| p.efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_tech::Technology;
+
+    fn chip() -> AnalyticChip {
+        AnalyticChip::new(Technology::itrs_65nm(), 32)
+    }
+
+    #[test]
+    fn normalized_power_decreases_with_efficiency() {
+        let chip = chip();
+        let s1 = Scenario1::new(&chip);
+        let lo = s1.solve(4, 0.5).unwrap();
+        let hi = s1.solve(4, 1.0).unwrap();
+        assert!(hi.normalized_power < lo.normalized_power);
+    }
+
+    #[test]
+    fn infeasible_below_one_over_n() {
+        let chip = chip();
+        let s1 = Scenario1::new(&chip);
+        assert!(matches!(
+            s1.solve(8, 0.12),
+            Err(AnalyticError::Infeasible { .. })
+        ));
+        // Exactly 1/N is feasible (runs at nominal).
+        let p = s1.solve(8, 0.125).unwrap();
+        assert!((p.frequency.as_ghz() - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_one_over_n_power_is_roughly_n_times() {
+        // ε = 1/N means N cores at full nominal V/f: ~N× the power.
+        let chip = chip();
+        let s1 = Scenario1::new(&chip);
+        let p = s1.solve(2, 0.5).unwrap();
+        assert!(
+            p.normalized_power > 1.8 && p.normalized_power < 2.5,
+            "normalized {}",
+            p.normalized_power
+        );
+    }
+
+    #[test]
+    fn perfect_efficiency_on_two_cores_saves_power() {
+        // The headline Fig. 1 claim: parallelism + DVFS beats one fast core.
+        let chip = chip();
+        let s1 = Scenario1::new(&chip);
+        let p = s1.solve(2, 1.0).unwrap();
+        assert!(
+            p.normalized_power < 0.6,
+            "2 cores at ε=1 should save ≥40 % power, got {}",
+            p.normalized_power
+        );
+        assert!(p.temperature.as_f64() < 100.0);
+    }
+
+    #[test]
+    fn voltage_floor_reached_for_large_n_high_eps() {
+        let chip = chip();
+        let s1 = Scenario1::new(&chip);
+        let p = s1.solve(32, 1.0).unwrap();
+        assert_eq!(p.voltage, chip.tech().voltage_floor());
+    }
+
+    #[test]
+    fn high_n_curves_cross_low_n_at_high_efficiency() {
+        // At ε = 1 the 32-core config pays more static power than the
+        // 4-core one; the curves cross (Fig. 1 discussion).
+        let chip = chip();
+        let s1 = Scenario1::new(&chip);
+        let p4 = s1.solve(4, 1.0).unwrap();
+        let p32 = s1.solve(32, 1.0).unwrap();
+        assert!(
+            p32.normalized_power > p4.normalized_power,
+            "32-core {} !> 4-core {}",
+            p32.normalized_power,
+            p4.normalized_power
+        );
+    }
+
+    #[test]
+    fn breakeven_efficiency_decreases_with_n() {
+        // Higher N reaches its power break-even at lower efficiency (Eq. 7
+        // discussion in the paper).
+        let chip = chip();
+        let s1 = Scenario1::new(&chip);
+        let series = s1.sweep(&[2, 8], 0.05, 96);
+        let be2 = series[0].breakeven_efficiency().expect("2-core breaks even");
+        let be8 = series[1].breakeven_efficiency().expect("8-core breaks even");
+        assert!(be8 < be2, "break-even ε: 8-core {be8} !< 2-core {be2}");
+    }
+
+    #[test]
+    fn sweep_omits_infeasible_region() {
+        let chip = chip();
+        let s1 = Scenario1::new(&chip);
+        let series = s1.sweep(&[8], 0.05, 40);
+        assert!(series[0].points.iter().all(|p| p.efficiency >= 1.0 / 8.0 - 1e-9));
+        assert!(!series[0].points.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_efficiency() {
+        let chip = chip();
+        let s1 = Scenario1::new(&chip);
+        assert!(s1.solve(4, 0.0).is_err());
+        assert!(s1.solve(4, 2.5).is_err());
+    }
+
+    #[test]
+    fn temperature_never_below_ambient() {
+        let chip = chip();
+        let s1 = Scenario1::new(&chip);
+        for n in [2usize, 8, 32] {
+            let p = s1.solve(n, 1.0).unwrap();
+            assert!(p.temperature.as_f64() >= 45.0 - 1e-6);
+        }
+    }
+}

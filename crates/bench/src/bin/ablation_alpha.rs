@@ -1,0 +1,58 @@
+//! Ablation: the alpha-power-law exponent (Eq. 1).
+//!
+//! With the classical α = 2 (Mudge \[31\]) frequency is highly sensitive to
+//! voltage, so holding performance allows deep voltage cuts but the floor
+//! frequency is low; short-channel α ≈ 1.2–1.3 leaves more frequency at
+//! the floor and shifts both figures.
+//!
+//! `cargo run --release -p tlp-bench --bin ablation_alpha`
+
+use tlp_analytic::{optimal_point, AnalyticChip, EfficiencyCurve, Scenario1, Scenario2};
+use tlp_tech::{Technology, TechnologyBuilder};
+
+fn with_alpha(base: &Technology, alpha: f64) -> Technology {
+    TechnologyBuilder::new(base.node())
+        .vdd_nominal(base.vdd_nominal())
+        .vth(base.vth())
+        .f_nominal(base.f_nominal())
+        .alpha(alpha)
+        .v_min(base.voltage_floor())
+        .p_dynamic_core_nominal(base.p_dynamic_core_nominal())
+        .p_static_core_at_tmax(base.p_static_core_at_tmax())
+        .leakage(*base.leakage_physics())
+        .build()
+        .expect("alpha variants are valid")
+}
+
+fn main() {
+    println!("Ablation: alpha-power exponent (65nm)\n");
+    // Probe Scenario-I points whose Eq. 7 voltage lies *above* the Vccmin
+    // floor (mild frequency cuts), where α actually differentiates.
+    println!(
+        "  {:>5} {:>14} {:>14} {:>10} {:>8}",
+        "α", "P/P1(2,ε=0.6)", "P/P1(2,ε=0.8)", "Fig2 peak", "peak N"
+    );
+    let base = Technology::itrs_65nm();
+    for alpha in [1.2, 1.3, 1.5, 2.0] {
+        let tech = with_alpha(&base, alpha);
+        let chip = AnalyticChip::new(tech, 32);
+        let s1 = Scenario1::new(&chip);
+        let p06 = s1.solve(2, 0.6).map(|p| p.normalized_power).unwrap_or(f64::NAN);
+        let p08 = s1.solve(2, 0.8).map(|p| p.normalized_power).unwrap_or(f64::NAN);
+        let sweep = Scenario2::new(&chip).sweep(32, &EfficiencyCurve::Perfect);
+        let best = optimal_point(&sweep).expect("non-empty sweep");
+        println!(
+            "  {:>5.1} {:>14.3} {:>14.3} {:>10.2} {:>8}",
+            alpha, p06, p08, best.speedup, best.n
+        );
+    }
+    println!(
+        "\nReading: with a smaller α, frequency falls slowly as voltage\n\
+         drops, so mild frequency cuts buy deep voltage cuts (lower P/P1\n\
+         above the floor) and more frequency survives at the floor (slightly\n\
+         higher, earlier-saturating Fig. 2 peak). With the stock absolute\n\
+         Vccmin the ceiling is floor-dominated, so α only nudges it; the\n\
+         classical α = 2 (Mudge) is the conservative choice the stock\n\
+         technologies use."
+    );
+}

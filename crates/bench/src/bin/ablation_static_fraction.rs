@@ -1,0 +1,63 @@
+//! Ablation: the technology's static share of total power at T_max.
+//!
+//! The paper attributes 65 nm's worse budget-constrained scalability to
+//! its larger static fraction. This sweep rebuilds the 65 nm point with
+//! static shares from 10 % to 50 % and reports the Fig. 2 optimum.
+//!
+//! `cargo run --release -p tlp-bench --bin ablation_static_fraction`
+
+use tlp_analytic::{optimal_point, AnalyticChip, EfficiencyCurve, Scenario2};
+use tlp_tech::units::Watts;
+use tlp_tech::{Technology, TechnologyBuilder};
+
+fn with_static_share(base: &Technology, share: f64) -> Technology {
+    let total = base.p_dynamic_core_nominal().as_f64() + base.p_static_core_at_tmax().as_f64();
+    TechnologyBuilder::new(base.node())
+        .vdd_nominal(base.vdd_nominal())
+        .vth(base.vth())
+        .f_nominal(base.f_nominal())
+        .alpha(base.alpha())
+        .v_min(base.voltage_floor())
+        .p_dynamic_core_nominal(Watts::new(total * (1.0 - share)))
+        .p_static_core_at_tmax(Watts::new(total * share))
+        .leakage(*base.leakage_physics())
+        .build()
+        .expect("share variants are valid")
+}
+
+fn main() {
+    println!("Ablation: static power share at T_max (65nm, εn = 1, budget = P1)\n");
+    println!(
+        "  {:>7} {:>10} {:>8} {:>10} {:>10}",
+        "share", "peak S", "peak N", "S at N=16", "S at N=32"
+    );
+    let base = Technology::itrs_65nm();
+    for share in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        let chip = AnalyticChip::new(with_static_share(&base, share), 32);
+        let sweep = Scenario2::new(&chip).sweep(32, &EfficiencyCurve::Perfect);
+        let best = optimal_point(&sweep).expect("non-empty sweep");
+        let at = |n: usize| {
+            sweep
+                .iter()
+                .find(|p| p.n == n)
+                .map(|p| p.speedup)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "  {:>6.0}% {:>10.2} {:>8} {:>10.2} {:>10.2}",
+            100.0 * share,
+            best.speedup,
+            best.n,
+            at(16),
+            at(32)
+        );
+    }
+    println!(
+        "\nReading: holding total core power fixed, a larger static share\n\
+         shrinks P_D1 and thereby *raises* the budget headroom (slightly\n\
+         higher peak), but every added core pays the static tax, so the\n\
+         post-peak decline steepens dramatically — at 50% static the 32-core\n\
+         configuration cannot even meet the budget (missing row). This\n\
+         decline is the paper's explanation for 65 nm's faster degradation."
+    );
+}

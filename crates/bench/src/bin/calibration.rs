@@ -1,0 +1,45 @@
+//! Reproduces the **§3.3 calibration**: the Wattch↔HotSpot renormalization
+//! through the compute-intensive microbenchmark, and the resulting
+//! single-core power budget used by Scenario II.
+//!
+//! `cargo run --release -p tlp-bench --bin calibration`
+
+use cmp_tlp::ExperimentalChip;
+use tlp_power::PowerCalculator;
+use tlp_sim::{CmpConfig, CmpSimulator};
+use tlp_tech::Technology;
+use tlp_workloads::micro::power_virus;
+
+fn main() {
+    let tech = Technology::itrs_65nm();
+    let cfg = CmpConfig::ispass05(16);
+
+    let virus = CmpSimulator::new(cfg.clone(), vec![power_virus(0, 1, 30_000)]).run();
+    let raw = PowerCalculator::new(&cfg)
+        .dynamic(&virus, tech.vdd_nominal())
+        .total();
+    println!("§3.3 calibration (65nm, 16-way CMP)");
+    println!("  microbenchmark IPC                 {:.2}", virus.ipc());
+    println!("  raw Wattch dynamic power           {:.2} W", raw.as_f64());
+    println!(
+        "  HotSpot-anchored target (P_D1)     {:.2} W",
+        tech.p_dynamic_core_nominal().as_f64()
+    );
+
+    let chip = ExperimentalChip::new(cfg, tech);
+    let cal = chip.calibration();
+    println!("  renormalization ratio              {:.4}", cal.renorm);
+    println!(
+        "  single-core power budget           {:.2} W (dynamic + static at T_max)",
+        cal.single_core_budget.as_f64()
+    );
+
+    // Verify: the calibrated virus dissipates the design power and the
+    // tile equilibrates near T_max.
+    let m = chip.measure(&virus, chip.tech().vdd_nominal());
+    println!(
+        "  calibrated virus: {:.2} W dynamic, core at {:.1} °C",
+        m.dynamic.as_f64(),
+        m.avg_core_temp().as_f64()
+    );
+}

@@ -1,0 +1,94 @@
+//! Extension experiment: **transient thermal traces** — the time-resolved
+//! view behind the paper's steady-state temperatures. Samples per-window
+//! activity, marches the RC thermal network, and prints the heating ramp
+//! of a hot compute-bound code next to a cool memory-bound one.
+//!
+//! `cargo run --release -p tlp-bench --bin ext_transient`
+
+use cmp_tlp::{transient, ExperimentalChip};
+use tlp_sim::CmpConfig;
+use tlp_tech::Technology;
+use tlp_workloads::micro::power_virus;
+use tlp_workloads::{gang, AppId, Scale};
+
+fn sparkline(values: &[f64], lo: f64, hi: f64) -> String {
+    const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    const WIDTH: usize = 56;
+    // Downsample long traces to a fixed width by averaging buckets.
+    let bucketed: Vec<f64> = if values.len() <= WIDTH {
+        values.to_vec()
+    } else {
+        (0..WIDTH)
+            .map(|i| {
+                let a = i * values.len() / WIDTH;
+                let b = ((i + 1) * values.len() / WIDTH).max(a + 1);
+                values[a..b].iter().sum::<f64>() / (b - a) as f64
+            })
+            .collect()
+    };
+    bucketed
+        .iter()
+        .map(|v| {
+            let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            RAMP[(frac * (RAMP.len() - 1) as f64).round() as usize]
+        })
+        .collect()
+}
+
+fn main() {
+    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let op = chip.config().operating_point;
+
+    println!("Extension: transient thermal traces (65nm, nominal V/f)\n");
+
+    // The power virus heats its tile toward the 100 °C design point.
+    let (_, virus) = transient::thermal_trace(
+        &chip,
+        vec![power_virus(0, 1, 60_000)],
+        op,
+        20_000,
+        1e7,
+    );
+    let temps: Vec<f64> = virus.points.iter().map(|p| p.temperature.as_f64()).collect();
+    println!(
+        "power virus   {}  {:.1} → {:.1} °C (peak {:.1})",
+        sparkline(&temps, 45.0, 100.0),
+        temps.first().unwrap(),
+        temps.last().unwrap(),
+        virus.peak_temperature().as_f64()
+    );
+
+    for (app, n) in [(AppId::Fmm, 1usize), (AppId::Ocean, 1), (AppId::Volrend, 4)] {
+        let (_, trace) = transient::thermal_trace(
+            &chip,
+            gang(app, n, Scale::Small, 7),
+            op,
+            20_000,
+            1e7,
+        );
+        let temps: Vec<f64> = trace.points.iter().map(|p| p.temperature.as_f64()).collect();
+        let powers: Vec<f64> = trace.points.iter().map(|p| p.dynamic.as_f64()).collect();
+        let pmax = powers.iter().cloned().fold(0.1, f64::max);
+        println!(
+            "{:<13} {}  {:.1} → {:.1} °C (peak {:.1})",
+            format!("{} N={}", app.name(), n),
+            sparkline(&temps, 45.0, 100.0),
+            temps.first().unwrap(),
+            temps.last().unwrap(),
+            trace.peak_temperature().as_f64()
+        );
+        println!(
+            "{:<13} {}  dynamic power, peak {:.1} W",
+            "",
+            sparkline(&powers, 0.0, pmax),
+            pmax
+        );
+    }
+    println!(
+        "\nReading: the compute-bound codes ramp toward the design point with\n\
+         the package's minutes-long time constant; memory-bound codes plateau\n\
+         barely above ambient. Barrier-phased codes (Volrend) show power\n\
+         sawteeth the steady-state averages hide. Each ~6 µs simulation\n\
+         window is dilated to ~60 s of wall-clock heating."
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 1**: normalized power consumption of iso-performance
+//! `N`-core configurations vs. nominal parallel efficiency, for 130 nm and
+//! 65 nm at T₁ = 100 °C, `N` ∈ {2, 4, 8, 16, 32}, with the sample
+//! application's operating points marked.
+//!
+//! `cargo run --release -p tlp-bench --bin fig1`
+
+use cmp_tlp::report;
+use tlp_analytic::{AnalyticChip, Scenario1};
+use tlp_tech::Technology;
+
+fn main() {
+    // The Fig. 1 sample application: efficiency decreasing with N.
+    let sample = [(2usize, 0.95), (4, 0.85), (8, 0.7), (16, 0.55), (32, 0.4)];
+
+    for tech in [Technology::itrs_130nm(), Technology::itrs_65nm()] {
+        let node = tech.node().to_string();
+        let chip = AnalyticChip::new(tech, 32);
+        let s1 = Scenario1::new(&chip);
+        let series = s1.sweep(&[2, 4, 8, 16, 32], 0.05, 20);
+        print!("{}", report::fig1(&node, &series));
+
+        println!("  sample application marks (o in the paper's plot):");
+        for (n, eps) in sample {
+            match s1.solve(n, eps) {
+                Ok(p) => println!(
+                    "    N={:2} εn={:.2} → P/P1 = {:.3}",
+                    n, eps, p.normalized_power
+                ),
+                Err(e) => println!("    N={n:2} εn={eps:.2} → {e}"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper): curves fall with εn; larger N breaks even at\n\
+         lower εn; at high εn large-N curves lie above small-N (static power\n\
+         of extra cores); the sample app's best N is interior."
+    );
+}

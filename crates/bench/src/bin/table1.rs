@@ -1,0 +1,14 @@
+//! Prints **Table 1**: the CMP configuration modeled in the experiments.
+//!
+//! `cargo run -p tlp-bench --bin table1`
+
+use cmp_tlp::report;
+use tlp_sim::CmpConfig;
+use tlp_tech::Technology;
+
+fn main() {
+    print!(
+        "{}",
+        report::table1(&CmpConfig::ispass05(16), &Technology::itrs_65nm())
+    );
+}

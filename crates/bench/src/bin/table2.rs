@@ -1,0 +1,9 @@
+//! Prints **Table 2**: the SPLASH-2 applications and problem sizes.
+//!
+//! `cargo run -p tlp-bench --bin table2`
+
+use cmp_tlp::report;
+
+fn main() {
+    print!("{}", report::table2());
+}

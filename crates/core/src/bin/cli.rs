@@ -1,0 +1,226 @@
+//! `cmp-tlp` — command-line front end to the reproduction.
+//!
+//! ```console
+//! $ cmp-tlp table1                      # the modeled CMP (Table 1)
+//! $ cmp-tlp apps                        # the workload suite (Table 2)
+//! $ cmp-tlp profile fmm 1 2 4 8         # nominal parallel efficiency
+//! $ cmp-tlp scenario1 ocean             # iso-performance (one Fig. 3 row group)
+//! $ cmp-tlp scenario2 radix             # budget-constrained (one Fig. 4 group)
+//! $ cmp-tlp measure water-nsq 4 1.6     # run + power/thermal at 1.6 GHz
+//! ```
+//!
+//! Add `--json` for machine-readable output and `--paper` for full
+//! experiment scale (default is the fast quarter scale).
+
+use cmp_tlp::{profiling, report, scenario1, scenario2, ExperimentalChip};
+use tlp_sim::CmpConfig;
+use tlp_tech::units::Hertz;
+use tlp_tech::{DvfsTable, OperatingPoint, Technology};
+use tlp_workloads::{gang, AppId, Scale};
+
+const SEED: u64 = 0x1595_2005;
+
+fn parse_app(name: &str) -> Result<AppId, String> {
+    let target = name.to_ascii_lowercase().replace(['-', '_'], "");
+    AppId::ALL
+        .into_iter()
+        .find(|a| a.name().to_ascii_lowercase().replace('-', "") == target)
+        .ok_or_else(|| {
+            format!(
+                "unknown application '{name}' (expected one of: {})",
+                AppId::ALL
+                    .iter()
+                    .map(|a| a.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cmp-tlp [--json] [--paper] <command>\n\
+         commands:\n\
+           table1                         print the modeled CMP configuration\n\
+           apps                           print the workload suite\n\
+           calibration                    print the §3.3 calibration numbers\n\
+           profile <app> [N...]           nominal parallel efficiency (default N = 1 2 4 8 16)\n\
+           scenario1 <app> [N...]         iso-performance power optimization\n\
+           scenario2 <app> [N...]         budget-constrained performance optimization\n\
+           measure <app> <N> <GHz>        run and measure one configuration"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = {
+        let before = args.len();
+        args.retain(|a| a != "--json");
+        args.len() != before
+    };
+    let scale = {
+        let before = args.len();
+        args.retain(|a| a != "--paper");
+        if args.len() != before {
+            Scale::Paper
+        } else {
+            Scale::Small
+        }
+    };
+    if args.is_empty() {
+        usage();
+    }
+
+    let cmd = args.remove(0);
+    let tech = Technology::itrs_65nm();
+    let result = run_command(&cmd, &args, scale, json, tech);
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn core_counts(args: &[String]) -> Result<Vec<usize>, String> {
+    if args.is_empty() {
+        return Ok(vec![1, 2, 4, 8, 16]);
+    }
+    let mut out = vec![1];
+    for a in args {
+        let n: usize = a.parse().map_err(|_| format!("bad core count '{a}'"))?;
+        if n != 1 {
+            out.push(n);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+fn run_command(
+    cmd: &str,
+    args: &[String],
+    scale: Scale,
+    json: bool,
+    tech: Technology,
+) -> Result<(), String> {
+    match cmd {
+        "table1" => {
+            print!("{}", report::table1(&CmpConfig::ispass05(16), &tech));
+            Ok(())
+        }
+        "apps" => {
+            print!("{}", report::table2());
+            Ok(())
+        }
+        "calibration" => {
+            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let cal = chip.calibration();
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&cal).map_err(|e| e.to_string())?
+                );
+            } else {
+                println!("renormalization ratio : {:.4}", cal.renorm);
+                println!("core dynamic max      : {:.2} W", cal.core_dynamic_max.as_f64());
+                println!(
+                    "single-core budget    : {:.2} W",
+                    cal.single_core_budget.as_f64()
+                );
+            }
+            Ok(())
+        }
+        "profile" => {
+            let (app, rest) = split_app(args)?;
+            let counts = core_counts(rest)?;
+            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let p = profiling::profile(&chip, app, &counts, scale, SEED);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&p).map_err(|e| e.to_string())?
+                );
+            } else {
+                println!("{} nominal parallel efficiency:", app.name());
+                for (n, e) in p.core_counts.iter().zip(&p.efficiencies) {
+                    println!("  N={n:<3} εn = {e:.3}  (speedup {:.2})", *n as f64 * e);
+                }
+            }
+            Ok(())
+        }
+        "scenario1" => {
+            let (app, rest) = split_app(args)?;
+            let counts = core_counts(rest)?;
+            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let p = profiling::profile(&chip, app, &counts, scale, SEED);
+            let r = scenario1::run(&chip, &p, scale, SEED);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", report::fig3(std::slice::from_ref(&r)));
+            }
+            Ok(())
+        }
+        "scenario2" => {
+            let (app, rest) = split_app(args)?;
+            let counts = core_counts(rest)?;
+            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let p = profiling::profile(&chip, app, &counts, scale, SEED);
+            let r = scenario2::run(&chip, &p, scale, SEED, None);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", report::fig4(std::slice::from_ref(&r)));
+            }
+            Ok(())
+        }
+        "measure" => {
+            let (app, rest) = split_app(args)?;
+            if rest.len() != 2 {
+                return Err("measure needs <app> <N> <GHz>".into());
+            }
+            let n: usize = rest[0].parse().map_err(|_| "bad core count")?;
+            let ghz: f64 = rest[1].parse().map_err(|_| "bad frequency")?;
+            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech.clone());
+            let f = Hertz::from_ghz(ghz);
+            let table =
+                DvfsTable::for_technology(&tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))
+                    .map_err(|e| e.to_string())?;
+            let v = table.voltage_for(f).map_err(|e| e.to_string())?;
+            let op = OperatingPoint { frequency: f, voltage: v };
+            let run = chip.run(gang(app, n, scale, SEED), op);
+            let m = chip.measure(&run, v);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?
+                );
+            } else {
+                println!("{} on {} core(s) at {} :", app.name(), n, op);
+                println!("  wall clock : {:.3} ms", run.execution_time().as_f64() * 1e3);
+                println!("  IPC        : {:.2}", run.ipc());
+                println!("  dynamic    : {:.2} W", m.dynamic.as_f64());
+                println!("  static     : {:.2} W", m.static_.as_f64());
+                println!("  total      : {:.2} W", m.total().as_f64());
+                println!("  avg temp   : {:.1} °C", m.avg_core_temp().as_f64());
+                println!("  density    : {:.3} W/mm²", m.power_density.as_w_per_mm2());
+            }
+            Ok(())
+        }
+        _ => usage(),
+    }
+}
+
+fn split_app(args: &[String]) -> Result<(AppId, &[String]), String> {
+    let Some((first, rest)) = args.split_first() else {
+        return Err("missing application name".into());
+    };
+    Ok((parse_app(first)?, rest))
+}

@@ -1,0 +1,294 @@
+//! The experimental chip: simulator + power + thermal, glued together the
+//! way the paper's tool flow glues SESC-style simulation, Wattch, and
+//! HotSpot (Section 3.3).
+//!
+//! [`ExperimentalChip`] owns the calibrated power calculator, the static
+//! model, and a per-core-tile thermal model. Given a [`SimResult`] it
+//! produces a [`ChipMeasurement`] — total dynamic/static power, average
+//! active-core temperature, and core power density — with the
+//! power↔temperature fixpoint solved per tile.
+
+use serde::{Deserialize, Serialize};
+
+use tlp_power::{Calibration, PowerCalculator, StaticPower};
+use tlp_sim::{CmpConfig, CmpSimulator, SimResult};
+use tlp_tech::units::{Celsius, PowerDensity, Volts, Watts};
+use tlp_tech::{OperatingPoint, Technology};
+use tlp_thermal::{Floorplan, ThermalModel};
+use tlp_workloads::micro::power_virus;
+
+/// Die edge (Table 1: 15.6 mm × 15.6 mm).
+pub const DIE_EDGE_MM: f64 = 15.6;
+/// Fraction of the die devoted to cores (matches the floorplans).
+const CORE_REGION_FRAC: f64 = 0.65;
+
+/// Everything measured about one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipMeasurement {
+    /// Total chip dynamic power (renormalized).
+    pub dynamic: Watts,
+    /// Total chip static power at the equilibrium temperatures.
+    pub static_: Watts,
+    /// Equilibrium temperature of each active core.
+    pub core_temps: Vec<Celsius>,
+    /// Average power density over the active cores (excludes the L2, as
+    /// the paper's density statistic does).
+    pub power_density: PowerDensity,
+}
+
+impl ChipMeasurement {
+    /// Total chip power.
+    pub fn total(&self) -> Watts {
+        self.dynamic + self.static_
+    }
+
+    /// Average temperature over the active cores.
+    pub fn avg_core_temp(&self) -> Celsius {
+        let n = self.core_temps.len().max(1) as f64;
+        Celsius::new(self.core_temps.iter().map(|t| t.as_f64()).sum::<f64>() / n)
+    }
+}
+
+/// The calibrated experimental platform.
+pub struct ExperimentalChip {
+    config: CmpConfig,
+    tech: Technology,
+    power: PowerCalculator,
+    statics: StaticPower,
+    tile: ThermalModel,
+    tile_area_mm2: f64,
+    calibration: Calibration,
+}
+
+impl ExperimentalChip {
+    /// Builds and calibrates the platform (paper §3.3):
+    ///
+    /// 1. Run the compute-intensive microbenchmark on one core at nominal
+    ///    V/f and measure raw Wattch dynamic power.
+    /// 2. Renormalize so that equals the HotSpot-anchored `P_D1`.
+    /// 3. Calibrate the per-core-tile thermal package so a core at
+    ///    `P_D1 + P_S1(T_max)` equilibrates at `T_max`.
+    pub fn new(config: CmpConfig, tech: Technology) -> Self {
+        let raw_run =
+            CmpSimulator::new(config.clone(), vec![power_virus(0, 1, 30_000)]).run();
+        let raw_power = PowerCalculator::new(&config)
+            .dynamic(&raw_run, tech.vdd_nominal())
+            .total();
+        let calibration = Calibration::derive(&tech, raw_power);
+        let power = PowerCalculator::new(&config).with_renorm(calibration.renorm);
+        let statics = StaticPower::new(&tech);
+
+        let tile_area = DIE_EDGE_MM * DIE_EDGE_MM * CORE_REGION_FRAC / config.n_cores as f64;
+        let tile_edge = tile_area.sqrt();
+        let floorplan = Floorplan::new(Floorplan::ev6_core(
+            "core0", 0.0, 0.0, tile_edge, tile_edge, 0,
+        ));
+        let p1 = tech.p_dynamic_core_nominal() + tech.p_static_core_at_tmax();
+        let tile = ThermalModel::calibrated_active(
+            floorplan,
+            p1,
+            1,
+            tech.t_max(),
+            Celsius::new(45.0),
+        );
+        Self {
+            config,
+            tech,
+            power,
+            statics,
+            tile,
+            tile_area_mm2: tile_area,
+            calibration,
+        }
+    }
+
+    /// The chip configuration (nominal operating point).
+    pub fn config(&self) -> &CmpConfig {
+        &self.config
+    }
+
+    /// The process technology.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The §3.3 calibration outcome.
+    pub fn calibration(&self) -> Calibration {
+        self.calibration
+    }
+
+    /// The calibrated power calculator.
+    pub fn power_calculator(&self) -> &PowerCalculator {
+        &self.power
+    }
+
+    /// The static-power model.
+    pub fn static_model(&self) -> &StaticPower {
+        &self.statics
+    }
+
+    /// The per-core-tile thermal model.
+    pub fn tile_thermal(&self) -> &ThermalModel {
+        &self.tile
+    }
+
+    /// Runs a gang of thread programs at an operating point.
+    pub fn run(
+        &self,
+        programs: Vec<Box<dyn tlp_sim::op::ThreadProgram>>,
+        op: OperatingPoint,
+    ) -> SimResult {
+        let cfg = self.config.at_operating_point(op);
+        CmpSimulator::new(cfg, programs).run()
+    }
+
+    /// Measures power, temperature, and density for a finished run at
+    /// supply voltage `v`.
+    ///
+    /// Each active core's tile is solved to its own power↔temperature
+    /// fixpoint (cores differ under load imbalance); static power follows
+    /// each core's equilibrium temperature. The L2's static power is
+    /// charged at the average core temperature.
+    pub fn measure(&self, result: &SimResult, v: Volts) -> ChipMeasurement {
+        let breakdown = self.power.dynamic(result, v);
+        let tile_fp = self.tile.floorplan().clone();
+        let n = breakdown.cores.len();
+
+        let mut core_temps = Vec::with_capacity(n);
+        let mut static_total = Watts::ZERO;
+        let mut core_dynamic_total = Watts::ZERO;
+
+        for core in &breakdown.cores {
+            // Map this core's structure powers onto the single-tile
+            // floorplan (block names are "core0.<structure>").
+            let single = tlp_power::DynamicBreakdown {
+                cores: vec![*core],
+                l2: Watts::ZERO,
+                bus: breakdown.bus / n as f64,
+            };
+            let dyn_blocks = self.power.per_block(&single, &tile_fp);
+            let statics = &self.statics;
+            let tile = &self.tile;
+            let result = tile.fixpoint(
+                &dyn_blocks,
+                |map| {
+                    let t = map
+                        .average_active_core_temperature(&tile_fp, 1)
+                        .max(tile.ambient());
+                    let s = statics.core_static(v, t);
+                    tile.uniform_core_power(s, 1)
+                },
+                1e-3,
+                100,
+            );
+            let temp = result
+                .map
+                .average_active_core_temperature(&tile_fp, 1);
+            core_temps.push(temp);
+            static_total += result.static_power.iter().copied().sum::<Watts>();
+            core_dynamic_total += core.total() + breakdown.bus / n as f64;
+        }
+
+        // L2: static at the average core temperature (it runs cooler; the
+        // 0.5-core ratio inside chip_static already reflects that).
+        let avg = Celsius::new(
+            core_temps.iter().map(|t| t.as_f64()).sum::<f64>() / n.max(1) as f64,
+        );
+        let l2_static = self.statics.chip_static(0, v, avg) + Watts::ZERO;
+        // chip_static(0) gives just the L2 share.
+        static_total += l2_static;
+
+        let density = PowerDensity::new(
+            (core_dynamic_total.as_f64() + static_total.as_f64() - l2_static.as_f64())
+                / (n as f64 * self.tile_area_mm2),
+        );
+
+        ChipMeasurement {
+            dynamic: breakdown.total(),
+            static_: static_total,
+            core_temps,
+            power_density: density,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_workloads::{gang, AppId, Scale};
+
+    fn chip() -> ExperimentalChip {
+        ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+    }
+
+    #[test]
+    fn calibrated_virus_reaches_design_point() {
+        let chip = chip();
+        let r = chip.run(
+            vec![power_virus(0, 1, 30_000)],
+            chip.config().operating_point,
+        );
+        let m = chip.measure(&r, chip.tech().vdd_nominal());
+        // Dynamic power equals P_D1 by calibration; the tile equilibrates
+        // near (somewhat below) T_max because the virus's static feedback
+        // settles self-consistently.
+        assert!(
+            (m.dynamic.as_f64() - 15.0).abs() < 0.5,
+            "virus dynamic {}",
+            m.dynamic
+        );
+        assert!(
+            m.avg_core_temp().as_f64() > 85.0 && m.avg_core_temp().as_f64() <= 101.0,
+            "virus temperature {}",
+            m.avg_core_temp()
+        );
+    }
+
+    #[test]
+    fn memory_bound_app_draws_less_power() {
+        // Warm-cache contrast needs Scale::Small (compulsory misses
+        // dominate Scale::Test runs).
+        let chip = chip();
+        let op = chip.config().operating_point;
+        let fmm = chip.run(gang(AppId::Fmm, 1, Scale::Small, 3), op);
+        let radix = chip.run(gang(AppId::Radix, 1, Scale::Small, 3), op);
+        let v = chip.tech().vdd_nominal();
+        let p_fmm = chip.measure(&fmm, v).total();
+        let p_radix = chip.measure(&radix, v).total();
+        assert!(
+            p_radix.as_f64() < 0.75 * p_fmm.as_f64(),
+            "Radix {} should draw well below FMM {}",
+            p_radix,
+            p_fmm
+        );
+    }
+
+    #[test]
+    fn more_cores_at_nominal_draw_more_power() {
+        let chip = chip();
+        let op = chip.config().operating_point;
+        let one = chip.run(gang(AppId::WaterSp, 1, Scale::Test, 5), op);
+        let four = chip.run(gang(AppId::WaterSp, 4, Scale::Test, 5), op);
+        let v = chip.tech().vdd_nominal();
+        let p1 = chip.measure(&one, v).total();
+        let p4 = chip.measure(&four, v).total();
+        assert!(p4.as_f64() > 1.5 * p1.as_f64());
+    }
+
+    #[test]
+    fn measurement_components_are_positive() {
+        let chip = chip();
+        let r = chip.run(
+            gang(AppId::Volrend, 2, Scale::Test, 9),
+            chip.config().operating_point,
+        );
+        let m = chip.measure(&r, chip.tech().vdd_nominal());
+        assert!(m.dynamic.as_f64() > 0.0);
+        assert!(m.static_.as_f64() > 0.0);
+        assert_eq!(m.core_temps.len(), 2);
+        assert!(m.power_density.as_w_per_mm2() > 0.0);
+        for t in &m.core_temps {
+            assert!(t.as_f64() >= 45.0);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Energy and energy-delay metrics.
+//!
+//! The paper optimizes power at fixed performance and performance at fixed
+//! power; its natural extension (and the metric most follow-up work uses)
+//! is energy and the energy-delay products. This module computes energy,
+//! EDP, and ED²P for measured runs and finds the core count that optimizes
+//! each — the "how many cores minimize energy?" question.
+
+use serde::{Deserialize, Serialize};
+
+use tlp_tech::units::Joules;
+
+use crate::chipstate::ChipMeasurement;
+use crate::scenario1::Scenario1Result;
+
+/// Which figure of merit to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Metric {
+    /// Total energy, `P·t`.
+    Energy,
+    /// Energy-delay product, `P·t²`.
+    Edp,
+    /// Energy-delay² product, `P·t³`.
+    Ed2p,
+}
+
+/// Energy metrics of one measured run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Wall-clock execution time, seconds.
+    pub time: f64,
+    /// Total energy consumed.
+    pub energy: Joules,
+    /// Energy-delay product, J·s.
+    pub edp: f64,
+    /// Energy-delay² product, J·s².
+    pub ed2p: f64,
+}
+
+impl EnergyReport {
+    /// Builds the report from a measurement and the run's execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_seconds` is not positive.
+    pub fn new(measurement: &ChipMeasurement, time_seconds: f64) -> Self {
+        assert!(time_seconds > 0.0, "execution time must be positive");
+        let energy = measurement.total().energy_over(tlp_tech::units::Seconds::new(time_seconds));
+        Self {
+            time: time_seconds,
+            energy,
+            edp: energy.as_f64() * time_seconds,
+            ed2p: energy.as_f64() * time_seconds * time_seconds,
+        }
+    }
+
+    /// The value of a metric.
+    pub fn value(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Energy => self.energy.as_f64(),
+            Metric::Edp => self.edp,
+            Metric::Ed2p => self.ed2p,
+        }
+    }
+}
+
+/// Derives per-row energy reports from a Scenario-I result (whose rows
+/// hold power and relative time): row `time = t1 / actual_speedup`, where
+/// `t1` is the single-core reference time embedded in row 0's speedup
+/// normalization. Because every row shares the same `t1`, *relative*
+/// energy and EDP across rows are exact even though `t1` itself is taken
+/// as 1 second.
+pub fn scenario1_energy(result: &Scenario1Result) -> Vec<(usize, EnergyReport)> {
+    result
+        .rows
+        .iter()
+        .map(|row| {
+            let time = 1.0 / row.actual_speedup;
+            let report = EnergyReport {
+                time,
+                energy: Joules::new(row.power_watts * time),
+                edp: row.power_watts * time * time,
+                ed2p: row.power_watts * time * time * time,
+            };
+            (row.n, report)
+        })
+        .collect()
+}
+
+/// The core count minimizing `metric` among the reports.
+pub fn best_n(reports: &[(usize, EnergyReport)], metric: Metric) -> Option<usize> {
+    reports
+        .iter()
+        .min_by(|a, b| {
+            a.1.value(metric)
+                .partial_cmp(&b.1.value(metric))
+                .expect("metric values are not NaN")
+        })
+        .map(|(n, _)| *n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario1::{Scenario1Result, Scenario1Row};
+    use tlp_tech::OperatingPoint;
+    use tlp_tech::units::{Hertz, Volts};
+    use tlp_workloads::AppId;
+
+    fn row(n: usize, speedup: f64, power: f64) -> Scenario1Row {
+        Scenario1Row {
+            n,
+            nominal_efficiency: 1.0,
+            actual_speedup: speedup,
+            power_watts: power,
+            normalized_power: power / 25.0,
+            normalized_density: 1.0,
+            temperature_c: 60.0,
+            operating_point: OperatingPoint {
+                frequency: Hertz::from_ghz(3.2),
+                voltage: Volts::new(1.1),
+            },
+        }
+    }
+
+    fn fake_result() -> Scenario1Result {
+        Scenario1Result {
+            app: AppId::Fft,
+            rows: vec![
+                row(1, 1.0, 25.0), // E = 25, EDP = 25
+                row(2, 1.0, 10.0), // E = 10, EDP = 10  (iso-perf power cut)
+                row(4, 2.0, 12.0), // E = 6,  EDP = 3   (faster AND frugal)
+                row(8, 2.0, 20.0), // E = 10, EDP = 5
+            ],
+        }
+    }
+
+    #[test]
+    fn energy_and_edp_computed_from_rows() {
+        let reports = scenario1_energy(&fake_result());
+        let four = &reports[2].1;
+        assert!((four.energy.as_f64() - 6.0).abs() < 1e-12);
+        assert!((four.edp - 3.0).abs() < 1e-12);
+        assert!((four.ed2p - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_n_depends_on_metric() {
+        let reports = scenario1_energy(&fake_result());
+        assert_eq!(best_n(&reports, Metric::Energy), Some(4));
+        assert_eq!(best_n(&reports, Metric::Edp), Some(4));
+        // Hand-craft a case where energy and EDP optima diverge.
+        let diverging = Scenario1Result {
+            app: AppId::Fft,
+            rows: vec![
+                row(1, 1.0, 10.0), // E = 10, EDP = 10
+                row(4, 4.0, 44.0), // E = 11, EDP = 2.75
+            ],
+        };
+        let reports = scenario1_energy(&diverging);
+        assert_eq!(best_n(&reports, Metric::Energy), Some(1));
+        assert_eq!(best_n(&reports, Metric::Edp), Some(4));
+    }
+
+    #[test]
+    fn empty_reports_have_no_best() {
+        assert_eq!(best_n(&[], Metric::Energy), None);
+    }
+}

@@ -1,0 +1,225 @@
+//! Text renderers that print experiment results in the shape of the
+//! paper's tables and figures (one series per line, values per core
+//! count), so `cargo run -p tlp-bench --bin figN` output can be compared
+//! against the paper side by side.
+
+use std::fmt::Write as _;
+
+use tlp_analytic::{Scenario1Series, Scenario2Point};
+use tlp_workloads::AppId;
+
+use crate::scenario1::Scenario1Result;
+use crate::scenario2::Scenario2Result;
+
+/// Renders the analytic Fig. 1 series (normalized power vs. efficiency).
+pub fn fig1(node: &str, series: &[Scenario1Series]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig.1 ({node}): normalized chip power P_N/P_1 vs nominal parallel efficiency"
+    );
+    for s in series {
+        let _ = write!(out, "  N={:2} |", s.n);
+        for p in &s.points {
+            let _ = write!(out, " {:.2}@{:.2}", p.normalized_power, p.efficiency);
+        }
+        let _ = writeln!(out);
+        if let Some(be) = s.breakeven_efficiency() {
+            let _ = writeln!(out, "       break-even at εn ≈ {be:.2}");
+        }
+    }
+    out
+}
+
+/// Renders the analytic Fig. 2 series (speedup vs. cores under budget).
+pub fn fig2(node: &str, points: &[Scenario2Point]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig.2 ({node}): speedup under single-core power budget, εn = 1"
+    );
+    let _ = writeln!(out, "  {:>3} {:>8} {:>10} {:>8} {:>9}", "N", "speedup", "f (GHz)", "V", "regime");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "  {:>3} {:>8.3} {:>10.3} {:>8.3} {:>9?}",
+            p.n,
+            p.speedup,
+            p.frequency.as_ghz(),
+            p.voltage.as_f64(),
+            p.regime
+        );
+    }
+    out
+}
+
+/// Renders one application's Fig. 3 rows (five plots as five columns).
+pub fn fig3(results: &[Scenario1Result]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig.3: Scenario I (iso-performance) per application\n\
+         {:<11} {:>3} {:>6} {:>8} {:>9} {:>9} {:>8}",
+        "app", "N", "εn", "speedup", "P/P1", "dens/d1", "T (°C)"
+    );
+    for r in results {
+        for row in &r.rows {
+            let _ = writeln!(
+                out,
+                "{:<11} {:>3} {:>6.2} {:>8.2} {:>9.3} {:>9.3} {:>8.1}",
+                r.app.name(),
+                row.n,
+                row.nominal_efficiency,
+                row.actual_speedup,
+                row.normalized_power,
+                row.normalized_density,
+                row.temperature_c
+            );
+        }
+    }
+    out
+}
+
+/// Renders Fig. 4 rows (nominal vs. actual speedup under budget).
+pub fn fig4(results: &[Scenario2Result]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig.4: Scenario II (power budget = single core) nominal vs actual speedup"
+    );
+    for r in results {
+        let _ = writeln!(out, "{} (budget {:.1} W)", r.app.name(), r.budget_watts);
+        let _ = writeln!(
+            out,
+            "  {:>3} {:>9} {:>8} {:>9} {:>8} {:>6}",
+            "N", "nominal", "actual", "f (GHz)", "P (W)", "free?"
+        );
+        for row in &r.rows {
+            let _ = writeln!(
+                out,
+                "  {:>3} {:>9.2} {:>8.2} {:>9.2} {:>8.1} {:>6}",
+                row.n,
+                row.nominal_speedup,
+                row.actual_speedup,
+                row.operating_point.frequency.as_ghz(),
+                row.power_watts,
+                if row.unconstrained { "yes" } else { "no" }
+            );
+        }
+    }
+    out
+}
+
+/// Renders Table 1 (the modeled CMP configuration).
+pub fn table1(cfg: &tlp_sim::CmpConfig, tech: &tlp_tech::Technology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: CMP configuration");
+    let _ = writeln!(out, "  CMP size            {}-way", cfg.n_cores);
+    let _ = writeln!(out, "  Processor core      Alpha 21264-class, {}-wide", cfg.core.issue_width);
+    let _ = writeln!(out, "  Process technology  {}", tech.node());
+    let _ = writeln!(out, "  Nominal frequency   {:.1} GHz", tech.f_nominal().as_ghz());
+    let _ = writeln!(out, "  Nominal Vdd         {:.2} V", tech.vdd_nominal().as_f64());
+    let _ = writeln!(out, "  Vth                 {:.2} V", tech.vth().as_f64());
+    let _ = writeln!(
+        out,
+        "  L1 I-, D-cache      {} KB, {} B line, {}-way, {}-cycle RT",
+        cfg.l1d.size_bytes / 1024,
+        cfg.l1d.line_bytes,
+        cfg.l1d.ways,
+        cfg.l1d.latency_cycles
+    );
+    let _ = writeln!(
+        out,
+        "  Unified L2          shared, {} MB, {} B line, {}-way, {}-cycle RT",
+        cfg.l2.size_bytes / (1024 * 1024),
+        cfg.l2.line_bytes,
+        cfg.l2.ways,
+        cfg.l2.latency_cycles
+    );
+    let _ = writeln!(
+        out,
+        "  Memory              {:.0} ns RT ({} cycles at nominal)",
+        cfg.memory_round_trip.as_ns(),
+        cfg.memory_latency_cycles()
+    );
+    out
+}
+
+/// Renders Table 2 (the application suite).
+pub fn table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: SPLASH-2 applications and problem sizes");
+    for app in AppId::ALL {
+        let _ = writeln!(out, "  {:<11} {}", app.name(), app.problem_size());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_key_parameters() {
+        let cfg = tlp_sim::CmpConfig::ispass05(16);
+        let tech = tlp_tech::Technology::itrs_65nm();
+        let t = table1(&cfg, &tech);
+        assert!(t.contains("16-way"));
+        assert!(t.contains("3.2 GHz"));
+        assert!(t.contains("4 MB"));
+        assert!(t.contains("75 ns"));
+        assert!(t.contains("240 cycles"));
+    }
+
+    #[test]
+    fn fig_renderers_include_series_and_values() {
+        use tlp_analytic::{AnalyticChip, EfficiencyCurve, Scenario1, Scenario2};
+        let chip = AnalyticChip::new(tlp_tech::Technology::itrs_65nm(), 32);
+        let s1 = Scenario1::new(&chip);
+        let series = s1.sweep(&[2, 4], 0.4, 4);
+        let out = fig1("65nm", &series);
+        assert!(out.contains("N= 2"));
+        assert!(out.contains("N= 4"));
+        assert!(out.contains("break-even"));
+
+        let s2 = Scenario2::new(&chip);
+        let sweep = s2.sweep(4, &EfficiencyCurve::Perfect);
+        let out = fig2("65nm", &sweep);
+        assert!(out.contains("speedup"));
+        assert!(out.contains("Nominal") || out.contains("VoltageScaled"));
+    }
+
+    #[test]
+    fn fig4_renderer_marks_unconstrained_rows() {
+        use crate::scenario2::{Scenario2Result, Scenario2Row};
+        use tlp_tech::units::{Hertz, Volts};
+        use tlp_tech::OperatingPoint;
+        let r = Scenario2Result {
+            app: AppId::Radix,
+            budget_watts: 25.0,
+            rows: vec![Scenario2Row {
+                n: 2,
+                nominal_speedup: 1.9,
+                actual_speedup: 1.9,
+                operating_point: OperatingPoint {
+                    frequency: Hertz::from_ghz(3.2),
+                    voltage: Volts::new(1.1),
+                },
+                power_watts: 8.0,
+                unconstrained: true,
+            }],
+        };
+        let out = fig4(std::slice::from_ref(&r));
+        assert!(out.contains("yes"));
+        assert!(out.contains("Radix"));
+        assert!(out.contains("25.0 W"));
+    }
+
+    #[test]
+    fn table2_lists_all_twelve() {
+        let t = table2();
+        for app in AppId::ALL {
+            assert!(t.contains(app.name()), "missing {app}");
+        }
+    }
+}

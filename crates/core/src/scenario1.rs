@@ -1,0 +1,188 @@
+//! Experimental Scenario I: power optimization at iso-performance
+//! (paper §4.1, Fig. 3).
+//!
+//! From the nominal-efficiency profile, each `N`-core configuration gets
+//! the Eq. 7 target frequency `f_N = f_1/(N·εn(N))` with the supply
+//! voltage extrapolated from the DVFS table; the workload is then
+//! *re-simulated* at that operating point and its real power, power
+//! density, and temperature are measured. The re-simulation is what
+//! captures the effects the analytical model misses — most prominently
+//! the narrowing processor–memory gap under chip-only DVFS, which gives
+//! memory-bound applications actual speedups above the nominal target.
+
+use serde::{Deserialize, Serialize};
+
+use tlp_sim::SimResult;
+use tlp_tech::units::Hertz;
+use tlp_tech::{DvfsTable, OperatingPoint};
+use tlp_workloads::{gang, AppId, Scale};
+
+use crate::chipstate::ExperimentalChip;
+use crate::profiling::EfficiencyProfile;
+
+/// One Fig. 3 data point (one application on `n` cores).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario1Row {
+    /// Active cores.
+    pub n: usize,
+    /// Nominal parallel efficiency from profiling (Fig. 3, plot 1).
+    pub nominal_efficiency: f64,
+    /// Actual wall-clock speedup over the single-core nominal run
+    /// (Fig. 3, plot 2). Values above 1 are the memory-gap effect.
+    pub actual_speedup: f64,
+    /// Chip power in watts.
+    pub power_watts: f64,
+    /// Power normalized to the single-core configuration (plot 3).
+    pub normalized_power: f64,
+    /// Core power density normalized to single-core (plot 4).
+    pub normalized_density: f64,
+    /// Average active-core temperature, °C (plot 5).
+    pub temperature_c: f64,
+    /// The operating point the configuration ran at.
+    pub operating_point: OperatingPoint,
+}
+
+/// Fig. 3 series for one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario1Result {
+    /// Application.
+    pub app: AppId,
+    /// One row per simulated core count (ascending, starting at 1).
+    pub rows: Vec<Scenario1Row>,
+}
+
+/// Runs experimental Scenario I for one application.
+///
+/// `profile` must come from [`crate::profiling::profile`] on the same chip
+/// and scale. The returned rows cover the profile's core counts.
+///
+/// # Panics
+///
+/// Panics if the profile is empty.
+pub fn run(
+    chip: &ExperimentalChip,
+    profile: &EfficiencyProfile,
+    scale: Scale,
+    seed: u64,
+) -> Scenario1Result {
+    assert!(!profile.core_counts.is_empty(), "empty profile");
+    let tech = chip.tech();
+    let table = DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))
+        .expect("stock technologies produce valid DVFS tables");
+    let f1 = tech.f_nominal();
+
+    // Single-core reference measurement at nominal.
+    let baseline = &profile.baseline;
+    let base_measure = chip.measure(baseline, tech.vdd_nominal());
+    let base_power = base_measure.total();
+    let base_density = base_measure.power_density;
+    let base_time = baseline.execution_time();
+
+    let mut rows = Vec::new();
+    for (idx, &n) in profile.core_counts.iter().enumerate() {
+        let eps = profile.efficiencies[idx];
+        let (result, op): (SimResult, OperatingPoint) = if n == 1 {
+            (
+                baseline.clone(),
+                OperatingPoint {
+                    frequency: f1,
+                    voltage: tech.vdd_nominal(),
+                },
+            )
+        } else {
+            // Eq. 7 frequency target, clamped into the DVFS table range.
+            let target = Hertz::new(f1.as_f64() / (n as f64 * eps)).min(f1).max(table.f_min());
+            let voltage = table
+                .voltage_for(target)
+                .expect("target clamped into table range");
+            let op = OperatingPoint {
+                frequency: target,
+                voltage,
+            };
+            (chip.run(gang(profile.app, n, scale, seed), op), op)
+        };
+        let m = chip.measure(&result, op.voltage);
+        rows.push(Scenario1Row {
+            n,
+            nominal_efficiency: eps,
+            actual_speedup: base_time / result.execution_time(),
+            power_watts: m.total().as_f64(),
+            normalized_power: m.total() / base_power,
+            normalized_density: m.power_density.as_w_per_mm2() / base_density.as_w_per_mm2(),
+            temperature_c: m.avg_core_temp().as_f64(),
+            operating_point: op,
+        });
+    }
+    Scenario1Result {
+        app: profile.app,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiling::profile;
+    use tlp_sim::CmpConfig;
+    use tlp_tech::Technology;
+
+    fn run_app(app: AppId, counts: &[usize]) -> Scenario1Result {
+        let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+        let p = profile(&chip, app, counts, Scale::Test, 13);
+        run(&chip, &p, Scale::Test, 13)
+    }
+
+    #[test]
+    fn single_core_row_is_the_unit_reference() {
+        let r = run_app(AppId::WaterSp, &[1, 2]);
+        let one = &r.rows[0];
+        assert!((one.normalized_power - 1.0).abs() < 1e-9);
+        assert!((one.actual_speedup - 1.0).abs() < 1e-9);
+        assert!((one.normalized_density - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_configs_run_slower_clocks(){
+        let r = run_app(AppId::WaterSp, &[1, 4]);
+        let four = &r.rows[1];
+        assert!(four.operating_point.frequency < Hertz::from_ghz(3.2));
+        assert!(four.operating_point.voltage < Technology::itrs_65nm().vdd_nominal());
+    }
+
+    #[test]
+    fn well_scaling_app_saves_power_on_four_cores() {
+        // The paper's headline experimental result.
+        let r = run_app(AppId::WaterNsq, &[1, 4]);
+        let four = &r.rows[1];
+        assert!(
+            four.normalized_power < 1.0,
+            "4-core normalized power {}",
+            four.normalized_power
+        );
+        assert!(four.temperature_c < r.rows[0].temperature_c);
+    }
+
+    #[test]
+    fn power_density_collapses_with_parallelism() {
+        let r = run_app(AppId::WaterNsq, &[1, 8]);
+        let eight = r.rows.last().unwrap();
+        assert!(
+            eight.normalized_density < 0.4,
+            "8-core normalized density {}",
+            eight.normalized_density
+        );
+    }
+
+    #[test]
+    fn memory_bound_app_gets_actual_speedup_above_one() {
+        // Chip-only DVFS narrows the memory gap: Ocean beats the
+        // iso-performance target (paper Fig. 3, plot 2).
+        let r = run_app(AppId::Ocean, &[1, 4]);
+        let four = &r.rows[1];
+        assert!(
+            four.actual_speedup > 1.05,
+            "Ocean actual speedup {}",
+            four.actual_speedup
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Transient power/thermal traces.
+//!
+//! The paper reports steady-state (time-averaged) temperatures; this
+//! module extends the flow to *transients*: the simulator samples per-core
+//! activity in fixed cycle windows, each window's dynamic power drives one
+//! implicit-Euler step of the RC thermal network, and static power follows
+//! the instantaneous temperature. Useful for seeing barrier-phase power
+//! swings and the thermal time constants the steady-state numbers hide.
+
+use serde::{Deserialize, Serialize};
+
+use tlp_power::DynamicBreakdown;
+use tlp_sim::chip::SampleWindow;
+use tlp_sim::{CmpSimulator, SimResult};
+use tlp_tech::units::{Celsius, Seconds, Volts, Watts};
+use tlp_tech::OperatingPoint;
+
+use crate::chipstate::ExperimentalChip;
+
+/// One step of a transient trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientPoint {
+    /// Wall-clock time at the end of the step, seconds.
+    pub time: f64,
+    /// Chip dynamic power during the window.
+    pub dynamic: Watts,
+    /// Static power at the window's starting temperature.
+    pub static_: Watts,
+    /// Average core temperature at the end of the step.
+    pub temperature: Celsius,
+}
+
+/// A completed transient trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientTrace {
+    /// The steps, in time order.
+    pub points: Vec<TransientPoint>,
+    /// Window length in cycles.
+    pub window_cycles: u64,
+}
+
+impl TransientTrace {
+    /// Peak average-core temperature over the trace.
+    pub fn peak_temperature(&self) -> Celsius {
+        self.points
+            .iter()
+            .map(|p| p.temperature)
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    /// Peak total power over the trace.
+    pub fn peak_power(&self) -> Watts {
+        self.points
+            .iter()
+            .map(|p| p.dynamic + p.static_)
+            .fold(Watts::ZERO, Watts::max)
+    }
+}
+
+/// Runs `programs` at `op`, sampling every `window_cycles`, and marches
+/// the per-core-tile thermal network through the windows. Returns the
+/// run's aggregate result and the thermal trace (averaged over active
+/// cores; the tile of core 0 representative for symmetric gangs).
+///
+/// Thermal speed-up: real workloads run for seconds while our scaled runs
+/// last microseconds, so each window's heat is applied with a
+/// `time_dilation` factor (e.g. `1e4`) that stretches the step length —
+/// standard practice when driving RC thermal models from short simulation
+/// windows.
+///
+/// # Panics
+///
+/// Panics if `window_cycles` is zero or `time_dilation` is not positive.
+pub fn thermal_trace(
+    chip: &ExperimentalChip,
+    programs: Vec<Box<dyn tlp_sim::op::ThreadProgram>>,
+    op: OperatingPoint,
+    window_cycles: u64,
+    time_dilation: f64,
+) -> (SimResult, TransientTrace) {
+    assert!(time_dilation > 0.0, "time dilation must be positive");
+    let cfg = chip.config().at_operating_point(op);
+    let (result, windows) = CmpSimulator::new(cfg, programs).run_sampled(window_cycles);
+    let trace = trace_from_windows(chip, &result, &windows, op.voltage, time_dilation);
+    (result, trace)
+}
+
+/// Builds the thermal trace from pre-sampled windows (exposed for tests
+/// and custom pipelines).
+pub fn trace_from_windows(
+    chip: &ExperimentalChip,
+    result: &SimResult,
+    windows: &[SampleWindow],
+    v: Volts,
+    time_dilation: f64,
+) -> TransientTrace {
+    let tile = chip.tile_thermal();
+    let tile_fp = tile.floorplan().clone();
+    let n = result.n_threads.max(1);
+    // Node vector: blocks + spreader + sink, all starting at ambient.
+    let n_nodes = tile_fp.blocks().len() + 2;
+    let mut temps = vec![tile.ambient(); n_nodes];
+    let mut points = Vec::with_capacity(windows.len());
+    let mut time = 0.0f64;
+
+    for w in windows {
+        let cycles = (w.end_cycle - w.start_cycle).max(1);
+        let dt = Seconds::new(cycles as f64 / result.frequency.as_f64() * time_dilation);
+        // Average the gang's activity onto one representative tile.
+        let mut avg = tlp_power::CoreDynamic::default();
+        let window_result = SimResult {
+            cycles,
+            frequency: result.frequency,
+            n_threads: n,
+            cores: w.cores.clone(),
+            l1d: result.l1d.clone(),
+            l2: result.l2,
+            mem: result.mem,
+        };
+        let breakdown = chip.power_calculator().dynamic(&window_result, v);
+        for c in &breakdown.cores {
+            avg.clock += c.clock;
+            avg.icache += c.icache;
+            avg.dcache += c.dcache;
+            avg.int_exec += c.int_exec;
+            avg.fp_exec += c.fp_exec;
+            avg.regfile += c.regfile;
+            avg.issue += c.issue;
+            avg.bpred += c.bpred;
+            avg.lsq += c.lsq;
+        }
+        let k = 1.0 / n as f64;
+        let single = DynamicBreakdown {
+            cores: vec![tlp_power::CoreDynamic {
+                clock: avg.clock * k,
+                icache: avg.icache * k,
+                dcache: avg.dcache * k,
+                int_exec: avg.int_exec * k,
+                fp_exec: avg.fp_exec * k,
+                regfile: avg.regfile * k,
+                issue: avg.issue * k,
+                bpred: avg.bpred * k,
+                lsq: avg.lsq * k,
+            }],
+            l2: Watts::ZERO,
+            bus: Watts::ZERO,
+        };
+        let dyn_blocks = chip.power_calculator().per_block(&single, &tile_fp);
+
+        // Static at the current (start-of-window) average core temperature.
+        let t_now = {
+            let block_avg: f64 = tile_fp
+                .blocks()
+                .iter()
+                .zip(&temps)
+                .map(|(b, t)| t.as_f64() * b.area().as_f64())
+                .sum::<f64>()
+                / tile_fp.total_area().as_f64();
+            Celsius::new(block_avg)
+        };
+        let static_core = chip.static_model().core_static(v, t_now);
+        let static_blocks = tile.uniform_core_power(static_core, 1);
+        let total: Vec<Watts> = dyn_blocks
+            .iter()
+            .zip(&static_blocks)
+            .map(|(a, b)| *a + *b)
+            .collect();
+
+        temps = tile.network_step(&temps, &total, dt);
+        time += dt.as_f64();
+
+        let t_end = {
+            let block_avg: f64 = tile_fp
+                .blocks()
+                .iter()
+                .zip(&temps)
+                .map(|(b, t)| t.as_f64() * b.area().as_f64())
+                .sum::<f64>()
+                / tile_fp.total_area().as_f64();
+            Celsius::new(block_avg)
+        };
+        let per_core_dynamic: Watts = single.cores[0].total();
+        points.push(TransientPoint {
+            time,
+            dynamic: per_core_dynamic * n as f64,
+            static_: static_core * n as f64,
+            temperature: t_end,
+        });
+    }
+    TransientTrace {
+        points,
+        window_cycles: windows.first().map(|w| w.end_cycle - w.start_cycle).unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_sim::CmpConfig;
+    use tlp_tech::Technology;
+    use tlp_workloads::micro::power_virus;
+    use tlp_workloads::{gang, AppId, Scale};
+
+    fn chip() -> ExperimentalChip {
+        ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+    }
+
+    #[test]
+    fn virus_trace_ramps_toward_design_temperature() {
+        let chip = chip();
+        let (_, trace) = thermal_trace(
+            &chip,
+            vec![power_virus(0, 1, 40_000)],
+            chip.config().operating_point,
+            20_000,
+            // The heat-sink time constant is minutes; dilate each ~6 µs
+            // window to ~60 s so the trace spans the full thermal ramp.
+            1e7,
+        );
+        assert!(trace.points.len() >= 5, "{} points", trace.points.len());
+        // Monotone heating from ambient toward the ~100 °C design point.
+        let first = trace.points.first().unwrap().temperature.as_f64();
+        let last = trace.points.last().unwrap().temperature.as_f64();
+        assert!(first < last, "no ramp: {first} -> {last}");
+        assert!(last > 75.0, "did not heat up: {last}");
+        assert!(trace.peak_temperature().as_f64() <= 102.0);
+    }
+
+    #[test]
+    fn barrier_phases_show_power_swings() {
+        // An imbalanced app alternates compute and spin phases; the
+        // dynamic trace must not be flat.
+        let chip = chip();
+        let (_, trace) = thermal_trace(
+            &chip,
+            gang(AppId::Volrend, 4, Scale::Test, 3),
+            chip.config().operating_point,
+            5_000,
+            1e4,
+        );
+        let powers: Vec<f64> = trace.points.iter().map(|p| p.dynamic.as_f64()).collect();
+        let max = powers.iter().cloned().fold(0.0, f64::max);
+        let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max > 1.3 * min.max(0.1),
+            "flat power trace: min {min} max {max}"
+        );
+    }
+
+    #[test]
+    fn trace_times_accumulate() {
+        let chip = chip();
+        let (_, trace) = thermal_trace(
+            &chip,
+            vec![power_virus(0, 1, 5_000)],
+            chip.config().operating_point,
+            2_000,
+            1e3,
+        );
+        let mut prev = 0.0;
+        for p in &trace.points {
+            assert!(p.time > prev);
+            prev = p.time;
+        }
+    }
+}

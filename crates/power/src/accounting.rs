@@ -1,0 +1,397 @@
+//! Activity-based dynamic-power accounting (the Wattch step).
+//!
+//! Consumes a [`SimResult`]'s per-structure event counts and produces
+//! dynamic power per structure, per core, and per floorplan block, at a
+//! given supply voltage. Wattch-style aggressive conditional clocking is
+//! modeled: stalled cycles draw only a residual fraction of the clock
+//! tree; spin-wait cycles execute real instructions and are charged like
+//! active cycles (spinning burns power, as in the paper).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use tlp_sim::config::CmpConfig;
+use tlp_sim::{CoreStats, SimResult};
+use tlp_tech::units::{Joules, Seconds, Volts, Watts};
+use tlp_thermal::{BlockKind, Floorplan};
+
+use crate::structures::CoreEnergies;
+
+/// Dynamic power of one core, broken down by structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreDynamic {
+    /// Clock tree (including gated residual during stalls).
+    pub clock: Watts,
+    /// Instruction cache.
+    pub icache: Watts,
+    /// Data cache.
+    pub dcache: Watts,
+    /// Integer execution.
+    pub int_exec: Watts,
+    /// Floating-point execution.
+    pub fp_exec: Watts,
+    /// Register file.
+    pub regfile: Watts,
+    /// Rename + issue queue.
+    pub issue: Watts,
+    /// Branch predictor.
+    pub bpred: Watts,
+    /// Load/store queue.
+    pub lsq: Watts,
+}
+
+impl CoreDynamic {
+    /// Total dynamic power of the core.
+    pub fn total(&self) -> Watts {
+        self.clock
+            + self.icache
+            + self.dcache
+            + self.int_exec
+            + self.fp_exec
+            + self.regfile
+            + self.issue
+            + self.bpred
+            + self.lsq
+    }
+}
+
+/// Chip-level dynamic power breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicBreakdown {
+    /// Per-active-core structure breakdowns.
+    pub cores: Vec<CoreDynamic>,
+    /// Shared L2 dynamic power.
+    pub l2: Watts,
+    /// Snooping-bus dynamic power.
+    pub bus: Watts,
+}
+
+impl DynamicBreakdown {
+    /// Total chip dynamic power.
+    pub fn total(&self) -> Watts {
+        self.cores.iter().map(CoreDynamic::total).sum::<Watts>() + self.l2 + self.bus
+    }
+
+    /// Structure-level totals across cores (for reporting).
+    pub fn by_structure(&self) -> BTreeMap<&'static str, Watts> {
+        let mut m = BTreeMap::new();
+        let mut add = |k: &'static str, v: Watts| {
+            let e = m.entry(k).or_insert(Watts::ZERO);
+            *e += v;
+        };
+        for c in &self.cores {
+            add("clock", c.clock);
+            add("icache", c.icache);
+            add("dcache", c.dcache);
+            add("int_exec", c.int_exec);
+            add("fp_exec", c.fp_exec);
+            add("regfile", c.regfile);
+            add("issue", c.issue);
+            add("bpred", c.bpred);
+            add("lsq", c.lsq);
+        }
+        add("l2", self.l2);
+        add("bus", self.bus);
+        m
+    }
+}
+
+/// Activity-based dynamic power calculator.
+///
+/// # Examples
+///
+/// ```
+/// use tlp_power::PowerCalculator;
+/// use tlp_sim::{CmpConfig, CmpSimulator};
+/// use tlp_sim::op::{Op, ScriptedProgram, ThreadProgram};
+/// use tlp_tech::units::Volts;
+///
+/// let cfg = CmpConfig::ispass05(4);
+/// let prog = Box::new(ScriptedProgram::new(vec![Op::Int { count: 10_000 }]))
+///     as Box<dyn ThreadProgram>;
+/// let result = CmpSimulator::new(cfg.clone(), vec![prog]).run();
+/// let calc = PowerCalculator::new(&cfg);
+/// let dynamic = calc.dynamic(&result, Volts::new(1.1));
+/// assert!(dynamic.total().as_f64() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerCalculator {
+    energies: CoreEnergies,
+    renorm: f64,
+}
+
+impl PowerCalculator {
+    /// Builds a calculator for a chip configuration with renormalization
+    /// ratio 1 (raw Wattch values).
+    pub fn new(cfg: &CmpConfig) -> Self {
+        Self {
+            energies: CoreEnergies::for_config(cfg),
+            renorm: 1.0,
+        }
+    }
+
+    /// Applies a §3.3 renormalization ratio (see
+    /// [`crate::calibration::Calibration`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `renorm` is not positive and finite.
+    pub fn with_renorm(mut self, renorm: f64) -> Self {
+        assert!(renorm.is_finite() && renorm > 0.0, "renorm must be positive");
+        self.renorm = renorm;
+        self
+    }
+
+    /// The renormalization ratio in force.
+    pub fn renorm(&self) -> f64 {
+        self.renorm
+    }
+
+    /// The per-event energy table.
+    pub fn energies(&self) -> &CoreEnergies {
+        &self.energies
+    }
+
+    fn core_energy(&self, s: &CoreStats, v: Volts, run_cycles: u64) -> CoreDynamic {
+        let e = &self.energies;
+        let sw = |c: f64| CoreEnergies::switch(c, v).as_f64();
+        // Clock: full on active + spin cycles, residual while stalled,
+        // deep residual while asleep at a barrier; after the thread
+        // finishes the core is shut down (zero).
+        let live = s.active_cycles + s.spin_cycles;
+        let stalled = s.mem_stall_cycles + s.other_stall_cycles;
+        let _ = run_cycles;
+        let clock = sw(e.c_clock_per_cycle)
+            * (live as f64
+                + e.gated_residual * stalled as f64
+                + e.sleep_residual * s.sleep_cycles as f64);
+        let icache = e.icache_access.read_energy(v).as_f64() * s.l1i_accesses as f64;
+        let dcache = e.dcache_access.read_energy(v).as_f64() * s.loads as f64
+            + e.dcache_access.write_energy(v).as_f64() * s.stores as f64;
+        let int_exec = sw(e.c_int_op) * s.int_ops as f64;
+        let fp_exec = sw(e.c_fp_op) * s.fp_ops as f64;
+        let regfile = sw(e.c_regfile_per_instr) * s.instructions as f64;
+        let issue = sw(e.c_issue_per_instr) * s.instructions as f64;
+        let bpred = sw(e.c_bpred_per_branch) * s.branches as f64;
+        let lsq = sw(e.c_lsq_per_memop) * (s.loads + s.stores) as f64;
+        CoreDynamic {
+            clock: Watts::new(clock),
+            icache: Watts::new(icache),
+            dcache: Watts::new(dcache),
+            int_exec: Watts::new(int_exec),
+            fp_exec: Watts::new(fp_exec),
+            regfile: Watts::new(regfile),
+            issue: Watts::new(issue),
+            bpred: Watts::new(bpred),
+            lsq: Watts::new(lsq),
+        }
+    }
+
+    /// Computes the dynamic power breakdown of a run at supply `v`.
+    ///
+    /// Energies are converted to power over the run's wall-clock time at
+    /// its operating frequency, then renormalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has zero cycles.
+    pub fn dynamic(&self, result: &SimResult, v: Volts) -> DynamicBreakdown {
+        assert!(result.cycles > 0, "cannot compute power of an empty run");
+        let time: Seconds = result.execution_time();
+        let to_power =
+            |j: f64| -> Watts { Joules::new(j * self.renorm).over(time) };
+
+        let cores = result
+            .cores
+            .iter()
+            .map(|s| {
+                let e = self.core_energy(s, v, result.cycles);
+                // core_energy returns energy totals disguised in the
+                // CoreDynamic fields; convert each to power.
+                CoreDynamic {
+                    clock: to_power(e.clock.as_f64()),
+                    icache: to_power(e.icache.as_f64()),
+                    dcache: to_power(e.dcache.as_f64()),
+                    int_exec: to_power(e.int_exec.as_f64()),
+                    fp_exec: to_power(e.fp_exec.as_f64()),
+                    regfile: to_power(e.regfile.as_f64()),
+                    issue: to_power(e.issue.as_f64()),
+                    bpred: to_power(e.bpred.as_f64()),
+                    lsq: to_power(e.lsq.as_f64()),
+                }
+            })
+            .collect();
+
+        let l2_accesses = result.l2.accesses();
+        let l2 = to_power(
+            self.energies.l2_access.read_energy(v).as_f64() * l2_accesses as f64,
+        );
+        // Bus drive plus remote snoop work: full tag probes for resident
+        // snoops, cheap filter lookups for screened ones.
+        let bus = to_power(
+            CoreEnergies::switch(self.energies.c_bus_per_txn, v).as_f64()
+                * result.mem.bus_transactions as f64
+                + CoreEnergies::switch(self.energies.c_snoop_probe, v).as_f64()
+                    * result.mem.snoop_probes as f64
+                + CoreEnergies::switch(self.energies.c_filter_lookup, v).as_f64()
+                    * result.mem.snoops_filtered as f64,
+        );
+        DynamicBreakdown { cores, l2, bus }
+    }
+
+    /// Distributes a breakdown onto the blocks of a CMP floorplan
+    /// (`core<i>.<structure>` names as produced by
+    /// [`Floorplan::ispass_cmp`]), returning one dynamic power entry per
+    /// block. Bus power is folded into the clock blocks (the interconnect
+    /// runs over the cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the floorplan lacks the expected block names for the
+    /// active cores.
+    pub fn per_block(&self, breakdown: &DynamicBreakdown, floorplan: &Floorplan) -> Vec<Watts> {
+        let mut out = vec![Watts::ZERO; floorplan.blocks().len()];
+        let mut set = |name: String, w: Watts| {
+            let idx = floorplan
+                .index_of(&name)
+                .unwrap_or_else(|| panic!("floorplan missing block {name}"));
+            out[idx] += w;
+        };
+        let n = breakdown.cores.len();
+        for (i, c) in breakdown.cores.iter().enumerate() {
+            set(format!("core{i}.icache"), c.icache);
+            set(format!("core{i}.dcache"), c.dcache);
+            set(format!("core{i}.intexec"), c.int_exec);
+            set(format!("core{i}.fpexec"), c.fp_exec);
+            set(format!("core{i}.regfile"), c.regfile);
+            // Rename and issue queue share the issue power.
+            set(format!("core{i}.rename"), c.issue * 0.5);
+            set(format!("core{i}.issueq"), c.issue * 0.5);
+            set(format!("core{i}.bpred"), c.bpred);
+            set(format!("core{i}.lsq"), c.lsq);
+            set(
+                format!("core{i}.clock"),
+                c.clock + breakdown.bus / n as f64,
+            );
+        }
+        if let Some(l2_idx) = floorplan.index_of("l2") {
+            out[l2_idx] += breakdown.l2;
+        }
+        // Inactive cores' blocks stay at zero (shut down, as in the paper).
+        for (idx, b) in floorplan.blocks().iter().enumerate() {
+            if let BlockKind::Core { core } = b.kind {
+                if core >= n {
+                    out[idx] = Watts::ZERO;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_sim::op::{Op, ScriptedProgram, ThreadProgram};
+    use tlp_sim::CmpSimulator;
+
+    fn run_ops(ops: Vec<Op>) -> (CmpConfig, SimResult) {
+        let cfg = CmpConfig::ispass05(4);
+        let prog = Box::new(ScriptedProgram::new(ops)) as Box<dyn ThreadProgram>;
+        let r = CmpSimulator::new(cfg.clone(), vec![prog]).run();
+        (cfg, r)
+    }
+
+    #[test]
+    fn fp_heavy_run_draws_more_fp_power() {
+        let (cfg, int_run) = run_ops(vec![Op::Int { count: 40_000 }]);
+        let (_, fp_run) = run_ops(vec![Op::Fp { count: 40_000 }]);
+        let calc = PowerCalculator::new(&cfg);
+        let v = Volts::new(1.1);
+        let di = calc.dynamic(&int_run, v);
+        let df = calc.dynamic(&fp_run, v);
+        assert!(df.cores[0].fp_exec > di.cores[0].fp_exec);
+        assert!(di.cores[0].int_exec > df.cores[0].int_exec);
+    }
+
+    #[test]
+    fn stalled_run_draws_less_than_busy_run() {
+        let (cfg, busy) = run_ops(vec![Op::Int { count: 40_000 }]);
+        // Memory-bound: cold loads with little compute.
+        let loads: Vec<Op> = (0..200).map(|i| Op::Load { addr: i * 4096 }).collect();
+        let (_, stalled) = run_ops(loads);
+        let calc = PowerCalculator::new(&cfg);
+        let v = Volts::new(1.1);
+        let pb = calc.dynamic(&busy, v).total();
+        let ps = calc.dynamic(&stalled, v).total();
+        assert!(
+            ps.as_f64() < 0.5 * pb.as_f64(),
+            "stalled {ps} should be well below busy {pb}"
+        );
+    }
+
+    #[test]
+    fn voltage_scaling_cuts_power_quadratically() {
+        let (cfg, r) = run_ops(vec![Op::Int { count: 40_000 }]);
+        let calc = PowerCalculator::new(&cfg);
+        let hi = calc.dynamic(&r, Volts::new(1.1)).total();
+        let lo = calc.dynamic(&r, Volts::new(0.55)).total();
+        assert!((hi.as_f64() / lo.as_f64() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn renorm_scales_everything_linearly() {
+        let (cfg, r) = run_ops(vec![Op::Int { count: 10_000 }]);
+        let base = PowerCalculator::new(&cfg).dynamic(&r, Volts::new(1.1)).total();
+        let scaled = PowerCalculator::new(&cfg)
+            .with_renorm(2.5)
+            .dynamic(&r, Volts::new(1.1))
+            .total();
+        assert!((scaled.as_f64() / base.as_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_block_conserves_power() {
+        let (cfg, r) = run_ops(vec![
+            Op::Int { count: 5_000 },
+            Op::Fp { count: 1_000 },
+            Op::Load { addr: 0x100 },
+            Op::Branch { mispredict: false },
+        ]);
+        let calc = PowerCalculator::new(&cfg);
+        let d = calc.dynamic(&r, Volts::new(1.1));
+        let fp = Floorplan::ispass_cmp(4, 15.6, 15.6);
+        let per_block = calc.per_block(&d, &fp);
+        let sum: f64 = per_block.iter().map(|w| w.as_f64()).sum();
+        assert!(
+            (sum - d.total().as_f64()).abs() < 1e-9,
+            "per-block {sum} != total {}",
+            d.total()
+        );
+        // Inactive cores draw nothing.
+        for (idx, b) in fp.blocks().iter().enumerate() {
+            if let BlockKind::Core { core } = b.kind {
+                if core >= 1 {
+                    assert_eq!(per_block[idx], Watts::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn by_structure_sums_to_total() {
+        let (cfg, r) = run_ops(vec![Op::Int { count: 8_000 }, Op::Fp { count: 2_000 }]);
+        let calc = PowerCalculator::new(&cfg);
+        let d = calc.dynamic(&r, Volts::new(1.1));
+        let sum: f64 = d.by_structure().values().map(|w| w.as_f64()).sum();
+        assert!((sum - d.total().as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "renorm must be positive")]
+    fn bad_renorm_rejected() {
+        let cfg = CmpConfig::ispass05(2);
+        let _ = PowerCalculator::new(&cfg).with_renorm(0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Static (leakage) power model for the experimental flow.
+//!
+//! The paper models static power as a fraction of dynamic power that is
+//! exponentially dependent on temperature \[5, 38\]. We anchor the model the
+//! same way: the per-core static power equals the technology's
+//! `P_S1(T_max)` at nominal voltage and maximum temperature, and scales
+//! with voltage and temperature through the curve-fitted leakage formula
+//! (Eq. 3) — the identical formula the analytical model uses, keeping the
+//! two sides of the paper consistent.
+
+use serde::{Deserialize, Serialize};
+
+use tlp_tech::leakage::{self, FittedLeakage};
+use tlp_tech::units::{Celsius, Volts, Watts};
+use tlp_tech::Technology;
+
+/// Ratio of the idle shared L2's static power to one core's static power.
+/// The L2 occupies a large area but is aggressively gated and cool (the
+/// paper excludes it from density statistics but includes its power).
+const L2_STATIC_CORE_RATIO: f64 = 0.5;
+
+/// Temperature- and voltage-dependent static power.
+///
+/// # Examples
+///
+/// ```
+/// use tlp_power::StaticPower;
+/// use tlp_tech::Technology;
+/// use tlp_tech::units::{Celsius, Volts};
+///
+/// let tech = Technology::itrs_65nm();
+/// let model = StaticPower::new(&tech);
+/// let hot = model.core_static(Volts::new(1.1), Celsius::new(100.0));
+/// // Anchored at the technology's P_S1(Tmax):
+/// assert!((hot.as_f64() - 10.0).abs() < 1e-6);
+/// let cool = model.core_static(Volts::new(1.1), Celsius::new(50.0));
+/// assert!(cool < hot);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticPower {
+    p_s1_std: Watts,
+    v1: Volts,
+    leak: FittedLeakage,
+}
+
+impl StaticPower {
+    /// Builds the model for a technology (fits the Eq. 3 leakage formula
+    /// internally).
+    pub fn new(tech: &Technology) -> Self {
+        let (leak, _) = leakage::fit(tech);
+        let lambda_tmax = leak.normalized(tech.vdd_nominal(), tech.t_max());
+        Self {
+            p_s1_std: Watts::new(tech.p_static_core_at_tmax().as_f64() / lambda_tmax),
+            v1: tech.vdd_nominal(),
+            leak,
+        }
+    }
+
+    /// Static power of one active core at `(v, t)`:
+    /// `P_S1std · (V/V1) · λ(V, T)`.
+    pub fn core_static(&self, v: Volts, t: Celsius) -> Watts {
+        self.p_s1_std * ((v / self.v1) * self.leak.normalized(v, t))
+    }
+
+    /// Chip static power: `n_active` powered cores plus the shared L2
+    /// (unused cores are power-gated off, as in the paper).
+    pub fn chip_static(&self, n_active: usize, v: Volts, t: Celsius) -> Watts {
+        self.core_static(v, t) * (n_active as f64 + L2_STATIC_CORE_RATIO)
+    }
+
+    /// The underlying fitted leakage formula.
+    pub fn leakage(&self) -> &FittedLeakage {
+        &self.leak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchored_at_technology_figures() {
+        let tech = Technology::itrs_65nm();
+        let m = StaticPower::new(&tech);
+        let p = m.core_static(tech.vdd_nominal(), tech.t_max());
+        assert!((p.as_f64() - tech.p_static_core_at_tmax().as_f64()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exponential_temperature_dependence() {
+        let tech = Technology::itrs_65nm();
+        let m = StaticPower::new(&tech);
+        let v = tech.vdd_nominal();
+        let p50 = m.core_static(v, Celsius::new(50.0)).as_f64();
+        let p75 = m.core_static(v, Celsius::new(75.0)).as_f64();
+        let p100 = m.core_static(v, Celsius::new(100.0)).as_f64();
+        // Convex growth: each 25 °C step multiplies by more.
+        assert!(p100 / p75 > p75 / p50 * 0.95);
+        assert!(p100 > 2.0 * p50);
+    }
+
+    #[test]
+    fn voltage_scaling_reduces_leakage_superlinearly() {
+        let tech = Technology::itrs_65nm();
+        let m = StaticPower::new(&tech);
+        let t = Celsius::new(80.0);
+        let hi = m.core_static(Volts::new(1.1), t).as_f64();
+        let lo = m.core_static(Volts::new(0.76), t).as_f64();
+        // Linear V factor alone would give 0.69×; the λ(V) factor makes it
+        // considerably smaller.
+        assert!(lo / hi < 0.5, "ratio {}", lo / hi);
+    }
+
+    #[test]
+    fn chip_static_counts_active_cores_and_l2() {
+        let tech = Technology::itrs_65nm();
+        let m = StaticPower::new(&tech);
+        let v = tech.vdd_nominal();
+        let t = Celsius::new(70.0);
+        let one = m.chip_static(1, v, t).as_f64();
+        let four = m.chip_static(4, v, t).as_f64();
+        let core = m.core_static(v, t).as_f64();
+        assert!((four - one - 3.0 * core).abs() < 1e-9);
+    }
+}

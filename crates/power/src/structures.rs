@@ -1,0 +1,123 @@
+//! Per-structure dynamic energy table for the EV6-class core.
+//!
+//! Follows Wattch's decomposition: array structures (caches, register
+//! file, branch predictor) come from the CACTI-like model; datapath and
+//! control structures use effective-capacitance constants tuned so a
+//! maximum-activity core at nominal V/f dissipates on the order of the
+//! technology's `P_D1`. Absolute watts are later renormalized against the
+//! thermal model (paper §3.3), so only the relative breakdown matters.
+
+use serde::{Deserialize, Serialize};
+
+use tlp_sim::config::CmpConfig;
+use tlp_tech::units::{Joules, Volts};
+
+use crate::arrays::ArrayEnergy;
+
+/// Energy per event for every modeled structure, at a reference voltage of
+/// 1 V (scale by `V²`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreEnergies {
+    /// Instruction-cache fetch access.
+    pub icache_access: ArrayEnergy,
+    /// Data-cache access.
+    pub dcache_access: ArrayEnergy,
+    /// Shared L2 access.
+    pub l2_access: ArrayEnergy,
+    /// One integer ALU operation, farads-equivalent at 1 V.
+    pub c_int_op: f64,
+    /// One floating-point operation.
+    pub c_fp_op: f64,
+    /// Register-file read/write traffic per instruction.
+    pub c_regfile_per_instr: f64,
+    /// Rename + issue window per instruction.
+    pub c_issue_per_instr: f64,
+    /// Branch predictor per branch.
+    pub c_bpred_per_branch: f64,
+    /// Load/store queue per memory instruction.
+    pub c_lsq_per_memop: f64,
+    /// Clock tree per active cycle (ungated share).
+    pub c_clock_per_cycle: f64,
+    /// Bus drive per transaction (address or data phase).
+    pub c_bus_per_txn: f64,
+    /// Residual switching when a core cycle is fully stalled, as a
+    /// fraction of the clock-tree energy (Wattch-style aggressive gating
+    /// leaves a non-zero floor).
+    pub gated_residual: f64,
+    /// Residual clock fraction while a core sleeps at a barrier
+    /// (thrifty-barrier extension — deeper than stall gating).
+    pub sleep_residual: f64,
+    /// Remote L1 tag-array probe on a bus snoop.
+    pub c_snoop_probe: f64,
+    /// JETTY-style snoop-filter lookup (cheap, replaces a tag probe).
+    pub c_filter_lookup: f64,
+}
+
+impl CoreEnergies {
+    /// Builds the table for a chip configuration.
+    pub fn for_config(cfg: &CmpConfig) -> Self {
+        Self {
+            icache_access: ArrayEnergy::for_cache(&cfg.l1i),
+            dcache_access: ArrayEnergy::for_cache(&cfg.l1d),
+            l2_access: ArrayEnergy::for_cache(&cfg.l2),
+            c_int_op: 0.12e-9,
+            c_fp_op: 0.35e-9,
+            c_regfile_per_instr: 0.14e-9,
+            c_issue_per_instr: 0.16e-9,
+            c_bpred_per_branch: 0.18e-9,
+            c_lsq_per_memop: 0.15e-9,
+            c_clock_per_cycle: 1.1e-9,
+            c_bus_per_txn: 1.4e-9,
+            gated_residual: 0.15,
+            sleep_residual: 0.03,
+            c_snoop_probe: 0.20e-9,
+            c_filter_lookup: 0.02e-9,
+        }
+    }
+
+    /// Energy of `c` farads-equivalent switched at voltage `v`.
+    pub fn switch(c: f64, v: Volts) -> Joules {
+        Joules::new(c * v.as_f64() * v.as_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_tech::units::Hertz;
+
+    #[test]
+    fn max_activity_core_lands_near_pd1() {
+        // A fully active 4-wide core at 3.2 GHz / 1.1 V: clock + 4 int ops
+        // + regfile/issue for 4 instrs + icache + one dcache access per
+        // cycle ≈ P_D1 = 15 W within a factor of ~1.5 (renormalization
+        // absorbs the rest).
+        let cfg = CmpConfig::ispass05(16);
+        let e = CoreEnergies::for_config(&cfg);
+        let v = Volts::new(1.1);
+        let per_cycle = CoreEnergies::switch(e.c_clock_per_cycle, v).as_f64()
+            + 4.0 * CoreEnergies::switch(e.c_int_op, v).as_f64()
+            + 4.0 * CoreEnergies::switch(e.c_regfile_per_instr, v).as_f64()
+            + 4.0 * CoreEnergies::switch(e.c_issue_per_instr, v).as_f64()
+            + e.icache_access.read_energy(v).as_f64()
+            + e.dcache_access.read_energy(v).as_f64();
+        let watts = per_cycle * Hertz::from_ghz(3.2).as_f64();
+        assert!(
+            (8.0..25.0).contains(&watts),
+            "max-activity core power {watts} W not in EV6-class range"
+        );
+    }
+
+    #[test]
+    fn fp_costs_more_than_int() {
+        let e = CoreEnergies::for_config(&CmpConfig::ispass05(16));
+        assert!(e.c_fp_op > e.c_int_op);
+    }
+
+    #[test]
+    fn l2_access_costs_more_than_l1() {
+        let e = CoreEnergies::for_config(&CmpConfig::ispass05(16));
+        let v = Volts::new(1.1);
+        assert!(e.l2_access.read_energy(v) > e.dcache_access.read_energy(v));
+    }
+}

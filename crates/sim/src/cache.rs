@@ -1,0 +1,375 @@
+//! Set-associative cache with per-line MESI state.
+//!
+//! One [`Cache`] type serves both the private L1s (which use the full MESI
+//! state machine via the memory system's snooping logic) and the shared L2
+//! (which only distinguishes clean/dirty, encoded as Exclusive/Modified).
+//! Replacement is true LRU within a set.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::CacheConfig;
+
+/// MESI coherence state of a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mesi {
+    /// Modified: exclusive and dirty.
+    Modified,
+    /// Exclusive: sole copy, clean.
+    Exclusive,
+    /// Shared: possibly replicated, clean.
+    Shared,
+    /// Invalid (line not present).
+    Invalid,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    state: Mesi,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// Statistics for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookup operations that hit.
+    pub hits: u64,
+    /// Lookup operations that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Lines invalidated by coherence actions.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when no accesses occurred.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// What a fill evicted, if anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evicted {
+    /// No line was displaced (an invalid way was available).
+    None,
+    /// A clean line was displaced silently.
+    Clean {
+        /// Address of the first byte of the displaced line.
+        line_addr: u64,
+    },
+    /// A dirty line was displaced and must be written back.
+    Dirty {
+        /// Address of the first byte of the displaced line.
+        line_addr: u64,
+    },
+}
+
+/// A set-associative, write-back cache with MESI line states.
+///
+/// Addresses are byte addresses; the cache works on line granularity.
+///
+/// # Examples
+///
+/// ```
+/// use tlp_sim::cache::{Cache, Mesi};
+/// use tlp_sim::config::CacheConfig;
+///
+/// let mut c = Cache::new(CacheConfig {
+///     size_bytes: 1024, line_bytes: 64, ways: 2, latency_cycles: 2,
+/// });
+/// assert_eq!(c.probe(0x40), Mesi::Invalid);
+/// c.fill(0x40, Mesi::Exclusive);
+/// assert_eq!(c.probe(0x40), Mesi::Exclusive);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see
+    /// [`CacheConfig::sets`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        let n_sets = cfg.sets();
+        let line_shift = cfg.line_bytes.trailing_zeros();
+        Self {
+            sets: (0..n_sets)
+                .map(|_| {
+                    (0..cfg.ways)
+                        .map(|_| Line {
+                            tag: 0,
+                            state: Mesi::Invalid,
+                            lru: 0,
+                        })
+                        .collect()
+                })
+                .collect(),
+            cfg,
+            stats: CacheStats::default(),
+            tick: 0,
+            line_shift,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Address of the first byte of the line containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        let set = (line as usize) % self.sets.len();
+        (set, line)
+    }
+
+    /// Current state of the line containing `addr` without touching LRU or
+    /// statistics (a snoop probe).
+    pub fn probe(&self, addr: u64) -> Mesi {
+        let (set, tag) = self.index_tag(addr);
+        self.sets[set]
+            .iter()
+            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
+            .map_or(Mesi::Invalid, |l| l.state)
+    }
+
+    /// Performs a lookup for an access (updates LRU and hit/miss counters).
+    /// Returns the line state (Invalid = miss).
+    pub fn lookup(&mut self, addr: u64) -> Mesi {
+        self.tick += 1;
+        let (set, tag) = self.index_tag(addr);
+        let tick = self.tick;
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
+        {
+            line.lru = tick;
+            self.stats.hits += 1;
+            line.state
+        } else {
+            self.stats.misses += 1;
+            Mesi::Invalid
+        }
+    }
+
+    /// Changes the state of a resident line (no-op if absent). Counts an
+    /// invalidation when the new state is [`Mesi::Invalid`].
+    pub fn set_state(&mut self, addr: u64, state: Mesi) {
+        let (set, tag) = self.index_tag(addr);
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
+        {
+            if state == Mesi::Invalid {
+                self.stats.invalidations += 1;
+            }
+            line.state = state;
+        }
+    }
+
+    /// Inserts (or updates) the line containing `addr` with `state`,
+    /// evicting the LRU way if the set is full. Returns what was evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is [`Mesi::Invalid`] (fills must be valid).
+    pub fn fill(&mut self, addr: u64, state: Mesi) -> Evicted {
+        assert!(state != Mesi::Invalid, "cannot fill an invalid line");
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index_tag(addr);
+        let ways = &mut self.sets[set];
+        // Already present: just update.
+        if let Some(line) = ways.iter_mut().find(|l| l.state != Mesi::Invalid && l.tag == tag) {
+            line.state = state;
+            line.lru = tick;
+            return Evicted::None;
+        }
+        // Free way?
+        if let Some(line) = ways.iter_mut().find(|l| l.state == Mesi::Invalid) {
+            *line = Line {
+                tag,
+                state,
+                lru: tick,
+            };
+            return Evicted::None;
+        }
+        // Evict LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| l.lru)
+            .expect("sets are never empty");
+        let victim_addr = victim.tag << self.line_shift;
+        let was_dirty = victim.state == Mesi::Modified;
+        if was_dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            state,
+            lru: tick,
+        };
+        if was_dirty {
+            Evicted::Dirty {
+                line_addr: victim_addr,
+            }
+        } else {
+            Evicted::Clean {
+                line_addr: victim_addr,
+            }
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Iterates over all resident line addresses (for inclusion checks).
+    pub fn resident_lines(&self) -> Vec<(u64, Mesi)> {
+        let mut out = Vec::new();
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            for line in set {
+                if line.state != Mesi::Invalid {
+                    // Reconstruct the address: tag encodes the full line
+                    // number in this implementation.
+                    let _ = set_idx;
+                    out.push((line.tag << self.line_shift, line.state));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 4 * 64 * 2, // 4 sets, 2 ways
+            line_bytes: 64,
+            ways: 2,
+            latency_cycles: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.lookup(0x100), Mesi::Invalid);
+        c.fill(0x100, Mesi::Exclusive);
+        assert_eq!(c.lookup(0x100), Mesi::Exclusive);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_bytes_hit() {
+        let mut c = small();
+        c.fill(0x100, Mesi::Shared);
+        assert_eq!(c.lookup(0x13F), Mesi::Shared);
+        assert_eq!(c.lookup(0x140), Mesi::Invalid); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Set count = 4; addresses 0x000, 0x400, 0x800 map to set 0
+        // (line numbers 0, 16, 32; 16 % 4 == 0).
+        c.fill(0x000, Mesi::Exclusive);
+        c.fill(0x400, Mesi::Exclusive);
+        // Touch 0x000 so 0x400 is LRU.
+        assert_eq!(c.lookup(0x000), Mesi::Exclusive);
+        let evicted = c.fill(0x800, Mesi::Exclusive);
+        assert_eq!(evicted, Evicted::Clean { line_addr: 0x400 });
+        assert_eq!(c.probe(0x000), Mesi::Exclusive);
+        assert_eq!(c.probe(0x400), Mesi::Invalid);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.fill(0x000, Mesi::Modified);
+        c.fill(0x400, Mesi::Exclusive);
+        c.fill(0x800, Mesi::Exclusive);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn set_state_and_invalidations() {
+        let mut c = small();
+        c.fill(0x100, Mesi::Shared);
+        c.set_state(0x100, Mesi::Invalid);
+        assert_eq!(c.probe(0x100), Mesi::Invalid);
+        assert_eq!(c.stats().invalidations, 1);
+        // Setting state of an absent line is a no-op.
+        c.set_state(0x5000, Mesi::Modified);
+        assert_eq!(c.probe(0x5000), Mesi::Invalid);
+    }
+
+    #[test]
+    fn fill_existing_line_updates_state_without_eviction() {
+        let mut c = small();
+        c.fill(0x100, Mesi::Shared);
+        assert_eq!(c.fill(0x100, Mesi::Modified), Evicted::None);
+        assert_eq!(c.probe(0x100), Mesi::Modified);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru_or_stats() {
+        let mut c = small();
+        c.fill(0x000, Mesi::Exclusive);
+        c.fill(0x400, Mesi::Exclusive);
+        let before = *c.stats();
+        // Probe the LRU line; it must stay LRU.
+        assert_eq!(c.probe(0x000), Mesi::Exclusive);
+        assert_eq!(*c.stats(), before);
+        let evicted = c.fill(0x800, Mesi::Exclusive);
+        assert_eq!(evicted, Evicted::Clean { line_addr: 0x000 });
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = small();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        c.lookup(0x0);
+        c.fill(0x0, Mesi::Exclusive);
+        c.lookup(0x0);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resident_lines_reconstruct_addresses() {
+        let mut c = small();
+        c.fill(0x140, Mesi::Shared);
+        let lines = c.resident_lines();
+        assert_eq!(lines, vec![(0x140, Mesi::Shared)]);
+    }
+}

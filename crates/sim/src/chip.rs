@@ -1,0 +1,388 @@
+//! Top-level CMP simulator.
+
+use crate::config::CmpConfig;
+use crate::core::Core;
+use crate::memory::MemorySystem;
+use crate::op::ThreadProgram;
+use crate::stats::{CoreStats, SimResult};
+use crate::sync::SyncManager;
+
+/// Safety limit: a run that exceeds this many cycles panics (a workload or
+/// synchronization bug rather than a long workload).
+const MAX_CYCLES: u64 = 50_000_000_000;
+
+/// One sampling window of a [`CmpSimulator::run_sampled`] run: per-core
+/// activity *deltas* over `[start_cycle, end_cycle)`.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    /// First cycle of the window.
+    pub start_cycle: u64,
+    /// One past the last cycle of the window.
+    pub end_cycle: u64,
+    /// Per-core counter deltas accumulated during the window.
+    pub cores: Vec<CoreStats>,
+}
+
+/// A configured chip ready to run one parallel program.
+///
+/// # Examples
+///
+/// ```
+/// use tlp_sim::{CmpConfig, CmpSimulator};
+/// use tlp_sim::op::{Op, ScriptedProgram};
+///
+/// let cfg = CmpConfig::ispass05(4);
+/// let threads: Vec<_> = (0..2)
+///     .map(|t| {
+///         let prog = ScriptedProgram::new(vec![
+///             Op::Int { count: 100 },
+///             Op::Barrier { id: 0 },
+///             Op::Load { addr: 0x1000 + t * 64 },
+///         ]);
+///         Box::new(prog) as Box<dyn tlp_sim::op::ThreadProgram>
+///     })
+///     .collect();
+/// let result = CmpSimulator::new(cfg, threads).run();
+/// assert_eq!(result.n_threads, 2);
+/// assert!(result.cycles > 0);
+/// ```
+pub struct CmpSimulator {
+    config: CmpConfig,
+    cores: Vec<Core>,
+    memory: MemorySystem,
+    sync: SyncManager,
+}
+
+impl CmpSimulator {
+    /// Builds a simulator running one thread per program on the first
+    /// `programs.len()` cores; remaining cores are shut down (as in the
+    /// paper, unused cores are powered off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty or larger than the configured core
+    /// count.
+    pub fn new(config: CmpConfig, programs: Vec<Box<dyn ThreadProgram>>) -> Self {
+        let n = programs.len();
+        assert!(
+            n >= 1 && n <= config.n_cores,
+            "thread count {n} outside 1..={}",
+            config.n_cores
+        );
+        let memory = MemorySystem::new(&config, n);
+        let sync = SyncManager::new(n);
+        let cores = programs
+            .into_iter()
+            .enumerate()
+            .map(|(id, p)| Core::new(id, config.core, p))
+            .collect();
+        Self {
+            config,
+            cores,
+            memory,
+            sync,
+        }
+    }
+
+    /// Runs the program to completion and returns the collected
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds the internal cycle safety limit (which
+    /// indicates a deadlocked workload).
+    pub fn run(self) -> SimResult {
+        self.run_sampled(u64::MAX).0
+    }
+
+    /// Like [`CmpSimulator::run`], but additionally snapshots per-core
+    /// activity deltas every `window` cycles — the input to transient
+    /// power/thermal analysis. The final partial window is included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or the cycle safety limit is exceeded.
+    pub fn run_sampled(mut self, window: u64) -> (SimResult, Vec<SampleWindow>) {
+        assert!(window > 0, "window must be positive");
+        let n = self.cores.len();
+        let mut cycle: u64 = 0;
+        let mut remaining = n;
+        let mut windows = Vec::new();
+        let mut prev: Vec<_> = self.cores.iter().map(|c| *c.stats()).collect();
+        let mut window_start = 0u64;
+        while remaining > 0 {
+            // Rotate the service order so no core gets structural bus
+            // priority.
+            let start = (cycle as usize) % n;
+            for k in 0..n {
+                let i = (start + k) % n;
+                if self.cores[i].done() {
+                    continue;
+                }
+                self.cores[i].step(cycle, &mut self.memory, &mut self.sync);
+            }
+            remaining = self.cores.iter().filter(|c| !c.done()).count();
+            cycle += 1;
+            assert!(cycle < MAX_CYCLES, "simulation exceeded cycle safety limit");
+            if cycle - window_start == window || (remaining == 0 && cycle > window_start) {
+                let snapshot: Vec<_> = self.cores.iter().map(|c| *c.stats()).collect();
+                windows.push(SampleWindow {
+                    start_cycle: window_start,
+                    end_cycle: cycle,
+                    cores: snapshot
+                        .iter()
+                        .zip(&prev)
+                        .map(|(now, before)| now.delta(before))
+                        .collect(),
+                });
+                prev = snapshot;
+                window_start = cycle;
+            }
+        }
+
+        let result = SimResult {
+            cycles: cycle,
+            frequency: self.config.frequency(),
+            n_threads: n,
+            cores: self.cores.iter().map(|c| *c.stats()).collect(),
+            l1d: (0..n).map(|i| *self.memory.l1d_stats(i)).collect(),
+            l2: *self.memory.l2_stats(),
+            mem: *self.memory.stats(),
+        };
+        (result, windows)
+    }
+
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> &CmpConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, ScriptedProgram};
+    use tlp_tech::units::Volts;
+    use tlp_tech::OperatingPoint;
+
+    fn boxed(ops: Vec<Op>) -> Box<dyn ThreadProgram> {
+        Box::new(ScriptedProgram::new(ops))
+    }
+
+    #[test]
+    fn single_thread_compute_run() {
+        let cfg = CmpConfig::ispass05(4);
+        let r = CmpSimulator::new(cfg, vec![boxed(vec![Op::Int { count: 4000 }])]).run();
+        assert_eq!(r.total_instructions(), 4000);
+        // 4-wide: about 1000 cycles.
+        assert!(r.cycles >= 1000 && r.cycles < 1100, "{} cycles", r.cycles);
+        assert!((r.ipc() - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn two_threads_split_work_speed_up() {
+        let work = |t: u64| {
+            boxed(vec![
+                Op::Int { count: 50_000 },
+                Op::Load { addr: 0x100_000 + t * 4096 },
+                Op::Barrier { id: 0 },
+            ])
+        };
+        let one = CmpSimulator::new(
+            CmpConfig::ispass05(4),
+            vec![boxed(vec![
+                Op::Int { count: 100_000 },
+                Op::Load { addr: 0x100_000 },
+                Op::Barrier { id: 0 },
+            ])],
+        )
+        .run();
+        let two = CmpSimulator::new(CmpConfig::ispass05(4), vec![work(0), work(1)]).run();
+        let speedup = two.speedup_over(&one);
+        assert!(
+            speedup > 1.7 && speedup < 2.1,
+            "2-thread speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn barrier_synchronizes_unbalanced_threads() {
+        let fast = boxed(vec![Op::Int { count: 100 }, Op::Barrier { id: 1 }]);
+        let slow = boxed(vec![Op::Int { count: 100_000 }, Op::Barrier { id: 1 }]);
+        let r = CmpSimulator::new(CmpConfig::ispass05(2), vec![fast, slow]).run();
+        // The fast thread spins for ~25k cycles waiting.
+        assert!(r.cores[0].spin_cycles > 10_000, "spin {}", r.cores[0].spin_cycles);
+        assert!(r.cores[1].spin_cycles < 100);
+    }
+
+    #[test]
+    fn contended_lock_serializes() {
+        let worker = |_t: u64| {
+            boxed(vec![
+                Op::Lock { id: 0 },
+                Op::Int { count: 10_000 },
+                Op::Unlock { id: 0 },
+            ])
+        };
+        let r = CmpSimulator::new(CmpConfig::ispass05(2), vec![worker(0), worker(1)]).run();
+        // Critical sections serialize: total ≥ 2 × 2500 cycles.
+        assert!(r.cycles > 5000, "lock did not serialize: {} cycles", r.cycles);
+        // The loser spins.
+        let total_spin: u64 = r.cores.iter().map(|c| c.spin_cycles).sum();
+        assert!(total_spin > 1000, "spin cycles {total_spin}");
+    }
+
+    #[test]
+    fn dvfs_shrinks_memory_latency_in_cycles() {
+        // A pointer-chase through memory: at 200 MHz each miss costs 15
+        // cycles instead of 240, so memory-bound code takes far fewer
+        // cycles per unit of work (though more wall-clock time).
+        let chase = |stride: u64| {
+            let ops: Vec<Op> = (0..200)
+                .map(|i| Op::Load {
+                    addr: 0x40_0000 + i * stride,
+                })
+                .collect();
+            ops
+        };
+        let fast_cfg = CmpConfig::ispass05(2);
+        let slow_cfg = fast_cfg.at_operating_point(OperatingPoint {
+            frequency: tlp_tech::units::Hertz::from_mhz(200.0),
+            voltage: Volts::new(0.76),
+        });
+        let fast = CmpSimulator::new(fast_cfg, vec![boxed(chase(4096))]).run();
+        let slow = CmpSimulator::new(slow_cfg, vec![boxed(chase(4096))]).run();
+        assert!(
+            (slow.cycles as f64) < (fast.cycles as f64) * 0.25,
+            "slow-chip cycles {} vs fast-chip {}",
+            slow.cycles,
+            fast.cycles
+        );
+        // But wall-clock is still slower at 200 MHz.
+        assert!(slow.execution_time() > fast.execution_time());
+    }
+
+    #[test]
+    fn false_sharing_ping_pong_generates_coherence_traffic() {
+        // Two threads repeatedly writing the same line.
+        let hammer = |offset: u64| {
+            let ops: Vec<Op> = (0..100)
+                .flat_map(|_| [Op::Store { addr: 0x9000 + offset }, Op::Int { count: 8 }])
+                .collect();
+            boxed(ops)
+        };
+        let r = CmpSimulator::new(CmpConfig::ispass05(2), vec![hammer(0), hammer(8)]).run();
+        assert!(
+            r.mem.cache_to_cache + r.mem.upgrades > 50,
+            "expected ping-pong traffic, got c2c={} upgr={}",
+            r.mem.cache_to_cache,
+            r.mem.upgrades
+        );
+    }
+
+    #[test]
+    fn aggregate_cache_capacity_reduces_misses() {
+        // A working set twice the L1 size, split across two cores, fits.
+        let l1_bytes = 64 * 1024u64;
+        let sweep = |base: u64, bytes: u64| {
+            let mut ops = Vec::new();
+            for _pass in 0..4 {
+                let mut a = base;
+                while a < base + bytes {
+                    ops.push(Op::Load { addr: a });
+                    a += 64;
+                }
+            }
+            boxed(ops)
+        };
+        // One core streaming 2×L1.
+        let one = CmpSimulator::new(CmpConfig::ispass05(2), vec![sweep(0, 2 * l1_bytes)]).run();
+        // Two cores, each streaming its own half.
+        let two = CmpSimulator::new(
+            CmpConfig::ispass05(2),
+            vec![sweep(0, l1_bytes), sweep(l1_bytes, l1_bytes)],
+        )
+        .run();
+        let one_misses = one.l1d[0].misses;
+        let two_misses: u64 = two.l1d.iter().map(|c| c.misses).sum();
+        assert!(
+            two_misses < one_misses,
+            "aggregate capacity effect missing: {two_misses} !< {one_misses}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn too_many_threads_rejected() {
+        let cfg = CmpConfig::ispass05(2);
+        let _ = CmpSimulator::new(
+            cfg,
+            (0..3).map(|_| boxed(vec![Op::Int { count: 1 }])).collect(),
+        );
+    }
+
+    #[test]
+    fn sampled_run_windows_cover_everything() {
+        let cfg = CmpConfig::ispass05(2);
+        let mk = || {
+            CmpSimulator::new(
+                CmpConfig::ispass05(2),
+                vec![
+                    boxed(vec![Op::Int { count: 20_000 }, Op::Load { addr: 0x9000 }]),
+                    boxed(vec![Op::Fp { count: 8_000 }]),
+                ],
+            )
+        };
+        let _ = cfg;
+        let (result, windows) = mk().run_sampled(1_000);
+        assert!(!windows.is_empty());
+        // Windows tile the run without gaps.
+        let mut expect_start = 0;
+        for w in &windows {
+            assert_eq!(w.start_cycle, expect_start);
+            assert!(w.end_cycle > w.start_cycle);
+            expect_start = w.end_cycle;
+        }
+        assert_eq!(windows.last().unwrap().end_cycle, result.cycles);
+        // Window deltas sum to the final counters.
+        for core in 0..2 {
+            let sum: u64 = windows.iter().map(|w| w.cores[core].instructions).sum();
+            assert_eq!(sum, result.cores[core].instructions, "core {core}");
+            let cyc: u64 = windows
+                .iter()
+                .map(|w| w.cores[core].active_cycles + w.cores[core].mem_stall_cycles
+                    + w.cores[core].other_stall_cycles + w.cores[core].spin_cycles
+                    + w.cores[core].sleep_cycles)
+                .sum();
+            assert!(cyc <= result.cycles + 1, "core {core} busy {cyc}");
+        }
+        // Sampling must not perturb the simulation itself.
+        let plain = mk().run();
+        assert_eq!(plain.cycles, result.cycles);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            CmpSimulator::new(
+                CmpConfig::ispass05(4),
+                (0..4u64)
+                    .map(|t| {
+                        boxed(vec![
+                            Op::Int { count: 1000 },
+                            Op::Load { addr: t * 8192 },
+                            Op::Barrier { id: 0 },
+                            Op::Store { addr: 0xA000 + t * 8 },
+                            Op::Barrier { id: 1 },
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let a = mk().run();
+        let b = mk().run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.total_instructions(), b.total_instructions());
+        assert_eq!(a.mem, b.mem);
+    }
+}

@@ -1,0 +1,447 @@
+//! The shared memory system: private L1s, MESI snooping bus, shared L2,
+//! and off-chip memory.
+//!
+//! All state transitions happen atomically at bus-grant time (an atomic
+//! split-transaction bus); timing is computed synchronously and returned
+//! to the core as an absolute completion cycle. On-chip latencies are
+//! constant in cycles; the memory round trip is constant in nanoseconds
+//! and therefore *shrinks in cycles* as the chip's DVFS point slows — the
+//! mechanism behind the paper's memory-bound speedup observations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CacheStats, Evicted, Mesi};
+use crate::config::CmpConfig;
+
+/// Read or write intent of a data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Counters for bus, L2, and memory activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Address-phase bus transactions (BusRd, BusRdX, BusUpgr, writeback).
+    pub bus_transactions: u64,
+    /// Cycles the bus was held (address + data phases).
+    pub bus_busy_cycles: u64,
+    /// Snoop probes performed by non-requesting caches (full tag-array
+    /// lookups).
+    pub snoop_probes: u64,
+    /// Remote probes screened out by the snoop filter (cheap filter
+    /// lookups instead of tag probes); zero when the filter is disabled.
+    pub snoops_filtered: u64,
+    /// Dirty-owner cache-to-cache interventions.
+    pub cache_to_cache: u64,
+    /// Upgrade (S→M) transactions.
+    pub upgrades: u64,
+    /// Off-chip memory reads (L2 miss fills).
+    pub memory_reads: u64,
+    /// Off-chip memory writes (dirty L2 evictions).
+    pub memory_writes: u64,
+    /// L1 writebacks into the L2.
+    pub l1_writebacks: u64,
+}
+
+/// The memory hierarchy shared by all cores.
+#[derive(Debug)]
+pub struct MemorySystem {
+    l1d: Vec<Cache>,
+    l2: Cache,
+    l1_latency: u64,
+    l2_latency: u64,
+    c2c_latency: u64,
+    bus_addr: u64,
+    bus_data: u64,
+    mem_cycles: u64,
+    /// JETTY-style snoop filtering (perfect-filter model).
+    snoop_filter: bool,
+    /// Address/snoop channel occupancy (split-transaction bus).
+    addr_busy_until: u64,
+    /// Data-return channel occupancy.
+    data_busy_until: u64,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy for `n_active` cores of the given config.
+    pub fn new(cfg: &CmpConfig, n_active: usize) -> Self {
+        assert!(n_active >= 1 && n_active <= cfg.n_cores, "active cores out of range");
+        Self {
+            l1d: (0..n_active).map(|_| Cache::new(cfg.l1d)).collect(),
+            l2: Cache::new(cfg.l2),
+            l1_latency: cfg.l1d.latency_cycles,
+            l2_latency: cfg.l2.latency_cycles,
+            c2c_latency: cfg.cache_to_cache_cycles,
+            bus_addr: cfg.bus_addr_cycles,
+            bus_data: cfg.bus_data_cycles,
+            mem_cycles: cfg.memory_latency_cycles(),
+            snoop_filter: cfg.snoop_filter,
+            addr_busy_until: 0,
+            data_busy_until: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// L1 hit latency in cycles.
+    pub fn l1_latency(&self) -> u64 {
+        self.l1_latency
+    }
+
+    /// Acquires the address/snoop channel at or after `now`; returns the
+    /// grant cycle and charges the address phase. The data channel is
+    /// independent (split transactions), so a pending memory fill does not
+    /// block later address phases.
+    fn bus_grant(&mut self, now: u64) -> u64 {
+        let grant = now.max(self.addr_busy_until);
+        self.addr_busy_until = grant + self.bus_addr;
+        self.stats.bus_transactions += 1;
+        self.stats.bus_busy_cycles += self.bus_addr;
+        grant
+    }
+
+    /// Accounts one remote snoop: with the (perfect) JETTY-style filter,
+    /// probes for lines the remote cache does not hold are screened to a
+    /// cheap filter lookup; only real residents pay the tag-array probe.
+    fn count_snoop(&mut self, remote: usize, line: u64) {
+        if self.snoop_filter && self.l1d[remote].probe(line) == Mesi::Invalid {
+            self.stats.snoops_filtered += 1;
+        } else {
+            self.stats.snoop_probes += 1;
+        }
+    }
+
+    /// Charges a data-return phase starting no earlier than `at`.
+    fn bus_data_phase(&mut self, at: u64) {
+        let start = at.max(self.data_busy_until);
+        self.data_busy_until = start + self.bus_data;
+        self.stats.bus_busy_cycles += self.bus_data;
+    }
+
+    /// Performs a data access for `core` at absolute cycle `now` and
+    /// returns the absolute completion cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: u64, kind: AccessKind, now: u64) -> u64 {
+        let l1_state = self.l1d[core].lookup(addr);
+        match (l1_state, kind) {
+            (Mesi::Modified, _) | (Mesi::Exclusive, AccessKind::Read) | (Mesi::Shared, AccessKind::Read) => {
+                now + self.l1_latency
+            }
+            (Mesi::Exclusive, AccessKind::Write) => {
+                // Silent E→M upgrade.
+                self.l1d[core].set_state(addr, Mesi::Modified);
+                now + self.l1_latency
+            }
+            (Mesi::Shared, AccessKind::Write) => {
+                // BusUpgr: invalidate other sharers, no data transfer.
+                let grant = self.bus_grant(now);
+                self.stats.upgrades += 1;
+                let line = self.l1d[core].line_addr(addr);
+                for i in 0..self.l1d.len() {
+                    if i != core {
+                        self.count_snoop(i, line);
+                        self.l1d[i].set_state(line, Mesi::Invalid);
+                    }
+                }
+                self.l1d[core].set_state(addr, Mesi::Modified);
+                grant + self.bus_addr + self.l1_latency
+            }
+            (Mesi::Invalid, _) => self.miss(core, addr, kind, now),
+        }
+    }
+
+    /// Full miss path: snoop, L2, memory; fills the requesting L1.
+    fn miss(&mut self, core: usize, addr: u64, kind: AccessKind, now: u64) -> u64 {
+        let l1_line = self.l1d[core].line_addr(addr);
+        let l2_line = self.l2.line_addr(addr);
+        let grant = self.bus_grant(now);
+
+        // Snoop all other L1s. Clean owners of an Exclusive copy downgrade
+        // to Shared when the miss is a read.
+        let mut dirty_owner: Option<usize> = None;
+        let mut sharers = false;
+        for i in 0..self.l1d.len() {
+            if i == core {
+                continue;
+            }
+            self.count_snoop(i, l1_line);
+            match self.l1d[i].probe(l1_line) {
+                Mesi::Modified => dirty_owner = Some(i),
+                Mesi::Exclusive => {
+                    sharers = true;
+                    if kind == AccessKind::Read {
+                        self.l1d[i].set_state(l1_line, Mesi::Shared);
+                    }
+                }
+                Mesi::Shared => sharers = true,
+                Mesi::Invalid => {}
+            }
+        }
+
+        let path_latency;
+        if let Some(owner) = dirty_owner {
+            // Cache-to-cache intervention; owner flushes, L2 picks up the
+            // dirty data.
+            self.stats.cache_to_cache += 1;
+            path_latency = self.c2c_latency;
+            let new_owner_state = match kind {
+                AccessKind::Read => Mesi::Shared,
+                AccessKind::Write => Mesi::Invalid,
+            };
+            self.l1d[owner].set_state(l1_line, new_owner_state);
+            self.l2_fill_and_maintain_inclusion(l2_line, Mesi::Modified);
+            self.bus_data_phase(grant + self.bus_addr);
+            if kind == AccessKind::Read {
+                sharers = true;
+            }
+        } else {
+            // Look in the shared L2.
+            let l2_state = self.l2.lookup(l2_line);
+            if l2_state != Mesi::Invalid {
+                path_latency = self.l2_latency;
+            } else {
+                path_latency = self.l2_latency + self.mem_cycles;
+                self.stats.memory_reads += 1;
+                self.l2_fill_and_maintain_inclusion(l2_line, Mesi::Exclusive);
+            }
+            self.bus_data_phase(grant + self.bus_addr + path_latency);
+        }
+
+        // On a write, invalidate every other copy (BusRdX semantics).
+        if kind == AccessKind::Write {
+            for i in 0..self.l1d.len() {
+                if i != core {
+                    self.l1d[i].set_state(l1_line, Mesi::Invalid);
+                }
+            }
+        }
+
+        // Fill the requesting L1.
+        let fill_state = match kind {
+            AccessKind::Write => Mesi::Modified,
+            AccessKind::Read if sharers => Mesi::Shared,
+            AccessKind::Read => Mesi::Exclusive,
+        };
+        match self.l1d[core].fill(l1_line, fill_state) {
+            Evicted::Dirty { line_addr } => {
+                // Write the victim back into the L2 (it is inclusive, so
+                // the line is resident).
+                self.stats.l1_writebacks += 1;
+                let victim_l2 = self.l2.line_addr(line_addr);
+                self.l2.fill(victim_l2, Mesi::Modified);
+                self.bus_data_phase(grant + self.bus_addr);
+            }
+            Evicted::Clean { .. } | Evicted::None => {}
+        }
+
+        grant + self.bus_addr + path_latency
+    }
+
+    /// Fills the L2 and maintains inclusion over the private L1s, sending
+    /// dirty L2 victims to memory.
+    fn l2_fill_and_maintain_inclusion(&mut self, l2_line: u64, state: Mesi) {
+        let evicted = self.l2.fill(l2_line, state);
+        match evicted {
+            Evicted::None => {}
+            Evicted::Clean { line_addr } | Evicted::Dirty { line_addr } => {
+                if matches!(evicted, Evicted::Dirty { .. }) {
+                    self.stats.memory_writes += 1;
+                }
+                let l1_line = self.l1d[0].config().line_bytes as u64;
+                let l2_len = self.l2.config().line_bytes as u64;
+                let mut half = line_addr;
+                while half < line_addr + l2_len {
+                    for l1 in &mut self.l1d {
+                        if l1.probe(half) == Mesi::Modified {
+                            // Dirty L1 data above an evicted L2 line goes
+                            // straight to memory.
+                            self.stats.memory_writes += 1;
+                        }
+                        l1.set_state(half, Mesi::Invalid);
+                    }
+                    half += l1_line;
+                }
+            }
+        }
+    }
+
+    /// Aggregate bus/L2/memory statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Per-core L1D statistics.
+    pub fn l1d_stats(&self, core: usize) -> &CacheStats {
+        self.l1d[core].stats()
+    }
+
+    /// Shared L2 statistics.
+    pub fn l2_stats(&self) -> &CacheStats {
+        self.l2.stats()
+    }
+
+    /// Checks the inclusion invariant: every valid L1 line is covered by a
+    /// valid L2 line. Intended for tests.
+    pub fn inclusion_holds(&self) -> bool {
+        for l1 in &self.l1d {
+            for (addr, _) in l1.resident_lines() {
+                if self.l2.probe(self.l2.line_addr(addr)) == Mesi::Invalid {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks the MESI single-writer invariant: a line Modified in one L1
+    /// is not valid anywhere else. Intended for tests.
+    pub fn single_writer_holds(&self) -> bool {
+        for (i, l1) in self.l1d.iter().enumerate() {
+            for (addr, state) in l1.resident_lines() {
+                if state == Mesi::Modified {
+                    for (j, other) in self.l1d.iter().enumerate() {
+                        if i != j && other.probe(addr) != Mesi::Invalid {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(n: usize) -> MemorySystem {
+        MemorySystem::new(&CmpConfig::ispass05(16), n)
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory() {
+        let mut m = sys(2);
+        let done = m.access(0, 0x1000, AccessKind::Read, 0);
+        // addr phase (4) + L2 (12) + memory (240) after grant ≥ 0.
+        assert!(done >= 240, "completion {done}");
+        assert_eq!(m.stats().memory_reads, 1);
+        assert_eq!(m.stats().bus_transactions, 1);
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut m = sys(2);
+        let first = m.access(0, 0x1000, AccessKind::Read, 0);
+        let second = m.access(0, 0x1000, AccessKind::Read, first);
+        assert_eq!(second, first + m.l1_latency());
+        assert_eq!(m.l1d_stats(0).hits, 1);
+    }
+
+    #[test]
+    fn sibling_miss_hits_l2() {
+        let mut m = sys(2);
+        let t = m.access(0, 0x1000, AccessKind::Read, 0);
+        let before = m.stats().memory_reads;
+        // Core 1 reads the same line: L2 hit, no memory access.
+        let done = m.access(1, 0x1000, AccessKind::Read, t);
+        assert_eq!(m.stats().memory_reads, before);
+        assert!(done < t + 240);
+        // Both L1 copies are Shared now.
+        assert!(m.single_writer_holds());
+    }
+
+    #[test]
+    fn read_fill_is_exclusive_when_alone_shared_when_not() {
+        let mut m = sys(2);
+        m.access(0, 0x2000, AccessKind::Read, 0);
+        assert_eq!(m.l1d[0].probe(0x2000), Mesi::Exclusive);
+        m.access(1, 0x2000, AccessKind::Read, 500);
+        assert_eq!(m.l1d[1].probe(0x2000), Mesi::Shared);
+        // The snooped Exclusive owner downgrades to Shared.
+        assert_eq!(m.l1d[0].probe(0x2000), Mesi::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let mut m = sys(4);
+        for c in 0..4 {
+            m.access(c, 0x3000, AccessKind::Read, (c as u64) * 1000);
+        }
+        m.access(2, 0x3000, AccessKind::Write, 5000);
+        for c in [0usize, 1, 3] {
+            assert_eq!(m.l1d[c].probe(0x3000), Mesi::Invalid, "core {c}");
+        }
+        assert_eq!(m.l1d[2].probe(0x3000), Mesi::Modified);
+        assert!(m.single_writer_holds());
+        assert_eq!(m.stats().upgrades, 1);
+    }
+
+    #[test]
+    fn dirty_intervention_cache_to_cache() {
+        let mut m = sys(2);
+        m.access(0, 0x4000, AccessKind::Write, 0);
+        assert_eq!(m.l1d[0].probe(0x4000), Mesi::Modified);
+        let before_mem = m.stats().memory_reads;
+        m.access(1, 0x4000, AccessKind::Read, 1000);
+        assert_eq!(m.stats().cache_to_cache, 1);
+        assert_eq!(m.stats().memory_reads, before_mem, "no memory access on intervention");
+        assert_eq!(m.l1d[0].probe(0x4000), Mesi::Shared);
+        assert_eq!(m.l1d[1].probe(0x4000), Mesi::Shared);
+    }
+
+    #[test]
+    fn write_after_dirty_intervention_invalidates_owner() {
+        let mut m = sys(2);
+        m.access(0, 0x5000, AccessKind::Write, 0);
+        m.access(1, 0x5000, AccessKind::Write, 1000);
+        assert_eq!(m.l1d[0].probe(0x5000), Mesi::Invalid);
+        assert_eq!(m.l1d[1].probe(0x5000), Mesi::Modified);
+        assert!(m.single_writer_holds());
+    }
+
+    #[test]
+    fn bus_serializes_contending_misses() {
+        let mut m = sys(2);
+        let a = m.access(0, 0x6000, AccessKind::Read, 0);
+        let b = m.access(1, 0x7000, AccessKind::Read, 0);
+        // Second transaction is granted after the first's address phase.
+        assert!(b > a - 240 || b > 4, "bus must serialize: {a} vs {b}");
+        assert!(m.stats().bus_busy_cycles >= 2 * 4);
+    }
+
+    #[test]
+    fn inclusion_invariant_maintained() {
+        let mut m = sys(2);
+        // Touch many distinct lines to force L1 evictions.
+        for i in 0..4096u64 {
+            m.access(0, i * 64, AccessKind::Read, i * 300);
+        }
+        assert!(m.inclusion_holds());
+    }
+
+    #[test]
+    fn upgrade_requires_bus_but_not_memory() {
+        let mut m = sys(2);
+        m.access(0, 0x8000, AccessKind::Read, 0);
+        m.access(1, 0x8000, AccessKind::Read, 500);
+        let before = m.stats().memory_reads;
+        let tx_before = m.stats().bus_transactions;
+        m.access(0, 0x8000, AccessKind::Write, 1000);
+        assert_eq!(m.stats().memory_reads, before);
+        assert_eq!(m.stats().bus_transactions, tx_before + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "active cores out of range")]
+    fn zero_active_cores_panics() {
+        let _ = MemorySystem::new(&CmpConfig::ispass05(4), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Abstract instruction stream consumed by the core timing model.
+//!
+//! Workload generators (see the `tlp-workloads` crate) emit a sequence of
+//! [`Op`]s per thread. Compute is batched (`Int { count: 40 }` is forty
+//! single-cycle integer instructions) to keep generation cheap while
+//! letting the core model account every instruction for timing and power.
+
+use serde::{Deserialize, Serialize};
+
+/// One element of a thread's abstract instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Op {
+    /// A batch of integer ALU instructions.
+    Int {
+        /// Number of instructions in the batch.
+        count: u32,
+    },
+    /// A batch of floating-point instructions.
+    Fp {
+        /// Number of instructions in the batch.
+        count: u32,
+    },
+    /// A load from a byte address.
+    Load {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// A store to a byte address.
+    Store {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// A conditional branch.
+    Branch {
+        /// Whether the branch mispredicts (penalty applies).
+        mispredict: bool,
+    },
+    /// Wait at a named barrier until all participating threads arrive.
+    Barrier {
+        /// Barrier identifier (shared across threads).
+        id: u32,
+    },
+    /// Acquire a named lock (spin until granted).
+    Lock {
+        /// Lock identifier.
+        id: u32,
+    },
+    /// Release a previously acquired lock.
+    Unlock {
+        /// Lock identifier.
+        id: u32,
+    },
+    /// Thread has finished its work.
+    End,
+}
+
+impl Op {
+    /// Number of dynamic instructions this element represents.
+    pub fn instruction_count(&self) -> u64 {
+        match self {
+            Op::Int { count } | Op::Fp { count } => *count as u64,
+            Op::Load { .. } | Op::Store { .. } | Op::Branch { .. } => 1,
+            // Synchronization ops expand into spin instructions at runtime;
+            // the static cost is one instruction (the acquire/arrive).
+            Op::Barrier { .. } | Op::Lock { .. } | Op::Unlock { .. } => 1,
+            Op::End => 0,
+        }
+    }
+}
+
+/// A per-thread instruction-stream generator.
+///
+/// Implementations must be deterministic: the simulator may call
+/// [`ThreadProgram::next_op`] exactly once per consumed element, and two
+/// runs with the same seed must produce identical streams. After returning
+/// [`Op::End`] the generator will not be polled again.
+pub trait ThreadProgram {
+    /// Produces the next element of the stream.
+    fn next_op(&mut self) -> Op;
+}
+
+/// A trivial program backed by a vector of ops (useful in tests).
+///
+/// # Examples
+///
+/// ```
+/// use tlp_sim::op::{Op, ScriptedProgram, ThreadProgram};
+///
+/// let mut p = ScriptedProgram::new(vec![Op::Int { count: 3 }]);
+/// assert_eq!(p.next_op(), Op::Int { count: 3 });
+/// assert_eq!(p.next_op(), Op::End);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScriptedProgram {
+    ops: std::vec::IntoIter<Op>,
+}
+
+impl ScriptedProgram {
+    /// Wraps a fixed op sequence; an [`Op::End`] is appended implicitly.
+    pub fn new(ops: Vec<Op>) -> Self {
+        Self {
+            ops: ops.into_iter(),
+        }
+    }
+}
+
+impl ThreadProgram for ScriptedProgram {
+    fn next_op(&mut self) -> Op {
+        self.ops.next().unwrap_or(Op::End)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(Op::Int { count: 7 }.instruction_count(), 7);
+        assert_eq!(Op::Fp { count: 2 }.instruction_count(), 2);
+        assert_eq!(Op::Load { addr: 0 }.instruction_count(), 1);
+        assert_eq!(Op::Store { addr: 0 }.instruction_count(), 1);
+        assert_eq!(Op::Branch { mispredict: true }.instruction_count(), 1);
+        assert_eq!(Op::Barrier { id: 0 }.instruction_count(), 1);
+        assert_eq!(Op::End.instruction_count(), 0);
+    }
+
+    #[test]
+    fn scripted_program_terminates_with_end() {
+        let mut p = ScriptedProgram::new(vec![Op::Load { addr: 64 }, Op::Store { addr: 64 }]);
+        assert_eq!(p.next_op(), Op::Load { addr: 64 });
+        assert_eq!(p.next_op(), Op::Store { addr: 64 });
+        assert_eq!(p.next_op(), Op::End);
+        assert_eq!(p.next_op(), Op::End);
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-core and chip-level statistics.
+
+use serde::{Deserialize, Serialize};
+
+use tlp_tech::units::{Hertz, Seconds};
+
+use crate::cache::CacheStats;
+use crate::memory::MemStats;
+
+/// Activity counters for one core (also the inputs to the Wattch-like
+/// power model in `tlp-power`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Committed instructions (including spin instructions).
+    pub instructions: u64,
+    /// Integer ALU operations.
+    pub int_ops: u64,
+    /// Floating-point operations.
+    pub fp_ops: u64,
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Branch instructions.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Cycles in which at least one instruction issued.
+    pub active_cycles: u64,
+    /// Cycles stalled waiting on the memory system.
+    pub mem_stall_cycles: u64,
+    /// Cycles stalled for other reasons (branch redirect, store buffer).
+    pub other_stall_cycles: u64,
+    /// Cycles spent spin-waiting on barriers or locks.
+    pub spin_cycles: u64,
+    /// Cycles spent asleep at a barrier (thrifty-barrier extension).
+    pub sleep_cycles: u64,
+    /// Instructions executed while spinning (subset of `instructions`).
+    pub spin_instructions: u64,
+    /// Instruction-cache fetch accesses (one per active or spinning cycle).
+    pub l1i_accesses: u64,
+    /// Cycle at which this core's thread finished (0 if it never ran).
+    pub finish_cycle: u64,
+}
+
+impl CoreStats {
+    /// Field-wise difference `self − prev` (for windowed sampling).
+    /// `finish_cycle` is carried over as-is.
+    pub fn delta(&self, prev: &CoreStats) -> CoreStats {
+        CoreStats {
+            instructions: self.instructions - prev.instructions,
+            int_ops: self.int_ops - prev.int_ops,
+            fp_ops: self.fp_ops - prev.fp_ops,
+            loads: self.loads - prev.loads,
+            stores: self.stores - prev.stores,
+            branches: self.branches - prev.branches,
+            mispredicts: self.mispredicts - prev.mispredicts,
+            active_cycles: self.active_cycles - prev.active_cycles,
+            mem_stall_cycles: self.mem_stall_cycles - prev.mem_stall_cycles,
+            other_stall_cycles: self.other_stall_cycles - prev.other_stall_cycles,
+            spin_cycles: self.spin_cycles - prev.spin_cycles,
+            sleep_cycles: self.sleep_cycles - prev.sleep_cycles,
+            spin_instructions: self.spin_instructions - prev.spin_instructions,
+            l1i_accesses: self.l1i_accesses - prev.l1i_accesses,
+            finish_cycle: self.finish_cycle,
+        }
+    }
+
+    /// Total cycles this core was accounted for (active + stalls + spin +
+    /// sleep).
+    pub fn busy_cycles(&self) -> u64 {
+        self.active_cycles
+            + self.mem_stall_cycles
+            + self.other_stall_cycles
+            + self.spin_cycles
+            + self.sleep_cycles
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Total cycles until the last thread finished.
+    pub cycles: u64,
+    /// Chip frequency the run executed at.
+    pub frequency: Hertz,
+    /// Number of active cores (threads).
+    pub n_threads: usize,
+    /// Per-core counters (index = core id).
+    pub cores: Vec<CoreStats>,
+    /// Per-core L1D statistics.
+    pub l1d: Vec<CacheStats>,
+    /// Shared L2 statistics.
+    pub l2: CacheStats,
+    /// Bus and memory statistics.
+    pub mem: MemStats,
+}
+
+impl SimResult {
+    /// Wall-clock execution time.
+    pub fn execution_time(&self) -> Seconds {
+        Seconds::new(self.cycles as f64 / self.frequency.as_f64())
+    }
+
+    /// Total committed instructions across cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Useful (non-spin) instructions across cores.
+    pub fn useful_instructions(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.instructions - c.spin_instructions)
+            .sum()
+    }
+
+    /// Aggregate instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run relative to a baseline run of the same work:
+    /// the ratio of wall-clock execution times.
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        baseline.execution_time() / self.execution_time()
+    }
+
+    /// Fraction of core cycles (summed over cores) stalled on memory.
+    pub fn memory_stall_fraction(&self) -> f64 {
+        let stalls: u64 = self.cores.iter().map(|c| c.mem_stall_cycles).sum();
+        let total: u64 = self.cores.iter().map(|c| c.busy_cycles()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            stalls as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(cycles: u64, ghz: f64) -> SimResult {
+        SimResult {
+            cycles,
+            frequency: Hertz::from_ghz(ghz),
+            n_threads: 1,
+            cores: vec![CoreStats {
+                instructions: 1000,
+                active_cycles: 250,
+                mem_stall_cycles: 600,
+                other_stall_cycles: 150,
+                ..CoreStats::default()
+            }],
+            l1d: vec![CacheStats::default()],
+            l2: CacheStats::default(),
+            mem: MemStats::default(),
+        }
+    }
+
+    #[test]
+    fn execution_time_uses_frequency() {
+        let r = result(3_200_000, 3.2);
+        assert!((r.execution_time().as_f64() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_compares_wall_clock_not_cycles() {
+        // Same cycle count at half frequency = half the speed.
+        let fast = result(1000, 3.2);
+        let slow = result(1000, 1.6);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        // Fewer cycles at lower frequency can still be faster.
+        let fewer = result(400, 1.6);
+        assert!((fewer.speedup_over(&fast) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_and_stall_fraction() {
+        let r = result(1000, 3.2);
+        assert!((r.ipc() - 1.0).abs() < 1e-12);
+        assert!((r.memory_stall_fraction() - 0.6).abs() < 1e-12);
+    }
+}

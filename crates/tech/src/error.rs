@@ -1,0 +1,87 @@
+//! Error types for the technology models.
+
+use core::fmt;
+
+use crate::units::{Hertz, Volts};
+
+/// Errors produced by the technology, frequency, and DVFS models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TechError {
+    /// The requested frequency exceeds what the technology can deliver at
+    /// its nominal supply voltage.
+    FrequencyOutOfRange {
+        /// The frequency that was requested.
+        requested: Hertz,
+        /// The maximum frequency attainable at nominal supply.
+        max: Hertz,
+    },
+    /// The requested supply voltage lies outside `[floor, nominal]`.
+    VoltageOutOfRange {
+        /// The voltage that was requested.
+        requested: Volts,
+        /// The minimum allowed supply voltage (noise-margin floor).
+        floor: Volts,
+        /// The nominal (maximum) supply voltage.
+        nominal: Volts,
+    },
+    /// A technology descriptor failed validation.
+    InvalidTechnology(String),
+    /// A numeric solver failed to converge.
+    NoConvergence {
+        /// Human-readable description of what was being solved.
+        what: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: u32,
+    },
+    /// An empty or non-monotone DVFS table was supplied.
+    InvalidDvfsTable(String),
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::FrequencyOutOfRange { requested, max } => write!(
+                f,
+                "requested frequency {requested} exceeds maximum {max} at nominal supply"
+            ),
+            TechError::VoltageOutOfRange {
+                requested,
+                floor,
+                nominal,
+            } => write!(
+                f,
+                "requested voltage {requested} outside allowed range [{floor}, {nominal}]"
+            ),
+            TechError::InvalidTechnology(msg) => write!(f, "invalid technology: {msg}"),
+            TechError::NoConvergence { what, iterations } => {
+                write!(f, "solver for {what} did not converge in {iterations} iterations")
+            }
+            TechError::InvalidDvfsTable(msg) => write!(f, "invalid DVFS table: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TechError::FrequencyOutOfRange {
+            requested: Hertz::from_ghz(4.0),
+            max: Hertz::from_ghz(3.2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("exceeds"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TechError>();
+    }
+}

@@ -1,0 +1,125 @@
+//! Process-technology, voltage/frequency, and leakage models for the
+//! `cmp-tlp` reproduction of Li & Martínez, *Power-Performance Implications
+//! of Thread-level Parallelism on Chip Multiprocessors* (ISPASS 2005).
+//!
+//! This crate is the circuit-level foundation of the workspace. It provides:
+//!
+//! - [`units`] — strongly typed physical units ([`Volts`](units::Volts),
+//!   [`Hertz`](units::Hertz), [`Watts`](units::Watts), ...).
+//! - [`Technology`] — ITRS-style process descriptors for the paper's two
+//!   nodes, 130 nm and 65 nm.
+//! - [`FrequencyModel`] — the alpha-power frequency/voltage law (paper
+//!   Eq. 1) and its numeric inversion.
+//! - [`leakage`] — a detailed physical leakage reference model and the
+//!   curve-fitted formula of Eq. 3, with a fitter reproducing the paper's
+//!   HSpice validation error bands.
+//! - [`DvfsTable`] — Pentium-M-style discrete DVFS operating-point tables
+//!   with interpolation (paper Section 3.1).
+//!
+//! # Quick example
+//!
+//! ```
+//! use tlp_tech::{DvfsTable, FrequencyModel, Technology};
+//! use tlp_tech::units::{Celsius, Hertz};
+//!
+//! let tech = Technology::itrs_65nm();
+//!
+//! // How low can the supply go when the chip only needs half speed?
+//! let model = FrequencyModel::new(&tech);
+//! let op = model.operating_point_for(Hertz::from_ghz(1.6))?;
+//! assert!(op.voltage < tech.vdd_nominal());
+//!
+//! // How much more does the chip leak at 100 °C than at room temperature?
+//! let (fitted, report) = tlp_tech::leakage::fit(&tech);
+//! assert!(report.max_rel_error < 0.075);
+//! let hot = fitted.normalized(tech.vdd_nominal(), Celsius::new(100.0));
+//! assert!(hot > 2.0);
+//! # Ok::<(), tlp_tech::TechError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dvfs;
+pub mod error;
+pub mod freq;
+pub mod leakage;
+pub mod linalg;
+pub mod technology;
+pub mod units;
+
+pub use dvfs::DvfsTable;
+pub use error::TechError;
+pub use freq::{FrequencyModel, OperatingPoint};
+pub use leakage::{FitReport, FittedLeakage, ReferenceLeakage};
+pub use technology::{LeakagePhysics, ProcessNode, Technology, TechnologyBuilder};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::units::{Celsius, Hertz, Volts};
+    use crate::{DvfsTable, FrequencyModel, ReferenceLeakage, Technology};
+
+    proptest! {
+        /// Alpha-power inversion is a true inverse everywhere in range.
+        #[test]
+        fn inversion_round_trip(ghz in 0.05f64..3.2) {
+            let tech = Technology::itrs_65nm();
+            let m = FrequencyModel::new(&tech);
+            let v = m.min_voltage_for(Hertz::from_ghz(ghz)).unwrap();
+            let f = m.max_frequency_at(v).unwrap();
+            prop_assert!((f.as_ghz() - ghz).abs() < 1e-5);
+        }
+
+        /// Operating-point voltage is monotone in frequency.
+        #[test]
+        fn voltage_monotone_in_frequency(a in 0.2f64..3.2, b in 0.2f64..3.2) {
+            let tech = Technology::itrs_65nm();
+            let m = FrequencyModel::new(&tech);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let v_lo = m.operating_point_for(Hertz::from_ghz(lo)).unwrap().voltage;
+            let v_hi = m.operating_point_for(Hertz::from_ghz(hi)).unwrap().voltage;
+            prop_assert!(v_lo <= v_hi);
+        }
+
+        /// Reference leakage is positive and monotone in both V and T.
+        #[test]
+        fn leakage_monotone(v in 0.76f64..1.1, t in 25.0f64..100.0) {
+            let tech = Technology::itrs_65nm();
+            let leak = ReferenceLeakage::new(&tech);
+            let base = leak.normalized(Volts::new(v), Celsius::new(t));
+            prop_assert!(base > 0.0);
+            let hotter = leak.normalized(Volts::new(v), Celsius::new(t + 1.0));
+            prop_assert!(hotter > base);
+            let higher_v = leak.normalized(Volts::new(v + 0.01), Celsius::new(t));
+            prop_assert!(higher_v > base);
+        }
+
+        /// DVFS interpolation always lands inside the table's voltage range.
+        #[test]
+        fn dvfs_interpolation_in_range(mhz in 200.0f64..3200.0) {
+            let tech = Technology::itrs_65nm();
+            let table = DvfsTable::for_technology(
+                &tech,
+                Hertz::from_mhz(200.0),
+                Hertz::from_mhz(200.0),
+            ).unwrap();
+            let v = table.voltage_for(Hertz::from_mhz(mhz)).unwrap();
+            prop_assert!(v >= tech.voltage_floor());
+            prop_assert!(v <= tech.vdd_nominal());
+        }
+
+        /// The fitted leakage stays within a loose factor of the reference
+        /// everywhere (tighter bounds are asserted in unit tests).
+        #[test]
+        fn fitted_leakage_tracks_reference(v in 0.76f64..1.1, t in 25.0f64..100.0) {
+            let tech = Technology::itrs_65nm();
+            let reference = ReferenceLeakage::new(&tech);
+            let (fitted, _) = crate::leakage::fit(&tech);
+            let r = reference.normalized(Volts::new(v), Celsius::new(t));
+            let f = fitted.normalized(Volts::new(v), Celsius::new(t));
+            prop_assert!(f > 0.8 * r && f < 1.25 * r, "ref {r} vs fit {f}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Tiny dense linear-algebra helpers for the curve fitters.
+//!
+//! These routines are intentionally minimal: the technology models only ever
+//! solve small (≤ 8×8) systems arising from least-squares normal equations.
+
+/// Solves `A·x = b` for a small dense square system by Gaussian elimination
+/// with partial pivoting.
+///
+/// `a` is row-major, `n×n`; `b` has length `n`. Returns `None` if the matrix
+/// is singular (pivot below 1e-30).
+///
+/// # Panics
+///
+/// Panics if `a.len() != n*n` or `b.len() != n`.
+///
+/// # Examples
+///
+/// ```
+/// let a = vec![2.0, 1.0, 1.0, 3.0];
+/// let b = vec![3.0, 5.0];
+/// let x = tlp_tech::linalg::solve_dense(2, &a, &b).unwrap();
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// ```
+pub fn solve_dense(n: usize, a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix must be n×n");
+    assert_eq!(b.len(), n, "rhs must have length n");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i * n + col]
+                    .abs()
+                    .partial_cmp(&m[j * n + col].abs())
+                    .expect("pivot comparison on non-NaN values")
+            })
+            .expect("non-empty pivot candidates");
+        if m[pivot_row * n + col].abs() < 1e-30 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Solves the linear least-squares problem `min ‖X·c − y‖²` via the normal
+/// equations, where `X` is `rows×cols` row-major.
+///
+/// Returns `None` if the normal matrix is singular.
+///
+/// # Panics
+///
+/// Panics if the dimensions of `x` and `y` are inconsistent.
+pub fn least_squares(rows: usize, cols: usize, x: &[f64], y: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(x.len(), rows * cols, "design matrix shape mismatch");
+    assert_eq!(y.len(), rows, "target length mismatch");
+    // Normal matrix Xᵀ·X (cols×cols) and Xᵀ·y.
+    let mut xtx = vec![0.0; cols * cols];
+    let mut xty = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            xty[i] += row[i] * y[r];
+            for j in i..cols {
+                xtx[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i * cols + j] = xtx[j * cols + i];
+        }
+    }
+    solve_dense(cols, &xtx, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = solve_dense(2, &a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_3x3_with_pivoting() {
+        // First pivot is zero; forces a row swap.
+        let a = vec![0.0, 2.0, 1.0, 1.0, 1.0, 1.0, 2.0, 0.0, 3.0];
+        let b = vec![5.0, 6.0, 13.0];
+        let x = solve_dense(3, &a, &b).unwrap();
+        // Verify A·x = b.
+        for (i, &bi) in b.iter().enumerate() {
+            let got: f64 = (0..3).map(|j| a[i * 3 + j] * x[j]).sum();
+            assert!((got - bi).abs() < 1e-10, "row {i}: {got} != {bi}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve_dense(2, &a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        // y = 3 + 2t sampled without noise.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for &t in &ts {
+            x.extend_from_slice(&[1.0, t]);
+            y.push(3.0 + 2.0 * t);
+        }
+        let c = least_squares(ts.len(), 2, &x, &y).unwrap();
+        assert!((c[0] - 3.0).abs() < 1e-10);
+        assert!((c[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual_with_noise() {
+        // Overdetermined with symmetric perturbation: the fit must pass
+        // between the perturbed points.
+        let x = vec![1.0, 0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 3.0];
+        let y = vec![1.1, 0.9, 3.1, 2.9];
+        let c = least_squares(4, 2, &x, &y).unwrap();
+        let resid: f64 = (0..4)
+            .map(|r| {
+                let pred = c[0] + c[1] * x[r * 2 + 1];
+                (pred - y[r]).powi(2)
+            })
+            .sum();
+        // Any line through the data has residual >= the LS optimum; the
+        // analytic optimum for this data set is 1.152.
+        assert!(resid > 0.0 && (resid - 1.152).abs() < 1e-9, "residual {resid}");
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix must be n×n")]
+    fn bad_shape_panics() {
+        let _ = solve_dense(2, &[1.0, 2.0, 3.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,385 @@
+//! Chip floorplans.
+//!
+//! The paper estimates its 16-core chip at 244.5 mm² (15.6 mm × 15.6 mm)
+//! with CACTI-derived areas, and feeds an Alpha EV6 floorplan to HotSpot.
+//! [`Floorplan`] describes a set of rectangular [`Block`]s; adjacency (for
+//! lateral heat flow) is derived geometrically from shared edges.
+//!
+//! Two constructors mirror the paper's setup: [`Floorplan::ev6_core`] for a
+//! single EV6-like core tile and [`Floorplan::ispass_cmp`] for the full CMP
+//! (a grid of core tiles plus a shared L2 slab).
+
+use serde::{Deserialize, Serialize};
+
+use tlp_tech::units::SquareMillimeters;
+
+/// What a block is used for — power models treat cores and L2 differently
+/// (the paper excludes the cool L2 from power-density statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum BlockKind {
+    /// A functional block inside a processor core.
+    Core {
+        /// Index of the core this block belongs to.
+        core: usize,
+    },
+    /// Part of the shared L2 cache.
+    L2,
+}
+
+/// A rectangular block of silicon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Human-readable name, e.g. `"core3.dcache"`.
+    pub name: String,
+    /// What the block is used for.
+    pub kind: BlockKind,
+    /// Left edge, millimetres from chip origin.
+    pub x_mm: f64,
+    /// Bottom edge, millimetres from chip origin.
+    pub y_mm: f64,
+    /// Width in millimetres.
+    pub w_mm: f64,
+    /// Height in millimetres.
+    pub h_mm: f64,
+}
+
+impl Block {
+    /// Block area.
+    pub fn area(&self) -> SquareMillimeters {
+        SquareMillimeters::new(self.w_mm * self.h_mm)
+    }
+
+    /// Centroid coordinates in millimetres.
+    pub fn centroid(&self) -> (f64, f64) {
+        (self.x_mm + self.w_mm / 2.0, self.y_mm + self.h_mm / 2.0)
+    }
+
+    /// Length of the edge shared with `other`, in millimetres (zero if the
+    /// blocks do not touch).
+    pub fn shared_edge_mm(&self, other: &Block) -> f64 {
+        const EPS: f64 = 1e-9;
+        let overlap = |a0: f64, a1: f64, b0: f64, b1: f64| (a1.min(b1) - a0.max(b0)).max(0.0);
+        // Vertical shared edge: right of self touches left of other, or
+        // vice versa, with y-overlap.
+        let x_touch = (self.x_mm + self.w_mm - other.x_mm).abs() < EPS
+            || (other.x_mm + other.w_mm - self.x_mm).abs() < EPS;
+        if x_touch {
+            let len = overlap(self.y_mm, self.y_mm + self.h_mm, other.y_mm, other.y_mm + other.h_mm);
+            if len > EPS {
+                return len;
+            }
+        }
+        let y_touch = (self.y_mm + self.h_mm - other.y_mm).abs() < EPS
+            || (other.y_mm + other.h_mm - self.y_mm).abs() < EPS;
+        if y_touch {
+            let len = overlap(self.x_mm, self.x_mm + self.w_mm, other.x_mm, other.x_mm + other.w_mm);
+            if len > EPS {
+                return len;
+            }
+        }
+        0.0
+    }
+}
+
+/// The functional blocks inside one EV6-like core tile, as fractions of the
+/// tile: `(name, x, y, w, h)` in tile-relative coordinates `[0, 1]`.
+const EV6_TILE_LAYOUT: &[(&str, f64, f64, f64, f64)] = &[
+    ("icache", 0.0, 0.0, 0.5, 0.3),
+    ("dcache", 0.5, 0.0, 0.5, 0.3),
+    ("bpred", 0.0, 0.3, 0.25, 0.2),
+    ("rename", 0.25, 0.3, 0.25, 0.2),
+    ("issueq", 0.5, 0.3, 0.25, 0.2),
+    ("lsq", 0.75, 0.3, 0.25, 0.2),
+    ("regfile", 0.0, 0.5, 0.3, 0.25),
+    ("intexec", 0.3, 0.5, 0.4, 0.25),
+    ("fpexec", 0.7, 0.5, 0.3, 0.25),
+    ("clock", 0.0, 0.75, 1.0, 0.25),
+];
+
+/// A floorplan: a list of non-overlapping rectangular blocks.
+///
+/// # Examples
+///
+/// ```
+/// use tlp_thermal::Floorplan;
+///
+/// let chip = Floorplan::ispass_cmp(16, 15.6, 15.6);
+/// // 16 cores × 10 EV6 blocks + one L2 slab.
+/// assert_eq!(chip.blocks().len(), 161);
+/// assert!((chip.total_area().as_f64() - 15.6 * 15.6).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// Builds a floorplan from explicit blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or any block has non-positive dimensions.
+    pub fn new(blocks: Vec<Block>) -> Self {
+        assert!(!blocks.is_empty(), "floorplan must contain blocks");
+        for b in &blocks {
+            assert!(b.w_mm > 0.0 && b.h_mm > 0.0, "block {} has empty extent", b.name);
+        }
+        Self { blocks }
+    }
+
+    /// A single EV6-like core tile of `w_mm × h_mm` at origin `(x, y)`,
+    /// with block names prefixed by `prefix`.
+    pub fn ev6_core(prefix: &str, x_mm: f64, y_mm: f64, w_mm: f64, h_mm: f64, core: usize) -> Vec<Block> {
+        EV6_TILE_LAYOUT
+            .iter()
+            .map(|&(name, fx, fy, fw, fh)| Block {
+                name: format!("{prefix}.{name}"),
+                kind: BlockKind::Core { core },
+                x_mm: x_mm + fx * w_mm,
+                y_mm: y_mm + fy * h_mm,
+                w_mm: fw * w_mm,
+                h_mm: fh * h_mm,
+            })
+            .collect()
+    }
+
+    /// The paper's CMP floorplan: `n_cores` EV6 tiles in a grid occupying
+    /// the upper part of the die, with the shared L2 as a slab along the
+    /// bottom (roughly 35 % of die area for the 4 MB L2, per CACTI-style
+    /// scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero or not expressible as a near-square grid
+    /// (any value up to 64 works: the grid is `ceil(sqrt(n))` wide).
+    pub fn ispass_cmp(n_cores: usize, die_w_mm: f64, die_h_mm: f64) -> Self {
+        assert!(n_cores > 0, "need at least one core");
+        let l2_frac = 0.35;
+        let l2_h = die_h_mm * l2_frac;
+        let core_region_h = die_h_mm - l2_h;
+
+        let cols = (n_cores as f64).sqrt().ceil() as usize;
+        let rows = n_cores.div_ceil(cols);
+        let tile_w = die_w_mm / cols as f64;
+        let tile_h = core_region_h / rows as f64;
+
+        let mut blocks = Vec::with_capacity(n_cores * EV6_TILE_LAYOUT.len() + 1);
+        blocks.push(Block {
+            name: "l2".into(),
+            kind: BlockKind::L2,
+            x_mm: 0.0,
+            y_mm: 0.0,
+            w_mm: die_w_mm,
+            h_mm: l2_h,
+        });
+        for core in 0..n_cores {
+            let col = core % cols;
+            let row = core / cols;
+            let x = col as f64 * tile_w;
+            let y = l2_h + row as f64 * tile_h;
+            blocks.extend(Self::ev6_core(
+                &format!("core{core}"),
+                x,
+                y,
+                tile_w,
+                tile_h,
+                core,
+            ));
+        }
+        // A trailing partially-filled row leaves dead silicon; model it as
+        // part of the L2 slab for area accounting simplicity (it conducts
+        // but dissipates nothing).
+        let used = rows * cols;
+        if used > n_cores {
+            let dead = used - n_cores;
+            let x0 = ((n_cores % cols) as f64) * tile_w;
+            let y0 = l2_h + ((rows - 1) as f64) * tile_h;
+            blocks.push(Block {
+                name: "spare".into(),
+                kind: BlockKind::L2,
+                x_mm: x0,
+                y_mm: y0,
+                w_mm: dead as f64 * tile_w,
+                h_mm: tile_h,
+            });
+        }
+        Self::new(blocks)
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Total floorplan area.
+    pub fn total_area(&self) -> SquareMillimeters {
+        SquareMillimeters::new(self.blocks.iter().map(|b| b.w_mm * b.h_mm).sum())
+    }
+
+    /// Area of the blocks belonging to core `core`.
+    pub fn core_area(&self, core: usize) -> SquareMillimeters {
+        SquareMillimeters::new(
+            self.blocks
+                .iter()
+                .filter(|b| b.kind == BlockKind::Core { core })
+                .map(|b| b.w_mm * b.h_mm)
+                .sum(),
+        )
+    }
+
+    /// Indices of blocks belonging to core `core`.
+    pub fn core_block_indices(&self, core: usize) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.kind == BlockKind::Core { core })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Index of the block with the given name, if any.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.blocks.iter().position(|b| b.name == name)
+    }
+
+    /// Number of distinct cores present in the floorplan.
+    pub fn core_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter_map(|b| match b.kind {
+                BlockKind::Core { core } => Some(core + 1),
+                BlockKind::L2 => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ev6_tile_fractions_tile_the_unit_square() {
+        let total: f64 = EV6_TILE_LAYOUT.iter().map(|&(_, _, _, w, h)| w * h).sum();
+        assert!((total - 1.0).abs() < 1e-12, "tile fractions sum to {total}");
+    }
+
+    #[test]
+    fn cmp_floorplan_covers_die() {
+        for n in [1, 2, 4, 8, 16, 32] {
+            let f = Floorplan::ispass_cmp(n, 15.6, 15.6);
+            assert!(
+                (f.total_area().as_f64() - 15.6 * 15.6).abs() < 1e-6,
+                "{n} cores: area {}",
+                f.total_area()
+            );
+            assert_eq!(f.core_count(), n);
+        }
+    }
+
+    #[test]
+    fn core_areas_are_equal() {
+        let f = Floorplan::ispass_cmp(16, 15.6, 15.6);
+        let a0 = f.core_area(0).as_f64();
+        for c in 1..16 {
+            assert!((f.core_area(c).as_f64() - a0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_edges_detected_between_neighbors() {
+        let a = Block {
+            name: "a".into(),
+            kind: BlockKind::L2,
+            x_mm: 0.0,
+            y_mm: 0.0,
+            w_mm: 1.0,
+            h_mm: 1.0,
+        };
+        let right = Block {
+            name: "b".into(),
+            kind: BlockKind::L2,
+            x_mm: 1.0,
+            y_mm: 0.5,
+            w_mm: 1.0,
+            h_mm: 1.0,
+        };
+        let above = Block {
+            name: "c".into(),
+            kind: BlockKind::L2,
+            x_mm: 0.25,
+            y_mm: 1.0,
+            w_mm: 0.5,
+            h_mm: 1.0,
+        };
+        let far = Block {
+            name: "d".into(),
+            kind: BlockKind::L2,
+            x_mm: 5.0,
+            y_mm: 5.0,
+            w_mm: 1.0,
+            h_mm: 1.0,
+        };
+        assert!((a.shared_edge_mm(&right) - 0.5).abs() < 1e-12);
+        assert!((a.shared_edge_mm(&above) - 0.5).abs() < 1e-12);
+        assert_eq!(a.shared_edge_mm(&far), 0.0);
+        // Symmetry.
+        assert_eq!(a.shared_edge_mm(&right), right.shared_edge_mm(&a));
+    }
+
+    #[test]
+    fn corner_touch_is_not_adjacency() {
+        let a = Block {
+            name: "a".into(),
+            kind: BlockKind::L2,
+            x_mm: 0.0,
+            y_mm: 0.0,
+            w_mm: 1.0,
+            h_mm: 1.0,
+        };
+        let diag = Block {
+            name: "b".into(),
+            kind: BlockKind::L2,
+            x_mm: 1.0,
+            y_mm: 1.0,
+            w_mm: 1.0,
+            h_mm: 1.0,
+        };
+        assert_eq!(a.shared_edge_mm(&diag), 0.0);
+    }
+
+    #[test]
+    fn non_power_of_two_core_count_gets_spare_block() {
+        let f = Floorplan::ispass_cmp(3, 10.0, 10.0);
+        assert!(f.index_of("spare").is_some());
+        assert!((f.total_area().as_f64() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = Floorplan::ispass_cmp(0, 10.0, 10.0);
+    }
+
+    #[test]
+    fn index_of_finds_blocks() {
+        let f = Floorplan::ispass_cmp(2, 10.0, 10.0);
+        assert!(f.index_of("core0.dcache").is_some());
+        assert!(f.index_of("core1.clock").is_some());
+        assert!(f.index_of("nope").is_none());
+    }
+
+    #[test]
+    fn core_block_indices_partition_cores() {
+        let f = Floorplan::ispass_cmp(4, 10.0, 10.0);
+        let mut all: Vec<usize> = Vec::new();
+        for c in 0..4 {
+            all.extend(f.core_block_indices(c));
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 40); // 4 cores × 10 blocks, disjoint
+    }
+}

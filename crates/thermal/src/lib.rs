@@ -1,0 +1,105 @@
+//! HotSpot-like compact thermal model for the `cmp-tlp` reproduction of
+//! Li & Martínez (ISPASS 2005).
+//!
+//! The paper estimates die temperature with the HotSpot RC thermal model
+//! over an Alpha EV6 floorplan and couples it to its leakage model (static
+//! power is exponentially temperature-dependent). This crate rebuilds that
+//! stack:
+//!
+//! - [`Floorplan`] — rectangular block floorplans; an EV6-like core tile
+//!   and the paper's 16-core + shared-L2 chip ([`Floorplan::ispass_cmp`]).
+//! - [`RcNetwork`] — the compact RC network (vertical conduction to a
+//!   lumped spreader/sink stack, lateral conduction between adjacent
+//!   blocks), with steady-state and implicit-Euler transient solvers.
+//! - [`ThermalModel`] — calibration against a maximum-operational-power
+//!   anchor (Section 3.3 of the paper), thermal maps, average/active-core
+//!   statistics, power density, and the temperature↔leakage fixpoint.
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_thermal::{Floorplan, ThermalModel};
+//! use tlp_tech::units::{Celsius, Watts};
+//!
+//! // The paper's chip: 16 cores, 15.6 mm × 15.6 mm, 100 °C at max power.
+//! let model = ThermalModel::calibrated(
+//!     Floorplan::ispass_cmp(16, 15.6, 15.6),
+//!     Watts::new(300.0),
+//!     Celsius::new(100.0),
+//!     Celsius::new(45.0),
+//! );
+//! // Shut down 12 of 16 cores and spend a quarter of the power:
+//! let p = model.uniform_core_power(Watts::new(75.0), 4);
+//! let map = model.steady_state(&p);
+//! assert!(map.average_core_temperature(model.floorplan()).as_f64() < 100.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod floorplan;
+pub mod model;
+pub mod network;
+
+pub use floorplan::{Block, BlockKind, Floorplan};
+pub use model::{FixpointResult, ThermalMap, ThermalModel};
+pub use network::{PackageParams, RcNetwork};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use tlp_tech::units::{Celsius, Watts};
+
+    use crate::{Floorplan, PackageParams, RcNetwork, ThermalModel};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Steady-state block temperatures never drop below ambient and
+        /// rise monotonically with uniform power.
+        #[test]
+        fn temps_bounded_below_by_ambient(total in 0.0f64..400.0, cores in 1usize..8) {
+            let f = Floorplan::ispass_cmp(8, 12.0, 12.0);
+            let m = ThermalModel::new(f, PackageParams::default(), Celsius::new(45.0));
+            let p = m.uniform_core_power(Watts::new(total.max(1e-6)), cores);
+            let map = m.steady_state(&p);
+            for t in map.block_temps() {
+                prop_assert!(t.as_f64() >= 45.0 - 1e-9);
+            }
+        }
+
+        /// Scaling all powers by k scales temperature rises by k
+        /// (network linearity).
+        #[test]
+        fn linear_scaling(total in 1.0f64..200.0, k in 0.1f64..4.0) {
+            let f = Floorplan::ispass_cmp(4, 10.0, 10.0);
+            let net = RcNetwork::build(&f, &PackageParams::default());
+            let amb = Celsius::new(45.0);
+            let nb = f.blocks().len();
+            let p: Vec<Watts> = (0..nb).map(|i| Watts::new(total * (i % 3) as f64 / nb as f64)).collect();
+            let pk: Vec<Watts> = p.iter().map(|w| *w * k).collect();
+            let t1 = net.steady_state(&p, amb);
+            let tk = net.steady_state(&pk, amb);
+            for (a, b) in t1.iter().zip(&tk) {
+                let rise1 = a.as_f64() - 45.0;
+                let risek = b.as_f64() - 45.0;
+                prop_assert!((risek - k * rise1).abs() < 1e-6 * (1.0 + risek.abs()));
+            }
+        }
+
+        /// The calibrated sink always reproduces its anchor point.
+        #[test]
+        fn calibration_anchor(power in 50.0f64..500.0) {
+            let m = ThermalModel::calibrated(
+                Floorplan::ispass_cmp(4, 10.0, 10.0),
+                Watts::new(power),
+                Celsius::new(100.0),
+                Celsius::new(45.0),
+            );
+            let p = m.uniform_core_power(Watts::new(power), 4);
+            let avg = m.steady_state(&p).average_core_temperature(m.floorplan());
+            prop_assert!((avg.as_f64() - 100.0).abs() < 0.5);
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! High-level thermal model: calibration, thermal maps, and the
+//! power↔temperature↔leakage fixpoint.
+//!
+//! The paper uses HotSpot to determine the maximum operational power — the
+//! chip power that yields the 100 °C maximum operating temperature — and
+//! then renormalizes its power models against that point (Section 3.3).
+//! [`ThermalModel::calibrated`] reproduces this: it tunes the package's
+//! sink-to-ambient conductance so the average core temperature reaches
+//! `t_max` at the given maximum chip power.
+
+use serde::{Deserialize, Serialize};
+
+use tlp_tech::units::{Celsius, PowerDensity, Watts};
+
+use crate::floorplan::{BlockKind, Floorplan};
+use crate::network::{PackageParams, RcNetwork};
+
+/// A solved per-block temperature field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalMap {
+    temps: Vec<Celsius>,
+    n_blocks: usize,
+}
+
+impl ThermalMap {
+    /// Per-block temperatures (excluding spreader/sink nodes).
+    pub fn block_temps(&self) -> &[Celsius] {
+        &self.temps[..self.n_blocks]
+    }
+
+    /// Temperature of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn block(&self, block: usize) -> Celsius {
+        self.temps[block]
+    }
+
+    /// Area-weighted average temperature over blocks selected by `keep`.
+    pub fn average_where<F: Fn(usize) -> bool>(&self, floorplan: &Floorplan, keep: F) -> Celsius {
+        let mut sum = 0.0;
+        let mut area = 0.0;
+        for (i, b) in floorplan.blocks().iter().enumerate() {
+            if keep(i) {
+                let a = b.area().as_f64();
+                sum += self.temps[i].as_f64() * a;
+                area += a;
+            }
+        }
+        assert!(area > 0.0, "no blocks selected for averaging");
+        Celsius::new(sum / area)
+    }
+
+    /// Area-weighted average over core blocks only, excluding the L2 — the
+    /// statistic the paper plots in Fig. 3 (it excludes the cool L2).
+    pub fn average_core_temperature(&self, floorplan: &Floorplan) -> Celsius {
+        self.average_where(floorplan, |i| {
+            matches!(floorplan.blocks()[i].kind, BlockKind::Core { .. })
+        })
+    }
+
+    /// Area-weighted average over the *active* cores only (cores with index
+    /// below `active`), matching the paper's practice of shutting down and
+    /// excluding unused cores.
+    pub fn average_active_core_temperature(
+        &self,
+        floorplan: &Floorplan,
+        active: usize,
+    ) -> Celsius {
+        self.average_where(floorplan, |i| match floorplan.blocks()[i].kind {
+            BlockKind::Core { core } => core < active,
+            BlockKind::L2 => false,
+        })
+    }
+
+    /// Hottest block temperature.
+    pub fn max_temperature(&self) -> Celsius {
+        self.temps[..self.n_blocks]
+            .iter()
+            .copied()
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+}
+
+/// Result of a power/temperature fixpoint solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixpointResult {
+    /// The converged thermal map.
+    pub map: ThermalMap,
+    /// The converged per-block static power.
+    pub static_power: Vec<Watts>,
+    /// Iterations taken.
+    pub iterations: u32,
+    /// Whether the iteration converged within tolerance.
+    pub converged: bool,
+}
+
+/// HotSpot-like thermal model bound to a floorplan.
+///
+/// # Examples
+///
+/// ```
+/// use tlp_thermal::{Floorplan, ThermalModel};
+/// use tlp_tech::units::{Celsius, Watts};
+///
+/// let chip = Floorplan::ispass_cmp(16, 15.6, 15.6);
+/// let model = ThermalModel::calibrated(chip, Watts::new(300.0),
+///     Celsius::new(100.0), Celsius::new(45.0));
+/// // At the calibration power, the average core temperature hits t_max:
+/// let p = model.uniform_core_power(Watts::new(300.0), 16);
+/// let map = model.steady_state(&p);
+/// let avg = map.average_core_temperature(model.floorplan());
+/// assert!((avg.as_f64() - 100.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    floorplan: Floorplan,
+    network: RcNetwork,
+    ambient: Celsius,
+}
+
+impl ThermalModel {
+    /// Builds an uncalibrated model with the given package.
+    pub fn new(floorplan: Floorplan, package: PackageParams, ambient: Celsius) -> Self {
+        let network = RcNetwork::build(&floorplan, &package);
+        Self {
+            floorplan,
+            network,
+            ambient,
+        }
+    }
+
+    /// Builds a model whose package is calibrated such that dissipating
+    /// `max_power` uniformly over all core blocks yields an average core
+    /// temperature of `t_max` (the paper's maximum-operational-power
+    /// anchoring, Section 3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if calibration cannot bracket `t_max` (e.g. `t_max` at or
+    /// below ambient) or `max_power` is not positive.
+    pub fn calibrated(
+        floorplan: Floorplan,
+        max_power: Watts,
+        t_max: Celsius,
+        ambient: Celsius,
+    ) -> Self {
+        let n_cores = floorplan.core_count();
+        Self::calibrated_active(floorplan, max_power, n_cores, t_max, ambient)
+    }
+
+    /// Like [`ThermalModel::calibrated`], but anchors the calibration on a
+    /// configuration with only the first `active_cores` cores powered —
+    /// the paper's single-core full-throttle reference runs on the full CMP
+    /// die with the other cores shut down.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ThermalModel::calibrated`],
+    /// or if `active_cores` is zero or exceeds the floorplan's core count.
+    pub fn calibrated_active(
+        floorplan: Floorplan,
+        max_power: Watts,
+        active_cores: usize,
+        t_max: Celsius,
+        ambient: Celsius,
+    ) -> Self {
+        assert!(max_power.as_f64() > 0.0, "max power must be positive");
+        assert!(
+            t_max.as_f64() > ambient.as_f64(),
+            "t_max must exceed ambient"
+        );
+        assert!(
+            active_cores >= 1 && active_cores <= floorplan.core_count(),
+            "active core count out of range"
+        );
+        let mut model = Self::new(floorplan, PackageParams::default(), ambient);
+        let powers = model.uniform_core_power(max_power, active_cores);
+
+        let avg_at = |model: &Self, g: f64| -> f64 {
+            let mut m = model.clone();
+            m.network.set_sink_conductance(g);
+            m.steady_state(&powers)
+                .average_active_core_temperature(&m.floorplan, active_cores)
+                .as_f64()
+        };
+
+        // Average temperature decreases monotonically with sink
+        // conductance; bracket then bisect.
+        let target = t_max.as_f64();
+        let mut lo = 1e-3; // nearly adiabatic: very hot
+        let mut hi = 1e4; // enormous sink: nearly ambient
+        assert!(
+            avg_at(&model, lo) > target && avg_at(&model, hi) < target,
+            "cannot bracket calibration target"
+        );
+        for _ in 0..100 {
+            let mid = (lo * hi).sqrt();
+            if avg_at(&model, mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        model.network.set_sink_conductance((lo * hi).sqrt());
+        model
+    }
+
+    /// The floorplan this model solves over.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// The ambient temperature boundary condition.
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// Spreads `total` power uniformly (per area) over the blocks of the
+    /// first `active_cores` cores; L2 and inactive cores get zero.
+    pub fn uniform_core_power(&self, total: Watts, active_cores: usize) -> Vec<Watts> {
+        let mut area = 0.0;
+        for b in self.floorplan.blocks() {
+            if let BlockKind::Core { core } = b.kind {
+                if core < active_cores {
+                    area += b.area().as_f64();
+                }
+            }
+        }
+        assert!(area > 0.0, "no active core area");
+        self.floorplan
+            .blocks()
+            .iter()
+            .map(|b| match b.kind {
+                BlockKind::Core { core } if core < active_cores => {
+                    Watts::new(total.as_f64() * b.area().as_f64() / area)
+                }
+                _ => Watts::ZERO,
+            })
+            .collect()
+    }
+
+    /// Steady-state thermal map for per-block powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the number of blocks.
+    pub fn steady_state(&self, powers: &[Watts]) -> ThermalMap {
+        let temps = self.network.steady_state(powers, self.ambient);
+        ThermalMap {
+            n_blocks: self.floorplan.blocks().len(),
+            temps,
+        }
+    }
+
+    /// Solves the temperature↔static-power fixpoint: starting from dynamic
+    /// power only, repeatedly computes temperatures, asks `static_of` for
+    /// the per-block static power at those temperatures, and re-solves until
+    /// the average core temperature changes by less than `tol_celsius`.
+    pub fn fixpoint<F>(
+        &self,
+        dynamic_power: &[Watts],
+        mut static_of: F,
+        tol_celsius: f64,
+        max_iterations: u32,
+    ) -> FixpointResult
+    where
+        F: FnMut(&ThermalMap) -> Vec<Watts>,
+    {
+        let nb = self.floorplan.blocks().len();
+        assert_eq!(dynamic_power.len(), nb, "one dynamic power entry per block");
+        let mut map = self.steady_state(dynamic_power);
+        let mut static_power = vec![Watts::ZERO; nb];
+        let mut prev_avg = map.average_core_temperature(&self.floorplan).as_f64();
+        for iter in 1..=max_iterations {
+            static_power = static_of(&map);
+            assert_eq!(static_power.len(), nb, "one static power entry per block");
+            let total: Vec<Watts> = dynamic_power
+                .iter()
+                .zip(&static_power)
+                .map(|(d, s)| *d + *s)
+                .collect();
+            map = self.steady_state(&total);
+            let avg = map.average_core_temperature(&self.floorplan).as_f64();
+            if (avg - prev_avg).abs() < tol_celsius {
+                return FixpointResult {
+                    map,
+                    static_power,
+                    iterations: iter,
+                    converged: true,
+                };
+            }
+            prev_avg = avg;
+        }
+        FixpointResult {
+            map,
+            static_power,
+            iterations: max_iterations,
+            converged: false,
+        }
+    }
+
+    /// One implicit-Euler transient step of the underlying RC network:
+    /// takes the full node-temperature vector (blocks + spreader + sink,
+    /// as returned by a previous call or seeded at ambient), per-block
+    /// powers, and a step length; returns the new node temperatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches or a non-positive step.
+    pub fn network_step(
+        &self,
+        node_temps: &[Celsius],
+        powers: &[Watts],
+        dt: tlp_tech::units::Seconds,
+    ) -> Vec<Celsius> {
+        self.network
+            .transient_step(node_temps, powers, self.ambient, dt)
+    }
+
+    /// Average power density over the active cores' blocks for a given
+    /// per-block power vector (the Fig. 3 power-density statistic, which
+    /// excludes the L2).
+    pub fn core_power_density(&self, powers: &[Watts], active_cores: usize) -> PowerDensity {
+        let mut p = 0.0;
+        let mut area = 0.0;
+        for (b, w) in self.floorplan.blocks().iter().zip(powers) {
+            if let BlockKind::Core { core } = b.kind {
+                if core < active_cores {
+                    p += w.as_f64();
+                    area += b.area().as_f64();
+                }
+            }
+        }
+        assert!(area > 0.0, "no active core area");
+        PowerDensity::new(p / area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThermalModel {
+        ThermalModel::calibrated(
+            Floorplan::ispass_cmp(4, 10.0, 10.0),
+            Watts::new(100.0),
+            Celsius::new(100.0),
+            Celsius::new(45.0),
+        )
+    }
+
+    #[test]
+    fn calibration_hits_t_max() {
+        let m = model();
+        let p = m.uniform_core_power(Watts::new(100.0), 4);
+        let avg = m.steady_state(&p).average_core_temperature(m.floorplan());
+        assert!((avg.as_f64() - 100.0).abs() < 0.2, "calibrated avg {avg}");
+    }
+
+    #[test]
+    fn half_power_is_cooler_but_above_ambient() {
+        let m = model();
+        let p = m.uniform_core_power(Watts::new(50.0), 4);
+        let avg = m.steady_state(&p).average_core_temperature(m.floorplan());
+        assert!(avg.as_f64() < 100.0);
+        assert!(avg.as_f64() > 45.0);
+    }
+
+    #[test]
+    fn uniform_core_power_sums_to_total() {
+        let m = model();
+        let p = m.uniform_core_power(Watts::new(80.0), 2);
+        let total: f64 = p.iter().map(|w| w.as_f64()).sum();
+        assert!((total - 80.0).abs() < 1e-9);
+        // Inactive cores and L2 receive nothing.
+        for (b, w) in m.floorplan().blocks().iter().zip(&p) {
+            match b.kind {
+                BlockKind::Core { core } if core < 2 => assert!(w.as_f64() > 0.0),
+                _ => assert_eq!(w.as_f64(), 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn active_core_average_exceeds_all_core_average_when_half_active() {
+        let m = model();
+        let p = m.uniform_core_power(Watts::new(60.0), 2);
+        let map = m.steady_state(&p);
+        let active = map.average_active_core_temperature(m.floorplan(), 2);
+        let all = map.average_core_temperature(m.floorplan());
+        assert!(active.as_f64() > all.as_f64());
+    }
+
+    #[test]
+    fn fixpoint_converges_with_temperature_dependent_leakage() {
+        let m = model();
+        let dynamic = m.uniform_core_power(Watts::new(60.0), 4);
+        let nb = m.floorplan().blocks().len();
+        let result = m.fixpoint(
+            &dynamic,
+            |map| {
+                // Toy leakage: 0.1 W per block per 100 °C, exponential-ish.
+                (0..nb)
+                    .map(|i| Watts::new(0.05 * (map.block(i).as_f64() / 60.0).exp()))
+                    .collect()
+            },
+            0.01,
+            50,
+        );
+        assert!(result.converged, "fixpoint failed after {} iters", result.iterations);
+        // Static power raises temperature above the dynamic-only solve.
+        let dyn_only = m.steady_state(&dynamic).average_core_temperature(m.floorplan());
+        let with_static = result.map.average_core_temperature(m.floorplan());
+        assert!(with_static.as_f64() > dyn_only.as_f64());
+    }
+
+    #[test]
+    fn power_density_excludes_l2_area() {
+        let m = model();
+        let p = m.uniform_core_power(Watts::new(100.0), 4);
+        let d = m.core_power_density(&p, 4);
+        // Core region is 65 % of the 100 mm² die.
+        assert!((d.as_w_per_mm2() - 100.0 / 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_active_cores_at_same_total_power_run_hotter_locally() {
+        let m = model();
+        let p4 = m.uniform_core_power(Watts::new(80.0), 4);
+        let p1 = m.uniform_core_power(Watts::new(80.0), 1);
+        let t4 = m
+            .steady_state(&p4)
+            .average_active_core_temperature(m.floorplan(), 4);
+        let t1 = m
+            .steady_state(&p1)
+            .average_active_core_temperature(m.floorplan(), 1);
+        assert!(
+            t1.as_f64() > t4.as_f64(),
+            "concentrated power {t1} !> spread power {t4}"
+        );
+    }
+
+    #[test]
+    fn max_temperature_bounds_averages() {
+        let m = model();
+        let p = m.uniform_core_power(Watts::new(70.0), 3);
+        let map = m.steady_state(&p);
+        assert!(
+            map.max_temperature().as_f64()
+                >= map.average_core_temperature(m.floorplan()).as_f64()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "t_max must exceed ambient")]
+    fn calibration_below_ambient_panics() {
+        let _ = ThermalModel::calibrated(
+            Floorplan::ispass_cmp(2, 10.0, 10.0),
+            Watts::new(10.0),
+            Celsius::new(30.0),
+            Celsius::new(45.0),
+        );
+    }
+}

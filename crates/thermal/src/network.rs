@@ -1,0 +1,332 @@
+//! RC thermal network construction and solvers.
+//!
+//! Following HotSpot's compact-model formulation, each floorplan block is a
+//! node connected (a) vertically through the die to a lumped heat-spreader
+//! node and (b) laterally to geometrically adjacent blocks. The spreader
+//! connects to a lumped heat-sink node, which connects to the ambient
+//! boundary. Steady-state temperatures solve `G·T = P + g_amb·T_amb`;
+//! transients use implicit-Euler stepping on `C·dT/dt = P − G·T`.
+
+use serde::{Deserialize, Serialize};
+
+use tlp_tech::linalg::solve_dense;
+use tlp_tech::units::{Celsius, Seconds, Watts};
+
+use crate::floorplan::Floorplan;
+
+/// Physical constants of the thermal package.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackageParams {
+    /// Silicon thermal conductivity, W/(m·K).
+    pub k_silicon: f64,
+    /// Die thickness, metres.
+    pub die_thickness_m: f64,
+    /// Spreader-to-sink conductance, W/K.
+    pub g_spreader_sink: f64,
+    /// Sink-to-ambient conductance, W/K (set by calibration).
+    pub g_sink_ambient: f64,
+    /// Volumetric heat capacity of silicon, J/(m³·K).
+    pub c_silicon: f64,
+    /// Lumped spreader capacitance, J/K.
+    pub c_spreader: f64,
+    /// Lumped sink capacitance, J/K.
+    pub c_sink: f64,
+}
+
+impl Default for PackageParams {
+    fn default() -> Self {
+        Self {
+            k_silicon: 100.0,
+            die_thickness_m: 0.5e-3,
+            g_spreader_sink: 30.0,
+            g_sink_ambient: 2.0,
+            c_silicon: 1.75e6,
+            c_spreader: 30.0,
+            c_sink: 300.0,
+        }
+    }
+}
+
+/// Assembled RC network over a floorplan.
+///
+/// Node layout: indices `0..n_blocks` are floorplan blocks, then the
+/// spreader node, then the sink node. Ambient is a boundary condition, not
+/// a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcNetwork {
+    n_blocks: usize,
+    /// Dense symmetric conductance matrix including boundary conductance on
+    /// the diagonal, row-major `(n_blocks+2)²`.
+    g: Vec<f64>,
+    /// Per-node thermal capacitance, J/K.
+    c: Vec<f64>,
+    /// Boundary conductance to ambient per node (only the sink's entry is
+    /// nonzero in the standard package).
+    g_amb: Vec<f64>,
+}
+
+impl RcNetwork {
+    /// Builds the network for a floorplan and package.
+    pub fn build(floorplan: &Floorplan, package: &PackageParams) -> Self {
+        let blocks = floorplan.blocks();
+        let nb = blocks.len();
+        let n = nb + 2;
+        let spreader = nb;
+        let sink = nb + 1;
+
+        let mut g = vec![0.0; n * n];
+        let mut g_amb = vec![0.0; n];
+        let mut c = vec![0.0; n];
+
+        let add = |g: &mut Vec<f64>, i: usize, j: usize, cond: f64| {
+            g[i * n + i] += cond;
+            g[j * n + j] += cond;
+            g[i * n + j] -= cond;
+            g[j * n + i] -= cond;
+        };
+
+        let per_area_vertical = package.k_silicon / package.die_thickness_m; // W/(m²·K)
+        for (i, b) in blocks.iter().enumerate() {
+            let area_m2 = b.area().as_f64() * 1e-6;
+            add(&mut g, i, spreader, per_area_vertical * area_m2);
+            c[i] = package.c_silicon * area_m2 * package.die_thickness_m;
+        }
+        // Lateral conduction between adjacent blocks.
+        for i in 0..nb {
+            for j in (i + 1)..nb {
+                let shared_mm = blocks[i].shared_edge_mm(&blocks[j]);
+                if shared_mm <= 0.0 {
+                    continue;
+                }
+                let (xi, yi) = blocks[i].centroid();
+                let (xj, yj) = blocks[j].centroid();
+                let dist_m = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt() * 1e-3;
+                let cond = package.k_silicon * package.die_thickness_m * (shared_mm * 1e-3)
+                    / dist_m.max(1e-6);
+                add(&mut g, i, j, cond);
+            }
+        }
+        add(&mut g, spreader, sink, package.g_spreader_sink);
+        g_amb[sink] = package.g_sink_ambient;
+        g[sink * n + sink] += package.g_sink_ambient;
+        c[spreader] = package.c_spreader;
+        c[sink] = package.c_sink;
+
+        Self {
+            n_blocks: nb,
+            g,
+            c,
+            g_amb,
+        }
+    }
+
+    /// Number of floorplan-block nodes.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Total node count (blocks + spreader + sink).
+    fn n(&self) -> usize {
+        self.n_blocks + 2
+    }
+
+    /// Steady-state temperatures for the given per-block powers and ambient
+    /// temperature. Returns one temperature per node (blocks, then
+    /// spreader, then sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len() != n_blocks()` or if the conductance matrix
+    /// is singular (impossible for a connected package).
+    pub fn steady_state(&self, powers: &[Watts], ambient: Celsius) -> Vec<Celsius> {
+        assert_eq!(powers.len(), self.n_blocks, "one power entry per block");
+        let n = self.n();
+        let mut rhs = vec![0.0; n];
+        for (i, p) in powers.iter().enumerate() {
+            rhs[i] = p.as_f64();
+        }
+        for (r, g) in rhs.iter_mut().zip(&self.g_amb) {
+            *r += g * ambient.as_f64();
+        }
+        let t = solve_dense(n, &self.g, &rhs)
+            .expect("thermal conductance matrix is SPD and nonsingular");
+        t.into_iter().map(Celsius::new).collect()
+    }
+
+    /// One implicit-Euler transient step of length `dt` from temperatures
+    /// `t_now` under per-block powers. Returns the new node temperatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn transient_step(
+        &self,
+        t_now: &[Celsius],
+        powers: &[Watts],
+        ambient: Celsius,
+        dt: Seconds,
+    ) -> Vec<Celsius> {
+        let n = self.n();
+        assert_eq!(t_now.len(), n, "one temperature per node");
+        assert_eq!(powers.len(), self.n_blocks, "one power entry per block");
+        assert!(dt.as_f64() > 0.0, "time step must be positive");
+        // (C/dt + G) T' = C/dt·T + P + g_amb·T_amb
+        let mut a = self.g.clone();
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            let cdt = self.c[i] / dt.as_f64();
+            a[i * n + i] += cdt;
+            rhs[i] = cdt * t_now[i].as_f64() + self.g_amb[i] * ambient.as_f64();
+        }
+        for (i, p) in powers.iter().enumerate() {
+            rhs[i] += p.as_f64();
+        }
+        let t = solve_dense(n, &a, &rhs).expect("implicit-Euler matrix is nonsingular");
+        t.into_iter().map(Celsius::new).collect()
+    }
+
+    /// Updates the sink-to-ambient conductance (used by calibration).
+    pub fn set_sink_conductance(&mut self, g_sink_ambient: f64) {
+        assert!(g_sink_ambient > 0.0, "conductance must be positive");
+        let n = self.n();
+        let sink = n - 1;
+        self.g[sink * n + sink] -= self.g_amb[sink];
+        self.g_amb[sink] = g_sink_ambient;
+        self.g[sink * n + sink] += g_sink_ambient;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+
+    fn small_net() -> (Floorplan, RcNetwork) {
+        let f = Floorplan::ispass_cmp(2, 10.0, 10.0);
+        let net = RcNetwork::build(&f, &PackageParams::default());
+        (f, net)
+    }
+
+    #[test]
+    fn zero_power_settles_at_ambient() {
+        let (f, net) = small_net();
+        let temps = net.steady_state(&vec![Watts::ZERO; f.blocks().len()], Celsius::new(45.0));
+        for t in temps {
+            assert!((t.as_f64() - 45.0).abs() < 1e-6, "temperature {t} != ambient");
+        }
+    }
+
+    #[test]
+    fn all_temps_above_ambient_under_power() {
+        let (f, net) = small_net();
+        let powers = vec![Watts::new(1.0); f.blocks().len()];
+        let temps = net.steady_state(&powers, Celsius::new(45.0));
+        for t in temps {
+            assert!(t.as_f64() > 45.0);
+        }
+    }
+
+    #[test]
+    fn temperature_monotone_in_power() {
+        let (f, net) = small_net();
+        let p1 = vec![Watts::new(1.0); f.blocks().len()];
+        let p2 = vec![Watts::new(2.0); f.blocks().len()];
+        let t1 = net.steady_state(&p1, Celsius::new(45.0));
+        let t2 = net.steady_state(&p2, Celsius::new(45.0));
+        for (a, b) in t1.iter().zip(&t2) {
+            assert!(b.as_f64() > a.as_f64());
+        }
+    }
+
+    #[test]
+    fn superposition_holds_for_linear_network() {
+        // Steady state is linear in power: T(p1+p2) - Tamb = (T(p1)-Tamb)+(T(p2)-Tamb).
+        let (f, net) = small_net();
+        let nb = f.blocks().len();
+        let amb = Celsius::new(40.0);
+        let mut p1 = vec![Watts::ZERO; nb];
+        p1[1] = Watts::new(3.0);
+        let mut p2 = vec![Watts::ZERO; nb];
+        p2[5] = Watts::new(2.0);
+        let both: Vec<Watts> = p1.iter().zip(&p2).map(|(a, b)| *a + *b).collect();
+        let t1 = net.steady_state(&p1, amb);
+        let t2 = net.steady_state(&p2, amb);
+        let tb = net.steady_state(&both, amb);
+        for i in 0..nb {
+            let lhs = tb[i].as_f64() - 40.0;
+            let rhs = (t1[i].as_f64() - 40.0) + (t2[i].as_f64() - 40.0);
+            assert!((lhs - rhs).abs() < 1e-8, "superposition at node {i}");
+        }
+    }
+
+    #[test]
+    fn heated_block_is_hottest() {
+        let (f, net) = small_net();
+        let nb = f.blocks().len();
+        let hot = f.index_of("core0.intexec").unwrap();
+        let mut p = vec![Watts::ZERO; nb];
+        p[hot] = Watts::new(5.0);
+        let t = net.steady_state(&p, Celsius::new(45.0));
+        let hottest = (0..nb)
+            .max_by(|&a, &b| t[a].as_f64().partial_cmp(&t[b].as_f64()).unwrap())
+            .unwrap();
+        assert_eq!(hottest, hot);
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let (f, net) = small_net();
+        let nb = f.blocks().len();
+        let amb = Celsius::new(45.0);
+        let powers = vec![Watts::new(0.5); nb];
+        let target = net.steady_state(&powers, amb);
+        let mut t = vec![amb; nb + 2];
+        // March 900 s in 1 s implicit steps — several sink time constants
+        // (the lumped sink's τ = C/g = 150 s dominates settling).
+        for _ in 0..900 {
+            t = net.transient_step(&t, &powers, amb, Seconds::new(1.0));
+        }
+        for (now, goal) in t.iter().zip(&target) {
+            assert!(
+                (now.as_f64() - goal.as_f64()).abs() < 0.05,
+                "transient {} vs steady {}",
+                now,
+                goal
+            );
+        }
+    }
+
+    #[test]
+    fn transient_is_monotone_while_heating() {
+        let (f, net) = small_net();
+        let nb = f.blocks().len();
+        let amb = Celsius::new(45.0);
+        let powers = vec![Watts::new(1.0); nb];
+        let mut t = vec![amb; nb + 2];
+        let mut prev_avg = 45.0;
+        for _ in 0..20 {
+            t = net.transient_step(&t, &powers, amb, Seconds::new(0.05));
+            let avg: f64 = t[..nb].iter().map(|x| x.as_f64()).sum::<f64>() / nb as f64;
+            assert!(avg >= prev_avg - 1e-9);
+            prev_avg = avg;
+        }
+    }
+
+    #[test]
+    fn higher_sink_conductance_runs_cooler() {
+        let (f, mut net) = small_net();
+        let nb = f.blocks().len();
+        let powers = vec![Watts::new(1.0); nb];
+        let warm = net.steady_state(&powers, Celsius::new(45.0));
+        net.set_sink_conductance(8.0);
+        let cool = net.steady_state(&powers, Celsius::new(45.0));
+        assert!(cool[0].as_f64() < warm[0].as_f64());
+    }
+
+    #[test]
+    #[should_panic(expected = "one power entry per block")]
+    fn wrong_power_length_panics() {
+        let (_, net) = small_net();
+        let _ = net.steady_state(&[Watts::new(1.0)], Celsius::new(45.0));
+    }
+}

@@ -1,0 +1,748 @@
+//! Phase-list builders for the twelve SPLASH-2-like applications.
+//!
+//! Every builder encodes the traits the paper's analysis depends on:
+//!
+//! - **Working sets** sized after Table 2 (region bytes are faithful even
+//!   though dynamic instruction counts are scaled, see
+//!   [`Scale`](crate::suite::Scale)).
+//! - **Compute vs. memory intensity** — FMM and Water are FP-heavy and
+//!   cache-resident (high power); Ocean streams grids larger than the L2
+//!   and Radix scatters over 4 MB (memory-bound, power-thrifty).
+//! - **Synchronization structure** — barrier-stepped (Ocean, FFT, LU),
+//!   task queues with locks (Cholesky, Radiosity, Raytrace), reduction
+//!   locks (Water).
+//! - **Sequential fractions and imbalance**, which bound scalability.
+
+use crate::framework::{AccessPattern, Kernel, PhaseSpec};
+use crate::suite::{AppId, Scale};
+
+/// Base of the shared data region.
+const SHARED: u64 = 0x4000_0000;
+/// Second shared region (scratch/output).
+const SHARED2: u64 = 0x8000_0000;
+
+/// Base of a thread's private region (64 MB apart; no false sharing).
+fn private(thread: usize) -> u64 {
+    0x0100_0000 + thread as u64 * 0x0400_0000
+}
+
+/// `thread`'s contiguous chunk of a shared region of `len` bytes.
+fn chunk(base: u64, len: u64, thread: usize, n: usize) -> (u64, u64) {
+    let per = (len / n as u64).max(64);
+    (base + per * thread as u64, per)
+}
+
+/// Default streaming: 16 B stride (a few references per cache line, the
+/// locality of array codes reading multi-word records).
+fn stream(base: u64, len: u64) -> AccessPattern {
+    AccessPattern::Streaming {
+        base,
+        len,
+        stride: 16,
+    }
+}
+
+/// Word-granular streaming (8 B doubles): eight references per cache
+/// line, the locality of blocked dense kernels.
+fn stream_words(base: u64, len: u64) -> AccessPattern {
+    AccessPattern::Streaming {
+        base,
+        len,
+        stride: 8,
+    }
+}
+
+fn private_stream(thread: usize, len: u64) -> AccessPattern {
+    stream(private(thread), len)
+}
+
+/// A compute-only kernel writing to a small private scratch area.
+fn scratch_stores(thread: usize) -> AccessPattern {
+    stream(private(thread) + 0x20_0000, 32 * 1024)
+}
+
+pub(crate) fn phases(app: AppId, thread: usize, n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    match app {
+        AppId::Barnes => barnes(thread, n, scale),
+        AppId::Cholesky => cholesky(thread, n, scale),
+        AppId::Fft => fft(thread, n, scale),
+        AppId::Fmm => fmm(thread, n, scale),
+        AppId::Lu => lu(thread, n, scale),
+        AppId::Ocean => ocean(thread, n, scale),
+        AppId::Radiosity => radiosity(thread, n, scale),
+        AppId::Radix => radix(thread, n, scale),
+        AppId::Raytrace => raytrace(thread, n, scale),
+        AppId::Volrend => volrend(thread, n, scale),
+        AppId::WaterNsq => water_nsq(thread, n, scale),
+        AppId::WaterSp => water_sp(thread, n, scale),
+    }
+}
+
+/// Barnes-Hut: octree walks over a 2 MB shared tree, a small sequential
+/// tree-build per step, FP-moderate force computation.
+fn barnes(thread: usize, _n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let tree = AccessPattern::Walk {
+        base: SHARED,
+        len: 2 << 20,
+        jump_prob: 0.12,
+    };
+    let force = Kernel {
+        int_per_item: 20,
+        fp_per_item: 40,
+        loads_per_item: 5,
+        stores_per_item: 2,
+        branches_per_item: 4,
+        mispredict_rate: 0.02,
+        load_pattern: tree,
+        store_pattern: scratch_stores(thread),
+    };
+    let build = Kernel {
+        int_per_item: 30,
+        fp_per_item: 0,
+        loads_per_item: 4,
+        stores_per_item: 2,
+        branches_per_item: 3,
+        mispredict_rate: 0.05,
+        load_pattern: tree,
+        store_pattern: stream(SHARED, 2 << 20),
+    };
+    let update = Kernel {
+        int_per_item: 4,
+        fp_per_item: 8,
+        loads_per_item: 2,
+        stores_per_item: 2,
+        branches_per_item: 1,
+        mispredict_rate: 0.01,
+        load_pattern: private_stream(thread, 1 << 20),
+        store_pattern: private_stream(thread, 1 << 20),
+    };
+    let mut p = Vec::new();
+    for _step in 0..2 {
+        p.push(PhaseSpec::Sequential {
+            items: scale.items(200),
+            kernel: build,
+        });
+        p.push(PhaseSpec::Barrier);
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(4096),
+            kernel: force,
+        });
+        p.push(PhaseSpec::Barrier);
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(4096),
+            kernel: update,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+/// Cholesky: sequential symbolic factorization, then supersteps of a
+/// single task queue feeding FP supernode updates — limited, irregular
+/// parallelism.
+fn cholesky(thread: usize, _n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let matrix = AccessPattern::Walk {
+        base: SHARED,
+        len: 3 << 19, // ~1.5 MB sparse factor
+        jump_prob: 0.2,
+    };
+    let queue_pop = Kernel {
+        int_per_item: 10,
+        fp_per_item: 0,
+        loads_per_item: 2,
+        stores_per_item: 1,
+        branches_per_item: 2,
+        mispredict_rate: 0.05,
+        load_pattern: matrix,
+        store_pattern: stream(SHARED2, 64 * 1024),
+    };
+    let update = Kernel {
+        int_per_item: 15,
+        fp_per_item: 30,
+        loads_per_item: 6,
+        stores_per_item: 3,
+        branches_per_item: 2,
+        mispredict_rate: 0.03,
+        load_pattern: matrix,
+        store_pattern: stream(SHARED, 3 << 19),
+    };
+    let symbolic = Kernel {
+        int_per_item: 40,
+        fp_per_item: 0,
+        loads_per_item: 6,
+        stores_per_item: 2,
+        branches_per_item: 4,
+        mispredict_rate: 0.06,
+        load_pattern: matrix,
+        store_pattern: stream(SHARED, 3 << 19),
+    };
+    let _ = thread;
+    let mut p = vec![
+        PhaseSpec::Sequential {
+            items: scale.items(400),
+            kernel: symbolic,
+        },
+        PhaseSpec::Barrier,
+    ];
+    for _superstep in 0..2 {
+        p.push(PhaseSpec::Locked {
+            total_items: scale.items(1200),
+            n_locks: 1,
+            kernel: queue_pop,
+        });
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(2400),
+            kernel: update,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+/// FFT: butterfly stages over each thread's 1/N chunk of the 1 MB point
+/// array, separated by all-to-all transposes (random remote references).
+fn fft(thread: usize, n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let points = 1u64 << 20; // 64 K points × 16 B
+    let (my_base, my_len) = chunk(SHARED, points, thread, n);
+    let butterfly = Kernel {
+        int_per_item: 6,
+        fp_per_item: 8,
+        loads_per_item: 4,
+        stores_per_item: 2,
+        branches_per_item: 1,
+        mispredict_rate: 0.01,
+        load_pattern: AccessPattern::Streaming {
+            base: my_base,
+            len: my_len,
+            stride: 16, // complex doubles
+        },
+        store_pattern: AccessPattern::Streaming {
+            base: my_base,
+            len: my_len,
+            stride: 16,
+        },
+    };
+    let transpose = Kernel {
+        int_per_item: 4,
+        fp_per_item: 0,
+        loads_per_item: 2,
+        stores_per_item: 2,
+        branches_per_item: 1,
+        mispredict_rate: 0.01,
+        load_pattern: AccessPattern::Random {
+            base: SHARED,
+            len: points,
+        },
+        store_pattern: AccessPattern::Random {
+            base: SHARED2,
+            len: points,
+        },
+    };
+    let mut p = Vec::new();
+    for _stage in 0..3 {
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(8192),
+            kernel: butterfly,
+        });
+        p.push(PhaseSpec::Barrier);
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(8192),
+            kernel: transpose,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+/// FMM: the suite's most compute-intensive code — deep FP kernels over a
+/// cache-resident private multipole expansion.
+fn fmm(thread: usize, _n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let expansions = Kernel {
+        int_per_item: 20,
+        fp_per_item: 60,
+        loads_per_item: 4,
+        stores_per_item: 2,
+        branches_per_item: 4,
+        mispredict_rate: 0.01,
+        load_pattern: AccessPattern::Walk {
+            base: private(thread) + 0x40_0000,
+            len: 48 * 1024, // expansion data lives in the L1
+            jump_prob: 0.05,
+        },
+        store_pattern: scratch_stores(thread),
+    };
+    let lists = Kernel {
+        int_per_item: 24,
+        fp_per_item: 8,
+        loads_per_item: 3,
+        stores_per_item: 1,
+        branches_per_item: 3,
+        mispredict_rate: 0.03,
+        // Interaction lists stay compact and cache-warm; FMM is the
+        // suite's most compute-intensive, highest-power code.
+        load_pattern: AccessPattern::Walk {
+            base: SHARED,
+            len: 96 * 1024,
+            jump_prob: 0.1,
+        },
+        store_pattern: scratch_stores(thread),
+    };
+    let mut p = Vec::new();
+    for _step in 0..2 {
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(1024),
+            kernel: lists,
+        });
+        p.push(PhaseSpec::Barrier);
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(4096),
+            kernel: expansions,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+/// LU: outer iterations with a sequential diagonal-block factorization,
+/// then a parallel trailing-matrix update whose size shrinks each step.
+fn lu(thread: usize, n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let matrix = 2u64 << 20; // 512×512 doubles
+    let (my_base, my_len) = chunk(SHARED, matrix, thread, n);
+    let diag = Kernel {
+        int_per_item: 8,
+        fp_per_item: 30,
+        loads_per_item: 3,
+        stores_per_item: 2,
+        branches_per_item: 1,
+        mispredict_rate: 0.01,
+        load_pattern: stream_words(SHARED, 16 * 1024),
+        store_pattern: stream_words(SHARED, 16 * 1024),
+    };
+    let update = Kernel {
+        int_per_item: 10,
+        fp_per_item: 24,
+        loads_per_item: 6,
+        stores_per_item: 3,
+        branches_per_item: 1,
+        mispredict_rate: 0.01,
+        load_pattern: stream_words(my_base, my_len),
+        store_pattern: stream_words(my_base, my_len),
+    };
+    let mut p = Vec::new();
+    for k in 0..6u64 {
+        p.push(PhaseSpec::Sequential {
+            items: scale.items(64),
+            kernel: diag,
+        });
+        p.push(PhaseSpec::Barrier);
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(1536 - k * 256),
+            kernel: update,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+/// Ocean: barrier-stepped nearest-neighbour sweeps streaming grids that
+/// exceed the 4 MB L2 — the suite's canonical memory-bound code.
+fn ocean(thread: usize, n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let grids = 8u64 << 20; // several 514×514 double grids
+    let (my_base, my_len) = chunk(SHARED, grids, thread, n);
+    let sweep = Kernel {
+        int_per_item: 6,
+        fp_per_item: 10,
+        loads_per_item: 12,
+        stores_per_item: 6,
+        branches_per_item: 2,
+        mispredict_rate: 0.01,
+        load_pattern: stream(my_base, my_len),
+        store_pattern: stream(my_base, my_len),
+    };
+    let mut p = Vec::new();
+    for _step in 0..6 {
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(6144),
+            kernel: sweep,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+/// Radiosity: task-queue-driven irregular parallelism with visibility
+/// walks over the shared scene.
+fn radiosity(thread: usize, _n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let scene = AccessPattern::Walk {
+        base: SHARED,
+        len: 1 << 20,
+        jump_prob: 0.15,
+    };
+    let task = Kernel {
+        int_per_item: 12,
+        fp_per_item: 0,
+        loads_per_item: 3,
+        stores_per_item: 1,
+        branches_per_item: 3,
+        mispredict_rate: 0.06,
+        load_pattern: scene,
+        store_pattern: stream(SHARED2, 256 * 1024),
+    };
+    let gather = Kernel {
+        int_per_item: 15,
+        fp_per_item: 25,
+        loads_per_item: 5,
+        stores_per_item: 2,
+        branches_per_item: 3,
+        mispredict_rate: 0.04,
+        load_pattern: scene,
+        store_pattern: scratch_stores(thread),
+    };
+    let mut p = Vec::new();
+    for _iter in 0..2 {
+        p.push(PhaseSpec::Locked {
+            total_items: scale.items(1500),
+            n_locks: 4,
+            kernel: task,
+        });
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(3000),
+            kernel: gather,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+/// Radix: integer-only histogram/permute passes; the permutation scatters
+/// stores across the full 4 MB key array — memory-bound and power-thrifty.
+fn radix(thread: usize, n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let keys = 4u64 << 20; // 1 M × 4 B
+    let (my_base, my_len) = chunk(SHARED, keys, thread, n);
+    let hist = Kernel {
+        int_per_item: 12,
+        fp_per_item: 0,
+        loads_per_item: 8,
+        stores_per_item: 0,
+        branches_per_item: 2,
+        mispredict_rate: 0.01,
+        load_pattern: stream(my_base, my_len),
+        store_pattern: scratch_stores(thread),
+    };
+    let prefix = Kernel {
+        int_per_item: 20,
+        fp_per_item: 0,
+        loads_per_item: 2,
+        stores_per_item: 2,
+        branches_per_item: 2,
+        mispredict_rate: 0.02,
+        load_pattern: stream(SHARED2 + 0x100_0000, 64 * 1024),
+        store_pattern: stream(SHARED2 + 0x100_0000, 64 * 1024),
+    };
+    let permute = Kernel {
+        int_per_item: 8,
+        fp_per_item: 0,
+        loads_per_item: 8,
+        stores_per_item: 8,
+        branches_per_item: 1,
+        mispredict_rate: 0.01,
+        load_pattern: stream(my_base, my_len),
+        store_pattern: AccessPattern::Random {
+            base: SHARED2,
+            len: keys,
+        },
+    };
+    let mut p = Vec::new();
+    for _pass in 0..2 {
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(4096),
+            kernel: hist,
+        });
+        p.push(PhaseSpec::Barrier);
+        p.push(PhaseSpec::Sequential {
+            items: scale.items(256),
+            kernel: prefix,
+        });
+        p.push(PhaseSpec::Barrier);
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(4096),
+            kernel: permute,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+/// Raytrace: rays pulled from a locked work queue, long walks over the
+/// shared scene BVH, branchy shading.
+fn raytrace(thread: usize, _n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let scene = AccessPattern::Walk {
+        base: SHARED,
+        len: 4 << 20,
+        jump_prob: 0.08,
+    };
+    let queue = Kernel {
+        int_per_item: 8,
+        fp_per_item: 0,
+        loads_per_item: 2,
+        stores_per_item: 1,
+        branches_per_item: 2,
+        mispredict_rate: 0.05,
+        load_pattern: stream(SHARED2, 128 * 1024),
+        store_pattern: stream(SHARED2, 128 * 1024),
+    };
+    let trace = Kernel {
+        int_per_item: 25,
+        fp_per_item: 30,
+        loads_per_item: 8,
+        stores_per_item: 1,
+        branches_per_item: 6,
+        mispredict_rate: 0.04,
+        load_pattern: scene,
+        store_pattern: scratch_stores(thread),
+    };
+    vec![
+        PhaseSpec::Locked {
+            total_items: scale.items(1500),
+            n_locks: 2,
+            kernel: queue,
+        },
+        PhaseSpec::Parallel {
+            total_items: scale.items(3000),
+            kernel: trace,
+        },
+        PhaseSpec::Barrier,
+    ]
+}
+
+/// Volrend: view-dependent ray casting with strong load imbalance and
+/// locked image-tile accumulation.
+fn volrend(thread: usize, _n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let volume = AccessPattern::Walk {
+        base: SHARED,
+        len: 2 << 20,
+        jump_prob: 0.15,
+    };
+    let cast = Kernel {
+        int_per_item: 20,
+        fp_per_item: 12,
+        loads_per_item: 8,
+        stores_per_item: 1,
+        branches_per_item: 5,
+        mispredict_rate: 0.05,
+        load_pattern: volume,
+        store_pattern: scratch_stores(thread),
+    };
+    let tile = Kernel {
+        int_per_item: 6,
+        fp_per_item: 2,
+        loads_per_item: 2,
+        stores_per_item: 2,
+        branches_per_item: 1,
+        mispredict_rate: 0.02,
+        load_pattern: stream(SHARED2, 512 * 1024),
+        store_pattern: stream(SHARED2, 512 * 1024),
+    };
+    let mut p = Vec::new();
+    for _frame in 0..2 {
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(3000),
+            kernel: cast,
+        });
+        p.push(PhaseSpec::Locked {
+            total_items: scale.items(500),
+            n_locks: 8,
+            kernel: tile,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+/// Water-Nsq: O(n²) pairwise FP interactions over a 64 KB molecule array
+/// (cache-resident) with per-molecule reduction locks.
+fn water_nsq(thread: usize, _n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let molecules = AccessPattern::Random {
+        base: SHARED,
+        len: 48 * 1024, // 512 molecules fit in the L1
+    };
+    let pair = Kernel {
+        int_per_item: 12,
+        fp_per_item: 44,
+        loads_per_item: 4,
+        stores_per_item: 1,
+        branches_per_item: 2,
+        mispredict_rate: 0.01,
+        load_pattern: molecules,
+        store_pattern: scratch_stores(thread),
+    };
+    let accumulate = Kernel {
+        int_per_item: 4,
+        fp_per_item: 8,
+        loads_per_item: 2,
+        stores_per_item: 2,
+        branches_per_item: 1,
+        mispredict_rate: 0.01,
+        load_pattern: molecules,
+        store_pattern: stream(SHARED, 48 * 1024),
+    };
+    let mut p = Vec::new();
+    for _step in 0..2 {
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(4096),
+            kernel: pair,
+        });
+        p.push(PhaseSpec::Barrier);
+        p.push(PhaseSpec::Locked {
+            total_items: scale.items(512),
+            n_locks: 8,
+            kernel: accumulate,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+/// Water-Sp: the spatial-cell variant — the same chemistry with
+/// neighbour-list walks instead of all-pairs, fewer locks.
+fn water_sp(thread: usize, _n: usize, scale: Scale) -> Vec<PhaseSpec> {
+    let cells = AccessPattern::Walk {
+        base: SHARED,
+        len: 48 * 1024, // cell-local molecule data fits in the L1
+        jump_prob: 0.05,
+    };
+    let interact = Kernel {
+        int_per_item: 14,
+        fp_per_item: 40,
+        loads_per_item: 5,
+        stores_per_item: 1,
+        branches_per_item: 2,
+        mispredict_rate: 0.01,
+        load_pattern: cells,
+        store_pattern: scratch_stores(thread),
+    };
+    let neighbor = Kernel {
+        int_per_item: 6,
+        fp_per_item: 10,
+        loads_per_item: 3,
+        stores_per_item: 1,
+        branches_per_item: 1,
+        mispredict_rate: 0.02,
+        load_pattern: cells,
+        store_pattern: stream(SHARED, 48 * 1024),
+    };
+    let mut p = Vec::new();
+    for _step in 0..2 {
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(4096),
+            kernel: interact,
+        });
+        p.push(PhaseSpec::Barrier);
+        p.push(PhaseSpec::Parallel {
+            total_items: scale.items(1024),
+            kernel: neighbor,
+        });
+        p.push(PhaseSpec::Barrier);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_builds_for_various_thread_counts() {
+        for app in AppId::ALL {
+            for n in [1usize, 2, 4, 8, 16] {
+                for t in 0..n {
+                    let p = phases(app, t, n, Scale::Test);
+                    assert!(!p.is_empty(), "{app} produced no phases");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_structure_identical_across_threads() {
+        // Barrier ids derive from phase positions, so the *shape* of the
+        // phase list must not depend on the thread index.
+        for app in AppId::ALL {
+            let shape = |t: usize| {
+                phases(app, t, 4, Scale::Test)
+                    .iter()
+                    .map(|p| match p {
+                        PhaseSpec::Parallel { total_items, .. } => format!("P{total_items}"),
+                        PhaseSpec::Sequential { items, .. } => format!("S{items}"),
+                        PhaseSpec::Barrier => "B".into(),
+                        PhaseSpec::Locked { total_items, .. } => format!("L{total_items}"),
+                    })
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(shape(0), shape(3), "{app}");
+        }
+    }
+
+    #[test]
+    fn memory_bound_apps_use_big_regions() {
+        // Ocean streams 8 MB (> 4 MB L2); Radix scatters over 4 MB.
+        let p = phases(AppId::Ocean, 0, 1, Scale::Test);
+        let has_big_stream = p.iter().any(|ph| match ph {
+            PhaseSpec::Parallel { kernel, .. } => matches!(
+                kernel.load_pattern,
+                AccessPattern::Streaming { len, .. } if len >= 4 << 20
+            ),
+            _ => false,
+        });
+        assert!(has_big_stream, "Ocean must stream beyond the L2");
+
+        let p = phases(AppId::Radix, 0, 1, Scale::Test);
+        let has_scatter = p.iter().any(|ph| match ph {
+            PhaseSpec::Parallel { kernel, .. } => matches!(
+                kernel.store_pattern,
+                AccessPattern::Random { len, .. } if len >= 4 << 20
+            ),
+            _ => false,
+        });
+        assert!(has_scatter, "Radix must scatter over the key array");
+    }
+
+    #[test]
+    fn fmm_is_fp_heavy_and_radix_is_integer_only() {
+        let fp_share = |app: AppId| {
+            let p = phases(app, 0, 1, Scale::Test);
+            let (mut fp, mut total) = (0u64, 0u64);
+            for ph in &p {
+                let (kernel, items) = match ph {
+                    PhaseSpec::Parallel { kernel, total_items } => (kernel, *total_items),
+                    PhaseSpec::Sequential { kernel, items } => (kernel, *items),
+                    PhaseSpec::Locked { kernel, total_items, .. } => (kernel, *total_items),
+                    PhaseSpec::Barrier => continue,
+                };
+                fp += kernel.fp_per_item as u64 * items;
+                total += kernel.instructions_per_item() * items;
+            }
+            fp as f64 / total as f64
+        };
+        assert!(fp_share(AppId::Fmm) > 0.5, "FMM fp share {}", fp_share(AppId::Fmm));
+        assert_eq!(fp_share(AppId::Radix), 0.0);
+    }
+
+    #[test]
+    fn sequential_fractions_exist_where_expected() {
+        for app in [AppId::Barnes, AppId::Cholesky, AppId::Lu, AppId::Radix] {
+            let p = phases(app, 0, 4, Scale::Test);
+            assert!(
+                p.iter().any(|ph| matches!(ph, PhaseSpec::Sequential { .. })),
+                "{app} should have a sequential phase"
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_partition_disjointly() {
+        let (b0, l0) = chunk(SHARED, 1 << 20, 0, 4);
+        let (b1, _) = chunk(SHARED, 1 << 20, 1, 4);
+        assert_eq!(b0 + l0, b1);
+    }
+}

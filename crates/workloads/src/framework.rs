@@ -1,0 +1,634 @@
+//! Synthetic-workload framework.
+//!
+//! A workload is described as a sequence of [`PhaseSpec`]s; each thread
+//! independently walks the same phase list, executing its own share of
+//! each phase's items through a [`Kernel`] (a per-item instruction recipe)
+//! and meeting the other threads at barriers. Parallel efficiency is never
+//! specified directly — it *emerges* from load imbalance, sequential
+//! phases, critical sections, cache behaviour, and bus contention in the
+//! simulator.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use tlp_sim::op::{Op, ThreadProgram};
+
+/// Where a kernel's memory references go.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AccessPattern {
+    /// Unit-stride streaming through a region (high spatial locality).
+    Streaming {
+        /// Region base byte address.
+        base: u64,
+        /// Region length in bytes; the stream wraps around.
+        len: u64,
+        /// Stride between consecutive references, in bytes.
+        stride: u64,
+    },
+    /// Uniformly random references within a region (low locality; the
+    /// region size relative to cache capacity sets the miss rate).
+    Random {
+        /// Region base byte address.
+        base: u64,
+        /// Region length in bytes.
+        len: u64,
+    },
+    /// Mostly-sequential references with occasional random jumps —
+    /// pointer-chasing through mostly-packed structures (trees, meshes).
+    /// Advances 16 bytes per reference (several fields per node), jumping
+    /// to a random position with probability `jump_prob`.
+    Walk {
+        /// Region base byte address.
+        base: u64,
+        /// Region length in bytes.
+        len: u64,
+        /// Probability of a random jump instead of the next line.
+        jump_prob: f64,
+    },
+}
+
+/// Per-item instruction recipe.
+///
+/// One "item" is the app's natural unit (a particle, a matrix block, a
+/// bucket of keys); per item the kernel issues interleaved compute,
+/// memory, and branch instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Integer instructions per item.
+    pub int_per_item: u32,
+    /// Floating-point instructions per item.
+    pub fp_per_item: u32,
+    /// Loads per item.
+    pub loads_per_item: u32,
+    /// Stores per item.
+    pub stores_per_item: u32,
+    /// Branches per item.
+    pub branches_per_item: u32,
+    /// Probability each branch mispredicts.
+    pub mispredict_rate: f64,
+    /// Where loads go.
+    pub load_pattern: AccessPattern,
+    /// Where stores go.
+    pub store_pattern: AccessPattern,
+}
+
+impl Kernel {
+    /// Dynamic instructions one item expands to.
+    pub fn instructions_per_item(&self) -> u64 {
+        (self.int_per_item + self.fp_per_item + self.loads_per_item + self.stores_per_item
+            + self.branches_per_item) as u64
+    }
+}
+
+/// One phase of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PhaseSpec {
+    /// Work split across all threads (each gets its partitioned share,
+    /// possibly skewed by the workload's imbalance).
+    Parallel {
+        /// Total items across all threads.
+        total_items: u64,
+        /// The per-item recipe.
+        kernel: Kernel,
+    },
+    /// Work done by thread 0 only; the phase list should normally follow
+    /// with a barrier so other threads wait (Amdahl's sequential fraction).
+    Sequential {
+        /// Items executed by thread 0.
+        items: u64,
+        /// The per-item recipe.
+        kernel: Kernel,
+    },
+    /// All threads synchronize. Barrier identifiers are assigned from the
+    /// phase position, so every thread sees the same id.
+    Barrier,
+    /// Work items each guarded by one of `n_locks` locks chosen
+    /// round-robin (critical-section contention, e.g. task queues).
+    Locked {
+        /// Total items across all threads.
+        total_items: u64,
+        /// Number of distinct locks the items hash onto.
+        n_locks: u32,
+        /// The per-item recipe (executed inside the critical section).
+        kernel: Kernel,
+    },
+}
+
+/// Deterministic skewed partition: splits `total` items over `n` threads
+/// with a linear skew of `imbalance` (0 = perfectly even; 0.2 means the
+/// most loaded thread gets ~20 % more than the mean).
+///
+/// The partition always sums to `total`.
+///
+/// # Examples
+///
+/// ```
+/// let shares = tlp_workloads::framework::partition(1000, 4, 0.2);
+/// assert_eq!(shares.iter().sum::<u64>(), 1000);
+/// assert!(shares[0] > shares[3]);
+/// ```
+pub fn partition(total: u64, n: usize, imbalance: f64) -> Vec<u64> {
+    assert!(n > 0, "partition over zero threads");
+    assert!((0.0..=1.0).contains(&imbalance), "imbalance in [0, 1]");
+    if n == 1 {
+        return vec![total];
+    }
+    let mean = total as f64 / n as f64;
+    let mut shares: Vec<u64> = (0..n)
+        .map(|t| {
+            // Linear ramp from +imbalance to −imbalance across threads.
+            let skew = imbalance * (1.0 - 2.0 * t as f64 / (n - 1) as f64);
+            (mean * (1.0 + skew)).round().max(0.0) as u64
+        })
+        .collect();
+    // Fix rounding drift on thread 0.
+    let sum: u64 = shares.iter().sum();
+    if sum > total {
+        let overflow = sum - total;
+        shares[n - 1] = shares[n - 1].saturating_sub(overflow);
+    } else {
+        shares[0] += total - sum;
+    }
+    shares
+}
+
+#[derive(Debug)]
+enum Cursor {
+    /// Items remaining in the current phase for this thread.
+    Items(u64),
+    /// Barrier pending emission.
+    BarrierPending,
+    /// Locked phase: items remaining.
+    LockedItems(u64),
+}
+
+/// A thread program generated from a phase list.
+///
+/// Implements [`ThreadProgram`] by lazily expanding one item at a time
+/// into a small op buffer. Deterministic for a given `(seed, thread)`.
+pub struct SyntheticProgram {
+    thread: usize,
+    rng: StdRng,
+    phases: Vec<PhaseSpec>,
+    shares: Vec<Vec<u64>>,
+    phase_idx: usize,
+    cursor: Option<Cursor>,
+    buf: VecDeque<Op>,
+    /// Rotating pick for locked items.
+    lock_rr: u32,
+    /// Private scratch offsets per access pattern stream.
+    stream_pos: u64,
+}
+
+impl SyntheticProgram {
+    /// Builds the program for `thread` of `n_threads` from a phase list.
+    ///
+    /// `imbalance` skews the parallel partitions; `seed` must be equal
+    /// across threads of one run (per-thread streams are decorrelated
+    /// internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread >= n_threads` or `n_threads == 0`.
+    pub fn new(
+        phases: Vec<PhaseSpec>,
+        thread: usize,
+        n_threads: usize,
+        imbalance: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_threads > 0 && thread < n_threads, "bad thread index");
+        let shares = phases
+            .iter()
+            .map(|p| match p {
+                PhaseSpec::Parallel { total_items, .. } => {
+                    partition(*total_items, n_threads, imbalance)
+                }
+                PhaseSpec::Locked { total_items, .. } => {
+                    partition(*total_items, n_threads, imbalance)
+                }
+                _ => vec![0; n_threads],
+            })
+            .collect();
+        Self {
+            thread,
+            rng: StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1))),
+            phases,
+            shares,
+            phase_idx: 0,
+            cursor: None,
+            buf: VecDeque::new(),
+            lock_rr: 0,
+            stream_pos: 0,
+        }
+    }
+
+    /// Total dynamic instructions this thread will execute, excluding
+    /// spin-waiting (for accounting and tests).
+    pub fn static_instruction_estimate(&self) -> u64 {
+        self.phases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| match p {
+                PhaseSpec::Parallel { kernel, .. } => {
+                    self.shares[i][self.thread] * kernel.instructions_per_item()
+                }
+                PhaseSpec::Locked { kernel, .. } => {
+                    self.shares[i][self.thread] * (kernel.instructions_per_item() + 2)
+                }
+                PhaseSpec::Sequential { items, kernel } => {
+                    if self.thread == 0 {
+                        items * kernel.instructions_per_item()
+                    } else {
+                        0
+                    }
+                }
+                PhaseSpec::Barrier => 1,
+            })
+            .sum()
+    }
+
+    fn address_for(&mut self, pattern: &AccessPattern) -> u64 {
+        match *pattern {
+            AccessPattern::Streaming { base, len, stride } => {
+                let addr = base + (self.stream_pos % len.max(1));
+                self.stream_pos = self.stream_pos.wrapping_add(stride);
+                addr
+            }
+            AccessPattern::Random { base, len } => base + self.rng.gen_range(0..len.max(1)),
+            AccessPattern::Walk { base, len, jump_prob } => {
+                if self.rng.gen_bool(jump_prob.clamp(0.0, 1.0)) {
+                    self.stream_pos = self.rng.gen_range(0..len.max(1));
+                } else {
+                    self.stream_pos = (self.stream_pos + 16) % len.max(1);
+                }
+                base + self.stream_pos
+            }
+        }
+    }
+
+    /// Expands one item of `kernel` into the buffer, interleaving classes
+    /// so memory accesses spread across the item's compute.
+    fn expand_item(&mut self, kernel: &Kernel) {
+        let mem_ops = kernel.loads_per_item + kernel.stores_per_item;
+        let chunks = mem_ops.max(1);
+        let int_chunk = kernel.int_per_item / chunks;
+        let fp_chunk = kernel.fp_per_item / chunks;
+        let mut int_left = kernel.int_per_item;
+        let mut fp_left = kernel.fp_per_item;
+        let mut loads_left = kernel.loads_per_item;
+        let mut stores_left = kernel.stores_per_item;
+
+        for _ in 0..chunks {
+            if int_chunk > 0 {
+                self.buf.push_back(Op::Int { count: int_chunk });
+                int_left -= int_chunk;
+            }
+            if fp_chunk > 0 {
+                self.buf.push_back(Op::Fp { count: fp_chunk });
+                fp_left -= fp_chunk;
+            }
+            if loads_left > 0 {
+                let addr = self.address_for(&kernel.load_pattern);
+                self.buf.push_back(Op::Load { addr });
+                loads_left -= 1;
+            } else if stores_left > 0 {
+                let addr = self.address_for(&kernel.store_pattern);
+                self.buf.push_back(Op::Store { addr });
+                stores_left -= 1;
+            }
+        }
+        // Remainders.
+        while stores_left > 0 {
+            let addr = self.address_for(&kernel.store_pattern);
+            self.buf.push_back(Op::Store { addr });
+            stores_left -= 1;
+        }
+        if int_left > 0 {
+            self.buf.push_back(Op::Int { count: int_left });
+        }
+        if fp_left > 0 {
+            self.buf.push_back(Op::Fp { count: fp_left });
+        }
+        for _ in 0..kernel.branches_per_item {
+            let mis = self.rng.gen_bool(kernel.mispredict_rate.clamp(0.0, 1.0));
+            self.buf.push_back(Op::Branch { mispredict: mis });
+        }
+    }
+
+    /// Advances to the next phase, initializing its cursor.
+    fn enter_phase(&mut self) {
+        loop {
+            if self.phase_idx >= self.phases.len() {
+                self.cursor = None;
+                return;
+            }
+            let idx = self.phase_idx;
+            match &self.phases[idx] {
+                PhaseSpec::Parallel { .. } => {
+                    let mine = self.shares[idx][self.thread];
+                    if mine == 0 {
+                        self.phase_idx += 1;
+                        continue;
+                    }
+                    self.cursor = Some(Cursor::Items(mine));
+                    return;
+                }
+                PhaseSpec::Locked { .. } => {
+                    let mine = self.shares[idx][self.thread];
+                    if mine == 0 {
+                        self.phase_idx += 1;
+                        continue;
+                    }
+                    self.cursor = Some(Cursor::LockedItems(mine));
+                    return;
+                }
+                PhaseSpec::Sequential { items, .. } => {
+                    if self.thread == 0 && *items > 0 {
+                        self.cursor = Some(Cursor::Items(*items));
+                        return;
+                    }
+                    self.phase_idx += 1;
+                    continue;
+                }
+                PhaseSpec::Barrier => {
+                    self.cursor = Some(Cursor::BarrierPending);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.buf.is_empty() {
+            if self.cursor.is_none() {
+                self.enter_phase();
+                if self.cursor.is_none() {
+                    // Program exhausted.
+                    self.buf.push_back(Op::End);
+                    return;
+                }
+            }
+            let idx = self.phase_idx;
+            match self.cursor.take().expect("cursor set above") {
+                Cursor::Items(left) => {
+                    let kernel = match &self.phases[idx] {
+                        PhaseSpec::Parallel { kernel, .. } => *kernel,
+                        PhaseSpec::Sequential { kernel, .. } => *kernel,
+                        _ => unreachable!("Items cursor only for compute phases"),
+                    };
+                    self.expand_item(&kernel);
+                    if left > 1 {
+                        self.cursor = Some(Cursor::Items(left - 1));
+                    } else {
+                        self.phase_idx += 1;
+                    }
+                }
+                Cursor::LockedItems(left) => {
+                    let (kernel, n_locks) = match &self.phases[idx] {
+                        PhaseSpec::Locked { kernel, n_locks, .. } => (*kernel, *n_locks),
+                        _ => unreachable!("LockedItems cursor only for locked phases"),
+                    };
+                    let lock = self.lock_rr % n_locks.max(1);
+                    self.lock_rr = self.lock_rr.wrapping_add(1);
+                    self.buf.push_back(Op::Lock { id: lock });
+                    self.expand_item(&kernel);
+                    self.buf.push_back(Op::Unlock { id: lock });
+                    if left > 1 {
+                        self.cursor = Some(Cursor::LockedItems(left - 1));
+                    } else {
+                        self.phase_idx += 1;
+                    }
+                }
+                Cursor::BarrierPending => {
+                    self.buf.push_back(Op::Barrier {
+                        id: idx as u32,
+                    });
+                    self.phase_idx += 1;
+                }
+            }
+        }
+    }
+}
+
+impl ThreadProgram for SyntheticProgram {
+    fn next_op(&mut self) -> Op {
+        if self.buf.is_empty() {
+            self.refill();
+        }
+        self.buf.pop_front().unwrap_or(Op::End)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_kernel() -> Kernel {
+        Kernel {
+            int_per_item: 8,
+            fp_per_item: 2,
+            loads_per_item: 2,
+            stores_per_item: 1,
+            branches_per_item: 1,
+            mispredict_rate: 0.0,
+            load_pattern: AccessPattern::Streaming {
+                base: 0x1000,
+                len: 1 << 16,
+                stride: 64,
+            },
+            store_pattern: AccessPattern::Streaming {
+                base: 0x2000_0000,
+                len: 1 << 16,
+                stride: 64,
+            },
+        }
+    }
+
+    #[test]
+    fn partition_sums_and_skews() {
+        for imb in [0.0, 0.1, 0.3] {
+            for n in [1usize, 2, 3, 7, 16] {
+                let shares = partition(10_000, n, imb);
+                assert_eq!(shares.iter().sum::<u64>(), 10_000, "n={n} imb={imb}");
+                if n > 1 && imb > 0.0 {
+                    assert!(shares[0] >= shares[n - 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_even_when_no_imbalance() {
+        let shares = partition(100, 4, 0.0);
+        assert_eq!(shares, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn program_emits_expected_instruction_volume() {
+        let phases = vec![
+            PhaseSpec::Parallel {
+                total_items: 100,
+                kernel: simple_kernel(),
+            },
+            PhaseSpec::Barrier,
+        ];
+        let mut p = SyntheticProgram::new(phases, 0, 2, 0.0, 42);
+        let estimate = p.static_instruction_estimate();
+        let mut count = 0u64;
+        loop {
+            let op = p.next_op();
+            if op == Op::End {
+                break;
+            }
+            count += op.instruction_count();
+        }
+        assert_eq!(count, estimate);
+        // 50 items × 14 instrs + 1 barrier.
+        assert_eq!(count, 50 * 14 + 1);
+    }
+
+    #[test]
+    fn barrier_ids_consistent_across_threads() {
+        let phases = || {
+            vec![
+                PhaseSpec::Barrier,
+                PhaseSpec::Parallel {
+                    total_items: 4,
+                    kernel: simple_kernel(),
+                },
+                PhaseSpec::Barrier,
+            ]
+        };
+        let collect = |thread| {
+            let mut p = SyntheticProgram::new(phases(), thread, 2, 0.0, 1);
+            let mut ids = Vec::new();
+            loop {
+                match p.next_op() {
+                    Op::End => break,
+                    Op::Barrier { id } => ids.push(id),
+                    _ => {}
+                }
+            }
+            ids
+        };
+        assert_eq!(collect(0), collect(1));
+        assert_eq!(collect(0).len(), 2);
+    }
+
+    #[test]
+    fn sequential_phase_only_runs_on_thread_zero() {
+        let phases = vec![
+            PhaseSpec::Sequential {
+                items: 10,
+                kernel: simple_kernel(),
+            },
+            PhaseSpec::Barrier,
+        ];
+        let run = |thread| {
+            let mut p = SyntheticProgram::new(phases.clone(), thread, 2, 0.0, 7);
+            let mut instrs = 0;
+            loop {
+                let op = p.next_op();
+                if op == Op::End {
+                    break;
+                }
+                instrs += op.instruction_count();
+            }
+            instrs
+        };
+        assert_eq!(run(0), 10 * 14 + 1);
+        assert_eq!(run(1), 1); // just the barrier
+    }
+
+    #[test]
+    fn locked_phase_brackets_items_with_lock_unlock() {
+        let phases = vec![PhaseSpec::Locked {
+            total_items: 6,
+            n_locks: 2,
+            kernel: simple_kernel(),
+        }];
+        let mut p = SyntheticProgram::new(phases, 0, 1, 0.0, 3);
+        let mut locks = 0;
+        let mut unlocks = 0;
+        loop {
+            match p.next_op() {
+                Op::End => break,
+                Op::Lock { .. } => locks += 1,
+                Op::Unlock { .. } => unlocks += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(locks, 6);
+        assert_eq!(unlocks, 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_thread() {
+        let phases = || {
+            vec![PhaseSpec::Parallel {
+                total_items: 50,
+                kernel: Kernel {
+                    mispredict_rate: 0.1,
+                    load_pattern: AccessPattern::Random {
+                        base: 0,
+                        len: 1 << 20,
+                    },
+                    ..simple_kernel()
+                },
+            }]
+        };
+        let trace = |seed| {
+            let mut p = SyntheticProgram::new(phases(), 0, 2, 0.1, seed);
+            let mut ops = Vec::new();
+            loop {
+                let op = p.next_op();
+                if op == Op::End {
+                    break;
+                }
+                ops.push(op);
+            }
+            ops
+        };
+        assert_eq!(trace(5), trace(5));
+        assert_ne!(trace(5), trace(6));
+    }
+
+    #[test]
+    fn streaming_pattern_wraps() {
+        let mut p = SyntheticProgram::new(vec![], 0, 1, 0.0, 0);
+        let pat = AccessPattern::Streaming {
+            base: 100,
+            len: 128,
+            stride: 64,
+        };
+        let a = p.address_for(&pat);
+        let b = p.address_for(&pat);
+        let c = p.address_for(&pat);
+        assert_eq!((a, b, c), (100, 164, 100));
+    }
+
+    #[test]
+    fn random_pattern_stays_in_region() {
+        let mut p = SyntheticProgram::new(vec![], 0, 1, 0.0, 9);
+        let pat = AccessPattern::Random {
+            base: 0x1000,
+            len: 0x100,
+        };
+        for _ in 0..100 {
+            let a = p.address_for(&pat);
+            assert!((0x1000..0x1100).contains(&a));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad thread index")]
+    fn bad_thread_index_panics() {
+        let _ = SyntheticProgram::new(vec![], 3, 2, 0.0, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! SPLASH-2-inspired synthetic parallel workloads for the `cmp-tlp`
+//! reproduction of Li & Martínez (ISPASS 2005).
+//!
+//! The paper runs the twelve SPLASH-2 applications (its Table 2) on a
+//! simulated 16-way CMP. Real SPLASH-2 requires Alpha binaries and an
+//! ISA-level simulator; this crate substitutes *behavioural models*: each
+//! application is a deterministic generator of abstract instruction
+//! streams whose working sets, compute/memory mix, sharing, barrier and
+//! lock structure, sequential fractions, and load imbalance reproduce the
+//! traits the paper's analysis depends on. Parallel efficiency is never
+//! dialed in — it emerges when the streams run on the `tlp-sim` machine.
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_sim::{CmpConfig, CmpSimulator};
+//! use tlp_workloads::{gang, AppId, Scale};
+//!
+//! // Run Water-Nsq on 4 of 16 cores.
+//! let threads = gang(AppId::WaterNsq, 4, Scale::Test, 42);
+//! let r = CmpSimulator::new(CmpConfig::ispass05(16), threads).run();
+//! assert!(r.total_instructions() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod apps;
+pub mod framework;
+pub mod micro;
+pub mod suite;
+
+pub use framework::{AccessPattern, Kernel, PhaseSpec, SyntheticProgram};
+pub use suite::{gang, program, AppId, Scale};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use tlp_sim::op::{Op, ThreadProgram};
+
+    use crate::framework::{partition, AccessPattern, Kernel, PhaseSpec, SyntheticProgram};
+
+    fn arb_kernel() -> impl Strategy<Value = Kernel> {
+        (1u32..40, 0u32..40, 0u32..8, 0u32..8, 0u32..4, 0.0f64..0.2).prop_map(
+            |(int, fp, loads, stores, branches, mis)| Kernel {
+                int_per_item: int,
+                fp_per_item: fp,
+                loads_per_item: loads,
+                stores_per_item: stores,
+                branches_per_item: branches,
+                mispredict_rate: mis,
+                load_pattern: AccessPattern::Random {
+                    base: 0x1000,
+                    len: 1 << 16,
+                },
+                store_pattern: AccessPattern::Streaming {
+                    base: 0x100_0000,
+                    len: 1 << 14,
+                    stride: 16,
+                },
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The partition always sums to the total and never loses items.
+        #[test]
+        fn partition_is_conservative(total in 0u64..1_000_000, n in 1usize..32, imb in 0.0f64..0.5) {
+            let shares = partition(total, n, imb);
+            prop_assert_eq!(shares.len(), n);
+            prop_assert_eq!(shares.iter().sum::<u64>(), total);
+        }
+
+        /// Emitted instruction volume matches the static estimate for any
+        /// kernel and phase structure.
+        #[test]
+        fn instruction_accounting_is_exact(
+            kernel in arb_kernel(),
+            items in 1u64..60,
+            thread in 0usize..4,
+            seed in 0u64..1000,
+        ) {
+            let phases = vec![
+                PhaseSpec::Parallel { total_items: items, kernel },
+                PhaseSpec::Barrier,
+                PhaseSpec::Sequential { items: items / 2, kernel },
+                PhaseSpec::Barrier,
+            ];
+            let mut p = SyntheticProgram::new(phases, thread, 4, 0.1, seed);
+            let estimate = p.static_instruction_estimate();
+            let mut count = 0u64;
+            loop {
+                let op = p.next_op();
+                if op == Op::End {
+                    break;
+                }
+                count += op.instruction_count();
+            }
+            prop_assert_eq!(count, estimate);
+        }
+
+        /// Locked phases always emit balanced lock/unlock pairs in order.
+        #[test]
+        fn locks_are_balanced(items in 1u64..40, n_locks in 1u32..8, seed in 0u64..100) {
+            let kernel = Kernel {
+                int_per_item: 4,
+                fp_per_item: 0,
+                loads_per_item: 1,
+                stores_per_item: 1,
+                branches_per_item: 0,
+                mispredict_rate: 0.0,
+                load_pattern: AccessPattern::Random { base: 0, len: 4096 },
+                store_pattern: AccessPattern::Random { base: 8192, len: 4096 },
+            };
+            let mut p = SyntheticProgram::new(
+                vec![PhaseSpec::Locked { total_items: items, n_locks, kernel }],
+                0,
+                1,
+                0.0,
+                seed,
+            );
+            let mut held: Option<u32> = None;
+            let mut pairs = 0;
+            loop {
+                match p.next_op() {
+                    Op::End => break,
+                    Op::Lock { id } => {
+                        prop_assert!(held.is_none(), "nested lock");
+                        held = Some(id);
+                    }
+                    Op::Unlock { id } => {
+                        prop_assert_eq!(held, Some(id), "unlock mismatch");
+                        held = None;
+                        pairs += 1;
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert!(held.is_none());
+            prop_assert_eq!(pairs, items);
+        }
+    }
+}
+
+#[cfg(test)]
+mod integration {
+    use tlp_sim::{CmpConfig, CmpSimulator};
+
+    use crate::{gang, AppId, Scale};
+
+    fn run(app: AppId, n: usize) -> tlp_sim::SimResult {
+        CmpSimulator::new(CmpConfig::ispass05(16), gang(app, n, Scale::Test, 7)).run()
+    }
+
+    #[test]
+    fn every_app_completes_on_one_and_four_threads() {
+        for app in AppId::ALL {
+            let r1 = run(app, 1);
+            let r4 = run(app, 4);
+            assert!(r1.cycles > 0 && r4.cycles > 0, "{app}");
+            // Total useful work is independent of the thread count (same
+            // problem size, as in the paper).
+            let u1 = r1.useful_instructions() as f64;
+            let u4 = r4.useful_instructions() as f64;
+            assert!(
+                (u4 - u1).abs() / u1 < 0.05,
+                "{app}: useful instructions changed {u1} -> {u4}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_speeds_up_every_app() {
+        for app in AppId::ALL {
+            let r1 = run(app, 1);
+            let r8 = run(app, 8);
+            let s = r8.speedup_over(&r1);
+            assert!(s > 1.2, "{app}: 8-thread speedup {s}");
+            assert!(s <= 8.5, "{app}: impossible speedup {s}");
+        }
+    }
+
+    #[test]
+    fn memory_bound_apps_run_at_lower_ipc() {
+        // Warm-cache behaviour needs a larger scale than Scale::Test.
+        let warmed = |app: AppId| {
+            CmpSimulator::new(CmpConfig::ispass05(16), gang(app, 1, Scale::Small, 7)).run()
+        };
+        let ocean = warmed(AppId::Ocean);
+        let fmm = warmed(AppId::Fmm);
+        // The compute-intensive app achieves several times the IPC of the
+        // memory-bound one — the contrast behind the paper's Fig. 3/4
+        // power observations.
+        assert!(
+            fmm.ipc() > 3.0 * ocean.ipc(),
+            "FMM ipc {} !> 3x Ocean ipc {}",
+            fmm.ipc(),
+            ocean.ipc()
+        );
+        assert!(
+            ocean.memory_stall_fraction() > 0.85,
+            "Ocean stall {}",
+            ocean.memory_stall_fraction()
+        );
+        assert!(ocean.memory_stall_fraction() > fmm.memory_stall_fraction());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(AppId::Raytrace, 4);
+        let b = run(AppId::Raytrace, 4);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.total_instructions(), b.total_instructions());
+    }
+}

@@ -1,0 +1,248 @@
+//! The SPLASH-2 suite (paper Table 2) as synthetic workload models.
+//!
+//! Each application is modeled by a phase list capturing the traits that
+//! drive the paper's results: compute vs. memory intensity, working-set
+//! size against the L1/L2 capacities, sharing and scatter patterns,
+//! barrier structure, critical sections, sequential fractions, and load
+//! imbalance. Region sizes follow the Table 2 problem sizes; dynamic
+//! instruction counts are scaled down (documented per [`Scale`]) to keep
+//! cycle-level simulation tractable while preserving cache and coherence
+//! behaviour.
+
+use serde::{Deserialize, Serialize};
+
+use crate::apps;
+use crate::framework::SyntheticProgram;
+
+/// The twelve SPLASH-2 applications (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppId {
+    /// Barnes-Hut N-body (16 K particles).
+    Barnes,
+    /// Sparse Cholesky factorization (tk15.O).
+    Cholesky,
+    /// 1-D radix-√n FFT (64 K points).
+    Fft,
+    /// Fast multipole method (16 K particles).
+    Fmm,
+    /// Blocked dense LU (512×512, 16×16 blocks).
+    Lu,
+    /// Ocean current simulation (514×514 grids).
+    Ocean,
+    /// Hierarchical radiosity (room scene).
+    Radiosity,
+    /// Radix sort (1 M integers, radix 1024).
+    Radix,
+    /// Ray tracer (car scene).
+    Raytrace,
+    /// Volume renderer (head data set).
+    Volrend,
+    /// Water, O(n²) version (512 molecules).
+    WaterNsq,
+    /// Water, spatial version (512 molecules).
+    WaterSp,
+}
+
+impl AppId {
+    /// All twelve applications in Table 2 order.
+    pub const ALL: [AppId; 12] = [
+        AppId::Barnes,
+        AppId::Cholesky,
+        AppId::Fft,
+        AppId::Fmm,
+        AppId::Lu,
+        AppId::Ocean,
+        AppId::Radiosity,
+        AppId::Radix,
+        AppId::Raytrace,
+        AppId::Volrend,
+        AppId::WaterNsq,
+        AppId::WaterSp,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::Barnes => "Barnes-Hut",
+            AppId::Cholesky => "Cholesky",
+            AppId::Fft => "FFT",
+            AppId::Fmm => "FMM",
+            AppId::Lu => "LU",
+            AppId::Ocean => "Ocean",
+            AppId::Radiosity => "Radiosity",
+            AppId::Radix => "Radix",
+            AppId::Raytrace => "Raytrace",
+            AppId::Volrend => "Volrend",
+            AppId::WaterNsq => "Water-Nsq",
+            AppId::WaterSp => "Water-Sp",
+        }
+    }
+
+    /// The Table 2 problem-size string.
+    pub fn problem_size(self) -> &'static str {
+        match self {
+            AppId::Barnes => "16K particles",
+            AppId::Cholesky => "tk15.O",
+            AppId::Fft => "64K points",
+            AppId::Fmm => "16K particles",
+            AppId::Lu => "512x512 matrix, 16x16 blocks",
+            AppId::Ocean => "514x514 ocean",
+            AppId::Radiosity => "room -ae 5000.0 -en 0.05 -bf 0.1",
+            AppId::Radix => "1M integers, radix 1024",
+            AppId::Raytrace => "car",
+            AppId::Volrend => "head",
+            AppId::WaterNsq => "512 molecules",
+            AppId::WaterSp => "512 molecules",
+        }
+    }
+
+    /// Whether the application only runs on power-of-two thread counts
+    /// (the paper restricts some apps to 1/2/4/8/16 cores).
+    pub fn requires_pow2_threads(self) -> bool {
+        matches!(self, AppId::Fft | AppId::Radix | AppId::Ocean | AppId::Lu)
+    }
+
+    /// Qualitative class used in the paper's discussion.
+    pub fn is_memory_bound(self) -> bool {
+        matches!(self, AppId::Ocean | AppId::Radix)
+    }
+
+    /// Load-imbalance skew passed to the partitioner.
+    pub fn imbalance(self) -> f64 {
+        match self {
+            AppId::Barnes => 0.06,
+            AppId::Cholesky => 0.18,
+            AppId::Fft => 0.02,
+            AppId::Fmm => 0.04,
+            AppId::Lu => 0.10,
+            AppId::Ocean => 0.03,
+            AppId::Radiosity => 0.15,
+            AppId::Radix => 0.02,
+            AppId::Raytrace => 0.16,
+            AppId::Volrend => 0.20,
+            AppId::WaterNsq => 0.03,
+            AppId::WaterSp => 0.05,
+        }
+    }
+}
+
+impl core::fmt::Display for AppId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Work-volume scale.
+///
+/// Region sizes (working sets) are always faithful to Table 2; `Scale`
+/// multiplies only the dynamic item counts. `Paper` is sized for the
+/// benchmark harness (a few million instructions per run — about two
+/// orders of magnitude below real SPLASH-2 dynamic counts, preserving
+/// miss rates and coherence behaviour); `Test` keeps unit tests fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny runs for unit tests.
+    Test,
+    /// Quarter-scale runs: large enough to warm the caches, small enough
+    /// for quick behavioural tests.
+    Small,
+    /// The default experiment scale.
+    Paper,
+}
+
+impl Scale {
+    /// Item-count multiplier in parts-per-1024.
+    pub(crate) fn factor(self) -> u64 {
+        match self {
+            Scale::Test => 48,
+            Scale::Small => 256,
+            Scale::Paper => 1024,
+        }
+    }
+
+    /// Scales an item count.
+    pub(crate) fn items(self, base: u64) -> u64 {
+        (base * self.factor() / 1024).max(1)
+    }
+}
+
+/// Builds the program for one thread of `app`.
+///
+/// All threads of a run must use the same `seed` and `n_threads`.
+///
+/// # Panics
+///
+/// Panics if `thread >= n_threads`, `n_threads == 0`, or the app requires
+/// power-of-two thread counts and `n_threads` is not one (matching the
+/// paper's "missing bars" for such apps).
+pub fn program(
+    app: AppId,
+    thread: usize,
+    n_threads: usize,
+    scale: Scale,
+    seed: u64,
+) -> SyntheticProgram {
+    assert!(
+        !app.requires_pow2_threads() || n_threads.is_power_of_two(),
+        "{} only runs on power-of-two thread counts",
+        app.name()
+    );
+    let phases = apps::phases(app, thread, n_threads, scale);
+    SyntheticProgram::new(phases, thread, n_threads, app.imbalance(), seed)
+}
+
+/// Builds the whole gang for a run: one boxed program per thread.
+pub fn gang(
+    app: AppId,
+    n_threads: usize,
+    scale: Scale,
+    seed: u64,
+) -> Vec<Box<dyn tlp_sim::op::ThreadProgram>> {
+    (0..n_threads)
+        .map(|t| {
+            Box::new(program(app, t, n_threads, scale, seed))
+                as Box<dyn tlp_sim::op::ThreadProgram>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_twelve_unique_apps() {
+        let mut names: Vec<&str> = AppId::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn problem_sizes_match_table2() {
+        assert_eq!(AppId::Lu.problem_size(), "512x512 matrix, 16x16 blocks");
+        assert_eq!(AppId::Radix.problem_size(), "1M integers, radix 1024");
+        assert_eq!(AppId::Fft.problem_size(), "64K points");
+    }
+
+    #[test]
+    fn pow2_restriction_enforced() {
+        let r = std::panic::catch_unwind(|| program(AppId::Fft, 0, 3, Scale::Test, 1));
+        assert!(r.is_err());
+        // Non-restricted apps accept any count.
+        let _ = program(AppId::Barnes, 0, 3, Scale::Test, 1);
+    }
+
+    #[test]
+    fn gang_builds_one_program_per_thread() {
+        let g = gang(AppId::WaterSp, 4, Scale::Test, 9);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn memory_bound_classification() {
+        assert!(AppId::Ocean.is_memory_bound());
+        assert!(AppId::Radix.is_memory_bound());
+        assert!(!AppId::Fmm.is_memory_bound());
+    }
+}

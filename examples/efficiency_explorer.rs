@@ -1,0 +1,48 @@
+//! Efficiency explorer: profiles the whole SPLASH-2-like suite and prints
+//! each application's nominal parallel-efficiency curve (the paper's
+//! Fig. 3, top plot), classifying apps by scalability and memory
+//! behaviour.
+//!
+//! Run with: `cargo run --release -p cmp-tlp --example efficiency_explorer`
+
+use cmp_tlp::{profiling, ExperimentalChip};
+use tlp_sim::{CmpConfig, CmpSimulator};
+use tlp_tech::Technology;
+use tlp_workloads::{gang, AppId, Scale};
+
+fn main() {
+    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let counts = [1usize, 2, 4, 8, 16];
+
+    println!(
+        "{:<11} {:>7} {:>7} {:>7} {:>7} {:>9} {:>7}",
+        "app", "εn(2)", "εn(4)", "εn(8)", "εn(16)", "memstall", "class"
+    );
+    for app in AppId::ALL {
+        let p = profiling::profile(&chip, app, &counts, Scale::Test, 7);
+        let eff = |n: usize| {
+            if p.core_counts.contains(&n) {
+                format!("{:.2}", p.efficiency_at(n))
+            } else {
+                "-".into()
+            }
+        };
+        let stall = CmpSimulator::new(
+            CmpConfig::ispass05(16),
+            gang(app, 1, Scale::Test, 7),
+        )
+        .run()
+        .memory_stall_fraction();
+        println!(
+            "{:<11} {:>7} {:>7} {:>7} {:>7} {:>8.0}% {:>7}",
+            app.name(),
+            eff(2),
+            eff(4),
+            eff(8),
+            eff(16),
+            100.0 * stall,
+            if app.is_memory_bound() { "memory" } else { "compute" }
+        );
+    }
+    println!("\nεn(N) = T1 / (N · TN) at equal clocks (paper Eq. 6).");
+}

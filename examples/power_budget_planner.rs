@@ -1,0 +1,57 @@
+//! Power-budget planner: given an application and a chip power budget,
+//! find the core count and DVFS point that maximize performance — the
+//! paper's Scenario II turned into a practical sizing tool.
+//!
+//! Run with:
+//! `cargo run --release -p cmp-tlp --example power_budget_planner [watts]`
+
+use cmp_tlp::{profiling, scenario2, ExperimentalChip};
+use tlp_sim::CmpConfig;
+use tlp_tech::units::Watts;
+use tlp_tech::Technology;
+use tlp_workloads::{AppId, Scale};
+
+fn main() {
+    let budget = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Watts::new);
+
+    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let effective = budget.unwrap_or(chip.calibration().single_core_budget);
+    println!(
+        "Planning within a {:.1} W budget (default = single-core max, as in the paper)\n",
+        effective.as_f64()
+    );
+
+    for app in [AppId::Fmm, AppId::Cholesky, AppId::Radix] {
+        let profile = profiling::profile(&chip, app, &[1, 2, 4, 8], Scale::Test, 17);
+        let result = scenario2::run(&chip, &profile, Scale::Test, 17, budget);
+        let best = result
+            .rows
+            .iter()
+            .max_by(|a, b| a.actual_speedup.partial_cmp(&b.actual_speedup).unwrap())
+            .expect("at least one feasible configuration");
+        println!("{:<10} best N = {}", app.name(), best.n);
+        println!(
+            "           {:.2} GHz @ {:.2} V, {:.1} W, speedup {:.2}x (nominal {:.2}x){}",
+            best.operating_point.frequency.as_ghz(),
+            best.operating_point.voltage.as_f64(),
+            best.power_watts,
+            best.actual_speedup,
+            best.nominal_speedup,
+            if best.unconstrained {
+                " — budget never binds (memory-bound)"
+            } else {
+                ""
+            }
+        );
+        for row in &result.rows {
+            println!(
+                "           N={:<2} actual {:.2}x  nominal {:.2}x  {:.1} W",
+                row.n, row.actual_speedup, row.nominal_speedup, row.power_watts
+            );
+        }
+        println!();
+    }
+}

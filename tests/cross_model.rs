@@ -1,0 +1,95 @@
+//! Consistency checks between the analytical model (Section 2) and the
+//! experimental stack (Sections 3–4): the two sides of the paper must
+//! agree where their assumptions overlap.
+
+use tlp_analytic::{AnalyticChip, Scenario1};
+use tlp_power::StaticPower;
+use tlp_tech::leakage;
+use tlp_tech::units::{Celsius, Volts};
+use tlp_tech::{FrequencyModel, Technology};
+
+#[test]
+fn reference_power_matches_technology_anchor() {
+    for tech in [Technology::itrs_65nm(), Technology::itrs_130nm()] {
+        let expected =
+            tech.p_dynamic_core_nominal().as_f64() + tech.p_static_core_at_tmax().as_f64();
+        let chip = AnalyticChip::new(tech.clone(), 32);
+        assert!(
+            (chip.reference().power.as_f64() - expected).abs() < 0.02 * expected,
+            "{}: reference {} vs anchor {}",
+            tech.node(),
+            chip.reference().power,
+            expected
+        );
+    }
+}
+
+#[test]
+fn static_models_agree_between_analytic_and_experimental() {
+    // tlp-analytic's Eq. 9 static term and tlp-power's StaticPower use the
+    // same fitted leakage; they must produce identical per-core statics.
+    let tech = Technology::itrs_65nm();
+    let chip = AnalyticChip::new(tech.clone(), 32);
+    let exp = StaticPower::new(&tech);
+    for (v, t) in [(1.1, 100.0), (1.1, 60.0), (0.9, 70.0), (0.76, 50.0)] {
+        let a = chip
+            .static_power(1, Volts::new(v), Celsius::new(t))
+            .as_f64();
+        let e = exp.core_static(Volts::new(v), Celsius::new(t)).as_f64();
+        assert!(
+            (a - e).abs() < 1e-9 * (1.0 + a.abs()),
+            "divergence at ({v} V, {t} °C): analytic {a} vs experimental {e}"
+        );
+    }
+}
+
+#[test]
+fn eq7_frequency_equals_analytic_operating_point() {
+    // Scenario I's frequency choice is pure Eq. 7; verify against a hand
+    // computation for several (N, ε).
+    let tech = Technology::itrs_65nm();
+    let chip = AnalyticChip::new(tech.clone(), 32);
+    let s1 = Scenario1::new(&chip);
+    for (n, eps) in [(2usize, 0.9), (4, 0.75), (8, 0.5), (16, 1.0)] {
+        let p = s1.solve(n, eps).unwrap();
+        let expected = tech.f_nominal().as_f64() / (n as f64 * eps);
+        assert!(
+            (p.frequency.as_f64() - expected).abs() < 1.0,
+            "Eq.7 mismatch at N={n}, ε={eps}"
+        );
+    }
+}
+
+#[test]
+fn frequency_model_and_dvfs_table_are_consistent() {
+    // Table entries above the voltage floor must be exact alpha-power
+    // inversions.
+    let tech = Technology::itrs_65nm();
+    let model = FrequencyModel::new(&tech);
+    let table = tlp_tech::DvfsTable::for_technology(
+        &tech,
+        tlp_tech::units::Hertz::from_mhz(200.0),
+        tlp_tech::units::Hertz::from_mhz(200.0),
+    )
+    .unwrap();
+    for p in table.points() {
+        if p.voltage > tech.voltage_floor() {
+            let f_max = model.max_frequency_at(p.voltage).unwrap();
+            assert!(
+                (f_max.as_f64() - p.frequency.as_f64()).abs() / p.frequency.as_f64() < 1e-6,
+                "table point {} inconsistent with alpha-power law",
+                p
+            );
+        }
+    }
+}
+
+#[test]
+fn leakage_fit_is_shared_ground_truth() {
+    // Both sides fit Eq. 3 from the same reference; coefficients must be
+    // bit-identical for a given technology.
+    let tech = Technology::itrs_65nm();
+    let (a, _) = leakage::fit(&tech);
+    let (b, _) = leakage::fit(&tech);
+    assert_eq!(a.coefficients(), b.coefficients());
+}

@@ -1,0 +1,104 @@
+//! Tests for the optional extensions (features the paper cites as related
+//! or complementary work): the thrifty barrier \[26\] and the JETTY-style
+//! snoop filter \[30\].
+
+use cmp_tlp::ExperimentalChip;
+use tlp_sim::config::SleepPolicy;
+use tlp_sim::{CmpConfig, CmpSimulator};
+use tlp_tech::Technology;
+use tlp_workloads::{gang, AppId, Scale};
+
+#[test]
+fn thrifty_barrier_cuts_power_of_imbalanced_apps() {
+    let tech = Technology::itrs_65nm();
+    let base_chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech.clone());
+    let mut cfg = CmpConfig::ispass05(16);
+    cfg.core.sleep = SleepPolicy::THRIFTY;
+    let thrifty_chip = ExperimentalChip::new(cfg, tech);
+
+    // Cholesky on 8 cores: the single task queue leaves cores spinning.
+    let op = base_chip.config().operating_point;
+    let base = base_chip.run(gang(AppId::Cholesky, 8, Scale::Small, 5), op);
+    let thrifty = thrifty_chip.run(gang(AppId::Cholesky, 8, Scale::Small, 5), op);
+    let v = base_chip.tech().vdd_nominal();
+    let p_base = base_chip.measure(&base, v).total();
+    let p_thrifty = thrifty_chip.measure(&thrifty, v).total();
+    assert!(
+        p_thrifty.as_f64() < 0.9 * p_base.as_f64(),
+        "thrifty {} should cut ≥10% from baseline {}",
+        p_thrifty,
+        p_base
+    );
+    // Sleep cycles replaced spin cycles.
+    let sleep: u64 = thrifty.cores.iter().map(|c| c.sleep_cycles).sum();
+    assert!(sleep > 0, "no sleeping happened");
+    // The wall-clock cost is bounded (wake-up penalties only).
+    let slowdown = thrifty.execution_time() / base.execution_time();
+    assert!(slowdown < 1.05, "thrifty slowdown {slowdown}");
+}
+
+#[test]
+fn thrifty_barrier_preserves_results_volume() {
+    // Same useful work with or without sleeping.
+    let mut cfg = CmpConfig::ispass05(16);
+    cfg.core.sleep = SleepPolicy::THRIFTY;
+    let base = CmpSimulator::new(
+        CmpConfig::ispass05(16),
+        gang(AppId::Lu, 4, Scale::Test, 9),
+    )
+    .run();
+    let thrifty = CmpSimulator::new(cfg, gang(AppId::Lu, 4, Scale::Test, 9)).run();
+    assert_eq!(base.useful_instructions(), thrifty.useful_instructions());
+}
+
+#[test]
+fn snoop_filter_screens_probes_without_changing_timing() {
+    let mut cfg = CmpConfig::ispass05(16);
+    cfg.snoop_filter = true;
+    let plain = CmpSimulator::new(
+        CmpConfig::ispass05(16),
+        gang(AppId::Fft, 8, Scale::Test, 11),
+    )
+    .run();
+    let filtered = CmpSimulator::new(cfg, gang(AppId::Fft, 8, Scale::Test, 11)).run();
+    // Identical timing and coherence outcomes.
+    assert_eq!(plain.cycles, filtered.cycles);
+    assert_eq!(plain.mem.memory_reads, filtered.mem.memory_reads);
+    assert_eq!(plain.mem.cache_to_cache, filtered.mem.cache_to_cache);
+    // Probe work is conserved: probes + filtered = baseline probes.
+    assert_eq!(
+        filtered.mem.snoop_probes + filtered.mem.snoops_filtered,
+        plain.mem.snoop_probes
+    );
+    // Most snoops are for non-resident lines.
+    assert!(
+        filtered.mem.snoops_filtered > filtered.mem.snoop_probes,
+        "filtered {} !> probes {}",
+        filtered.mem.snoops_filtered,
+        filtered.mem.snoop_probes
+    );
+}
+
+#[test]
+fn snoop_filter_reduces_bus_energy() {
+    use tlp_power::PowerCalculator;
+    let mut cfg = CmpConfig::ispass05(16);
+    cfg.snoop_filter = true;
+    let v = Technology::itrs_65nm().vdd_nominal();
+    let plain_run = CmpSimulator::new(
+        CmpConfig::ispass05(16),
+        gang(AppId::WaterNsq, 8, Scale::Test, 13),
+    )
+    .run();
+    let filt_run = CmpSimulator::new(cfg.clone(), gang(AppId::WaterNsq, 8, Scale::Test, 13)).run();
+    let plain_bus = PowerCalculator::new(&CmpConfig::ispass05(16))
+        .dynamic(&plain_run, v)
+        .bus;
+    let filt_bus = PowerCalculator::new(&cfg).dynamic(&filt_run, v).bus;
+    assert!(
+        filt_bus.as_f64() < plain_bus.as_f64(),
+        "filtered bus power {} !< plain {}",
+        filt_bus,
+        plain_bus
+    );
+}
