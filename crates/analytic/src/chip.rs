@@ -7,8 +7,6 @@
 //! point, and solves the power↔temperature equilibrium the paper obtains by
 //! iterating its power equations with HotSpot.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::leakage::{self, FittedLeakage};
 use tlp_tech::units::{Celsius, Hertz, Volts, Watts};
 use tlp_tech::{FrequencyModel, Technology};
@@ -33,7 +31,7 @@ const CORE_REGION_FRAC: f64 = 0.65;
 /// die cools. Reproducing Fig. 2's shape (65 nm strictly below 130 nm,
 /// interior optimum, decline at high `N`) requires the pinned variant; the
 /// `ablation_thermal` bench contrasts the two.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ThermalCoupling {
     /// Solve the power↔temperature fixpoint; static power follows the
@@ -46,7 +44,7 @@ pub enum ThermalCoupling {
 
 /// The single-core full-throttle reference configuration: its power is the
 /// Scenario-II budget and the Scenario-I normalization denominator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReferencePoint {
     /// Total chip power of the reference (one core at nominal V/f).
     pub power: Watts,
@@ -55,7 +53,7 @@ pub struct ReferencePoint {
 }
 
 /// A solved chip operating condition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Equilibrium {
     /// Chip dynamic power.
     pub dynamic: Watts,

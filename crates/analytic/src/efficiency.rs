@@ -6,8 +6,6 @@
 //! core count `N`; this module provides the standard shapes plus measured
 //! tables.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::linalg::least_squares;
 
 use crate::error::AnalyticError;
@@ -28,7 +26,7 @@ use crate::error::AnalyticError;
 /// assert!(mid < 0.8 && mid > 0.65);
 /// # Ok::<(), tlp_analytic::AnalyticError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum EfficiencyCurve {
     /// Perfect scalability: `εn(N) = 1` for all `N` (the Fig. 2 assumption).

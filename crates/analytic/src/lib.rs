@@ -56,8 +56,9 @@ pub use scenario2::{optimal_point, Scenario2, Scenario2Point, ScalingRegime};
 
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    //! Randomized invariant tests over deterministic seeded input streams.
 
+    use tlp_tech::rng::SplitMix64;
     use tlp_tech::Technology;
 
     use crate::{AnalyticChip, EfficiencyCurve, Scenario1, Scenario2};
@@ -68,39 +69,49 @@ mod proptests {
         CHIP.get_or_init(|| AnalyticChip::new(Technology::itrs_65nm(), 32))
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Scenario-I power is monotone non-increasing in efficiency for a
-        /// fixed N (more efficiency never costs power).
-        #[test]
-        fn s1_monotone_in_efficiency(n in 2usize..16, eps in 0.3f64..0.95) {
-            let s1 = Scenario1::new(chip());
+    /// Scenario-I power is monotone non-increasing in efficiency for a
+    /// fixed N (more efficiency never costs power).
+    #[test]
+    fn s1_monotone_in_efficiency() {
+        let s1 = Scenario1::new(chip());
+        let mut rng = SplitMix64::seed_from_u64(0xF0);
+        for _case in 0..24 {
+            let n = rng.gen_range_usize(2..16);
+            let eps = rng.gen_range_f64(0.3..0.95);
             let lo_eps = eps.max(1.0 / n as f64);
             let hi_eps = (lo_eps + 0.05).min(1.0);
             if let (Ok(a), Ok(b)) = (s1.solve(n, lo_eps), s1.solve(n, hi_eps)) {
-                prop_assert!(b.normalized_power <= a.normalized_power + 1e-9);
+                assert!(b.normalized_power <= a.normalized_power + 1e-9);
             }
         }
+    }
 
-        /// Scenario-II solutions always respect the budget and produce a
-        /// speedup no larger than the nominal one.
-        #[test]
-        fn s2_respects_budget_and_nominal_bound(n in 1usize..32) {
-            let s2 = Scenario2::new(chip());
+    /// Scenario-II solutions always respect the budget and produce a
+    /// speedup no larger than the nominal one.
+    #[test]
+    fn s2_respects_budget_and_nominal_bound() {
+        let s2 = Scenario2::new(chip());
+        let mut rng = SplitMix64::seed_from_u64(0xF1);
+        for _case in 0..24 {
+            let n = rng.gen_range_usize(1..32);
             let p = s2.solve(n, &EfficiencyCurve::Perfect).unwrap();
-            prop_assert!(p.power.as_f64() <= s2.budget().as_f64() * 1.02);
-            prop_assert!(p.speedup <= n as f64 + 1e-9);
-            prop_assert!(p.speedup > 0.0);
+            assert!(p.power.as_f64() <= s2.budget().as_f64() * 1.02);
+            assert!(p.speedup <= n as f64 + 1e-9);
+            assert!(p.speedup > 0.0);
         }
+    }
 
-        /// Scenario-I voltage never exceeds nominal or drops below floor.
-        #[test]
-        fn s1_voltage_in_range(n in 2usize..32, eps in 0.5f64..1.0) {
-            let s1 = Scenario1::new(chip());
+    /// Scenario-I voltage never exceeds nominal or drops below floor.
+    #[test]
+    fn s1_voltage_in_range() {
+        let s1 = Scenario1::new(chip());
+        let mut rng = SplitMix64::seed_from_u64(0xF2);
+        for _case in 0..24 {
+            let n = rng.gen_range_usize(2..32);
+            let eps = rng.gen_range_f64(0.5..1.0);
             if let Ok(p) = s1.solve(n, eps) {
-                prop_assert!(p.voltage <= chip().tech().vdd_nominal());
-                prop_assert!(p.voltage >= chip().tech().voltage_floor());
+                assert!(p.voltage <= chip().tech().vdd_nominal());
+                assert!(p.voltage >= chip().tech().voltage_floor());
             }
         }
     }

@@ -7,15 +7,13 @@
 //! law (clamped at the noise-margin floor), and normalized chip power
 //! `P_N/P_1` follows from Eq. 9 with the temperature solved to equilibrium.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::units::{Celsius, Hertz, Volts, Watts};
 
 use crate::chip::AnalyticChip;
 use crate::error::AnalyticError;
 
 /// One solved iso-performance configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario1Point {
     /// Number of active cores.
     pub n: usize,
@@ -131,7 +129,7 @@ impl<'a> Scenario1<'a> {
 }
 
 /// A Fig. 1 series: normalized power vs. efficiency for one core count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario1Series {
     /// Core count for this series.
     pub n: usize,

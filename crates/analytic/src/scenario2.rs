@@ -8,8 +8,6 @@
 //! (Eq. 10). Voltage scales down to the noise-margin floor; below it only
 //! frequency scales, which is where the speedup curve rolls over.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::units::{Celsius, Hertz, Volts, Watts};
 
 use crate::chip::{AnalyticChip, ThermalCoupling};
@@ -17,7 +15,7 @@ use crate::efficiency::EfficiencyCurve;
 use crate::error::AnalyticError;
 
 /// How the budget-satisfying operating point was found.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ScalingRegime {
     /// Budget is slack at nominal V/f: no scaling applied.
@@ -29,7 +27,7 @@ pub enum ScalingRegime {
 }
 
 /// One solved budget-constrained configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario2Point {
     /// Number of active cores.
     pub n: usize,
@@ -225,12 +223,15 @@ impl<'a> Scenario2<'a> {
 }
 
 /// Finds the core count with the highest speedup in a Fig. 2 sweep.
+///
+/// NaN-safe: a poisoned speedup neither panics the selection (as the old
+/// `partial_cmp().expect()` did) nor wins it (`f64::total_cmp` alone would
+/// rank positive NaN above +∞) — NaN ranks below every real speedup.
 pub fn optimal_point(points: &[Scenario2Point]) -> Option<&Scenario2Point> {
-    points.iter().max_by(|a, b| {
-        a.speedup
-            .partial_cmp(&b.speedup)
-            .expect("speedups are not NaN")
-    })
+    let key = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+    points
+        .iter()
+        .max_by(|a, b| key(a.speedup).total_cmp(&key(b.speedup)))
 }
 
 #[cfg(test)]
@@ -244,6 +245,23 @@ mod tests {
 
     fn chip65() -> AnalyticChip {
         AnalyticChip::new(Technology::itrs_65nm(), 32)
+    }
+
+    #[test]
+    fn optimal_point_survives_nan_speedups() {
+        let mk = |n: usize, speedup: f64| Scenario2Point {
+            n,
+            efficiency: 1.0,
+            frequency: Hertz::from_ghz(3.0),
+            voltage: Volts::new(1.1),
+            temperature: Celsius::new(80.0),
+            power: Watts::new(20.0),
+            speedup,
+            regime: ScalingRegime::Nominal,
+        };
+        let points = vec![mk(1, 1.0), mk(2, f64::NAN), mk(4, 2.5)];
+        let best = optimal_point(&points).unwrap();
+        assert_eq!(best.n, 4, "NaN must neither panic nor win");
     }
 
     #[test]

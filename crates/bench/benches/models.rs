@@ -1,45 +1,37 @@
-//! Criterion benches for the analytical models: leakage fitting (the §2.1
+//! Micro-benchmarks for the analytical models: leakage fitting (the §2.1
 //! validation), alpha-power inversion, thermal solves, and the Fig. 1 /
 //! Fig. 2 scenario solvers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use tlp_analytic::{AnalyticChip, EfficiencyCurve, Scenario1, Scenario2};
-use tlp_tech::units::{Celsius, Hertz, Watts};
+use tlp_bench::harness::Harness;
+use tlp_tech::units::{Celsius, Hertz, Volts, Watts};
 use tlp_tech::{leakage, FrequencyModel, Technology};
 use tlp_thermal::{Floorplan, PackageParams, RcNetwork, ThermalModel};
 
-fn bench_leakage_fit(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let tech = Technology::itrs_65nm();
-    c.bench_function("leakage_fit_65nm", |b| {
-        b.iter(|| leakage::fit(black_box(&tech)))
-    });
+
+    h.bench("leakage_fit_65nm", || leakage::fit(black_box(&tech)));
     let (fitted, _) = leakage::fit(&tech);
-    c.bench_function("leakage_eval", |b| {
-        b.iter(|| {
-            fitted.normalized(
-                black_box(tlp_tech::units::Volts::new(0.9)),
-                black_box(Celsius::new(70.0)),
-            )
-        })
+    h.bench("leakage_eval", || {
+        fitted.normalized(black_box(Volts::new(0.9)), black_box(Celsius::new(70.0)))
     });
-}
 
-fn bench_alpha_power(c: &mut Criterion) {
-    let model = FrequencyModel::new(&Technology::itrs_65nm());
-    c.bench_function("alpha_power_inversion", |b| {
-        b.iter(|| model.min_voltage_for(black_box(Hertz::from_ghz(1.7))))
+    let model = FrequencyModel::new(&tech);
+    h.bench("alpha_power_inversion", || {
+        model.min_voltage_for(black_box(Hertz::from_ghz(1.7)))
     });
-}
 
-fn bench_thermal(c: &mut Criterion) {
     let chip = Floorplan::ispass_cmp(16, 15.6, 15.6);
     let net = RcNetwork::build(&chip, &PackageParams::default());
     let powers: Vec<Watts> = chip.blocks().iter().map(|_| Watts::new(1.0)).collect();
-    c.bench_function("thermal_steady_state_161_blocks", |b| {
-        b.iter(|| net.steady_state(black_box(&powers), Celsius::new(45.0)))
+    h.bench("thermal_steady_state_161_blocks", || {
+        net.steady_state(black_box(&powers), Celsius::new(45.0))
     });
+
     let model = ThermalModel::calibrated(
         Floorplan::ispass_cmp(4, 10.0, 10.0),
         Watts::new(100.0),
@@ -47,42 +39,27 @@ fn bench_thermal(c: &mut Criterion) {
         Celsius::new(45.0),
     );
     let p = model.uniform_core_power(Watts::new(60.0), 4);
-    c.bench_function("thermal_fixpoint", |b| {
-        b.iter(|| {
-            model.fixpoint(
-                black_box(&p),
-                |map| {
-                    let t = map.average_core_temperature(model.floorplan());
-                    model.uniform_core_power(Watts::new(0.1 * t.as_f64()), 4)
-                },
-                1e-3,
-                50,
-            )
-        })
+    h.bench("thermal_fixpoint", || {
+        model.fixpoint(
+            black_box(&p),
+            |map| {
+                let t = map.average_core_temperature(model.floorplan());
+                model.uniform_core_power(Watts::new(0.1 * t.as_f64()), 4)
+            },
+            1e-3,
+            50,
+        )
     });
-}
 
-fn bench_scenarios(c: &mut Criterion) {
     let chip = AnalyticChip::new(Technology::itrs_65nm(), 32);
     let s1 = Scenario1::new(&chip);
-    c.bench_function("fig1_point_solve", |b| {
-        b.iter(|| s1.solve(black_box(8), black_box(0.8)))
-    });
+    h.bench("fig1_point_solve", || s1.solve(black_box(8), black_box(0.8)));
     let s2 = Scenario2::new(&chip);
-    c.bench_function("fig2_point_solve", |b| {
-        b.iter(|| s2.solve(black_box(8), &EfficiencyCurve::Perfect))
+    h.bench("fig2_point_solve", || {
+        s2.solve(black_box(8), &EfficiencyCurve::Perfect)
     });
-    c.bench_function("bench_fig1_sweep", |b| {
-        b.iter(|| s1.sweep(&[2, 8, 32], 0.2, 9))
-    });
-    c.bench_function("bench_fig2_sweep", |b| {
-        b.iter(|| s2.sweep(16, &EfficiencyCurve::Perfect))
-    });
-}
+    h.bench("bench_fig1_sweep", || s1.sweep(&[2, 8, 32], 0.2, 9));
+    h.bench("bench_fig2_sweep", || s2.sweep(16, &EfficiencyCurve::Perfect));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_leakage_fit, bench_alpha_power, bench_thermal, bench_scenarios
+    h.finish();
 }
-criterion_main!(benches);

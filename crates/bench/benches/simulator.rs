@@ -1,60 +1,45 @@
-//! Criterion benches for the CMP simulator: cycle throughput on the
+//! Micro-benchmarks for the CMP simulator: cycle throughput on the
 //! microbenchmarks and representative SPLASH-2-like workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use tlp_bench::harness::Harness;
 use tlp_sim::{CmpConfig, CmpSimulator};
 use tlp_workloads::micro::{memory_chaser, power_virus};
 use tlp_workloads::{gang, AppId, Scale};
 
-fn bench_virus(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    // Instruction throughput of a compute-bound single core.
-    let instrs = 36 * 10_000u64;
-    g.throughput(Throughput::Elements(instrs));
-    g.bench_function("virus_1core", |b| {
-        b.iter(|| {
-            CmpSimulator::new(
-                black_box(CmpConfig::ispass05(1)),
-                vec![power_virus(0, 1, 10_000)],
-            )
-            .run()
-        })
-    });
-    g.bench_function("chaser_1core", |b| {
-        b.iter(|| {
-            CmpSimulator::new(
-                CmpConfig::ispass05(1),
-                vec![memory_chaser(0, 1, 2_000, 32 << 20)],
-            )
-            .run()
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let mut h = Harness::from_args();
 
-fn bench_apps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workloads");
-    g.sample_size(10);
+    // Instruction throughput of a compute-bound single core.
+    h.bench("virus_1core", || {
+        CmpSimulator::new(
+            black_box(CmpConfig::ispass05(1)),
+            vec![power_virus(0, 1, 10_000)],
+        )
+        .run()
+    });
+    h.bench("chaser_1core", || {
+        CmpSimulator::new(
+            CmpConfig::ispass05(1),
+            vec![memory_chaser(0, 1, 2_000, 32 << 20)],
+        )
+        .run()
+    });
+
     for (app, n) in [
         (AppId::WaterNsq, 4usize),
         (AppId::Ocean, 4),
         (AppId::Cholesky, 8),
     ] {
-        g.bench_function(format!("{}_{}threads", app.name(), n), |b| {
-            b.iter(|| {
-                CmpSimulator::new(
-                    CmpConfig::ispass05(16),
-                    gang(black_box(app), n, Scale::Test, 7),
-                )
-                .run()
-            })
+        h.bench(&format!("{}_{}threads", app.name(), n), || {
+            CmpSimulator::new(
+                CmpConfig::ispass05(16),
+                gang(black_box(app), n, Scale::Test, 7),
+            )
+            .run()
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_virus, bench_apps);
-criterion_main!(benches);
+    h.finish();
+}

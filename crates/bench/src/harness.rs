@@ -1,0 +1,85 @@
+//! Minimal self-contained micro-benchmark harness.
+//!
+//! The bench targets (`harness = false`) time closures with
+//! [`std::time::Instant`] and print one line per benchmark in a
+//! `name  median ns/iter  (iters/run)` format. A single optional CLI
+//! argument filters benchmarks by substring, matching the familiar
+//! `cargo bench <filter>` convention. The harness favors low run time
+//! over statistical rigor: each benchmark is calibrated to roughly
+//! `TARGET_RUN` of wall clock and reports the median of a handful of
+//! batched runs.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark (after calibration).
+const TARGET_RUN: Duration = Duration::from_millis(300);
+/// Number of timed batches whose median is reported.
+const BATCHES: usize = 5;
+
+/// Collects and runs benchmarks registered via [`Harness::bench`].
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Creates a harness, reading an optional substring filter from the
+    /// process arguments (flags starting with `-` are ignored so that
+    /// `cargo bench -- --quick`-style invocations do not filter
+    /// everything out).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Self { filter, ran: 0 }
+    }
+
+    /// Times `f`, printing `name  <median> ns/iter`.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+
+        // Calibrate: find an iteration count that fills one batch.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_RUN / BATCHES as u32 || iters >= 1 << 24 {
+                break;
+            }
+            // Grow geometrically towards the batch budget.
+            iters = (iters * 4).min(1 << 24);
+        }
+
+        let mut samples: Vec<f64> = (0..BATCHES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        println!("{name:<40} {median:>12.1} ns/iter   ({iters} iters/batch)");
+    }
+
+    /// Prints a summary; call last so a bad filter is visible.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            match self.filter {
+                Some(f) => println!("no benchmarks match filter {f:?}"),
+                None => println!("no benchmarks registered"),
+            }
+        }
+    }
+}

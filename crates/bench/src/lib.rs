@@ -1,6 +1,8 @@
-//! Shared helpers for the figure-regeneration binaries and Criterion
-//! benches. See DESIGN.md §3 for the experiment index mapping each binary
-//! to a table or figure of the paper.
+//! Shared helpers for the figure-regeneration binaries and the
+//! micro-benchmarks. See DESIGN.md §3 for the experiment index mapping
+//! each binary to a table or figure of the paper.
+
+pub mod harness;
 
 use tlp_workloads::Scale;
 

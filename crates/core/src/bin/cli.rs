@@ -12,7 +12,10 @@
 //! Add `--json` for machine-readable output and `--paper` for full
 //! experiment scale (default is the fast quarter scale).
 
+use cmp_tlp::sweep::{run_sweep, FaultPlan, RetryPolicy, SweepSpec};
+use cmp_tlp::jsonout;
 use cmp_tlp::{profiling, report, scenario1, scenario2, ExperimentalChip};
+use tlp_tech::json::{Json, ToJson};
 use tlp_sim::CmpConfig;
 use tlp_tech::units::Hertz;
 use tlp_tech::{DvfsTable, OperatingPoint, Technology};
@@ -47,7 +50,9 @@ fn usage() -> ! {
            profile <app> [N...]           nominal parallel efficiency (default N = 1 2 4 8 16)\n\
            scenario1 <app> [N...]         iso-performance power optimization\n\
            scenario2 <app> [N...]         budget-constrained performance optimization\n\
-           measure <app> <N> <GHz>        run and measure one configuration"
+           sweep <app> [app...]           supervised fig. 3 sweep (failures reported per cell)\n\
+           measure <app> <N> <GHz>        run and measure one configuration\n\
+         exit codes: 0 success, 1 experiment failure, 2 usage error"
     );
     std::process::exit(2)
 }
@@ -76,7 +81,16 @@ fn main() {
     let tech = Technology::itrs_65nm();
     let result = run_command(&cmd, &args, scale, json, tech);
     if let Err(msg) = result {
-        eprintln!("error: {msg}");
+        // In --json mode failures are data, not a backtrace: emit a
+        // structured error object on stdout so pipelines can parse it.
+        if json {
+            println!(
+                "{}",
+                Json::object([("error", Json::from(msg))]).to_string_pretty()
+            );
+        } else {
+            eprintln!("error: {msg}");
+        }
         std::process::exit(1);
     }
 }
@@ -117,10 +131,7 @@ fn run_command(
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
             let cal = chip.calibration();
             if json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&cal).map_err(|e| e.to_string())?
-                );
+                println!("{}", jsonout::calibration_json(&cal).to_string_pretty());
             } else {
                 println!("renormalization ratio : {:.4}", cal.renorm);
                 println!("core dynamic max      : {:.2} W", cal.core_dynamic_max.as_f64());
@@ -137,10 +148,7 @@ fn run_command(
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
             let p = profiling::profile(&chip, app, &counts, scale, SEED);
             if json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&p).map_err(|e| e.to_string())?
-                );
+                println!("{}", p.to_json().to_string_pretty());
             } else {
                 println!("{} nominal parallel efficiency:", app.name());
                 for (n, e) in p.core_counts.iter().zip(&p.efficiencies) {
@@ -154,12 +162,9 @@ fn run_command(
             let counts = core_counts(rest)?;
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
             let p = profiling::profile(&chip, app, &counts, scale, SEED);
-            let r = scenario1::run(&chip, &p, scale, SEED);
+            let r = scenario1::try_run(&chip, &p, scale, SEED).map_err(|e| e.to_string())?;
             if json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
-                );
+                println!("{}", r.to_json().to_string_pretty());
             } else {
                 print!("{}", report::fig3(std::slice::from_ref(&r)));
             }
@@ -170,14 +175,41 @@ fn run_command(
             let counts = core_counts(rest)?;
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
             let p = profiling::profile(&chip, app, &counts, scale, SEED);
-            let r = scenario2::run(&chip, &p, scale, SEED, None);
+            let r = scenario2::try_run(&chip, &p, scale, SEED, None).map_err(|e| e.to_string())?;
             if json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
-                );
+                println!("{}", r.to_json().to_string_pretty());
             } else {
                 print!("{}", report::fig4(std::slice::from_ref(&r)));
+            }
+            Ok(())
+        }
+        "sweep" => {
+            if args.is_empty() {
+                return Err("sweep needs at least one application".into());
+            }
+            let apps = args
+                .iter()
+                .map(|a| parse_app(a))
+                .collect::<Result<Vec<_>, _>>()?;
+            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let spec = SweepSpec::fig3(apps, scale, SEED);
+            let report = run_sweep(&chip, &spec, &RetryPolicy::default(), &FaultPlan::none())
+                .map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", report.to_json().to_string_pretty());
+            } else {
+                for (cell, row) in report.completed() {
+                    println!(
+                        "{cell:<16} speedup {:.2}  power {:.1} W  temp {:.1} °C",
+                        row.actual_speedup, row.power_watts, row.temperature_c
+                    );
+                }
+                println!("{}", report.summary());
+            }
+            // Lost cells are an experiment failure even though the sweep
+            // itself ran to completion.
+            if report.failed().next().is_some() {
+                std::process::exit(1);
             }
             Ok(())
         }
@@ -195,13 +227,14 @@ fn run_command(
                     .map_err(|e| e.to_string())?;
             let v = table.voltage_for(f).map_err(|e| e.to_string())?;
             let op = OperatingPoint { frequency: f, voltage: v };
-            let run = chip.run(gang(app, n, scale, SEED), op);
-            let m = chip.measure(&run, v);
+            let run = chip
+                .try_run(gang(app, n, scale, SEED), op)
+                .map_err(|e| e.to_string())?;
+            let m = chip
+                .try_measure(&run, v, &tlp_thermal::FixpointOptions::default())
+                .map_err(|e| e.to_string())?;
             if json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?
-                );
+                println!("{}", m.to_json().to_string_pretty());
             } else {
                 println!("{} on {} core(s) at {} :", app.name(), n, op);
                 println!("  wall clock : {:.3} ms", run.execution_time().as_f64() * 1e3);

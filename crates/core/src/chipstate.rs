@@ -8,22 +8,58 @@
 //! active-core temperature, and core power density — with the
 //! power↔temperature fixpoint solved per tile.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_power::{Calibration, PowerCalculator, StaticPower};
-use tlp_sim::{CmpConfig, CmpSimulator, SimResult};
+use tlp_sim::{CmpConfig, CmpSimulator, SimFaults, SimResult};
 use tlp_tech::units::{Celsius, PowerDensity, Volts, Watts};
 use tlp_tech::{OperatingPoint, Technology};
-use tlp_thermal::{Floorplan, ThermalModel};
+use tlp_thermal::{FixpointOptions, Floorplan, ThermalModel};
 use tlp_workloads::micro::power_virus;
+
+use crate::error::ExperimentError;
 
 /// Die edge (Table 1: 15.6 mm × 15.6 mm).
 pub const DIE_EDGE_MM: f64 = 15.6;
 /// Fraction of the die devoted to cores (matches the floorplans).
 const CORE_REGION_FRAC: f64 = 0.65;
 
+/// Measurement-stage fault injection (see `DESIGN.md`, "Failure model &
+/// fault injection").
+///
+/// These hooks corrupt the power/thermal pipeline *after* simulation, the
+/// way a buggy activity counter or a mis-fitted leakage model would. The
+/// default is all-off and costs one branch and one multiply per
+/// measurement. Simulation-stage faults (dropped barrier arrivals, cycle
+/// budgets) live in [`tlp_sim::SimFaults`] instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureFaults {
+    /// Poison the per-block dynamic power vector with a NaN before the
+    /// thermal solve. Caught as `ThermalError::NonFinite`.
+    pub nan_power: bool,
+    /// Multiply the temperature-dependent static-power feedback by this
+    /// factor. Values around 3–5 push the 65 nm leakage loop past its
+    /// stability margin and provoke thermal runaway
+    /// (`ThermalError::Diverged`).
+    pub leakage_scale: f64,
+}
+
+impl Default for MeasureFaults {
+    fn default() -> Self {
+        Self {
+            nan_power: false,
+            leakage_scale: 1.0,
+        }
+    }
+}
+
+impl MeasureFaults {
+    /// Whether any fault is armed.
+    pub fn any(&self) -> bool {
+        self.nan_power || self.leakage_scale != 1.0
+    }
+}
+
 /// Everything measured about one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipMeasurement {
     /// Total chip dynamic power (renormalized).
     pub dynamic: Watts,
@@ -133,13 +169,54 @@ impl ExperimentalChip {
     }
 
     /// Runs a gang of thread programs at an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks or exhausts its cycle budget;
+    /// use [`ExperimentalChip::try_run`] to handle those as values.
     pub fn run(
         &self,
         programs: Vec<Box<dyn tlp_sim::op::ThreadProgram>>,
         op: OperatingPoint,
     ) -> SimResult {
+        self.try_run(programs, op)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`ExperimentalChip::run`].
+    ///
+    /// Honors any [`tlp_sim::SimFaults`] armed on the chip configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Sim`] if the simulation deadlocks or
+    /// exhausts its cycle budget.
+    pub fn try_run(
+        &self,
+        programs: Vec<Box<dyn tlp_sim::op::ThreadProgram>>,
+        op: OperatingPoint,
+    ) -> Result<SimResult, ExperimentError> {
         let cfg = self.config.at_operating_point(op);
-        CmpSimulator::new(cfg, programs).run()
+        Ok(CmpSimulator::new(cfg, programs).try_run(tlp_sim::chip::MAX_CYCLES)?)
+    }
+
+    /// [`ExperimentalChip::try_run`] with per-run simulation-stage fault
+    /// injection: `faults` replaces whatever the chip configuration
+    /// carries for this run only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Sim`] if the simulation deadlocks or
+    /// exhausts its (possibly fault-shrunk) cycle budget.
+    pub fn try_run_with(
+        &self,
+        programs: Vec<Box<dyn tlp_sim::op::ThreadProgram>>,
+        op: OperatingPoint,
+        faults: SimFaults,
+    ) -> Result<SimResult, ExperimentError> {
+        let mut cfg = self.config.at_operating_point(op);
+        cfg.faults = faults;
+        Ok(CmpSimulator::new(cfg, programs).try_run(tlp_sim::chip::MAX_CYCLES)?)
     }
 
     /// Measures power, temperature, and density for a finished run at
@@ -150,7 +227,43 @@ impl ExperimentalChip {
     /// each core's equilibrium temperature. The L2's static power is
     /// charged at the average core temperature.
     pub fn measure(&self, result: &SimResult, v: Volts) -> ChipMeasurement {
-        let breakdown = self.power.dynamic(result, v);
+        self.try_measure(result, v, &FixpointOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`ExperimentalChip::measure`].
+    ///
+    /// Unlike the legacy path — which silently accepted an unconverged
+    /// fixpoint — a solve that fails to converge within `opts` is a
+    /// propagated [`ExperimentError::Thermal`]. The supervised sweep
+    /// runner retries such cells with damping, a relaxed tolerance, and a
+    /// larger iteration budget (see [`crate::sweep::RetryPolicy`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Power`] on malformed accounting inputs
+    /// and [`ExperimentError::Thermal`] on non-convergence, thermal
+    /// runaway, or non-finite values.
+    pub fn try_measure(
+        &self,
+        result: &SimResult,
+        v: Volts,
+        opts: &FixpointOptions,
+    ) -> Result<ChipMeasurement, ExperimentError> {
+        self.try_measure_with(result, v, opts, &MeasureFaults::default())
+    }
+
+    /// [`ExperimentalChip::try_measure`] with measurement-stage fault
+    /// injection. With `faults` at its default this is the same code path
+    /// at the cost of one branch and one multiply per fixpoint iteration.
+    pub fn try_measure_with(
+        &self,
+        result: &SimResult,
+        v: Volts,
+        opts: &FixpointOptions,
+        faults: &MeasureFaults,
+    ) -> Result<ChipMeasurement, ExperimentError> {
+        let breakdown = self.power.try_dynamic(result, v)?;
         let tile_fp = self.tile.floorplan().clone();
         let n = breakdown.cores.len();
 
@@ -166,21 +279,26 @@ impl ExperimentalChip {
                 l2: Watts::ZERO,
                 bus: breakdown.bus / n as f64,
             };
-            let dyn_blocks = self.power.per_block(&single, &tile_fp);
+            let mut dyn_blocks = self.power.try_per_block(&single, &tile_fp)?;
+            if faults.nan_power {
+                if let Some(first) = dyn_blocks.first_mut() {
+                    *first = Watts::new(f64::NAN);
+                }
+            }
             let statics = &self.statics;
             let tile = &self.tile;
-            let result = tile.fixpoint(
+            let leakage_scale = faults.leakage_scale;
+            let result = tile.try_fixpoint(
                 &dyn_blocks,
                 |map| {
                     let t = map
                         .average_active_core_temperature(&tile_fp, 1)
                         .max(tile.ambient());
-                    let s = statics.core_static(v, t);
+                    let s = statics.core_static(v, t) * leakage_scale;
                     tile.uniform_core_power(s, 1)
                 },
-                1e-3,
-                100,
-            );
+                opts,
+            )?;
             let temp = result
                 .map
                 .average_active_core_temperature(&tile_fp, 1);
@@ -203,12 +321,12 @@ impl ExperimentalChip {
                 / (n as f64 * self.tile_area_mm2),
         );
 
-        ChipMeasurement {
+        Ok(ChipMeasurement {
             dynamic: breakdown.total(),
             static_: static_total,
             core_temps,
             power_density: density,
-        }
+        })
     }
 }
 

@@ -6,15 +6,13 @@
 //! EDP, and ED²P for measured runs and finds the core count that optimizes
 //! each — the "how many cores minimize energy?" question.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::units::Joules;
 
 use crate::chipstate::ChipMeasurement;
 use crate::scenario1::Scenario1Result;
 
 /// Which figure of merit to optimize.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Metric {
     /// Total energy, `P·t`.
@@ -26,7 +24,7 @@ pub enum Metric {
 }
 
 /// Energy metrics of one measured run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// Wall-clock execution time, seconds.
     pub time: f64,
@@ -92,11 +90,7 @@ pub fn scenario1_energy(result: &Scenario1Result) -> Vec<(usize, EnergyReport)> 
 pub fn best_n(reports: &[(usize, EnergyReport)], metric: Metric) -> Option<usize> {
     reports
         .iter()
-        .min_by(|a, b| {
-            a.1.value(metric)
-                .partial_cmp(&b.1.value(metric))
-                .expect("metric values are not NaN")
-        })
+        .min_by(|a, b| a.1.value(metric).total_cmp(&b.1.value(metric)))
         .map(|(n, _)| *n)
 }
 

@@ -1,0 +1,135 @@
+//! The unified experiment-pipeline error.
+//!
+//! Every layer of the stack reports failures in its own vocabulary —
+//! [`tlp_sim::SimError`] for deadlocks and exhausted cycle budgets,
+//! [`tlp_thermal::ThermalError`] for fixpoint non-convergence and thermal
+//! runaway, [`tlp_power::PowerError`] for malformed accounting inputs, and
+//! [`tlp_tech::TechError`] for out-of-range operating points. The
+//! experiment drivers in this crate touch all four, so they speak
+//! [`ExperimentError`]: a sum type with `From` impls in every direction,
+//! letting `?` propagate any substrate failure to the supervised sweep
+//! runner ([`crate::sweep`]) where it becomes a reported
+//! [`crate::sweep::CellOutcome::Failed`] row instead of a panic.
+
+use std::fmt;
+
+use tlp_power::PowerError;
+use tlp_sim::SimError;
+use tlp_tech::TechError;
+use tlp_thermal::ThermalError;
+
+/// Any failure of the experiment pipeline, from any layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// The cycle-level simulation failed (deadlock, exhausted budget).
+    Sim(SimError),
+    /// The power↔temperature fixpoint failed (non-convergence, thermal
+    /// runaway, non-finite values).
+    Thermal(ThermalError),
+    /// Power accounting failed (zero-cycle run, unmappable block).
+    Power(PowerError),
+    /// A technology/DVFS lookup failed (operating point out of range).
+    Tech(TechError),
+}
+
+impl ExperimentError {
+    /// Whether a retry with a more conservative solver configuration
+    /// (damping, relaxed tolerance, larger iteration budget) could
+    /// plausibly succeed. Deterministic failures — deadlocks, accounting
+    /// errors, out-of-range lookups — always reproduce, so retrying them
+    /// wastes work.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ExperimentError::Thermal(
+                ThermalError::NoConvergence { .. } | ThermalError::Diverged { .. }
+            )
+        )
+    }
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExperimentError::Thermal(e) => write!(f, "thermal solve failed: {e}"),
+            ExperimentError::Power(e) => write!(f, "power accounting failed: {e}"),
+            ExperimentError::Tech(e) => write!(f, "technology model failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Sim(e) => Some(e),
+            ExperimentError::Thermal(e) => Some(e),
+            ExperimentError::Power(e) => Some(e),
+            ExperimentError::Tech(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        ExperimentError::Sim(e)
+    }
+}
+
+impl From<ThermalError> for ExperimentError {
+    fn from(e: ThermalError) -> Self {
+        ExperimentError::Thermal(e)
+    }
+}
+
+impl From<PowerError> for ExperimentError {
+    fn from(e: PowerError) -> Self {
+        ExperimentError::Power(e)
+    }
+}
+
+impl From<TechError> for ExperimentError {
+    fn from(e: TechError) -> Self {
+        ExperimentError::Tech(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_identify_the_failing_layer() {
+        let e = ExperimentError::from(ThermalError::NoConvergence {
+            iterations: 100,
+            last_delta: 0.5,
+            tolerance: 1e-3,
+        });
+        let s = e.to_string();
+        assert!(s.starts_with("thermal solve failed:"), "{s}");
+        assert!(s.contains("100"), "{s}");
+    }
+
+    #[test]
+    fn only_thermal_convergence_failures_are_retryable() {
+        let retryable = ExperimentError::from(ThermalError::Diverged {
+            iterations: 7,
+            temperature: 1200.0,
+        });
+        assert!(retryable.is_retryable());
+        let nonfinite = ExperimentError::from(ThermalError::NonFinite {
+            iterations: 0,
+            context: "dynamic power input",
+        });
+        assert!(!nonfinite.is_retryable());
+        let power = ExperimentError::from(PowerError::EmptyRun);
+        assert!(!power.is_retryable());
+    }
+
+    #[test]
+    fn source_chain_reaches_the_substrate_error() {
+        use std::error::Error;
+        let e = ExperimentError::from(PowerError::EmptyRun);
+        assert!(e.source().unwrap().to_string().contains("zero-cycle"));
+    }
+}

@@ -1,0 +1,224 @@
+//! JSON rendering of the experiment result types.
+//!
+//! The CLI's `--json` mode and the sweep runner emit these shapes. All
+//! conversions go through [`tlp_tech::json::Json`], so key order is
+//! deterministic and non-finite numbers degrade to `null` instead of
+//! producing invalid JSON.
+
+use tlp_power::Calibration;
+use tlp_sim::SimResult;
+use tlp_tech::json::{Json, ToJson};
+use tlp_tech::OperatingPoint;
+
+use crate::chipstate::ChipMeasurement;
+use crate::profiling::EfficiencyProfile;
+use crate::scenario1::{Scenario1Result, Scenario1Row};
+use crate::scenario2::{Scenario2Result, Scenario2Row};
+use crate::sweep::{CellOutcome, SweepReport};
+
+/// Renders a power/thermal calibration (§3.3) as JSON.
+pub fn calibration_json(cal: &Calibration) -> Json {
+    Json::object([
+        ("renorm", Json::from(cal.renorm)),
+        ("core_dynamic_max_w", Json::from(cal.core_dynamic_max.as_f64())),
+        (
+            "single_core_budget_w",
+            Json::from(cal.single_core_budget.as_f64()),
+        ),
+    ])
+}
+
+/// Renders an operating point as `{ "ghz": ..., "vdd": ... }`.
+pub fn operating_point_json(op: &OperatingPoint) -> Json {
+    Json::object([
+        ("ghz", Json::from(op.frequency.as_ghz())),
+        ("vdd", Json::from(op.voltage.as_f64())),
+    ])
+}
+
+/// Renders the summary of one simulation run.
+pub fn sim_result_json(r: &SimResult) -> Json {
+    Json::object([
+        ("cycles", Json::from(r.cycles)),
+        ("ghz", Json::from(r.frequency.as_ghz())),
+        ("n_threads", Json::from(r.n_threads)),
+        ("ipc", Json::from(r.ipc())),
+        (
+            "execution_time_ms",
+            Json::from(r.execution_time().as_f64() * 1e3),
+        ),
+    ])
+}
+
+impl ToJson for EfficiencyProfile {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("app", Json::from(self.app.name())),
+            (
+                "core_counts",
+                Json::array(&self.core_counts, |n| Json::from(*n)),
+            ),
+            ("times_s", Json::array(&self.times, |t| Json::from(*t))),
+            (
+                "efficiencies",
+                Json::array(&self.efficiencies, |e| Json::from(*e)),
+            ),
+            ("baseline", sim_result_json(&self.baseline)),
+        ])
+    }
+}
+
+impl ToJson for Scenario1Row {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("n", Json::from(self.n)),
+            ("nominal_efficiency", Json::from(self.nominal_efficiency)),
+            ("actual_speedup", Json::from(self.actual_speedup)),
+            ("power_watts", Json::from(self.power_watts)),
+            ("normalized_power", Json::from(self.normalized_power)),
+            ("normalized_density", Json::from(self.normalized_density)),
+            ("temperature_c", Json::from(self.temperature_c)),
+            ("operating_point", operating_point_json(&self.operating_point)),
+        ])
+    }
+}
+
+impl ToJson for Scenario1Result {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("app", Json::from(self.app.name())),
+            ("rows", Json::array(&self.rows, Scenario1Row::to_json)),
+        ])
+    }
+}
+
+impl ToJson for Scenario2Row {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("n", Json::from(self.n)),
+            ("nominal_speedup", Json::from(self.nominal_speedup)),
+            ("actual_speedup", Json::from(self.actual_speedup)),
+            ("operating_point", operating_point_json(&self.operating_point)),
+            ("power_watts", Json::from(self.power_watts)),
+            ("unconstrained", Json::from(self.unconstrained)),
+        ])
+    }
+}
+
+impl ToJson for Scenario2Result {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("app", Json::from(self.app.name())),
+            ("budget_watts", Json::from(self.budget_watts)),
+            ("rows", Json::array(&self.rows, Scenario2Row::to_json)),
+        ])
+    }
+}
+
+impl ToJson for ChipMeasurement {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("dynamic_w", Json::from(self.dynamic.as_f64())),
+            ("static_w", Json::from(self.static_.as_f64())),
+            ("total_w", Json::from(self.total().as_f64())),
+            (
+                "core_temps_c",
+                Json::array(&self.core_temps, |t| Json::from(t.as_f64())),
+            ),
+            ("avg_core_temp_c", Json::from(self.avg_core_temp().as_f64())),
+            (
+                "power_density_w_mm2",
+                Json::from(self.power_density.as_w_per_mm2()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for SweepReport {
+    fn to_json(&self) -> Json {
+        let done = self.cells.iter().filter(|(_, o)| o.is_completed()).count();
+        Json::object([
+            ("cells_total", Json::from(self.cells.len())),
+            ("cells_completed", Json::from(done)),
+            ("cells_failed", Json::from(self.cells.len() - done)),
+            (
+                "cells",
+                Json::array(&self.cells, |(cell, outcome)| {
+                    let mut o = Json::object([
+                        ("app", Json::from(cell.app.name())),
+                        ("n", Json::from(cell.n)),
+                    ]);
+                    match outcome {
+                        CellOutcome::Completed { row, attempts } => {
+                            o.set("status", "completed");
+                            o.set("attempts", *attempts);
+                            o.set("row", row.to_json());
+                        }
+                        CellOutcome::Failed { reason, attempts } => {
+                            o.set("status", "failed");
+                            o.set("attempts", *attempts);
+                            o.set("reason", reason.to_string());
+                        }
+                    }
+                    o
+                }),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_tech::units::{Hertz, Volts};
+
+    #[test]
+    fn operating_point_shape() {
+        let op = OperatingPoint {
+            frequency: Hertz::from_ghz(2.0),
+            voltage: Volts::new(1.0),
+        };
+        assert_eq!(
+            operating_point_json(&op).to_string_compact(),
+            "{\"ghz\":2,\"vdd\":1}"
+        );
+    }
+
+    #[test]
+    fn failed_sweep_cell_shape() {
+        use crate::sweep::SweepCell;
+        use tlp_power::PowerError;
+        use tlp_workloads::AppId;
+
+        let report = SweepReport {
+            cells: vec![(
+                SweepCell {
+                    app: AppId::Fft,
+                    n: 4,
+                },
+                CellOutcome::Failed {
+                    reason: crate::error::ExperimentError::Power(PowerError::EmptyRun),
+                    attempts: 1,
+                },
+            )],
+        };
+        let j = report.to_json().to_string_compact();
+        assert!(j.contains("\"cells_failed\":1"), "{j}");
+        assert!(j.contains("\"status\":\"failed\""), "{j}");
+        assert!(j.contains("\"reason\":\"power accounting failed"), "{j}");
+    }
+
+    #[test]
+    fn calibration_shape() {
+        let cal = Calibration {
+            renorm: 0.5,
+            core_dynamic_max: tlp_tech::units::Watts::new(10.0),
+            single_core_budget: tlp_tech::units::Watts::new(12.5),
+        };
+        let j = calibration_json(&cal).to_string_compact();
+        assert_eq!(
+            j,
+            "{\"renorm\":0.5,\"core_dynamic_max_w\":10,\"single_core_budget_w\":12.5}"
+        );
+    }
+}

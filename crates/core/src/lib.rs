@@ -47,14 +47,21 @@
 
 pub mod chipstate;
 pub mod energy;
+pub mod error;
+pub mod jsonout;
 pub mod profiling;
 pub mod report;
 pub mod scenario1;
 pub mod scenario2;
+pub mod sweep;
 pub mod transient;
 
-pub use chipstate::{ChipMeasurement, ExperimentalChip, DIE_EDGE_MM};
+pub use chipstate::{ChipMeasurement, ExperimentalChip, MeasureFaults, DIE_EDGE_MM};
+pub use error::ExperimentError;
 pub use profiling::{profile, EfficiencyProfile};
+pub use sweep::{
+    run_sweep, CellOutcome, Fault, FaultPlan, RetryPolicy, SweepCell, SweepReport, SweepSpec,
+};
 
 // Re-export the stack so downstream users need one dependency.
 pub use tlp_analytic as analytic;

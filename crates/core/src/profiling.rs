@@ -4,8 +4,6 @@
 //! obtain its nominal parallel-efficiency curve (Eq. 6) and single-core
 //! reference execution, which the two experimental scenarios consume.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_analytic::EfficiencyCurve;
 use tlp_sim::SimResult;
 use tlp_workloads::{gang, AppId, Scale};
@@ -13,7 +11,7 @@ use tlp_workloads::{gang, AppId, Scale};
 use crate::chipstate::ExperimentalChip;
 
 /// Nominal (no-DVFS) profile of one application.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EfficiencyProfile {
     /// Application profiled.
     pub app: AppId,

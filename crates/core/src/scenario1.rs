@@ -10,18 +10,18 @@
 //! the narrowing processor–memory gap under chip-only DVFS, which gives
 //! memory-bound applications actual speedups above the nominal target.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_sim::SimResult;
 use tlp_tech::units::Hertz;
 use tlp_tech::{DvfsTable, OperatingPoint};
+use tlp_thermal::FixpointOptions;
 use tlp_workloads::{gang, AppId, Scale};
 
 use crate::chipstate::ExperimentalChip;
+use crate::error::ExperimentError;
 use crate::profiling::EfficiencyProfile;
 
 /// One Fig. 3 data point (one application on `n` cores).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario1Row {
     /// Active cores.
     pub n: usize,
@@ -43,7 +43,7 @@ pub struct Scenario1Row {
 }
 
 /// Fig. 3 series for one application.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario1Result {
     /// Application.
     pub app: AppId,
@@ -58,22 +58,65 @@ pub struct Scenario1Result {
 ///
 /// # Panics
 ///
-/// Panics if the profile is empty.
+/// Panics if the profile is empty or any substrate step fails; use
+/// [`try_run`] to handle failures as values.
 pub fn run(
     chip: &ExperimentalChip,
     profile: &EfficiencyProfile,
     scale: Scale,
     seed: u64,
 ) -> Scenario1Result {
+    try_run(chip, profile, scale, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Computes the Eq. 7 iso-performance operating point for `n` cores at
+/// nominal efficiency `eps`, clamped into the DVFS table range.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Tech`] if the voltage lookup fails (cannot
+/// happen after clamping with a well-formed table, but tables are caller
+/// input).
+pub fn operating_point_for(
+    table: &DvfsTable,
+    f1: Hertz,
+    n: usize,
+    eps: f64,
+) -> Result<OperatingPoint, ExperimentError> {
+    let target = Hertz::new(f1.as_f64() / (n as f64 * eps)).min(f1).max(table.f_min());
+    let voltage = table.voltage_for(target)?;
+    Ok(OperatingPoint {
+        frequency: target,
+        voltage,
+    })
+}
+
+/// Fallible variant of [`run`]: any simulation, power, thermal, or DVFS
+/// failure in any cell aborts the scenario and propagates. For a runner
+/// that isolates failures per cell and retries, see [`crate::sweep`].
+///
+/// # Errors
+///
+/// Propagates the first [`ExperimentError`] from any layer.
+///
+/// # Panics
+///
+/// Panics if the profile is empty.
+pub fn try_run(
+    chip: &ExperimentalChip,
+    profile: &EfficiencyProfile,
+    scale: Scale,
+    seed: u64,
+) -> Result<Scenario1Result, ExperimentError> {
     assert!(!profile.core_counts.is_empty(), "empty profile");
     let tech = chip.tech();
-    let table = DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))
-        .expect("stock technologies produce valid DVFS tables");
+    let table = DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))?;
     let f1 = tech.f_nominal();
+    let opts = FixpointOptions::default();
 
     // Single-core reference measurement at nominal.
     let baseline = &profile.baseline;
-    let base_measure = chip.measure(baseline, tech.vdd_nominal());
+    let base_measure = chip.try_measure(baseline, tech.vdd_nominal(), &opts)?;
     let base_power = base_measure.total();
     let base_density = base_measure.power_density;
     let base_time = baseline.execution_time();
@@ -91,17 +134,10 @@ pub fn run(
             )
         } else {
             // Eq. 7 frequency target, clamped into the DVFS table range.
-            let target = Hertz::new(f1.as_f64() / (n as f64 * eps)).min(f1).max(table.f_min());
-            let voltage = table
-                .voltage_for(target)
-                .expect("target clamped into table range");
-            let op = OperatingPoint {
-                frequency: target,
-                voltage,
-            };
-            (chip.run(gang(profile.app, n, scale, seed), op), op)
+            let op = operating_point_for(&table, f1, n, eps)?;
+            (chip.try_run(gang(profile.app, n, scale, seed), op)?, op)
         };
-        let m = chip.measure(&result, op.voltage);
+        let m = chip.try_measure(&result, op.voltage, &opts)?;
         rows.push(Scenario1Row {
             n,
             nominal_efficiency: eps,
@@ -113,10 +149,10 @@ pub fn run(
             operating_point: op,
         });
     }
-    Scenario1Result {
+    Ok(Scenario1Result {
         app: profile.app,
         rows,
-    }
+    })
 }
 
 #[cfg(test)]

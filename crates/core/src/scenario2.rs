@@ -10,18 +10,18 @@
 //! `N` because they never reach the budget, matching the paper's
 //! observation.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_sim::SimResult;
 use tlp_tech::units::{Hertz, Watts};
 use tlp_tech::{DvfsTable, OperatingPoint};
+use tlp_thermal::FixpointOptions;
 use tlp_workloads::{gang, AppId, Scale};
 
 use crate::chipstate::ExperimentalChip;
+use crate::error::ExperimentError;
 use crate::profiling::EfficiencyProfile;
 
 /// One Fig. 4 data point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario2Row {
     /// Active cores.
     pub n: usize,
@@ -39,7 +39,7 @@ pub struct Scenario2Row {
 }
 
 /// Fig. 4 series for one application.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario2Result {
     /// Application.
     pub app: AppId,
@@ -57,7 +57,8 @@ pub struct Scenario2Result {
 ///
 /// # Panics
 ///
-/// Panics if the profile is empty.
+/// Panics if the profile is empty or any substrate step fails; use
+/// [`try_run`] to handle failures as values.
 pub fn run(
     chip: &ExperimentalChip,
     profile: &EfficiencyProfile,
@@ -65,12 +66,32 @@ pub fn run(
     seed: u64,
     budget: Option<Watts>,
 ) -> Scenario2Result {
+    try_run(chip, profile, scale, seed, budget).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run`]: any simulation, power, thermal, or DVFS
+/// failure in any ladder step aborts the scenario and propagates.
+///
+/// # Errors
+///
+/// Propagates the first [`ExperimentError`] from any layer.
+///
+/// # Panics
+///
+/// Panics if the profile is empty.
+pub fn try_run(
+    chip: &ExperimentalChip,
+    profile: &EfficiencyProfile,
+    scale: Scale,
+    seed: u64,
+    budget: Option<Watts>,
+) -> Result<Scenario2Result, ExperimentError> {
     assert!(!profile.core_counts.is_empty(), "empty profile");
     let tech = chip.tech();
     let budget = budget.unwrap_or(chip.calibration().single_core_budget);
-    let table = DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))
-        .expect("stock technologies produce valid DVFS tables");
+    let table = DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))?;
     let base_time = profile.baseline.execution_time();
+    let opts = FixpointOptions::default();
 
     let mut rows = Vec::new();
     for (idx, &n) in profile.core_counts.iter().enumerate() {
@@ -79,8 +100,8 @@ pub fn run(
         // the operating point, so the first feasible point is the fastest.
         let mut chosen: Option<(SimResult, OperatingPoint, Watts)> = None;
         for op in table.points().iter().rev() {
-            let result = chip.run(gang(profile.app, n, scale, seed), *op);
-            let power = chip.measure(&result, op.voltage).total();
+            let result = chip.try_run(gang(profile.app, n, scale, seed), *op)?;
+            let power = chip.try_measure(&result, op.voltage, &opts)?.total();
             if power.as_f64() <= budget.as_f64() * 1.001 {
                 chosen = Some((result, *op, power));
                 break;
@@ -101,11 +122,11 @@ pub fn run(
             unconstrained,
         });
     }
-    Scenario2Result {
+    Ok(Scenario2Result {
         app: profile.app,
         budget_watts: budget.as_f64(),
         rows,
-    }
+    })
 }
 
 #[cfg(test)]

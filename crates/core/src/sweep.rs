@@ -1,0 +1,533 @@
+//! Supervised sweep runner: fault-isolated fig. 3-style experiments.
+//!
+//! [`scenario1::try_run`](crate::scenario1::try_run) aborts an entire
+//! application series on the first failure. Long sweeps — many
+//! applications × many core counts, hours of simulation — need the
+//! opposite policy: treat each (application, core count, V/f) cell as a
+//! fallible unit, retry the failures that retrying can fix, diagnose the
+//! ones it cannot, and keep going. That is what [`run_sweep`] does:
+//!
+//! - Every cell yields a [`CellOutcome`]: a completed
+//!   [`Scenario1Row`](crate::scenario1::Scenario1Row) or a
+//!   `Failed { reason, attempts }` record carrying the full typed
+//!   [`ExperimentError`] (a deadlock failure names the stuck barrier and
+//!   cores).
+//! - A [`RetryPolicy`] governs thermal non-convergence: each retry adds
+//!   under-relaxation damping, relaxes the tolerance, and raises the
+//!   iteration cap. Deterministic failures (deadlock, NaN inputs,
+//!   accounting errors) are never retried — they reproduce exactly.
+//! - The [`SweepReport`] ends with an explicit summary of failed cells.
+//!   Nothing is silently truncated: a sweep that lost cells says so, and
+//!   says why, per cell.
+//!
+//! Fault injection for testing the machinery lives in [`FaultPlan`]:
+//! deterministic, per-cell faults covering every failure mode the
+//! pipeline can diagnose (deadlock via a dropped barrier arrival, hangs
+//! via a shrunken cycle budget, thermal runaway via inflated leakage,
+//! NaN poisoning of the power vector).
+
+use std::fmt;
+
+use tlp_sim::SimFaults;
+use tlp_tech::units::Hertz;
+use tlp_tech::{DvfsTable, OperatingPoint};
+use tlp_thermal::FixpointOptions;
+use tlp_workloads::{gang, AppId, Scale};
+
+use crate::chipstate::{ExperimentalChip, MeasureFaults};
+use crate::error::ExperimentError;
+use crate::profiling::{profile, EfficiencyProfile};
+use crate::scenario1::{operating_point_for, Scenario1Row};
+
+/// What to sweep: the cross product of applications and core counts at
+/// one workload scale.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Applications to sweep.
+    pub apps: Vec<AppId>,
+    /// Core counts per application (ascending, starting at 1).
+    pub core_counts: Vec<usize>,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// The paper's Fig. 3 shape for the given applications:
+    /// N ∈ {1, 2, 4, 8, 16}.
+    pub fn fig3(apps: Vec<AppId>, scale: Scale, seed: u64) -> Self {
+        Self {
+            apps,
+            core_counts: vec![1, 2, 4, 8, 16],
+            scale,
+            seed,
+        }
+    }
+}
+
+/// One sweep cell: an application on `n` cores (the V/f point follows
+/// from the Eq. 7 iso-performance rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Application.
+    pub app: AppId,
+    /// Active cores.
+    pub n: usize,
+}
+
+impl fmt::Display for SweepCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.app.name(), self.n)
+    }
+}
+
+/// A deterministic fault to inject into one sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Poison the cell's per-block dynamic power vector with a NaN.
+    /// Diagnosed as `ThermalError::NonFinite` (never retried).
+    NanPower,
+    /// Multiply the leakage feedback by this factor, provoking thermal
+    /// runaway. Diagnosed as `ThermalError::Diverged`; retried with
+    /// damping, which cannot save a genuinely supercritical loop.
+    InflateLeakage(f64),
+    /// Drop thread `thread`'s arrival at barrier `barrier`, deadlocking
+    /// the gang. Diagnosed as `SimError::Deadlock` naming the barrier
+    /// and the stuck cores (never retried).
+    DropBarrierArrival {
+        /// Barrier whose arrival is dropped.
+        barrier: u32,
+        /// Thread whose arrival is dropped.
+        thread: usize,
+    },
+    /// Shrink the cell's cycle budget to this many cycles. A healthy but
+    /// unfinished run is diagnosed as `SimError::CycleBudgetExhausted`
+    /// (never retried).
+    CycleBudget(u64),
+}
+
+/// Per-cell fault assignments for a sweep (empty = no faults, zero cost).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<(SweepCell, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the production configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Arms `fault` on the (`app`, `n`) cell. Multiple faults may target
+    /// the same cell.
+    pub fn inject(mut self, app: AppId, n: usize, fault: Fault) -> Self {
+        self.faults.push((SweepCell { app, n }, fault));
+        self
+    }
+
+    /// Whether any fault targets `cell`.
+    pub fn targets(&self, cell: SweepCell) -> bool {
+        self.faults.iter().any(|(c, _)| *c == cell)
+    }
+
+    /// The simulation-stage faults armed on `cell`.
+    pub fn sim_faults_for(&self, cell: SweepCell) -> SimFaults {
+        let mut f = SimFaults::default();
+        for (c, fault) in &self.faults {
+            if *c != cell {
+                continue;
+            }
+            match fault {
+                Fault::DropBarrierArrival { barrier, thread } => {
+                    f.drop_barrier_arrival = Some((*barrier, *thread));
+                }
+                Fault::CycleBudget(budget) => f.cycle_budget = Some(*budget),
+                _ => {}
+            }
+        }
+        f
+    }
+
+    /// The measurement-stage faults armed on `cell`.
+    pub fn measure_faults_for(&self, cell: SweepCell) -> MeasureFaults {
+        let mut f = MeasureFaults::default();
+        for (c, fault) in &self.faults {
+            if *c != cell {
+                continue;
+            }
+            match fault {
+                Fault::NanPower => f.nan_power = true,
+                Fault::InflateLeakage(k) => f.leakage_scale = *k,
+                _ => {}
+            }
+        }
+        f
+    }
+}
+
+/// How the supervisor retries retryable failures (thermal
+/// non-convergence and divergence).
+///
+/// Attempt `k` (1-based) solves with damping
+/// `min(damping_step · (k−1), 0.9)`, tolerance
+/// `tolerance · tolerance_relax^(k−1)`, and iteration cap
+/// `max_iterations · iteration_factor^(k−1)`. Attempt 1 is therefore the
+/// stock solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per cell, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Damping added per retry.
+    pub damping_step: f64,
+    /// Tolerance multiplier per retry (≥ 1).
+    pub tolerance_relax: f64,
+    /// Iteration-cap multiplier per retry (≥ 1).
+    pub iteration_factor: u32,
+    /// Base fixpoint options for attempt 1.
+    pub base: FixpointOptions,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            damping_step: 0.35,
+            tolerance_relax: 3.0,
+            iteration_factor: 2,
+            base: FixpointOptions::default(),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every failure is final).
+    pub fn no_retries() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The fixpoint options for 1-based attempt `attempt`.
+    pub fn options_for(&self, attempt: u32) -> FixpointOptions {
+        let k = attempt.saturating_sub(1);
+        FixpointOptions {
+            tolerance_celsius: self.base.tolerance_celsius
+                * self.tolerance_relax.powi(k as i32),
+            max_iterations: self
+                .base
+                .max_iterations
+                .saturating_mul(self.iteration_factor.saturating_pow(k)),
+            damping: (self.damping_step * k as f64).min(0.9),
+            divergence_limit_celsius: self.base.divergence_limit_celsius,
+        }
+    }
+}
+
+/// The result of one supervised cell.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell completed; `attempts` counts solves including retries.
+    Completed {
+        /// The measured fig. 3 row.
+        row: Scenario1Row,
+        /// Solve attempts consumed (1 = no retries needed).
+        attempts: u32,
+    },
+    /// The cell failed after `attempts` attempts; `reason` is the full
+    /// typed diagnosis from the last attempt.
+    Failed {
+        /// The last attempt's error (a deadlock here names the stuck
+        /// barrier and cores).
+        reason: ExperimentError,
+        /// Solve attempts consumed before giving up.
+        attempts: u32,
+    },
+}
+
+impl CellOutcome {
+    /// Whether the cell completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, CellOutcome::Completed { .. })
+    }
+}
+
+/// The supervised sweep's complete record: one outcome per requested
+/// cell, in request order. No cell is ever dropped from the report.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// `(cell, outcome)` for every requested cell.
+    pub cells: Vec<(SweepCell, CellOutcome)>,
+}
+
+impl SweepReport {
+    /// Completed rows, in request order.
+    pub fn completed(&self) -> impl Iterator<Item = (SweepCell, &Scenario1Row)> {
+        self.cells.iter().filter_map(|(c, o)| match o {
+            CellOutcome::Completed { row, .. } => Some((*c, row)),
+            CellOutcome::Failed { .. } => None,
+        })
+    }
+
+    /// Failed cells with their diagnoses, in request order.
+    pub fn failed(&self) -> impl Iterator<Item = (SweepCell, &ExperimentError, u32)> {
+        self.cells.iter().filter_map(|(c, o)| match o {
+            CellOutcome::Failed { reason, attempts } => Some((*c, reason, *attempts)),
+            CellOutcome::Completed { .. } => None,
+        })
+    }
+
+    /// A human-readable summary: completed/failed counts, then one line
+    /// per failed cell naming the cell and its diagnosis. Failed sweeps
+    /// are loud — a truncated result set always says what is missing.
+    pub fn summary(&self) -> String {
+        let total = self.cells.len();
+        let done = self.cells.iter().filter(|(_, o)| o.is_completed()).count();
+        let mut s = format!("sweep: {done}/{total} cells completed");
+        if done < total {
+            s.push_str(&format!(", {} failed:", total - done));
+            for (cell, reason, attempts) in self.failed() {
+                s.push_str(&format!("\n  {cell} ({attempts} attempts): {reason}"));
+            }
+        }
+        s
+    }
+}
+
+/// Runs a supervised fig. 3-style sweep.
+///
+/// Each application is profiled at nominal V/f over the spec's core
+/// counts; each (application, core count) cell is then re-simulated at
+/// its Eq. 7 iso-performance operating point and measured, as one
+/// fallible unit under `policy`, with any faults `plan` arms on it.
+/// A failure in one cell never aborts the sweep; it becomes that cell's
+/// [`CellOutcome::Failed`].
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Tech`] only if the DVFS ladder itself
+/// cannot be built — without it no cell is meaningful.
+///
+/// # Panics
+///
+/// Panics if the spec's core counts are empty or do not start at 1 (the
+/// single-core cell anchors every normalization).
+pub fn run_sweep(
+    chip: &ExperimentalChip,
+    spec: &SweepSpec,
+    policy: &RetryPolicy,
+    plan: &FaultPlan,
+) -> Result<SweepReport, ExperimentError> {
+    assert!(
+        spec.core_counts.first() == Some(&1),
+        "sweep core counts must start at 1"
+    );
+    let tech = chip.tech();
+    let table =
+        DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))?;
+    let f1 = tech.f_nominal();
+    let nominal = OperatingPoint {
+        frequency: f1,
+        voltage: tech.vdd_nominal(),
+    };
+
+    let mut cells = Vec::new();
+    for &app in &spec.apps {
+        let prof: EfficiencyProfile =
+            profile(chip, app, &spec.core_counts, spec.scale, spec.seed);
+
+        // Single-core reference measurement; if it fails (including by
+        // injected fault), every cell of this application fails with the
+        // same diagnosis — normalization needs the anchor.
+        let base_cell = SweepCell { app, n: 1 };
+        let base = supervise(policy, |opts| {
+            chip.try_measure_with(
+                &prof.baseline,
+                tech.vdd_nominal(),
+                opts,
+                &plan.measure_faults_for(base_cell),
+            )
+        });
+        let (base_measure, base_attempts) = match base {
+            Ok(pair) => pair,
+            Err((reason, attempts)) => {
+                for &n in &spec.core_counts {
+                    cells.push((
+                        SweepCell { app, n },
+                        CellOutcome::Failed {
+                            reason: reason.clone(),
+                            attempts,
+                        },
+                    ));
+                }
+                continue;
+            }
+        };
+        let base_power = base_measure.total();
+        let base_density = base_measure.power_density;
+        let base_time = prof.baseline.execution_time();
+
+        for (idx, &n) in spec.core_counts.iter().enumerate() {
+            let cell = SweepCell { app, n };
+            let eps = prof.efficiencies[idx];
+
+            // The operating point and the simulation run once per cell;
+            // only the thermal solve is retried (the simulator is
+            // deterministic, so re-running it cannot change anything).
+            let outcome = (|| -> Result<(Scenario1Row, u32), (ExperimentError, u32)> {
+                let (result, op) = if n == 1 {
+                    (prof.baseline.clone(), nominal)
+                } else {
+                    let op = operating_point_for(&table, f1, n, eps)
+                        .map_err(|e| (e, 1))?;
+                    let r = chip
+                        .try_run_with(
+                            gang(app, n, spec.scale, spec.seed),
+                            op,
+                            plan.sim_faults_for(cell),
+                        )
+                        .map_err(|e| (e, 1))?;
+                    (r, op)
+                };
+                let (m, attempts) = supervise(policy, |opts| {
+                    chip.try_measure_with(
+                        &result,
+                        op.voltage,
+                        opts,
+                        &plan.measure_faults_for(cell),
+                    )
+                })?;
+                Ok((
+                    Scenario1Row {
+                        n,
+                        nominal_efficiency: eps,
+                        actual_speedup: base_time / result.execution_time(),
+                        power_watts: m.total().as_f64(),
+                        normalized_power: m.total() / base_power,
+                        normalized_density: m.power_density.as_w_per_mm2()
+                            / base_density.as_w_per_mm2(),
+                        temperature_c: m.avg_core_temp().as_f64(),
+                        operating_point: op,
+                    },
+                    attempts.max(if n == 1 { base_attempts } else { 1 }),
+                ))
+            })();
+
+            cells.push((
+                cell,
+                match outcome {
+                    Ok((row, attempts)) => CellOutcome::Completed { row, attempts },
+                    Err((reason, attempts)) => CellOutcome::Failed { reason, attempts },
+                },
+            ));
+        }
+    }
+    Ok(SweepReport { cells })
+}
+
+/// Runs `attempt` under `policy`: retryable errors get progressively
+/// damped/relaxed solves, deterministic errors fail on the spot. Returns
+/// the value and the number of attempts consumed, or the final error and
+/// the attempts spent reaching it.
+fn supervise<T>(
+    policy: &RetryPolicy,
+    mut attempt: impl FnMut(&FixpointOptions) -> Result<T, ExperimentError>,
+) -> Result<(T, u32), (ExperimentError, u32)> {
+    let max = policy.max_attempts.max(1);
+    let mut k = 1;
+    loop {
+        match attempt(&policy.options_for(k)) {
+            Ok(v) => return Ok((v, k)),
+            Err(e) if e.is_retryable() && k < max => k += 1,
+            Err(e) => return Err((e, k)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_sim::CmpConfig;
+    use tlp_tech::Technology;
+    use tlp_thermal::ThermalError;
+
+    fn chip() -> ExperimentalChip {
+        ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+    }
+
+    fn spec(apps: Vec<AppId>) -> SweepSpec {
+        SweepSpec {
+            apps,
+            core_counts: vec![1, 2],
+            scale: Scale::Test,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn clean_sweep_completes_every_cell() {
+        let r = run_sweep(
+            &chip(),
+            &spec(vec![AppId::WaterNsq]),
+            &RetryPolicy::default(),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(r.cells.len(), 2);
+        assert!(r.cells.iter().all(|(_, o)| o.is_completed()));
+        assert_eq!(r.summary(), "sweep: 2/2 cells completed");
+    }
+
+    #[test]
+    fn nan_fault_fails_only_its_cell_without_retries() {
+        let plan = FaultPlan::none().inject(AppId::WaterNsq, 2, Fault::NanPower);
+        let r = run_sweep(
+            &chip(),
+            &spec(vec![AppId::WaterNsq]),
+            &RetryPolicy::default(),
+            &plan,
+        )
+        .unwrap();
+        let failed: Vec<_> = r.failed().collect();
+        assert_eq!(failed.len(), 1);
+        let (cell, reason, attempts) = failed[0];
+        assert_eq!(cell, SweepCell { app: AppId::WaterNsq, n: 2 });
+        // NaN input is deterministic: exactly one attempt, no retries.
+        assert_eq!(attempts, 1);
+        assert!(matches!(
+            reason,
+            ExperimentError::Thermal(ThermalError::NonFinite { .. })
+        ));
+        // The other cell still completed.
+        assert_eq!(r.completed().count(), 1);
+    }
+
+    #[test]
+    fn retry_policy_escalates_damping_and_budget() {
+        let p = RetryPolicy::default();
+        let a1 = p.options_for(1);
+        let a3 = p.options_for(3);
+        assert_eq!(a1.damping, 0.0);
+        assert_eq!(a1.max_iterations, FixpointOptions::default().max_iterations);
+        assert!(a3.damping > 0.5 && a3.damping < 0.9 + 1e-12);
+        assert_eq!(a3.max_iterations, a1.max_iterations * 4);
+        assert!(a3.tolerance_celsius > a1.tolerance_celsius);
+    }
+
+    #[test]
+    fn fault_plan_routes_faults_to_the_right_stage() {
+        let plan = FaultPlan::none()
+            .inject(AppId::Fft, 4, Fault::DropBarrierArrival { barrier: 0, thread: 1 })
+            .inject(AppId::Fft, 4, Fault::InflateLeakage(4.0))
+            .inject(AppId::Fft, 8, Fault::CycleBudget(1000));
+        let cell4 = SweepCell { app: AppId::Fft, n: 4 };
+        let cell8 = SweepCell { app: AppId::Fft, n: 8 };
+        assert_eq!(plan.sim_faults_for(cell4).drop_barrier_arrival, Some((0, 1)));
+        assert_eq!(plan.sim_faults_for(cell4).cycle_budget, None);
+        assert_eq!(plan.measure_faults_for(cell4).leakage_scale, 4.0);
+        assert_eq!(plan.sim_faults_for(cell8).cycle_budget, Some(1000));
+        assert!(!plan.measure_faults_for(cell8).any());
+        assert!(!plan.targets(SweepCell { app: AppId::Fft, n: 2 }));
+    }
+}

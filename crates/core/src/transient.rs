@@ -7,8 +7,6 @@
 //! the instantaneous temperature. Useful for seeing barrier-phase power
 //! swings and the thermal time constants the steady-state numbers hide.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_power::DynamicBreakdown;
 use tlp_sim::chip::SampleWindow;
 use tlp_sim::{CmpSimulator, SimResult};
@@ -18,7 +16,7 @@ use tlp_tech::OperatingPoint;
 use crate::chipstate::ExperimentalChip;
 
 /// One step of a transient trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientPoint {
     /// Wall-clock time at the end of the step, seconds.
     pub time: f64,
@@ -31,7 +29,7 @@ pub struct TransientPoint {
 }
 
 /// A completed transient trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransientTrace {
     /// The steps, in time order.
     pub points: Vec<TransientPoint>,

@@ -9,17 +9,16 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use tlp_sim::config::CmpConfig;
 use tlp_sim::{CoreStats, SimResult};
 use tlp_tech::units::{Joules, Seconds, Volts, Watts};
 use tlp_thermal::{BlockKind, Floorplan};
 
+use crate::error::PowerError;
 use crate::structures::CoreEnergies;
 
 /// Dynamic power of one core, broken down by structure.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CoreDynamic {
     /// Clock tree (including gated residual during stalls).
     pub clock: Watts,
@@ -57,7 +56,7 @@ impl CoreDynamic {
 }
 
 /// Chip-level dynamic power breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DynamicBreakdown {
     /// Per-active-core structure breakdowns.
     pub cores: Vec<CoreDynamic>,
@@ -195,9 +194,26 @@ impl PowerCalculator {
     ///
     /// # Panics
     ///
-    /// Panics if the run has zero cycles.
+    /// Panics if the run has zero cycles; supervised callers should use
+    /// [`PowerCalculator::try_dynamic`].
     pub fn dynamic(&self, result: &SimResult, v: Volts) -> DynamicBreakdown {
-        assert!(result.cycles > 0, "cannot compute power of an empty run");
+        self.try_dynamic(result, v)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`PowerCalculator::dynamic`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::EmptyRun`] when the run covered zero cycles.
+    pub fn try_dynamic(
+        &self,
+        result: &SimResult,
+        v: Volts,
+    ) -> Result<DynamicBreakdown, PowerError> {
+        if result.cycles == 0 {
+            return Err(PowerError::EmptyRun);
+        }
         let time: Seconds = result.execution_time();
         let to_power =
             |j: f64| -> Watts { Joules::new(j * self.renorm).over(time) };
@@ -237,7 +253,7 @@ impl PowerCalculator {
                 + CoreEnergies::switch(self.energies.c_filter_lookup, v).as_f64()
                     * result.mem.snoops_filtered as f64,
         );
-        DynamicBreakdown { cores, l2, bus }
+        Ok(DynamicBreakdown { cores, l2, bus })
     }
 
     /// Distributes a breakdown onto the blocks of a CMP floorplan
@@ -249,14 +265,33 @@ impl PowerCalculator {
     /// # Panics
     ///
     /// Panics if the floorplan lacks the expected block names for the
-    /// active cores.
+    /// active cores; supervised callers should use
+    /// [`PowerCalculator::try_per_block`].
     pub fn per_block(&self, breakdown: &DynamicBreakdown, floorplan: &Floorplan) -> Vec<Watts> {
+        self.try_per_block(breakdown, floorplan)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`PowerCalculator::per_block`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::MissingBlock`] naming the first absent
+    /// block.
+    pub fn try_per_block(
+        &self,
+        breakdown: &DynamicBreakdown,
+        floorplan: &Floorplan,
+    ) -> Result<Vec<Watts>, PowerError> {
         let mut out = vec![Watts::ZERO; floorplan.blocks().len()];
-        let mut set = |name: String, w: Watts| {
-            let idx = floorplan
-                .index_of(&name)
-                .unwrap_or_else(|| panic!("floorplan missing block {name}"));
-            out[idx] += w;
+        let mut missing: Option<String> = None;
+        let mut set = |name: String, w: Watts| match floorplan.index_of(&name) {
+            Some(idx) => out[idx] += w,
+            None => {
+                if missing.is_none() {
+                    missing = Some(name);
+                }
+            }
         };
         let n = breakdown.cores.len();
         for (i, c) in breakdown.cores.iter().enumerate() {
@@ -278,6 +313,9 @@ impl PowerCalculator {
         if let Some(l2_idx) = floorplan.index_of("l2") {
             out[l2_idx] += breakdown.l2;
         }
+        if let Some(name) = missing {
+            return Err(PowerError::MissingBlock { name });
+        }
         // Inactive cores' blocks stay at zero (shut down, as in the paper).
         for (idx, b) in floorplan.blocks().iter().enumerate() {
             if let BlockKind::Core { core } = b.kind {
@@ -286,7 +324,7 @@ impl PowerCalculator {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -393,5 +431,41 @@ mod tests {
     fn bad_renorm_rejected() {
         let cfg = CmpConfig::ispass05(2);
         let _ = PowerCalculator::new(&cfg).with_renorm(0.0);
+    }
+
+    #[test]
+    fn empty_run_is_a_typed_error() {
+        let cfg = CmpConfig::ispass05(2);
+        let calc = PowerCalculator::new(&cfg);
+        let empty = SimResult {
+            cycles: 0,
+            frequency: cfg.frequency(),
+            n_threads: 1,
+            cores: vec![CoreStats::default()],
+            l1d: vec![Default::default()],
+            l2: Default::default(),
+            mem: Default::default(),
+        };
+        assert_eq!(
+            calc.try_dynamic(&empty, Volts::new(1.1)).unwrap_err(),
+            crate::PowerError::EmptyRun
+        );
+    }
+
+    #[test]
+    fn missing_block_is_a_typed_error() {
+        let (cfg, r) = run_ops(vec![Op::Int { count: 1_000 }]);
+        let calc = PowerCalculator::new(&cfg);
+        let d = calc.dynamic(&r, Volts::new(1.1));
+        // A two-core breakdown cannot be mapped onto a one-core
+        // floorplan: core1's blocks do not exist.
+        let mut wide = d.clone();
+        wide.cores.push(wide.cores[0]);
+        let fp = Floorplan::ispass_cmp(1, 10.0, 10.0);
+        let err = calc.try_per_block(&wide, &fp).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::PowerError::MissingBlock { ref name } if name.starts_with("core1.")
+        ));
     }
 }

@@ -6,8 +6,6 @@
 //! only the *relative* scaling with geometry matters here because the
 //! calibration step (paper §3.3) renormalizes absolute watts anyway.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_sim::config::CacheConfig;
 use tlp_tech::units::{Joules, Volts};
 
@@ -41,7 +39,7 @@ const C_DECODE: f64 = 60e-15;
 /// let v = Volts::new(1.1);
 /// assert!(l2.read_energy(v) > l1.read_energy(v));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArrayEnergy {
     /// Total switched capacitance of a read access, farads.
     c_read: f64,

@@ -7,13 +7,11 @@
 //! dynamic-power scenario under Wattch. The ratio between the two dynamic
 //! values renormalizes all subsequent Wattch wattage.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::units::Watts;
 use tlp_tech::Technology;
 
 /// The outcome of the §3.3 calibration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Calibration {
     /// Multiplier applied to raw Wattch dynamic power.
     pub renorm: f64,

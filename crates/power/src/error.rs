@@ -1,0 +1,31 @@
+//! Typed power-accounting errors.
+
+use std::fmt;
+
+/// Error returned by the fallible power-accounting entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PowerError {
+    /// The simulation result covered zero cycles, so power (energy over
+    /// time) is undefined.
+    EmptyRun,
+    /// The floorplan lacks a block the breakdown maps power onto.
+    MissingBlock {
+        /// The block name that was not found.
+        name: String,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::EmptyRun => {
+                write!(f, "cannot compute power of a zero-cycle run")
+            }
+            PowerError::MissingBlock { name } => {
+                write!(f, "floorplan is missing block '{name}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}

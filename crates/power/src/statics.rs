@@ -8,8 +8,6 @@
 //! (Eq. 3) — the identical formula the analytical model uses, keeping the
 //! two sides of the paper consistent.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::leakage::{self, FittedLeakage};
 use tlp_tech::units::{Celsius, Volts, Watts};
 use tlp_tech::Technology;
@@ -36,7 +34,7 @@ const L2_STATIC_CORE_RATIO: f64 = 0.5;
 /// let cool = model.core_static(Volts::new(1.1), Celsius::new(50.0));
 /// assert!(cool < hot);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StaticPower {
     p_s1_std: Watts,
     v1: Volts,

@@ -7,8 +7,6 @@
 //! technology's `P_D1`. Absolute watts are later renormalized against the
 //! thermal model (paper §3.3), so only the relative breakdown matters.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_sim::config::CmpConfig;
 use tlp_tech::units::{Joules, Volts};
 
@@ -16,7 +14,7 @@ use crate::arrays::ArrayEnergy;
 
 /// Energy per event for every modeled structure, at a reference voltage of
 /// 1 V (scale by `V²`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreEnergies {
     /// Instruction-cache fetch access.
     pub icache_access: ArrayEnergy,

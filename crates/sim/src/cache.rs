@@ -5,12 +5,10 @@
 //! (which only distinguishes clean/dirty, encoded as Exclusive/Modified).
 //! Replacement is true LRU within a set.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::CacheConfig;
 
 /// MESI coherence state of a cache line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mesi {
     /// Modified: exclusive and dirty.
     Modified,
@@ -22,7 +20,7 @@ pub enum Mesi {
     Invalid,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Line {
     tag: u64,
     state: Mesi,
@@ -31,7 +29,7 @@ struct Line {
 }
 
 /// Statistics for one cache instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookup operations that hit.
     pub hits: u64,
@@ -94,7 +92,7 @@ pub enum Evicted {
 /// c.fill(0x40, Mesi::Exclusive);
 /// assert_eq!(c.probe(0x40), Mesi::Exclusive);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,

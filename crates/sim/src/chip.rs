@@ -2,14 +2,22 @@
 
 use crate::config::CmpConfig;
 use crate::core::Core;
+use crate::error::{CoreStuck, DeadlockInfo, SimError};
 use crate::memory::MemorySystem;
 use crate::op::ThreadProgram;
 use crate::stats::{CoreStats, SimResult};
 use crate::sync::SyncManager;
 
-/// Safety limit: a run that exceeds this many cycles panics (a workload or
-/// synchronization bug rather than a long workload).
-const MAX_CYCLES: u64 = 50_000_000_000;
+/// Safety limit: a run that exceeds this many cycles without the caller
+/// choosing a budget is treated as hung (a workload or synchronization bug
+/// rather than a long workload).
+pub const MAX_CYCLES: u64 = 50_000_000_000;
+
+/// How often the run loop checks for deadlock. Much longer than any
+/// bounded stall (the worst memory round trip is a few hundred cycles),
+/// so a no-progress interval with every live core in an unbounded wait is
+/// conclusive.
+const DEADLOCK_CHECK_INTERVAL: u64 = 16_384;
 
 /// One sampling window of a [`CmpSimulator::run_sampled`] run: per-core
 /// activity *deltas* over `[start_cycle, end_cycle)`.
@@ -70,7 +78,10 @@ impl CmpSimulator {
             config.n_cores
         );
         let memory = MemorySystem::new(&config, n);
-        let sync = SyncManager::new(n);
+        let mut sync = SyncManager::new(n);
+        if let Some((barrier, core)) = config.faults.drop_barrier_arrival {
+            sync.inject_drop_arrival(barrier, core);
+        }
         let cores = programs
             .into_iter()
             .enumerate()
@@ -89,10 +100,14 @@ impl CmpSimulator {
     ///
     /// # Panics
     ///
-    /// Panics if the run exceeds the internal cycle safety limit (which
-    /// indicates a deadlocked workload).
+    /// Panics if the run deadlocks or exceeds the internal cycle safety
+    /// limit. Supervised callers should use [`CmpSimulator::try_run`],
+    /// which diagnoses those conditions instead.
     pub fn run(self) -> SimResult {
-        self.run_sampled(u64::MAX).0
+        match self.try_run(MAX_CYCLES) {
+            Ok(r) => r,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
     }
 
     /// Like [`CmpSimulator::run`], but additionally snapshots per-core
@@ -101,15 +116,50 @@ impl CmpSimulator {
     ///
     /// # Panics
     ///
-    /// Panics if `window` is zero or the cycle safety limit is exceeded.
-    pub fn run_sampled(mut self, window: u64) -> (SimResult, Vec<SampleWindow>) {
+    /// Panics if `window` is zero, or the run deadlocks or exceeds the
+    /// cycle safety limit (use [`CmpSimulator::try_run_sampled`] to
+    /// handle those as errors).
+    pub fn run_sampled(self, window: u64) -> (SimResult, Vec<SampleWindow>) {
+        match self.try_run_sampled(window, MAX_CYCLES) {
+            Ok(r) => r,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    }
+
+    /// Runs the program to completion within `cycle_budget` cycles,
+    /// diagnosing a hang instead of panicking: a run where every live
+    /// core sits in an unbounded wait with no program progress is
+    /// reported as [`SimError::Deadlock`] with per-core stuck-state; a
+    /// run that is still advancing when the budget expires is
+    /// [`SimError::CycleBudgetExhausted`].
+    pub fn try_run(self, cycle_budget: u64) -> Result<SimResult, SimError> {
+        self.try_run_sampled(u64::MAX, cycle_budget).map(|(r, _)| r)
+    }
+
+    /// Fallible variant of [`CmpSimulator::run_sampled`] with a cycle
+    /// budget; see [`CmpSimulator::try_run`] for the failure modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (an API misuse, not a runtime fault).
+    pub fn try_run_sampled(
+        mut self,
+        window: u64,
+        cycle_budget: u64,
+    ) -> Result<(SimResult, Vec<SampleWindow>), SimError> {
         assert!(window > 0, "window must be positive");
+        let budget = self.config.faults.cycle_budget.unwrap_or(cycle_budget);
         let n = self.cores.len();
         let mut cycle: u64 = 0;
         let mut remaining = n;
         let mut windows = Vec::new();
         let mut prev: Vec<_> = self.cores.iter().map(|c| *c.stats()).collect();
         let mut window_start = 0u64;
+        // Deadlock bookkeeping: per-core (progress counter, cycle at which
+        // it last changed), refreshed every DEADLOCK_CHECK_INTERVAL.
+        let mut last_progress: Vec<(u64, u64)> =
+            self.cores.iter().map(|c| (c.progress(), 0)).collect();
+        let mut next_check = DEADLOCK_CHECK_INTERVAL;
         while remaining > 0 {
             // Rotate the service order so no core gets structural bus
             // priority.
@@ -123,7 +173,47 @@ impl CmpSimulator {
             }
             remaining = self.cores.iter().filter(|c| !c.done()).count();
             cycle += 1;
-            assert!(cycle < MAX_CYCLES, "simulation exceeded cycle safety limit");
+            if cycle >= next_check {
+                next_check = cycle + DEADLOCK_CHECK_INTERVAL;
+                let mut any_advanced = false;
+                for (core, slot) in self.cores.iter().zip(&mut last_progress) {
+                    let p = core.progress();
+                    if p != slot.0 {
+                        *slot = (p, cycle);
+                        any_advanced = true;
+                    }
+                }
+                let all_waiting = self
+                    .cores
+                    .iter()
+                    .filter(|c| !c.done())
+                    .all(|c| c.blocked_on(&self.sync).is_unbounded_wait());
+                if !any_advanced && all_waiting && remaining > 0 {
+                    return Err(SimError::Deadlock(
+                        self.diagnose(cycle, &last_progress),
+                    ));
+                }
+            }
+            if cycle >= budget && remaining > 0 {
+                let stuck = self.snapshot(cycle, &last_progress);
+                let all_waiting = stuck
+                    .iter()
+                    .filter(|c| c.reason != crate::error::StuckReason::Finished)
+                    .all(|c| c.reason.is_unbounded_wait());
+                return Err(if all_waiting {
+                    SimError::Deadlock(DeadlockInfo { cycle, cores: stuck })
+                } else {
+                    SimError::CycleBudgetExhausted {
+                        budget,
+                        retired_instructions: self
+                            .cores
+                            .iter()
+                            .map(|c| c.stats().instructions)
+                            .sum(),
+                        cores: stuck,
+                    }
+                });
+            }
             if cycle - window_start == window || (remaining == 0 && cycle > window_start) {
                 let snapshot: Vec<_> = self.cores.iter().map(|c| *c.stats()).collect();
                 windows.push(SampleWindow {
@@ -149,7 +239,34 @@ impl CmpSimulator {
             l2: *self.memory.l2_stats(),
             mem: *self.memory.stats(),
         };
-        (result, windows)
+        Ok((result, windows))
+    }
+
+    /// Per-core stuck snapshot for error reports.
+    fn snapshot(&self, cycle: u64, last_progress: &[(u64, u64)]) -> Vec<CoreStuck> {
+        self.cores
+            .iter()
+            .enumerate()
+            .zip(last_progress)
+            .map(|((id, c), &(progress, at))| {
+                // A core that advanced since the last check window has
+                // effectively zero staleness.
+                let since = if c.progress() != progress { 0 } else { cycle - at };
+                CoreStuck {
+                    core: id,
+                    reason: c.blocked_on(&self.sync),
+                    retired_instructions: c.stats().instructions,
+                    cycles_since_progress: since,
+                }
+            })
+            .collect()
+    }
+
+    fn diagnose(&self, cycle: u64, last_progress: &[(u64, u64)]) -> DeadlockInfo {
+        DeadlockInfo {
+            cycle,
+            cores: self.snapshot(cycle, last_progress),
+        }
     }
 
     /// The configuration this simulator was built with.
@@ -359,6 +476,90 @@ mod tests {
         // Sampling must not perturb the simulation itself.
         let plain = mk().run();
         assert_eq!(plain.cycles, result.cycles);
+    }
+
+    #[test]
+    fn dropped_barrier_arrival_is_diagnosed_as_deadlock() {
+        // Core 1's arrival at barrier 3 is dropped: cores 0 and 2 wait
+        // forever while core 1 (holding a never-released ticket) also
+        // spins. The diagnosis must name barrier 3 and all three cores.
+        let mut cfg = CmpConfig::ispass05(4);
+        cfg.faults.drop_barrier_arrival = Some((3, 1));
+        let mk = |_t: u64| boxed(vec![Op::Int { count: 500 }, Op::Barrier { id: 3 }]);
+        let err = CmpSimulator::new(cfg, vec![mk(0), mk(1), mk(2)])
+            .try_run(10_000_000)
+            .unwrap_err();
+        let crate::error::SimError::Deadlock(info) = err else {
+            panic!("expected deadlock, got {err}");
+        };
+        assert_eq!(info.stuck_barriers(), vec![3]);
+        assert_eq!(info.stuck_cores(), vec![0, 1, 2]);
+        for c in &info.cores {
+            assert!(
+                matches!(c.reason, crate::error::StuckReason::AtBarrier { id: 3, .. }),
+                "core {} reason {}",
+                c.core,
+                c.reason
+            );
+            assert!(c.cycles_since_progress > 0);
+        }
+        // Detection happens within a few check intervals, not at the
+        // budget limit.
+        assert!(info.cycle < 1_000_000, "detected only at cycle {}", info.cycle);
+    }
+
+    #[test]
+    fn budget_exhaustion_of_healthy_run_is_not_deadlock() {
+        let cfg = CmpConfig::ispass05(2);
+        let err = CmpSimulator::new(cfg, vec![boxed(vec![Op::Int { count: 1_000_000 }])])
+            .try_run(1_000)
+            .unwrap_err();
+        match err {
+            crate::error::SimError::CycleBudgetExhausted { budget, retired_instructions, cores } => {
+                assert_eq!(budget, 1_000);
+                assert!(retired_instructions > 0);
+                assert_eq!(cores.len(), 1);
+                assert!(!cores[0].reason.is_unbounded_wait());
+            }
+            other => panic!("expected budget exhaustion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fault_cycle_budget_overrides_caller_budget() {
+        let mut cfg = CmpConfig::ispass05(2);
+        cfg.faults.cycle_budget = Some(100);
+        let err = CmpSimulator::new(cfg, vec![boxed(vec![Op::Int { count: 1_000_000 }])])
+            .try_run(u64::MAX)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SimError::CycleBudgetExhausted { budget: 100, .. }
+        ));
+    }
+
+    #[test]
+    fn healthy_run_is_ok_under_generous_budget() {
+        let cfg = CmpConfig::ispass05(2);
+        let r = CmpSimulator::new(cfg, vec![boxed(vec![Op::Int { count: 4000 }])])
+            .try_run(10_000_000)
+            .unwrap();
+        assert_eq!(r.total_instructions(), 4000);
+    }
+
+    #[test]
+    fn deadlock_error_display_names_barrier_and_cores() {
+        let mut cfg = CmpConfig::ispass05(2);
+        cfg.faults.drop_barrier_arrival = Some((7, 0));
+        let mk = || boxed(vec![Op::Barrier { id: 7 }]);
+        let err = CmpSimulator::new(cfg, vec![mk(), mk()])
+            .try_run(10_000_000)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(msg.contains("barrier 7"), "{msg}");
+        assert!(msg.contains("core 0"), "{msg}");
+        assert!(msg.contains("core 1"), "{msg}");
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! CMP configuration (paper Table 1).
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::units::{Hertz, Seconds};
 use tlp_tech::{OperatingPoint, Technology};
 
 /// Geometry and timing of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -42,7 +40,7 @@ impl CacheConfig {
 /// the paper cites as complementary): a core spinning at a barrier longer
 /// than a threshold drops into an ACPI-like sleep state instead of
 /// burning spin power, paying a wake-up penalty on release.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SleepPolicy {
     /// Whether barrier sleeping is enabled.
     pub enabled: bool,
@@ -75,8 +73,32 @@ impl Default for SleepPolicy {
     }
 }
 
+/// Deterministic fault injection for the simulator (all off by default).
+///
+/// These faults exist so the experiment pipeline's failure handling can be
+/// exercised on demand: each one provokes a specific typed error. When
+/// every field is `None` the simulator behaves identically to a build
+/// without fault support (the checks are a handful of `Option` tests at
+/// setup time and one per budget comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimFaults {
+    /// Drop `(barrier, core)`'s next barrier arrival, forcing a deadlock
+    /// diagnosed as the named barrier.
+    pub drop_barrier_arrival: Option<(u32, usize)>,
+    /// Override the cycle budget (e.g. shrink it so a healthy workload
+    /// exhausts it), forcing a budget/deadlock error.
+    pub cycle_budget: Option<u64>,
+}
+
+impl SimFaults {
+    /// Whether any fault is armed.
+    pub fn any(&self) -> bool {
+        self.drop_barrier_arrival.is_some() || self.cycle_budget.is_some()
+    }
+}
+
 /// Core pipeline parameters (EV6-like).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Peak instructions issued per cycle.
     pub issue_width: u32,
@@ -106,7 +128,7 @@ pub struct CoreConfig {
 /// // 75 ns at 3.2 GHz:
 /// assert_eq!(cfg.memory_latency_cycles(), 240);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CmpConfig {
     /// Number of cores on the chip.
     pub n_cores: usize,
@@ -133,6 +155,8 @@ pub struct CmpConfig {
     pub snoop_filter: bool,
     /// The chip-wide operating point (frequency + voltage).
     pub operating_point: OperatingPoint,
+    /// Injected faults (all off by default).
+    pub faults: SimFaults,
 }
 
 impl CmpConfig {
@@ -183,6 +207,7 @@ impl CmpConfig {
                 frequency: tech.f_nominal(),
                 voltage: tech.vdd_nominal(),
             },
+            faults: SimFaults::default(),
         }
     }
 
@@ -254,10 +279,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn clone_round_trip() {
         let cfg = CmpConfig::ispass05(8);
-        let j = serde_json::to_string(&cfg).unwrap();
-        let back: CmpConfig = serde_json::from_str(&j).unwrap();
+        let back = cfg.clone();
         assert_eq!(cfg, back);
     }
 }

@@ -8,6 +8,7 @@
 //! instruction and coherence activity.
 
 use crate::config::CoreConfig;
+use crate::error::StuckReason;
 use crate::memory::{AccessKind, MemorySystem};
 use crate::op::{Op, ThreadProgram};
 use crate::stats::CoreStats;
@@ -73,6 +74,36 @@ impl Core {
     /// Counters accumulated so far.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Snapshot of what the core is blocked on right now — the input to
+    /// deadlock diagnosis. Spin states are resolved against `sync` so the
+    /// report can name the lock holder.
+    pub fn blocked_on(&self, sync: &SyncManager) -> StuckReason {
+        match self.state {
+            CoreState::Ready => StuckReason::Executing,
+            CoreState::Done => StuckReason::Finished,
+            CoreState::StallUntil { .. } => StuckReason::Stalled,
+            CoreState::AtBarrier(t) => StuckReason::AtBarrier {
+                id: t.barrier(),
+                generation: t.generation(),
+            },
+            CoreState::Asleep(t) => StuckReason::AsleepAtBarrier {
+                id: t.barrier(),
+                generation: t.generation(),
+            },
+            CoreState::SpinLock { id, .. } => StuckReason::SpinningOnLock {
+                id,
+                holder: sync.holder(id),
+            },
+        }
+    }
+
+    /// Instructions retired excluding spin-loop filler — the progress
+    /// coordinate used by deadlock detection (spinning is activity, not
+    /// progress).
+    pub fn progress(&self) -> u64 {
+        self.stats.instructions - self.stats.spin_instructions
     }
 
     /// Address of the cache line holding lock `id`'s word.

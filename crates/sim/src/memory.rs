@@ -8,8 +8,6 @@
 //! and therefore *shrinks in cycles* as the chip's DVFS point slows — the
 //! mechanism behind the paper's memory-bound speedup observations.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cache::{Cache, CacheStats, Evicted, Mesi};
 use crate::config::CmpConfig;
 
@@ -23,7 +21,7 @@ pub enum AccessKind {
 }
 
 /// Counters for bus, L2, and memory activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Address-phase bus transactions (BusRd, BusRdX, BusUpgr, writeback).
     pub bus_transactions: u64,

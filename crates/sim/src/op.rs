@@ -5,10 +5,8 @@
 //! single-cycle integer instructions) to keep generation cheap while
 //! letting the core model account every instruction for timing and power.
 
-use serde::{Deserialize, Serialize};
-
 /// One element of a thread's abstract instruction stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Op {
     /// A batch of integer ALU instructions.

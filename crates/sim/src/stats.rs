@@ -1,7 +1,5 @@
 //! Per-core and chip-level statistics.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::units::{Hertz, Seconds};
 
 use crate::cache::CacheStats;
@@ -9,7 +7,7 @@ use crate::memory::MemStats;
 
 /// Activity counters for one core (also the inputs to the Wattch-like
 /// power model in `tlp-power`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Committed instructions (including spin instructions).
     pub instructions: u64,
@@ -78,7 +76,7 @@ impl CoreStats {
 }
 
 /// Result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Total cycles until the last thread finished.
     pub cycles: u64,

@@ -16,6 +16,18 @@ pub struct BarrierTicket {
     generation: u64,
 }
 
+impl BarrierTicket {
+    /// Barrier id this ticket belongs to.
+    pub fn barrier(&self) -> u32 {
+        self.id
+    }
+
+    /// Barrier generation the ticket waits on.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
 #[derive(Debug, Default)]
 struct BarrierState {
     arrived: Vec<usize>,
@@ -28,6 +40,10 @@ pub struct SyncManager {
     n_threads: usize,
     barriers: HashMap<u32, BarrierState>,
     locks: HashMap<u32, Option<usize>>,
+    /// Fault injection: drop the next arrival of `(barrier, thread)` —
+    /// the thread receives a valid-looking ticket but is never counted,
+    /// so the barrier can never release (models a lost arrival bug).
+    drop_arrival: Option<(u32, usize)>,
 }
 
 impl SyncManager {
@@ -42,7 +58,15 @@ impl SyncManager {
             n_threads,
             barriers: HashMap::new(),
             locks: HashMap::new(),
+            drop_arrival: None,
         }
+    }
+
+    /// Arms the drop-arrival fault: the next time `thread` arrives at
+    /// barrier `id`, the arrival is silently lost (deterministic deadlock
+    /// injection for the fault-tolerance tests).
+    pub fn inject_drop_arrival(&mut self, barrier: u32, thread: usize) {
+        self.drop_arrival = Some((barrier, thread));
     }
 
     /// Registers `thread`'s arrival at barrier `id`. Returns the ticket to
@@ -50,6 +74,13 @@ impl SyncManager {
     /// and panics.
     pub fn arrive(&mut self, id: u32, thread: usize) -> BarrierTicket {
         let n = self.n_threads;
+        if self.drop_arrival == Some((id, thread)) {
+            // Injected fault: hand out a ticket without counting the
+            // arrival. The barrier's generation never advances for it.
+            self.drop_arrival = None;
+            let generation = self.barriers.entry(id).or_default().generation;
+            return BarrierTicket { id, generation };
+        }
         let b = self.barriers.entry(id).or_default();
         assert!(
             !b.arrived.contains(&thread),
@@ -104,6 +135,11 @@ impl SyncManager {
             "thread {thread} released lock {id} it does not hold"
         );
         *slot = None;
+    }
+
+    /// Current holder of lock `id`, if it is held.
+    pub fn holder(&self, id: u32) -> Option<usize> {
+        self.locks.get(&id).copied().flatten()
     }
 
     /// Number of participating threads.

@@ -7,8 +7,6 @@
 //! entries, generated either from explicit points or from a technology's
 //! alpha-power law ([`DvfsTable::for_technology`]).
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TechError;
 use crate::freq::{FrequencyModel, OperatingPoint};
 use crate::technology::Technology;
@@ -29,7 +27,7 @@ use crate::units::{Hertz, Volts};
 /// assert!(v >= tech.voltage_floor());
 /// # Ok::<(), tlp_tech::TechError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsTable {
     /// Sorted by ascending frequency; voltage non-decreasing.
     points: Vec<OperatingPoint>,
@@ -49,11 +47,7 @@ impl DvfsTable {
                 "need at least two operating points".into(),
             ));
         }
-        points.sort_by(|a, b| {
-            a.frequency
-                .partial_cmp(&b.frequency)
-                .expect("frequencies are not NaN")
-        });
+        points.sort_by(|a, b| a.frequency.as_f64().total_cmp(&b.frequency.as_f64()));
         for pair in points.windows(2) {
             if pair[1].frequency.as_f64() <= pair[0].frequency.as_f64() {
                 return Err(TechError::InvalidDvfsTable(

@@ -14,8 +14,6 @@
 //! frequency — has no closed form for general `α` and is obtained by
 //! bisection ([`FrequencyModel::min_voltage_for`]).
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TechError;
 use crate::technology::Technology;
 use crate::units::{Hertz, Volts};
@@ -35,7 +33,7 @@ use crate::units::{Hertz, Volts};
 /// assert!(op.voltage >= tech.voltage_floor());
 /// # Ok::<(), tlp_tech::TechError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Operating frequency.
     pub frequency: Hertz,
@@ -50,7 +48,7 @@ impl core::fmt::Display for OperatingPoint {
 }
 
 /// Alpha-power-law model binding frequency to supply voltage (Eq. 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrequencyModel {
     vth: Volts,
     vdd: Volts,

@@ -1,0 +1,250 @@
+//! Minimal JSON document model and pretty printer.
+//!
+//! The CLI and the sweep runner emit machine-readable reports. This module
+//! provides the small subset of JSON construction the workspace needs —
+//! objects, arrays, strings, numbers, booleans, null — with deterministic
+//! key order (insertion order) and proper string escaping. Non-finite
+//! numbers serialize as `null`, so downstream parsers never receive the
+//! out-of-spec tokens `NaN`/`Infinity`; failure reports carry the textual
+//! diagnosis separately.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (non-finite values print as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Converts `self` into a JSON document node.
+    fn to_json(&self) -> Json;
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::Num(x)
+    }
+}
+impl From<u32> for Json {
+    fn from(x: u32) -> Self {
+        Json::Num(x as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(x: u64) -> Self {
+        Json::Num(x as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(x: usize) -> Self {
+        Json::Num(x as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>, V: Into<Json>>(pairs: impl IntoIterator<Item = (K, V)>) -> Self {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// Builds an array by mapping `f` over `items`.
+    pub fn array<T, V: Into<Json>>(
+        items: impl IntoIterator<Item = T>,
+        f: impl FnMut(T) -> V,
+    ) -> Self {
+        let mut f = f;
+        Json::Arr(items.into_iter().map(|t| f(t).into()).collect())
+    }
+
+    /// Appends a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.to_owned(), value.into())),
+            _ => panic!("Json::set on a non-object"),
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => (
+                "\n",
+                " ".repeat(w * depth),
+                " ".repeat(w * (depth + 1)),
+            ),
+            None => ("", String::new(), String::new()),
+        };
+        let sep = if indent.is_some() { ": " } else { ":" };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if !x.is_finite() {
+                    out.push_str("null");
+                } else if *x == x.trunc() && x.abs() < 1e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    escape_into(k, out);
+                    out.push_str(sep);
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string_compact(), "null");
+        assert_eq!(Json::from(true).to_string_compact(), "true");
+        assert_eq!(Json::from(3.0f64).to_string_compact(), "3");
+        assert_eq!(Json::from(3.25f64).to_string_compact(), "3.25");
+        assert_eq!(Json::from("hi").to_string_compact(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(s.to_string_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let mut o = Json::object([("zeta", 1.0f64)]);
+        o.set("alpha", 2.0f64);
+        assert_eq!(o.to_string_compact(), "{\"zeta\":1,\"alpha\":2}");
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let o = Json::object([("xs", Json::Arr(vec![Json::from(1.0f64), Json::from(2.0f64)]))]);
+        let p = o.to_string_pretty();
+        assert_eq!(p, "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_render_inline() {
+        assert_eq!(Json::Arr(vec![]).to_string_pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).to_string_pretty(), "{}");
+    }
+}

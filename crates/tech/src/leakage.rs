@@ -17,8 +17,6 @@
 //! T from 25 °C to 100 °C). The paper reports ≤ 9.5 % max error at 130 nm
 //! and ≤ 7.5 % at 65 nm; tests assert our fit stays inside those bands.
 
-use serde::{Deserialize, Serialize};
-
 use crate::linalg::least_squares;
 use crate::technology::Technology;
 use crate::units::{Celsius, Volts};
@@ -47,7 +45,7 @@ const GATE_TUNNEL_GAMMA: f64 = 4.0;
 /// // Hotter and at nominal voltage leaks more:
 /// assert!(leak.normalized(tech.vdd_nominal(), Celsius::new(100.0)) > 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReferenceLeakage {
     vth: Volts,
     vn: Volts,
@@ -121,7 +119,7 @@ impl ReferenceLeakage {
 /// with `ΔV = V − Vn` and `ΔT = T − Tstd`. The paper leaves the exact
 /// basis of its curve-fitting constants unspecified; this basis achieves
 /// the error bands the paper reports against HSpice.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FittedLeakage {
     vn: Volts,
     t_std: Celsius,
@@ -155,7 +153,7 @@ impl FittedLeakage {
 }
 
 /// Quality report for a leakage fit over the validation region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitReport {
     /// Maximum relative error |fit − ref| / ref over the validation grid.
     pub max_rel_error: f64,

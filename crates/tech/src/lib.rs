@@ -43,8 +43,10 @@
 pub mod dvfs;
 pub mod error;
 pub mod freq;
+pub mod json;
 pub mod leakage;
 pub mod linalg;
+pub mod rng;
 pub mod technology;
 pub mod units;
 
@@ -56,70 +58,94 @@ pub use technology::{LeakagePhysics, ProcessNode, Technology, TechnologyBuilder}
 
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    //! Randomized property tests over a deterministic sample of the input
+    //! space (seeded [`SplitMix64`] draws stand in for a proptest runner).
 
+    use crate::rng::SplitMix64;
     use crate::units::{Celsius, Hertz, Volts};
     use crate::{DvfsTable, FrequencyModel, ReferenceLeakage, Technology};
 
-    proptest! {
-        /// Alpha-power inversion is a true inverse everywhere in range.
-        #[test]
-        fn inversion_round_trip(ghz in 0.05f64..3.2) {
-            let tech = Technology::itrs_65nm();
-            let m = FrequencyModel::new(&tech);
+    /// Alpha-power inversion is a true inverse everywhere in range.
+    #[test]
+    fn inversion_round_trip() {
+        let tech = Technology::itrs_65nm();
+        let m = FrequencyModel::new(&tech);
+        let mut rng = SplitMix64::seed_from_u64(0xA0);
+        for _ in 0..64 {
+            let ghz = rng.gen_range_f64(0.05..3.2);
             let v = m.min_voltage_for(Hertz::from_ghz(ghz)).unwrap();
             let f = m.max_frequency_at(v).unwrap();
-            prop_assert!((f.as_ghz() - ghz).abs() < 1e-5);
+            assert!((f.as_ghz() - ghz).abs() < 1e-5, "ghz {ghz}");
         }
+    }
 
-        /// Operating-point voltage is monotone in frequency.
-        #[test]
-        fn voltage_monotone_in_frequency(a in 0.2f64..3.2, b in 0.2f64..3.2) {
-            let tech = Technology::itrs_65nm();
-            let m = FrequencyModel::new(&tech);
+    /// Operating-point voltage is monotone in frequency.
+    #[test]
+    fn voltage_monotone_in_frequency() {
+        let tech = Technology::itrs_65nm();
+        let m = FrequencyModel::new(&tech);
+        let mut rng = SplitMix64::seed_from_u64(0xA1);
+        for _ in 0..64 {
+            let a = rng.gen_range_f64(0.2..3.2);
+            let b = rng.gen_range_f64(0.2..3.2);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             let v_lo = m.operating_point_for(Hertz::from_ghz(lo)).unwrap().voltage;
             let v_hi = m.operating_point_for(Hertz::from_ghz(hi)).unwrap().voltage;
-            prop_assert!(v_lo <= v_hi);
+            assert!(v_lo <= v_hi, "lo {lo} hi {hi}");
         }
+    }
 
-        /// Reference leakage is positive and monotone in both V and T.
-        #[test]
-        fn leakage_monotone(v in 0.76f64..1.1, t in 25.0f64..100.0) {
-            let tech = Technology::itrs_65nm();
-            let leak = ReferenceLeakage::new(&tech);
+    /// Reference leakage is positive and monotone in both V and T.
+    #[test]
+    fn leakage_monotone() {
+        let tech = Technology::itrs_65nm();
+        let leak = ReferenceLeakage::new(&tech);
+        let mut rng = SplitMix64::seed_from_u64(0xA2);
+        for _ in 0..64 {
+            let v = rng.gen_range_f64(0.76..1.1);
+            let t = rng.gen_range_f64(25.0..100.0);
             let base = leak.normalized(Volts::new(v), Celsius::new(t));
-            prop_assert!(base > 0.0);
+            assert!(base > 0.0);
             let hotter = leak.normalized(Volts::new(v), Celsius::new(t + 1.0));
-            prop_assert!(hotter > base);
+            assert!(hotter > base);
             let higher_v = leak.normalized(Volts::new(v + 0.01), Celsius::new(t));
-            prop_assert!(higher_v > base);
+            assert!(higher_v > base);
         }
+    }
 
-        /// DVFS interpolation always lands inside the table's voltage range.
-        #[test]
-        fn dvfs_interpolation_in_range(mhz in 200.0f64..3200.0) {
-            let tech = Technology::itrs_65nm();
-            let table = DvfsTable::for_technology(
-                &tech,
-                Hertz::from_mhz(200.0),
-                Hertz::from_mhz(200.0),
-            ).unwrap();
+    /// DVFS interpolation always lands inside the table's voltage range.
+    #[test]
+    fn dvfs_interpolation_in_range() {
+        let tech = Technology::itrs_65nm();
+        let table = DvfsTable::for_technology(
+            &tech,
+            Hertz::from_mhz(200.0),
+            Hertz::from_mhz(200.0),
+        )
+        .unwrap();
+        let mut rng = SplitMix64::seed_from_u64(0xA3);
+        for _ in 0..128 {
+            let mhz = rng.gen_range_f64(200.0..3200.0);
             let v = table.voltage_for(Hertz::from_mhz(mhz)).unwrap();
-            prop_assert!(v >= tech.voltage_floor());
-            prop_assert!(v <= tech.vdd_nominal());
+            assert!(v >= tech.voltage_floor(), "mhz {mhz}");
+            assert!(v <= tech.vdd_nominal(), "mhz {mhz}");
         }
+    }
 
-        /// The fitted leakage stays within a loose factor of the reference
-        /// everywhere (tighter bounds are asserted in unit tests).
-        #[test]
-        fn fitted_leakage_tracks_reference(v in 0.76f64..1.1, t in 25.0f64..100.0) {
-            let tech = Technology::itrs_65nm();
-            let reference = ReferenceLeakage::new(&tech);
-            let (fitted, _) = crate::leakage::fit(&tech);
+    /// The fitted leakage stays within a loose factor of the reference
+    /// everywhere (tighter bounds are asserted in unit tests).
+    #[test]
+    fn fitted_leakage_tracks_reference() {
+        let tech = Technology::itrs_65nm();
+        let reference = ReferenceLeakage::new(&tech);
+        let (fitted, _) = crate::leakage::fit(&tech);
+        let mut rng = SplitMix64::seed_from_u64(0xA4);
+        for _ in 0..64 {
+            let v = rng.gen_range_f64(0.76..1.1);
+            let t = rng.gen_range_f64(25.0..100.0);
             let r = reference.normalized(Volts::new(v), Celsius::new(t));
             let f = fitted.normalized(Volts::new(v), Celsius::new(t));
-            prop_assert!(f > 0.8 * r && f < 1.25 * r, "ref {r} vs fit {f}");
+            assert!(f > 0.8 * r && f < 1.25 * r, "ref {r} vs fit {f}");
         }
     }
 }

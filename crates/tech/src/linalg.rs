@@ -30,13 +30,19 @@ pub fn solve_dense(n: usize, a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
 
     for col in 0..n {
         // Partial pivot.
+        // NaN-safe pivot: a NaN magnitude ranks below every finite one
+        // (plain total_cmp would rank positive NaN above +∞ and elect a
+        // poisoned row even when finite pivots exist).
+        let mag = |x: f64| {
+            let a = x.abs();
+            if a.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                a
+            }
+        };
         let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                m[i * n + col]
-                    .abs()
-                    .partial_cmp(&m[j * n + col].abs())
-                    .expect("pivot comparison on non-NaN values")
-            })
+            .max_by(|&i, &j| mag(m[i * n + col]).total_cmp(&mag(m[j * n + col])))
             .expect("non-empty pivot candidates");
         if m[pivot_row * n + col].abs() < 1e-30 {
             return None;

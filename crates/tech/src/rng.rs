@@ -1,0 +1,135 @@
+//! Small deterministic pseudo-random number generator.
+//!
+//! The workspace needs reproducible randomness in two places: synthetic
+//! workload generation (address streams, branch outcomes) and randomized
+//! property tests. Both must be deterministic for a given seed so that
+//! simulation results are bit-stable across runs and platforms, and must
+//! not pull in external crates. [`SplitMix64`] (Steele, Lea & Flood,
+//! OOPSLA 2014) is a tiny, well-distributed generator that fits the bill;
+//! it is *not* cryptographic and must never be used for security purposes.
+
+/// A 64-bit SplitMix64 generator.
+///
+/// # Examples
+///
+/// ```
+/// use tlp_tech::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::seed_from_u64(42);
+/// let mut b = SplitMix64::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.gen_range_u64(0..10);
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_u64(&mut self, range: core::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // Multiply-shift bounded rejection-free mapping; the bias for the
+        // spans used here (workload regions, test cases) is negligible.
+        range.start + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Uniform integer in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_usize(&mut self, range: core::ops::Range<usize>) -> usize {
+        self.gen_range_u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform float in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or either bound is non-finite.
+    pub fn gen_range_f64(&mut self, range: core::ops::Range<f64>) -> f64 {
+        assert!(
+            range.start.is_finite() && range.end.is_finite() && range.start < range.end,
+            "bad float range"
+        );
+        range.start + self.next_f64() * (range.end - range.start)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        let mut c = SplitMix64::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SplitMix64::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range_u64(10..20);
+            assert!((10..20).contains(&x));
+            let f = r.gen_range_f64(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = SplitMix64::seed_from_u64(2);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        // NaN clamps to 0 rather than poisoning the stream.
+        assert!(!r.gen_bool(f64::NAN));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        let n = 10_000;
+        let mean = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

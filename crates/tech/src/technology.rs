@@ -10,13 +10,11 @@
 //! Two stock descriptors matching the paper are provided:
 //! [`Technology::itrs_130nm`] and [`Technology::itrs_65nm`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TechError;
 use crate::units::{Celsius, Hertz, Volts, Watts};
 
 /// Named process node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum ProcessNode {
     /// 130 nm node (ITRS 2001-era high-performance logic).
@@ -39,7 +37,7 @@ impl core::fmt::Display for ProcessNode {
 /// These feed the BSIM-style subthreshold and gate-oxide leakage equations
 /// in [`crate::leakage`]; the absolute magnitude is normalized away, only
 /// the voltage/temperature *shape* matters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeakagePhysics {
     /// Subthreshold swing factor `n` (dimensionless, typically 1.3–1.6).
     pub subthreshold_swing: f64,
@@ -73,7 +71,7 @@ pub struct LeakagePhysics {
 /// assert_eq!(t.vth().as_f64(), 0.18);
 /// assert!((t.f_nominal().as_ghz() - 3.2).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Technology {
     node: ProcessNode,
     vdd_nominal: Volts,
@@ -498,10 +496,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn clone_round_trip() {
         let t = Technology::itrs_130nm();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Technology = serde_json::from_str(&json).unwrap();
+        let back = t.clone();
         assert_eq!(t, back);
     }
 }

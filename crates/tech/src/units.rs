@@ -22,8 +22,6 @@
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Boltzmann constant in joules per kelvin.
 pub const BOLTZMANN: f64 = 1.380_649e-23;
 /// Elementary charge in coulombs.
@@ -34,7 +32,7 @@ pub const CELSIUS_OFFSET: f64 = 273.15;
 macro_rules! unit {
     ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         #[repr(transparent)]
         pub struct $name(f64);
 
@@ -361,7 +359,7 @@ impl Mul<Amperes> for Volts {
 /// let d = PowerDensity::from_power(Watts::new(50.0), SquareMillimeters::new(100.0));
 /// assert!((d.as_w_per_mm2() - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct PowerDensity(f64);
 
 impl PowerDensity {

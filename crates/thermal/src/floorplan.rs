@@ -9,13 +9,11 @@
 //! single EV6-like core tile and [`Floorplan::ispass_cmp`] for the full CMP
 //! (a grid of core tiles plus a shared L2 slab).
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::units::SquareMillimeters;
 
 /// What a block is used for — power models treat cores and L2 differently
 /// (the paper excludes the cool L2 from power-density statistics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum BlockKind {
     /// A functional block inside a processor core.
@@ -28,7 +26,7 @@ pub enum BlockKind {
 }
 
 /// A rectangular block of silicon.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Human-readable name, e.g. `"core3.dcache"`.
     pub name: String,
@@ -109,7 +107,7 @@ const EV6_TILE_LAYOUT: &[(&str, f64, f64, f64, f64)] = &[
 /// assert_eq!(chip.blocks().len(), 161);
 /// assert!((chip.total_area().as_f64() - 15.6 * 15.6).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Floorplan {
     blocks: Vec<Block>,
 }

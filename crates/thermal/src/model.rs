@@ -8,15 +8,14 @@
 //! sink-to-ambient conductance so the average core temperature reaches
 //! `t_max` at the given maximum chip power.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::units::{Celsius, PowerDensity, Watts};
 
+use crate::error::ThermalError;
 use crate::floorplan::{BlockKind, Floorplan};
 use crate::network::{PackageParams, RcNetwork};
 
 /// A solved per-block temperature field.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThermalMap {
     temps: Vec<Celsius>,
     n_blocks: usize,
@@ -83,8 +82,36 @@ impl ThermalMap {
     }
 }
 
+/// Knobs of the fallible fixpoint solver ([`ThermalModel::try_fixpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixpointOptions {
+    /// Convergence tolerance on the average core temperature, in °C.
+    pub tolerance_celsius: f64,
+    /// Iteration budget.
+    pub max_iterations: u32,
+    /// Under-relaxation factor in `[0, 1)`: each iteration uses
+    /// `(1 - damping) · s_new + damping · s_prev` as the static power.
+    /// `0` reproduces the undamped iteration; values around `0.5` tame
+    /// oscillating solves at the cost of more iterations.
+    pub damping: f64,
+    /// Average core temperature above which the solve is declared
+    /// diverged (thermal runaway).
+    pub divergence_limit_celsius: f64,
+}
+
+impl Default for FixpointOptions {
+    fn default() -> Self {
+        Self {
+            tolerance_celsius: 1e-3,
+            max_iterations: 100,
+            damping: 0.0,
+            divergence_limit_celsius: 1_000.0,
+        }
+    }
+}
+
 /// Result of a power/temperature fixpoint solve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FixpointResult {
     /// The converged thermal map.
     pub map: ThermalMap,
@@ -113,7 +140,7 @@ pub struct FixpointResult {
 /// let avg = map.average_core_temperature(model.floorplan());
 /// assert!((avg.as_f64() - 100.0).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThermalModel {
     floorplan: Floorplan,
     network: RcNetwork,
@@ -258,24 +285,123 @@ impl ThermalModel {
     /// power only, repeatedly computes temperatures, asks `static_of` for
     /// the per-block static power at those temperatures, and re-solves until
     /// the average core temperature changes by less than `tol_celsius`.
+    ///
+    /// This is the legacy infallible entry point: failures degrade to
+    /// `converged == false` in the result. Supervised callers should use
+    /// [`ThermalModel::try_fixpoint`], which distinguishes
+    /// non-convergence, divergence, and corrupt (non-finite) inputs as
+    /// typed errors.
     pub fn fixpoint<F>(
         &self,
         dynamic_power: &[Watts],
-        mut static_of: F,
+        static_of: F,
         tol_celsius: f64,
         max_iterations: u32,
     ) -> FixpointResult
     where
         F: FnMut(&ThermalMap) -> Vec<Watts>,
     {
+        let opts = FixpointOptions {
+            tolerance_celsius: tol_celsius,
+            max_iterations,
+            damping: 0.0,
+            divergence_limit_celsius: f64::INFINITY,
+        };
+        self.fixpoint_impl(dynamic_power, static_of, &opts).0
+    }
+
+    /// Fallible fixpoint solve with divergence guards and optional
+    /// under-relaxation; see [`FixpointOptions`].
+    ///
+    /// # Errors
+    ///
+    /// - [`ThermalError::NonFinite`] — the dynamic power input, the
+    ///   static power returned by `static_of`, or the solved temperature
+    ///   field contained NaN/∞.
+    /// - [`ThermalError::Diverged`] — the average core temperature blew
+    ///   past `divergence_limit_celsius`, or the per-iteration change
+    ///   kept growing (an oscillation that damping may fix).
+    /// - [`ThermalError::NoConvergence`] — the iteration budget ran out
+    ///   while the solve was still moving within bounds.
+    pub fn try_fixpoint<F>(
+        &self,
+        dynamic_power: &[Watts],
+        static_of: F,
+        opts: &FixpointOptions,
+    ) -> Result<FixpointResult, ThermalError>
+    where
+        F: FnMut(&ThermalMap) -> Vec<Watts>,
+    {
+        let (result, error) = self.fixpoint_impl(dynamic_power, static_of, opts);
+        match error {
+            None => Ok(result),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Shared fixpoint loop: always returns the best-effort result, plus
+    /// the typed error when the solve failed.
+    fn fixpoint_impl<F>(
+        &self,
+        dynamic_power: &[Watts],
+        mut static_of: F,
+        opts: &FixpointOptions,
+    ) -> (FixpointResult, Option<ThermalError>)
+    where
+        F: FnMut(&ThermalMap) -> Vec<Watts>,
+    {
         let nb = self.floorplan.blocks().len();
         assert_eq!(dynamic_power.len(), nb, "one dynamic power entry per block");
+        assert!(
+            (0.0..1.0).contains(&opts.damping),
+            "damping must be in [0, 1)"
+        );
+        let finite = |ws: &[Watts]| ws.iter().all(|w| w.as_f64().is_finite());
+
         let mut map = self.steady_state(dynamic_power);
         let mut static_power = vec![Watts::ZERO; nb];
+        if !finite(dynamic_power) {
+            let result = FixpointResult {
+                map,
+                static_power,
+                iterations: 0,
+                converged: false,
+            };
+            return (
+                result,
+                Some(ThermalError::NonFinite {
+                    iterations: 0,
+                    context: "dynamic power input",
+                }),
+            );
+        }
+
         let mut prev_avg = map.average_core_temperature(&self.floorplan).as_f64();
-        for iter in 1..=max_iterations {
-            static_power = static_of(&map);
-            assert_eq!(static_power.len(), nb, "one static power entry per block");
+        let mut prev_delta = f64::INFINITY;
+        let mut growth_streak = 0u32;
+        let mut error = None;
+        let mut iterations = opts.max_iterations;
+        for iter in 1..=opts.max_iterations {
+            let fresh = static_of(&map);
+            assert_eq!(fresh.len(), nb, "one static power entry per block");
+            if !finite(&fresh) {
+                error = Some(ThermalError::NonFinite {
+                    iterations: iter,
+                    context: "static power",
+                });
+                iterations = iter;
+                break;
+            }
+            // Under-relaxation: blend towards the fresh static power.
+            static_power = fresh
+                .iter()
+                .zip(&static_power)
+                .map(|(new, old)| {
+                    Watts::new(
+                        (1.0 - opts.damping) * new.as_f64() + opts.damping * old.as_f64(),
+                    )
+                })
+                .collect();
             let total: Vec<Watts> = dynamic_power
                 .iter()
                 .zip(&static_power)
@@ -283,22 +409,66 @@ impl ThermalModel {
                 .collect();
             map = self.steady_state(&total);
             let avg = map.average_core_temperature(&self.floorplan).as_f64();
-            if (avg - prev_avg).abs() < tol_celsius {
-                return FixpointResult {
+            if !avg.is_finite() {
+                error = Some(ThermalError::NonFinite {
+                    iterations: iter,
+                    context: "temperature field",
+                });
+                iterations = iter;
+                break;
+            }
+            if avg > opts.divergence_limit_celsius {
+                error = Some(ThermalError::Diverged {
+                    iterations: iter,
+                    temperature: avg,
+                });
+                iterations = iter;
+                break;
+            }
+            let delta = (avg - prev_avg).abs();
+            if delta < opts.tolerance_celsius {
+                let result = FixpointResult {
                     map,
                     static_power,
                     iterations: iter,
                     converged: true,
                 };
+                return (result, None);
             }
+            // A contraction shrinks the step every iteration; a step that
+            // keeps growing means the iteration is oscillating or
+            // escaping.
+            if delta > prev_delta {
+                growth_streak += 1;
+                if growth_streak >= 4 {
+                    error = Some(ThermalError::Diverged {
+                        iterations: iter,
+                        temperature: avg,
+                    });
+                    iterations = iter;
+                    break;
+                }
+            } else {
+                growth_streak = 0;
+            }
+            prev_delta = delta;
             prev_avg = avg;
         }
-        FixpointResult {
+
+        if error.is_none() {
+            error = Some(ThermalError::NoConvergence {
+                iterations: opts.max_iterations,
+                last_delta: prev_delta,
+                tolerance: opts.tolerance_celsius,
+            });
+        }
+        let result = FixpointResult {
             map,
             static_power,
-            iterations: max_iterations,
+            iterations,
             converged: false,
-        }
+        };
+        (result, error)
     }
 
     /// One implicit-Euler transient step of the underlying RC network:
@@ -451,6 +621,164 @@ mod tests {
             map.max_temperature().as_f64()
                 >= map.average_core_temperature(m.floorplan()).as_f64()
         );
+    }
+
+    #[test]
+    fn try_fixpoint_converges_like_legacy() {
+        let m = model();
+        let dynamic = m.uniform_core_power(Watts::new(60.0), 4);
+        let nb = m.floorplan().blocks().len();
+        let leak = |map: &ThermalMap| {
+            (0..nb)
+                .map(|i| Watts::new(0.05 * (map.block(i).as_f64() / 60.0).exp()))
+                .collect::<Vec<_>>()
+        };
+        let opts = FixpointOptions {
+            tolerance_celsius: 0.01,
+            max_iterations: 50,
+            ..FixpointOptions::default()
+        };
+        let r = m.try_fixpoint(&dynamic, leak, &opts).unwrap();
+        assert!(r.converged);
+        let legacy = m.fixpoint(&dynamic, leak, 0.01, 50);
+        assert_eq!(r.map, legacy.map);
+    }
+
+    #[test]
+    fn try_fixpoint_reports_nan_power_input() {
+        let m = model();
+        let mut dynamic = m.uniform_core_power(Watts::new(60.0), 4);
+        dynamic[0] = Watts::new(f64::NAN);
+        let nb = m.floorplan().blocks().len();
+        let err = m
+            .try_fixpoint(
+                &dynamic,
+                |_| vec![Watts::ZERO; nb],
+                &FixpointOptions::default(),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::ThermalError::NonFinite {
+                iterations: 0,
+                context: "dynamic power input"
+            }
+        );
+    }
+
+    #[test]
+    fn try_fixpoint_reports_nan_static_power() {
+        let m = model();
+        let dynamic = m.uniform_core_power(Watts::new(60.0), 4);
+        let nb = m.floorplan().blocks().len();
+        let err = m
+            .try_fixpoint(
+                &dynamic,
+                |_| {
+                    let mut v = vec![Watts::ZERO; nb];
+                    v[1] = Watts::new(f64::INFINITY);
+                    v
+                },
+                &FixpointOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ThermalError::NonFinite { context: "static power", .. }
+        ));
+    }
+
+    #[test]
+    fn try_fixpoint_detects_thermal_runaway() {
+        let m = model();
+        let dynamic = m.uniform_core_power(Watts::new(60.0), 4);
+        let nb = m.floorplan().blocks().len();
+        // Ferociously temperature-dependent leakage: each degree of rise
+        // adds more static power than the sink can remove.
+        let err = m
+            .try_fixpoint(
+                &dynamic,
+                |map| {
+                    let avg = map.average_core_temperature(m.floorplan()).as_f64();
+                    let w = 2.0 * (avg / 40.0).exp();
+                    (0..nb).map(|_| Watts::new(w)).collect::<Vec<_>>()
+                },
+                &FixpointOptions {
+                    max_iterations: 200,
+                    ..FixpointOptions::default()
+                },
+            )
+            .unwrap_err();
+        match err {
+            crate::ThermalError::Diverged { temperature, .. } => {
+                assert!(temperature > 100.0, "runaway stopped at {temperature} °C");
+            }
+            other => panic!("expected divergence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn try_fixpoint_reports_no_convergence_on_tiny_budget() {
+        let m = model();
+        let dynamic = m.uniform_core_power(Watts::new(60.0), 4);
+        let nb = m.floorplan().blocks().len();
+        let err = m
+            .try_fixpoint(
+                &dynamic,
+                |map| {
+                    (0..nb)
+                        .map(|i| Watts::new(0.05 * (map.block(i).as_f64() / 60.0).exp()))
+                        .collect::<Vec<_>>()
+                },
+                &FixpointOptions {
+                    tolerance_celsius: 1e-12,
+                    max_iterations: 2,
+                    ..FixpointOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ThermalError::NoConvergence { iterations: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn damping_converges_where_undamped_oscillates() {
+        let m = model();
+        let dynamic = m.uniform_core_power(Watts::new(30.0), 4);
+        let nb = m.floorplan().blocks().len();
+        // A steep *alternating* feedback: static power swings hard with
+        // temperature, so the undamped iteration ping-pongs.
+        let leak = |map: &ThermalMap| {
+            let avg = map.average_core_temperature(m.floorplan()).as_f64();
+            let w = (avg - 45.0).max(0.0) * 1.4 / nb as f64;
+            (0..nb).map(|_| Watts::new(w)).collect::<Vec<_>>()
+        };
+        let undamped = m.try_fixpoint(
+            &dynamic,
+            leak,
+            &FixpointOptions {
+                tolerance_celsius: 1e-6,
+                max_iterations: 60,
+                ..FixpointOptions::default()
+            },
+        );
+        let damped = m
+            .try_fixpoint(
+                &dynamic,
+                leak,
+                &FixpointOptions {
+                    tolerance_celsius: 1e-6,
+                    max_iterations: 500,
+                    damping: 0.7,
+                    ..FixpointOptions::default()
+                },
+            )
+            .expect("damped solve converges");
+        assert!(damped.converged);
+        // The undamped solve must have failed (oscillation or budget).
+        assert!(undamped.is_err(), "undamped unexpectedly converged");
     }
 
     #[test]

@@ -7,15 +7,13 @@
 //! boundary. Steady-state temperatures solve `G·T = P + g_amb·T_amb`;
 //! transients use implicit-Euler stepping on `C·dT/dt = P − G·T`.
 
-use serde::{Deserialize, Serialize};
-
 use tlp_tech::linalg::solve_dense;
 use tlp_tech::units::{Celsius, Seconds, Watts};
 
 use crate::floorplan::Floorplan;
 
 /// Physical constants of the thermal package.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PackageParams {
     /// Silicon thermal conductivity, W/(m·K).
     pub k_silicon: f64,
@@ -52,7 +50,7 @@ impl Default for PackageParams {
 /// Node layout: indices `0..n_blocks` are floorplan blocks, then the
 /// spreader node, then the sink node. Ambient is a boundary condition, not
 /// a node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RcNetwork {
     n_blocks: usize,
     /// Dense symmetric conductance matrix including boundary conductance on
@@ -268,7 +266,7 @@ mod tests {
         p[hot] = Watts::new(5.0);
         let t = net.steady_state(&p, Celsius::new(45.0));
         let hottest = (0..nb)
-            .max_by(|&a, &b| t[a].as_f64().partial_cmp(&t[b].as_f64()).unwrap())
+            .max_by(|&a, &b| t[a].as_f64().total_cmp(&t[b].as_f64()))
             .unwrap();
         assert_eq!(hottest, hot);
     }

@@ -10,14 +10,11 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
 use tlp_sim::op::{Op, ThreadProgram};
+use tlp_tech::rng::SplitMix64;
 
 /// Where a kernel's memory references go.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum AccessPattern {
     /// Unit-stride streaming through a region (high spatial locality).
@@ -56,7 +53,7 @@ pub enum AccessPattern {
 /// One "item" is the app's natural unit (a particle, a matrix block, a
 /// bucket of keys); per item the kernel issues interleaved compute,
 /// memory, and branch instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Kernel {
     /// Integer instructions per item.
     pub int_per_item: u32,
@@ -85,7 +82,7 @@ impl Kernel {
 }
 
 /// One phase of a workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum PhaseSpec {
     /// Work split across all threads (each gets its partitioned share,
@@ -173,7 +170,7 @@ enum Cursor {
 /// into a small op buffer. Deterministic for a given `(seed, thread)`.
 pub struct SyntheticProgram {
     thread: usize,
-    rng: StdRng,
+    rng: SplitMix64,
     phases: Vec<PhaseSpec>,
     shares: Vec<Vec<u64>>,
     phase_idx: usize,
@@ -217,7 +214,7 @@ impl SyntheticProgram {
             .collect();
         Self {
             thread,
-            rng: StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1))),
+            rng: SplitMix64::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1))),
             phases,
             shares,
             phase_idx: 0,
@@ -260,10 +257,10 @@ impl SyntheticProgram {
                 self.stream_pos = self.stream_pos.wrapping_add(stride);
                 addr
             }
-            AccessPattern::Random { base, len } => base + self.rng.gen_range(0..len.max(1)),
+            AccessPattern::Random { base, len } => base + self.rng.gen_range_u64(0..len.max(1)),
             AccessPattern::Walk { base, len, jump_prob } => {
                 if self.rng.gen_bool(jump_prob.clamp(0.0, 1.0)) {
-                    self.stream_pos = self.rng.gen_range(0..len.max(1));
+                    self.stream_pos = self.rng.gen_range_u64(0..len.max(1));
                 } else {
                     self.stream_pos = (self.stream_pos + 16) % len.max(1);
                 }

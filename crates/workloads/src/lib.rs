@@ -35,54 +35,57 @@ pub use suite::{gang, program, AppId, Scale};
 
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    //! Randomized invariant tests over deterministic seeded input streams.
 
     use tlp_sim::op::{Op, ThreadProgram};
+    use tlp_tech::rng::SplitMix64;
 
     use crate::framework::{partition, AccessPattern, Kernel, PhaseSpec, SyntheticProgram};
 
-    fn arb_kernel() -> impl Strategy<Value = Kernel> {
-        (1u32..40, 0u32..40, 0u32..8, 0u32..8, 0u32..4, 0.0f64..0.2).prop_map(
-            |(int, fp, loads, stores, branches, mis)| Kernel {
-                int_per_item: int,
-                fp_per_item: fp,
-                loads_per_item: loads,
-                stores_per_item: stores,
-                branches_per_item: branches,
-                mispredict_rate: mis,
-                load_pattern: AccessPattern::Random {
-                    base: 0x1000,
-                    len: 1 << 16,
-                },
-                store_pattern: AccessPattern::Streaming {
-                    base: 0x100_0000,
-                    len: 1 << 14,
-                    stride: 16,
-                },
+    fn arb_kernel(rng: &mut SplitMix64) -> Kernel {
+        Kernel {
+            int_per_item: rng.gen_range_u64(1..40) as u32,
+            fp_per_item: rng.gen_range_u64(0..40) as u32,
+            loads_per_item: rng.gen_range_u64(0..8) as u32,
+            stores_per_item: rng.gen_range_u64(0..8) as u32,
+            branches_per_item: rng.gen_range_u64(0..4) as u32,
+            mispredict_rate: rng.gen_range_f64(0.0..0.2),
+            load_pattern: AccessPattern::Random {
+                base: 0x1000,
+                len: 1 << 16,
             },
-        )
+            store_pattern: AccessPattern::Streaming {
+                base: 0x100_0000,
+                len: 1 << 14,
+                stride: 16,
+            },
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// The partition always sums to the total and never loses items.
-        #[test]
-        fn partition_is_conservative(total in 0u64..1_000_000, n in 1usize..32, imb in 0.0f64..0.5) {
+    /// The partition always sums to the total and never loses items.
+    #[test]
+    fn partition_is_conservative() {
+        let mut rng = SplitMix64::seed_from_u64(0xE0);
+        for _case in 0..64 {
+            let total = rng.gen_range_u64(0..1_000_000);
+            let n = rng.gen_range_usize(1..32);
+            let imb = rng.gen_range_f64(0.0..0.5);
             let shares = partition(total, n, imb);
-            prop_assert_eq!(shares.len(), n);
-            prop_assert_eq!(shares.iter().sum::<u64>(), total);
+            assert_eq!(shares.len(), n);
+            assert_eq!(shares.iter().sum::<u64>(), total);
         }
+    }
 
-        /// Emitted instruction volume matches the static estimate for any
-        /// kernel and phase structure.
-        #[test]
-        fn instruction_accounting_is_exact(
-            kernel in arb_kernel(),
-            items in 1u64..60,
-            thread in 0usize..4,
-            seed in 0u64..1000,
-        ) {
+    /// Emitted instruction volume matches the static estimate for any
+    /// kernel and phase structure.
+    #[test]
+    fn instruction_accounting_is_exact() {
+        let mut rng = SplitMix64::seed_from_u64(0xE1);
+        for _case in 0..64 {
+            let kernel = arb_kernel(&mut rng);
+            let items = rng.gen_range_u64(1..60);
+            let thread = rng.gen_range_usize(0..4);
+            let seed = rng.gen_range_u64(0..1000);
             let phases = vec![
                 PhaseSpec::Parallel { total_items: items, kernel },
                 PhaseSpec::Barrier,
@@ -99,12 +102,18 @@ mod proptests {
                 }
                 count += op.instruction_count();
             }
-            prop_assert_eq!(count, estimate);
+            assert_eq!(count, estimate);
         }
+    }
 
-        /// Locked phases always emit balanced lock/unlock pairs in order.
-        #[test]
-        fn locks_are_balanced(items in 1u64..40, n_locks in 1u32..8, seed in 0u64..100) {
+    /// Locked phases always emit balanced lock/unlock pairs in order.
+    #[test]
+    fn locks_are_balanced() {
+        let mut rng = SplitMix64::seed_from_u64(0xE2);
+        for _case in 0..64 {
+            let items = rng.gen_range_u64(1..40);
+            let n_locks = rng.gen_range_u64(1..8) as u32;
+            let seed = rng.gen_range_u64(0..100);
             let kernel = Kernel {
                 int_per_item: 4,
                 fp_per_item: 0,
@@ -128,19 +137,19 @@ mod proptests {
                 match p.next_op() {
                     Op::End => break,
                     Op::Lock { id } => {
-                        prop_assert!(held.is_none(), "nested lock");
+                        assert!(held.is_none(), "nested lock");
                         held = Some(id);
                     }
                     Op::Unlock { id } => {
-                        prop_assert_eq!(held, Some(id), "unlock mismatch");
+                        assert_eq!(held, Some(id), "unlock mismatch");
                         held = None;
                         pairs += 1;
                     }
                     _ => {}
                 }
             }
-            prop_assert!(held.is_none());
-            prop_assert_eq!(pairs, items);
+            assert!(held.is_none());
+            assert_eq!(pairs, items);
         }
     }
 }

@@ -9,13 +9,11 @@
 //! cycle-level simulation tractable while preserving cache and coherence
 //! behaviour.
 
-use serde::{Deserialize, Serialize};
-
 use crate::apps;
 use crate::framework::SyntheticProgram;
 
 /// The twelve SPLASH-2 applications (paper Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppId {
     /// Barnes-Hut N-body (16 K particles).
     Barnes,
@@ -139,7 +137,7 @@ impl core::fmt::Display for AppId {
 /// benchmark harness (a few million instructions per run — about two
 /// orders of magnitude below real SPLASH-2 dynamic counts, preserving
 /// miss rates and coherence behaviour); `Test` keeps unit tests fast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Tiny runs for unit tests.
     Test,

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha-28bccfff4558ac86.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/debug/deps/ablation_alpha-28bccfff4558ac86: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha-59c69d47a1dab19d.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/debug/deps/ablation_alpha-59c69d47a1dab19d: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dvfs_scope-124189f21fe0200c.d: crates/bench/src/bin/ablation_dvfs_scope.rs
+
+/root/repo/target/debug/deps/ablation_dvfs_scope-124189f21fe0200c: crates/bench/src/bin/ablation_dvfs_scope.rs
+
+crates/bench/src/bin/ablation_dvfs_scope.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dvfs_scope-15ffdfa0aceb42fb.d: crates/bench/src/bin/ablation_dvfs_scope.rs
+
+/root/repo/target/debug/deps/ablation_dvfs_scope-15ffdfa0aceb42fb: crates/bench/src/bin/ablation_dvfs_scope.rs
+
+crates/bench/src/bin/ablation_dvfs_scope.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dvfs_scope-394c2037c8bfd803.d: crates/bench/src/bin/ablation_dvfs_scope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dvfs_scope-394c2037c8bfd803.rmeta: crates/bench/src/bin/ablation_dvfs_scope.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dvfs_scope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_static_fraction-265e17da6a1c845b.d: crates/bench/src/bin/ablation_static_fraction.rs
+
+/root/repo/target/debug/deps/ablation_static_fraction-265e17da6a1c845b: crates/bench/src/bin/ablation_static_fraction.rs
+
+crates/bench/src/bin/ablation_static_fraction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_static_fraction-374ac1d7cdc8d57c.d: crates/bench/src/bin/ablation_static_fraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_static_fraction-374ac1d7cdc8d57c.rmeta: crates/bench/src/bin/ablation_static_fraction.rs Cargo.toml
+
+crates/bench/src/bin/ablation_static_fraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

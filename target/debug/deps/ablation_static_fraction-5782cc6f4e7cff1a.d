@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_static_fraction-5782cc6f4e7cff1a.d: crates/bench/src/bin/ablation_static_fraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_static_fraction-5782cc6f4e7cff1a.rmeta: crates/bench/src/bin/ablation_static_fraction.rs Cargo.toml
+
+crates/bench/src/bin/ablation_static_fraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

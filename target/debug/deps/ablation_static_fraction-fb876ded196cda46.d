@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_static_fraction-fb876ded196cda46.d: crates/bench/src/bin/ablation_static_fraction.rs
+
+/root/repo/target/debug/deps/ablation_static_fraction-fb876ded196cda46: crates/bench/src/bin/ablation_static_fraction.rs
+
+crates/bench/src/bin/ablation_static_fraction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_thermal-3d4728024cbe47c2.d: crates/bench/src/bin/ablation_thermal.rs
+
+/root/repo/target/debug/deps/ablation_thermal-3d4728024cbe47c2: crates/bench/src/bin/ablation_thermal.rs
+
+crates/bench/src/bin/ablation_thermal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_thermal-4dafe5e1cd225463.d: crates/bench/src/bin/ablation_thermal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_thermal-4dafe5e1cd225463.rmeta: crates/bench/src/bin/ablation_thermal.rs Cargo.toml
+
+crates/bench/src/bin/ablation_thermal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_thermal-f4de6ac8f484a789.d: crates/bench/src/bin/ablation_thermal.rs
+
+/root/repo/target/debug/deps/ablation_thermal-f4de6ac8f484a789: crates/bench/src/bin/ablation_thermal.rs
+
+crates/bench/src/bin/ablation_thermal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_thermal-fee64e1489e9858e.d: crates/bench/src/bin/ablation_thermal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_thermal-fee64e1489e9858e.rmeta: crates/bench/src/bin/ablation_thermal.rs Cargo.toml
+
+crates/bench/src/bin/ablation_thermal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_vmin-3d78a46de01e52ad.d: crates/bench/src/bin/ablation_vmin.rs
+
+/root/repo/target/debug/deps/ablation_vmin-3d78a46de01e52ad: crates/bench/src/bin/ablation_vmin.rs
+
+crates/bench/src/bin/ablation_vmin.rs:

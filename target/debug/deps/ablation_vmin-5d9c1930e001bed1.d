@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_vmin-5d9c1930e001bed1.d: crates/bench/src/bin/ablation_vmin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_vmin-5d9c1930e001bed1.rmeta: crates/bench/src/bin/ablation_vmin.rs Cargo.toml
+
+crates/bench/src/bin/ablation_vmin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_vmin-6a1082fdf61e3ece.d: crates/bench/src/bin/ablation_vmin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_vmin-6a1082fdf61e3ece.rmeta: crates/bench/src/bin/ablation_vmin.rs Cargo.toml
+
+crates/bench/src/bin/ablation_vmin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

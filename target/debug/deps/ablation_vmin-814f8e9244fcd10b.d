@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_vmin-814f8e9244fcd10b.d: crates/bench/src/bin/ablation_vmin.rs
+
+/root/repo/target/debug/deps/ablation_vmin-814f8e9244fcd10b: crates/bench/src/bin/ablation_vmin.rs
+
+crates/bench/src/bin/ablation_vmin.rs:

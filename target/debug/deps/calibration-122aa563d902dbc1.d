@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-122aa563d902dbc1.d: crates/bench/src/bin/calibration.rs
+
+/root/repo/target/debug/deps/calibration-122aa563d902dbc1: crates/bench/src/bin/calibration.rs
+
+crates/bench/src/bin/calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-9c3950f0fbd2e5fe.d: crates/bench/src/bin/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-9c3950f0fbd2e5fe.rmeta: crates/bench/src/bin/calibration.rs Cargo.toml
+
+crates/bench/src/bin/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-a6dded4a1f17e086.d: crates/bench/src/bin/calibration.rs
+
+/root/repo/target/debug/deps/calibration-a6dded4a1f17e086: crates/bench/src/bin/calibration.rs
+
+crates/bench/src/bin/calibration.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/cmp_tlp-0a3ea0953773b900.d: crates/core/src/lib.rs crates/core/src/chipstate.rs crates/core/src/energy.rs crates/core/src/error.rs crates/core/src/jsonout.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/scenario1.rs crates/core/src/scenario2.rs crates/core/src/sweep.rs crates/core/src/transient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcmp_tlp-0a3ea0953773b900.rmeta: crates/core/src/lib.rs crates/core/src/chipstate.rs crates/core/src/energy.rs crates/core/src/error.rs crates/core/src/jsonout.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/scenario1.rs crates/core/src/scenario2.rs crates/core/src/sweep.rs crates/core/src/transient.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chipstate.rs:
+crates/core/src/energy.rs:
+crates/core/src/error.rs:
+crates/core/src/jsonout.rs:
+crates/core/src/profiling.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario1.rs:
+crates/core/src/scenario2.rs:
+crates/core/src/sweep.rs:
+crates/core/src/transient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cmp_tlp-1b926639d23eac47.d: crates/core/src/bin/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcmp_tlp-1b926639d23eac47.rmeta: crates/core/src/bin/cli.rs Cargo.toml
+
+crates/core/src/bin/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cmp_tlp-660c2be82f177725.d: crates/core/src/bin/cli.rs
+
+/root/repo/target/debug/deps/cmp_tlp-660c2be82f177725: crates/core/src/bin/cli.rs
+
+crates/core/src/bin/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cmp_tlp-b1f7823ce39670b4.d: crates/core/src/bin/cli.rs
+
+/root/repo/target/debug/deps/cmp_tlp-b1f7823ce39670b4: crates/core/src/bin/cli.rs
+
+crates/core/src/bin/cli.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cmp_tlp-c7d3db8380160f77.d: crates/core/src/lib.rs crates/core/src/chipstate.rs crates/core/src/energy.rs crates/core/src/error.rs crates/core/src/jsonout.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/scenario1.rs crates/core/src/scenario2.rs crates/core/src/sweep.rs crates/core/src/transient.rs
+
+/root/repo/target/debug/deps/cmp_tlp-c7d3db8380160f77: crates/core/src/lib.rs crates/core/src/chipstate.rs crates/core/src/energy.rs crates/core/src/error.rs crates/core/src/jsonout.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/scenario1.rs crates/core/src/scenario2.rs crates/core/src/sweep.rs crates/core/src/transient.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chipstate.rs:
+crates/core/src/energy.rs:
+crates/core/src/error.rs:
+crates/core/src/jsonout.rs:
+crates/core/src/profiling.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario1.rs:
+crates/core/src/scenario2.rs:
+crates/core/src/sweep.rs:
+crates/core/src/transient.rs:

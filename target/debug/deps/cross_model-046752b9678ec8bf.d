@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_model-046752b9678ec8bf.d: crates/core/../../tests/cross_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_model-046752b9678ec8bf.rmeta: crates/core/../../tests/cross_model.rs Cargo.toml
+
+crates/core/../../tests/cross_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_model-63cf44731caaef26.d: crates/core/../../tests/cross_model.rs
+
+/root/repo/target/debug/deps/cross_model-63cf44731caaef26: crates/core/../../tests/cross_model.rs
+
+crates/core/../../tests/cross_model.rs:

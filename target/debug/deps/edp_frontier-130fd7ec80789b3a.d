@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edp_frontier-130fd7ec80789b3a.d: crates/bench/src/bin/edp_frontier.rs
+
+/root/repo/target/debug/deps/edp_frontier-130fd7ec80789b3a: crates/bench/src/bin/edp_frontier.rs
+
+crates/bench/src/bin/edp_frontier.rs:

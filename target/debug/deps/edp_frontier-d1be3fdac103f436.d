@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edp_frontier-d1be3fdac103f436.d: crates/bench/src/bin/edp_frontier.rs
+
+/root/repo/target/debug/deps/edp_frontier-d1be3fdac103f436: crates/bench/src/bin/edp_frontier.rs
+
+crates/bench/src/bin/edp_frontier.rs:

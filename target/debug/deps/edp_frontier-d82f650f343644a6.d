@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edp_frontier-d82f650f343644a6.d: crates/bench/src/bin/edp_frontier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedp_frontier-d82f650f343644a6.rmeta: crates/bench/src/bin/edp_frontier.rs Cargo.toml
+
+crates/bench/src/bin/edp_frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

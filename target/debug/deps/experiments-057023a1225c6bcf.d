@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-057023a1225c6bcf.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/debug/deps/experiments-057023a1225c6bcf: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

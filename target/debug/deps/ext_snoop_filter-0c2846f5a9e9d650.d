@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_snoop_filter-0c2846f5a9e9d650.d: crates/bench/src/bin/ext_snoop_filter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_snoop_filter-0c2846f5a9e9d650.rmeta: crates/bench/src/bin/ext_snoop_filter.rs Cargo.toml
+
+crates/bench/src/bin/ext_snoop_filter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

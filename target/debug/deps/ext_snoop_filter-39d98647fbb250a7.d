@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_snoop_filter-39d98647fbb250a7.d: crates/bench/src/bin/ext_snoop_filter.rs
+
+/root/repo/target/debug/deps/ext_snoop_filter-39d98647fbb250a7: crates/bench/src/bin/ext_snoop_filter.rs
+
+crates/bench/src/bin/ext_snoop_filter.rs:

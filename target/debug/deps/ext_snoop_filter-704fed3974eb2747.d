@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_snoop_filter-704fed3974eb2747.d: crates/bench/src/bin/ext_snoop_filter.rs
+
+/root/repo/target/debug/deps/ext_snoop_filter-704fed3974eb2747: crates/bench/src/bin/ext_snoop_filter.rs
+
+crates/bench/src/bin/ext_snoop_filter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_thrifty_barrier-2d2b6fe7fb679db3.d: crates/bench/src/bin/ext_thrifty_barrier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_thrifty_barrier-2d2b6fe7fb679db3.rmeta: crates/bench/src/bin/ext_thrifty_barrier.rs Cargo.toml
+
+crates/bench/src/bin/ext_thrifty_barrier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

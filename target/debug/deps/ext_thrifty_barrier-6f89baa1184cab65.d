@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_thrifty_barrier-6f89baa1184cab65.d: crates/bench/src/bin/ext_thrifty_barrier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_thrifty_barrier-6f89baa1184cab65.rmeta: crates/bench/src/bin/ext_thrifty_barrier.rs Cargo.toml
+
+crates/bench/src/bin/ext_thrifty_barrier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

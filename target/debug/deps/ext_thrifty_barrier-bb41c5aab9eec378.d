@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_thrifty_barrier-bb41c5aab9eec378.d: crates/bench/src/bin/ext_thrifty_barrier.rs
+
+/root/repo/target/debug/deps/ext_thrifty_barrier-bb41c5aab9eec378: crates/bench/src/bin/ext_thrifty_barrier.rs
+
+crates/bench/src/bin/ext_thrifty_barrier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_thrifty_barrier-c5a890961a83bd59.d: crates/bench/src/bin/ext_thrifty_barrier.rs
+
+/root/repo/target/debug/deps/ext_thrifty_barrier-c5a890961a83bd59: crates/bench/src/bin/ext_thrifty_barrier.rs
+
+crates/bench/src/bin/ext_thrifty_barrier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_transient-58b86136d0f63223.d: crates/bench/src/bin/ext_transient.rs
+
+/root/repo/target/debug/deps/ext_transient-58b86136d0f63223: crates/bench/src/bin/ext_transient.rs
+
+crates/bench/src/bin/ext_transient.rs:

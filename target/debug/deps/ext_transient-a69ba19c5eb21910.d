@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_transient-a69ba19c5eb21910.d: crates/bench/src/bin/ext_transient.rs
+
+/root/repo/target/debug/deps/ext_transient-a69ba19c5eb21910: crates/bench/src/bin/ext_transient.rs
+
+crates/bench/src/bin/ext_transient.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_transient-ccc048a857ad8963.d: crates/bench/src/bin/ext_transient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_transient-ccc048a857ad8963.rmeta: crates/bench/src/bin/ext_transient.rs Cargo.toml
+
+crates/bench/src/bin/ext_transient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

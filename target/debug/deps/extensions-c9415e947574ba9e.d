@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c9415e947574ba9e.d: crates/core/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-c9415e947574ba9e: crates/core/../../tests/extensions.rs
+
+crates/core/../../tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-c3d50002a7ab0945.d: crates/core/../../tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-c3d50002a7ab0945: crates/core/../../tests/fault_tolerance.rs
+
+crates/core/../../tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-00e98009a2a3bc27.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-00e98009a2a3bc27: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-fdcb2bc519deb5e0.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-fdcb2bc519deb5e0: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

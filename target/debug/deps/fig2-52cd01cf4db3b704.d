@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-52cd01cf4db3b704.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-52cd01cf4db3b704: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-d3b8a196b0667105.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-d3b8a196b0667105: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-6c8fb11f04c9001e.d: crates/bench/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-6c8fb11f04c9001e.rmeta: crates/bench/src/bin/fig3.rs Cargo.toml
+
+crates/bench/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

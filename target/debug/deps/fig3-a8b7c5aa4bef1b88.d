@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-a8b7c5aa4bef1b88.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-a8b7c5aa4bef1b88: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-c2c8e117de9630e1.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-c2c8e117de9630e1: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c778f04270c75410.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c778f04270c75410: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

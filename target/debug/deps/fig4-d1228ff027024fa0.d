@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-d1228ff027024fa0.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-d1228ff027024fa0: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-bbfeca85b3e7b287.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-bbfeca85b3e7b287: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

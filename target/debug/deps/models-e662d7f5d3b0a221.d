@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/models-e662d7f5d3b0a221.d: crates/bench/benches/models.rs
+
+/root/repo/target/debug/deps/models-e662d7f5d3b0a221: crates/bench/benches/models.rs
+
+crates/bench/benches/models.rs:

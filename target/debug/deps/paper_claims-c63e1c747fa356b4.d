@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c63e1c747fa356b4.d: crates/core/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c63e1c747fa356b4: crates/core/../../tests/paper_claims.rs
+
+crates/core/../../tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-d5fb6a81075a6be0.d: crates/core/../../tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-d5fb6a81075a6be0.rmeta: crates/core/../../tests/paper_claims.rs Cargo.toml
+
+crates/core/../../tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-b427b498339d35a7.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-b427b498339d35a7: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-29d816813925e340.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-29d816813925e340: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

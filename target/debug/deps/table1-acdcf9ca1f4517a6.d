@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-acdcf9ca1f4517a6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-acdcf9ca1f4517a6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3019a586baca8316.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3019a586baca8316: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a0e615e7ac5f845f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a0e615e7ac5f845f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

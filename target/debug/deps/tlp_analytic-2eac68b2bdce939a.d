@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tlp_analytic-2eac68b2bdce939a.d: crates/analytic/src/lib.rs crates/analytic/src/chip.rs crates/analytic/src/efficiency.rs crates/analytic/src/error.rs crates/analytic/src/scenario1.rs crates/analytic/src/scenario2.rs
+
+/root/repo/target/debug/deps/tlp_analytic-2eac68b2bdce939a: crates/analytic/src/lib.rs crates/analytic/src/chip.rs crates/analytic/src/efficiency.rs crates/analytic/src/error.rs crates/analytic/src/scenario1.rs crates/analytic/src/scenario2.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/chip.rs:
+crates/analytic/src/efficiency.rs:
+crates/analytic/src/error.rs:
+crates/analytic/src/scenario1.rs:
+crates/analytic/src/scenario2.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tlp_analytic-7a2ba01afb4ea51b.d: crates/analytic/src/lib.rs crates/analytic/src/chip.rs crates/analytic/src/efficiency.rs crates/analytic/src/error.rs crates/analytic/src/scenario1.rs crates/analytic/src/scenario2.rs
+
+/root/repo/target/debug/deps/libtlp_analytic-7a2ba01afb4ea51b.rlib: crates/analytic/src/lib.rs crates/analytic/src/chip.rs crates/analytic/src/efficiency.rs crates/analytic/src/error.rs crates/analytic/src/scenario1.rs crates/analytic/src/scenario2.rs
+
+/root/repo/target/debug/deps/libtlp_analytic-7a2ba01afb4ea51b.rmeta: crates/analytic/src/lib.rs crates/analytic/src/chip.rs crates/analytic/src/efficiency.rs crates/analytic/src/error.rs crates/analytic/src/scenario1.rs crates/analytic/src/scenario2.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/chip.rs:
+crates/analytic/src/efficiency.rs:
+crates/analytic/src/error.rs:
+crates/analytic/src/scenario1.rs:
+crates/analytic/src/scenario2.rs:

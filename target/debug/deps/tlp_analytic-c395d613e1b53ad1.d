@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tlp_analytic-c395d613e1b53ad1.d: crates/analytic/src/lib.rs crates/analytic/src/chip.rs crates/analytic/src/efficiency.rs crates/analytic/src/error.rs crates/analytic/src/scenario1.rs crates/analytic/src/scenario2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtlp_analytic-c395d613e1b53ad1.rmeta: crates/analytic/src/lib.rs crates/analytic/src/chip.rs crates/analytic/src/efficiency.rs crates/analytic/src/error.rs crates/analytic/src/scenario1.rs crates/analytic/src/scenario2.rs Cargo.toml
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/chip.rs:
+crates/analytic/src/efficiency.rs:
+crates/analytic/src/error.rs:
+crates/analytic/src/scenario1.rs:
+crates/analytic/src/scenario2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

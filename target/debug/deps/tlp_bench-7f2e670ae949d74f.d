@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tlp_bench-7f2e670ae949d74f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtlp_bench-7f2e670ae949d74f.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtlp_bench-7f2e670ae949d74f.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

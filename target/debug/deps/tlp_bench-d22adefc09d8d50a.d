@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tlp_bench-d22adefc09d8d50a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/tlp_bench-d22adefc09d8d50a: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tlp_power-1c9ec8c87074798f.d: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/arrays.rs crates/power/src/calibration.rs crates/power/src/error.rs crates/power/src/statics.rs crates/power/src/structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtlp_power-1c9ec8c87074798f.rmeta: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/arrays.rs crates/power/src/calibration.rs crates/power/src/error.rs crates/power/src/statics.rs crates/power/src/structures.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/accounting.rs:
+crates/power/src/arrays.rs:
+crates/power/src/calibration.rs:
+crates/power/src/error.rs:
+crates/power/src/statics.rs:
+crates/power/src/structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

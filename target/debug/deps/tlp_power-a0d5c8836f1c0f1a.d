@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tlp_power-a0d5c8836f1c0f1a.d: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/arrays.rs crates/power/src/calibration.rs crates/power/src/error.rs crates/power/src/statics.rs crates/power/src/structures.rs
+
+/root/repo/target/debug/deps/libtlp_power-a0d5c8836f1c0f1a.rlib: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/arrays.rs crates/power/src/calibration.rs crates/power/src/error.rs crates/power/src/statics.rs crates/power/src/structures.rs
+
+/root/repo/target/debug/deps/libtlp_power-a0d5c8836f1c0f1a.rmeta: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/arrays.rs crates/power/src/calibration.rs crates/power/src/error.rs crates/power/src/statics.rs crates/power/src/structures.rs
+
+crates/power/src/lib.rs:
+crates/power/src/accounting.rs:
+crates/power/src/arrays.rs:
+crates/power/src/calibration.rs:
+crates/power/src/error.rs:
+crates/power/src/statics.rs:
+crates/power/src/structures.rs:

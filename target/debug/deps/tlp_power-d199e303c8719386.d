@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tlp_power-d199e303c8719386.d: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/arrays.rs crates/power/src/calibration.rs crates/power/src/error.rs crates/power/src/statics.rs crates/power/src/structures.rs
+
+/root/repo/target/debug/deps/tlp_power-d199e303c8719386: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/arrays.rs crates/power/src/calibration.rs crates/power/src/error.rs crates/power/src/statics.rs crates/power/src/structures.rs
+
+crates/power/src/lib.rs:
+crates/power/src/accounting.rs:
+crates/power/src/arrays.rs:
+crates/power/src/calibration.rs:
+crates/power/src/error.rs:
+crates/power/src/statics.rs:
+crates/power/src/structures.rs:

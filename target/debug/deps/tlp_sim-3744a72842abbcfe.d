@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tlp_sim-3744a72842abbcfe.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/chip.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/error.rs crates/sim/src/memory.rs crates/sim/src/op.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/libtlp_sim-3744a72842abbcfe.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/chip.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/error.rs crates/sim/src/memory.rs crates/sim/src/op.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/libtlp_sim-3744a72842abbcfe.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/chip.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/error.rs crates/sim/src/memory.rs crates/sim/src/op.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/chip.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core.rs:
+crates/sim/src/error.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/op.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:

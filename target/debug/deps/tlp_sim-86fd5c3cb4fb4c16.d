@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tlp_sim-86fd5c3cb4fb4c16.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/chip.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/error.rs crates/sim/src/memory.rs crates/sim/src/op.rs crates/sim/src/stats.rs crates/sim/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtlp_sim-86fd5c3cb4fb4c16.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/chip.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/error.rs crates/sim/src/memory.rs crates/sim/src/op.rs crates/sim/src/stats.rs crates/sim/src/sync.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/chip.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core.rs:
+crates/sim/src/error.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/op.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tlp_sim-8aba2ded49206e14.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/chip.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/error.rs crates/sim/src/memory.rs crates/sim/src/op.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/tlp_sim-8aba2ded49206e14: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/chip.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/error.rs crates/sim/src/memory.rs crates/sim/src/op.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/chip.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core.rs:
+crates/sim/src/error.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/op.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:

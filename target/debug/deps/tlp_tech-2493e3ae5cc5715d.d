@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tlp_tech-2493e3ae5cc5715d.d: crates/tech/src/lib.rs crates/tech/src/dvfs.rs crates/tech/src/error.rs crates/tech/src/freq.rs crates/tech/src/json.rs crates/tech/src/leakage.rs crates/tech/src/linalg.rs crates/tech/src/rng.rs crates/tech/src/technology.rs crates/tech/src/units.rs
+
+/root/repo/target/debug/deps/libtlp_tech-2493e3ae5cc5715d.rlib: crates/tech/src/lib.rs crates/tech/src/dvfs.rs crates/tech/src/error.rs crates/tech/src/freq.rs crates/tech/src/json.rs crates/tech/src/leakage.rs crates/tech/src/linalg.rs crates/tech/src/rng.rs crates/tech/src/technology.rs crates/tech/src/units.rs
+
+/root/repo/target/debug/deps/libtlp_tech-2493e3ae5cc5715d.rmeta: crates/tech/src/lib.rs crates/tech/src/dvfs.rs crates/tech/src/error.rs crates/tech/src/freq.rs crates/tech/src/json.rs crates/tech/src/leakage.rs crates/tech/src/linalg.rs crates/tech/src/rng.rs crates/tech/src/technology.rs crates/tech/src/units.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/dvfs.rs:
+crates/tech/src/error.rs:
+crates/tech/src/freq.rs:
+crates/tech/src/json.rs:
+crates/tech/src/leakage.rs:
+crates/tech/src/linalg.rs:
+crates/tech/src/rng.rs:
+crates/tech/src/technology.rs:
+crates/tech/src/units.rs:

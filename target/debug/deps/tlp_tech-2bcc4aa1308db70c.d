@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tlp_tech-2bcc4aa1308db70c.d: crates/tech/src/lib.rs crates/tech/src/dvfs.rs crates/tech/src/error.rs crates/tech/src/freq.rs crates/tech/src/json.rs crates/tech/src/leakage.rs crates/tech/src/linalg.rs crates/tech/src/rng.rs crates/tech/src/technology.rs crates/tech/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtlp_tech-2bcc4aa1308db70c.rmeta: crates/tech/src/lib.rs crates/tech/src/dvfs.rs crates/tech/src/error.rs crates/tech/src/freq.rs crates/tech/src/json.rs crates/tech/src/leakage.rs crates/tech/src/linalg.rs crates/tech/src/rng.rs crates/tech/src/technology.rs crates/tech/src/units.rs Cargo.toml
+
+crates/tech/src/lib.rs:
+crates/tech/src/dvfs.rs:
+crates/tech/src/error.rs:
+crates/tech/src/freq.rs:
+crates/tech/src/json.rs:
+crates/tech/src/leakage.rs:
+crates/tech/src/linalg.rs:
+crates/tech/src/rng.rs:
+crates/tech/src/technology.rs:
+crates/tech/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

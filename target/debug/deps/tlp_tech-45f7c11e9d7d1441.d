@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tlp_tech-45f7c11e9d7d1441.d: crates/tech/src/lib.rs crates/tech/src/dvfs.rs crates/tech/src/error.rs crates/tech/src/freq.rs crates/tech/src/json.rs crates/tech/src/leakage.rs crates/tech/src/linalg.rs crates/tech/src/rng.rs crates/tech/src/technology.rs crates/tech/src/units.rs
+
+/root/repo/target/debug/deps/tlp_tech-45f7c11e9d7d1441: crates/tech/src/lib.rs crates/tech/src/dvfs.rs crates/tech/src/error.rs crates/tech/src/freq.rs crates/tech/src/json.rs crates/tech/src/leakage.rs crates/tech/src/linalg.rs crates/tech/src/rng.rs crates/tech/src/technology.rs crates/tech/src/units.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/dvfs.rs:
+crates/tech/src/error.rs:
+crates/tech/src/freq.rs:
+crates/tech/src/json.rs:
+crates/tech/src/leakage.rs:
+crates/tech/src/linalg.rs:
+crates/tech/src/rng.rs:
+crates/tech/src/technology.rs:
+crates/tech/src/units.rs:

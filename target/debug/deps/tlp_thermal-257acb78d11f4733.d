@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tlp_thermal-257acb78d11f4733.d: crates/thermal/src/lib.rs crates/thermal/src/error.rs crates/thermal/src/floorplan.rs crates/thermal/src/model.rs crates/thermal/src/network.rs
+
+/root/repo/target/debug/deps/tlp_thermal-257acb78d11f4733: crates/thermal/src/lib.rs crates/thermal/src/error.rs crates/thermal/src/floorplan.rs crates/thermal/src/model.rs crates/thermal/src/network.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/error.rs:
+crates/thermal/src/floorplan.rs:
+crates/thermal/src/model.rs:
+crates/thermal/src/network.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tlp_thermal-3278f9bc9506417f.d: crates/thermal/src/lib.rs crates/thermal/src/error.rs crates/thermal/src/floorplan.rs crates/thermal/src/model.rs crates/thermal/src/network.rs
+
+/root/repo/target/debug/deps/libtlp_thermal-3278f9bc9506417f.rlib: crates/thermal/src/lib.rs crates/thermal/src/error.rs crates/thermal/src/floorplan.rs crates/thermal/src/model.rs crates/thermal/src/network.rs
+
+/root/repo/target/debug/deps/libtlp_thermal-3278f9bc9506417f.rmeta: crates/thermal/src/lib.rs crates/thermal/src/error.rs crates/thermal/src/floorplan.rs crates/thermal/src/model.rs crates/thermal/src/network.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/error.rs:
+crates/thermal/src/floorplan.rs:
+crates/thermal/src/model.rs:
+crates/thermal/src/network.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tlp_thermal-63e0967d3e72963d.d: crates/thermal/src/lib.rs crates/thermal/src/error.rs crates/thermal/src/floorplan.rs crates/thermal/src/model.rs crates/thermal/src/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtlp_thermal-63e0967d3e72963d.rmeta: crates/thermal/src/lib.rs crates/thermal/src/error.rs crates/thermal/src/floorplan.rs crates/thermal/src/model.rs crates/thermal/src/network.rs Cargo.toml
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/error.rs:
+crates/thermal/src/floorplan.rs:
+crates/thermal/src/model.rs:
+crates/thermal/src/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

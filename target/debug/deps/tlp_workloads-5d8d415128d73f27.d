@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tlp_workloads-5d8d415128d73f27.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/framework.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/tlp_workloads-5d8d415128d73f27: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/framework.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/suite.rs:

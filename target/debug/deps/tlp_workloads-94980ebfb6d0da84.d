@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tlp_workloads-94980ebfb6d0da84.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/framework.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtlp_workloads-94980ebfb6d0da84.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/framework.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

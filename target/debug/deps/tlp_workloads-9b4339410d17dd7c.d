@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tlp_workloads-9b4339410d17dd7c.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/framework.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libtlp_workloads-9b4339410d17dd7c.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/framework.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libtlp_workloads-9b4339410d17dd7c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/framework.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/suite.rs:

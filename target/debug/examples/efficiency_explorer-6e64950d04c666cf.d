@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/efficiency_explorer-6e64950d04c666cf.d: crates/core/../../examples/efficiency_explorer.rs
+
+/root/repo/target/debug/examples/efficiency_explorer-6e64950d04c666cf: crates/core/../../examples/efficiency_explorer.rs
+
+crates/core/../../examples/efficiency_explorer.rs:

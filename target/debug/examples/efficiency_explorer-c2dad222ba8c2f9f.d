@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/efficiency_explorer-c2dad222ba8c2f9f.d: crates/core/../../examples/efficiency_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libefficiency_explorer-c2dad222ba8c2f9f.rmeta: crates/core/../../examples/efficiency_explorer.rs Cargo.toml
+
+crates/core/../../examples/efficiency_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

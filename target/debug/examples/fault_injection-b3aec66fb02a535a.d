@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_injection-b3aec66fb02a535a.d: crates/core/../../examples/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_injection-b3aec66fb02a535a.rmeta: crates/core/../../examples/fault_injection.rs Cargo.toml
+
+crates/core/../../examples/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_budget_planner-1c4f3cf31c04aaac.d: crates/core/../../examples/power_budget_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_budget_planner-1c4f3cf31c04aaac.rmeta: crates/core/../../examples/power_budget_planner.rs Cargo.toml
+
+crates/core/../../examples/power_budget_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_budget_planner-a8cf363c29e48798.d: crates/core/../../examples/power_budget_planner.rs
+
+/root/repo/target/debug/examples/power_budget_planner-a8cf363c29e48798: crates/core/../../examples/power_budget_planner.rs
+
+crates/core/../../examples/power_budget_planner.rs:

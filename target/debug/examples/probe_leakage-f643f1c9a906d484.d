@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_leakage-f643f1c9a906d484.d: crates/core/examples/probe_leakage.rs
+
+/root/repo/target/debug/examples/probe_leakage-f643f1c9a906d484: crates/core/examples/probe_leakage.rs
+
+crates/core/examples/probe_leakage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-388e72104d53a8a6.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-388e72104d53a8a6: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/thermal_map-7113b0493f09cbd2.d: crates/core/../../examples/thermal_map.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthermal_map-7113b0493f09cbd2.rmeta: crates/core/../../examples/thermal_map.rs Cargo.toml
+
+crates/core/../../examples/thermal_map.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

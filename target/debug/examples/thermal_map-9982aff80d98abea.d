@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thermal_map-9982aff80d98abea.d: crates/core/../../examples/thermal_map.rs
+
+/root/repo/target/debug/examples/thermal_map-9982aff80d98abea: crates/core/../../examples/thermal_map.rs
+
+crates/core/../../examples/thermal_map.rs:

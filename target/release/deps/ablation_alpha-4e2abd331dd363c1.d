@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alpha-4e2abd331dd363c1.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/release/deps/ablation_alpha-4e2abd331dd363c1: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

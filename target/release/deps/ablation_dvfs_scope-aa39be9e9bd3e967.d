@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dvfs_scope-aa39be9e9bd3e967.d: crates/bench/src/bin/ablation_dvfs_scope.rs
+
+/root/repo/target/release/deps/ablation_dvfs_scope-aa39be9e9bd3e967: crates/bench/src/bin/ablation_dvfs_scope.rs
+
+crates/bench/src/bin/ablation_dvfs_scope.rs:

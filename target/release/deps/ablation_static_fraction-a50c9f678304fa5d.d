@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_static_fraction-a50c9f678304fa5d.d: crates/bench/src/bin/ablation_static_fraction.rs
+
+/root/repo/target/release/deps/ablation_static_fraction-a50c9f678304fa5d: crates/bench/src/bin/ablation_static_fraction.rs
+
+crates/bench/src/bin/ablation_static_fraction.rs:

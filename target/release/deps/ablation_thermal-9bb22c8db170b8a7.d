@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_thermal-9bb22c8db170b8a7.d: crates/bench/src/bin/ablation_thermal.rs
+
+/root/repo/target/release/deps/ablation_thermal-9bb22c8db170b8a7: crates/bench/src/bin/ablation_thermal.rs
+
+crates/bench/src/bin/ablation_thermal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_vmin-c840a48ed5f89d06.d: crates/bench/src/bin/ablation_vmin.rs
+
+/root/repo/target/release/deps/ablation_vmin-c840a48ed5f89d06: crates/bench/src/bin/ablation_vmin.rs
+
+crates/bench/src/bin/ablation_vmin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-cbac747b0127d6db.d: crates/bench/src/bin/calibration.rs
+
+/root/repo/target/release/deps/calibration-cbac747b0127d6db: crates/bench/src/bin/calibration.rs
+
+crates/bench/src/bin/calibration.rs:

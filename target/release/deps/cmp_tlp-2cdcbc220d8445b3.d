@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cmp_tlp-2cdcbc220d8445b3.d: crates/core/src/bin/cli.rs
+
+/root/repo/target/release/deps/cmp_tlp-2cdcbc220d8445b3: crates/core/src/bin/cli.rs
+
+crates/core/src/bin/cli.rs:

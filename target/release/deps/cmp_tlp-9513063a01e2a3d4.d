@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/cmp_tlp-9513063a01e2a3d4.d: crates/core/src/lib.rs crates/core/src/chipstate.rs crates/core/src/energy.rs crates/core/src/error.rs crates/core/src/jsonout.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/scenario1.rs crates/core/src/scenario2.rs crates/core/src/sweep.rs crates/core/src/transient.rs
+
+/root/repo/target/release/deps/libcmp_tlp-9513063a01e2a3d4.rlib: crates/core/src/lib.rs crates/core/src/chipstate.rs crates/core/src/energy.rs crates/core/src/error.rs crates/core/src/jsonout.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/scenario1.rs crates/core/src/scenario2.rs crates/core/src/sweep.rs crates/core/src/transient.rs
+
+/root/repo/target/release/deps/libcmp_tlp-9513063a01e2a3d4.rmeta: crates/core/src/lib.rs crates/core/src/chipstate.rs crates/core/src/energy.rs crates/core/src/error.rs crates/core/src/jsonout.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/scenario1.rs crates/core/src/scenario2.rs crates/core/src/sweep.rs crates/core/src/transient.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chipstate.rs:
+crates/core/src/energy.rs:
+crates/core/src/error.rs:
+crates/core/src/jsonout.rs:
+crates/core/src/profiling.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario1.rs:
+crates/core/src/scenario2.rs:
+crates/core/src/sweep.rs:
+crates/core/src/transient.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edp_frontier-6040557640b4b379.d: crates/bench/src/bin/edp_frontier.rs
+
+/root/repo/target/release/deps/edp_frontier-6040557640b4b379: crates/bench/src/bin/edp_frontier.rs
+
+crates/bench/src/bin/edp_frontier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_snoop_filter-2a4a46958cffdebb.d: crates/bench/src/bin/ext_snoop_filter.rs
+
+/root/repo/target/release/deps/ext_snoop_filter-2a4a46958cffdebb: crates/bench/src/bin/ext_snoop_filter.rs
+
+crates/bench/src/bin/ext_snoop_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_thrifty_barrier-45614116f182ce31.d: crates/bench/src/bin/ext_thrifty_barrier.rs
+
+/root/repo/target/release/deps/ext_thrifty_barrier-45614116f182ce31: crates/bench/src/bin/ext_thrifty_barrier.rs
+
+crates/bench/src/bin/ext_thrifty_barrier.rs:

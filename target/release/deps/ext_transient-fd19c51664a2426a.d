@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_transient-fd19c51664a2426a.d: crates/bench/src/bin/ext_transient.rs
+
+/root/repo/target/release/deps/ext_transient-fd19c51664a2426a: crates/bench/src/bin/ext_transient.rs
+
+crates/bench/src/bin/ext_transient.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-acdbb059a52c11f2.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-acdbb059a52c11f2: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

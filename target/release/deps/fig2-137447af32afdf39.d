@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-137447af32afdf39.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-137447af32afdf39: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

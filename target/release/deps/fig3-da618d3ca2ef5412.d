@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-da618d3ca2ef5412.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-da618d3ca2ef5412: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

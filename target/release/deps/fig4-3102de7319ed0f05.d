@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-3102de7319ed0f05.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-3102de7319ed0f05: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-6eb5633fea8a10ad.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-6eb5633fea8a10ad: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

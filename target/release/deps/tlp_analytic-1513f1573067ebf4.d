@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tlp_analytic-1513f1573067ebf4.d: crates/analytic/src/lib.rs crates/analytic/src/chip.rs crates/analytic/src/efficiency.rs crates/analytic/src/error.rs crates/analytic/src/scenario1.rs crates/analytic/src/scenario2.rs
+
+/root/repo/target/release/deps/libtlp_analytic-1513f1573067ebf4.rlib: crates/analytic/src/lib.rs crates/analytic/src/chip.rs crates/analytic/src/efficiency.rs crates/analytic/src/error.rs crates/analytic/src/scenario1.rs crates/analytic/src/scenario2.rs
+
+/root/repo/target/release/deps/libtlp_analytic-1513f1573067ebf4.rmeta: crates/analytic/src/lib.rs crates/analytic/src/chip.rs crates/analytic/src/efficiency.rs crates/analytic/src/error.rs crates/analytic/src/scenario1.rs crates/analytic/src/scenario2.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/chip.rs:
+crates/analytic/src/efficiency.rs:
+crates/analytic/src/error.rs:
+crates/analytic/src/scenario1.rs:
+crates/analytic/src/scenario2.rs:

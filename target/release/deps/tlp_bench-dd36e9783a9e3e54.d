@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tlp_bench-dd36e9783a9e3e54.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtlp_bench-dd36e9783a9e3e54.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtlp_bench-dd36e9783a9e3e54.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

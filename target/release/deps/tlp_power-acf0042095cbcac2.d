@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tlp_power-acf0042095cbcac2.d: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/arrays.rs crates/power/src/calibration.rs crates/power/src/error.rs crates/power/src/statics.rs crates/power/src/structures.rs
+
+/root/repo/target/release/deps/libtlp_power-acf0042095cbcac2.rlib: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/arrays.rs crates/power/src/calibration.rs crates/power/src/error.rs crates/power/src/statics.rs crates/power/src/structures.rs
+
+/root/repo/target/release/deps/libtlp_power-acf0042095cbcac2.rmeta: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/arrays.rs crates/power/src/calibration.rs crates/power/src/error.rs crates/power/src/statics.rs crates/power/src/structures.rs
+
+crates/power/src/lib.rs:
+crates/power/src/accounting.rs:
+crates/power/src/arrays.rs:
+crates/power/src/calibration.rs:
+crates/power/src/error.rs:
+crates/power/src/statics.rs:
+crates/power/src/structures.rs:

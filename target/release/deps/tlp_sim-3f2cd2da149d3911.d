@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tlp_sim-3f2cd2da149d3911.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/chip.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/error.rs crates/sim/src/memory.rs crates/sim/src/op.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/release/deps/libtlp_sim-3f2cd2da149d3911.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/chip.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/error.rs crates/sim/src/memory.rs crates/sim/src/op.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/release/deps/libtlp_sim-3f2cd2da149d3911.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/chip.rs crates/sim/src/config.rs crates/sim/src/core.rs crates/sim/src/error.rs crates/sim/src/memory.rs crates/sim/src/op.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/chip.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core.rs:
+crates/sim/src/error.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/op.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tlp_tech-c6020d138840f253.d: crates/tech/src/lib.rs crates/tech/src/dvfs.rs crates/tech/src/error.rs crates/tech/src/freq.rs crates/tech/src/json.rs crates/tech/src/leakage.rs crates/tech/src/linalg.rs crates/tech/src/rng.rs crates/tech/src/technology.rs crates/tech/src/units.rs
+
+/root/repo/target/release/deps/libtlp_tech-c6020d138840f253.rlib: crates/tech/src/lib.rs crates/tech/src/dvfs.rs crates/tech/src/error.rs crates/tech/src/freq.rs crates/tech/src/json.rs crates/tech/src/leakage.rs crates/tech/src/linalg.rs crates/tech/src/rng.rs crates/tech/src/technology.rs crates/tech/src/units.rs
+
+/root/repo/target/release/deps/libtlp_tech-c6020d138840f253.rmeta: crates/tech/src/lib.rs crates/tech/src/dvfs.rs crates/tech/src/error.rs crates/tech/src/freq.rs crates/tech/src/json.rs crates/tech/src/leakage.rs crates/tech/src/linalg.rs crates/tech/src/rng.rs crates/tech/src/technology.rs crates/tech/src/units.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/dvfs.rs:
+crates/tech/src/error.rs:
+crates/tech/src/freq.rs:
+crates/tech/src/json.rs:
+crates/tech/src/leakage.rs:
+crates/tech/src/linalg.rs:
+crates/tech/src/rng.rs:
+crates/tech/src/technology.rs:
+crates/tech/src/units.rs:

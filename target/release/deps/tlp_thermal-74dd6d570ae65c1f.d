@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tlp_thermal-74dd6d570ae65c1f.d: crates/thermal/src/lib.rs crates/thermal/src/error.rs crates/thermal/src/floorplan.rs crates/thermal/src/model.rs crates/thermal/src/network.rs
+
+/root/repo/target/release/deps/libtlp_thermal-74dd6d570ae65c1f.rlib: crates/thermal/src/lib.rs crates/thermal/src/error.rs crates/thermal/src/floorplan.rs crates/thermal/src/model.rs crates/thermal/src/network.rs
+
+/root/repo/target/release/deps/libtlp_thermal-74dd6d570ae65c1f.rmeta: crates/thermal/src/lib.rs crates/thermal/src/error.rs crates/thermal/src/floorplan.rs crates/thermal/src/model.rs crates/thermal/src/network.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/error.rs:
+crates/thermal/src/floorplan.rs:
+crates/thermal/src/model.rs:
+crates/thermal/src/network.rs:

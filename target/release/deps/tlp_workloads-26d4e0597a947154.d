@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tlp_workloads-26d4e0597a947154.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/framework.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libtlp_workloads-26d4e0597a947154.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/framework.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libtlp_workloads-26d4e0597a947154.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/framework.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_injection-9c601ddedeb83c11.d: crates/core/../../examples/fault_injection.rs
+
+/root/repo/target/release/examples/fault_injection-9c601ddedeb83c11: crates/core/../../examples/fault_injection.rs
+
+crates/core/../../examples/fault_injection.rs:

@@ -1,0 +1,246 @@
+//! End-to-end fault-tolerance tests: every injectable failure mode is
+//! caught, diagnosed, retried where retrying can help, and reported —
+//! while the rest of the sweep completes normally.
+//!
+//! This is the acceptance test for the supervised experiment pipeline: a
+//! fig. 3-style sweep with faults armed on specific cells must run to
+//! completion, emit `CellOutcome::Failed` rows naming the precise cause
+//! (the stuck barrier for a deadlock, the divergence mechanism for a
+//! thermal runaway) for exactly the faulted cells, and produce normal
+//! measured rows everywhere else.
+
+use cmp_tlp::error::ExperimentError;
+use cmp_tlp::sweep::{run_sweep, Fault, FaultPlan, RetryPolicy, SweepCell, SweepSpec};
+use cmp_tlp::ExperimentalChip;
+use tlp_sim::op::Op;
+use tlp_sim::{CmpConfig, SimError};
+use tlp_thermal::ThermalError;
+use tlp_workloads::{gang, AppId, Scale};
+
+const SEED: u64 = 0x0F_AB_17;
+
+fn chip() -> ExperimentalChip {
+    ExperimentalChip::new(CmpConfig::ispass05(16), Technology65::get())
+}
+
+/// One shared 65 nm technology (construction is cheap, this is just for
+/// readability at call sites).
+struct Technology65;
+impl Technology65 {
+    fn get() -> tlp_tech::Technology {
+        tlp_tech::Technology::itrs_65nm()
+    }
+}
+
+fn spec(apps: Vec<AppId>, counts: Vec<usize>) -> SweepSpec {
+    SweepSpec {
+        apps,
+        core_counts: counts,
+        scale: Scale::Test,
+        seed: SEED,
+    }
+}
+
+/// Discovers the first barrier id a gang actually crosses, so the
+/// dropped-arrival fault is guaranteed to land. Barrier ids derive from
+/// phase positions and are identical across threads.
+fn first_barrier_id(app: AppId, n: usize) -> u32 {
+    let mut programs = gang(app, n, Scale::Test, SEED);
+    loop {
+        match programs[0].next_op() {
+            Op::Barrier { id } => return id,
+            Op::End => panic!("{} has no barriers", app.name()),
+            _ => {}
+        }
+    }
+}
+
+fn failed_cells(
+    report: &cmp_tlp::sweep::SweepReport,
+) -> Vec<(SweepCell, &ExperimentError, u32)> {
+    report.failed().collect()
+}
+
+#[test]
+fn deadlock_fault_names_the_stuck_barrier_and_cores() {
+    let app = AppId::WaterNsq;
+    let barrier = first_barrier_id(app, 2);
+    let plan = FaultPlan::none().inject(
+        app,
+        2,
+        Fault::DropBarrierArrival { barrier, thread: 1 },
+    );
+    let report = run_sweep(
+        &chip(),
+        &spec(vec![app], vec![1, 2]),
+        &RetryPolicy::default(),
+        &plan,
+    )
+    .unwrap();
+
+    let failed = failed_cells(&report);
+    assert_eq!(failed.len(), 1, "{}", report.summary());
+    let (cell, reason, attempts) = failed[0];
+    assert_eq!(cell, SweepCell { app, n: 2 });
+    // A deadlock is deterministic; the supervisor must not have retried.
+    assert_eq!(attempts, 1);
+    let ExperimentError::Sim(SimError::Deadlock(info)) = reason else {
+        panic!("expected a deadlock diagnosis, got: {reason}");
+    };
+    assert!(
+        info.stuck_barriers().contains(&barrier),
+        "diagnosis must name barrier {barrier}: {info}"
+    );
+    assert!(!info.stuck_cores().is_empty());
+    // The rendered diagnosis names the barrier for humans too.
+    let msg = reason.to_string();
+    assert!(msg.contains(&format!("barrier {barrier}")), "{msg}");
+
+    // The un-faulted cell still produced a normal row.
+    assert_eq!(report.completed().count(), 1);
+    let (ok_cell, row) = report.completed().next().unwrap();
+    assert_eq!(ok_cell.n, 1);
+    assert!(row.power_watts.is_finite() && row.power_watts > 0.0);
+}
+
+#[test]
+fn thermal_runaway_is_retried_with_damping_then_reported() {
+    let app = AppId::WaterNsq;
+    // The n = 2 cell runs at reduced V/f where leakage is tiny; 100×
+    // pushes the feedback loop supercritical even there.
+    let plan = FaultPlan::none().inject(app, 2, Fault::InflateLeakage(100.0));
+    let policy = RetryPolicy::default();
+    let report = run_sweep(&chip(), &spec(vec![app], vec![1, 2]), &policy, &plan).unwrap();
+
+    let failed = failed_cells(&report);
+    assert_eq!(failed.len(), 1, "{}", report.summary());
+    let (cell, reason, attempts) = failed[0];
+    assert_eq!(cell, SweepCell { app, n: 2 });
+    // Convergence failures are retryable: the supervisor must have spent
+    // its full attempt budget (escalating damping cannot stabilize a
+    // genuinely supercritical leakage loop).
+    assert_eq!(attempts, policy.max_attempts);
+    assert!(
+        matches!(
+            reason,
+            ExperimentError::Thermal(
+                ThermalError::Diverged { .. } | ThermalError::NoConvergence { .. }
+            )
+        ),
+        "expected a thermal convergence diagnosis, got: {reason}"
+    );
+    assert_eq!(report.completed().count(), 1);
+}
+
+#[test]
+fn nan_power_is_caught_before_the_thermal_solver() {
+    let app = AppId::WaterNsq;
+    let plan = FaultPlan::none().inject(app, 2, Fault::NanPower);
+    let report = run_sweep(
+        &chip(),
+        &spec(vec![app], vec![1, 2]),
+        &RetryPolicy::default(),
+        &plan,
+    )
+    .unwrap();
+
+    let failed = failed_cells(&report);
+    assert_eq!(failed.len(), 1, "{}", report.summary());
+    let (_, reason, attempts) = failed[0];
+    assert_eq!(attempts, 1, "NaN input is deterministic, no retries");
+    assert!(
+        matches!(
+            reason,
+            ExperimentError::Thermal(ThermalError::NonFinite { .. })
+        ),
+        "expected a non-finite diagnosis, got: {reason}"
+    );
+    assert_eq!(report.completed().count(), 1);
+}
+
+#[test]
+fn shrunken_cycle_budget_reports_exhaustion_not_deadlock() {
+    let app = AppId::WaterNsq;
+    let plan = FaultPlan::none().inject(app, 2, Fault::CycleBudget(5_000));
+    let report = run_sweep(
+        &chip(),
+        &spec(vec![app], vec![1, 2]),
+        &RetryPolicy::default(),
+        &plan,
+    )
+    .unwrap();
+
+    let failed = failed_cells(&report);
+    assert_eq!(failed.len(), 1, "{}", report.summary());
+    let (cell, reason, _) = failed[0];
+    assert_eq!(cell, SweepCell { app, n: 2 });
+    // A healthy run cut short is budget exhaustion, not a deadlock: the
+    // cores were still making progress.
+    assert!(
+        matches!(
+            reason,
+            ExperimentError::Sim(SimError::CycleBudgetExhausted { budget: 5_000, .. })
+        ),
+        "expected budget exhaustion, got: {reason}"
+    );
+    assert_eq!(report.completed().count(), 1);
+}
+
+/// The headline acceptance criterion: a two-application fig. 3-style
+/// sweep with a deadlock fault on one cell and a fixpoint-divergence
+/// fault on another runs to completion, fails exactly the faulted cells
+/// with the exact diagnoses, and measures everything else normally.
+#[test]
+fn faulted_fig3_sweep_completes_with_exact_failure_set() {
+    let deadlocked = AppId::WaterNsq;
+    let diverged = AppId::Fft;
+    let barrier = first_barrier_id(deadlocked, 2);
+    let plan = FaultPlan::none()
+        .inject(deadlocked, 2, Fault::DropBarrierArrival { barrier, thread: 0 })
+        .inject(diverged, 4, Fault::InflateLeakage(100.0));
+    let report = run_sweep(
+        &chip(),
+        &spec(vec![deadlocked, diverged], vec![1, 2, 4]),
+        &RetryPolicy::default(),
+        &plan,
+    )
+    .unwrap();
+
+    // Every requested cell is accounted for — nothing silently dropped.
+    assert_eq!(report.cells.len(), 6);
+
+    let failed = failed_cells(&report);
+    let failed_set: Vec<SweepCell> = failed.iter().map(|(c, _, _)| *c).collect();
+    assert_eq!(
+        failed_set,
+        vec![
+            SweepCell { app: deadlocked, n: 2 },
+            SweepCell { app: diverged, n: 4 },
+        ],
+        "{}",
+        report.summary()
+    );
+    for (cell, reason, _) in &failed {
+        match reason {
+            ExperimentError::Sim(SimError::Deadlock(info)) => {
+                assert_eq!(cell.app, deadlocked);
+                assert!(info.stuck_barriers().contains(&barrier), "{info}");
+            }
+            ExperimentError::Thermal(_) => assert_eq!(cell.app, diverged),
+            other => panic!("unexpected diagnosis for {cell}: {other}"),
+        }
+    }
+
+    // The four healthy cells all carry finite physics.
+    assert_eq!(report.completed().count(), 4);
+    for (_, row) in report.completed() {
+        assert!(row.power_watts.is_finite() && row.power_watts > 0.0);
+        assert!(row.temperature_c.is_finite() && row.temperature_c >= 45.0);
+    }
+
+    // The summary names both losses.
+    let summary = report.summary();
+    assert!(summary.contains("4/6"), "{summary}");
+    assert!(summary.contains(&format!("{}@2", deadlocked.name())), "{summary}");
+    assert!(summary.contains(&format!("{}@4", diverged.name())), "{summary}");
+}
