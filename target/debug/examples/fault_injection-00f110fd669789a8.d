@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-00f110fd669789a8.d: crates/core/../../examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-00f110fd669789a8: crates/core/../../examples/fault_injection.rs
+
+crates/core/../../examples/fault_injection.rs:
