@@ -124,8 +124,7 @@ impl AnalyticChip {
             "core0", 0.0, 0.0, tile_edge, tile_edge, 0,
         ));
         let ambient = Celsius::new(45.0);
-        let thermal =
-            ThermalModel::calibrated_active(floorplan, p1, 1, tech.t_max(), ambient);
+        let thermal = ThermalModel::calibrated_active(floorplan, p1, 1, tech.t_max(), ambient);
         let mut chip = Self {
             tech,
             freq,
@@ -347,8 +346,12 @@ mod tests {
     #[test]
     fn core_count_bounds_checked() {
         let chip = chip65();
-        assert!(chip.equilibrium(0, Volts::new(1.1), Hertz::from_ghz(3.2)).is_err());
-        assert!(chip.equilibrium(33, Volts::new(1.1), Hertz::from_ghz(3.2)).is_err());
+        assert!(chip
+            .equilibrium(0, Volts::new(1.1), Hertz::from_ghz(3.2))
+            .is_err());
+        assert!(chip
+            .equilibrium(33, Volts::new(1.1), Hertz::from_ghz(3.2))
+            .is_err());
     }
 
     #[test]

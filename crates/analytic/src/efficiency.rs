@@ -352,7 +352,10 @@ mod tests {
         let curve = EfficiencyCurve::fit_amdahl(&pts).unwrap();
         match curve {
             EfficiencyCurve::Amdahl { serial_fraction } => {
-                assert!((0.05..0.2).contains(&serial_fraction), "s = {serial_fraction}");
+                assert!(
+                    (0.05..0.2).contains(&serial_fraction),
+                    "s = {serial_fraction}"
+                );
             }
             other => panic!("unexpected curve {other:?}"),
         }

@@ -54,7 +54,9 @@ impl fmt::Display for AnalyticError {
             AnalyticError::InvalidCoreCount { n, max } => {
                 write!(f, "core count {n} outside chip range 1..={max}")
             }
-            AnalyticError::NoConvergence { what } => write!(f, "solver for {what} did not converge"),
+            AnalyticError::NoConvergence { what } => {
+                write!(f, "solver for {what} did not converge")
+            }
             AnalyticError::Tech(e) => write!(f, "technology model: {e}"),
         }
     }

@@ -52,7 +52,7 @@ pub use chip::{AnalyticChip, Equilibrium, ReferencePoint, ThermalCoupling, DIE_E
 pub use efficiency::EfficiencyCurve;
 pub use error::AnalyticError;
 pub use scenario1::{Scenario1, Scenario1Point, Scenario1Series};
-pub use scenario2::{optimal_point, Scenario2, Scenario2Point, ScalingRegime};
+pub use scenario2::{optimal_point, ScalingRegime, Scenario2, Scenario2Point};
 
 #[cfg(test)]
 mod proptests {

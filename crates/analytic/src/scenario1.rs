@@ -105,12 +105,7 @@ impl<'a> Scenario1<'a> {
     /// Sweeps efficiency over `[eps_min, 1]` in `steps` points for each of
     /// `core_counts`, producing the Fig. 1 series. Infeasible points
     /// (ε < 1/N) are omitted, matching the plotted domain.
-    pub fn sweep(
-        &self,
-        core_counts: &[usize],
-        eps_min: f64,
-        steps: usize,
-    ) -> Vec<Scenario1Series> {
+    pub fn sweep(&self, core_counts: &[usize], eps_min: f64, steps: usize) -> Vec<Scenario1Series> {
         assert!(steps >= 2, "need at least two sweep points");
         core_counts
             .iter()
@@ -238,8 +233,12 @@ mod tests {
         let chip = chip();
         let s1 = Scenario1::new(&chip);
         let series = s1.sweep(&[2, 8], 0.05, 96);
-        let be2 = series[0].breakeven_efficiency().expect("2-core breaks even");
-        let be8 = series[1].breakeven_efficiency().expect("8-core breaks even");
+        let be2 = series[0]
+            .breakeven_efficiency()
+            .expect("2-core breaks even");
+        let be8 = series[1]
+            .breakeven_efficiency()
+            .expect("8-core breaks even");
         assert!(be8 < be2, "break-even ε: 8-core {be8} !< 2-core {be2}");
     }
 
@@ -248,7 +247,10 @@ mod tests {
         let chip = chip();
         let s1 = Scenario1::new(&chip);
         let series = s1.sweep(&[8], 0.05, 40);
-        assert!(series[0].points.iter().all(|p| p.efficiency >= 1.0 / 8.0 - 1e-9));
+        assert!(series[0]
+            .points
+            .iter()
+            .all(|p| p.efficiency >= 1.0 / 8.0 - 1e-9));
         assert!(!series[0].points.is_empty());
     }
 

@@ -141,22 +141,26 @@ impl<'a> Scenario2<'a> {
         let floor = tech.voltage_floor();
         let budget = self.budget.as_f64();
 
-        let finish = |v: Volts, f: Hertz, regime: ScalingRegime| -> Result<Scenario2Point, AnalyticError> {
-            let eq = self.chip.equilibrium_with(n, v, f, self.coupling)?;
-            Ok(Scenario2Point {
-                n,
-                efficiency: eps,
-                frequency: f,
-                voltage: v,
-                temperature: eq.temperature,
-                power: eq.total(),
-                speedup: n as f64 * eps * (f / f1),
-                regime,
-            })
-        };
+        let finish =
+            |v: Volts, f: Hertz, regime: ScalingRegime| -> Result<Scenario2Point, AnalyticError> {
+                let eq = self.chip.equilibrium_with(n, v, f, self.coupling)?;
+                Ok(Scenario2Point {
+                    n,
+                    efficiency: eps,
+                    frequency: f,
+                    voltage: v,
+                    temperature: eq.temperature,
+                    power: eq.total(),
+                    speedup: n as f64 * eps * (f / f1),
+                    regime,
+                })
+            };
 
         // Candidate 1: nominal V/f fits the budget outright.
-        let nominal_power = self.chip.equilibrium_with(n, v1, f1, self.coupling)?.total();
+        let nominal_power = self
+            .chip
+            .equilibrium_with(n, v1, f1, self.coupling)?
+            .total();
         if nominal_power.as_f64() <= budget * (1.0 + 1e-3) {
             return finish(v1, f1, ScalingRegime::Nominal);
         }
@@ -187,7 +191,10 @@ impl<'a> Scenario2<'a> {
         let mut hi = floor_freq;
         for _ in 0..80 {
             let mid = Hertz::new(0.5 * (lo.as_f64() + hi.as_f64()));
-            let p = self.chip.equilibrium_with(n, floor, mid, self.coupling)?.total();
+            let p = self
+                .chip
+                .equilibrium_with(n, floor, mid, self.coupling)?
+                .total();
             if p.as_f64() > budget {
                 hi = mid;
             } else {
@@ -199,7 +206,10 @@ impl<'a> Scenario2<'a> {
         }
         // If even a near-zero frequency exceeds the budget, static power of
         // n cores alone busts it; report the floor as non-convergent.
-        let p_lo = self.chip.equilibrium_with(n, floor, lo, self.coupling)?.total();
+        let p_lo = self
+            .chip
+            .equilibrium_with(n, floor, lo, self.coupling)?
+            .total();
         if p_lo.as_f64() > budget * 1.01 {
             return Err(AnalyticError::NoConvergence {
                 what: "frequency-only budget solve (static power exceeds budget)",
@@ -211,11 +221,7 @@ impl<'a> Scenario2<'a> {
     /// Sweeps `n` from 1 to `n_max`, producing the Fig. 2 series.
     /// Configurations whose static power alone exceeds the budget are
     /// omitted.
-    pub fn sweep(
-        &self,
-        n_max: usize,
-        efficiency: &EfficiencyCurve,
-    ) -> Vec<Scenario2Point> {
+    pub fn sweep(&self, n_max: usize, efficiency: &EfficiencyCurve) -> Vec<Scenario2Point> {
         (1..=n_max.min(self.chip.max_cores()))
             .filter_map(|n| self.solve(n, efficiency).ok())
             .collect()

@@ -53,13 +53,17 @@ fn main() {
 
     let chip = AnalyticChip::new(Technology::itrs_65nm(), 32);
     let s1 = Scenario1::new(&chip);
-    h.bench("fig1_point_solve", || s1.solve(black_box(8), black_box(0.8)));
+    h.bench("fig1_point_solve", || {
+        s1.solve(black_box(8), black_box(0.8))
+    });
     let s2 = Scenario2::new(&chip);
     h.bench("fig2_point_solve", || {
         s2.solve(black_box(8), &EfficiencyCurve::Perfect)
     });
     h.bench("bench_fig1_sweep", || s1.sweep(&[2, 8, 32], 0.2, 9));
-    h.bench("bench_fig2_sweep", || s2.sweep(16, &EfficiencyCurve::Perfect));
+    h.bench("bench_fig2_sweep", || {
+        s2.sweep(16, &EfficiencyCurve::Perfect)
+    });
 
     h.finish();
 }

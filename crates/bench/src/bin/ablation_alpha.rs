@@ -37,8 +37,14 @@ fn main() {
         let tech = with_alpha(&base, alpha);
         let chip = AnalyticChip::new(tech, 32);
         let s1 = Scenario1::new(&chip);
-        let p06 = s1.solve(2, 0.6).map(|p| p.normalized_power).unwrap_or(f64::NAN);
-        let p08 = s1.solve(2, 0.8).map(|p| p.normalized_power).unwrap_or(f64::NAN);
+        let p06 = s1
+            .solve(2, 0.6)
+            .map(|p| p.normalized_power)
+            .unwrap_or(f64::NAN);
+        let p08 = s1
+            .solve(2, 0.8)
+            .map(|p| p.normalized_power)
+            .unwrap_or(f64::NAN);
         let sweep = Scenario2::new(&chip).sweep(32, &EfficiencyCurve::Perfect);
         let best = optimal_point(&sweep).expect("non-empty sweep");
         println!(

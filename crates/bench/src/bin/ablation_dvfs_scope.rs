@@ -26,7 +26,10 @@ fn main() {
     let base_time = profile.baseline.execution_time();
 
     println!("Ablation: DVFS scope, {app} Scenario I actual speedups\n");
-    println!("  {:>3} {:>8} {:>12} {:>12}", "N", "f (GHz)", "chip-only", "system-wide");
+    println!(
+        "  {:>3} {:>8} {:>12} {:>12}",
+        "N", "f (GHz)", "chip-only", "system-wide"
+    );
     for (idx, &n) in profile.core_counts.iter().enumerate().skip(1) {
         let eps = profile.efficiencies[idx];
         let f = Hertz::new(
@@ -35,7 +38,10 @@ fn main() {
                 .max(table.f_min().as_f64()),
         );
         let v = table.voltage_for(f).expect("in range");
-        let op = tlp_tech::OperatingPoint { frequency: f, voltage: v };
+        let op = tlp_tech::OperatingPoint {
+            frequency: f,
+            voltage: v,
+        };
 
         // Chip-only DVFS (the paper's experiments): memory stays 75 ns.
         let chip_only = chip.run(gang(app, n, scale, SEED), op);

@@ -9,9 +9,7 @@
 //!
 //! `cargo run --release -p tlp-bench --bin ablation_thermal`
 
-use tlp_analytic::{
-    AnalyticChip, EfficiencyCurve, Scenario1, Scenario2, ThermalCoupling,
-};
+use tlp_analytic::{AnalyticChip, EfficiencyCurve, Scenario1, Scenario2, ThermalCoupling};
 use tlp_tech::Technology;
 
 fn main() {
@@ -19,7 +17,10 @@ fn main() {
 
     println!("Ablation: thermal coupling (65nm)\n");
     println!("Scenario II speedups, εn = 1:");
-    println!("  {:>3} {:>14} {:>14}", "N", "pinned T_max", "equilibrium T");
+    println!(
+        "  {:>3} {:>14} {:>14}",
+        "N", "pinned T_max", "equilibrium T"
+    );
     let pinned = Scenario2::new(&chip);
     let coupled = Scenario2::new(&chip).with_coupling(ThermalCoupling::Equilibrium);
     for n in [2usize, 4, 8, 16, 24, 32] {
@@ -38,13 +39,19 @@ fn main() {
         "\nScenario I: share of power saved by the thermal feedback\n\
          (static at equilibrium temperature vs static held at T_max):"
     );
-    println!("  {:>3} {:>10} {:>16} {:>14}", "N", "εn", "P/P1 (coupled)", "T (°C)");
+    println!(
+        "  {:>3} {:>10} {:>16} {:>14}",
+        "N", "εn", "P/P1 (coupled)", "T (°C)"
+    );
     let s1 = Scenario1::new(&chip);
     for (n, eps) in [(2usize, 1.0), (4, 0.9), (8, 0.8), (16, 0.7)] {
         if let Ok(p) = s1.solve(n, eps) {
             println!(
                 "  {:>3} {:>10.2} {:>16.3} {:>14.1}",
-                n, eps, p.normalized_power, p.temperature.as_f64()
+                n,
+                eps,
+                p.normalized_power,
+                p.temperature.as_f64()
             );
         }
     }

@@ -21,7 +21,12 @@ fn run_one(chip: &ExperimentalChip, app: AppId, n: usize, scale: Scale) -> (f64,
     let m = chip.measure(&r, chip.tech().vdd_nominal());
     let spin: u64 = r.cores.iter().map(|c| c.spin_cycles).sum();
     let sleep: u64 = r.cores.iter().map(|c| c.sleep_cycles).sum();
-    (m.total().as_f64(), r.execution_time().as_f64() * 1e3, spin, sleep)
+    (
+        m.total().as_f64(),
+        r.execution_time().as_f64() * 1e3,
+        spin,
+        sleep,
+    )
 }
 
 fn main() {

@@ -42,14 +42,13 @@ fn main() {
     println!("Extension: transient thermal traces (65nm, nominal V/f)\n");
 
     // The power virus heats its tile toward the 100 °C design point.
-    let (_, virus) = transient::thermal_trace(
-        &chip,
-        vec![power_virus(0, 1, 60_000)],
-        op,
-        20_000,
-        1e7,
-    );
-    let temps: Vec<f64> = virus.points.iter().map(|p| p.temperature.as_f64()).collect();
+    let (_, virus) =
+        transient::thermal_trace(&chip, vec![power_virus(0, 1, 60_000)], op, 20_000, 1e7);
+    let temps: Vec<f64> = virus
+        .points
+        .iter()
+        .map(|p| p.temperature.as_f64())
+        .collect();
     println!(
         "power virus   {}  {:.1} → {:.1} °C (peak {:.1})",
         sparkline(&temps, 45.0, 100.0),
@@ -59,14 +58,13 @@ fn main() {
     );
 
     for (app, n) in [(AppId::Fmm, 1usize), (AppId::Ocean, 1), (AppId::Volrend, 4)] {
-        let (_, trace) = transient::thermal_trace(
-            &chip,
-            gang(app, n, Scale::Small, 7),
-            op,
-            20_000,
-            1e7,
-        );
-        let temps: Vec<f64> = trace.points.iter().map(|p| p.temperature.as_f64()).collect();
+        let (_, trace) =
+            transient::thermal_trace(&chip, gang(app, n, Scale::Small, 7), op, 20_000, 1e7);
+        let temps: Vec<f64> = trace
+            .points
+            .iter()
+            .map(|p| p.temperature.as_f64())
+            .collect();
         let powers: Vec<f64> = trace.points.iter().map(|p| p.dynamic.as_f64()).collect();
         let pmax = powers.iter().cloned().fold(0.1, f64::max);
         println!(

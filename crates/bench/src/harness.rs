@@ -29,9 +29,7 @@ impl Harness {
     /// `cargo bench -- --quick`-style invocations do not filter
     /// everything out).
     pub fn from_args() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Self { filter, ran: 0 }
     }
 

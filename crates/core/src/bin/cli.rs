@@ -12,11 +12,11 @@
 //! Add `--json` for machine-readable output and `--paper` for full
 //! experiment scale (default is the fast quarter scale).
 
-use cmp_tlp::sweep::{run_sweep, FaultPlan, RetryPolicy, SweepSpec};
 use cmp_tlp::jsonout;
+use cmp_tlp::sweep::{run_sweep_with, FaultPlan, RetryPolicy, SweepOptions, SweepSpec};
 use cmp_tlp::{profiling, report, scenario1, scenario2, ExperimentalChip};
-use tlp_tech::json::{Json, ToJson};
 use tlp_sim::CmpConfig;
+use tlp_tech::json::{Json, ToJson};
 use tlp_tech::units::Hertz;
 use tlp_tech::{DvfsTable, OperatingPoint, Technology};
 use tlp_workloads::{gang, AppId, Scale};
@@ -52,6 +52,9 @@ fn usage() -> ! {
            scenario2 <app> [N...]         budget-constrained performance optimization\n\
            sweep <app> [app...]           supervised fig. 3 sweep (failures reported per cell)\n\
            measure <app> <N> <GHz>        run and measure one configuration\n\
+         sweep options:\n\
+           --threads N                    worker threads (default: all cores; output is\n\
+                                          byte-identical for any N; timing goes to stderr)\n\
          exit codes: 0 success, 1 experiment failure, 2 usage error"
     );
     std::process::exit(2)
@@ -73,13 +76,20 @@ fn main() {
             Scale::Small
         }
     };
+    let threads = match extract_threads(&mut args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
     if args.is_empty() {
         usage();
     }
 
     let cmd = args.remove(0);
     let tech = Technology::itrs_65nm();
-    let result = run_command(&cmd, &args, scale, json, tech);
+    let result = run_command(&cmd, &args, scale, json, threads, tech);
     if let Err(msg) = result {
         // In --json mode failures are data, not a backtrace: emit a
         // structured error object on stdout so pipelines can parse it.
@@ -93,6 +103,25 @@ fn main() {
         }
         std::process::exit(1);
     }
+}
+
+/// Pulls `--threads N` out of `args`. Returns the sweep thread count:
+/// `0` (the default) means all available cores.
+fn extract_threads(args: &mut Vec<String>) -> Result<usize, String> {
+    let Some(pos) = args.iter().position(|a| a == "--threads") else {
+        return Ok(0);
+    };
+    if pos + 1 >= args.len() {
+        return Err("--threads needs a count".into());
+    }
+    let n: usize = args[pos + 1]
+        .parse()
+        .map_err(|_| format!("bad thread count '{}'", args[pos + 1]))?;
+    if n == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    args.drain(pos..=pos + 1);
+    Ok(n)
 }
 
 fn core_counts(args: &[String]) -> Result<Vec<usize>, String> {
@@ -116,6 +145,7 @@ fn run_command(
     args: &[String],
     scale: Scale,
     json: bool,
+    threads: usize,
     tech: Technology,
 ) -> Result<(), String> {
     match cmd {
@@ -134,7 +164,10 @@ fn run_command(
                 println!("{}", jsonout::calibration_json(&cal).to_string_pretty());
             } else {
                 println!("renormalization ratio : {:.4}", cal.renorm);
-                println!("core dynamic max      : {:.2} W", cal.core_dynamic_max.as_f64());
+                println!(
+                    "core dynamic max      : {:.2} W",
+                    cal.core_dynamic_max.as_f64()
+                );
                 println!(
                     "single-core budget    : {:.2} W",
                     cal.single_core_budget.as_f64()
@@ -193,16 +226,41 @@ fn run_command(
                 .collect::<Result<Vec<_>, _>>()?;
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
             let spec = SweepSpec::fig3(apps, scale, SEED);
-            let report = run_sweep(&chip, &spec, &RetryPolicy::default(), &FaultPlan::none())
-                .map_err(|e| e.to_string())?;
+            let opts = SweepOptions { threads };
+            let report = run_sweep_with(
+                &chip,
+                &spec,
+                &RetryPolicy::default(),
+                &FaultPlan::none(),
+                &opts,
+            )
+            .map_err(|e| e.to_string())?;
+            // Wall clock is nondeterministic, so the summary goes to
+            // stderr and the JSON payload excludes timing: --json stdout
+            // is byte-identical for any --threads. (The human listing
+            // below does show per-cell seconds — it is for reading, not
+            // diffing.)
+            eprintln!("{}", report.timing.summary());
             if json {
                 println!("{}", report.to_json().to_string_pretty());
             } else {
-                for (cell, row) in report.completed() {
-                    println!(
-                        "{cell:<16} speedup {:.2}  power {:.1} W  temp {:.1} °C",
-                        row.actual_speedup, row.power_watts, row.temperature_c
-                    );
+                for (i, (cell, outcome)) in report.cells.iter().enumerate() {
+                    if let cmp_tlp::CellOutcome::Completed {
+                        row,
+                        attempts,
+                        solver_iterations,
+                    } = outcome
+                    {
+                        println!(
+                            "{cell:<16} speedup {:.2}  power {:.1} W  temp {:.1} °C  \
+                             [{attempts} attempt(s), {solver_iterations} solver iters, \
+                             {:.3} s]",
+                            row.actual_speedup,
+                            row.power_watts,
+                            row.temperature_c,
+                            report.timing.cell_seconds[i],
+                        );
+                    }
                 }
                 println!("{}", report.summary());
             }
@@ -226,7 +284,10 @@ fn run_command(
                 DvfsTable::for_technology(&tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))
                     .map_err(|e| e.to_string())?;
             let v = table.voltage_for(f).map_err(|e| e.to_string())?;
-            let op = OperatingPoint { frequency: f, voltage: v };
+            let op = OperatingPoint {
+                frequency: f,
+                voltage: v,
+            };
             let run = chip
                 .try_run(gang(app, n, scale, SEED), op)
                 .map_err(|e| e.to_string())?;
@@ -237,7 +298,10 @@ fn run_command(
                 println!("{}", m.to_json().to_string_pretty());
             } else {
                 println!("{} on {} core(s) at {} :", app.name(), n, op);
-                println!("  wall clock : {:.3} ms", run.execution_time().as_f64() * 1e3);
+                println!(
+                    "  wall clock : {:.3} ms",
+                    run.execution_time().as_f64() * 1e3
+                );
                 println!("  IPC        : {:.2}", run.ipc());
                 println!("  dynamic    : {:.2} W", m.dynamic.as_f64());
                 println!("  static     : {:.2} W", m.static_.as_f64());

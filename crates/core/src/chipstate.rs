@@ -70,6 +70,10 @@ pub struct ChipMeasurement {
     /// Average power density over the active cores (excludes the L2, as
     /// the paper's density statistic does).
     pub power_density: PowerDensity,
+    /// Total power↔temperature fixpoint iterations across all active-core
+    /// tiles. Deterministic for a given run and fixpoint options, so it
+    /// doubles as a cheap solver-effort metric in sweep reports.
+    pub fixpoint_iterations: u32,
 }
 
 impl ChipMeasurement {
@@ -105,8 +109,7 @@ impl ExperimentalChip {
     /// 3. Calibrate the per-core-tile thermal package so a core at
     ///    `P_D1 + P_S1(T_max)` equilibrates at `T_max`.
     pub fn new(config: CmpConfig, tech: Technology) -> Self {
-        let raw_run =
-            CmpSimulator::new(config.clone(), vec![power_virus(0, 1, 30_000)]).run();
+        let raw_run = CmpSimulator::new(config.clone(), vec![power_virus(0, 1, 30_000)]).run();
         let raw_power = PowerCalculator::new(&config)
             .dynamic(&raw_run, tech.vdd_nominal())
             .total();
@@ -120,13 +123,8 @@ impl ExperimentalChip {
             "core0", 0.0, 0.0, tile_edge, tile_edge, 0,
         ));
         let p1 = tech.p_dynamic_core_nominal() + tech.p_static_core_at_tmax();
-        let tile = ThermalModel::calibrated_active(
-            floorplan,
-            p1,
-            1,
-            tech.t_max(),
-            Celsius::new(45.0),
-        );
+        let tile =
+            ThermalModel::calibrated_active(floorplan, p1, 1, tech.t_max(), Celsius::new(45.0));
         Self {
             config,
             tech,
@@ -179,8 +177,7 @@ impl ExperimentalChip {
         programs: Vec<Box<dyn tlp_sim::op::ThreadProgram>>,
         op: OperatingPoint,
     ) -> SimResult {
-        self.try_run(programs, op)
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.try_run(programs, op).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible variant of [`ExperimentalChip::run`].
@@ -270,6 +267,7 @@ impl ExperimentalChip {
         let mut core_temps = Vec::with_capacity(n);
         let mut static_total = Watts::ZERO;
         let mut core_dynamic_total = Watts::ZERO;
+        let mut fixpoint_iterations = 0u32;
 
         for core in &breakdown.cores {
             // Map this core's structure powers onto the single-tile
@@ -299,19 +297,17 @@ impl ExperimentalChip {
                 },
                 opts,
             )?;
-            let temp = result
-                .map
-                .average_active_core_temperature(&tile_fp, 1);
+            let temp = result.map.average_active_core_temperature(&tile_fp, 1);
             core_temps.push(temp);
+            fixpoint_iterations += result.iterations;
             static_total += result.static_power.iter().copied().sum::<Watts>();
             core_dynamic_total += core.total() + breakdown.bus / n as f64;
         }
 
         // L2: static at the average core temperature (it runs cooler; the
         // 0.5-core ratio inside chip_static already reflects that).
-        let avg = Celsius::new(
-            core_temps.iter().map(|t| t.as_f64()).sum::<f64>() / n.max(1) as f64,
-        );
+        let avg =
+            Celsius::new(core_temps.iter().map(|t| t.as_f64()).sum::<f64>() / n.max(1) as f64);
         let l2_static = self.statics.chip_static(0, v, avg) + Watts::ZERO;
         // chip_static(0) gives just the L2 share.
         static_total += l2_static;
@@ -326,6 +322,7 @@ impl ExperimentalChip {
             static_: static_total,
             core_temps,
             power_density: density,
+            fixpoint_iterations,
         })
     }
 }

@@ -44,7 +44,9 @@ impl EnergyReport {
     /// Panics if `time_seconds` is not positive.
     pub fn new(measurement: &ChipMeasurement, time_seconds: f64) -> Self {
         assert!(time_seconds > 0.0, "execution time must be positive");
-        let energy = measurement.total().energy_over(tlp_tech::units::Seconds::new(time_seconds));
+        let energy = measurement
+            .total()
+            .energy_over(tlp_tech::units::Seconds::new(time_seconds));
         Self {
             time: time_seconds,
             energy,
@@ -98,8 +100,8 @@ pub fn best_n(reports: &[(usize, EnergyReport)], metric: Metric) -> Option<usize
 mod tests {
     use super::*;
     use crate::scenario1::{Scenario1Result, Scenario1Row};
-    use tlp_tech::OperatingPoint;
     use tlp_tech::units::{Hertz, Volts};
+    use tlp_tech::OperatingPoint;
     use tlp_workloads::AppId;
 
     fn row(n: usize, speedup: f64, power: f64) -> Scenario1Row {

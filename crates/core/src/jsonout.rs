@@ -20,7 +20,10 @@ use crate::sweep::{CellOutcome, SweepReport};
 pub fn calibration_json(cal: &Calibration) -> Json {
     Json::object([
         ("renorm", Json::from(cal.renorm)),
-        ("core_dynamic_max_w", Json::from(cal.core_dynamic_max.as_f64())),
+        (
+            "core_dynamic_max_w",
+            Json::from(cal.core_dynamic_max.as_f64()),
+        ),
         (
             "single_core_budget_w",
             Json::from(cal.single_core_budget.as_f64()),
@@ -78,7 +81,10 @@ impl ToJson for Scenario1Row {
             ("normalized_power", Json::from(self.normalized_power)),
             ("normalized_density", Json::from(self.normalized_density)),
             ("temperature_c", Json::from(self.temperature_c)),
-            ("operating_point", operating_point_json(&self.operating_point)),
+            (
+                "operating_point",
+                operating_point_json(&self.operating_point),
+            ),
         ])
     }
 }
@@ -98,7 +104,10 @@ impl ToJson for Scenario2Row {
             ("n", Json::from(self.n)),
             ("nominal_speedup", Json::from(self.nominal_speedup)),
             ("actual_speedup", Json::from(self.actual_speedup)),
-            ("operating_point", operating_point_json(&self.operating_point)),
+            (
+                "operating_point",
+                operating_point_json(&self.operating_point),
+            ),
             ("power_watts", Json::from(self.power_watts)),
             ("unconstrained", Json::from(self.unconstrained)),
         ])
@@ -130,11 +139,15 @@ impl ToJson for ChipMeasurement {
                 "power_density_w_mm2",
                 Json::from(self.power_density.as_w_per_mm2()),
             ),
+            ("fixpoint_iterations", Json::from(self.fixpoint_iterations)),
         ])
     }
 }
 
 impl ToJson for SweepReport {
+    /// Deliberately excludes [`SweepTiming`](crate::sweep::SweepTiming):
+    /// wall clock is nondeterministic, and this payload must be
+    /// byte-identical for every thread count.
     fn to_json(&self) -> Json {
         let done = self.cells.iter().filter(|(_, o)| o.is_completed()).count();
         Json::object([
@@ -149,9 +162,14 @@ impl ToJson for SweepReport {
                         ("n", Json::from(cell.n)),
                     ]);
                     match outcome {
-                        CellOutcome::Completed { row, attempts } => {
+                        CellOutcome::Completed {
+                            row,
+                            attempts,
+                            solver_iterations,
+                        } => {
                             o.set("status", "completed");
                             o.set("attempts", *attempts);
+                            o.set("solver_iterations", *solver_iterations);
                             o.set("row", row.to_json());
                         }
                         CellOutcome::Failed { reason, attempts } => {
@@ -201,11 +219,20 @@ mod tests {
                     attempts: 1,
                 },
             )],
+            timing: crate::sweep::SweepTiming {
+                threads: 1,
+                total_seconds: 0.25,
+                cell_seconds: vec![0.25],
+            },
         };
         let j = report.to_json().to_string_compact();
         assert!(j.contains("\"cells_failed\":1"), "{j}");
         assert!(j.contains("\"status\":\"failed\""), "{j}");
         assert!(j.contains("\"reason\":\"power accounting failed"), "{j}");
+        // Wall clock is nondeterministic and must never leak into the
+        // deterministic payload.
+        assert!(!j.contains("seconds"), "{j}");
+        assert!(!j.contains("threads"), "{j}");
     }
 
     #[test]

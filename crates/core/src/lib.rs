@@ -49,6 +49,7 @@ pub mod chipstate;
 pub mod energy;
 pub mod error;
 pub mod jsonout;
+pub mod pool;
 pub mod profiling;
 pub mod report;
 pub mod scenario1;
@@ -60,7 +61,8 @@ pub use chipstate::{ChipMeasurement, ExperimentalChip, MeasureFaults, DIE_EDGE_M
 pub use error::ExperimentError;
 pub use profiling::{profile, EfficiencyProfile};
 pub use sweep::{
-    run_sweep, CellOutcome, Fault, FaultPlan, RetryPolicy, SweepCell, SweepReport, SweepSpec,
+    run_sweep, run_sweep_with, CellOutcome, Fault, FaultPlan, RetryPolicy, SweepCell, SweepOptions,
+    SweepReport, SweepSpec, SweepTiming,
 };
 
 // Re-export the stack so downstream users need one dependency.

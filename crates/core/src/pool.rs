@@ -1,0 +1,256 @@
+//! In-tree scoped-thread work-stealing pool.
+//!
+//! The workspace is dependency-free by design, so this is a small,
+//! honest work-stealing scheduler built on [`std::thread::scope`]:
+//!
+//! - Every worker owns a deque. [`Pool::spawn`] distributes new tasks
+//!   round-robin; a worker pops its own deque LIFO (newest first, for
+//!   cache warmth) and steals FIFO from the other workers' deques when
+//!   its own runs dry (oldest first, which tends to steal the largest
+//!   remaining subtrees).
+//! - Tasks may spawn further tasks — the sweep engine uses this to fan a
+//!   per-application preparation task out into per-cell measurement
+//!   tasks as soon as the application's baseline is ready, with no
+//!   barrier between the phases.
+//! - [`run`] returns once every task, including transitively spawned
+//!   ones, has finished. A panicking task takes its worker down but
+//!   still counts as finished (so the remaining workers drain and exit),
+//!   and the scope re-raises the panic on join.
+//!
+//! Scheduling order is *not* deterministic; users that need
+//! deterministic output (the sweep runner does — its parallel output
+//! must be byte-identical to serial) write results into pre-indexed
+//! slots and reduce in index order afterwards.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+type Task<'scope> = Box<dyn FnOnce(&Pool<'scope>) + Send + 'scope>;
+
+/// Handle through which running tasks spawn further tasks; created by
+/// [`run`] and passed to every task.
+pub struct Pool<'scope> {
+    queues: Vec<Mutex<VecDeque<Task<'scope>>>>,
+    /// Tasks spawned but not yet finished (queued or executing). The
+    /// pool is done when this reaches zero.
+    pending: AtomicUsize,
+    /// Round-robin cursor for task placement.
+    next: AtomicUsize,
+}
+
+impl<'scope> Pool<'scope> {
+    fn new(workers: usize) -> Self {
+        Self {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of workers serving this pool.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues a task. Callable both from outside the pool (seeding)
+    /// and from within a running task (fan-out).
+    pub fn spawn(&self, task: impl FnOnce(&Pool<'scope>) + Send + 'scope) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[w]
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(Box::new(task));
+    }
+
+    /// Worker loop: drain own deque, steal when empty, exit when no task
+    /// is queued or in flight anywhere.
+    fn work(&self, me: usize) {
+        let n = self.queues.len();
+        let mut idle_spins = 0u32;
+        loop {
+            let task = self.queues[me]
+                .lock()
+                .expect("pool queue poisoned")
+                .pop_back()
+                .or_else(|| {
+                    (1..n).find_map(|d| {
+                        self.queues[(me + d) % n]
+                            .lock()
+                            .expect("pool queue poisoned")
+                            .pop_front()
+                    })
+                });
+            match task {
+                Some(task) => {
+                    idle_spins = 0;
+                    // Decrement on unwind too: a panicking task must not
+                    // leave `pending` stuck above zero, or the surviving
+                    // workers would spin forever while the scope waits to
+                    // join this one.
+                    struct Finished<'a>(&'a AtomicUsize);
+                    impl Drop for Finished<'_> {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    let _finished = Finished(&self.pending);
+                    task(self);
+                }
+                None => {
+                    if self.pending.load(Ordering::SeqCst) == 0 {
+                        return;
+                    }
+                    // Someone is still running (and may spawn more):
+                    // yield, then back off to a short sleep so an idle
+                    // worker does not burn a core against a long task.
+                    idle_spins += 1;
+                    if idle_spins < 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs a work-stealing pool of `workers` scoped threads until every
+/// task seeded by `seed` — and every task those tasks spawn — has
+/// completed.
+///
+/// `workers` is clamped to at least 1. With one worker the pool degrades
+/// to serial execution on that worker's thread.
+///
+/// # Panics
+///
+/// Re-raises the panic of any panicking task once the pool drains.
+pub fn run<'env>(workers: usize, seed: impl FnOnce(&Pool<'env>)) {
+    let pool = Pool::new(workers.max(1));
+    seed(&pool);
+    std::thread::scope(|s| {
+        for w in 0..pool.workers() {
+            let pool = &pool;
+            s.spawn(move || pool.work(w));
+        }
+    });
+}
+
+/// The number of workers to use when the caller does not say: the
+/// machine's available parallelism, or 1 if that cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_seeded_task() {
+        let hits = AtomicU64::new(0);
+        run(4, |p| {
+            for _ in 0..100 {
+                p.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_run_returns() {
+        let hits = AtomicU64::new(0);
+        run(3, |p| {
+            for _ in 0..5 {
+                p.spawn(|p| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    for _ in 0..4 {
+                        p.spawn(|p| {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                            p.spawn(|_| {
+                                hits.fetch_add(1, Ordering::SeqCst);
+                            });
+                        });
+                    }
+                });
+            }
+        });
+        // 5 roots + 5·4 children + 5·4 grandchildren.
+        assert_eq!(hits.load(Ordering::SeqCst), 5 + 20 + 20);
+    }
+
+    #[test]
+    fn single_worker_executes_everything() {
+        let hits = AtomicU64::new(0);
+        run(1, |p| {
+            p.spawn(|p| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                p.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let hits = AtomicU64::new(0);
+        run(0, |p| {
+            assert_eq!(p.workers(), 1);
+            p.spawn(|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn results_can_be_reduced_in_deterministic_slot_order() {
+        // The sweep's pattern in miniature: tasks finish in arbitrary
+        // order but write into pre-assigned slots.
+        let slots: Vec<Mutex<Option<usize>>> = (0..64).map(|_| Mutex::new(None)).collect();
+        run(4, |p| {
+            for (i, slot) in slots.iter().enumerate() {
+                p.spawn(move |_| {
+                    *slot.lock().unwrap() = Some(i * i);
+                });
+            }
+        });
+        let collected: Vec<usize> = slots
+            .iter()
+            .map(|s| s.lock().unwrap().expect("every slot filled"))
+            .collect();
+        assert_eq!(collected, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_pool_returns_immediately() {
+        run(2, |_| {});
+    }
+
+    #[test]
+    fn panicking_task_propagates_without_hanging_the_pool() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(2, |p| {
+                p.spawn(|_| panic!("injected task panic"));
+                for _ in 0..8 {
+                    p.spawn(|_| {});
+                }
+            });
+        }));
+        assert!(result.is_err(), "task panic must reach the caller");
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

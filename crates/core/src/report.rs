@@ -38,7 +38,11 @@ pub fn fig2(node: &str, points: &[Scenario2Point]) -> String {
         out,
         "Fig.2 ({node}): speedup under single-core power budget, εn = 1"
     );
-    let _ = writeln!(out, "  {:>3} {:>8} {:>10} {:>8} {:>9}", "N", "speedup", "f (GHz)", "V", "regime");
+    let _ = writeln!(
+        out,
+        "  {:>3} {:>8} {:>10} {:>8} {:>9}",
+        "N", "speedup", "f (GHz)", "V", "regime"
+    );
     for p in points {
         let _ = writeln!(
             out,
@@ -115,10 +119,22 @@ pub fn table1(cfg: &tlp_sim::CmpConfig, tech: &tlp_tech::Technology) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 1: CMP configuration");
     let _ = writeln!(out, "  CMP size            {}-way", cfg.n_cores);
-    let _ = writeln!(out, "  Processor core      Alpha 21264-class, {}-wide", cfg.core.issue_width);
+    let _ = writeln!(
+        out,
+        "  Processor core      Alpha 21264-class, {}-wide",
+        cfg.core.issue_width
+    );
     let _ = writeln!(out, "  Process technology  {}", tech.node());
-    let _ = writeln!(out, "  Nominal frequency   {:.1} GHz", tech.f_nominal().as_ghz());
-    let _ = writeln!(out, "  Nominal Vdd         {:.2} V", tech.vdd_nominal().as_f64());
+    let _ = writeln!(
+        out,
+        "  Nominal frequency   {:.1} GHz",
+        tech.f_nominal().as_ghz()
+    );
+    let _ = writeln!(
+        out,
+        "  Nominal Vdd         {:.2} V",
+        tech.vdd_nominal().as_f64()
+    );
     let _ = writeln!(out, "  Vth                 {:.2} V", tech.vth().as_f64());
     let _ = writeln!(
         out,

@@ -83,7 +83,9 @@ pub fn operating_point_for(
     n: usize,
     eps: f64,
 ) -> Result<OperatingPoint, ExperimentError> {
-    let target = Hertz::new(f1.as_f64() / (n as f64 * eps)).min(f1).max(table.f_min());
+    let target = Hertz::new(f1.as_f64() / (n as f64 * eps))
+        .min(f1)
+        .max(table.f_min());
     let voltage = table.voltage_for(target)?;
     Ok(OperatingPoint {
         frequency: target,
@@ -178,7 +180,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_configs_run_slower_clocks(){
+    fn parallel_configs_run_slower_clocks() {
         let r = run_app(AppId::WaterSp, &[1, 4]);
         let four = &r.rows[1];
         assert!(four.operating_point.frequency < Hertz::from_ghz(3.2));

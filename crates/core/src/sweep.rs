@@ -25,17 +25,33 @@
 //! pipeline can diagnose (deadlock via a dropped barrier arrival, hangs
 //! via a shrunken cycle budget, thermal runaway via inflated leakage,
 //! NaN poisoning of the power vector).
+//!
+//! # Parallel execution
+//!
+//! Cells are independent, so [`run_sweep`] fans them out across an
+//! in-tree work-stealing pool ([`crate::pool`]): one preparation task
+//! per application (profiling plus the single-core reference
+//! measurement), which spawns one task per (application, core count)
+//! cell the moment its baseline is ready. Every cell writes into a
+//! pre-assigned slot and the report is reduced in request order, so the
+//! parallel output — [`CellOutcome`] sequence and JSON rendering — is
+//! byte-identical to a serial run ([`SweepOptions::threads`] = 1).
+//! Wall-clock timings are kept out of the deterministic payload in a
+//! separate [`SweepTiming`] record.
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use tlp_sim::SimFaults;
 use tlp_tech::units::Hertz;
-use tlp_tech::{DvfsTable, OperatingPoint};
+use tlp_tech::{DvfsTable, OperatingPoint, Technology};
 use tlp_thermal::FixpointOptions;
 use tlp_workloads::{gang, AppId, Scale};
 
-use crate::chipstate::{ExperimentalChip, MeasureFaults};
+use crate::chipstate::{ChipMeasurement, ExperimentalChip, MeasureFaults};
 use crate::error::ExperimentError;
+use crate::pool;
 use crate::profiling::{profile, EfficiencyProfile};
 use crate::scenario1::{operating_point_for, Scenario1Row};
 
@@ -213,14 +229,38 @@ impl RetryPolicy {
     pub fn options_for(&self, attempt: u32) -> FixpointOptions {
         let k = attempt.saturating_sub(1);
         FixpointOptions {
-            tolerance_celsius: self.base.tolerance_celsius
-                * self.tolerance_relax.powi(k as i32),
+            tolerance_celsius: self.base.tolerance_celsius * self.tolerance_relax.powi(k as i32),
             max_iterations: self
                 .base
                 .max_iterations
                 .saturating_mul(self.iteration_factor.saturating_pow(k)),
             damping: (self.damping_step * k as f64).min(0.9),
             divergence_limit_celsius: self.base.divergence_limit_celsius,
+        }
+    }
+}
+
+/// How many worker threads a sweep uses.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Worker threads for the cell fan-out. `0` (the default) means
+    /// [`std::thread::available_parallelism`]; `1` is fully serial.
+    /// Output is byte-identical at every setting.
+    pub threads: usize,
+}
+
+impl SweepOptions {
+    /// A fully serial configuration.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The worker count this configuration resolves to on this machine.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            pool::default_workers()
+        } else {
+            self.threads
         }
     }
 }
@@ -234,6 +274,10 @@ pub enum CellOutcome {
         row: Scenario1Row,
         /// Solve attempts consumed (1 = no retries needed).
         attempts: u32,
+        /// Thermal fixpoint iterations of the final (successful)
+        /// measurement, summed over the active cores' tile solves.
+        /// Deterministic: identical for serial and parallel runs.
+        solver_iterations: u32,
     },
     /// The cell failed after `attempts` attempts; `reason` is the full
     /// typed diagnosis from the last attempt.
@@ -253,12 +297,47 @@ impl CellOutcome {
     }
 }
 
+/// Wall-clock record of one sweep execution.
+///
+/// Timing is inherently nondeterministic, so it lives outside the
+/// deterministic payload: [`SweepReport::to_json`] excludes it and the
+/// CLI prints it to stderr, keeping `--json` stdout byte-identical
+/// across thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTiming {
+    /// Worker threads the sweep actually used.
+    pub threads: usize,
+    /// End-to-end wall clock of the sweep, seconds.
+    pub total_seconds: f64,
+    /// Per-cell wall clock, seconds, in request order. Covers each
+    /// cell's own simulation + measurement; per-application preparation
+    /// (profiling, baseline measurement) is attributed to the cells only
+    /// when the baseline itself fails.
+    pub cell_seconds: Vec<f64>,
+}
+
+impl SweepTiming {
+    /// One-line human summary, e.g. for the CLI's stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "sweep wall clock: {:.3} s on {} thread(s) ({} cells, max cell {:.3} s)",
+            self.total_seconds,
+            self.threads,
+            self.cell_seconds.len(),
+            self.cell_seconds.iter().copied().fold(0.0, f64::max),
+        )
+    }
+}
+
 /// The supervised sweep's complete record: one outcome per requested
 /// cell, in request order. No cell is ever dropped from the report.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
     /// `(cell, outcome)` for every requested cell.
     pub cells: Vec<(SweepCell, CellOutcome)>,
+    /// Wall-clock record (nondeterministic; excluded from the
+    /// deterministic JSON payload).
+    pub timing: SweepTiming,
 }
 
 impl SweepReport {
@@ -295,14 +374,17 @@ impl SweepReport {
     }
 }
 
-/// Runs a supervised fig. 3-style sweep.
-///
-/// Each application is profiled at nominal V/f over the spec's core
-/// counts; each (application, core count) cell is then re-simulated at
-/// its Eq. 7 iso-performance operating point and measured, as one
-/// fallible unit under `policy`, with any faults `plan` arms on it.
-/// A failure in one cell never aborts the sweep; it becomes that cell's
-/// [`CellOutcome::Failed`].
+/// Per-application state shared between that application's cell tasks:
+/// the nominal profile and the single-core reference measurement every
+/// normalization anchors on.
+struct AppBaseline {
+    prof: EfficiencyProfile,
+    base_measure: ChipMeasurement,
+    base_attempts: u32,
+}
+
+/// Runs a supervised fig. 3-style sweep with default options (all
+/// available hardware threads). See [`run_sweep_with`].
 ///
 /// # Errors
 ///
@@ -319,111 +401,210 @@ pub fn run_sweep(
     policy: &RetryPolicy,
     plan: &FaultPlan,
 ) -> Result<SweepReport, ExperimentError> {
+    run_sweep_with(chip, spec, policy, plan, &SweepOptions::default())
+}
+
+/// Runs a supervised fig. 3-style sweep across `opts.threads` workers.
+///
+/// Each application is profiled at nominal V/f over the spec's core
+/// counts; each (application, core count) cell is then re-simulated at
+/// its Eq. 7 iso-performance operating point and measured, as one
+/// fallible unit under `policy`, with any faults `plan` arms on it.
+/// A failure in one cell never aborts the sweep; it becomes that cell's
+/// [`CellOutcome::Failed`].
+///
+/// Execution is parallel (see the module docs) but the report is reduced
+/// in request order and every cell's computation is self-contained, so
+/// the outcome sequence — and its JSON rendering — is byte-identical for
+/// any thread count.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Tech`] only if the DVFS ladder itself
+/// cannot be built — without it no cell is meaningful.
+///
+/// # Panics
+///
+/// Panics if the spec's core counts are empty or do not start at 1 (the
+/// single-core cell anchors every normalization).
+pub fn run_sweep_with(
+    chip: &ExperimentalChip,
+    spec: &SweepSpec,
+    policy: &RetryPolicy,
+    plan: &FaultPlan,
+    opts: &SweepOptions,
+) -> Result<SweepReport, ExperimentError> {
     assert!(
         spec.core_counts.first() == Some(&1),
         "sweep core counts must start at 1"
     );
     let tech = chip.tech();
-    let table =
-        DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))?;
+    let table = DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))?;
+    let threads = opts.resolved_threads();
+    let n_counts = spec.core_counts.len();
+
+    // One slot per cell, in request order. Tasks finish in arbitrary
+    // order; the deterministic reduction below reads the slots in index
+    // order.
+    let slots: Vec<Mutex<Option<(CellOutcome, f64)>>> = (0..spec.apps.len() * n_counts)
+        .map(|_| Mutex::new(None))
+        .collect();
+    let start = Instant::now();
+
+    pool::run(threads, |p| {
+        for (ai, &app) in spec.apps.iter().enumerate() {
+            let (slots, table, tech) = (&slots, &table, tech);
+            p.spawn(move |p| {
+                // Preparation: profile at nominal V/f, then the
+                // single-core reference measurement. If the reference
+                // fails (including by injected fault), every cell of
+                // this application fails with the same diagnosis —
+                // normalization needs the anchor.
+                let prep_start = Instant::now();
+                let prof: EfficiencyProfile =
+                    profile(chip, app, &spec.core_counts, spec.scale, spec.seed);
+                let base_cell = SweepCell { app, n: 1 };
+                let base = supervise(policy, |opts| {
+                    chip.try_measure_with(
+                        &prof.baseline,
+                        tech.vdd_nominal(),
+                        opts,
+                        &plan.measure_faults_for(base_cell),
+                    )
+                });
+                let (base_measure, base_attempts) = match base {
+                    Ok(pair) => pair,
+                    Err((reason, attempts)) => {
+                        let wall = prep_start.elapsed().as_secs_f64();
+                        for ni in 0..n_counts {
+                            *slots[ai * n_counts + ni].lock().expect("slot poisoned") = Some((
+                                CellOutcome::Failed {
+                                    reason: reason.clone(),
+                                    attempts,
+                                },
+                                wall,
+                            ));
+                        }
+                        return;
+                    }
+                };
+                // Fan the application's cells out the moment the anchor
+                // is ready — no barrier against other applications.
+                let baseline = Arc::new(AppBaseline {
+                    prof,
+                    base_measure,
+                    base_attempts,
+                });
+                for (ni, &n) in spec.core_counts.iter().enumerate() {
+                    let baseline = Arc::clone(&baseline);
+                    p.spawn(move |_| {
+                        let cell_start = Instant::now();
+                        let outcome =
+                            run_cell(chip, spec, policy, plan, table, tech, &baseline, app, n, ni);
+                        *slots[ai * n_counts + ni].lock().expect("slot poisoned") =
+                            Some((outcome, cell_start.elapsed().as_secs_f64()));
+                    });
+                }
+            });
+        }
+    });
+
+    let mut cells = Vec::with_capacity(slots.len());
+    let mut cell_seconds = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (outcome, wall) = slot
+            .into_inner()
+            .expect("slot poisoned")
+            .expect("every sweep cell writes its slot");
+        let cell = SweepCell {
+            app: spec.apps[i / n_counts],
+            n: spec.core_counts[i % n_counts],
+        };
+        cells.push((cell, outcome));
+        cell_seconds.push(wall);
+    }
+    Ok(SweepReport {
+        cells,
+        timing: SweepTiming {
+            threads,
+            total_seconds: start.elapsed().as_secs_f64(),
+            cell_seconds,
+        },
+    })
+}
+
+/// One supervised cell: simulate at the Eq. 7 iso-performance operating
+/// point, then measure under the retry policy. Self-contained and
+/// deterministic — the outcome depends only on the arguments, never on
+/// scheduling.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    chip: &ExperimentalChip,
+    spec: &SweepSpec,
+    policy: &RetryPolicy,
+    plan: &FaultPlan,
+    table: &DvfsTable,
+    tech: &Technology,
+    baseline: &AppBaseline,
+    app: AppId,
+    n: usize,
+    idx: usize,
+) -> CellOutcome {
+    let cell = SweepCell { app, n };
     let f1 = tech.f_nominal();
     let nominal = OperatingPoint {
         frequency: f1,
         voltage: tech.vdd_nominal(),
     };
+    let base_power = baseline.base_measure.total();
+    let base_density = baseline.base_measure.power_density;
+    let base_time = baseline.prof.baseline.execution_time();
+    let eps = baseline.prof.efficiencies[idx];
 
-    let mut cells = Vec::new();
-    for &app in &spec.apps {
-        let prof: EfficiencyProfile =
-            profile(chip, app, &spec.core_counts, spec.scale, spec.seed);
-
-        // Single-core reference measurement; if it fails (including by
-        // injected fault), every cell of this application fails with the
-        // same diagnosis — normalization needs the anchor.
-        let base_cell = SweepCell { app, n: 1 };
-        let base = supervise(policy, |opts| {
-            chip.try_measure_with(
-                &prof.baseline,
-                tech.vdd_nominal(),
-                opts,
-                &plan.measure_faults_for(base_cell),
-            )
-        });
-        let (base_measure, base_attempts) = match base {
-            Ok(pair) => pair,
-            Err((reason, attempts)) => {
-                for &n in &spec.core_counts {
-                    cells.push((
-                        SweepCell { app, n },
-                        CellOutcome::Failed {
-                            reason: reason.clone(),
-                            attempts,
-                        },
-                    ));
-                }
-                continue;
-            }
+    // The operating point and the simulation run once per cell; only
+    // the thermal solve is retried (the simulator is deterministic, so
+    // re-running it cannot change anything).
+    let outcome = (|| -> Result<(Scenario1Row, u32, u32), (ExperimentError, u32)> {
+        let (result, op) = if n == 1 {
+            (baseline.prof.baseline.clone(), nominal)
+        } else {
+            let op = operating_point_for(table, f1, n, eps).map_err(|e| (e, 1))?;
+            let r = chip
+                .try_run_with(
+                    gang(app, n, spec.scale, spec.seed),
+                    op,
+                    plan.sim_faults_for(cell),
+                )
+                .map_err(|e| (e, 1))?;
+            (r, op)
         };
-        let base_power = base_measure.total();
-        let base_density = base_measure.power_density;
-        let base_time = prof.baseline.execution_time();
+        let (m, attempts) = supervise(policy, |opts| {
+            chip.try_measure_with(&result, op.voltage, opts, &plan.measure_faults_for(cell))
+        })?;
+        Ok((
+            Scenario1Row {
+                n,
+                nominal_efficiency: eps,
+                actual_speedup: base_time / result.execution_time(),
+                power_watts: m.total().as_f64(),
+                normalized_power: m.total() / base_power,
+                normalized_density: m.power_density.as_w_per_mm2() / base_density.as_w_per_mm2(),
+                temperature_c: m.avg_core_temp().as_f64(),
+                operating_point: op,
+            },
+            attempts.max(if n == 1 { baseline.base_attempts } else { 1 }),
+            m.fixpoint_iterations,
+        ))
+    })();
 
-        for (idx, &n) in spec.core_counts.iter().enumerate() {
-            let cell = SweepCell { app, n };
-            let eps = prof.efficiencies[idx];
-
-            // The operating point and the simulation run once per cell;
-            // only the thermal solve is retried (the simulator is
-            // deterministic, so re-running it cannot change anything).
-            let outcome = (|| -> Result<(Scenario1Row, u32), (ExperimentError, u32)> {
-                let (result, op) = if n == 1 {
-                    (prof.baseline.clone(), nominal)
-                } else {
-                    let op = operating_point_for(&table, f1, n, eps)
-                        .map_err(|e| (e, 1))?;
-                    let r = chip
-                        .try_run_with(
-                            gang(app, n, spec.scale, spec.seed),
-                            op,
-                            plan.sim_faults_for(cell),
-                        )
-                        .map_err(|e| (e, 1))?;
-                    (r, op)
-                };
-                let (m, attempts) = supervise(policy, |opts| {
-                    chip.try_measure_with(
-                        &result,
-                        op.voltage,
-                        opts,
-                        &plan.measure_faults_for(cell),
-                    )
-                })?;
-                Ok((
-                    Scenario1Row {
-                        n,
-                        nominal_efficiency: eps,
-                        actual_speedup: base_time / result.execution_time(),
-                        power_watts: m.total().as_f64(),
-                        normalized_power: m.total() / base_power,
-                        normalized_density: m.power_density.as_w_per_mm2()
-                            / base_density.as_w_per_mm2(),
-                        temperature_c: m.avg_core_temp().as_f64(),
-                        operating_point: op,
-                    },
-                    attempts.max(if n == 1 { base_attempts } else { 1 }),
-                ))
-            })();
-
-            cells.push((
-                cell,
-                match outcome {
-                    Ok((row, attempts)) => CellOutcome::Completed { row, attempts },
-                    Err((reason, attempts)) => CellOutcome::Failed { reason, attempts },
-                },
-            ));
-        }
+    match outcome {
+        Ok((row, attempts, solver_iterations)) => CellOutcome::Completed {
+            row,
+            attempts,
+            solver_iterations,
+        },
+        Err((reason, attempts)) => CellOutcome::Failed { reason, attempts },
     }
-    Ok(SweepReport { cells })
 }
 
 /// Runs `attempt` under `policy`: retryable errors get progressively
@@ -492,7 +673,13 @@ mod tests {
         let failed: Vec<_> = r.failed().collect();
         assert_eq!(failed.len(), 1);
         let (cell, reason, attempts) = failed[0];
-        assert_eq!(cell, SweepCell { app: AppId::WaterNsq, n: 2 });
+        assert_eq!(
+            cell,
+            SweepCell {
+                app: AppId::WaterNsq,
+                n: 2
+            }
+        );
         // NaN input is deterministic: exactly one attempt, no retries.
         assert_eq!(attempts, 1);
         assert!(matches!(
@@ -518,16 +705,35 @@ mod tests {
     #[test]
     fn fault_plan_routes_faults_to_the_right_stage() {
         let plan = FaultPlan::none()
-            .inject(AppId::Fft, 4, Fault::DropBarrierArrival { barrier: 0, thread: 1 })
+            .inject(
+                AppId::Fft,
+                4,
+                Fault::DropBarrierArrival {
+                    barrier: 0,
+                    thread: 1,
+                },
+            )
             .inject(AppId::Fft, 4, Fault::InflateLeakage(4.0))
             .inject(AppId::Fft, 8, Fault::CycleBudget(1000));
-        let cell4 = SweepCell { app: AppId::Fft, n: 4 };
-        let cell8 = SweepCell { app: AppId::Fft, n: 8 };
-        assert_eq!(plan.sim_faults_for(cell4).drop_barrier_arrival, Some((0, 1)));
+        let cell4 = SweepCell {
+            app: AppId::Fft,
+            n: 4,
+        };
+        let cell8 = SweepCell {
+            app: AppId::Fft,
+            n: 8,
+        };
+        assert_eq!(
+            plan.sim_faults_for(cell4).drop_barrier_arrival,
+            Some((0, 1))
+        );
         assert_eq!(plan.sim_faults_for(cell4).cycle_budget, None);
         assert_eq!(plan.measure_faults_for(cell4).leakage_scale, 4.0);
         assert_eq!(plan.sim_faults_for(cell8).cycle_budget, Some(1000));
         assert!(!plan.measure_faults_for(cell8).any());
-        assert!(!plan.targets(SweepCell { app: AppId::Fft, n: 2 }));
+        assert!(!plan.targets(SweepCell {
+            app: AppId::Fft,
+            n: 2
+        }));
     }
 }

@@ -100,6 +100,10 @@ pub fn trace_from_windows(
     let mut temps = vec![tile.ambient(); n_nodes];
     let mut points = Vec::with_capacity(windows.len());
     let mut time = 0.0f64;
+    // The implicit-Euler matrix depends only on dt, and all windows but
+    // the final partial one share the same length: factor once, reuse,
+    // refactor only when dt actually changes.
+    let mut stepper: Option<tlp_thermal::TransientSolver> = None;
 
     for w in windows {
         let cycles = (w.end_cycle - w.start_cycle).max(1);
@@ -164,7 +168,13 @@ pub fn trace_from_windows(
             .map(|(a, b)| *a + *b)
             .collect();
 
-        temps = tile.network_step(&temps, &total, dt);
+        if stepper.as_ref().map(|s| s.dt() != dt).unwrap_or(true) {
+            stepper = Some(tile.transient_stepper(dt));
+        }
+        temps = stepper
+            .as_ref()
+            .expect("stepper built above")
+            .step(&temps, &total, tile.ambient());
         time += dt.as_f64();
 
         let t_end = {
@@ -187,7 +197,10 @@ pub fn trace_from_windows(
     }
     TransientTrace {
         points,
-        window_cycles: windows.first().map(|w| w.end_cycle - w.start_cycle).unwrap_or(0),
+        window_cycles: windows
+            .first()
+            .map(|w| w.end_cycle - w.start_cycle)
+            .unwrap_or(0),
     }
 }
 

@@ -137,7 +137,10 @@ impl PowerCalculator {
     ///
     /// Panics if `renorm` is not positive and finite.
     pub fn with_renorm(mut self, renorm: f64) -> Self {
-        assert!(renorm.is_finite() && renorm > 0.0, "renorm must be positive");
+        assert!(
+            renorm.is_finite() && renorm > 0.0,
+            "renorm must be positive"
+        );
         self.renorm = renorm;
         self
     }
@@ -215,8 +218,7 @@ impl PowerCalculator {
             return Err(PowerError::EmptyRun);
         }
         let time: Seconds = result.execution_time();
-        let to_power =
-            |j: f64| -> Watts { Joules::new(j * self.renorm).over(time) };
+        let to_power = |j: f64| -> Watts { Joules::new(j * self.renorm).over(time) };
 
         let cores = result
             .cores
@@ -240,9 +242,7 @@ impl PowerCalculator {
             .collect();
 
         let l2_accesses = result.l2.accesses();
-        let l2 = to_power(
-            self.energies.l2_access.read_energy(v).as_f64() * l2_accesses as f64,
-        );
+        let l2 = to_power(self.energies.l2_access.read_energy(v).as_f64() * l2_accesses as f64);
         // Bus drive plus remote snoop work: full tag probes for resident
         // snoops, cheap filter lookups for screened ones.
         let bus = to_power(
@@ -305,10 +305,7 @@ impl PowerCalculator {
             set(format!("core{i}.issueq"), c.issue * 0.5);
             set(format!("core{i}.bpred"), c.bpred);
             set(format!("core{i}.lsq"), c.lsq);
-            set(
-                format!("core{i}.clock"),
-                c.clock + breakdown.bus / n as f64,
-            );
+            set(format!("core{i}.clock"), c.clock + breakdown.bus / n as f64);
         }
         if let Some(l2_idx) = floorplan.index_of("l2") {
             out[l2_idx] += breakdown.l2;
@@ -381,7 +378,9 @@ mod tests {
     #[test]
     fn renorm_scales_everything_linearly() {
         let (cfg, r) = run_ops(vec![Op::Int { count: 10_000 }]);
-        let base = PowerCalculator::new(&cfg).dynamic(&r, Volts::new(1.1)).total();
+        let base = PowerCalculator::new(&cfg)
+            .dynamic(&r, Volts::new(1.1))
+            .total();
         let scaled = PowerCalculator::new(&cfg)
             .with_renorm(2.5)
             .dynamic(&r, Volts::new(1.1))

@@ -54,7 +54,10 @@ impl ArrayEnergy {
     ///
     /// Panics if either capacitance is negative.
     pub fn from_capacitance(c_read: f64, c_write: f64) -> Self {
-        assert!(c_read >= 0.0 && c_write >= 0.0, "capacitance must be non-negative");
+        assert!(
+            c_read >= 0.0 && c_write >= 0.0,
+            "capacitance must be non-negative"
+        );
         Self { c_read, c_write }
     }
 
@@ -124,7 +127,9 @@ mod tests {
     #[test]
     fn l1_read_energy_in_plausible_range() {
         // A 64 KB L1 read at 1.1 V should land in the hundreds of pJ.
-        let e = ArrayEnergy::for_cache(&l1()).read_energy(Volts::new(1.1)).as_f64();
+        let e = ArrayEnergy::for_cache(&l1())
+            .read_energy(Volts::new(1.1))
+            .as_f64();
         assert!(e > 1e-11 && e < 5e-9, "L1 read energy {e} J");
     }
 

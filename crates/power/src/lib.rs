@@ -72,7 +72,9 @@ mod proptests {
             let base = m.core_static(Volts::new(v), Celsius::new(t)).as_f64();
             assert!(base > 0.0);
             let hotter = m.core_static(Volts::new(v), Celsius::new(t + 1.0)).as_f64();
-            let higher = m.core_static(Volts::new(v + 0.005), Celsius::new(t)).as_f64();
+            let higher = m
+                .core_static(Volts::new(v + 0.005), Celsius::new(t))
+                .as_f64();
             assert!(hotter > base);
             assert!(higher > base);
         }

@@ -203,7 +203,10 @@ impl Cache {
         let (set, tag) = self.index_tag(addr);
         let ways = &mut self.sets[set];
         // Already present: just update.
-        if let Some(line) = ways.iter_mut().find(|l| l.state != Mesi::Invalid && l.tag == tag) {
+        if let Some(line) = ways
+            .iter_mut()
+            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
+        {
             line.state = state;
             line.lru = tick;
             return Evicted::None;

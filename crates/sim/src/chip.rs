@@ -189,9 +189,7 @@ impl CmpSimulator {
                     .filter(|c| !c.done())
                     .all(|c| c.blocked_on(&self.sync).is_unbounded_wait());
                 if !any_advanced && all_waiting && remaining > 0 {
-                    return Err(SimError::Deadlock(
-                        self.diagnose(cycle, &last_progress),
-                    ));
+                    return Err(SimError::Deadlock(self.diagnose(cycle, &last_progress)));
                 }
             }
             if cycle >= budget && remaining > 0 {
@@ -201,7 +199,10 @@ impl CmpSimulator {
                     .filter(|c| c.reason != crate::error::StuckReason::Finished)
                     .all(|c| c.reason.is_unbounded_wait());
                 return Err(if all_waiting {
-                    SimError::Deadlock(DeadlockInfo { cycle, cores: stuck })
+                    SimError::Deadlock(DeadlockInfo {
+                        cycle,
+                        cores: stuck,
+                    })
                 } else {
                     SimError::CycleBudgetExhausted {
                         budget,
@@ -251,7 +252,11 @@ impl CmpSimulator {
             .map(|((id, c), &(progress, at))| {
                 // A core that advanced since the last check window has
                 // effectively zero staleness.
-                let since = if c.progress() != progress { 0 } else { cycle - at };
+                let since = if c.progress() != progress {
+                    0
+                } else {
+                    cycle - at
+                };
                 CoreStuck {
                     core: id,
                     reason: c.blocked_on(&self.sync),
@@ -301,7 +306,9 @@ mod tests {
         let work = |t: u64| {
             boxed(vec![
                 Op::Int { count: 50_000 },
-                Op::Load { addr: 0x100_000 + t * 4096 },
+                Op::Load {
+                    addr: 0x100_000 + t * 4096,
+                },
                 Op::Barrier { id: 0 },
             ])
         };
@@ -316,10 +323,7 @@ mod tests {
         .run();
         let two = CmpSimulator::new(CmpConfig::ispass05(4), vec![work(0), work(1)]).run();
         let speedup = two.speedup_over(&one);
-        assert!(
-            speedup > 1.7 && speedup < 2.1,
-            "2-thread speedup {speedup}"
-        );
+        assert!(speedup > 1.7 && speedup < 2.1, "2-thread speedup {speedup}");
     }
 
     #[test]
@@ -328,7 +332,11 @@ mod tests {
         let slow = boxed(vec![Op::Int { count: 100_000 }, Op::Barrier { id: 1 }]);
         let r = CmpSimulator::new(CmpConfig::ispass05(2), vec![fast, slow]).run();
         // The fast thread spins for ~25k cycles waiting.
-        assert!(r.cores[0].spin_cycles > 10_000, "spin {}", r.cores[0].spin_cycles);
+        assert!(
+            r.cores[0].spin_cycles > 10_000,
+            "spin {}",
+            r.cores[0].spin_cycles
+        );
         assert!(r.cores[1].spin_cycles < 100);
     }
 
@@ -343,7 +351,11 @@ mod tests {
         };
         let r = CmpSimulator::new(CmpConfig::ispass05(2), vec![worker(0), worker(1)]).run();
         // Critical sections serialize: total ≥ 2 × 2500 cycles.
-        assert!(r.cycles > 5000, "lock did not serialize: {} cycles", r.cycles);
+        assert!(
+            r.cycles > 5000,
+            "lock did not serialize: {} cycles",
+            r.cycles
+        );
         // The loser spins.
         let total_spin: u64 = r.cores.iter().map(|c| c.spin_cycles).sum();
         assert!(total_spin > 1000, "spin cycles {total_spin}");
@@ -384,7 +396,14 @@ mod tests {
         // Two threads repeatedly writing the same line.
         let hammer = |offset: u64| {
             let ops: Vec<Op> = (0..100)
-                .flat_map(|_| [Op::Store { addr: 0x9000 + offset }, Op::Int { count: 8 }])
+                .flat_map(|_| {
+                    [
+                        Op::Store {
+                            addr: 0x9000 + offset,
+                        },
+                        Op::Int { count: 8 },
+                    ]
+                })
                 .collect();
             boxed(ops)
         };
@@ -467,9 +486,13 @@ mod tests {
             assert_eq!(sum, result.cores[core].instructions, "core {core}");
             let cyc: u64 = windows
                 .iter()
-                .map(|w| w.cores[core].active_cycles + w.cores[core].mem_stall_cycles
-                    + w.cores[core].other_stall_cycles + w.cores[core].spin_cycles
-                    + w.cores[core].sleep_cycles)
+                .map(|w| {
+                    w.cores[core].active_cycles
+                        + w.cores[core].mem_stall_cycles
+                        + w.cores[core].other_stall_cycles
+                        + w.cores[core].spin_cycles
+                        + w.cores[core].sleep_cycles
+                })
                 .sum();
             assert!(cyc <= result.cycles + 1, "core {core} busy {cyc}");
         }
@@ -505,7 +528,11 @@ mod tests {
         }
         // Detection happens within a few check intervals, not at the
         // budget limit.
-        assert!(info.cycle < 1_000_000, "detected only at cycle {}", info.cycle);
+        assert!(
+            info.cycle < 1_000_000,
+            "detected only at cycle {}",
+            info.cycle
+        );
     }
 
     #[test]
@@ -515,7 +542,11 @@ mod tests {
             .try_run(1_000)
             .unwrap_err();
         match err {
-            crate::error::SimError::CycleBudgetExhausted { budget, retired_instructions, cores } => {
+            crate::error::SimError::CycleBudgetExhausted {
+                budget,
+                retired_instructions,
+                cores,
+            } => {
                 assert_eq!(budget, 1_000);
                 assert!(retired_instructions > 0);
                 assert_eq!(cores.len(), 1);
@@ -573,7 +604,9 @@ mod tests {
                             Op::Int { count: 1000 },
                             Op::Load { addr: t * 8192 },
                             Op::Barrier { id: 0 },
-                            Op::Store { addr: 0xA000 + t * 8 },
+                            Op::Store {
+                                addr: 0xA000 + t * 8,
+                            },
                             Op::Barrier { id: 1 },
                         ])
                     })

@@ -25,12 +25,18 @@ const LOCK_REGION_BASE: u64 = 0xF000_0000;
 enum CoreState {
     Ready,
     /// Stalled until an absolute cycle; the flag marks memory stalls.
-    StallUntil { until: u64, memory: bool },
+    StallUntil {
+        until: u64,
+        memory: bool,
+    },
     AtBarrier(BarrierTicket),
     /// Asleep at a barrier (thrifty-barrier extension): no activity until
     /// the barrier releases, then a wake-up penalty applies.
     Asleep(BarrierTicket),
-    SpinLock { id: u32, next_retry: u64 },
+    SpinLock {
+        id: u32,
+        next_retry: u64,
+    },
     Done,
 }
 
@@ -431,10 +437,8 @@ mod tests {
 
     #[test]
     fn mispredict_charges_penalty() {
-        let (mut core, mut mem, mut sync) = rig(vec![
-            Op::Branch { mispredict: true },
-            Op::Int { count: 1 },
-        ]);
+        let (mut core, mut mem, mut sync) =
+            rig(vec![Op::Branch { mispredict: true }, Op::Int { count: 1 }]);
         let cycles = run(&mut core, &mut mem, &mut sync, 100);
         assert!(cycles >= 7, "penalty not charged: {cycles}");
         assert_eq!(core.stats().mispredicts, 1);
@@ -445,7 +449,11 @@ mod tests {
     fn stores_overlap_through_buffer() {
         // 8 stores to distinct cold lines: with an 8-entry buffer they all
         // issue without stalling the core for the full memory latency each.
-        let ops: Vec<Op> = (0..8).map(|i| Op::Store { addr: 0x10_000 + i * 64 }).collect();
+        let ops: Vec<Op> = (0..8)
+            .map(|i| Op::Store {
+                addr: 0x10_000 + i * 64,
+            })
+            .collect();
         let (mut core, mut mem, mut sync) = rig(ops);
         let cycles = run(&mut core, &mut mem, &mut sync, 4000);
         // Serialized misses would cost ~8 × 256; overlapping keeps it low
@@ -457,7 +465,11 @@ mod tests {
     #[test]
     fn store_buffer_pressure_stalls() {
         // 20 store misses to distinct lines exceed the 8-entry buffer.
-        let ops: Vec<Op> = (0..20).map(|i| Op::Store { addr: 0x20_000 + i * 64 }).collect();
+        let ops: Vec<Op> = (0..20)
+            .map(|i| Op::Store {
+                addr: 0x20_000 + i * 64,
+            })
+            .collect();
         let (mut core, mut mem, mut sync) = rig(ops);
         run(&mut core, &mut mem, &mut sync, 20_000);
         assert!(core.stats().mem_stall_cycles > 0, "no buffer pressure seen");
@@ -516,7 +528,11 @@ mod tests {
             assert!(cycle < 100_000);
         }
         // The waiter spun only up to the threshold, then slept.
-        assert!(waiter.stats().spin_cycles <= 55, "spin {}", waiter.stats().spin_cycles);
+        assert!(
+            waiter.stats().spin_cycles <= 55,
+            "spin {}",
+            waiter.stats().spin_cycles
+        );
         assert!(
             waiter.stats().sleep_cycles > 5_000,
             "sleep {}",

@@ -69,7 +69,10 @@ impl fmt::Display for StuckReason {
             StuckReason::AsleepAtBarrier { id, generation } => {
                 write!(f, "asleep at barrier {id} (generation {generation})")
             }
-            StuckReason::SpinningOnLock { id, holder: Some(h) } => {
+            StuckReason::SpinningOnLock {
+                id,
+                holder: Some(h),
+            } => {
                 write!(f, "spinning on lock {id} held by core {h}")
             }
             StuckReason::SpinningOnLock { id, holder: None } => {

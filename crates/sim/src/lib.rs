@@ -74,7 +74,11 @@ mod proptests {
             for _ in 0..len {
                 let core = rng.gen_range_usize(0..4);
                 let addr = rng.gen_range_u64(0..64) * 64;
-                let kind = if rng.gen_bool(0.5) { AccessKind::Write } else { AccessKind::Read };
+                let kind = if rng.gen_bool(0.5) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 now = m.access(core, addr, kind, now).max(now + 1);
             }
             assert!(m.single_writer_holds());
@@ -88,7 +92,12 @@ mod proptests {
     fn cache_capacity_respected() {
         let mut rng = SplitMix64::seed_from_u64(0xB1);
         for _case in 0..48 {
-            let cfg = CacheConfig { size_bytes: 2048, line_bytes: 64, ways: 2, latency_cycles: 1 };
+            let cfg = CacheConfig {
+                size_bytes: 2048,
+                line_bytes: 64,
+                ways: 2,
+                latency_cycles: 1,
+            };
             let mut c = Cache::new(cfg);
             let len = rng.gen_range_usize(1..300);
             for _ in 0..len {

@@ -68,7 +68,10 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Builds the hierarchy for `n_active` cores of the given config.
     pub fn new(cfg: &CmpConfig, n_active: usize) -> Self {
-        assert!(n_active >= 1 && n_active <= cfg.n_cores, "active cores out of range");
+        assert!(
+            n_active >= 1 && n_active <= cfg.n_cores,
+            "active cores out of range"
+        );
         Self {
             l1d: (0..n_active).map(|_| Cache::new(cfg.l1d)).collect(),
             l2: Cache::new(cfg.l2),
@@ -129,9 +132,9 @@ impl MemorySystem {
     pub fn access(&mut self, core: usize, addr: u64, kind: AccessKind, now: u64) -> u64 {
         let l1_state = self.l1d[core].lookup(addr);
         match (l1_state, kind) {
-            (Mesi::Modified, _) | (Mesi::Exclusive, AccessKind::Read) | (Mesi::Shared, AccessKind::Read) => {
-                now + self.l1_latency
-            }
+            (Mesi::Modified, _)
+            | (Mesi::Exclusive, AccessKind::Read)
+            | (Mesi::Shared, AccessKind::Read) => now + self.l1_latency,
             (Mesi::Exclusive, AccessKind::Write) => {
                 // Silent E→M upgrade.
                 self.l1d[core].set_state(addr, Mesi::Modified);
@@ -390,7 +393,11 @@ mod tests {
         let before_mem = m.stats().memory_reads;
         m.access(1, 0x4000, AccessKind::Read, 1000);
         assert_eq!(m.stats().cache_to_cache, 1);
-        assert_eq!(m.stats().memory_reads, before_mem, "no memory access on intervention");
+        assert_eq!(
+            m.stats().memory_reads,
+            before_mem,
+            "no memory access on intervention"
+        );
         assert_eq!(m.l1d[0].probe(0x4000), Mesi::Shared);
         assert_eq!(m.l1d[1].probe(0x4000), Mesi::Shared);
     }

@@ -77,11 +77,7 @@ impl DvfsTable {
     ///
     /// Returns [`TechError::InvalidDvfsTable`] if `step` is non-positive or
     /// `f_min` is not below the nominal frequency.
-    pub fn for_technology(
-        tech: &Technology,
-        f_min: Hertz,
-        step: Hertz,
-    ) -> Result<Self, TechError> {
+    pub fn for_technology(tech: &Technology, f_min: Hertz, step: Hertz) -> Result<Self, TechError> {
         if step.as_f64() <= 0.0 {
             return Err(TechError::InvalidDvfsTable("step must be positive".into()));
         }

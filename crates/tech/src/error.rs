@@ -55,7 +55,10 @@ impl fmt::Display for TechError {
             ),
             TechError::InvalidTechnology(msg) => write!(f, "invalid technology: {msg}"),
             TechError::NoConvergence { what, iterations } => {
-                write!(f, "solver for {what} did not converge in {iterations} iterations")
+                write!(
+                    f,
+                    "solver for {what} did not converge in {iterations} iterations"
+                )
             }
             TechError::InvalidDvfsTable(msg) => write!(f, "invalid DVFS table: {msg}"),
         }

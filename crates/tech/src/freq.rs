@@ -43,7 +43,12 @@ pub struct OperatingPoint {
 
 impl core::fmt::Display for OperatingPoint {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{:.3} GHz @ {:.3} V", self.frequency.as_ghz(), self.voltage.as_f64())
+        write!(
+            f,
+            "{:.3} GHz @ {:.3} V",
+            self.frequency.as_ghz(),
+            self.voltage.as_f64()
+        )
     }
 }
 
@@ -196,7 +201,10 @@ mod tests {
         let m = model65();
         let mut prev = 0.0;
         for mv in (400..=1100).step_by(50) {
-            let f = m.max_frequency_at(Volts::new(mv as f64 / 1000.0)).unwrap().as_f64();
+            let f = m
+                .max_frequency_at(Volts::new(mv as f64 / 1000.0))
+                .unwrap()
+                .as_f64();
             assert!(f > prev, "f_max not increasing at {mv} mV");
             prev = f;
         }

@@ -122,11 +122,7 @@ impl Json {
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         let (nl, pad, pad_in) = match indent {
-            Some(w) => (
-                "\n",
-                " ".repeat(w * depth),
-                " ".repeat(w * (depth + 1)),
-            ),
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
             None => ("", String::new(), String::new()),
         };
         let sep = if indent.is_some() { ": " } else { ":" };
@@ -237,7 +233,10 @@ mod tests {
 
     #[test]
     fn pretty_output_indents() {
-        let o = Json::object([("xs", Json::Arr(vec![Json::from(1.0f64), Json::from(2.0f64)]))]);
+        let o = Json::object([(
+            "xs",
+            Json::Arr(vec![Json::from(1.0f64), Json::from(2.0f64)]),
+        )]);
         let p = o.to_string_pretty();
         assert_eq!(p, "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
     }

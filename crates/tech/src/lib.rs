@@ -117,12 +117,9 @@ mod proptests {
     #[test]
     fn dvfs_interpolation_in_range() {
         let tech = Technology::itrs_65nm();
-        let table = DvfsTable::for_technology(
-            &tech,
-            Hertz::from_mhz(200.0),
-            Hertz::from_mhz(200.0),
-        )
-        .unwrap();
+        let table =
+            DvfsTable::for_technology(&tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))
+                .unwrap();
         let mut rng = SplitMix64::seed_from_u64(0xA3);
         for _ in 0..128 {
             let mhz = rng.gen_range_f64(200.0..3200.0);

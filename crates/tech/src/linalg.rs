@@ -1,13 +1,170 @@
-//! Tiny dense linear-algebra helpers for the curve fitters.
+//! Tiny dense linear-algebra helpers for the curve fitters and the
+//! thermal solvers.
 //!
-//! These routines are intentionally minimal: the technology models only ever
-//! solve small (≤ 8×8) systems arising from least-squares normal equations.
+//! These routines are intentionally minimal: the technology models only
+//! ever solve small (≤ 8×8) systems arising from least-squares normal
+//! equations, and the thermal RC networks top out at a few dozen nodes.
+//!
+//! The workhorse is [`LuFactorization`]: an LU decomposition with partial
+//! pivoting that is computed once (O(n³)) and then reused for any number
+//! of right-hand sides (O(n²) each). The thermal fixpoint and transient
+//! solvers exploit this heavily — their conductance matrices never change
+//! between iterations, only the right-hand side does.
+
+/// Relative pivot tolerance: a pivot whose magnitude falls below
+/// `PIVOT_RTOL × max|aᵢⱼ|` declares the matrix numerically singular.
+///
+/// An exact-zero (or absolute `1e-30`) test lets near-singular systems
+/// through and produces garbage solutions whose components are scaled by
+/// `1/pivot`; scaling the threshold by the matrix magnitude makes the
+/// test meaningful for both the O(1)-conductance thermal matrices and the
+/// O(10⁶)-entry normal equations of the curve fitters.
+const PIVOT_RTOL: f64 = 1e-12;
+
+/// An LU decomposition with partial pivoting of a small dense matrix.
+///
+/// Factor once with [`LuFactorization::factor`] (O(n³)), then call
+/// [`LuFactorization::solve`] for each right-hand side (O(n²)). The
+/// thermal steady-state and implicit-Euler transient solvers keep one of
+/// these per conductance matrix and amortize the factorization over every
+/// fixpoint iteration and time step.
+///
+/// # Examples
+///
+/// ```
+/// use tlp_tech::linalg::LuFactorization;
+///
+/// let a = vec![2.0, 1.0, 1.0, 3.0];
+/// let lu = LuFactorization::factor(2, &a).unwrap();
+/// let x = lu.solve(&[3.0, 5.0]);
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// let y = lu.solve(&[1.0, 0.0]); // second solve reuses the factorization
+/// assert!((2.0 * y[0] + y[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuFactorization {
+    n: usize,
+    /// Packed factors, row-major: strictly-lower entries hold L (unit
+    /// diagonal implied), the diagonal and above hold U.
+    lu: Vec<f64>,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+}
+
+impl LuFactorization {
+    /// Factors the row-major `n×n` matrix `a`.
+    ///
+    /// Returns `None` if the matrix is numerically singular: some pivot,
+    /// after partial pivoting, has magnitude below `1e-12` times the
+    /// largest entry of `a` (see [`PIVOT_RTOL`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n*n` or `n == 0`.
+    pub fn factor(n: usize, a: &[f64]) -> Option<Self> {
+        assert_eq!(a.len(), n * n, "matrix must be n×n");
+        assert!(n > 0, "matrix must be non-empty");
+        let mut lu = a.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        // Scale for the relative pivot test: the largest finite magnitude
+        // in the input. An all-zero (or all-NaN) matrix gets scale 0 and
+        // fails the first pivot test.
+        let scale = lu
+            .iter()
+            .map(|x| x.abs())
+            .filter(|x| x.is_finite())
+            .fold(0.0, f64::max);
+        let threshold = PIVOT_RTOL * scale;
+
+        // NaN-safe pivot magnitude: a NaN ranks below every finite value
+        // (plain total_cmp would rank positive NaN above +∞ and elect a
+        // poisoned row even when finite pivots exist).
+        let mag = |x: f64| {
+            let a = x.abs();
+            if a.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                a
+            }
+        };
+
+        for col in 0..n {
+            let pivot_row = (col..n)
+                .max_by(|&i, &j| mag(lu[i * n + col]).total_cmp(&mag(lu[j * n + col])))
+                .expect("non-empty pivot candidates");
+            let pivot_abs = lu[pivot_row * n + col].abs();
+            // NaN fails is_finite, so a poisoned pivot is rejected too.
+            let pivot_ok = pivot_abs.is_finite() && pivot_abs > threshold;
+            if !pivot_ok {
+                return None;
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    lu.swap(col * n + k, pivot_row * n + k);
+                }
+                perm.swap(col, pivot_row);
+            }
+            let pivot = lu[col * n + col];
+            for row in (col + 1)..n {
+                let factor = lu[row * n + col] / pivot;
+                lu[row * n + col] = factor; // store L below the diagonal
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in (col + 1)..n {
+                    lu[row * n + k] -= factor * lu[col * n + k];
+                }
+            }
+        }
+        Some(Self { n, lu, perm })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` using the stored factors (O(n²)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.n()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs must have length n");
+        // Apply the row permutation, then forward-substitute L (unit
+        // diagonal) and back-substitute U, all in one buffer.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for row in 1..n {
+            let mut acc = x[row];
+            for (l, xk) in self.lu[row * n..row * n + row].iter().zip(x.iter()) {
+                acc -= l * xk;
+            }
+            x[row] = acc;
+        }
+        for row in (0..n).rev() {
+            let mut acc = x[row];
+            for (u, xk) in self.lu[row * n + row + 1..(row + 1) * n]
+                .iter()
+                .zip(x[row + 1..].iter())
+            {
+                acc -= u * xk;
+            }
+            x[row] = acc / self.lu[row * n + row];
+        }
+        x
+    }
+}
 
 /// Solves `A·x = b` for a small dense square system by Gaussian elimination
 /// with partial pivoting.
 ///
-/// `a` is row-major, `n×n`; `b` has length `n`. Returns `None` if the matrix
-/// is singular (pivot below 1e-30).
+/// `a` is row-major, `n×n`; `b` has length `n`. Returns `None` if the
+/// matrix is numerically singular (scaled pivot tolerance; see
+/// [`LuFactorization::factor`]). One-shot convenience over
+/// [`LuFactorization`] — callers that solve the same matrix repeatedly
+/// should factor once and reuse it.
 ///
 /// # Panics
 ///
@@ -23,65 +180,16 @@
 /// assert!((x[1] - 1.4).abs() < 1e-12);
 /// ```
 pub fn solve_dense(n: usize, a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
-    assert_eq!(a.len(), n * n, "matrix must be n×n");
     assert_eq!(b.len(), n, "rhs must have length n");
-    let mut m = a.to_vec();
-    let mut rhs = b.to_vec();
-
-    for col in 0..n {
-        // Partial pivot.
-        // NaN-safe pivot: a NaN magnitude ranks below every finite one
-        // (plain total_cmp would rank positive NaN above +∞ and elect a
-        // poisoned row even when finite pivots exist).
-        let mag = |x: f64| {
-            let a = x.abs();
-            if a.is_nan() {
-                f64::NEG_INFINITY
-            } else {
-                a
-            }
-        };
-        let pivot_row = (col..n)
-            .max_by(|&i, &j| mag(m[i * n + col]).total_cmp(&mag(m[j * n + col])))
-            .expect("non-empty pivot candidates");
-        if m[pivot_row * n + col].abs() < 1e-30 {
-            return None;
-        }
-        if pivot_row != col {
-            for k in 0..n {
-                m.swap(col * n + k, pivot_row * n + k);
-            }
-            rhs.swap(col, pivot_row);
-        }
-        let pivot = m[col * n + col];
-        for row in (col + 1)..n {
-            let factor = m[row * n + col] / pivot;
-            if factor == 0.0 {
-                continue;
-            }
-            for k in col..n {
-                m[row * n + k] -= factor * m[col * n + k];
-            }
-            rhs[row] -= factor * rhs[col];
-        }
-    }
-
-    // Back substitution.
-    let mut x = vec![0.0; n];
-    for row in (0..n).rev() {
-        let mut acc = rhs[row];
-        for k in (row + 1)..n {
-            acc -= m[row * n + k] * x[k];
-        }
-        x[row] = acc / m[row * n + row];
-    }
-    Some(x)
+    LuFactorization::factor(n, a).map(|lu| lu.solve(b))
 }
 
 /// Solves the linear least-squares problem `min ‖X·c − y‖²` via the normal
 /// equations, where `X` is `rows×cols` row-major.
 ///
-/// Returns `None` if the normal matrix is singular.
+/// Returns `None` if the normal matrix is numerically singular (scaled
+/// pivot tolerance; a rank-deficient design matrix is reported instead of
+/// producing a garbage fit).
 ///
 /// # Panics
 ///
@@ -135,9 +243,82 @@ mod tests {
     }
 
     #[test]
+    fn factorization_solves_many_rhs() {
+        let a = vec![4.0, 1.0, 0.0, 1.0, 4.0, 1.0, 0.0, 1.0, 4.0];
+        let lu = LuFactorization::factor(3, &a).unwrap();
+        assert_eq!(lu.n(), 3);
+        for rhs in [[1.0, 0.0, 0.0], [0.5, -2.0, 7.0], [3.0, 3.0, 3.0]] {
+            let x = lu.solve(&rhs);
+            for i in 0..3 {
+                let got: f64 = (0..3).map(|j| a[i * 3 + j] * x[j]).sum();
+                assert!((got - rhs[i]).abs() < 1e-12, "row {i}: {got} != {}", rhs[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn factorization_matches_one_shot_solve() {
+        let a = vec![0.0, 2.0, 1.0, 1.0, 1.0, 1.0, 2.0, 0.0, 3.0];
+        let b = vec![5.0, 6.0, 13.0];
+        let via_lu = LuFactorization::factor(3, &a).unwrap().solve(&b);
+        let one_shot = solve_dense(3, &a, &b).unwrap();
+        assert_eq!(via_lu, one_shot);
+    }
+
+    #[test]
     fn singular_matrix_returns_none() {
         let a = vec![1.0, 2.0, 2.0, 4.0];
         assert!(solve_dense(2, &a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn near_singular_matrix_is_reported_not_garbage() {
+        // Rows differ by one part in 10¹³: far beyond any meaningful
+        // precision for the fitters. The old absolute 1e-30 pivot floor
+        // accepted this system and returned components of order 10¹³; the
+        // scaled tolerance reports it as singular.
+        let eps = 1e-13;
+        let a = vec![1.0, 2.0, 2.0, 4.0 + eps];
+        assert!(solve_dense(2, &a, &[1.0, 2.0]).is_none());
+        assert!(LuFactorization::factor(2, &a).is_none());
+    }
+
+    #[test]
+    fn ill_conditioned_normal_equations_return_none() {
+        // Two nearly identical columns make XᵀX numerically singular; the
+        // fit must be refused rather than fabricated.
+        let rows = 6;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for r in 0..rows {
+            let t = r as f64;
+            x.extend_from_slice(&[t, t * (1.0 + 1e-15)]);
+            y.push(t);
+        }
+        assert!(least_squares(rows, 2, &x, &y).is_none());
+    }
+
+    #[test]
+    fn scaled_tolerance_accepts_uniformly_tiny_systems() {
+        // A well-conditioned matrix whose entries are all ~1e-20 would
+        // fail any absolute pivot floor near that magnitude; the relative
+        // test sails through.
+        let s = 1e-20;
+        let a = vec![2.0 * s, 1.0 * s, 1.0 * s, 3.0 * s];
+        let x = solve_dense(2, &a, &[3.0 * s, 5.0 * s]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-10);
+        assert!((x[1] - 1.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn all_zero_matrix_is_singular() {
+        assert!(LuFactorization::factor(2, &[0.0; 4]).is_none());
+    }
+
+    #[test]
+    fn nan_matrix_is_singular_not_propagated() {
+        let a = vec![f64::NAN, 1.0, 1.0, f64::NAN];
+        assert!(LuFactorization::factor(2, &a).is_none());
     }
 
     #[test]
@@ -170,12 +351,22 @@ mod tests {
             .sum();
         // Any line through the data has residual >= the LS optimum; the
         // analytic optimum for this data set is 1.152.
-        assert!(resid > 0.0 && (resid - 1.152).abs() < 1e-9, "residual {resid}");
+        assert!(
+            resid > 0.0 && (resid - 1.152).abs() < 1e-9,
+            "residual {resid}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "matrix must be n×n")]
     fn bad_shape_panics() {
         let _ = solve_dense(2, &[1.0, 2.0, 3.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs must have length n")]
+    fn bad_rhs_length_panics() {
+        let lu = LuFactorization::factor(2, &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        let _ = lu.solve(&[1.0]);
     }
 }

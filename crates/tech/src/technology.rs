@@ -170,8 +170,7 @@ impl Technology {
     /// an absolute floor. Custom nodes without one fall back to a multiple
     /// of `V_th` (the paper's noise-margin formulation).
     pub fn voltage_floor(&self) -> Volts {
-        self.v_min
-            .unwrap_or(self.vth * self.voltage_floor_factor)
+        self.v_min.unwrap_or(self.vth * self.voltage_floor_factor)
     }
 
     /// Per-core dynamic power at nominal voltage and frequency (`P_D1`).
@@ -367,9 +366,7 @@ impl TechnologyBuilder {
         if self.vdd_nominal.as_f64() <= 0.0 || self.vth.as_f64() <= 0.0 {
             return err("voltages must be positive".into());
         }
-        let floor = self
-            .v_min
-            .unwrap_or(self.vth * self.voltage_floor_factor);
+        let floor = self.v_min.unwrap_or(self.vth * self.voltage_floor_factor);
         if floor >= self.vdd_nominal {
             return err(format!(
                 "voltage floor {} must lie below Vdd = {}",
@@ -475,8 +472,14 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_alpha() {
-        assert!(TechnologyBuilder::new(ProcessNode::Nm65).alpha(0.0).build().is_err());
-        assert!(TechnologyBuilder::new(ProcessNode::Nm65).alpha(3.5).build().is_err());
+        assert!(TechnologyBuilder::new(ProcessNode::Nm65)
+            .alpha(0.0)
+            .build()
+            .is_err());
+        assert!(TechnologyBuilder::new(ProcessNode::Nm65)
+            .alpha(3.5)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -491,7 +494,9 @@ mod tests {
     fn builder_rejects_bad_gate_share() {
         let mut physics = *Technology::itrs_65nm().leakage_physics();
         physics.gate_leak_share = 1.0;
-        let r = TechnologyBuilder::new(ProcessNode::Nm65).leakage(physics).build();
+        let r = TechnologyBuilder::new(ProcessNode::Nm65)
+            .leakage(physics)
+            .build();
         assert!(r.is_err());
     }
 

@@ -63,7 +63,12 @@ impl Block {
         let x_touch = (self.x_mm + self.w_mm - other.x_mm).abs() < EPS
             || (other.x_mm + other.w_mm - self.x_mm).abs() < EPS;
         if x_touch {
-            let len = overlap(self.y_mm, self.y_mm + self.h_mm, other.y_mm, other.y_mm + other.h_mm);
+            let len = overlap(
+                self.y_mm,
+                self.y_mm + self.h_mm,
+                other.y_mm,
+                other.y_mm + other.h_mm,
+            );
             if len > EPS {
                 return len;
             }
@@ -71,7 +76,12 @@ impl Block {
         let y_touch = (self.y_mm + self.h_mm - other.y_mm).abs() < EPS
             || (other.y_mm + other.h_mm - self.y_mm).abs() < EPS;
         if y_touch {
-            let len = overlap(self.x_mm, self.x_mm + self.w_mm, other.x_mm, other.x_mm + other.w_mm);
+            let len = overlap(
+                self.x_mm,
+                self.x_mm + self.w_mm,
+                other.x_mm,
+                other.x_mm + other.w_mm,
+            );
             if len > EPS {
                 return len;
             }
@@ -121,14 +131,25 @@ impl Floorplan {
     pub fn new(blocks: Vec<Block>) -> Self {
         assert!(!blocks.is_empty(), "floorplan must contain blocks");
         for b in &blocks {
-            assert!(b.w_mm > 0.0 && b.h_mm > 0.0, "block {} has empty extent", b.name);
+            assert!(
+                b.w_mm > 0.0 && b.h_mm > 0.0,
+                "block {} has empty extent",
+                b.name
+            );
         }
         Self { blocks }
     }
 
     /// A single EV6-like core tile of `w_mm × h_mm` at origin `(x, y)`,
     /// with block names prefixed by `prefix`.
-    pub fn ev6_core(prefix: &str, x_mm: f64, y_mm: f64, w_mm: f64, h_mm: f64, core: usize) -> Vec<Block> {
+    pub fn ev6_core(
+        prefix: &str,
+        x_mm: f64,
+        y_mm: f64,
+        w_mm: f64,
+        h_mm: f64,
+        core: usize,
+    ) -> Vec<Block> {
         EV6_TILE_LAYOUT
             .iter()
             .map(|&(name, fx, fy, fw, fh)| Block {

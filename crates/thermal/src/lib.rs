@@ -45,7 +45,7 @@ pub mod network;
 pub use error::ThermalError;
 pub use floorplan::{Block, BlockKind, Floorplan};
 pub use model::{FixpointOptions, FixpointResult, ThermalMap, ThermalModel};
-pub use network::{PackageParams, RcNetwork};
+pub use network::{PackageParams, RcNetwork, TransientSolver};
 
 #[cfg(test)]
 mod proptests {
@@ -86,7 +86,9 @@ mod proptests {
             let net = RcNetwork::build(&f, &PackageParams::default());
             let amb = Celsius::new(45.0);
             let nb = f.blocks().len();
-            let p: Vec<Watts> = (0..nb).map(|i| Watts::new(total * (i % 3) as f64 / nb as f64)).collect();
+            let p: Vec<Watts> = (0..nb)
+                .map(|i| Watts::new(total * (i % 3) as f64 / nb as f64))
+                .collect();
             let pk: Vec<Watts> = p.iter().map(|w| *w * k).collect();
             let t1 = net.steady_state(&p, amb);
             let tk = net.steady_state(&pk, amb);

@@ -62,11 +62,7 @@ impl ThermalMap {
     /// Area-weighted average over the *active* cores only (cores with index
     /// below `active`), matching the paper's practice of shutting down and
     /// excluding unused cores.
-    pub fn average_active_core_temperature(
-        &self,
-        floorplan: &Floorplan,
-        active: usize,
-    ) -> Celsius {
+    pub fn average_active_core_temperature(&self, floorplan: &Floorplan, active: usize) -> Celsius {
         self.average_where(floorplan, |i| match floorplan.blocks()[i].kind {
             BlockKind::Core { core } => core < active,
             BlockKind::L2 => false,
@@ -397,9 +393,7 @@ impl ThermalModel {
                 .iter()
                 .zip(&static_power)
                 .map(|(new, old)| {
-                    Watts::new(
-                        (1.0 - opts.damping) * new.as_f64() + opts.damping * old.as_f64(),
-                    )
+                    Watts::new((1.0 - opts.damping) * new.as_f64() + opts.damping * old.as_f64())
                 })
                 .collect();
             let total: Vec<Watts> = dynamic_power
@@ -476,6 +470,10 @@ impl ThermalModel {
     /// as returned by a previous call or seeded at ambient), per-block
     /// powers, and a step length; returns the new node temperatures.
     ///
+    /// One-shot convenience that refactors `(C/dt + G)` on every call;
+    /// loops with a fixed step should hold a
+    /// [`ThermalModel::transient_stepper`] instead.
+    ///
     /// # Panics
     ///
     /// Panics on dimension mismatches or a non-positive step.
@@ -487,6 +485,20 @@ impl ThermalModel {
     ) -> Vec<Celsius> {
         self.network
             .transient_step(node_temps, powers, self.ambient, dt)
+    }
+
+    /// Builds a reusable implicit-Euler stepper for step length `dt`: the
+    /// `(C/dt + G)` matrix is factored once, so marching a long trace
+    /// costs one O(n²) solve per step instead of O(n³).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn transient_stepper(
+        &self,
+        dt: tlp_tech::units::Seconds,
+    ) -> crate::network::TransientSolver {
+        self.network.transient_solver(dt)
     }
 
     /// Average power density over the active cores' blocks for a given
@@ -579,9 +591,15 @@ mod tests {
             0.01,
             50,
         );
-        assert!(result.converged, "fixpoint failed after {} iters", result.iterations);
+        assert!(
+            result.converged,
+            "fixpoint failed after {} iters",
+            result.iterations
+        );
         // Static power raises temperature above the dynamic-only solve.
-        let dyn_only = m.steady_state(&dynamic).average_core_temperature(m.floorplan());
+        let dyn_only = m
+            .steady_state(&dynamic)
+            .average_core_temperature(m.floorplan());
         let with_static = result.map.average_core_temperature(m.floorplan());
         assert!(with_static.as_f64() > dyn_only.as_f64());
     }
@@ -618,8 +636,7 @@ mod tests {
         let p = m.uniform_core_power(Watts::new(70.0), 3);
         let map = m.steady_state(&p);
         assert!(
-            map.max_temperature().as_f64()
-                >= map.average_core_temperature(m.floorplan()).as_f64()
+            map.max_temperature().as_f64() >= map.average_core_temperature(m.floorplan()).as_f64()
         );
     }
 
@@ -684,7 +701,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            crate::ThermalError::NonFinite { context: "static power", .. }
+            crate::ThermalError::NonFinite {
+                context: "static power",
+                ..
+            }
         ));
     }
 

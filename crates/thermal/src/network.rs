@@ -7,7 +7,7 @@
 //! boundary. Steady-state temperatures solve `G·T = P + g_amb·T_amb`;
 //! transients use implicit-Euler stepping on `C·dT/dt = P − G·T`.
 
-use tlp_tech::linalg::solve_dense;
+use tlp_tech::linalg::LuFactorization;
 use tlp_tech::units::{Celsius, Seconds, Watts};
 
 use crate::floorplan::Floorplan;
@@ -50,12 +50,21 @@ impl Default for PackageParams {
 /// Node layout: indices `0..n_blocks` are floorplan blocks, then the
 /// spreader node, then the sink node. Ambient is a boundary condition, not
 /// a node.
+///
+/// The conductance matrix `G` is fixed at build time (only
+/// [`RcNetwork::set_sink_conductance`] changes it), so its LU
+/// factorization is computed once and cached: every steady-state solve —
+/// and there is one per fixpoint iteration — is a cheap O(n²)
+/// back-substitution instead of an O(n³) refactorization. This mirrors
+/// HotSpot's reuse of the factored thermal matrix across solves.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RcNetwork {
     n_blocks: usize,
     /// Dense symmetric conductance matrix including boundary conductance on
     /// the diagonal, row-major `(n_blocks+2)²`.
     g: Vec<f64>,
+    /// Cached factorization of `g`, rebuilt only when `g` changes.
+    g_lu: LuFactorization,
     /// Per-node thermal capacitance, J/K.
     c: Vec<f64>,
     /// Boundary conductance to ambient per node (only the sink's entry is
@@ -110,9 +119,12 @@ impl RcNetwork {
         c[spreader] = package.c_spreader;
         c[sink] = package.c_sink;
 
+        let g_lu = LuFactorization::factor(n, &g)
+            .expect("thermal conductance matrix is SPD and nonsingular");
         Self {
             n_blocks: nb,
             g,
+            g_lu,
             c,
             g_amb,
         }
@@ -134,8 +146,7 @@ impl RcNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if `powers.len() != n_blocks()` or if the conductance matrix
-    /// is singular (impossible for a connected package).
+    /// Panics if `powers.len() != n_blocks()`.
     pub fn steady_state(&self, powers: &[Watts], ambient: Celsius) -> Vec<Celsius> {
         assert_eq!(powers.len(), self.n_blocks, "one power entry per block");
         let n = self.n();
@@ -146,17 +157,20 @@ impl RcNetwork {
         for (r, g) in rhs.iter_mut().zip(&self.g_amb) {
             *r += g * ambient.as_f64();
         }
-        let t = solve_dense(n, &self.g, &rhs)
-            .expect("thermal conductance matrix is SPD and nonsingular");
+        let t = self.g_lu.solve(&rhs);
         t.into_iter().map(Celsius::new).collect()
     }
 
     /// One implicit-Euler transient step of length `dt` from temperatures
     /// `t_now` under per-block powers. Returns the new node temperatures.
     ///
+    /// One-shot convenience: this factors `(C/dt + G)` on every call.
+    /// Loops stepping at a fixed `dt` should build a [`TransientSolver`]
+    /// via [`RcNetwork::transient_solver`] once and reuse it.
+    ///
     /// # Panics
     ///
-    /// Panics on dimension mismatches.
+    /// Panics on dimension mismatches or a non-positive step.
     pub fn transient_step(
         &self,
         t_now: &[Celsius],
@@ -164,26 +178,38 @@ impl RcNetwork {
         ambient: Celsius,
         dt: Seconds,
     ) -> Vec<Celsius> {
-        let n = self.n();
-        assert_eq!(t_now.len(), n, "one temperature per node");
-        assert_eq!(powers.len(), self.n_blocks, "one power entry per block");
+        self.transient_solver(dt).step(t_now, powers, ambient)
+    }
+
+    /// Builds the reusable implicit-Euler stepper for time step `dt`:
+    /// factors `(C/dt + G)` once so each [`TransientSolver::step`] is an
+    /// O(n²) back-substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn transient_solver(&self, dt: Seconds) -> TransientSolver {
         assert!(dt.as_f64() > 0.0, "time step must be positive");
-        // (C/dt + G) T' = C/dt·T + P + g_amb·T_amb
+        let n = self.n();
         let mut a = self.g.clone();
-        let mut rhs = vec![0.0; n];
+        let mut c_over_dt = vec![0.0; n];
         for i in 0..n {
             let cdt = self.c[i] / dt.as_f64();
             a[i * n + i] += cdt;
-            rhs[i] = cdt * t_now[i].as_f64() + self.g_amb[i] * ambient.as_f64();
+            c_over_dt[i] = cdt;
         }
-        for (i, p) in powers.iter().enumerate() {
-            rhs[i] += p.as_f64();
+        let lu = LuFactorization::factor(n, &a).expect("implicit-Euler matrix is nonsingular");
+        TransientSolver {
+            n_blocks: self.n_blocks,
+            dt,
+            lu,
+            c_over_dt,
+            g_amb: self.g_amb.clone(),
         }
-        let t = solve_dense(n, &a, &rhs).expect("implicit-Euler matrix is nonsingular");
-        t.into_iter().map(Celsius::new).collect()
     }
 
-    /// Updates the sink-to-ambient conductance (used by calibration).
+    /// Updates the sink-to-ambient conductance (used by calibration) and
+    /// refactors the cached conductance matrix.
     pub fn set_sink_conductance(&mut self, g_sink_ambient: f64) {
         assert!(g_sink_ambient > 0.0, "conductance must be positive");
         let n = self.n();
@@ -191,6 +217,50 @@ impl RcNetwork {
         self.g[sink * n + sink] -= self.g_amb[sink];
         self.g_amb[sink] = g_sink_ambient;
         self.g[sink * n + sink] += g_sink_ambient;
+        self.g_lu = LuFactorization::factor(n, &self.g)
+            .expect("thermal conductance matrix is SPD and nonsingular");
+    }
+}
+
+/// A reusable implicit-Euler stepper for one RC network at a fixed time
+/// step: the `(C/dt + G)` matrix is factored once at construction, so
+/// every [`TransientSolver::step`] costs one O(n²) solve. Build via
+/// [`RcNetwork::transient_solver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSolver {
+    n_blocks: usize,
+    dt: Seconds,
+    lu: LuFactorization,
+    c_over_dt: Vec<f64>,
+    g_amb: Vec<f64>,
+}
+
+impl TransientSolver {
+    /// The fixed step length this solver was factored for.
+    pub fn dt(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Advances the network one step of `dt` from node temperatures
+    /// `t_now` under per-block powers. Returns the new node temperatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn step(&self, t_now: &[Celsius], powers: &[Watts], ambient: Celsius) -> Vec<Celsius> {
+        let n = self.lu.n();
+        assert_eq!(t_now.len(), n, "one temperature per node");
+        assert_eq!(powers.len(), self.n_blocks, "one power entry per block");
+        // (C/dt + G) T' = C/dt·T + P + g_amb·T_amb
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            rhs[i] = self.c_over_dt[i] * t_now[i].as_f64() + self.g_amb[i] * ambient.as_f64();
+        }
+        for (i, p) in powers.iter().enumerate() {
+            rhs[i] += p.as_f64();
+        }
+        let t = self.lu.solve(&rhs);
+        t.into_iter().map(Celsius::new).collect()
     }
 }
 
@@ -210,7 +280,10 @@ mod tests {
         let (f, net) = small_net();
         let temps = net.steady_state(&vec![Watts::ZERO; f.blocks().len()], Celsius::new(45.0));
         for t in temps {
-            assert!((t.as_f64() - 45.0).abs() < 1e-6, "temperature {t} != ambient");
+            assert!(
+                (t.as_f64() - 45.0).abs() < 1e-6,
+                "temperature {t} != ambient"
+            );
         }
     }
 
@@ -308,6 +381,24 @@ mod tests {
             assert!(avg >= prev_avg - 1e-9);
             prev_avg = avg;
         }
+    }
+
+    #[test]
+    fn cached_transient_solver_matches_one_shot_steps() {
+        let (f, net) = small_net();
+        let nb = f.blocks().len();
+        let amb = Celsius::new(45.0);
+        let powers = vec![Watts::new(0.8); nb];
+        let dt = Seconds::new(0.5);
+        let solver = net.transient_solver(dt);
+        assert_eq!(solver.dt(), dt);
+        let mut via_solver = vec![amb; nb + 2];
+        let mut via_one_shot = vec![amb; nb + 2];
+        for _ in 0..25 {
+            via_solver = solver.step(&via_solver, &powers, amb);
+            via_one_shot = net.transient_step(&via_one_shot, &powers, amb, dt);
+        }
+        assert_eq!(via_solver, via_one_shot);
     }
 
     #[test]

@@ -714,9 +714,16 @@ mod tests {
             let (mut fp, mut total) = (0u64, 0u64);
             for ph in &p {
                 let (kernel, items) = match ph {
-                    PhaseSpec::Parallel { kernel, total_items } => (kernel, *total_items),
+                    PhaseSpec::Parallel {
+                        kernel,
+                        total_items,
+                    } => (kernel, *total_items),
                     PhaseSpec::Sequential { kernel, items } => (kernel, *items),
-                    PhaseSpec::Locked { kernel, total_items, .. } => (kernel, *total_items),
+                    PhaseSpec::Locked {
+                        kernel,
+                        total_items,
+                        ..
+                    } => (kernel, *total_items),
                     PhaseSpec::Barrier => continue,
                 };
                 fp += kernel.fp_per_item as u64 * items;
@@ -724,7 +731,11 @@ mod tests {
             }
             fp as f64 / total as f64
         };
-        assert!(fp_share(AppId::Fmm) > 0.5, "FMM fp share {}", fp_share(AppId::Fmm));
+        assert!(
+            fp_share(AppId::Fmm) > 0.5,
+            "FMM fp share {}",
+            fp_share(AppId::Fmm)
+        );
         assert_eq!(fp_share(AppId::Radix), 0.0);
     }
 
@@ -733,7 +744,8 @@ mod tests {
         for app in [AppId::Barnes, AppId::Cholesky, AppId::Lu, AppId::Radix] {
             let p = phases(app, 0, 4, Scale::Test);
             assert!(
-                p.iter().any(|ph| matches!(ph, PhaseSpec::Sequential { .. })),
+                p.iter()
+                    .any(|ph| matches!(ph, PhaseSpec::Sequential { .. })),
                 "{app} should have a sequential phase"
             );
         }

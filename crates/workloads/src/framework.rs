@@ -76,7 +76,10 @@ pub struct Kernel {
 impl Kernel {
     /// Dynamic instructions one item expands to.
     pub fn instructions_per_item(&self) -> u64 {
-        (self.int_per_item + self.fp_per_item + self.loads_per_item + self.stores_per_item
+        (self.int_per_item
+            + self.fp_per_item
+            + self.loads_per_item
+            + self.stores_per_item
             + self.branches_per_item) as u64
     }
 }
@@ -214,7 +217,9 @@ impl SyntheticProgram {
             .collect();
         Self {
             thread,
-            rng: SplitMix64::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1))),
+            rng: SplitMix64::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1)),
+            ),
             phases,
             shares,
             phase_idx: 0,
@@ -258,7 +263,11 @@ impl SyntheticProgram {
                 addr
             }
             AccessPattern::Random { base, len } => base + self.rng.gen_range_u64(0..len.max(1)),
-            AccessPattern::Walk { base, len, jump_prob } => {
+            AccessPattern::Walk {
+                base,
+                len,
+                jump_prob,
+            } => {
                 if self.rng.gen_bool(jump_prob.clamp(0.0, 1.0)) {
                     self.stream_pos = self.rng.gen_range_u64(0..len.max(1));
                 } else {
@@ -388,7 +397,9 @@ impl SyntheticProgram {
                 }
                 Cursor::LockedItems(left) => {
                     let (kernel, n_locks) = match &self.phases[idx] {
-                        PhaseSpec::Locked { kernel, n_locks, .. } => (*kernel, *n_locks),
+                        PhaseSpec::Locked {
+                            kernel, n_locks, ..
+                        } => (*kernel, *n_locks),
                         _ => unreachable!("LockedItems cursor only for locked phases"),
                     };
                     let lock = self.lock_rr % n_locks.max(1);
@@ -403,9 +414,7 @@ impl SyntheticProgram {
                     }
                 }
                 Cursor::BarrierPending => {
-                    self.buf.push_back(Op::Barrier {
-                        id: idx as u32,
-                    });
+                    self.buf.push_back(Op::Barrier { id: idx as u32 });
                     self.phase_idx += 1;
                 }
             }

@@ -87,9 +87,15 @@ mod proptests {
             let thread = rng.gen_range_usize(0..4);
             let seed = rng.gen_range_u64(0..1000);
             let phases = vec![
-                PhaseSpec::Parallel { total_items: items, kernel },
+                PhaseSpec::Parallel {
+                    total_items: items,
+                    kernel,
+                },
                 PhaseSpec::Barrier,
-                PhaseSpec::Sequential { items: items / 2, kernel },
+                PhaseSpec::Sequential {
+                    items: items / 2,
+                    kernel,
+                },
                 PhaseSpec::Barrier,
             ];
             let mut p = SyntheticProgram::new(phases, thread, 4, 0.1, seed);
@@ -122,10 +128,17 @@ mod proptests {
                 branches_per_item: 0,
                 mispredict_rate: 0.0,
                 load_pattern: AccessPattern::Random { base: 0, len: 4096 },
-                store_pattern: AccessPattern::Random { base: 8192, len: 4096 },
+                store_pattern: AccessPattern::Random {
+                    base: 8192,
+                    len: 4096,
+                },
             };
             let mut p = SyntheticProgram::new(
-                vec![PhaseSpec::Locked { total_items: items, n_locks, kernel }],
+                vec![PhaseSpec::Locked {
+                    total_items: items,
+                    n_locks,
+                    kernel,
+                }],
                 0,
                 1,
                 0.0,

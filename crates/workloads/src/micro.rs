@@ -22,7 +22,11 @@ use crate::framework::{AccessPattern, Kernel, PhaseSpec, SyntheticProgram};
 /// // Near-peak issue: IPC close to the 4-wide limit.
 /// assert!(r.ipc() > 3.0, "power virus IPC {}", r.ipc());
 /// ```
-pub fn power_virus(thread: usize, n_threads: usize, items: u64) -> Box<dyn tlp_sim::op::ThreadProgram> {
+pub fn power_virus(
+    thread: usize,
+    n_threads: usize,
+    items: u64,
+) -> Box<dyn tlp_sim::op::ThreadProgram> {
     let hot = AccessPattern::Streaming {
         base: 0x10_0000 + thread as u64 * 0x1_0000,
         len: 16 * 1024, // fits comfortably in the 64 KB L1
@@ -98,7 +102,11 @@ mod tests {
         let r = CmpSimulator::new(CmpConfig::ispass05(1), vec![power_virus(0, 1, 50_000)]).run();
         assert!(r.ipc() > 3.0, "IPC {}", r.ipc());
         // Only the compulsory warm-up misses stall the virus.
-        assert!(r.memory_stall_fraction() < 0.15, "stall {}", r.memory_stall_fraction());
+        assert!(
+            r.memory_stall_fraction() < 0.15,
+            "stall {}",
+            r.memory_stall_fraction()
+        );
     }
 
     #[test]
@@ -120,7 +128,9 @@ mod tests {
     fn virus_scales_across_threads() {
         // Hold total work constant: N threads each run 1/N of the items.
         let mk = |n: usize| {
-            let threads = (0..n).map(|t| power_virus(t, n, 40_000 / n as u64)).collect();
+            let threads = (0..n)
+                .map(|t| power_virus(t, n, 40_000 / n as u64))
+                .collect();
             CmpSimulator::new(CmpConfig::ispass05(4), threads).run()
         };
         let one = mk(1);

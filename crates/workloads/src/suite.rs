@@ -198,8 +198,7 @@ pub fn gang(
 ) -> Vec<Box<dyn tlp_sim::op::ThreadProgram>> {
     (0..n_threads)
         .map(|t| {
-            Box::new(program(app, t, n_threads, scale, seed))
-                as Box<dyn tlp_sim::op::ThreadProgram>
+            Box::new(program(app, t, n_threads, scale, seed)) as Box<dyn tlp_sim::op::ThreadProgram>
         })
         .collect()
 }

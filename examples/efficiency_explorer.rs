@@ -27,12 +27,9 @@ fn main() {
                 "-".into()
             }
         };
-        let stall = CmpSimulator::new(
-            CmpConfig::ispass05(16),
-            gang(app, 1, Scale::Test, 7),
-        )
-        .run()
-        .memory_stall_fraction();
+        let stall = CmpSimulator::new(CmpConfig::ispass05(16), gang(app, 1, Scale::Test, 7))
+            .run()
+            .memory_stall_fraction();
         println!(
             "{:<11} {:>7} {:>7} {:>7} {:>7} {:>8.0}% {:>7}",
             app.name(),
@@ -41,7 +38,11 @@ fn main() {
             eff(8),
             eff(16),
             100.0 * stall,
-            if app.is_memory_bound() { "memory" } else { "compute" }
+            if app.is_memory_bound() {
+                "memory"
+            } else {
+                "compute"
+            }
         );
     }
     println!("\nεn(N) = T1 / (N · TN) at equal clocks (paper Eq. 6).");

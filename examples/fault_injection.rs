@@ -54,8 +54,8 @@ fn main() {
         "injecting: dropped arrival at barrier {barrier} (Water-Nsq@2), \
          100x leakage (FFT@4)\n"
     );
-    let report = run_sweep(&chip, &spec, &RetryPolicy::default(), &plan)
-        .expect("the DVFS ladder builds");
+    let report =
+        run_sweep(&chip, &spec, &RetryPolicy::default(), &plan).expect("the DVFS ladder builds");
 
     for (cell, row) in report.completed() {
         println!(

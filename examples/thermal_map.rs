@@ -35,7 +35,10 @@ fn main() {
         let map = tile.steady_state(&per_block);
 
         let temps = map.block_temps();
-        let t_min = temps.iter().map(|t| t.as_f64()).fold(f64::INFINITY, f64::min);
+        let t_min = temps
+            .iter()
+            .map(|t| t.as_f64())
+            .fold(f64::INFINITY, f64::min);
         let t_max = temps.iter().map(|t| t.as_f64()).fold(0.0, f64::max);
         println!(
             "\n{} on one core at nominal V/f — tile temperatures ({:.1}–{:.1} °C):",
@@ -53,8 +56,7 @@ fn main() {
                 "  {:<16} {:>6.1} °C {}",
                 block.name,
                 temp.as_f64(),
-                std::iter::repeat_n(shade(frac), 1 + (frac * 30.0) as usize)
-                    .collect::<String>()
+                std::iter::repeat_n(shade(frac), 1 + (frac * 30.0) as usize).collect::<String>()
             );
         }
     }

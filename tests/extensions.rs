@@ -42,11 +42,7 @@ fn thrifty_barrier_preserves_results_volume() {
     // Same useful work with or without sleeping.
     let mut cfg = CmpConfig::ispass05(16);
     cfg.core.sleep = SleepPolicy::THRIFTY;
-    let base = CmpSimulator::new(
-        CmpConfig::ispass05(16),
-        gang(AppId::Lu, 4, Scale::Test, 9),
-    )
-    .run();
+    let base = CmpSimulator::new(CmpConfig::ispass05(16), gang(AppId::Lu, 4, Scale::Test, 9)).run();
     let thrifty = CmpSimulator::new(cfg, gang(AppId::Lu, 4, Scale::Test, 9)).run();
     assert_eq!(base.useful_instructions(), thrifty.useful_instructions());
 }

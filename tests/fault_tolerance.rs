@@ -55,9 +55,7 @@ fn first_barrier_id(app: AppId, n: usize) -> u32 {
     }
 }
 
-fn failed_cells(
-    report: &cmp_tlp::sweep::SweepReport,
-) -> Vec<(SweepCell, &ExperimentError, u32)> {
+fn failed_cells(report: &cmp_tlp::sweep::SweepReport) -> Vec<(SweepCell, &ExperimentError, u32)> {
     report.failed().collect()
 }
 
@@ -65,11 +63,7 @@ fn failed_cells(
 fn deadlock_fault_names_the_stuck_barrier_and_cores() {
     let app = AppId::WaterNsq;
     let barrier = first_barrier_id(app, 2);
-    let plan = FaultPlan::none().inject(
-        app,
-        2,
-        Fault::DropBarrierArrival { barrier, thread: 1 },
-    );
+    let plan = FaultPlan::none().inject(app, 2, Fault::DropBarrierArrival { barrier, thread: 1 });
     let report = run_sweep(
         &chip(),
         &spec(vec![app], vec![1, 2]),
@@ -196,7 +190,11 @@ fn faulted_fig3_sweep_completes_with_exact_failure_set() {
     let diverged = AppId::Fft;
     let barrier = first_barrier_id(deadlocked, 2);
     let plan = FaultPlan::none()
-        .inject(deadlocked, 2, Fault::DropBarrierArrival { barrier, thread: 0 })
+        .inject(
+            deadlocked,
+            2,
+            Fault::DropBarrierArrival { barrier, thread: 0 },
+        )
         .inject(diverged, 4, Fault::InflateLeakage(100.0));
     let report = run_sweep(
         &chip(),
@@ -214,8 +212,14 @@ fn faulted_fig3_sweep_completes_with_exact_failure_set() {
     assert_eq!(
         failed_set,
         vec![
-            SweepCell { app: deadlocked, n: 2 },
-            SweepCell { app: diverged, n: 4 },
+            SweepCell {
+                app: deadlocked,
+                n: 2
+            },
+            SweepCell {
+                app: diverged,
+                n: 4
+            },
         ],
         "{}",
         report.summary()
@@ -241,6 +245,12 @@ fn faulted_fig3_sweep_completes_with_exact_failure_set() {
     // The summary names both losses.
     let summary = report.summary();
     assert!(summary.contains("4/6"), "{summary}");
-    assert!(summary.contains(&format!("{}@2", deadlocked.name())), "{summary}");
-    assert!(summary.contains(&format!("{}@4", diverged.name())), "{summary}");
+    assert!(
+        summary.contains(&format!("{}@2", deadlocked.name())),
+        "{summary}"
+    );
+    assert!(
+        summary.contains(&format!("{}@4", diverged.name())),
+        "{summary}"
+    );
 }

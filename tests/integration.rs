@@ -42,9 +42,7 @@ fn scenario1_and_scenario2_share_the_profile() {
     assert_eq!(s1.rows.len(), 2);
     assert_eq!(s2.rows.len(), 2);
     // Both scenarios agree on the nominal efficiency they consumed.
-    assert!(
-        (s1.rows[1].nominal_efficiency * 2.0 - s2.rows[1].nominal_speedup).abs() < 1e-9
-    );
+    assert!((s1.rows[1].nominal_efficiency * 2.0 - s2.rows[1].nominal_speedup).abs() < 1e-9);
 }
 
 #[test]

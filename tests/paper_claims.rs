@@ -18,7 +18,11 @@ fn fig1_parallelism_saves_power_at_iso_performance() {
     let chip = AnalyticChip::new(Technology::itrs_65nm(), 32);
     let s1 = Scenario1::new(&chip);
     let p = s1.solve(4, 0.9).unwrap();
-    assert!(p.normalized_power < 0.5, "normalized power {}", p.normalized_power);
+    assert!(
+        p.normalized_power < 0.5,
+        "normalized power {}",
+        p.normalized_power
+    );
 }
 
 #[test]
@@ -61,8 +65,16 @@ fn fig2_budget_caps_speedup_of_perfect_apps() {
     let s2 = Scenario2::new(&chip);
     let sweep = s2.sweep(32, &EfficiencyCurve::Perfect);
     let best = optimal_point(&sweep).unwrap();
-    assert!(best.speedup > 2.5 && best.speedup < 6.0, "peak speedup {}", best.speedup);
-    assert!(best.n > 2 && best.n < 32, "interior optimum, got N={}", best.n);
+    assert!(
+        best.speedup > 2.5 && best.speedup < 6.0,
+        "peak speedup {}",
+        best.speedup
+    );
+    assert!(
+        best.n > 2 && best.n < 32,
+        "interior optimum, got N={}",
+        best.n
+    );
     // Rapid degradation beyond the optimum.
     let last = sweep.last().unwrap();
     assert!(last.speedup < 0.85 * best.speedup);
@@ -81,11 +93,18 @@ fn fig2_65nm_suffers_more_from_static_power() {
     assert!(peak65.speedup < peak130.speedup);
     // Degradation from peak to N=24 is steeper at 65 nm.
     let at = |sweep: &[tlp_analytic::Scenario2Point], n: usize| {
-        sweep.iter().find(|p| p.n == n).map(|p| p.speedup).unwrap_or(0.0)
+        sweep
+            .iter()
+            .find(|p| p.n == n)
+            .map(|p| p.speedup)
+            .unwrap_or(0.0)
     };
     let drop130 = 1.0 - at(&s130, 24) / peak130.speedup;
     let drop65 = 1.0 - at(&s65, 24) / peak65.speedup;
-    assert!(drop65 > drop130, "65nm drop {drop65} !> 130nm drop {drop130}");
+    assert!(
+        drop65 > drop130,
+        "65nm drop {drop65} !> 130nm drop {drop130}"
+    );
 }
 
 // ---------------------------------------------------------------- Fig. 3
@@ -117,7 +136,11 @@ fn fig3_memory_bound_apps_beat_iso_performance_target() {
     let profile = profiling::profile(&chip, AppId::Ocean, &[1, 4], Scale::Test, 51);
     let r = scenario1::run(&chip, &profile, Scale::Test, 51);
     let four = r.rows.iter().find(|x| x.n == 4).unwrap();
-    assert!(four.actual_speedup > 1.05, "Ocean speedup {}", four.actual_speedup);
+    assert!(
+        four.actual_speedup > 1.05,
+        "Ocean speedup {}",
+        four.actual_speedup
+    );
 }
 
 #[test]
@@ -168,8 +191,7 @@ fn fig4_radix_runs_at_nominal_for_small_n() {
         assert!(
             row.unconstrained,
             "Radix N={} should be unconstrained, power {}",
-            row.n,
-            row.power_watts
+            row.n, row.power_watts
         );
     }
 }

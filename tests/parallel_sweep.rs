@@ -1,0 +1,148 @@
+//! Determinism contract of the parallel sweep engine: for any worker
+//! count, `run_sweep_with` must produce the same `CellOutcome` sequence
+//! — and the same JSON bytes — as a serial run. Timing is the only thing
+//! allowed to differ, and it lives outside the deterministic payload.
+
+use cmp_tlp::sweep::{run_sweep_with, Fault, FaultPlan, RetryPolicy, SweepOptions, SweepSpec};
+use cmp_tlp::ExperimentalChip;
+use tlp_sim::op::Op;
+use tlp_sim::CmpConfig;
+use tlp_tech::json::ToJson;
+use tlp_tech::Technology;
+use tlp_workloads::{gang, AppId, Scale};
+
+fn chip() -> ExperimentalChip {
+    ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        apps: vec![AppId::WaterNsq, AppId::Fft],
+        core_counts: vec![1, 2, 4],
+        scale: Scale::Test,
+        seed: 7,
+    }
+}
+
+fn parallel_opts() -> SweepOptions {
+    // `threads: 0` resolves to available_parallelism; also force an
+    // oversubscribed pool so stealing happens even on small machines.
+    SweepOptions { threads: 0 }
+}
+
+#[test]
+fn parallel_outcomes_match_serial_exactly() {
+    let chip = chip();
+    let spec = spec();
+    let policy = RetryPolicy::default();
+    let plan = FaultPlan::none();
+
+    let serial = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial())
+        .expect("serial sweep");
+    let parallel =
+        run_sweep_with(&chip, &spec, &policy, &plan, &parallel_opts()).expect("parallel sweep");
+
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    // CellOutcome carries non-PartialEq error types; the Debug rendering
+    // covers every field of every variant.
+    assert_eq!(
+        format!("{:?}", serial.cells),
+        format!("{:?}", parallel.cells)
+    );
+    assert!(serial.cells.iter().all(|(_, o)| o.is_completed()));
+}
+
+#[test]
+fn parallel_json_bytes_match_serial_exactly() {
+    let chip = chip();
+    let spec = spec();
+    let policy = RetryPolicy::default();
+    let plan = FaultPlan::none();
+
+    let serial = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial())
+        .expect("serial sweep");
+    let parallel = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions { threads: 8 })
+        .expect("parallel sweep");
+
+    assert_eq!(
+        serial.to_json().to_string_pretty(),
+        parallel.to_json().to_string_pretty()
+    );
+}
+
+#[test]
+fn determinism_holds_under_injected_faults() {
+    // Faulted cells exercise the failure paths (deadlock diagnosis, NaN
+    // poisoning, baseline-anchor failure fan-out) — the parallel engine
+    // must reproduce those outcomes byte-for-byte too.
+    let chip = chip();
+    let spec = SweepSpec {
+        apps: vec![AppId::WaterNsq, AppId::Fft, AppId::Radix],
+        core_counts: vec![1, 2, 4],
+        scale: Scale::Test,
+        seed: 7,
+    };
+    // Land the dropped arrival on a barrier the gang actually crosses
+    // (barrier ids derive from phase positions).
+    let barrier = {
+        let mut programs = gang(AppId::WaterNsq, 4, Scale::Test, 7);
+        loop {
+            match programs[0].next_op() {
+                Op::Barrier { id } => break id,
+                Op::End => panic!("water-nsq has no barriers"),
+                _ => {}
+            }
+        }
+    };
+    let policy = RetryPolicy::default();
+    let plan = FaultPlan::none()
+        .inject(AppId::Fft, 2, Fault::NanPower)
+        .inject(
+            AppId::WaterNsq,
+            4,
+            Fault::DropBarrierArrival { barrier, thread: 1 },
+        )
+        // Baseline-anchor fault: fails every Radix cell with one diagnosis.
+        .inject(AppId::Radix, 1, Fault::NanPower);
+
+    let serial = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial())
+        .expect("serial sweep");
+    let parallel = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions { threads: 6 })
+        .expect("parallel sweep");
+
+    assert_eq!(
+        format!("{:?}", serial.cells),
+        format!("{:?}", parallel.cells)
+    );
+    assert_eq!(
+        serial.to_json().to_string_pretty(),
+        parallel.to_json().to_string_pretty()
+    );
+    // Sanity: the plan actually failed cells (NaN anchor fails all 3 Radix
+    // cells, plus the two targeted cells).
+    assert_eq!(serial.failed().count(), 5);
+}
+
+#[test]
+fn timing_reflects_requested_threads() {
+    let chip = chip();
+    let spec = SweepSpec {
+        apps: vec![AppId::WaterNsq],
+        core_counts: vec![1, 2],
+        scale: Scale::Test,
+        seed: 7,
+    };
+    let r = run_sweep_with(
+        &chip,
+        &spec,
+        &RetryPolicy::default(),
+        &FaultPlan::none(),
+        &SweepOptions { threads: 3 },
+    )
+    .expect("sweep");
+    assert_eq!(r.timing.threads, 3);
+    assert_eq!(r.timing.cell_seconds.len(), r.cells.len());
+    assert!(r.timing.total_seconds > 0.0);
+    assert!(r.timing.cell_seconds.iter().all(|&s| s >= 0.0));
+    assert!(r.timing.summary().contains("3 thread(s)"));
+}
