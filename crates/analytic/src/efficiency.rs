@@ -221,12 +221,12 @@ impl EfficiencyCurve {
             design.extend_from_slice(&[1.0 - inv_n]);
             target.push(inv_s - inv_n);
         }
-        let c = least_squares(points.len(), 1, &design, &target).ok_or(
+        let c = least_squares(points.len(), 1, &design, &target).map_err(|_| {
             AnalyticError::InvalidEfficiency {
                 value: f64::NAN,
                 reason: "degenerate Amdahl fit (all points at N = 1?)",
-            },
-        )?;
+            }
+        })?;
         let s = c[0];
         if !(0.0..=1.0).contains(&s) {
             return Err(AnalyticError::InvalidEfficiency {

@@ -1,0 +1,106 @@
+//! Generator helpers over [`SplitMix64`].
+//!
+//! These are thin, deterministic combinators: every draw consumes a
+//! well-defined number of RNG steps, so generated inputs are stable for
+//! a given seed across platforms and releases of this crate.
+
+use tlp_tech::rng::SplitMix64;
+
+/// Picks one element uniformly.
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn pick<T: Copy>(rng: &mut SplitMix64, items: &[T]) -> T {
+    assert!(!items.is_empty(), "cannot pick from an empty slice");
+    items[rng.gen_range_usize(0..items.len())]
+}
+
+/// Draws a subset of `items` with between `min` and `max` elements
+/// (inclusive), preserving the original order.
+///
+/// # Panics
+///
+/// Panics if `min > max`, `min > items.len()`, or `items` is empty while
+/// `min > 0`.
+pub fn subset<T: Copy>(rng: &mut SplitMix64, items: &[T], min: usize, max: usize) -> Vec<T> {
+    assert!(min <= max, "min must not exceed max");
+    let max = max.min(items.len());
+    assert!(min <= max, "min exceeds the available items");
+    let k = rng.gen_range_usize(min..max + 1);
+    // Partial Fisher-Yates over indices, then restore input order.
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    for i in 0..k {
+        let j = rng.gen_range_usize(i..idx.len());
+        idx.swap(i, j);
+    }
+    let mut chosen = idx[..k].to_vec();
+    chosen.sort_unstable();
+    chosen.into_iter().map(|i| items[i]).collect()
+}
+
+/// Draws a non-empty prefix of `items` with between `min` and
+/// `items.len()` elements.
+///
+/// # Panics
+///
+/// Panics if `min` is zero or exceeds `items.len()`.
+pub fn prefix<T: Copy>(rng: &mut SplitMix64, items: &[T], min: usize) -> Vec<T> {
+    assert!(min >= 1 && min <= items.len(), "prefix length out of range");
+    let k = rng.gen_range_usize(min..items.len() + 1);
+    items[..k].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_is_in_range_and_deterministic() {
+        let items = [10, 20, 30];
+        let mut a = SplitMix64::seed_from_u64(5);
+        let mut b = SplitMix64::seed_from_u64(5);
+        for _ in 0..50 {
+            let x = pick(&mut a, &items);
+            assert_eq!(x, pick(&mut b, &items));
+            assert!(items.contains(&x));
+        }
+    }
+
+    #[test]
+    fn subset_respects_bounds_and_order() {
+        let items = [1, 2, 3, 4, 5];
+        let mut rng = SplitMix64::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = subset(&mut rng, &items, 1, 3);
+            assert!((1..=3).contains(&s.len()));
+            // Order preserved and no duplicates.
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn subset_can_cover_every_element() {
+        let items = [7, 8];
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let mut seen_full = false;
+        for _ in 0..50 {
+            let s = subset(&mut rng, &items, 1, 2);
+            if s == items {
+                seen_full = true;
+            }
+        }
+        assert!(seen_full);
+    }
+
+    #[test]
+    fn prefix_always_starts_at_the_front() {
+        let items = [1, 2, 4, 8];
+        let mut rng = SplitMix64::seed_from_u64(9);
+        for _ in 0..50 {
+            let p = prefix(&mut rng, &items, 1);
+            assert!(!p.is_empty());
+            assert_eq!(p[..], items[..p.len()]);
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! The property framework: seeded cases, automatic shrinking, replay.
+//!
+//! A [`Property`] owns three closures over one input type: a *generator*
+//! (seeded [`SplitMix64`] → input), a *shrinker* (input → smaller
+//! candidate inputs), and a *checker* (input → pass, or a failure
+//! message). [`Property::run`] derives one seed per case from the run
+//! seed and the property name ([`case_seed`]), so:
+//!
+//! - runs are deterministic: same run seed → same inputs, same verdict;
+//! - failures replay in isolation: the reported per-case seed fed to
+//!   [`Property::replay`] regenerates exactly the failing input without
+//!   re-running its predecessors;
+//! - adding a property never perturbs the case streams of the others.
+//!
+//! On failure the framework greedily shrinks: it asks the shrinker for
+//! candidates, keeps the first candidate that still fails, and repeats
+//! until no candidate fails or the evaluation budget runs out. Both the
+//! original and the shrunk input are reported in `Debug` form.
+
+use tlp_tech::json::{Json, ToJson};
+use tlp_tech::rng::SplitMix64;
+
+/// How expensive one case of a property is to evaluate.
+///
+/// Cheap properties (closed-form model evaluations, small linear solves)
+/// run the full requested case count. Expensive properties (each case
+/// runs whole simulations) run `max(2, cases / 32)` so a default
+/// `--cases 256` stays interactive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cost {
+    /// Closed-form or small-matrix work: run every requested case.
+    Cheap,
+    /// Simulator-in-the-loop work: run `max(2, cases / 32)`.
+    Expensive,
+}
+
+/// Run parameters: the run seed and the requested case count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Run seed; every per-case seed derives from it.
+    pub seed: u64,
+    /// Requested cases per property (scaled down by [`Cost::Expensive`]).
+    pub cases: u64,
+}
+
+impl Default for CheckConfig {
+    /// The CI pinning: seed `0xD1CE`, 256 cases.
+    fn default() -> Self {
+        Self {
+            seed: 0xD1CE,
+            cases: 256,
+        }
+    }
+}
+
+/// A failing input, as originally drawn and after shrinking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Name of the failing property.
+    pub property: String,
+    /// Index of the failing case within the run (`None` for a replay).
+    pub case_index: Option<u64>,
+    /// The per-case seed that regenerates the failing input.
+    pub case_seed: u64,
+    /// `Debug` rendering of the input as generated.
+    pub original: String,
+    /// `Debug` rendering after shrinking (equals `original` when no
+    /// shrink candidate kept failing).
+    pub shrunk: String,
+    /// Number of accepted shrink steps.
+    pub shrink_steps: usize,
+    /// The checker's failure message for the shrunk input.
+    pub message: String,
+}
+
+impl Counterexample {
+    /// Multi-line human rendering, including the replay recipe.
+    pub fn render(&self) -> String {
+        format!(
+            "property '{}' failed{}:\n  case seed : {:#x}\n  original  : {}\n  shrunk    : {} ({} step(s))\n  failure   : {}\n  replay    : cmp-tlp check --oracle {} --replay {:#x}",
+            self.property,
+            match self.case_index {
+                Some(i) => format!(" at case {i}"),
+                None => String::new(),
+            },
+            self.case_seed,
+            self.original,
+            self.shrunk,
+            self.shrink_steps,
+            self.message,
+            self.property,
+            self.case_seed,
+        )
+    }
+}
+
+impl ToJson for Counterexample {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("property", Json::from(self.property.as_str())),
+            (
+                "case_index",
+                match self.case_index {
+                    Some(i) => Json::from(i),
+                    None => Json::Null,
+                },
+            ),
+            ("case_seed", Json::from(format!("{:#x}", self.case_seed))),
+            ("original", Json::from(self.original.as_str())),
+            ("shrunk", Json::from(self.shrunk.as_str())),
+            ("shrink_steps", Json::from(self.shrink_steps)),
+            ("message", Json::from(self.message.as_str())),
+        ])
+    }
+}
+
+/// Outcome of running one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyReport {
+    /// Property name.
+    pub name: String,
+    /// Cases actually evaluated (before a failure stopped the run).
+    pub cases: u64,
+    /// The failure, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl PropertyReport {
+    /// `true` when every case passed.
+    pub fn passed(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+impl ToJson for PropertyReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::from(self.name.as_str())),
+            ("cases", Json::from(self.cases)),
+            ("passed", Json::from(self.passed())),
+            (
+                "counterexample",
+                match &self.counterexample {
+                    Some(c) => c.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Outcome of running a whole suite under one run seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteReport {
+    /// The run seed the suite was driven by.
+    pub seed: u64,
+    /// One report per property, in suite order.
+    pub properties: Vec<PropertyReport>,
+}
+
+impl SuiteReport {
+    /// `true` when every property passed.
+    pub fn passed(&self) -> bool {
+        self.properties.iter().all(PropertyReport::passed)
+    }
+}
+
+impl ToJson for SuiteReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("seed", Json::from(format!("{:#x}", self.seed))),
+            ("passed", Json::from(self.passed())),
+            (
+                "properties",
+                Json::array(&self.properties, PropertyReport::to_json),
+            ),
+        ])
+    }
+}
+
+/// Derives the seed for case `index` of property `name` under `run_seed`.
+///
+/// The property name is FNV-hashed into the stream so distinct properties
+/// draw independent inputs from one run seed, and the whole tuple is
+/// passed through one [`SplitMix64`] step so neighbouring indices do not
+/// produce correlated generator states.
+pub fn case_seed(run_seed: u64, name: &str, index: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mixed = run_seed ^ h ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    SplitMix64::seed_from_u64(mixed).next_u64()
+}
+
+/// Upper bound on checker evaluations spent shrinking one failure.
+const SHRINK_BUDGET: usize = 256;
+
+enum CaseResult {
+    Pass,
+    Fail {
+        original: String,
+        shrunk: String,
+        steps: usize,
+        message: String,
+    },
+}
+
+type Runner = Box<dyn Fn(u64) -> CaseResult + Send + Sync>;
+
+/// A named, reusable property: generator + shrinker + checker.
+///
+/// Construct with [`Property::new`] (optionally chaining
+/// [`Property::expensive`] for simulator-in-the-loop properties), then
+/// [`Property::run`] it under a [`CheckConfig`] or [`Property::replay`]
+/// one reported case seed.
+pub struct Property {
+    name: &'static str,
+    doc: &'static str,
+    cost: Cost,
+    runner: Runner,
+}
+
+impl std::fmt::Debug for Property {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Property")
+            .field("name", &self.name)
+            .field("cost", &self.cost)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Property {
+    /// Builds a property from its three closures over input type `T`.
+    ///
+    /// - `gen` draws one input from a seeded generator;
+    /// - `shrink` proposes smaller candidate inputs (may be empty);
+    /// - `check` passes (`Ok`) or fails with a message.
+    pub fn new<T, G, S, C>(
+        name: &'static str,
+        doc: &'static str,
+        gen: G,
+        shrink: S,
+        check: C,
+    ) -> Self
+    where
+        T: Clone + std::fmt::Debug + 'static,
+        G: Fn(&mut SplitMix64) -> T + Send + Sync + 'static,
+        S: Fn(&T) -> Vec<T> + Send + Sync + 'static,
+        C: Fn(&T) -> Result<(), String> + Send + Sync + 'static,
+    {
+        let runner = Box::new(move |seed: u64| {
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let input = gen(&mut rng);
+            let Err(first_message) = check(&input) else {
+                return CaseResult::Pass;
+            };
+            // Greedy shrink: accept the first candidate that still
+            // fails, restart from it, stop when a whole round passes or
+            // the budget is gone.
+            let mut current = input.clone();
+            let mut message = first_message;
+            let mut steps = 0usize;
+            let mut budget = SHRINK_BUDGET;
+            'outer: while budget > 0 {
+                for candidate in shrink(&current) {
+                    if budget == 0 {
+                        break 'outer;
+                    }
+                    budget -= 1;
+                    if let Err(m) = check(&candidate) {
+                        current = candidate;
+                        message = m;
+                        steps += 1;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            CaseResult::Fail {
+                original: format!("{input:?}"),
+                shrunk: format!("{current:?}"),
+                steps,
+                message,
+            }
+        });
+        Self {
+            name,
+            doc,
+            cost: Cost::Cheap,
+            runner,
+        }
+    }
+
+    /// Marks the property as simulator-in-the-loop (see [`Cost`]).
+    pub fn expensive(mut self) -> Self {
+        self.cost = Cost::Expensive;
+        self
+    }
+
+    /// The property's name (stable: used for case-seed derivation and
+    /// CLI `--oracle` selection).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description of the invariant.
+    pub fn doc(&self) -> &'static str {
+        self.doc
+    }
+
+    /// The property's cost class.
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Cases this property evaluates when `requested` are asked for.
+    pub fn cases_for(&self, requested: u64) -> u64 {
+        match self.cost {
+            Cost::Cheap => requested,
+            Cost::Expensive => (requested / 32).max(2),
+        }
+    }
+
+    /// Runs the property: draws [`Property::cases_for`] inputs from the
+    /// run seed and stops at the first failure, which is shrunk and
+    /// reported with its per-case seed.
+    pub fn run(&self, config: &CheckConfig) -> PropertyReport {
+        let cases = self.cases_for(config.cases);
+        for index in 0..cases {
+            let seed = case_seed(config.seed, self.name, index);
+            if let CaseResult::Fail {
+                original,
+                shrunk,
+                steps,
+                message,
+            } = (self.runner)(seed)
+            {
+                return PropertyReport {
+                    name: self.name.to_owned(),
+                    cases: index + 1,
+                    counterexample: Some(Counterexample {
+                        property: self.name.to_owned(),
+                        case_index: Some(index),
+                        case_seed: seed,
+                        original,
+                        shrunk,
+                        shrink_steps: steps,
+                        message,
+                    }),
+                };
+            }
+        }
+        PropertyReport {
+            name: self.name.to_owned(),
+            cases,
+            counterexample: None,
+        }
+    }
+
+    /// Re-runs exactly one case from its reported seed (shrinking again
+    /// on failure). The expensive way a failing case was found is not
+    /// repeated — only the failing input itself.
+    pub fn replay(&self, seed: u64) -> PropertyReport {
+        let counterexample = match (self.runner)(seed) {
+            CaseResult::Pass => None,
+            CaseResult::Fail {
+                original,
+                shrunk,
+                steps,
+                message,
+            } => Some(Counterexample {
+                property: self.name.to_owned(),
+                case_index: None,
+                case_seed: seed,
+                original,
+                shrunk,
+                shrink_steps: steps,
+                message,
+            }),
+        };
+        PropertyReport {
+            name: self.name.to_owned(),
+            cases: 1,
+            counterexample,
+        }
+    }
+}
+
+/// Runs every property in order under one config.
+pub fn run_suite(properties: &[Property], config: &CheckConfig) -> SuiteReport {
+    SuiteReport {
+        seed: config.seed,
+        properties: properties.iter().map(|p| p.run(config)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failing_above(limit: u64) -> Property {
+        Property::new(
+            "test-limit",
+            "values stay at or below the limit",
+            |rng| rng.gen_range_u64(0..10_000),
+            |&x| crate::shrink::u64_toward(x, 0),
+            move |&x| {
+                if x <= limit {
+                    Ok(())
+                } else {
+                    Err(format!("{x} exceeds {limit}"))
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn passing_property_reports_all_cases() {
+        let p = failing_above(u64::MAX);
+        let r = p.run(&CheckConfig { seed: 7, cases: 50 });
+        assert!(r.passed());
+        assert_eq!(r.cases, 50);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_the_boundary() {
+        let p = failing_above(100);
+        let r = p.run(&CheckConfig { seed: 7, cases: 64 });
+        let c = r.counterexample.expect("must fail");
+        let original: u64 = c.original.parse().unwrap();
+        let shrunk: u64 = c.shrunk.parse().unwrap();
+        assert!(original > 100);
+        // Greedy bisection toward 0 lands exactly on the smallest
+        // failing value.
+        assert_eq!(shrunk, 101, "shrunk to {shrunk} from {original}");
+        assert!(c.shrink_steps > 0);
+        assert!(c.message.contains("exceeds 100"));
+    }
+
+    #[test]
+    fn replay_reproduces_the_same_counterexample() {
+        let p = failing_above(100);
+        let r = p.run(&CheckConfig { seed: 7, cases: 64 });
+        let c = r.counterexample.expect("must fail");
+        let replayed = p.replay(c.case_seed);
+        let rc = replayed.counterexample.expect("replay must fail too");
+        assert_eq!(rc.original, c.original);
+        assert_eq!(rc.shrunk, c.shrunk);
+        assert_eq!(rc.case_index, None);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let p = failing_above(100);
+        let a = p.run(&CheckConfig { seed: 9, cases: 32 });
+        let b = p.run(&CheckConfig { seed: 9, cases: 32 });
+        assert_eq!(a, b);
+        let c = p.run(&CheckConfig {
+            seed: 10,
+            cases: 32,
+        });
+        assert_ne!(
+            a.counterexample.map(|x| x.case_seed),
+            c.counterexample.map(|x| x.case_seed)
+        );
+    }
+
+    #[test]
+    fn case_seeds_differ_across_properties_and_indices() {
+        let a = case_seed(1, "alpha", 0);
+        let b = case_seed(1, "beta", 0);
+        let c = case_seed(1, "alpha", 1);
+        let d = case_seed(2, "alpha", 0);
+        assert!(a != b && a != c && a != d);
+        assert_eq!(a, case_seed(1, "alpha", 0));
+    }
+
+    #[test]
+    fn expensive_properties_scale_down_cases() {
+        let p = failing_above(u64::MAX).expensive();
+        assert_eq!(p.cases_for(256), 8);
+        assert_eq!(p.cases_for(16), 2);
+        assert_eq!(p.cost(), Cost::Expensive);
+        let r = p.run(&CheckConfig {
+            seed: 1,
+            cases: 256,
+        });
+        assert_eq!(r.cases, 8);
+    }
+
+    #[test]
+    fn suite_report_renders_json() {
+        let props = vec![failing_above(u64::MAX), failing_above(0)];
+        let report = run_suite(
+            &props,
+            &CheckConfig {
+                seed: 0xD1CE,
+                cases: 8,
+            },
+        );
+        assert!(!report.passed());
+        let j = report.to_json().to_string_pretty();
+        assert!(j.contains("\"seed\": \"0xd1ce\""), "{j}");
+        assert!(j.contains("\"passed\": false"), "{j}");
+        assert!(j.contains("\"shrunk\""), "{j}");
+        // The report is valid JSON and round-trips.
+        let parsed = tlp_tech::json::Json::parse(&j).unwrap();
+        assert_eq!(parsed.to_string_pretty(), j);
+    }
+
+    #[test]
+    fn counterexample_render_names_the_replay_recipe() {
+        let p = failing_above(100);
+        let r = p.run(&CheckConfig { seed: 7, cases: 64 });
+        let c = r.counterexample.unwrap();
+        let text = c.render();
+        assert!(text.contains("--oracle test-limit --replay 0x"), "{text}");
+        assert!(text.contains("shrunk"), "{text}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Shrinker helpers: propose candidate inputs "smaller" than a failing
+//! one.
+//!
+//! A shrinker returns candidates in preference order; the framework
+//! keeps the first candidate that still fails and iterates, so these
+//! helpers put the most aggressive simplification (jump straight to the
+//! target) first and progressively gentler moves after it. Returning an
+//! empty vector ends shrinking.
+
+/// Candidates moving `x` toward `target`: the target itself, the
+/// midpoint, and a small step from `x`. Empty when already there.
+pub fn f64_toward(x: f64, target: f64) -> Vec<f64> {
+    if !x.is_finite() || x == target {
+        return Vec::new();
+    }
+    let mut out = vec![target];
+    let mid = target + (x - target) / 2.0;
+    if mid != x && mid != target {
+        out.push(mid);
+    }
+    let step = x - (x - target) / 16.0;
+    if step != x && !out.contains(&step) {
+        out.push(step);
+    }
+    out
+}
+
+/// Candidates moving `x` toward `target`: the target, then halvings of
+/// the distance. Empty when already there.
+pub fn u64_toward(x: u64, target: u64) -> Vec<u64> {
+    if x == target {
+        return Vec::new();
+    }
+    let mut out = vec![target];
+    let half = x.abs_diff(target) / 2;
+    let mid = if x > target {
+        target + half
+    } else {
+        target - half
+    };
+    if mid != x && mid != target {
+        out.push(mid);
+    }
+    let step = if x > target { x - 1 } else { x + 1 };
+    if step != target && step != mid {
+        out.push(step);
+    }
+    out
+}
+
+/// [`u64_toward`] for `usize`.
+pub fn usize_toward(x: usize, target: usize) -> Vec<usize> {
+    u64_toward(x as u64, target as u64)
+        .into_iter()
+        .map(|v| v as usize)
+        .collect()
+}
+
+/// Every way of removing one element, shortest results first. Respects a
+/// minimum surviving length.
+pub fn remove_each<T: Clone>(v: &[T], min_len: usize) -> Vec<Vec<T>> {
+    if v.len() <= min_len {
+        return Vec::new();
+    }
+    (0..v.len())
+        .map(|i| {
+            let mut w = v.to_vec();
+            w.remove(i);
+            w
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_candidates_bracket_the_target() {
+        let c = f64_toward(8.0, 0.0);
+        assert_eq!(c[0], 0.0);
+        assert!(c.contains(&4.0));
+        assert!(c.iter().all(|&x| (0.0..8.0).contains(&x)));
+        assert!(f64_toward(3.0, 3.0).is_empty());
+        assert!(f64_toward(f64::NAN, 0.0).is_empty());
+    }
+
+    #[test]
+    fn u64_candidates_converge() {
+        // Walking the accepted candidate repeatedly must terminate.
+        let mut x = 1000u64;
+        let mut hops = 0;
+        while let Some(&next) = u64_toward(x, 0).last() {
+            assert!(next < x);
+            x = next;
+            hops += 1;
+            assert!(hops < 2000);
+        }
+        assert_eq!(x, 0);
+    }
+
+    #[test]
+    fn usize_candidates_move_in_both_directions() {
+        assert_eq!(usize_toward(10, 2)[0], 2);
+        assert_eq!(usize_toward(2, 10)[0], 10);
+        assert!(usize_toward(5, 5).is_empty());
+    }
+
+    #[test]
+    fn remove_each_respects_min_len() {
+        let v = vec![1, 2, 3];
+        let out = remove_each(&v, 1);
+        assert_eq!(out.len(), 3);
+        assert!(out.contains(&vec![2, 3]));
+        assert!(out.contains(&vec![1, 3]));
+        assert!(out.contains(&vec![1, 2]));
+        assert!(remove_each(&v, 3).is_empty());
+    }
+}

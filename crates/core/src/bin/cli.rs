@@ -12,9 +12,10 @@
 //! Add `--json` for machine-readable output and `--paper` for full
 //! experiment scale (default is the fast quarter scale).
 
+use cmp_tlp::check::prop::{run_suite, CheckConfig, SuiteReport};
 use cmp_tlp::jsonout;
 use cmp_tlp::sweep::{run_sweep_with, FaultPlan, RetryPolicy, SweepOptions, SweepSpec};
-use cmp_tlp::{profiling, report, scenario1, scenario2, ExperimentalChip};
+use cmp_tlp::{checks, profiling, report, scenario1, scenario2, ExperimentalChip};
 use tlp_sim::CmpConfig;
 use tlp_tech::json::{Json, ToJson};
 use tlp_tech::units::Hertz;
@@ -52,10 +53,18 @@ fn usage() -> ! {
            scenario2 <app> [N...]         budget-constrained performance optimization\n\
            sweep <app> [app...]           supervised fig. 3 sweep (failures reported per cell)\n\
            measure <app> <N> <GHz>        run and measure one configuration\n\
+           check                          run the property-based differential oracle suite\n\
          sweep options:\n\
            --threads N                    worker threads (default: all cores; output is\n\
                                           byte-identical for any N; timing goes to stderr)\n\
-         exit codes: 0 success, 1 experiment failure, 2 usage error"
+         check options:\n\
+           --seed N                       run seed (decimal or 0x hex; default 0xD1CE)\n\
+           --cases M                      cases per cheap property (default 256)\n\
+           --oracle NAME                  run only the named oracle\n\
+           --replay SEED                  replay one case seed from a failure report\n\
+                                          (requires --oracle)\n\
+           --report PATH                  also write the JSON report to PATH\n\
+         exit codes: 0 success, 1 experiment/property failure, 2 usage error"
     );
     std::process::exit(2)
 }
@@ -271,6 +280,7 @@ fn run_command(
             }
             Ok(())
         }
+        "check" => run_check(args, json),
         "measure" => {
             let (app, rest) = split_app(args)?;
             if rest.len() != 2 {
@@ -313,6 +323,86 @@ fn run_command(
         }
         _ => usage(),
     }
+}
+
+/// Parses a `u64` accepting both decimal and `0x`-prefixed hex — the
+/// format failure reports print seeds in.
+fn parse_u64_flag(flag: &str, value: Option<&String>) -> Result<u64, String> {
+    let s = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("bad value '{s}' for {flag}"))
+}
+
+/// The `check` subcommand: runs the differential oracle suite (or one
+/// oracle, or one replayed case) and reports per-property outcomes.
+fn run_check(args: &[String], json: bool) -> Result<(), String> {
+    let mut config = CheckConfig::default();
+    let mut oracle: Option<String> = None;
+    let mut replay: Option<u64> = None;
+    let mut report_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => config.seed = parse_u64_flag("--seed", it.next())?,
+            "--cases" => config.cases = parse_u64_flag("--cases", it.next())?,
+            "--oracle" => oracle = Some(it.next().ok_or("--oracle needs a name")?.clone()),
+            "--replay" => replay = Some(parse_u64_flag("--replay", it.next())?),
+            "--report" => report_path = Some(it.next().ok_or("--report needs a path")?.clone()),
+            other => return Err(format!("unknown check option '{other}'")),
+        }
+    }
+
+    let mut props = checks::suite();
+    if let Some(name) = &oracle {
+        let known: Vec<&str> = props.iter().map(|p| p.name()).collect();
+        props.retain(|p| p.name() == name);
+        if props.is_empty() {
+            return Err(format!(
+                "unknown oracle '{name}' (expected one of: {})",
+                known.join(", ")
+            ));
+        }
+    }
+
+    let suite_report = match replay {
+        Some(case_seed) => {
+            if oracle.is_none() {
+                return Err("--replay needs --oracle to name the property to replay".into());
+            }
+            SuiteReport {
+                seed: case_seed,
+                properties: props.iter().map(|p| p.replay(case_seed)).collect(),
+            }
+        }
+        None => run_suite(&props, &config),
+    };
+
+    if let Some(path) = &report_path {
+        std::fs::write(path, suite_report.to_json().to_string_pretty())
+            .map_err(|e| format!("cannot write report to {path}: {e}"))?;
+    }
+    if json {
+        println!("{}", suite_report.to_json().to_string_pretty());
+    } else {
+        for pr in &suite_report.properties {
+            if let Some(cx) = &pr.counterexample {
+                println!("FAIL {} ({} cases)", pr.name, pr.cases);
+                println!("{}", cx.render());
+            } else {
+                println!("PASS {} ({} cases)", pr.name, pr.cases);
+            }
+        }
+    }
+    if !suite_report.passed() {
+        // Like a sweep with lost cells: the command ran, the models
+        // disagreed.
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 fn split_app(args: &[String]) -> Result<(AppId, &[String]), String> {

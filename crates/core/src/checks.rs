@@ -1,0 +1,413 @@
+//! Experiment-layer differential oracles and the assembled check suite.
+//!
+//! The physics-layer oracles live in [`tlp_check::oracles`]; this module
+//! adds the two oracles that need the full experimental stack:
+//!
+//! - [`sweep_determinism`] — a serial sweep and a multi-threaded sweep
+//!   of the same randomized grid (with randomized injected faults) must
+//!   produce byte-identical reports, both in `Debug` form and through
+//!   the JSON emitter.
+//! - [`analytic_vs_sim`] — the Section-2 analytic Scenario-I solution
+//!   and the experimental re-simulation, fed the *same* measured
+//!   efficiency, must agree on normalized power within a bounded
+//!   tolerance (the residual gap is the memory-gap effect the paper
+//!   itself highlights in Fig. 3).
+//!
+//! [`suite`] is the full oracle collection the `cmp-tlp check`
+//! subcommand and CI run.
+
+use std::sync::OnceLock;
+
+use tlp_analytic::{AnalyticChip, AnalyticError, Scenario1};
+use tlp_check::prop::Property;
+use tlp_check::{gen, shrink};
+use tlp_sim::CmpConfig;
+use tlp_tech::json::ToJson;
+use tlp_tech::rng::SplitMix64;
+use tlp_tech::Technology;
+use tlp_workloads::{AppId, Scale};
+
+use crate::chipstate::ExperimentalChip;
+use crate::sweep::{run_sweep_with, Fault, FaultPlan, RetryPolicy, SweepOptions, SweepSpec};
+use crate::{profiling, scenario1};
+
+/// The one experimental chip every oracle case shares (calibration is
+/// expensive; the chip is immutable and thread-safe).
+fn shared_chip() -> &'static ExperimentalChip {
+    static CHIP: OnceLock<ExperimentalChip> = OnceLock::new();
+    CHIP.get_or_init(|| ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm()))
+}
+
+fn shared_analytic_chip() -> &'static AnalyticChip {
+    static CHIP: OnceLock<AnalyticChip> = OnceLock::new();
+    CHIP.get_or_init(|| AnalyticChip::new(Technology::itrs_65nm(), 16))
+}
+
+/// Apps the sweep oracle draws from: cheap at [`Scale::Test`] and
+/// covering both lock-based and barrier-based synchronization.
+const SWEEP_APPS: [AppId; 4] = [AppId::WaterNsq, AppId::Fft, AppId::Radix, AppId::Lu];
+
+/// Fault pool for the sweep oracle: one per failure stage (measurement
+/// NaN, thermal runaway, simulation budget exhaustion).
+const SWEEP_FAULTS: [Fault; 3] = [
+    Fault::NanPower,
+    Fault::InflateLeakage(6.0),
+    Fault::CycleBudget(2000),
+];
+
+/// One randomized sweep-determinism case.
+#[derive(Debug, Clone)]
+pub struct SweepCase {
+    /// Applications in the grid.
+    pub apps: Vec<AppId>,
+    /// Core counts (always a prefix of `[1, 2, 4]`).
+    pub core_counts: Vec<usize>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Worker threads for the parallel run.
+    pub threads: usize,
+    /// Faults injected into both runs.
+    pub faults: Vec<(AppId, usize, Fault)>,
+}
+
+fn gen_sweep_case(rng: &mut SplitMix64) -> SweepCase {
+    let apps = gen::subset(rng, &SWEEP_APPS, 1, 2);
+    let core_counts = gen::prefix(rng, &[1usize, 2, 4], 1);
+    let seed = rng.next_u64() & 0xFFFF;
+    let threads = rng.gen_range_usize(2..7);
+    let n_faults = rng.gen_range_usize(0..3);
+    let faults = (0..n_faults)
+        .map(|_| {
+            (
+                gen::pick(rng, &apps),
+                gen::pick(rng, &core_counts),
+                gen::pick(rng, &SWEEP_FAULTS),
+            )
+        })
+        .collect();
+    SweepCase {
+        apps,
+        core_counts,
+        seed,
+        threads,
+        faults,
+    }
+}
+
+fn shrink_sweep_case(c: &SweepCase) -> Vec<SweepCase> {
+    let mut out = Vec::new();
+    for faults in shrink::remove_each(&c.faults, 0) {
+        out.push(SweepCase {
+            faults,
+            ..c.clone()
+        });
+    }
+    // Faults aimed at a removed app simply stop hitting anything; no
+    // re-targeting needed.
+    for apps in shrink::remove_each(&c.apps, 1) {
+        out.push(SweepCase { apps, ..c.clone() });
+    }
+    if c.core_counts.len() > 1 {
+        out.push(SweepCase {
+            core_counts: c.core_counts[..c.core_counts.len() - 1].to_vec(),
+            ..c.clone()
+        });
+    }
+    if c.threads > 2 {
+        out.push(SweepCase {
+            threads: 2,
+            ..c.clone()
+        });
+    }
+    out
+}
+
+fn sweep_check(c: &SweepCase) -> Result<(), String> {
+    let chip = shared_chip();
+    let spec = SweepSpec {
+        apps: c.apps.clone(),
+        core_counts: c.core_counts.clone(),
+        scale: Scale::Test,
+        seed: c.seed,
+    };
+    let mut plan = FaultPlan::none();
+    for &(app, n, fault) in &c.faults {
+        plan = plan.inject(app, n, fault);
+    }
+    let policy = RetryPolicy::default();
+    let serial = run_sweep_with(chip, &spec, &policy, &plan, &SweepOptions::serial())
+        .map_err(|e| format!("serial sweep refused to start: {e}"))?;
+    let parallel = run_sweep_with(
+        chip,
+        &spec,
+        &policy,
+        &plan,
+        &SweepOptions { threads: c.threads },
+    )
+    .map_err(|e| format!("{}-thread sweep refused to start: {e}", c.threads))?;
+
+    let s = format!("{:?}", serial.cells);
+    let p = format!("{:?}", parallel.cells);
+    if s != p {
+        return Err(format!(
+            "serial and {}-thread sweep reports differ (Debug):\nserial:   {s}\nparallel: {p}",
+            c.threads
+        ));
+    }
+    let sj = serial.to_json().to_string_pretty();
+    let pj = parallel.to_json().to_string_pretty();
+    if sj != pj {
+        return Err(format!(
+            "serial and {}-thread sweep JSON differ:\nserial:\n{sj}\nparallel:\n{pj}",
+            c.threads
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 2: serial vs. parallel sweep byte-identity over randomized
+/// grids, thread counts, and injected faults.
+pub fn sweep_determinism() -> Property {
+    Property::new(
+        "sweep-determinism",
+        "a multi-threaded sweep report is byte-identical to the serial one, faults and all",
+        gen_sweep_case,
+        shrink_sweep_case,
+        sweep_check,
+    )
+    .expensive()
+}
+
+/// Apps the analytic-vs-simulator oracle draws from: a mix of
+/// compute-bound (Water, Barnes) and memory-bound (Ocean) behavior, so
+/// the probed power-ratio band sees both ends of the memory-gap effect.
+const MATCH_APPS: [AppId; 6] = [
+    AppId::WaterNsq,
+    AppId::WaterSp,
+    AppId::Fft,
+    AppId::Lu,
+    AppId::Barnes,
+    AppId::Ocean,
+];
+
+/// One matched analytic/experimental configuration.
+#[derive(Debug, Clone)]
+pub struct MatchedPoint {
+    /// Application.
+    pub app: AppId,
+    /// Core count (2 or 4).
+    pub n: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+fn gen_matched_point(rng: &mut SplitMix64) -> MatchedPoint {
+    MatchedPoint {
+        app: gen::pick(rng, &MATCH_APPS),
+        n: gen::pick(rng, &[2usize, 4]),
+        seed: rng.next_u64() & 0xFFFF,
+    }
+}
+
+fn shrink_matched_point(p: &MatchedPoint) -> Vec<MatchedPoint> {
+    let mut out = Vec::new();
+    if p.app != AppId::WaterNsq {
+        out.push(MatchedPoint {
+            app: AppId::WaterNsq,
+            ..p.clone()
+        });
+    }
+    for n in shrink::usize_toward(p.n, 2) {
+        if n == 2 || n == 4 {
+            out.push(MatchedPoint { n, ..p.clone() });
+        }
+    }
+    for seed in shrink::u64_toward(p.seed, 0) {
+        out.push(MatchedPoint { seed, ..p.clone() });
+    }
+    out
+}
+
+/// Relative agreement tolerance on the Eq. 7 frequency. Both models
+/// compute `f1/(N·εn)` from the same inputs; only the association of
+/// the floating-point operations differs, so agreement is essentially
+/// bitwise (worst probed deviation: 1.5e-16).
+const MATCHED_FREQ_RTOL: f64 = 1e-12;
+
+/// Relative agreement tolerance on the supply voltage. The analytic
+/// chip inverts the alpha-power law directly; the experimental stack
+/// interpolates a 200 MHz-rung DVFS table built from it. Probing all
+/// 6 apps × {2, 4} cores × 16 seeds puts the worst gap at 1.1%.
+const MATCHED_VOLT_RTOL: f64 = 0.02;
+
+/// Allowed band for experimental-over-analytic normalized power.
+///
+/// Past the shared operating point the models diverge by design: the
+/// analytic chip evaluates Eq. 9 with area-scaled activity over the
+/// stretched nominal runtime, while the simulator re-runs the gang and
+/// measures per-block events — and chip-only DVFS narrows the memory
+/// gap, so the experimental run finishes early and burns more power
+/// (the paper's own Fig. 3, plot 2 observation). Probing puts the
+/// ratio in [0.94, 2.25] (worst: Barnes on 4 cores at Test scale);
+/// the band below catches sign, normalization, and model-swap bugs
+/// while admitting the physics the paper itself reports.
+const MATCHED_POWER_RATIO: (f64, f64) = (0.7, 2.5);
+
+fn matched_check(p: &MatchedPoint) -> Result<(), String> {
+    let chip = shared_chip();
+    let prof = profiling::profile(chip, p.app, &[1, p.n], Scale::Test, p.seed);
+    if !prof.core_counts.contains(&p.n) {
+        // The app skipped this count (pow2 restriction): vacuous.
+        return Ok(());
+    }
+    let eps = prof.efficiency_at(p.n);
+    let exp = scenario1::try_run(chip, &prof, Scale::Test, p.seed)
+        .map_err(|e| format!("experimental scenario 1 failed: {e}"))?;
+    let row = exp
+        .rows
+        .iter()
+        .find(|r| r.n == p.n)
+        .ok_or_else(|| format!("no experimental row for n = {}", p.n))?;
+    match Scenario1::new(shared_analytic_chip()).solve(p.n, eps) {
+        Ok(pt) => {
+            let who = format!("{} on {} cores (εn = {eps:.4})", p.app.name(), p.n);
+            let f_exp = row.operating_point.frequency.as_f64();
+            let f_ana = pt.frequency.as_f64();
+            if ((f_exp - f_ana) / f_ana).abs() > MATCHED_FREQ_RTOL {
+                return Err(format!(
+                    "{who}: Eq. 7 frequencies disagree: experimental {f_exp} Hz vs analytic {f_ana} Hz"
+                ));
+            }
+            let v_exp = row.operating_point.voltage.as_f64();
+            let v_ana = pt.voltage.as_f64();
+            if ((v_exp - v_ana) / v_ana).abs() > MATCHED_VOLT_RTOL {
+                return Err(format!(
+                    "{who}: supply voltages disagree beyond the DVFS-table quantization: \
+                     experimental {v_exp} V vs analytic {v_ana} V"
+                ));
+            }
+            let ratio = row.normalized_power / pt.normalized_power;
+            let (lo, hi) = MATCHED_POWER_RATIO;
+            if (lo..=hi).contains(&ratio) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{who}: experimental P/P1 = {:.4} is {ratio:.2}× the analytic {:.4}, \
+                     outside [{lo}, {hi}]",
+                    row.normalized_power, pt.normalized_power,
+                ))
+            }
+        }
+        // εn below 1/N (or out of the analytic domain): the analytic
+        // model declares the target unreachable; nothing to compare.
+        Err(AnalyticError::Infeasible { .. } | AnalyticError::InvalidEfficiency { .. }) => Ok(()),
+        Err(e) => Err(format!("analytic solver rejected matched inputs: {e}")),
+    }
+}
+
+/// Oracle 5: analytic Scenario-I normalized power vs. the experimental
+/// re-simulation at the same measured efficiency, within a bounded
+/// tolerance.
+pub fn analytic_vs_sim() -> Property {
+    Property::new(
+        "analytic-vs-sim",
+        "analytic and simulated Scenario-I normalized power agree at matched (N, efficiency)",
+        gen_matched_point,
+        shrink_matched_point,
+        matched_check,
+    )
+    .expensive()
+}
+
+/// The complete differential-oracle suite: the physics-layer oracles
+/// from [`tlp_check::oracles`] plus the two experiment-layer oracles.
+pub fn suite() -> Vec<Property> {
+    let mut props = tlp_check::oracles::physics_suite();
+    props.push(sweep_determinism());
+    props.push(analytic_vs_sim());
+    props
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_check::prop::CheckConfig;
+
+    #[test]
+    fn suite_names_are_unique_and_stable() {
+        let names: Vec<_> = suite().iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(
+            names,
+            [
+                "leakage-fit",
+                "lu-solve",
+                "thermal-transient",
+                "sweep-determinism",
+                "analytic-vs-sim",
+            ]
+        );
+    }
+
+    #[test]
+    fn experiment_oracles_pass_a_small_pinned_run() {
+        for prop in [sweep_determinism(), analytic_vs_sim()] {
+            let r = prop.run(&CheckConfig {
+                seed: 0xD1CE,
+                cases: 96,
+            });
+            assert!(
+                r.passed(),
+                "{} failed: {}",
+                prop.name(),
+                r.counterexample.unwrap().render()
+            );
+        }
+    }
+
+    /// Measures the actual analytic/experimental divergence over the
+    /// oracle's input space; run with `--ignored --nocapture` when
+    /// retuning [`MATCHED_REL_TOL`].
+    #[test]
+    #[ignore = "tolerance probe, not a regression test"]
+    fn probe_matched_divergence() {
+        let chip = shared_chip();
+        let mut worst = (0.0f64, String::new());
+        for app in MATCH_APPS {
+            for n in [2usize, 4] {
+                for seed in 0..16u64 {
+                    let prof = profiling::profile(chip, app, &[1, n], Scale::Test, seed);
+                    if !prof.core_counts.contains(&n) {
+                        continue;
+                    }
+                    let eps = prof.efficiency_at(n);
+                    let exp = scenario1::try_run(chip, &prof, Scale::Test, seed).unwrap();
+                    let row = exp.rows.iter().find(|r| r.n == n).unwrap();
+                    let Ok(pt) = Scenario1::new(shared_analytic_chip()).solve(n, eps) else {
+                        continue;
+                    };
+                    let rel =
+                        (row.normalized_power - pt.normalized_power).abs() / pt.normalized_power;
+                    let f_rel = (row.operating_point.frequency.as_f64() - pt.frequency.as_f64())
+                        .abs()
+                        / pt.frequency.as_f64();
+                    let v_rel = (row.operating_point.voltage.as_f64() - pt.voltage.as_f64()).abs()
+                        / pt.voltage.as_f64();
+                    let label = format!(
+                        "{}@{n} seed {seed}: exp {:.4} ana {:.4} rel {:.3} f_rel {:.2e} v_rel {:.3}",
+                        app.name(),
+                        row.normalized_power,
+                        pt.normalized_power,
+                        rel,
+                        f_rel,
+                        v_rel
+                    );
+                    println!("{label}");
+                    if rel > worst.0 {
+                        worst = (rel, label);
+                    }
+                }
+            }
+        }
+        println!("worst: {}", worst.1);
+    }
+}

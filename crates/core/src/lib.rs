@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checks;
 pub mod chipstate;
 pub mod energy;
 pub mod error;
@@ -67,6 +68,7 @@ pub use sweep::{
 
 // Re-export the stack so downstream users need one dependency.
 pub use tlp_analytic as analytic;
+pub use tlp_check as check;
 pub use tlp_power as power;
 pub use tlp_sim as sim;
 pub use tlp_tech as tech;

@@ -237,6 +237,21 @@ mod tests {
     }
 
     #[test]
+    fn far_more_workers_than_tasks_still_runs_each_task_once() {
+        // Most workers never see work and must still shut down cleanly.
+        let hits = AtomicU64::new(0);
+        run(32, |p| {
+            assert_eq!(p.workers(), 32);
+            for _ in 0..3 {
+                p.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
     fn panicking_task_propagates_without_hanging_the_pool() {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run(2, |p| {

@@ -1,4 +1,4 @@
-//! Minimal JSON document model and pretty printer.
+//! Minimal JSON document model, pretty printer, and parser.
 //!
 //! The CLI and the sweep runner emit machine-readable reports. This module
 //! provides the small subset of JSON construction the workspace needs —
@@ -7,6 +7,13 @@
 //! numbers serialize as `null`, so downstream parsers never receive the
 //! out-of-spec tokens `NaN`/`Infinity`; failure reports carry the textual
 //! diagnosis separately.
+//!
+//! [`Json::parse`] is the inverse: a strict recursive-descent reader for
+//! anything this module can emit (and standard JSON generally). Because
+//! the printer writes numbers with shortest-roundtrip formatting, a
+//! parse of an emitted document reproduces the original [`Json`] value
+//! exactly — the property the round-trip tests in `tests/json_roundtrip.rs`
+//! pin down.
 
 use std::fmt::Write as _;
 
@@ -181,6 +188,293 @@ impl Json {
     }
 }
 
+/// A parse failure: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonParseError> {
+        Err(JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect_byte(&mut self, want: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", want as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return self.err("expected digits");
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return self.err("expected digits after decimal point");
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return self.err("expected digits in exponent");
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans are ASCII");
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+            _ => self.err(format!("number '{text}' out of range")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            // Combine a UTF-16 surrogate pair; a lone
+                            // surrogate is malformed input.
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return self.err("lone high surrogate");
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                        }
+                        _ => return self.err("invalid escape character"),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character (the input is a &str,
+                    // so boundaries are valid by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input was a valid &str");
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    if (c as u32) < 0x20 {
+                        return self.err("unescaped control character");
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let Some(hex) = self.bytes.get(self.pos..self.pos + 4) else {
+            return self.err("truncated unicode escape");
+        };
+        let s = std::str::from_utf8(hex)
+            .ok()
+            .filter(|s| s.bytes().all(|b| b.is_ascii_hexdigit()));
+        match s.and_then(|s| u32::from_str_radix(s, 16).ok()) {
+            Some(v) => {
+                self.pos += 4;
+                Ok(v)
+            }
+            None => self.err("invalid unicode escape"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect_byte(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+impl Json {
+    /// Parses a JSON document.
+    ///
+    /// Strict: numbers must be finite, strings must escape control
+    /// characters, and no bytes may follow the top-level value (other
+    /// than whitespace). Object key order is preserved, so
+    /// `Json::parse(&j.to_string_pretty())` reproduces `j` exactly for
+    /// any `j` this module can print (provided `j` carries no non-finite
+    /// numbers, which print as `null`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with the byte offset of the first
+    /// offending token.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing characters after top-level value");
+        }
+        Ok(v)
+    }
+}
+
 fn escape_into(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -245,5 +539,70 @@ mod tests {
     fn empty_containers_render_inline() {
         assert_eq!(Json::Arr(vec![]).to_string_pretty(), "[]");
         assert_eq!(Json::Obj(vec![]).to_string_pretty(), "{}");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-3.25e2").unwrap(), Json::Num(-325.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        let j = Json::parse("\"a\\\"b\\\\c\\nd\\u0001 \\u00e9\"").unwrap();
+        assert_eq!(j, Json::Str("a\"b\\c\nd\u{1} é".into()));
+        // Surrogate pair for 𝄞 (U+1D11E).
+        let g = Json::parse("\"\\ud834\\udd1e\"").unwrap();
+        assert_eq!(g, Json::Str("\u{1D11E}".into()));
+    }
+
+    #[test]
+    fn parse_nested_containers() {
+        let j = Json::parse("{\"xs\": [1, 2.5, {\"k\": null}], \"b\": true}").unwrap();
+        assert_eq!(
+            j.to_string_compact(),
+            "{\"xs\":[1,2.5,{\"k\":null}],\"b\":true}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "tru",
+            "[1,]",
+            "{\"a\"1}",
+            "{a:1}",
+            "1 2",
+            "\"\n\"",
+            "[1",
+            "01abc",
+            "\"\\ud834\"",
+            "1e999",
+        ] {
+            let e = Json::parse(bad);
+            assert!(e.is_err(), "accepted malformed input {bad:?}");
+        }
+        let err = Json::parse("[1, flase]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn print_parse_round_trips_exactly() {
+        let doc = Json::object([
+            ("ints", Json::Arr(vec![Json::Num(0.0), Json::Num(-7.0)])),
+            ("big", Json::Num(1.23456789012345e18)),
+            ("frac", Json::Num(0.1)),
+            ("text", Json::from("π ≈ 3.14159\t\"quoted\"")),
+            ("nothing", Json::Null),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        for rendered in [doc.to_string_compact(), doc.to_string_pretty()] {
+            assert_eq!(Json::parse(&rendered).unwrap(), doc);
+        }
     }
 }

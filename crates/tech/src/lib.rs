@@ -54,6 +54,7 @@ pub use dvfs::DvfsTable;
 pub use error::TechError;
 pub use freq::{FrequencyModel, OperatingPoint};
 pub use leakage::{FitReport, FittedLeakage, ReferenceLeakage};
+pub use linalg::LinalgError;
 pub use technology::{LeakagePhysics, ProcessNode, Technology, TechnologyBuilder};
 
 #[cfg(test)]

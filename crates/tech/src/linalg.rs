@@ -10,6 +10,13 @@
 //! of right-hand sides (O(n²) each). The thermal fixpoint and transient
 //! solvers exploit this heavily — their conductance matrices never change
 //! between iterations, only the right-hand side does.
+//!
+//! Failures are values, not panics: a dimension mismatch or a numerically
+//! singular matrix comes back as a typed [`LinalgError`], so callers that
+//! feed these routines generated or user-supplied systems (the property
+//! harness in `tlp-check` does both) can diagnose instead of unwinding.
+
+use core::fmt;
 
 /// Relative pivot tolerance: a pivot whose magnitude falls below
 /// `PIVOT_RTOL × max|aᵢⱼ|` declares the matrix numerically singular.
@@ -20,6 +27,48 @@
 /// test meaningful for both the O(1)-conductance thermal matrices and the
 /// O(10⁶)-entry normal equations of the curve fitters.
 const PIVOT_RTOL: f64 = 1e-12;
+
+/// Errors from the dense solvers and fitters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// An input slice has the wrong length for the declared dimensions.
+    ShapeMismatch {
+        /// Which input was malformed (`"matrix"`, `"rhs"`, ...).
+        what: &'static str,
+        /// The length the declared dimensions demand.
+        expected: usize,
+        /// The length actually supplied.
+        got: usize,
+    },
+    /// The matrix is numerically singular: some pivot, after partial
+    /// pivoting, fell below the scaled tolerance (see [`PIVOT_RTOL`]'s
+    /// documentation in the module source).
+    Singular {
+        /// Dimension of the offending system.
+        n: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what} has length {got}, expected {expected} for the declared dimensions"
+            ),
+            LinalgError::Singular { n } => {
+                write!(f, "{n}×{n} matrix is numerically singular")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
 
 /// An LU decomposition with partial pivoting of a small dense matrix.
 ///
@@ -54,16 +103,19 @@ pub struct LuFactorization {
 impl LuFactorization {
     /// Factors the row-major `n×n` matrix `a`.
     ///
-    /// Returns `None` if the matrix is numerically singular: some pivot,
-    /// after partial pivoting, has magnitude below `1e-12` times the
-    /// largest entry of `a` (see [`PIVOT_RTOL`]).
+    /// # Errors
     ///
-    /// # Panics
-    ///
-    /// Panics if `a.len() != n*n` or `n == 0`.
-    pub fn factor(n: usize, a: &[f64]) -> Option<Self> {
-        assert_eq!(a.len(), n * n, "matrix must be n×n");
-        assert!(n > 0, "matrix must be non-empty");
+    /// - [`LinalgError::ShapeMismatch`] if `a.len() != n*n` or `n == 0`.
+    /// - [`LinalgError::Singular`] if some pivot, after partial pivoting,
+    ///   has magnitude below `1e-12` times the largest entry of `a`.
+    pub fn factor(n: usize, a: &[f64]) -> Result<Self, LinalgError> {
+        if n == 0 || a.len() != n * n {
+            return Err(LinalgError::ShapeMismatch {
+                what: "matrix",
+                expected: n * n,
+                got: a.len(),
+            });
+        }
         let mut lu = a.to_vec();
         let mut perm: Vec<usize> = (0..n).collect();
 
@@ -97,7 +149,7 @@ impl LuFactorization {
             // NaN fails is_finite, so a poisoned pivot is rejected too.
             let pivot_ok = pivot_abs.is_finite() && pivot_abs > threshold;
             if !pivot_ok {
-                return None;
+                return Err(LinalgError::Singular { n });
             }
             if pivot_row != col {
                 for k in 0..n {
@@ -117,7 +169,7 @@ impl LuFactorization {
                 }
             }
         }
-        Some(Self { n, lu, perm })
+        Ok(Self { n, lu, perm })
     }
 
     /// Matrix dimension.
@@ -129,7 +181,9 @@ impl LuFactorization {
     ///
     /// # Panics
     ///
-    /// Panics if `b.len() != self.n()`.
+    /// Panics if `b.len() != self.n()` — this is the validated hot path of
+    /// the thermal solvers; a mismatched right-hand side there is a
+    /// programming error, not an input condition.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.n;
         assert_eq!(b.len(), n, "rhs must have length n");
@@ -160,15 +214,16 @@ impl LuFactorization {
 /// Solves `A·x = b` for a small dense square system by Gaussian elimination
 /// with partial pivoting.
 ///
-/// `a` is row-major, `n×n`; `b` has length `n`. Returns `None` if the
-/// matrix is numerically singular (scaled pivot tolerance; see
-/// [`LuFactorization::factor`]). One-shot convenience over
+/// `a` is row-major, `n×n`; `b` has length `n`. One-shot convenience over
 /// [`LuFactorization`] — callers that solve the same matrix repeatedly
 /// should factor once and reuse it.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `a.len() != n*n` or `b.len() != n`.
+/// - [`LinalgError::ShapeMismatch`] if `a.len() != n*n`, `n == 0`, or
+///   `b.len() != n`.
+/// - [`LinalgError::Singular`] if the matrix is numerically singular
+///   (scaled pivot tolerance; see [`LuFactorization::factor`]).
 ///
 /// # Examples
 ///
@@ -179,24 +234,47 @@ impl LuFactorization {
 /// assert!((x[0] - 0.8).abs() < 1e-12);
 /// assert!((x[1] - 1.4).abs() < 1e-12);
 /// ```
-pub fn solve_dense(n: usize, a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
-    assert_eq!(b.len(), n, "rhs must have length n");
+pub fn solve_dense(n: usize, a: &[f64], b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            what: "rhs",
+            expected: n,
+            got: b.len(),
+        });
+    }
     LuFactorization::factor(n, a).map(|lu| lu.solve(b))
 }
 
 /// Solves the linear least-squares problem `min ‖X·c − y‖²` via the normal
 /// equations, where `X` is `rows×cols` row-major.
 ///
-/// Returns `None` if the normal matrix is numerically singular (scaled
-/// pivot tolerance; a rank-deficient design matrix is reported instead of
-/// producing a garbage fit).
+/// # Errors
 ///
-/// # Panics
-///
-/// Panics if the dimensions of `x` and `y` are inconsistent.
-pub fn least_squares(rows: usize, cols: usize, x: &[f64], y: &[f64]) -> Option<Vec<f64>> {
-    assert_eq!(x.len(), rows * cols, "design matrix shape mismatch");
-    assert_eq!(y.len(), rows, "target length mismatch");
+/// - [`LinalgError::ShapeMismatch`] if the dimensions of `x` and `y` are
+///   inconsistent with `rows × cols`.
+/// - [`LinalgError::Singular`] if the normal matrix is numerically
+///   singular (a rank-deficient design matrix is reported instead of
+///   producing a garbage fit).
+pub fn least_squares(
+    rows: usize,
+    cols: usize,
+    x: &[f64],
+    y: &[f64],
+) -> Result<Vec<f64>, LinalgError> {
+    if x.len() != rows * cols {
+        return Err(LinalgError::ShapeMismatch {
+            what: "design matrix",
+            expected: rows * cols,
+            got: x.len(),
+        });
+    }
+    if y.len() != rows {
+        return Err(LinalgError::ShapeMismatch {
+            what: "target",
+            expected: rows,
+            got: y.len(),
+        });
+    }
     // Normal matrix Xᵀ·X (cols×cols) and Xᵀ·y.
     let mut xtx = vec![0.0; cols * cols];
     let mut xty = vec![0.0; cols];
@@ -266,9 +344,12 @@ mod tests {
     }
 
     #[test]
-    fn singular_matrix_returns_none() {
+    fn singular_matrix_returns_typed_error() {
         let a = vec![1.0, 2.0, 2.0, 4.0];
-        assert!(solve_dense(2, &a, &[1.0, 2.0]).is_none());
+        assert_eq!(
+            solve_dense(2, &a, &[1.0, 2.0]),
+            Err(LinalgError::Singular { n: 2 })
+        );
     }
 
     #[test]
@@ -279,12 +360,15 @@ mod tests {
         // scaled tolerance reports it as singular.
         let eps = 1e-13;
         let a = vec![1.0, 2.0, 2.0, 4.0 + eps];
-        assert!(solve_dense(2, &a, &[1.0, 2.0]).is_none());
-        assert!(LuFactorization::factor(2, &a).is_none());
+        assert!(solve_dense(2, &a, &[1.0, 2.0]).is_err());
+        assert_eq!(
+            LuFactorization::factor(2, &a),
+            Err(LinalgError::Singular { n: 2 })
+        );
     }
 
     #[test]
-    fn ill_conditioned_normal_equations_return_none() {
+    fn ill_conditioned_normal_equations_are_refused() {
         // Two nearly identical columns make XᵀX numerically singular; the
         // fit must be refused rather than fabricated.
         let rows = 6;
@@ -295,7 +379,10 @@ mod tests {
             x.extend_from_slice(&[t, t * (1.0 + 1e-15)]);
             y.push(t);
         }
-        assert!(least_squares(rows, 2, &x, &y).is_none());
+        assert_eq!(
+            least_squares(rows, 2, &x, &y),
+            Err(LinalgError::Singular { n: 2 })
+        );
     }
 
     #[test]
@@ -312,13 +399,13 @@ mod tests {
 
     #[test]
     fn all_zero_matrix_is_singular() {
-        assert!(LuFactorization::factor(2, &[0.0; 4]).is_none());
+        assert!(LuFactorization::factor(2, &[0.0; 4]).is_err());
     }
 
     #[test]
     fn nan_matrix_is_singular_not_propagated() {
         let a = vec![f64::NAN, 1.0, 1.0, f64::NAN];
-        assert!(LuFactorization::factor(2, &a).is_none());
+        assert!(LuFactorization::factor(2, &a).is_err());
     }
 
     #[test]
@@ -358,15 +445,72 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "matrix must be n×n")]
-    fn bad_shape_panics() {
-        let _ = solve_dense(2, &[1.0, 2.0, 3.0], &[1.0, 2.0]);
+    fn bad_matrix_shape_is_a_typed_error() {
+        assert_eq!(
+            solve_dense(2, &[1.0, 2.0, 3.0], &[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch {
+                what: "matrix",
+                expected: 4,
+                got: 3,
+            })
+        );
+        assert_eq!(
+            LuFactorization::factor(0, &[]),
+            Err(LinalgError::ShapeMismatch {
+                what: "matrix",
+                expected: 0,
+                got: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn bad_rhs_length_is_a_typed_error() {
+        assert_eq!(
+            solve_dense(2, &[1.0, 0.0, 0.0, 1.0], &[1.0]),
+            Err(LinalgError::ShapeMismatch {
+                what: "rhs",
+                expected: 2,
+                got: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn bad_design_shape_is_a_typed_error() {
+        assert!(matches!(
+            least_squares(3, 2, &[1.0; 5], &[1.0; 3]),
+            Err(LinalgError::ShapeMismatch {
+                what: "design matrix",
+                ..
+            })
+        ));
+        assert!(matches!(
+            least_squares(3, 2, &[1.0; 6], &[1.0; 2]),
+            Err(LinalgError::ShapeMismatch { what: "target", .. })
+        ));
     }
 
     #[test]
     #[should_panic(expected = "rhs must have length n")]
-    fn bad_rhs_length_panics() {
+    fn cached_solve_keeps_hot_path_assert() {
         let lu = LuFactorization::factor(2, &[1.0, 0.0, 0.0, 1.0]).unwrap();
         let _ = lu.solve(&[1.0]);
+    }
+
+    #[test]
+    fn errors_display_and_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<LinalgError>();
+        let s = LinalgError::Singular { n: 3 }.to_string();
+        assert!(s.starts_with(char::is_numeric) || s.starts_with(char::is_lowercase));
+        assert!(s.contains("singular"));
+        let m = LinalgError::ShapeMismatch {
+            what: "rhs",
+            expected: 4,
+            got: 2,
+        }
+        .to_string();
+        assert!(m.contains("rhs") && m.contains('4') && m.contains('2'));
     }
 }

@@ -140,6 +140,15 @@ impl RcNetwork {
         self.n_blocks + 2
     }
 
+    /// The dense conductance matrix `G`, row-major `(n_blocks+2)²`,
+    /// including the boundary conductance on the sink's diagonal entry.
+    ///
+    /// Exposed so differential tests can solve the very matrices the
+    /// thermal solvers factor (rather than synthetic lookalikes).
+    pub fn conductance(&self) -> &[f64] {
+        &self.g
+    }
+
     /// Steady-state temperatures for the given per-block powers and ambient
     /// temperature. Returns one temperature per node (blocks, then
     /// spreader, then sink).

@@ -124,6 +124,65 @@ fn determinism_holds_under_injected_faults() {
 }
 
 #[test]
+fn one_worker_and_oversubscribed_pool_agree_on_a_small_grid() {
+    // Edge thread counts: explicitly one worker (the serial path through
+    // the pool machinery) and far more workers than the grid has cells.
+    let chip = chip();
+    let spec = SweepSpec {
+        apps: vec![AppId::WaterNsq],
+        core_counts: vec![1, 2],
+        scale: Scale::Test,
+        seed: 7,
+    };
+    let policy = RetryPolicy::default();
+    let plan = FaultPlan::none();
+
+    let serial =
+        run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial()).expect("serial");
+    let one = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions { threads: 1 })
+        .expect("one worker");
+    let wide = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions { threads: 32 })
+        .expect("32 workers");
+
+    assert!(serial.cells.iter().all(|(_, o)| o.is_completed()));
+    for report in [&one, &wide] {
+        assert_eq!(format!("{:?}", serial.cells), format!("{:?}", report.cells));
+        assert_eq!(
+            serial.to_json().to_string_pretty(),
+            report.to_json().to_string_pretty()
+        );
+    }
+    assert_eq!(wide.timing.threads, 32);
+}
+
+#[test]
+fn empty_sweep_grid_completes_with_no_cells() {
+    // An empty application list is a degenerate but legal request: the
+    // report must come back whole (and say so) at any thread count.
+    let chip = chip();
+    let spec = SweepSpec {
+        apps: Vec::new(),
+        core_counts: vec![1, 2],
+        scale: Scale::Test,
+        seed: 7,
+    };
+    let policy = RetryPolicy::default();
+    let plan = FaultPlan::none();
+
+    let serial =
+        run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial()).expect("serial");
+    let parallel = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions { threads: 4 })
+        .expect("parallel");
+
+    assert!(serial.cells.is_empty());
+    assert_eq!(serial.summary(), "sweep: 0/0 cells completed");
+    assert_eq!(
+        serial.to_json().to_string_pretty(),
+        parallel.to_json().to_string_pretty()
+    );
+}
+
+#[test]
 fn timing_reflects_requested_threads() {
     let chip = chip();
     let spec = SweepSpec {

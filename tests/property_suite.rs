@@ -1,0 +1,90 @@
+//! End-to-end run of the differential oracle suite — the same
+//! properties `cmp-tlp check` and CI execute, at a reduced case count so
+//! the tier-1 test wall clock stays reasonable.
+
+use cmp_tlp::check::prop::{run_suite, CheckConfig, Property};
+use cmp_tlp::checks;
+
+#[test]
+fn full_suite_passes_with_the_pinned_ci_seed() {
+    let report = run_suite(
+        &checks::suite(),
+        &CheckConfig {
+            seed: 0xD1CE,
+            cases: 64,
+        },
+    );
+    for pr in &report.properties {
+        assert!(
+            pr.passed(),
+            "{} failed:\n{}",
+            pr.name,
+            pr.counterexample.as_ref().unwrap().render()
+        );
+    }
+    assert!(report.passed());
+}
+
+#[test]
+fn suite_reports_are_reproducible() {
+    let cfg = CheckConfig {
+        seed: 0xC0FFEE,
+        cases: 8,
+    };
+    let a = run_suite(&checks::suite(), &cfg);
+    let b = run_suite(&checks::suite(), &cfg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn a_failing_property_round_trips_through_replay() {
+    // A deliberately broken toy property: the framework must find a
+    // failure, shrink it to the boundary, and replay it from the
+    // reported case seed alone — the workflow EXPERIMENTS.md documents.
+    let broken = || {
+        Property::new(
+            "toy-sum-bound",
+            "sums of two digits stay below 10 (false)",
+            |rng| (rng.gen_range_u64(0..10), rng.gen_range_u64(0..10)),
+            |&(a, b)| {
+                let mut out = Vec::new();
+                if a > 0 {
+                    out.push((a - 1, b));
+                }
+                if b > 0 {
+                    out.push((a, b - 1));
+                }
+                out
+            },
+            |&(a, b)| {
+                if a + b < 10 {
+                    Ok(())
+                } else {
+                    Err(format!("{a} + {b} = {}", a + b))
+                }
+            },
+        )
+    };
+    let report = broken().run(&CheckConfig {
+        seed: 0xD1CE,
+        cases: 256,
+    });
+    let cx = report.counterexample.expect("the toy property must fail");
+    // Greedy shrinking walks both coordinates down to the failure
+    // boundary a + b = 10.
+    let shrunk_sum: u64 = cx
+        .shrunk
+        .trim_matches(|c| c == '(' || c == ')')
+        .split(", ")
+        .map(|s| s.parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(shrunk_sum, 10, "shrunk to {}", cx.shrunk);
+    assert!(cx.render().contains("--replay"));
+
+    let replayed = broken()
+        .replay(cx.case_seed)
+        .counterexample
+        .expect("replaying the case seed reproduces the failure");
+    assert_eq!(replayed.shrunk, cx.shrunk);
+    assert_eq!(replayed.message, cx.message);
+}
