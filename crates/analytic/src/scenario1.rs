@@ -69,6 +69,7 @@ impl<'a> Scenario1<'a> {
     ///   demand a frequency above nominal, which the model forbids).
     /// - [`AnalyticError::InvalidCoreCount`] if `n` is out of range.
     pub fn solve(&self, n: usize, efficiency: f64) -> Result<Scenario1Point, AnalyticError> {
+        tlp_obs::metrics::ANALYTIC_SOLVES.incr();
         if !(efficiency > 0.0 && efficiency <= 2.0) {
             return Err(AnalyticError::InvalidEfficiency {
                 value: efficiency,

@@ -128,6 +128,7 @@ impl<'a> Scenario2<'a> {
         n: usize,
         efficiency: &EfficiencyCurve,
     ) -> Result<Scenario2Point, AnalyticError> {
+        tlp_obs::metrics::ANALYTIC_SOLVES.incr();
         if n == 0 || n > self.chip.max_cores() {
             return Err(AnalyticError::InvalidCoreCount {
                 n,

@@ -8,12 +8,13 @@
 //!
 //! `cargo run --release -p tlp-bench --bin ablation_dvfs_scope [--quick]`
 
-use cmp_tlp::{profiling, ExperimentalChip};
+use cmp_tlp::prelude::*;
+use cmp_tlp::profiling;
 use tlp_bench::{scale_from_args, SEED};
 use tlp_sim::{CmpConfig, CmpSimulator};
 use tlp_tech::units::{Hertz, Seconds};
 use tlp_tech::{DvfsTable, Technology};
-use tlp_workloads::{gang, AppId};
+use tlp_workloads::gang;
 
 fn main() {
     let scale = scale_from_args();

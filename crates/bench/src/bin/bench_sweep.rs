@@ -12,13 +12,11 @@
 //! parallel run degenerates to serial plus scheduling overhead, and the
 //! JSON records exactly that.
 
-use cmp_tlp::sweep::{run_sweep_with, FaultPlan, RetryPolicy, SweepOptions, SweepSpec};
-use cmp_tlp::ExperimentalChip;
+use cmp_tlp::prelude::*;
 use tlp_bench::{scale_from_args, SEED};
 use tlp_sim::CmpConfig;
 use tlp_tech::json::{Json, ToJson};
 use tlp_tech::Technology;
-use tlp_workloads::AppId;
 
 fn main() {
     let scale = scale_from_args();
@@ -31,8 +29,6 @@ fn main() {
         AppId::Barnes,
     ];
     let spec = SweepSpec::fig3(apps, scale, SEED);
-    let policy = RetryPolicy::default();
-    let plan = FaultPlan::none();
 
     eprintln!(
         "bench_sweep: {} apps x {} core counts at {scale:?} scale",
@@ -41,11 +37,18 @@ fn main() {
     );
     let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
 
-    let serial = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial())
+    let serial = chip
+        .sweep()
+        .grid(spec.clone())
+        .serial()
+        .run()
         .expect("serial sweep");
     eprintln!("  serial   : {}", serial.timing.summary());
 
-    let parallel = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::default())
+    let parallel = chip
+        .sweep()
+        .grid(spec.clone())
+        .run()
         .expect("parallel sweep");
     eprintln!("  parallel : {}", parallel.timing.summary());
 

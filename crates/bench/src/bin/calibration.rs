@@ -4,7 +4,7 @@
 //!
 //! `cargo run --release -p tlp-bench --bin calibration`
 
-use cmp_tlp::ExperimentalChip;
+use cmp_tlp::prelude::*;
 use tlp_power::PowerCalculator;
 use tlp_sim::{CmpConfig, CmpSimulator};
 use tlp_tech::Technology;

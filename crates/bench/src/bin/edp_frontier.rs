@@ -8,11 +8,11 @@
 //! `cargo run --release -p tlp-bench --bin edp_frontier [--quick]`
 
 use cmp_tlp::energy::{best_n, scenario1_energy, Metric};
-use cmp_tlp::{profiling, scenario1, ExperimentalChip};
+use cmp_tlp::prelude::*;
+use cmp_tlp::{profiling, scenario1};
 use tlp_bench::{scale_from_args, EXPERIMENT_CORE_COUNTS, SEED};
 use tlp_sim::CmpConfig;
 use tlp_tech::Technology;
-use tlp_workloads::AppId;
 
 fn main() {
     let scale = scale_from_args();

@@ -9,11 +9,11 @@
 //!
 //! `cargo run --release -p tlp-bench --bin ext_snoop_filter [--quick]`
 
-use cmp_tlp::ExperimentalChip;
+use cmp_tlp::prelude::*;
 use tlp_bench::{scale_from_args, SEED};
 use tlp_sim::CmpConfig;
 use tlp_tech::Technology;
-use tlp_workloads::{gang, AppId};
+use tlp_workloads::gang;
 
 fn main() {
     let scale = scale_from_args();

@@ -9,12 +9,12 @@
 //!
 //! `cargo run --release -p tlp-bench --bin ext_thrifty_barrier [--quick]`
 
-use cmp_tlp::ExperimentalChip;
+use cmp_tlp::prelude::*;
 use tlp_bench::{scale_from_args, SEED};
 use tlp_sim::config::SleepPolicy;
 use tlp_sim::CmpConfig;
 use tlp_tech::Technology;
-use tlp_workloads::{gang, AppId, Scale};
+use tlp_workloads::gang;
 
 fn run_one(chip: &ExperimentalChip, app: AppId, n: usize, scale: Scale) -> (f64, f64, u64, u64) {
     let r = chip.run(gang(app, n, scale, SEED), chip.config().operating_point);

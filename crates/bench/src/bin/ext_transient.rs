@@ -5,11 +5,12 @@
 //!
 //! `cargo run --release -p tlp-bench --bin ext_transient`
 
-use cmp_tlp::{transient, ExperimentalChip};
+use cmp_tlp::prelude::*;
+use cmp_tlp::transient;
 use tlp_sim::CmpConfig;
 use tlp_tech::Technology;
+use tlp_workloads::gang;
 use tlp_workloads::micro::power_virus;
-use tlp_workloads::{gang, AppId, Scale};
 
 fn sparkline(values: &[f64], lo: f64, hi: f64) -> String {
     const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];

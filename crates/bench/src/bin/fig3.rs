@@ -4,11 +4,11 @@
 //!
 //! `cargo run --release -p tlp-bench --bin fig3 [--quick]`
 
-use cmp_tlp::{profiling, report, scenario1, ExperimentalChip};
+use cmp_tlp::prelude::*;
+use cmp_tlp::{profiling, report, scenario1};
 use tlp_bench::{scale_from_args, EXPERIMENT_CORE_COUNTS, SEED};
 use tlp_sim::CmpConfig;
 use tlp_tech::Technology;
-use tlp_workloads::AppId;
 
 fn main() {
     let scale = scale_from_args();

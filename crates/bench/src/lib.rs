@@ -4,24 +4,27 @@
 
 pub mod harness;
 
+use cmp_tlp::cli_args::{CommonArgs, ScaleDefault};
 use tlp_workloads::Scale;
 
 /// Parses the common CLI convention of the figure binaries: `--quick`
 /// selects the quarter work scale (fast smoke runs), the default is the
-/// full experiment scale.
+/// full experiment scale. Thin wrapper over the workspace-wide
+/// [`CommonArgs`] parser so every front end speaks one flag dialect.
 pub fn scale_from_args() -> Scale {
-    if std::env::args().any(|a| a == "--quick") {
-        Scale::Small
-    } else {
-        Scale::Paper
-    }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    CommonArgs::parse(&mut args, ScaleDefault::Paper)
+        .map(|c| c.scale)
+        .unwrap_or(Scale::Paper)
 }
 
 /// Core counts used by the experimental figures (Fig. 3/4 sweep 1–16).
 pub const EXPERIMENT_CORE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// The seed every experiment binary uses (results are bit-reproducible).
-pub const SEED: u64 = 0x1595_2005;
+/// Same value as [`cmp_tlp::cli_args::DEFAULT_SEED`], re-exported under
+/// the historical name the figure binaries use.
+pub const SEED: u64 = cmp_tlp::cli_args::DEFAULT_SEED;
 
 #[cfg(test)]
 mod tests {

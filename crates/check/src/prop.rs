@@ -326,8 +326,10 @@ impl Property {
     /// run seed and stops at the first failure, which is shrunk and
     /// reported with its per-case seed.
     pub fn run(&self, config: &CheckConfig) -> PropertyReport {
+        let _span = tlp_obs::span_with("check.property", || self.name.to_owned());
         let cases = self.cases_for(config.cases);
         for index in 0..cases {
+            tlp_obs::metrics::CHECK_CASES.incr();
             let seed = case_seed(config.seed, self.name, index);
             if let CaseResult::Fail {
                 original,

@@ -10,19 +10,58 @@
 //! ```
 //!
 //! Add `--json` for machine-readable output and `--paper` for full
-//! experiment scale (default is the fast quarter scale).
+//! experiment scale (default is the fast quarter scale). `sweep` and
+//! `check` accept `--trace PATH` (Chrome `trace_event` JSON, loadable in
+//! Perfetto) and `--trace-summary` (aggregate table on stderr).
 
 use cmp_tlp::check::prop::{run_suite, CheckConfig, SuiteReport};
+use cmp_tlp::cli_args::parse_u64_flag;
 use cmp_tlp::jsonout;
-use cmp_tlp::sweep::{run_sweep_with, FaultPlan, RetryPolicy, SweepOptions, SweepSpec};
-use cmp_tlp::{checks, profiling, report, scenario1, scenario2, ExperimentalChip};
+use cmp_tlp::prelude::*;
+use cmp_tlp::{checks, report, scenario1, scenario2};
 use tlp_sim::CmpConfig;
 use tlp_tech::json::{Json, ToJson};
 use tlp_tech::units::Hertz;
 use tlp_tech::{DvfsTable, OperatingPoint, Technology};
-use tlp_workloads::{gang, AppId, Scale};
+use tlp_workloads::gang;
 
-const SEED: u64 = 0x1595_2005;
+/// A CLI failure: the full causal chain, outermost message first.
+///
+/// Typed errors arrive with their [`std::error::Error::source`] chain
+/// flattened by [`error_chain`]; ad-hoc string errors are a chain of one.
+#[derive(Debug)]
+struct CliError {
+    chain: Vec<String>,
+}
+
+impl CliError {
+    /// Flattens any typed error (and its causes) into a [`CliError`].
+    fn chained(e: &(dyn std::error::Error + 'static)) -> Self {
+        Self {
+            chain: error_chain(e),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        Self { chain: vec![msg] }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        Self {
+            chain: vec![msg.to_owned()],
+        }
+    }
+}
+
+impl From<ExperimentError> for CliError {
+    fn from(e: ExperimentError) -> Self {
+        Self::chained(&e)
+    }
+}
 
 fn parse_app(name: &str) -> Result<AppId, String> {
     let target = name.to_ascii_lowercase().replace(['-', '_'], "");
@@ -54,9 +93,12 @@ fn usage() -> ! {
            sweep <app> [app...]           supervised fig. 3 sweep (failures reported per cell)\n\
            measure <app> <N> <GHz>        run and measure one configuration\n\
            check                          run the property-based differential oracle suite\n\
-         sweep options:\n\
+           validate-trace <path>          parse a --trace file and verify its structure\n\
+         sweep/check options:\n\
            --threads N                    worker threads (default: all cores; output is\n\
                                           byte-identical for any N; timing goes to stderr)\n\
+           --trace PATH                   write a Chrome trace_event JSON file (Perfetto)\n\
+           --trace-summary                print an aggregate span/counter table to stderr\n\
          check options:\n\
            --seed N                       run seed (decimal or 0x hex; default 0xD1CE)\n\
            --cases M                      cases per cheap property (default 256)\n\
@@ -71,22 +113,8 @@ fn usage() -> ! {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json = {
-        let before = args.len();
-        args.retain(|a| a != "--json");
-        args.len() != before
-    };
-    let scale = {
-        let before = args.len();
-        args.retain(|a| a != "--paper");
-        if args.len() != before {
-            Scale::Paper
-        } else {
-            Scale::Small
-        }
-    };
-    let threads = match extract_threads(&mut args) {
-        Ok(t) => t,
+    let common = match CommonArgs::parse(&mut args, ScaleDefault::Small) {
+        Ok(c) => c,
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(2);
@@ -98,39 +126,32 @@ fn main() {
 
     let cmd = args.remove(0);
     let tech = Technology::itrs_65nm();
-    let result = run_command(&cmd, &args, scale, json, threads, tech);
-    if let Err(msg) = result {
+    if let Err(err) = run_command(&cmd, &args, &common, tech) {
         // In --json mode failures are data, not a backtrace: emit a
         // structured error object on stdout so pipelines can parse it.
-        if json {
+        // `error` keeps the outermost message for existing consumers;
+        // `error_chain` adds every underlying cause, outermost first.
+        if common.json {
+            let first = err.chain.first().cloned().unwrap_or_default();
             println!(
                 "{}",
-                Json::object([("error", Json::from(msg))]).to_string_pretty()
+                Json::object([
+                    ("error", Json::from(first)),
+                    ("error_chain", Json::array(&err.chain, |s| s.clone())),
+                ])
+                .to_string_pretty()
             );
         } else {
-            eprintln!("error: {msg}");
+            let mut causes = err.chain.iter();
+            if let Some(first) = causes.next() {
+                eprintln!("error: {first}");
+            }
+            for cause in causes {
+                eprintln!("  caused by: {cause}");
+            }
         }
         std::process::exit(1);
     }
-}
-
-/// Pulls `--threads N` out of `args`. Returns the sweep thread count:
-/// `0` (the default) means all available cores.
-fn extract_threads(args: &mut Vec<String>) -> Result<usize, String> {
-    let Some(pos) = args.iter().position(|a| a == "--threads") else {
-        return Ok(0);
-    };
-    if pos + 1 >= args.len() {
-        return Err("--threads needs a count".into());
-    }
-    let n: usize = args[pos + 1]
-        .parse()
-        .map_err(|_| format!("bad thread count '{}'", args[pos + 1]))?;
-    if n == 0 {
-        return Err("--threads must be at least 1".into());
-    }
-    args.drain(pos..=pos + 1);
-    Ok(n)
 }
 
 fn core_counts(args: &[String]) -> Result<Vec<usize>, String> {
@@ -152,11 +173,11 @@ fn core_counts(args: &[String]) -> Result<Vec<usize>, String> {
 fn run_command(
     cmd: &str,
     args: &[String],
-    scale: Scale,
-    json: bool,
-    threads: usize,
+    common: &CommonArgs,
     tech: Technology,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
+    let scale = common.scale;
+    let json = common.json;
     match cmd {
         "table1" => {
             print!("{}", report::table1(&CmpConfig::ispass05(16), &tech));
@@ -188,7 +209,7 @@ fn run_command(
             let (app, rest) = split_app(args)?;
             let counts = core_counts(rest)?;
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
-            let p = profiling::profile(&chip, app, &counts, scale, SEED);
+            let p = profile(&chip, app, &counts, scale, DEFAULT_SEED);
             if json {
                 println!("{}", p.to_json().to_string_pretty());
             } else {
@@ -203,8 +224,8 @@ fn run_command(
             let (app, rest) = split_app(args)?;
             let counts = core_counts(rest)?;
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
-            let p = profiling::profile(&chip, app, &counts, scale, SEED);
-            let r = scenario1::try_run(&chip, &p, scale, SEED).map_err(|e| e.to_string())?;
+            let p = profile(&chip, app, &counts, scale, DEFAULT_SEED);
+            let r = scenario1::try_run(&chip, &p, scale, DEFAULT_SEED)?;
             if json {
                 println!("{}", r.to_json().to_string_pretty());
             } else {
@@ -216,8 +237,8 @@ fn run_command(
             let (app, rest) = split_app(args)?;
             let counts = core_counts(rest)?;
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
-            let p = profiling::profile(&chip, app, &counts, scale, SEED);
-            let r = scenario2::try_run(&chip, &p, scale, SEED, None).map_err(|e| e.to_string())?;
+            let p = profile(&chip, app, &counts, scale, DEFAULT_SEED);
+            let r = scenario2::try_run(&chip, &p, scale, DEFAULT_SEED, None)?;
             if json {
                 println!("{}", r.to_json().to_string_pretty());
             } else {
@@ -234,16 +255,12 @@ fn run_command(
                 .map(|a| parse_app(a))
                 .collect::<Result<Vec<_>, _>>()?;
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
-            let spec = SweepSpec::fig3(apps, scale, SEED);
-            let opts = SweepOptions { threads };
-            let report = run_sweep_with(
-                &chip,
-                &spec,
-                &RetryPolicy::default(),
-                &FaultPlan::none(),
-                &opts,
-            )
-            .map_err(|e| e.to_string())?;
+            let report = chip
+                .sweep()
+                .grid(SweepSpec::fig3(apps, scale, DEFAULT_SEED))
+                .threads(common.threads)
+                .trace(common.sink())
+                .run()?;
             // Wall clock is nondeterministic, so the summary goes to
             // stderr and the JSON payload excludes timing: --json stdout
             // is byte-identical for any --threads. (The human listing
@@ -254,7 +271,7 @@ fn run_command(
                 println!("{}", report.to_json().to_string_pretty());
             } else {
                 for (i, (cell, outcome)) in report.cells.iter().enumerate() {
-                    if let cmp_tlp::CellOutcome::Completed {
+                    if let CellOutcome::Completed {
                         row,
                         attempts,
                         solver_iterations,
@@ -280,7 +297,8 @@ fn run_command(
             }
             Ok(())
         }
-        "check" => run_check(args, json),
+        "check" => run_check(args, common),
+        "validate-trace" => validate_trace(args),
         "measure" => {
             let (app, rest) = split_app(args)?;
             if rest.len() != 2 {
@@ -292,18 +310,14 @@ fn run_command(
             let f = Hertz::from_ghz(ghz);
             let table =
                 DvfsTable::for_technology(&tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))
-                    .map_err(|e| e.to_string())?;
-            let v = table.voltage_for(f).map_err(|e| e.to_string())?;
+                    .map_err(|e| CliError::chained(&e))?;
+            let v = table.voltage_for(f).map_err(|e| CliError::chained(&e))?;
             let op = OperatingPoint {
                 frequency: f,
                 voltage: v,
             };
-            let run = chip
-                .try_run(gang(app, n, scale, SEED), op)
-                .map_err(|e| e.to_string())?;
-            let m = chip
-                .try_measure(&run, v, &tlp_thermal::FixpointOptions::default())
-                .map_err(|e| e.to_string())?;
+            let run = chip.try_run(gang(app, n, scale, DEFAULT_SEED), op)?;
+            let m = chip.try_measure(&run, v, &tlp_thermal::FixpointOptions::default())?;
             if json {
                 println!("{}", m.to_json().to_string_pretty());
             } else {
@@ -325,21 +339,11 @@ fn run_command(
     }
 }
 
-/// Parses a `u64` accepting both decimal and `0x`-prefixed hex — the
-/// format failure reports print seeds in.
-fn parse_u64_flag(flag: &str, value: Option<&String>) -> Result<u64, String> {
-    let s = value.ok_or_else(|| format!("{flag} needs a value"))?;
-    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16)
-    } else {
-        s.parse()
-    };
-    parsed.map_err(|_| format!("bad value '{s}' for {flag}"))
-}
-
 /// The `check` subcommand: runs the differential oracle suite (or one
 /// oracle, or one replayed case) and reports per-property outcomes.
-fn run_check(args: &[String], json: bool) -> Result<(), String> {
+/// With `--trace`/`--trace-summary` the whole run is captured and the
+/// per-property spans and case counters go to the requested sinks.
+fn run_check(args: &[String], common: &CommonArgs) -> Result<(), CliError> {
     let mut config = CheckConfig::default();
     let mut oracle: Option<String> = None;
     let mut replay: Option<u64> = None;
@@ -352,7 +356,7 @@ fn run_check(args: &[String], json: bool) -> Result<(), String> {
             "--oracle" => oracle = Some(it.next().ok_or("--oracle needs a name")?.clone()),
             "--replay" => replay = Some(parse_u64_flag("--replay", it.next())?),
             "--report" => report_path = Some(it.next().ok_or("--report needs a path")?.clone()),
-            other => return Err(format!("unknown check option '{other}'")),
+            other => return Err(format!("unknown check option '{other}'").into()),
         }
     }
 
@@ -364,28 +368,41 @@ fn run_check(args: &[String], json: bool) -> Result<(), String> {
             return Err(format!(
                 "unknown oracle '{name}' (expected one of: {})",
                 known.join(", ")
-            ));
+            )
+            .into());
         }
     }
 
-    let suite_report = match replay {
-        Some(case_seed) => {
-            if oracle.is_none() {
-                return Err("--replay needs --oracle to name the property to replay".into());
+    let run_props = |props: &[cmp_tlp::check::prop::Property],
+                     config: &CheckConfig|
+     -> Result<SuiteReport, CliError> {
+        match replay {
+            Some(case_seed) => {
+                if oracle.is_none() {
+                    return Err("--replay needs --oracle to name the property to replay".into());
+                }
+                Ok(SuiteReport {
+                    seed: case_seed,
+                    properties: props.iter().map(|p| p.replay(case_seed)).collect(),
+                })
             }
-            SuiteReport {
-                seed: case_seed,
-                properties: props.iter().map(|p| p.replay(case_seed)).collect(),
-            }
+            None => Ok(run_suite(props, config)),
         }
-        None => run_suite(&props, &config),
+    };
+    let sink = common.sink();
+    let suite_report = if sink.is_active() {
+        let (r, trace) = cmp_tlp::obs::capture(|| run_props(&props, &config));
+        sink.emit(&trace)?;
+        r?
+    } else {
+        run_props(&props, &config)?
     };
 
     if let Some(path) = &report_path {
         std::fs::write(path, suite_report.to_json().to_string_pretty())
             .map_err(|e| format!("cannot write report to {path}: {e}"))?;
     }
-    if json {
+    if common.json {
         println!("{}", suite_report.to_json().to_string_pretty());
     } else {
         for pr in &suite_report.properties {
@@ -402,6 +419,55 @@ fn run_check(args: &[String], json: bool) -> Result<(), String> {
         // disagreed.
         std::process::exit(1);
     }
+    Ok(())
+}
+
+/// The `validate-trace` subcommand: parses a `--trace` output file with
+/// the in-tree JSON parser and checks the Chrome `trace_event` shape —
+/// a non-empty `traceEvents` array whose entries all carry a phase and a
+/// name. CI runs this after a traced sweep to keep the emitter honest.
+fn validate_trace(args: &[String]) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err("validate-trace needs exactly one path".into());
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    let parsed = Json::parse(&text).map_err(|e| format!("trace {path} is not valid JSON: {e}"))?;
+    let Json::Obj(pairs) = parsed else {
+        return Err(format!("trace {path}: top level is not an object").into());
+    };
+    let Some(Json::Arr(events)) = pairs
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+    else {
+        return Err(format!("trace {path}: missing traceEvents array").into());
+    };
+    if events.is_empty() {
+        return Err(format!("trace {path}: traceEvents is empty").into());
+    }
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Obj(fields) = ev else {
+            return Err(format!("trace {path}: event {i} is not an object").into());
+        };
+        let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let Some(Json::Str(ph)) = field("ph") else {
+            return Err(format!("trace {path}: event {i} has no phase").into());
+        };
+        let Some(Json::Str(_)) = field("name") else {
+            return Err(format!("trace {path}: event {i} has no name").into());
+        };
+        match ph.as_str() {
+            "X" => spans += 1,
+            "C" => counters += 1,
+            other => {
+                return Err(format!("trace {path}: event {i} has unknown phase '{other}'").into())
+            }
+        }
+    }
+    println!("trace OK: {spans} span event(s), {counters} counter sample(s)");
     Ok(())
 }
 

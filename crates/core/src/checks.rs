@@ -28,7 +28,7 @@ use tlp_tech::Technology;
 use tlp_workloads::{AppId, Scale};
 
 use crate::chipstate::ExperimentalChip;
-use crate::sweep::{run_sweep_with, Fault, FaultPlan, RetryPolicy, SweepOptions, SweepSpec};
+use crate::sweep::{Fault, FaultPlan, RetryPolicy, SweepSpec};
 use crate::{profiling, scenario1};
 
 /// The one experimental chip every oracle case shares (calibration is
@@ -135,16 +135,22 @@ fn sweep_check(c: &SweepCase) -> Result<(), String> {
         plan = plan.inject(app, n, fault);
     }
     let policy = RetryPolicy::default();
-    let serial = run_sweep_with(chip, &spec, &policy, &plan, &SweepOptions::serial())
+    let serial = chip
+        .sweep()
+        .grid(spec.clone())
+        .retry_policy(policy)
+        .faults(plan.clone())
+        .serial()
+        .run()
         .map_err(|e| format!("serial sweep refused to start: {e}"))?;
-    let parallel = run_sweep_with(
-        chip,
-        &spec,
-        &policy,
-        &plan,
-        &SweepOptions { threads: c.threads },
-    )
-    .map_err(|e| format!("{}-thread sweep refused to start: {e}", c.threads))?;
+    let parallel = chip
+        .sweep()
+        .grid(spec)
+        .retry_policy(policy)
+        .faults(plan)
+        .threads(c.threads)
+        .run()
+        .map_err(|e| format!("{}-thread sweep refused to start: {e}", c.threads))?;
 
     let s = format!("{:?}", serial.cells);
     let p = format!("{:?}", parallel.cells);

@@ -260,6 +260,7 @@ impl ExperimentalChip {
         opts: &FixpointOptions,
         faults: &MeasureFaults,
     ) -> Result<ChipMeasurement, ExperimentError> {
+        let _span = tlp_obs::span("chip.measure");
         let breakdown = self.power.try_dynamic(result, v)?;
         let tile_fp = self.tile.floorplan().clone();
         let n = breakdown.cores.len();

@@ -1,0 +1,225 @@
+//! Shared command-line flag parsing for the `cmp-tlp` CLI and the
+//! `tlp-bench` figure binaries.
+//!
+//! Every front end in the workspace speaks the same flag dialect —
+//! `--json`, `--paper`/`--quick`, `--threads N`, `--trace PATH`,
+//! `--trace-summary` — but until this module each binary re-implemented
+//! the parsing. [`CommonArgs::parse`] strips the shared flags out of an
+//! argument vector (leaving positional arguments and command-specific
+//! flags untouched) and returns them as one typed struct, including a
+//! ready-made [`TraceSink`].
+
+use tlp_workloads::Scale;
+
+use crate::sweep::TraceSink;
+
+/// The seed every experiment front end uses by default (results are
+/// bit-reproducible).
+pub const DEFAULT_SEED: u64 = 0x1595_2005;
+
+/// Which workload scale an unadorned invocation gets. The CLI defaults
+/// small and upgrades with `--paper`; the figure binaries default to
+/// full paper scale and downgrade with `--quick`. Both flags are always
+/// accepted; the convention only picks the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDefault {
+    /// Default [`Scale::Small`]; `--paper` selects [`Scale::Paper`]
+    /// (the `cmp-tlp` CLI convention).
+    Small,
+    /// Default [`Scale::Paper`]; `--quick` selects [`Scale::Small`]
+    /// (the `tlp-bench` figure-binary convention).
+    Paper,
+}
+
+/// The flags shared by every front end, parsed and stripped from the
+/// argument vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// `--json`: machine-readable output.
+    pub json: bool,
+    /// Workload scale after `--paper`/`--quick` against the convention's
+    /// default.
+    pub scale: Scale,
+    /// `--threads N`: sweep worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// `--trace PATH`: write a Chrome `trace_event` JSON file here.
+    pub trace: Option<String>,
+    /// `--trace-summary`: print the human trace summary to stderr.
+    pub trace_summary: bool,
+}
+
+impl CommonArgs {
+    /// Parses and removes the shared flags from `args` (everything else
+    /// is left in place, in order).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for a malformed flag value (missing or
+    /// non-numeric `--threads` count, missing `--trace` path).
+    pub fn parse(args: &mut Vec<String>, convention: ScaleDefault) -> Result<Self, String> {
+        let json = take_flag(args, "--json");
+        let paper = take_flag(args, "--paper");
+        let quick = take_flag(args, "--quick");
+        let scale = if paper {
+            Scale::Paper
+        } else if quick {
+            Scale::Small
+        } else {
+            match convention {
+                ScaleDefault::Small => Scale::Small,
+                ScaleDefault::Paper => Scale::Paper,
+            }
+        };
+        let threads = match take_value(args, "--threads")? {
+            None => 0,
+            Some(s) => {
+                let n: usize = s.parse().map_err(|_| format!("bad thread count '{s}'"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                n
+            }
+        };
+        let trace = take_value(args, "--trace")?;
+        let trace_summary = take_flag(args, "--trace-summary");
+        Ok(Self {
+            json,
+            scale,
+            threads,
+            trace,
+            trace_summary,
+        })
+    }
+
+    /// The [`TraceSink`] these flags request (inactive when neither
+    /// `--trace` nor `--trace-summary` was given).
+    pub fn sink(&self) -> TraceSink {
+        let mut sink = TraceSink::none();
+        if let Some(path) = &self.trace {
+            sink = sink.and_chrome(path);
+        }
+        if self.trace_summary {
+            sink = sink.and_summary();
+        }
+        sink
+    }
+}
+
+/// Removes every occurrence of `flag`; returns whether any was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// Removes `flag VALUE`; returns the value if the flag was present.
+///
+/// # Errors
+///
+/// When the flag is present without a following value.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+/// Parses a `u64` accepting both decimal and `0x`-prefixed hex — the
+/// format failure reports print seeds in.
+///
+/// # Errors
+///
+/// A human-readable message when `value` is absent or unparseable.
+pub fn parse_u64_flag(flag: &str, value: Option<&String>) -> Result<u64, String> {
+    let s = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("bad value '{s}' for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn strips_shared_flags_and_leaves_the_rest() {
+        let mut a = args(&["sweep", "--json", "fft", "--threads", "4", "--paper"]);
+        let c = CommonArgs::parse(&mut a, ScaleDefault::Small).unwrap();
+        assert_eq!(a, args(&["sweep", "fft"]));
+        assert!(c.json);
+        assert_eq!(c.scale, Scale::Paper);
+        assert_eq!(c.threads, 4);
+        assert!(c.trace.is_none() && !c.trace_summary);
+        assert!(!c.sink().is_active());
+    }
+
+    #[test]
+    fn conventions_pick_the_default_scale() {
+        let mut a = args(&[]);
+        assert_eq!(
+            CommonArgs::parse(&mut a, ScaleDefault::Small)
+                .unwrap()
+                .scale,
+            Scale::Small
+        );
+        assert_eq!(
+            CommonArgs::parse(&mut a, ScaleDefault::Paper)
+                .unwrap()
+                .scale,
+            Scale::Paper
+        );
+        let mut q = args(&["--quick"]);
+        assert_eq!(
+            CommonArgs::parse(&mut q, ScaleDefault::Paper)
+                .unwrap()
+                .scale,
+            Scale::Small
+        );
+    }
+
+    #[test]
+    fn trace_flags_build_an_active_sink() {
+        let mut a = args(&["--trace", "out.json", "--trace-summary", "check"]);
+        let c = CommonArgs::parse(&mut a, ScaleDefault::Small).unwrap();
+        assert_eq!(a, args(&["check"]));
+        assert_eq!(c.trace.as_deref(), Some("out.json"));
+        assert!(c.trace_summary);
+        assert!(c.sink().is_active());
+    }
+
+    #[test]
+    fn malformed_thread_counts_are_rejected() {
+        let mut a = args(&["--threads"]);
+        assert!(CommonArgs::parse(&mut a, ScaleDefault::Small).is_err());
+        let mut b = args(&["--threads", "zero"]);
+        assert!(CommonArgs::parse(&mut b, ScaleDefault::Small).is_err());
+        let mut z = args(&["--threads", "0"]);
+        assert!(CommonArgs::parse(&mut z, ScaleDefault::Small).is_err());
+    }
+
+    #[test]
+    fn u64_flags_accept_hex_and_decimal() {
+        assert_eq!(
+            parse_u64_flag("--seed", Some(&"0xD1CE".to_string())).unwrap(),
+            0xD1CE
+        );
+        assert_eq!(
+            parse_u64_flag("--seed", Some(&"42".to_string())).unwrap(),
+            42
+        );
+        assert!(parse_u64_flag("--seed", None).is_err());
+        assert!(parse_u64_flag("--seed", Some(&"xyz".to_string())).is_err());
+    }
+}

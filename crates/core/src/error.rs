@@ -18,6 +18,30 @@ use tlp_sim::SimError;
 use tlp_tech::TechError;
 use tlp_thermal::ThermalError;
 
+/// Failure writing a trace artifact to its sink (e.g. the Chrome
+/// `trace_event` file requested by `sweep --trace <path>`).
+///
+/// The underlying [`std::io::Error`] is rendered into `message` — this
+/// type stays `Clone + PartialEq` like the rest of the hierarchy — and
+/// the struct itself is the `source()` of
+/// [`ExperimentError::Trace`], so chain walkers see
+/// "trace sink failed: …" → the path and OS-level cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// Path of the sink that could not be written.
+    pub path: String,
+    /// The rendered I/O error.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot write trace to {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// Any failure of the experiment pipeline, from any layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExperimentError {
@@ -30,6 +54,9 @@ pub enum ExperimentError {
     Power(PowerError),
     /// A technology/DVFS lookup failed (operating point out of range).
     Tech(TechError),
+    /// A requested trace artifact could not be written. The experiment
+    /// itself succeeded; only the observability output was lost.
+    Trace(TraceError),
 }
 
 impl ExperimentError {
@@ -55,6 +82,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Thermal(e) => write!(f, "thermal solve failed: {e}"),
             ExperimentError::Power(e) => write!(f, "power accounting failed: {e}"),
             ExperimentError::Tech(e) => write!(f, "technology model failed: {e}"),
+            ExperimentError::Trace(e) => write!(f, "trace sink failed: {e}"),
         }
     }
 }
@@ -66,8 +94,24 @@ impl std::error::Error for ExperimentError {
             ExperimentError::Thermal(e) => Some(e),
             ExperimentError::Power(e) => Some(e),
             ExperimentError::Tech(e) => Some(e),
+            ExperimentError::Trace(e) => Some(e),
         }
     }
+}
+
+/// Renders `e` and its full [`source()`](std::error::Error::source)
+/// chain, outermost first. The CLI's `--json` failure output and the
+/// sweep report's failed-cell records use this so a consumer sees every
+/// causal layer ("simulation failed: …" → the deadlock diagnosis), not
+/// just the top-level message.
+pub fn error_chain(e: &(dyn std::error::Error + 'static)) -> Vec<String> {
+    let mut chain = vec![e.to_string()];
+    let mut cur = e.source();
+    while let Some(cause) = cur {
+        chain.push(cause.to_string());
+        cur = cause.source();
+    }
+    chain
 }
 
 impl From<SimError> for ExperimentError {
@@ -91,6 +135,12 @@ impl From<PowerError> for ExperimentError {
 impl From<TechError> for ExperimentError {
     fn from(e: TechError) -> Self {
         ExperimentError::Tech(e)
+    }
+}
+
+impl From<TraceError> for ExperimentError {
+    fn from(e: TraceError) -> Self {
+        ExperimentError::Trace(e)
     }
 }
 
@@ -131,5 +181,42 @@ mod tests {
         use std::error::Error;
         let e = ExperimentError::from(PowerError::EmptyRun);
         assert!(e.source().unwrap().to_string().contains("zero-cycle"));
+    }
+
+    #[test]
+    fn error_chain_walks_every_causal_layer() {
+        let e = ExperimentError::from(ThermalError::NoConvergence {
+            iterations: 100,
+            last_delta: 0.5,
+            tolerance: 1e-3,
+        });
+        let chain = error_chain(&e);
+        assert_eq!(chain.len(), 2, "{chain:?}");
+        assert!(chain[0].starts_with("thermal solve failed:"));
+        assert!(chain[1].contains("100"));
+    }
+
+    #[test]
+    fn deadlock_chain_reaches_the_diagnosis() {
+        let e = ExperimentError::from(SimError::Deadlock(tlp_sim::DeadlockInfo {
+            cycle: 42,
+            cores: Vec::new(),
+        }));
+        let chain = error_chain(&e);
+        // ExperimentError → SimError → DeadlockInfo: three layers.
+        assert_eq!(chain.len(), 3, "{chain:?}");
+        assert!(chain[2].contains("cycle 42"), "{chain:?}");
+    }
+
+    #[test]
+    fn trace_errors_display_path_and_cause() {
+        let e = ExperimentError::Trace(TraceError {
+            path: "/nope/trace.json".to_string(),
+            message: "permission denied".to_string(),
+        });
+        assert!(!e.is_retryable());
+        let chain = error_chain(&e);
+        assert!(chain[0].starts_with("trace sink failed:"), "{chain:?}");
+        assert!(chain[1].contains("/nope/trace.json"), "{chain:?}");
     }
 }

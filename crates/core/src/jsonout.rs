@@ -176,6 +176,12 @@ impl ToJson for SweepReport {
                             o.set("status", "failed");
                             o.set("attempts", *attempts);
                             o.set("reason", reason.to_string());
+                            // The full causal chain (outermost first), so
+                            // pipelines can triage without re-running.
+                            o.set(
+                                "reason_chain",
+                                Json::array(crate::error::error_chain(reason), Json::from),
+                            );
                         }
                     }
                     o
@@ -229,6 +235,9 @@ mod tests {
         assert!(j.contains("\"cells_failed\":1"), "{j}");
         assert!(j.contains("\"status\":\"failed\""), "{j}");
         assert!(j.contains("\"reason\":\"power accounting failed"), "{j}");
+        // The chain walks through the power-layer cause.
+        assert!(j.contains("\"reason_chain\":["), "{j}");
+        assert!(j.contains("zero-cycle run\"]"), "{j}");
         // Wall clock is nondeterministic and must never leak into the
         // deterministic payload.
         assert!(!j.contains("seconds"), "{j}");

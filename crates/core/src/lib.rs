@@ -47,10 +47,12 @@
 
 pub mod checks;
 pub mod chipstate;
+pub mod cli_args;
 pub mod energy;
 pub mod error;
 pub mod jsonout;
 pub mod pool;
+pub mod prelude;
 pub mod profiling;
 pub mod report;
 pub mod scenario1;
@@ -59,16 +61,19 @@ pub mod sweep;
 pub mod transient;
 
 pub use chipstate::{ChipMeasurement, ExperimentalChip, MeasureFaults, DIE_EDGE_MM};
-pub use error::ExperimentError;
+pub use error::{error_chain, ExperimentError, TraceError};
 pub use profiling::{profile, EfficiencyProfile};
+#[allow(deprecated)]
+pub use sweep::{run_sweep, run_sweep_with};
 pub use sweep::{
-    run_sweep, run_sweep_with, CellOutcome, Fault, FaultPlan, RetryPolicy, SweepCell, SweepOptions,
-    SweepReport, SweepSpec, SweepTiming,
+    CellOutcome, Fault, FaultPlan, RetryPolicy, SweepBuilder, SweepCell, SweepOptions, SweepReport,
+    SweepSpec, SweepTiming, TraceSink,
 };
 
 // Re-export the stack so downstream users need one dependency.
 pub use tlp_analytic as analytic;
 pub use tlp_check as check;
+pub use tlp_obs as obs;
 pub use tlp_power as power;
 pub use tlp_sim as sim;
 pub use tlp_tech as tech;

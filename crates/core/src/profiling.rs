@@ -84,6 +84,7 @@ pub fn profile(
         core_counts.first() == Some(&1),
         "profiling must include the single-core reference first"
     );
+    let _span = tlp_obs::span_with("profile", || app.name().to_string());
     let op = chip.config().operating_point;
     let mut counts = Vec::new();
     let mut times = Vec::new();

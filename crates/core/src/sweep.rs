@@ -1,11 +1,33 @@
 //! Supervised sweep runner: fault-isolated fig. 3-style experiments.
 //!
+//! The one entry point is [`SweepBuilder`] (usually via
+//! [`ExperimentalChip::sweep`]): pick the grid, arm faults, set the
+//! retry policy and parallelism, attach a [`TraceSink`], and call
+//! [`SweepBuilder::run`]:
+//!
+//! ```no_run
+//! use cmp_tlp::prelude::*;
+//! use tlp_sim::CmpConfig;
+//! use tlp_tech::Technology;
+//!
+//! let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+//! let report = chip
+//!     .sweep()
+//!     .apps(vec![AppId::WaterNsq])
+//!     .core_counts(vec![1, 2, 4])
+//!     .scale(Scale::Test)
+//!     .threads(4)
+//!     .run()
+//!     .unwrap();
+//! println!("{}", report.summary());
+//! ```
+//!
 //! [`scenario1::try_run`](crate::scenario1::try_run) aborts an entire
 //! application series on the first failure. Long sweeps — many
 //! applications × many core counts, hours of simulation — need the
 //! opposite policy: treat each (application, core count, V/f) cell as a
 //! fallible unit, retry the failures that retrying can fix, diagnose the
-//! ones it cannot, and keep going. That is what [`run_sweep`] does:
+//! ones it cannot, and keep going. That is what the sweep engine does:
 //!
 //! - Every cell yields a [`CellOutcome`]: a completed
 //!   [`Scenario1Row`](crate::scenario1::Scenario1Row) or a
@@ -28,7 +50,7 @@
 //!
 //! # Parallel execution
 //!
-//! Cells are independent, so [`run_sweep`] fans them out across an
+//! Cells are independent, so the engine fans them out across an
 //! in-tree work-stealing pool ([`crate::pool`]): one preparation task
 //! per application (profiling plus the single-core reference
 //! measurement), which spawns one task per (application, core count)
@@ -383,8 +405,242 @@ struct AppBaseline {
     base_attempts: u32,
 }
 
-/// Runs a supervised fig. 3-style sweep with default options (all
-/// available hardware threads). See [`run_sweep_with`].
+/// Where a sweep's captured trace goes.
+///
+/// A sink with neither output armed ([`TraceSink::none`], the default)
+/// disables capture entirely: the recorder's global switch stays off and
+/// every instrumentation site reduces to one relaxed atomic load.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    chrome_path: Option<std::path::PathBuf>,
+    summary_to_stderr: bool,
+}
+
+impl TraceSink {
+    /// No trace output; the recorder stays disabled (the production
+    /// configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Write a Chrome `trace_event` JSON file to `path`, loadable in
+    /// `about:tracing` or [Perfetto](https://ui.perfetto.dev).
+    pub fn chrome(path: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            chrome_path: Some(path.into()),
+            summary_to_stderr: false,
+        }
+    }
+
+    /// Print the human-readable summary table to stderr (stderr so a
+    /// `--json` stdout stays byte-identical with tracing on or off).
+    pub fn summary() -> Self {
+        Self {
+            summary_to_stderr: true,
+            chrome_path: None,
+        }
+    }
+
+    /// Additionally write the Chrome trace file to `path`.
+    pub fn and_chrome(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.chrome_path = Some(path.into());
+        self
+    }
+
+    /// Additionally print the summary table to stderr.
+    pub fn and_summary(mut self) -> Self {
+        self.summary_to_stderr = true;
+        self
+    }
+
+    /// Whether any output is armed (and capture therefore worthwhile).
+    pub fn is_active(&self) -> bool {
+        self.chrome_path.is_some() || self.summary_to_stderr
+    }
+
+    /// Emits `trace` to every armed output.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::Trace`] if the Chrome file cannot be written.
+    pub fn emit(&self, trace: &tlp_obs::Trace) -> Result<(), ExperimentError> {
+        if let Some(path) = &self.chrome_path {
+            std::fs::write(path, tlp_obs::chrome::render(trace)).map_err(|e| {
+                crate::error::TraceError {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                }
+            })?;
+        }
+        if self.summary_to_stderr {
+            eprintln!("{}", tlp_obs::summary::render(trace));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for supervised fig. 3-style sweeps — the one front door to
+/// the sweep engine (see the module docs for an example).
+///
+/// Construct with [`ExperimentalChip::sweep`] or [`SweepBuilder::new`];
+/// every stage has a sensible default: the fig. 3 core counts over no
+/// applications, [`Scale::Small`], the workspace seed, no faults, the
+/// default [`RetryPolicy`], all available hardware threads, and no
+/// tracing.
+#[derive(Clone)]
+#[must_use = "a SweepBuilder does nothing until .run()"]
+pub struct SweepBuilder<'c> {
+    chip: &'c ExperimentalChip,
+    spec: SweepSpec,
+    policy: RetryPolicy,
+    plan: FaultPlan,
+    opts: SweepOptions,
+    sink: TraceSink,
+}
+
+impl<'c> SweepBuilder<'c> {
+    /// Starts a sweep on `chip` with default settings.
+    pub fn new(chip: &'c ExperimentalChip) -> Self {
+        Self {
+            chip,
+            spec: SweepSpec::fig3(Vec::new(), Scale::Small, crate::cli_args::DEFAULT_SEED),
+            policy: RetryPolicy::default(),
+            plan: FaultPlan::none(),
+            opts: SweepOptions::default(),
+            sink: TraceSink::none(),
+        }
+    }
+
+    /// Replaces the whole grid (applications, core counts, scale, seed)
+    /// at once.
+    pub fn grid(mut self, spec: SweepSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Applications to sweep.
+    pub fn apps(mut self, apps: Vec<AppId>) -> Self {
+        self.spec.apps = apps;
+        self
+    }
+
+    /// Core counts per application (must start at 1; the single-core
+    /// cell anchors every normalization).
+    pub fn core_counts(mut self, counts: Vec<usize>) -> Self {
+        self.spec.core_counts = counts;
+        self
+    }
+
+    /// Workload scale.
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.spec.scale = scale;
+        self
+    }
+
+    /// Workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Fault plan (deterministic per-cell fault injection).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Retry policy for retryable (thermal-convergence) failures.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Worker threads: `0` means all available hardware threads, `1` is
+    /// fully serial. Output is byte-identical at every setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Fully serial execution (equivalent to `.threads(1)`).
+    pub fn serial(mut self) -> Self {
+        self.opts = SweepOptions::serial();
+        self
+    }
+
+    /// Trace sink; an active sink turns the recorder on for the run.
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Runs the sweep. With an active [`TraceSink`] the run is captured
+    /// and the trace emitted to the sink's outputs.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::Tech`] if the DVFS ladder itself cannot be
+    /// built — without it no cell is meaningful — and
+    /// [`ExperimentError::Trace`] if a requested trace artifact cannot
+    /// be written (the sweep itself succeeded in that case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core counts are empty or do not start at 1.
+    pub fn run(self) -> Result<SweepReport, ExperimentError> {
+        let Self {
+            chip,
+            spec,
+            policy,
+            plan,
+            opts,
+            sink,
+        } = self;
+        if !sink.is_active() {
+            return sweep_engine(chip, &spec, &policy, &plan, &opts);
+        }
+        let (result, trace) = tlp_obs::capture(|| sweep_engine(chip, &spec, &policy, &plan, &opts));
+        let report = result?;
+        sink.emit(&trace)?;
+        Ok(report)
+    }
+
+    /// Like [`SweepBuilder::run`], but always captures and also returns
+    /// the [`tlp_obs::Trace`] for programmatic inspection (the sink, if
+    /// active, is still emitted to first).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SweepBuilder::run`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`SweepBuilder::run`].
+    pub fn run_traced(self) -> Result<(SweepReport, tlp_obs::Trace), ExperimentError> {
+        let Self {
+            chip,
+            spec,
+            policy,
+            plan,
+            opts,
+            sink,
+        } = self;
+        let (result, trace) = tlp_obs::capture(|| sweep_engine(chip, &spec, &policy, &plan, &opts));
+        let report = result?;
+        sink.emit(&trace)?;
+        Ok((report, trace))
+    }
+}
+
+impl ExperimentalChip {
+    /// Starts a [`SweepBuilder`] on this chip — the front door to the
+    /// supervised sweep engine.
+    pub fn sweep(&self) -> SweepBuilder<'_> {
+        SweepBuilder::new(self)
+    }
+}
+
+/// Runs a supervised fig. 3-style sweep with default options.
 ///
 /// # Errors
 ///
@@ -395,28 +651,17 @@ struct AppBaseline {
 ///
 /// Panics if the spec's core counts are empty or do not start at 1 (the
 /// single-core cell anchors every normalization).
+#[deprecated(since = "0.1.0", note = "use `chip.sweep()` (SweepBuilder) instead")]
 pub fn run_sweep(
     chip: &ExperimentalChip,
     spec: &SweepSpec,
     policy: &RetryPolicy,
     plan: &FaultPlan,
 ) -> Result<SweepReport, ExperimentError> {
-    run_sweep_with(chip, spec, policy, plan, &SweepOptions::default())
+    sweep_engine(chip, spec, policy, plan, &SweepOptions::default())
 }
 
 /// Runs a supervised fig. 3-style sweep across `opts.threads` workers.
-///
-/// Each application is profiled at nominal V/f over the spec's core
-/// counts; each (application, core count) cell is then re-simulated at
-/// its Eq. 7 iso-performance operating point and measured, as one
-/// fallible unit under `policy`, with any faults `plan` arms on it.
-/// A failure in one cell never aborts the sweep; it becomes that cell's
-/// [`CellOutcome::Failed`].
-///
-/// Execution is parallel (see the module docs) but the report is reduced
-/// in request order and every cell's computation is self-contained, so
-/// the outcome sequence — and its JSON rendering — is byte-identical for
-/// any thread count.
 ///
 /// # Errors
 ///
@@ -427,6 +672,7 @@ pub fn run_sweep(
 ///
 /// Panics if the spec's core counts are empty or do not start at 1 (the
 /// single-core cell anchors every normalization).
+#[deprecated(since = "0.1.0", note = "use `chip.sweep()` (SweepBuilder) instead")]
 pub fn run_sweep_with(
     chip: &ExperimentalChip,
     spec: &SweepSpec,
@@ -434,6 +680,28 @@ pub fn run_sweep_with(
     plan: &FaultPlan,
     opts: &SweepOptions,
 ) -> Result<SweepReport, ExperimentError> {
+    sweep_engine(chip, spec, policy, plan, opts)
+}
+
+/// The sweep engine proper: each application is profiled at nominal V/f
+/// over the spec's core counts; each (application, core count) cell is
+/// then re-simulated at its Eq. 7 iso-performance operating point and
+/// measured, as one fallible unit under `policy`, with any faults `plan`
+/// arms on it. A failure in one cell never aborts the sweep; it becomes
+/// that cell's [`CellOutcome::Failed`].
+///
+/// Execution is parallel (see the module docs) but the report is reduced
+/// in request order and every cell's computation is self-contained, so
+/// the outcome sequence — and its JSON rendering — is byte-identical for
+/// any thread count.
+fn sweep_engine(
+    chip: &ExperimentalChip,
+    spec: &SweepSpec,
+    policy: &RetryPolicy,
+    plan: &FaultPlan,
+    opts: &SweepOptions,
+) -> Result<SweepReport, ExperimentError> {
+    let _span = tlp_obs::span("sweep.run");
     assert!(
         spec.core_counts.first() == Some(&1),
         "sweep core counts must start at 1"
@@ -461,17 +729,21 @@ pub fn run_sweep_with(
                 // this application fails with the same diagnosis —
                 // normalization needs the anchor.
                 let prep_start = Instant::now();
+                let _span = tlp_obs::span_with("sweep.prep", || app.name().to_string());
                 let prof: EfficiencyProfile =
                     profile(chip, app, &spec.core_counts, spec.scale, spec.seed);
                 let base_cell = SweepCell { app, n: 1 };
-                let base = supervise(policy, |opts| {
-                    chip.try_measure_with(
-                        &prof.baseline,
-                        tech.vdd_nominal(),
-                        opts,
-                        &plan.measure_faults_for(base_cell),
-                    )
-                });
+                let base = {
+                    let _span = tlp_obs::span_with("sweep.baseline", || app.name().to_string());
+                    supervise(policy, |opts| {
+                        chip.try_measure_with(
+                            &prof.baseline,
+                            tech.vdd_nominal(),
+                            opts,
+                            &plan.measure_faults_for(base_cell),
+                        )
+                    })
+                };
                 let (base_measure, base_attempts) = match base {
                     Ok(pair) => pair,
                     Err((reason, attempts)) => {
@@ -499,6 +771,8 @@ pub fn run_sweep_with(
                     let baseline = Arc::clone(&baseline);
                     p.spawn(move |_| {
                         let cell_start = Instant::now();
+                        let _span =
+                            tlp_obs::span_with("sweep.cell", || format!("{}@{}", app.name(), n));
                         let outcome =
                             run_cell(chip, spec, policy, plan, table, tech, &baseline, app, n, ni);
                         *slots[ai * n_counts + ni].lock().expect("slot poisoned") =
@@ -520,6 +794,11 @@ pub fn run_sweep_with(
             app: spec.apps[i / n_counts],
             n: spec.core_counts[i % n_counts],
         };
+        if outcome.is_completed() {
+            tlp_obs::metrics::SWEEP_CELLS_COMPLETED.incr();
+        } else {
+            tlp_obs::metrics::SWEEP_CELLS_FAILED.incr();
+        }
         cells.push((cell, outcome));
         cell_seconds.push(wall);
     }
@@ -620,7 +899,10 @@ fn supervise<T>(
     loop {
         match attempt(&policy.options_for(k)) {
             Ok(v) => return Ok((v, k)),
-            Err(e) if e.is_retryable() && k < max => k += 1,
+            Err(e) if e.is_retryable() && k < max => {
+                tlp_obs::metrics::SWEEP_RETRY_ATTEMPTS.incr();
+                k += 1;
+            }
             Err(e) => return Err((e, k)),
         }
     }
@@ -648,28 +930,117 @@ mod tests {
 
     #[test]
     fn clean_sweep_completes_every_cell() {
-        let r = run_sweep(
-            &chip(),
-            &spec(vec![AppId::WaterNsq]),
-            &RetryPolicy::default(),
-            &FaultPlan::none(),
-        )
-        .unwrap();
+        let r = chip()
+            .sweep()
+            .grid(spec(vec![AppId::WaterNsq]))
+            .run()
+            .unwrap();
         assert_eq!(r.cells.len(), 2);
         assert!(r.cells.iter().all(|(_, o)| o.is_completed()));
         assert_eq!(r.summary(), "sweep: 2/2 cells completed");
     }
 
     #[test]
+    fn builder_stages_compose_and_default_to_fig3_counts() {
+        let c = chip();
+        let b = c
+            .sweep()
+            .apps(vec![AppId::Fft])
+            .scale(Scale::Test)
+            .seed(11)
+            .retry_policy(RetryPolicy::no_retries())
+            .serial();
+        assert_eq!(b.spec.apps, vec![AppId::Fft]);
+        assert_eq!(b.spec.core_counts, vec![1, 2, 4, 8, 16]);
+        assert_eq!(b.spec.seed, 11);
+        assert_eq!(b.policy.max_attempts, 1);
+        assert_eq!(b.opts.threads, 1);
+        assert!(!b.sink.is_active());
+        let b = b.threads(3).core_counts(vec![1, 2]);
+        assert_eq!(b.opts.threads, 3);
+        assert_eq!(b.spec.core_counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn traced_run_captures_spans_and_counters() {
+        let (r, trace) = chip()
+            .sweep()
+            .grid(spec(vec![AppId::WaterNsq]))
+            .serial()
+            .run_traced()
+            .unwrap();
+        assert_eq!(r.completed().count(), 2);
+        assert_eq!(trace.spans_named("sweep.run").count(), 1);
+        assert_eq!(trace.spans_named("sweep.prep").count(), 1);
+        assert_eq!(trace.spans_named("sweep.cell").count(), 2);
+        assert!(trace.spans_named("sim.run").count() >= 2);
+        assert!(trace.counter("sweep.cells_completed") == Some(2));
+        assert!(trace.counter("thermal.fixpoint_iterations").unwrap_or(0) > 0);
+        assert!(trace.counter("linalg.lu_solves").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn inactive_sink_keeps_recorder_off() {
+        let sink = TraceSink::none();
+        assert!(!sink.is_active());
+        let r = chip()
+            .sweep()
+            .grid(spec(vec![AppId::WaterNsq]))
+            .trace(sink)
+            .run()
+            .unwrap();
+        assert_eq!(r.completed().count(), 2);
+        assert!(!tlp_obs::enabled());
+    }
+
+    #[test]
+    fn chrome_sink_writes_parseable_json() {
+        let path =
+            std::env::temp_dir().join(format!("cmp-tlp-sweep-trace-{}.json", std::process::id()));
+        let r = chip()
+            .sweep()
+            .grid(spec(vec![AppId::WaterNsq]))
+            .trace(TraceSink::chrome(&path))
+            .run()
+            .unwrap();
+        assert_eq!(r.completed().count(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let json = tlp_tech::json::Json::parse(&text).expect("trace is valid JSON");
+        let tlp_tech::json::Json::Obj(pairs) = &json else {
+            panic!("trace root must be an object");
+        };
+        let (_, events) = pairs
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .expect("traceEvents key");
+        let tlp_tech::json::Json::Arr(events) = events else {
+            panic!("traceEvents must be an array");
+        };
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn unwritable_chrome_sink_is_a_typed_trace_error() {
+        let err = chip()
+            .sweep()
+            .grid(spec(vec![AppId::WaterNsq]))
+            .trace(TraceSink::chrome("/nonexistent-dir/trace.json"))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::Trace(_)), "{err}");
+        assert!(err.to_string().starts_with("trace sink failed:"), "{err}");
+    }
+
+    #[test]
     fn nan_fault_fails_only_its_cell_without_retries() {
         let plan = FaultPlan::none().inject(AppId::WaterNsq, 2, Fault::NanPower);
-        let r = run_sweep(
-            &chip(),
-            &spec(vec![AppId::WaterNsq]),
-            &RetryPolicy::default(),
-            &plan,
-        )
-        .unwrap();
+        let r = chip()
+            .sweep()
+            .grid(spec(vec![AppId::WaterNsq]))
+            .faults(plan)
+            .run()
+            .unwrap();
         let failed: Vec<_> = r.failed().collect();
         assert_eq!(failed.len(), 1);
         let (cell, reason, attempts) = failed[0];

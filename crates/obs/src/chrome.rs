@@ -1,0 +1,166 @@
+//! Chrome `trace_event` sink.
+//!
+//! Renders a [`Trace`] in the Trace Event Format's JSON object form:
+//! `{"traceEvents": [...]}` with complete (`"ph":"X"`) events for spans
+//! and counter (`"ph":"C"`) samples — loadable in `about:tracing` and
+//! [Perfetto](https://ui.perfetto.dev). Timestamps are microseconds from
+//! capture start, one track (`tid`) per recording thread.
+//!
+//! This module builds the JSON by hand: `tlp-obs` sits below every other
+//! workspace crate and must not depend on `tlp-tech`'s document model.
+//! The output is strict JSON, so the workspace's in-tree parser
+//! (`tlp_tech::json::Json::parse`) accepts it — CI pins that.
+
+use crate::trace::Trace;
+
+/// Escapes `s` into `out` as JSON string contents (without quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_micros(out: &mut String, ns: u64) {
+    // Microseconds with nanosecond resolution preserved; integral values
+    // print without a fraction, matching the in-tree printer's shortest
+    // round-trip formatting.
+    let us = ns as f64 / 1000.0;
+    out.push_str(&format!("{us}"));
+}
+
+/// Renders `trace` as a Chrome `trace_event` JSON document.
+pub fn render(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.spans.len() * 128 + 1024);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for s in &trace.spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, s.name);
+        out.push_str("\",\"cat\":\"tlp\",\"ph\":\"X\",\"ts\":");
+        push_micros(&mut out, s.start_ns);
+        out.push_str(",\"dur\":");
+        push_micros(&mut out, s.dur_ns);
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&s.tid.to_string());
+        out.push_str(",\"args\":{");
+        if !s.detail.is_empty() {
+            out.push_str("\"detail\":\"");
+            escape_into(&mut out, &s.detail);
+            out.push_str("\",");
+        }
+        out.push_str("\"span_id\":");
+        out.push_str(&s.id.to_string());
+        out.push_str(",\"parent_id\":");
+        out.push_str(&s.parent.to_string());
+        out.push_str("}}");
+    }
+    // Counter samples: one at t=0 (zero) and one at the capture's end, so
+    // viewers draw a ramp instead of a single point.
+    let end_ns = trace
+        .spans
+        .iter()
+        .map(|s| s.start_ns + s.dur_ns)
+        .max()
+        .unwrap_or(0);
+    for (name, value) in &trace.counters {
+        for (ts, v) in [(0u64, 0u64), (end_ns, *value)] {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":\"");
+            escape_into(&mut out, name);
+            out.push_str("\",\"cat\":\"tlp\",\"ph\":\"C\",\"ts\":");
+            push_micros(&mut out, ts);
+            out.push_str(",\"pid\":1,\"args\":{\"value\":");
+            out.push_str(&v.to_string());
+            out.push_str("}}");
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanRec;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRec {
+                    id: 1,
+                    parent: 0,
+                    tid: 0,
+                    name: "sweep.run",
+                    detail: String::new(),
+                    start_ns: 0,
+                    dur_ns: 5_000,
+                },
+                SpanRec {
+                    id: 2,
+                    parent: 1,
+                    tid: 1,
+                    name: "sweep.cell",
+                    detail: "fft@4 \"quoted\"".to_string(),
+                    start_ns: 1_500,
+                    dur_ns: 2_000,
+                },
+            ],
+            counters: vec![("sim.runs", 7)],
+            histograms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn renders_spans_and_counters() {
+        let json = render(&sample_trace());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"sweep.cell\""));
+        assert!(json.contains("\"ts\":1.5"));
+        assert!(json.contains("\"value\":7"));
+    }
+
+    #[test]
+    fn escapes_details() {
+        let json = render(&sample_trace());
+        assert!(json.contains("fft@4 \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_shape() {
+        let t = Trace {
+            spans: Vec::new(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        assert_eq!(
+            render(&t),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+
+    #[test]
+    fn control_characters_are_unicode_escaped() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\u{1}b");
+        assert_eq!(out, "a\\u0001b");
+    }
+}

@@ -1,0 +1,376 @@
+//! `tlp-obs` — zero-dependency structured tracing and metrics.
+//!
+//! The experiment pipeline is a long chain of opaque stages — offline
+//! profiling, DVFS operating-point search, the power↔temperature↔leakage
+//! fixpoint, the parallel sweep — and the only visibility used to be the
+//! final JSON blob plus stderr timing. This crate is the instrumentation
+//! substrate every layer of the workspace records into:
+//!
+//! - **Spans** ([`span`], [`span_with`]): RAII guards that record a named,
+//!   timed interval on the current thread. Spans nest; each records the
+//!   innermost open span on its thread as its logical parent, so a trace
+//!   reconstructs the call tree.
+//! - **Counters and histograms** ([`metrics`]): a fixed, statically
+//!   allocated set of monotonic counters (sim cycles retired, barrier
+//!   stall cycles, cache misses, fixpoint iterations, LU factor/solve
+//!   counts, retry attempts, …) and power-of-two histograms.
+//! - **Two sinks**: a Chrome `trace_event` JSON file loadable in
+//!   `about:tracing` / [Perfetto](https://ui.perfetto.dev) ([`chrome`]),
+//!   and a human summary table ([`summary`]).
+//!
+//! # Recording model
+//!
+//! Recording is **off by default** and gated on one relaxed atomic load:
+//! every instrumentation site first checks [`enabled`] and returns
+//! immediately when tracing is off — no thread-local access, no
+//! allocation, no lock. The disabled path is designed to stay within
+//! noise of an uninstrumented build.
+//!
+//! When a capture is active, each thread buffers its events in a
+//! thread-local vector (shared with the collector behind a mutex that is
+//! only ever contended at flush time). The work-stealing pool's scope
+//! join is the synchronization point: once `pool::run` returns, every
+//! worker's buffer is complete, and [`capture`] drains them into a single
+//! [`Trace`].
+//!
+//! # Coherent parallel traces
+//!
+//! Scheduling order is nondeterministic, so a trace's *byte* content
+//! (timestamps, thread ids, event order) differs run to run. The *span
+//! tree* does not: parents are logical (innermost open span on the
+//! recording thread), span names and details are derived from the work
+//! item, not the worker, and [`Trace::span_tree`] renders the tree with
+//! timestamps and thread ids stripped and siblings sorted canonically.
+//! A parallel sweep therefore yields the same rendered span tree as a
+//! serial one — a property the workspace pins with a determinism test.
+//!
+//! # Example
+//!
+//! ```
+//! let (value, trace) = tlp_obs::capture(|| {
+//!     let _outer = tlp_obs::span("outer");
+//!     {
+//!         let _inner = tlp_obs::span_with("inner", || "detail".to_string());
+//!     }
+//!     tlp_obs::metrics::SWEEP_RETRY_ATTEMPTS.add(3);
+//!     42
+//! });
+//! assert_eq!(value, 42);
+//! assert_eq!(trace.spans.len(), 2);
+//! assert!(trace.span_tree().contains("outer"));
+//! let json = tlp_obs::chrome::render(&trace);
+//! assert!(json.starts_with("{\"traceEvents\":"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod summary;
+mod trace;
+
+pub use trace::{SpanRec, Trace};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Whether a capture is currently recording. Instrumentation sites check
+/// this first; when `false` they cost one relaxed atomic load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic span-id source (0 is reserved for "no parent").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Sequential thread-id source for trace `tid`s (stable small integers,
+/// not OS thread ids).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The capture epoch's time origin.
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// All per-thread buffers ever registered; drained (not removed) at the
+/// end of each capture. Buffers persist across captures because the
+/// thread-local handle does.
+static REGISTRY: Mutex<Vec<Arc<Mutex<Vec<SpanRec>>>>> = Mutex::new(Vec::new());
+
+/// One capture at a time: [`capture`] holds this for its whole closure so
+/// concurrent captures (e.g. parallel tests) serialize instead of
+/// interleaving their events.
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+struct ThreadBuffer {
+    tid: u64,
+    /// Stack of open span ids on this thread (logical parent chain).
+    stack: Vec<u64>,
+    events: Arc<Mutex<Vec<SpanRec>>>,
+}
+
+thread_local! {
+    static BUFFER: RefCell<Option<ThreadBuffer>> = const { RefCell::new(None) };
+}
+
+/// Whether a capture is active. Instrumentation may use this to skip
+/// building expensive details; [`span`]/[`span_with`] and the metric
+/// types already check it internally.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn now_ns() -> u64 {
+    START
+        .get()
+        .map(|s| s.elapsed().as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// Runs `f` with recording enabled and returns its value plus the
+/// collected [`Trace`].
+///
+/// Captures serialize on a global lock: a second concurrent `capture`
+/// blocks until the first finishes, so traces never interleave. Do not
+/// nest `capture` calls — the inner one would deadlock on that lock.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Trace) {
+    let _guard = match CAPTURE_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    // Reset the epoch: drain stale events (from threads whose buffers
+    // outlived a panicked capture), zero the metrics, restart the clock.
+    drain_all();
+    metrics::reset_all();
+    let _ = START.set(Instant::now());
+    ENABLED.store(true, Ordering::SeqCst);
+    let value = f();
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut spans = drain_all();
+    spans.sort_by_key(|a| (a.start_ns, a.tid, a.id));
+    let trace = Trace {
+        spans,
+        counters: metrics::counter_snapshot(),
+        histograms: metrics::histogram_snapshot(),
+    };
+    (value, trace)
+}
+
+fn drain_all() -> Vec<SpanRec> {
+    let registry = match REGISTRY.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let mut all = Vec::new();
+    for buf in registry.iter() {
+        let mut events = match buf.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        all.append(&mut events);
+    }
+    all
+}
+
+fn with_buffer<T>(f: impl FnOnce(&mut ThreadBuffer) -> T) -> T {
+    BUFFER.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let buf = slot.get_or_insert_with(|| {
+            let events = Arc::new(Mutex::new(Vec::new()));
+            REGISTRY
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(Arc::clone(&events));
+            ThreadBuffer {
+                tid: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+                stack: Vec::new(),
+                events,
+            }
+        });
+        f(buf)
+    })
+}
+
+/// RAII guard for one recorded span; created by [`span`] / [`span_with`].
+/// The interval is recorded when the guard drops. When tracing is
+/// disabled the guard is inert and costs nothing to drop.
+#[must_use = "a span records the interval until the guard drops"]
+pub struct SpanGuard {
+    /// `None` when recording was disabled at creation.
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    detail: String,
+    start_ns: u64,
+}
+
+/// Opens a span named `name` on the current thread. The span closes —
+/// and is recorded — when the returned guard drops.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { open: None };
+    }
+    open_span(name, String::new())
+}
+
+/// Opens a span with a lazily built detail string (e.g. the sweep cell
+/// `"fft@4"`). The closure only runs when a capture is active, so the
+/// disabled path never allocates.
+#[inline]
+pub fn span_with(name: &'static str, detail: impl FnOnce() -> String) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { open: None };
+    }
+    open_span(name, detail())
+}
+
+fn open_span(name: &'static str, detail: String) -> SpanGuard {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let (parent, start_ns) = with_buffer(|buf| {
+        let parent = buf.stack.last().copied().unwrap_or(0);
+        buf.stack.push(id);
+        (parent, now_ns())
+    });
+    SpanGuard {
+        open: Some(OpenSpan {
+            id,
+            parent,
+            name,
+            detail,
+            start_ns,
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let end_ns = now_ns();
+        with_buffer(|buf| {
+            // Pop this span (and, defensively, anything opened after it
+            // that leaked without dropping — drop order makes that
+            // impossible in safe code, but a forgotten guard should not
+            // corrupt the whole stack).
+            while let Some(top) = buf.stack.pop() {
+                if top == open.id {
+                    break;
+                }
+            }
+            let rec = SpanRec {
+                id: open.id,
+                parent: open.parent,
+                tid: buf.tid,
+                name: open.name,
+                detail: open.detail,
+                start_ns: open.start_ns,
+                dur_ns: end_ns.saturating_sub(open.start_ns),
+            };
+            buf.events
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(rec);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        assert!(!enabled());
+        let g = span("never");
+        assert!(g.open.is_none());
+        drop(g);
+    }
+
+    #[test]
+    fn capture_records_nested_spans_with_logical_parents() {
+        let ((), trace) = capture(|| {
+            let _a = span("outer");
+            let _b = span_with("inner", || "x=1".to_string());
+        });
+        assert_eq!(trace.spans.len(), 2);
+        let outer = trace.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = trace.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(inner.detail, "x=1");
+        assert!(inner.start_ns >= outer.start_ns);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let ((), trace) = capture(|| {
+            let _root = span("root");
+            for _ in 0..3 {
+                let _leaf = span("leaf");
+            }
+        });
+        let root_id = trace.spans.iter().find(|s| s.name == "root").unwrap().id;
+        let leaves: Vec<_> = trace.spans.iter().filter(|s| s.name == "leaf").collect();
+        assert_eq!(leaves.len(), 3);
+        assert!(leaves.iter().all(|s| s.parent == root_id));
+    }
+
+    #[test]
+    fn spans_from_spawned_threads_are_collected() {
+        let ((), trace) = capture(|| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    std::thread::spawn(move || {
+                        let _s = span_with("worker", move || format!("w{i}"));
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let workers: Vec<_> = trace.spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 4);
+        // Spawned-thread spans are top-level: their logical parent is the
+        // thread's own (empty) stack, not whatever another thread had open.
+        assert!(workers.iter().all(|s| s.parent == 0));
+    }
+
+    #[test]
+    fn consecutive_captures_do_not_leak_events() {
+        let ((), first) = capture(|| {
+            let _s = span("first-only");
+        });
+        let ((), second) = capture(|| {
+            let _s = span("second-only");
+        });
+        assert!(first.spans.iter().any(|s| s.name == "first-only"));
+        assert!(second.spans.iter().all(|s| s.name != "first-only"));
+        assert_eq!(second.spans.len(), 1);
+    }
+
+    #[test]
+    fn capture_resets_metrics() {
+        let ((), t1) = capture(|| metrics::SWEEP_RETRY_ATTEMPTS.add(5));
+        let ((), t2) = capture(|| ());
+        let get = |t: &Trace| {
+            t.counters
+                .iter()
+                .find(|(n, _)| *n == "sweep.retry_attempts")
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get(&t1), Some(5));
+        assert_eq!(get(&t2), Some(0));
+    }
+
+    #[test]
+    fn detail_closure_is_lazy_when_disabled() {
+        let _g = span_with("lazy", || panic!("must not run while disabled"));
+    }
+}

@@ -1,0 +1,355 @@
+//! Monotonic counters and power-of-two histograms.
+//!
+//! The metric set is fixed and statically allocated: every counter and
+//! histogram in the workspace is a `static` in this module, registered in
+//! [`COUNTERS`] / [`HISTOGRAMS`]. That keeps the record path to one
+//! enabled-check plus one relaxed atomic add — no registry lock, no
+//! allocation — and makes snapshots a simple walk over the arrays.
+//!
+//! Counters only advance while a [`capture`](crate::capture) is active
+//! (they are reset when one starts), so a snapshot reflects exactly the
+//! captured interval.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic event counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's registry name (dotted, e.g. `"sim.cycles_retired"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `delta` when a capture is active; no-op (one relaxed atomic
+    /// load) otherwise.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 when a capture is active.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: bucket `i` counts values `v`
+/// with `⌊log2(max(v, 1))⌋ == i`, the last bucket absorbing the tail.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A lock-free histogram over power-of-two buckets.
+///
+/// Bucket `i` holds values in `[2^i, 2^(i+1))` (bucket 0 holds 0 and 1).
+/// Good enough to answer "are fixpoint solves taking 4 or 400
+/// iterations" without recording every sample.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    const fn new(name: &'static str) -> Self {
+        // `AtomicU64::new(0)` is const, but arrays cannot be built from a
+        // non-Copy element; go through the const block form.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name,
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_of(value: u64) -> usize {
+        let b = 63 - value.max(1).leading_zeros() as usize;
+        b.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Lower bound of bucket `i` (inclusive).
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one sample when a capture is active.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name,
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-data copy of a histogram's state, as stored in a
+/// [`Trace`](crate::Trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registry name.
+    pub name: &'static str,
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample recorded.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or 0 with no samples. Resolution is the bucket
+    /// width — this answers "order of magnitude", not "exact value".
+    pub fn quantile_floor(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Histogram::bucket_floor(i);
+            }
+        }
+        Histogram::bucket_floor(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+macro_rules! counters {
+    ($registry:ident; $($(#[$doc:meta])* $ident:ident => $name:literal),+ $(,)?) => {
+        $( $(#[$doc])* pub static $ident: Counter = Counter::new($name); )+
+        /// Every counter, in stable registry order.
+        pub static $registry: &[&Counter] = &[$(&$ident),+];
+    };
+}
+
+counters! { COUNTERS;
+    /// Simulated cycles retired by the CMP simulator's run loop.
+    SIM_CYCLES_RETIRED => "sim.cycles_retired",
+    /// Instructions retired chip-wide.
+    SIM_INSTRUCTIONS => "sim.instructions_retired",
+    /// Cycles cores spent spinning or asleep at barriers and locks.
+    SIM_BARRIER_STALL_CYCLES => "sim.barrier_stall_cycles",
+    /// L1D + L2 cache misses.
+    SIM_CACHE_MISSES => "sim.cache_misses",
+    /// Completed simulator runs.
+    SIM_RUNS => "sim.runs",
+    /// Steady-state RC solves (one per fixpoint iteration plus one seed
+    /// solve per fixpoint, plus direct calls).
+    THERMAL_STEADY_SOLVES => "thermal.steady_solves",
+    /// Power↔temperature fixpoint iterations across all solves.
+    THERMAL_FIXPOINT_ITERATIONS => "thermal.fixpoint_iterations",
+    /// Fixpoint solves that failed (non-convergence, divergence,
+    /// non-finite inputs).
+    THERMAL_FIXPOINT_FAILURES => "thermal.fixpoint_failures",
+    /// Implicit-Euler transient steps marched.
+    THERMAL_TRANSIENT_STEPS => "thermal.transient_steps",
+    /// Dense LU factorizations (each O(n³)).
+    LINALG_LU_FACTORS => "linalg.lu_factors",
+    /// Back-substitution solves against a cached factorization (O(n²)).
+    LINALG_LU_SOLVES => "linalg.lu_solves",
+    /// Dynamic-power breakdowns computed by the power model.
+    POWER_BREAKDOWNS => "power.breakdowns",
+    /// Analytic scenario operating points solved.
+    ANALYTIC_SOLVES => "analytic.solves",
+    /// Thread-program gangs constructed by the workload framework.
+    WORKLOADS_GANGS_BUILT => "workloads.gangs_built",
+    /// Extra solve attempts consumed by the sweep supervisor's retry
+    /// policy (0 when every cell converges first try).
+    SWEEP_RETRY_ATTEMPTS => "sweep.retry_attempts",
+    /// Sweep cells that completed.
+    SWEEP_CELLS_COMPLETED => "sweep.cells_completed",
+    /// Sweep cells that failed after exhausting their retry policy.
+    SWEEP_CELLS_FAILED => "sweep.cells_failed",
+    /// Property-based oracle cases executed.
+    CHECK_CASES => "check.cases",
+}
+
+macro_rules! histograms {
+    ($registry:ident; $($(#[$doc:meta])* $ident:ident => $name:literal),+ $(,)?) => {
+        $( $(#[$doc])* pub static $ident: Histogram = Histogram::new($name); )+
+        /// Every histogram, in stable registry order.
+        pub static $registry: &[&Histogram] = &[$(&$ident),+];
+    };
+}
+
+histograms! { HISTOGRAMS;
+    /// Iterations per power↔temperature fixpoint solve.
+    HIST_FIXPOINT_ITERATIONS => "thermal.fixpoint_iterations_per_solve",
+    /// Cycles per completed simulator run.
+    HIST_SIM_RUN_CYCLES => "sim.cycles_per_run",
+    /// Matrix dimension per LU factorization.
+    HIST_LU_DIMENSION => "linalg.lu_dimension",
+}
+
+/// Resets every counter and histogram to zero (called by
+/// [`capture`](crate::capture) when a new capture starts).
+pub fn reset_all() {
+    for c in COUNTERS {
+        c.reset();
+    }
+    for h in HISTOGRAMS {
+        h.reset();
+    }
+}
+
+/// `(name, value)` for every counter, in registry order.
+pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
+    COUNTERS.iter().map(|c| (c.name, c.get())).collect()
+}
+
+/// Snapshot of every histogram, in registry order.
+pub fn histogram_snapshot() -> Vec<HistogramSnapshot> {
+    HISTOGRAMS.iter().map(|h| h.snapshot()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_floor_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_of() {
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_floor(i)), i);
+        }
+        assert_eq!(Histogram::bucket_floor(0), 0);
+    }
+
+    #[test]
+    fn counters_only_advance_during_capture() {
+        SWEEP_CELLS_COMPLETED.add(100); // outside any capture: dropped
+        let ((), trace) = crate::capture(|| {
+            SWEEP_CELLS_COMPLETED.add(2);
+            SWEEP_CELLS_COMPLETED.incr();
+        });
+        assert_eq!(trace.counter("sweep.cells_completed"), Some(3));
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let ((), trace) = crate::capture(|| {
+            for v in [1u64, 2, 3, 4, 100] {
+                HIST_LU_DIMENSION.record(v);
+            }
+        });
+        let h = trace
+            .histograms
+            .iter()
+            .find(|h| h.name == "linalg.lu_dimension")
+            .unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 110);
+        assert_eq!(h.max, 100);
+        assert!((h.mean() - 22.0).abs() < 1e-12);
+        // Median sample is 3 → bucket [2,4) → floor 2.
+        assert_eq!(h.quantile_floor(0.5), 2);
+        // Tail lands in [64,128).
+        assert_eq!(h.quantile_floor(1.0), 64);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = HistogramSnapshot {
+            name: "x",
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        };
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile_floor(0.5), 0);
+    }
+
+    #[test]
+    fn registries_have_unique_names() {
+        let mut names: Vec<_> = COUNTERS.iter().map(|c| c.name()).collect();
+        names.extend(HISTOGRAMS.iter().map(|h| h.name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate metric name");
+    }
+}

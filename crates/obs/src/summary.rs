@@ -1,0 +1,167 @@
+//! Human-readable trace summary.
+//!
+//! Aggregates a [`Trace`] into a fixed-width table: per span-name timing
+//! statistics, non-zero counters, and histogram summaries. The rendering
+//! is fully deterministic for a given `Trace` (rows sorted by name,
+//! durations printed in microseconds), which lets the golden snapshot
+//! test pin the exact output for a synthetic trace.
+
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1000.0)
+}
+
+/// Renders the summary table for `trace`.
+pub fn render(trace: &Trace) -> String {
+    let mut aggs: BTreeMap<&'static str, SpanAgg> = BTreeMap::new();
+    for s in &trace.spans {
+        let a = aggs.entry(s.name).or_default();
+        if a.count == 0 {
+            a.min_ns = s.dur_ns;
+            a.max_ns = s.dur_ns;
+        } else {
+            a.min_ns = a.min_ns.min(s.dur_ns);
+            a.max_ns = a.max_ns.max(s.dur_ns);
+        }
+        a.count += 1;
+        a.total_ns += s.dur_ns;
+    }
+
+    let mut out = String::new();
+    out.push_str("trace summary\n");
+    out.push_str("=============\n\n");
+
+    out.push_str("spans (durations in us):\n");
+    out.push_str(&format!(
+        "  {:<24} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+        "name", "count", "total", "mean", "min", "max"
+    ));
+    if aggs.is_empty() {
+        out.push_str("  (none recorded)\n");
+    }
+    for (name, a) in &aggs {
+        let mean = a.total_ns / a.count;
+        out.push_str(&format!(
+            "  {:<24} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+            name,
+            a.count,
+            fmt_us(a.total_ns),
+            fmt_us(mean),
+            fmt_us(a.min_ns),
+            fmt_us(a.max_ns)
+        ));
+    }
+
+    out.push_str("\ncounters:\n");
+    let mut any = false;
+    for (name, value) in &trace.counters {
+        if *value == 0 {
+            continue;
+        }
+        any = true;
+        out.push_str(&format!("  {name:<40} {value:>14}\n"));
+    }
+    if !any {
+        out.push_str("  (all zero)\n");
+    }
+
+    out.push_str("\nhistograms:\n");
+    any = false;
+    for h in &trace.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        any = true;
+        out.push_str(&format!(
+            "  {:<40} n={} mean={:.1} p50<={} max={}\n",
+            h.name,
+            h.count,
+            h.mean(),
+            h.quantile_floor(0.5),
+            h.max
+        ));
+    }
+    if !any {
+        out.push_str("  (empty)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+    use crate::trace::SpanRec;
+
+    fn rec(name: &'static str, dur_ns: u64) -> SpanRec {
+        SpanRec {
+            id: 1,
+            parent: 0,
+            tid: 0,
+            name,
+            detail: String::new(),
+            start_ns: 0,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_name() {
+        let t = Trace {
+            spans: vec![rec("cell", 1_000), rec("cell", 3_000), rec("run", 10_000)],
+            counters: vec![("sim.runs", 2), ("zeroed", 0)],
+            histograms: Vec::new(),
+        };
+        let s = render(&t);
+        // cell: count 2, total 4us, mean 2us, min 1us, max 3us.
+        assert!(s.contains("cell"), "{s}");
+        assert!(s.contains("4.0"), "{s}");
+        assert!(s.contains("2.0"), "{s}");
+        assert!(s.contains("sim.runs"), "{s}");
+        assert!(!s.contains("zeroed"), "zero counters hidden: {s}");
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholders() {
+        let t = Trace {
+            spans: Vec::new(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let s = render(&t);
+        assert!(s.contains("(none recorded)"));
+        assert!(s.contains("(all zero)"));
+        assert!(s.contains("(empty)"));
+    }
+
+    #[test]
+    fn histograms_with_counts_are_listed() {
+        let mut buckets = [0u64; crate::metrics::HISTOGRAM_BUCKETS];
+        buckets[2] = 3;
+        let t = Trace {
+            spans: Vec::new(),
+            counters: Vec::new(),
+            histograms: vec![HistogramSnapshot {
+                name: "thermal.fixpoint_iterations_per_solve",
+                buckets,
+                count: 3,
+                sum: 15,
+                max: 7,
+            }],
+        };
+        let s = render(&t);
+        assert!(s.contains("thermal.fixpoint_iterations_per_solve"), "{s}");
+        assert!(s.contains("n=3"), "{s}");
+        assert!(s.contains("max=7"), "{s}");
+    }
+}

@@ -1,0 +1,166 @@
+//! The collected trace: span records, counter/histogram snapshots, and
+//! the canonical span-tree rendering used by determinism tests.
+
+use crate::metrics::HistogramSnapshot;
+
+/// One closed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Unique span id (never 0).
+    pub id: u64,
+    /// Id of the innermost span open on the same thread when this span
+    /// opened; 0 for a top-level span.
+    pub parent: u64,
+    /// Sequential trace thread id of the recording thread.
+    pub tid: u64,
+    /// Span name (a static site label like `"sweep.cell"`).
+    pub name: &'static str,
+    /// Work-item detail (e.g. `"fft@4"`); empty when the site has none.
+    pub detail: String,
+    /// Nanoseconds since capture start.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Everything one [`capture`](crate::capture) collected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// All spans, sorted by `(start_ns, tid, id)`.
+    pub spans: Vec<SpanRec>,
+    /// Final value of every counter, in registry order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Snapshot of every histogram, in registry order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Trace {
+    /// Spans with the given name, in trace order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRec> + 'a {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// The value of a counter, if it exists in the snapshot.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Canonical rendering of the logical span tree with everything
+    /// nondeterministic stripped: no timestamps, no durations, no thread
+    /// ids, and siblings sorted by `(name, detail)`. Two runs of the
+    /// same deterministic work — serial or parallel, any thread count —
+    /// render identically.
+    ///
+    /// Format: one span per line, two-space indentation per depth,
+    /// `name [detail]` (detail omitted when empty).
+    pub fn span_tree(&self) -> String {
+        // children[i] = indices of spans whose parent is spans[i];
+        // roots = parent id 0 or a parent that never closed.
+        let mut index_of_id = std::collections::HashMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            index_of_id.insert(s.id, i);
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            match index_of_id.get(&s.parent) {
+                Some(&p) if s.parent != 0 => children[p].push(i),
+                _ => roots.push(i),
+            }
+        }
+        let key = |i: usize| {
+            let s = &self.spans[i];
+            (s.name, s.detail.as_str())
+        };
+        roots.sort_by_key(|&i| key(i));
+        for c in &mut children {
+            c.sort_by_key(|&i| key(i));
+        }
+        let mut out = String::new();
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            let s = &self.spans[i];
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(s.name);
+            if !s.detail.is_empty() {
+                out.push_str(" [");
+                out.push_str(&s.detail);
+                out.push(']');
+            }
+            out.push('\n');
+            for &c in children[i].iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64, name: &'static str, detail: &str, start: u64) -> SpanRec {
+        SpanRec {
+            id,
+            parent,
+            tid: 0,
+            name,
+            detail: detail.to_string(),
+            start_ns: start,
+            dur_ns: 10,
+        }
+    }
+
+    #[test]
+    fn span_tree_sorts_siblings_and_ignores_timing() {
+        let a = Trace {
+            spans: vec![
+                rec(1, 0, "root", "", 0),
+                rec(2, 1, "cell", "b@2", 5),
+                rec(3, 1, "cell", "a@1", 9),
+            ],
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        // Same logical shape, different ids, order, timestamps.
+        let b = Trace {
+            spans: vec![
+                rec(7, 9, "cell", "a@1", 100),
+                rec(8, 9, "cell", "b@2", 50),
+                rec(9, 0, "root", "", 40),
+            ],
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        assert_eq!(a.span_tree(), b.span_tree());
+        assert_eq!(a.span_tree(), "root\n  cell [a@1]\n  cell [b@2]\n");
+    }
+
+    #[test]
+    fn orphan_spans_become_roots() {
+        let t = Trace {
+            spans: vec![rec(2, 99, "lost", "", 0)],
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        assert_eq!(t.span_tree(), "lost\n");
+    }
+
+    #[test]
+    fn counter_lookup() {
+        let t = Trace {
+            spans: Vec::new(),
+            counters: vec![("a", 3), ("b", 0)],
+            histograms: Vec::new(),
+        };
+        assert_eq!(t.counter("a"), Some(3));
+        assert_eq!(t.counter("b"), Some(0));
+        assert_eq!(t.counter("c"), None);
+    }
+}

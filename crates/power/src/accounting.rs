@@ -217,6 +217,7 @@ impl PowerCalculator {
         if result.cycles == 0 {
             return Err(PowerError::EmptyRun);
         }
+        tlp_obs::metrics::POWER_BREAKDOWNS.incr();
         let time: Seconds = result.execution_time();
         let to_power = |j: f64| -> Watts { Joules::new(j * self.renorm).over(time) };
 

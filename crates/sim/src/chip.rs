@@ -148,6 +148,7 @@ impl CmpSimulator {
         cycle_budget: u64,
     ) -> Result<(SimResult, Vec<SampleWindow>), SimError> {
         assert!(window > 0, "window must be positive");
+        let _span = tlp_obs::span("sim.run");
         let budget = self.config.faults.cycle_budget.unwrap_or(cycle_budget);
         let n = self.cores.len();
         let mut cycle: u64 = 0;
@@ -240,6 +241,22 @@ impl CmpSimulator {
             l2: *self.memory.l2_stats(),
             mem: *self.memory.stats(),
         };
+        if tlp_obs::enabled() {
+            use tlp_obs::metrics;
+            metrics::SIM_RUNS.incr();
+            metrics::SIM_CYCLES_RETIRED.add(result.cycles);
+            metrics::HIST_SIM_RUN_CYCLES.record(result.cycles);
+            let mut instructions = 0u64;
+            let mut stall = 0u64;
+            for c in &result.cores {
+                instructions += c.instructions;
+                stall += c.spin_cycles + c.sleep_cycles;
+            }
+            metrics::SIM_INSTRUCTIONS.add(instructions);
+            metrics::SIM_BARRIER_STALL_CYCLES.add(stall);
+            let misses = result.l1d.iter().map(|c| c.misses).sum::<u64>() + result.l2.misses;
+            metrics::SIM_CACHE_MISSES.add(misses);
+        }
         Ok((result, windows))
     }
 

@@ -215,4 +215,16 @@ impl fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+// The diagnosis is an error in its own right so `SimError::source()` can
+// expose it as the cause: chain walkers (the CLI's `--json` error output,
+// trace events) render "simulation deadlocked" → full per-core diagnosis.
+impl std::error::Error for DeadlockInfo {}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Deadlock(info) => Some(info),
+            SimError::CycleBudgetExhausted { .. } => None,
+        }
+    }
+}

@@ -169,6 +169,8 @@ impl LuFactorization {
                 }
             }
         }
+        tlp_obs::metrics::LINALG_LU_FACTORS.incr();
+        tlp_obs::metrics::HIST_LU_DIMENSION.record(n as u64);
         Ok(Self { n, lu, perm })
     }
 
@@ -185,6 +187,7 @@ impl LuFactorization {
     /// the thermal solvers; a mismatched right-hand side there is a
     /// programming error, not an input condition.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        tlp_obs::metrics::LINALG_LU_SOLVES.incr();
         let n = self.n;
         assert_eq!(b.len(), n, "rhs must have length n");
         // Apply the row permutation, then forward-substitute L (unit

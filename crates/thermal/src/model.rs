@@ -270,6 +270,7 @@ impl ThermalModel {
     ///
     /// Panics if `powers.len()` differs from the number of blocks.
     pub fn steady_state(&self, powers: &[Watts]) -> ThermalMap {
+        tlp_obs::metrics::THERMAL_STEADY_SOLVES.incr();
         let temps = self.network.steady_state(powers, self.ambient);
         ThermalMap {
             n_blocks: self.floorplan.blocks().len(),
@@ -338,6 +339,28 @@ impl ThermalModel {
     /// Shared fixpoint loop: always returns the best-effort result, plus
     /// the typed error when the solve failed.
     fn fixpoint_impl<F>(
+        &self,
+        dynamic_power: &[Watts],
+        static_of: F,
+        opts: &FixpointOptions,
+    ) -> (FixpointResult, Option<ThermalError>)
+    where
+        F: FnMut(&ThermalMap) -> Vec<Watts>,
+    {
+        let _span = tlp_obs::span("thermal.fixpoint");
+        let (result, error) = self.fixpoint_inner(dynamic_power, static_of, opts);
+        if tlp_obs::enabled() {
+            use tlp_obs::metrics;
+            metrics::THERMAL_FIXPOINT_ITERATIONS.add(result.iterations as u64);
+            metrics::HIST_FIXPOINT_ITERATIONS.record(result.iterations as u64);
+            if error.is_some() {
+                metrics::THERMAL_FIXPOINT_FAILURES.incr();
+            }
+        }
+        (result, error)
+    }
+
+    fn fixpoint_inner<F>(
         &self,
         dynamic_power: &[Watts],
         mut static_of: F,

@@ -257,6 +257,7 @@ impl TransientSolver {
     ///
     /// Panics on dimension mismatches.
     pub fn step(&self, t_now: &[Celsius], powers: &[Watts], ambient: Celsius) -> Vec<Celsius> {
+        tlp_obs::metrics::THERMAL_TRANSIENT_STEPS.incr();
         let n = self.lu.n();
         assert_eq!(t_now.len(), n, "one temperature per node");
         assert_eq!(powers.len(), self.n_blocks, "one power entry per block");

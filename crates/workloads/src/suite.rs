@@ -196,6 +196,7 @@ pub fn gang(
     scale: Scale,
     seed: u64,
 ) -> Vec<Box<dyn tlp_sim::op::ThreadProgram>> {
+    tlp_obs::metrics::WORKLOADS_GANGS_BUILT.incr();
     (0..n_threads)
         .map(|t| {
             Box::new(program(app, t, n_threads, scale, seed)) as Box<dyn tlp_sim::op::ThreadProgram>

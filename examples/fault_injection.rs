@@ -10,13 +10,12 @@
 //! $ cargo run --release --example fault_injection
 //! ```
 
-use cmp_tlp::sweep::{run_sweep, Fault, FaultPlan, RetryPolicy, SweepSpec};
-use cmp_tlp::ExperimentalChip;
+use cmp_tlp::prelude::*;
 use tlp_sim::op::Op;
 use tlp_sim::CmpConfig;
 use tlp_tech::json::ToJson;
 use tlp_tech::Technology;
-use tlp_workloads::{gang, AppId, Scale};
+use tlp_workloads::gang;
 
 const SEED: u64 = 42;
 
@@ -54,8 +53,12 @@ fn main() {
         "injecting: dropped arrival at barrier {barrier} (Water-Nsq@2), \
          100x leakage (FFT@4)\n"
     );
-    let report =
-        run_sweep(&chip, &spec, &RetryPolicy::default(), &plan).expect("the DVFS ladder builds");
+    let report = chip
+        .sweep()
+        .grid(spec)
+        .faults(plan)
+        .run()
+        .expect("the DVFS ladder builds");
 
     for (cell, row) in report.completed() {
         println!(

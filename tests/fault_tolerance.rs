@@ -10,7 +10,7 @@
 //! measured rows everywhere else.
 
 use cmp_tlp::error::ExperimentError;
-use cmp_tlp::sweep::{run_sweep, Fault, FaultPlan, RetryPolicy, SweepCell, SweepSpec};
+use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepCell, SweepReport, SweepSpec};
 use cmp_tlp::ExperimentalChip;
 use tlp_sim::op::Op;
 use tlp_sim::{CmpConfig, SimError};
@@ -59,18 +59,24 @@ fn failed_cells(report: &cmp_tlp::sweep::SweepReport) -> Vec<(SweepCell, &Experi
     report.failed().collect()
 }
 
+/// Runs a faulted sweep through the builder front end (the one public
+/// entry point since the `run_sweep*` free functions were deprecated).
+fn sweep(spec: SweepSpec, policy: &RetryPolicy, plan: &FaultPlan) -> SweepReport {
+    chip()
+        .sweep()
+        .grid(spec)
+        .retry_policy(*policy)
+        .faults(plan.clone())
+        .run()
+        .unwrap()
+}
+
 #[test]
 fn deadlock_fault_names_the_stuck_barrier_and_cores() {
     let app = AppId::WaterNsq;
     let barrier = first_barrier_id(app, 2);
     let plan = FaultPlan::none().inject(app, 2, Fault::DropBarrierArrival { barrier, thread: 1 });
-    let report = run_sweep(
-        &chip(),
-        &spec(vec![app], vec![1, 2]),
-        &RetryPolicy::default(),
-        &plan,
-    )
-    .unwrap();
+    let report = sweep(spec(vec![app], vec![1, 2]), &RetryPolicy::default(), &plan);
 
     let failed = failed_cells(&report);
     assert_eq!(failed.len(), 1, "{}", report.summary());
@@ -104,7 +110,7 @@ fn thermal_runaway_is_retried_with_damping_then_reported() {
     // pushes the feedback loop supercritical even there.
     let plan = FaultPlan::none().inject(app, 2, Fault::InflateLeakage(100.0));
     let policy = RetryPolicy::default();
-    let report = run_sweep(&chip(), &spec(vec![app], vec![1, 2]), &policy, &plan).unwrap();
+    let report = sweep(spec(vec![app], vec![1, 2]), &policy, &plan);
 
     let failed = failed_cells(&report);
     assert_eq!(failed.len(), 1, "{}", report.summary());
@@ -130,13 +136,7 @@ fn thermal_runaway_is_retried_with_damping_then_reported() {
 fn nan_power_is_caught_before_the_thermal_solver() {
     let app = AppId::WaterNsq;
     let plan = FaultPlan::none().inject(app, 2, Fault::NanPower);
-    let report = run_sweep(
-        &chip(),
-        &spec(vec![app], vec![1, 2]),
-        &RetryPolicy::default(),
-        &plan,
-    )
-    .unwrap();
+    let report = sweep(spec(vec![app], vec![1, 2]), &RetryPolicy::default(), &plan);
 
     let failed = failed_cells(&report);
     assert_eq!(failed.len(), 1, "{}", report.summary());
@@ -156,13 +156,7 @@ fn nan_power_is_caught_before_the_thermal_solver() {
 fn shrunken_cycle_budget_reports_exhaustion_not_deadlock() {
     let app = AppId::WaterNsq;
     let plan = FaultPlan::none().inject(app, 2, Fault::CycleBudget(5_000));
-    let report = run_sweep(
-        &chip(),
-        &spec(vec![app], vec![1, 2]),
-        &RetryPolicy::default(),
-        &plan,
-    )
-    .unwrap();
+    let report = sweep(spec(vec![app], vec![1, 2]), &RetryPolicy::default(), &plan);
 
     let failed = failed_cells(&report);
     assert_eq!(failed.len(), 1, "{}", report.summary());
@@ -196,13 +190,11 @@ fn faulted_fig3_sweep_completes_with_exact_failure_set() {
             Fault::DropBarrierArrival { barrier, thread: 0 },
         )
         .inject(diverged, 4, Fault::InflateLeakage(100.0));
-    let report = run_sweep(
-        &chip(),
-        &spec(vec![deadlocked, diverged], vec![1, 2, 4]),
+    let report = sweep(
+        spec(vec![deadlocked, diverged], vec![1, 2, 4]),
         &RetryPolicy::default(),
         &plan,
-    )
-    .unwrap();
+    );
 
     // Every requested cell is accounted for — nothing silently dropped.
     assert_eq!(report.cells.len(), 6);

@@ -23,7 +23,7 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use cmp_tlp::jsonout::{calibration_json, operating_point_json, sim_result_json};
-use cmp_tlp::sweep::{run_sweep_with, Fault, FaultPlan, RetryPolicy, SweepOptions, SweepSpec};
+use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepSpec};
 use cmp_tlp::{profiling, scenario1, scenario2, EfficiencyProfile, ExperimentalChip};
 use tlp_sim::CmpConfig;
 use tlp_tech::json::{Json, ToJson};
@@ -142,14 +142,14 @@ fn sweep_report_round_trips() {
         seed: SEED,
     };
     let plan = FaultPlan::none().inject(AppId::WaterNsq, 2, Fault::NanPower);
-    let r = run_sweep_with(
-        chip(),
-        &spec,
-        &RetryPolicy::no_retries(),
-        &plan,
-        &SweepOptions::serial(),
-    )
-    .expect("sweep");
+    let r = chip()
+        .sweep()
+        .grid(spec)
+        .retry_policy(RetryPolicy::no_retries())
+        .faults(plan)
+        .serial()
+        .run()
+        .expect("sweep");
     assert_eq!(r.failed().count(), 1);
     assert_roundtrip_and_golden("sweep_report", &r.to_json());
 }

@@ -1,9 +1,10 @@
 //! Determinism contract of the parallel sweep engine: for any worker
-//! count, `run_sweep_with` must produce the same `CellOutcome` sequence
-//! — and the same JSON bytes — as a serial run. Timing is the only thing
-//! allowed to differ, and it lives outside the deterministic payload.
+//! count, a [`SweepBuilder`] run must produce the same `CellOutcome`
+//! sequence — and the same JSON bytes — as a serial run. Timing is the
+//! only thing allowed to differ, and it lives outside the deterministic
+//! payload.
 
-use cmp_tlp::sweep::{run_sweep_with, Fault, FaultPlan, RetryPolicy, SweepOptions, SweepSpec};
+use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepReport, SweepSpec};
 use cmp_tlp::ExperimentalChip;
 use tlp_sim::op::Op;
 use tlp_sim::CmpConfig;
@@ -24,10 +25,39 @@ fn spec() -> SweepSpec {
     }
 }
 
-fn parallel_opts() -> SweepOptions {
-    // `threads: 0` resolves to available_parallelism; also force an
-    // oversubscribed pool so stealing happens even on small machines.
-    SweepOptions { threads: 0 }
+/// Runs the grid through the builder at a given worker count (`0` =
+/// available parallelism — also forces an oversubscribed pool so
+/// stealing happens even on small machines).
+fn run(
+    chip: &ExperimentalChip,
+    spec: &SweepSpec,
+    policy: &RetryPolicy,
+    plan: &FaultPlan,
+    threads: usize,
+) -> SweepReport {
+    chip.sweep()
+        .grid(spec.clone())
+        .retry_policy(*policy)
+        .faults(plan.clone())
+        .threads(threads)
+        .run()
+        .expect("sweep")
+}
+
+/// The serial reference: the builder's `.serial()` stage.
+fn run_serial(
+    chip: &ExperimentalChip,
+    spec: &SweepSpec,
+    policy: &RetryPolicy,
+    plan: &FaultPlan,
+) -> SweepReport {
+    chip.sweep()
+        .grid(spec.clone())
+        .retry_policy(*policy)
+        .faults(plan.clone())
+        .serial()
+        .run()
+        .expect("serial sweep")
 }
 
 #[test]
@@ -37,10 +67,8 @@ fn parallel_outcomes_match_serial_exactly() {
     let policy = RetryPolicy::default();
     let plan = FaultPlan::none();
 
-    let serial = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial())
-        .expect("serial sweep");
-    let parallel =
-        run_sweep_with(&chip, &spec, &policy, &plan, &parallel_opts()).expect("parallel sweep");
+    let serial = run_serial(&chip, &spec, &policy, &plan);
+    let parallel = run(&chip, &spec, &policy, &plan, 0);
 
     assert_eq!(serial.cells.len(), parallel.cells.len());
     // CellOutcome carries non-PartialEq error types; the Debug rendering
@@ -59,10 +87,8 @@ fn parallel_json_bytes_match_serial_exactly() {
     let policy = RetryPolicy::default();
     let plan = FaultPlan::none();
 
-    let serial = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial())
-        .expect("serial sweep");
-    let parallel = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions { threads: 8 })
-        .expect("parallel sweep");
+    let serial = run_serial(&chip, &spec, &policy, &plan);
+    let parallel = run(&chip, &spec, &policy, &plan, 8);
 
     assert_eq!(
         serial.to_json().to_string_pretty(),
@@ -105,10 +131,8 @@ fn determinism_holds_under_injected_faults() {
         // Baseline-anchor fault: fails every Radix cell with one diagnosis.
         .inject(AppId::Radix, 1, Fault::NanPower);
 
-    let serial = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial())
-        .expect("serial sweep");
-    let parallel = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions { threads: 6 })
-        .expect("parallel sweep");
+    let serial = run_serial(&chip, &spec, &policy, &plan);
+    let parallel = run(&chip, &spec, &policy, &plan, 6);
 
     assert_eq!(
         format!("{:?}", serial.cells),
@@ -137,12 +161,9 @@ fn one_worker_and_oversubscribed_pool_agree_on_a_small_grid() {
     let policy = RetryPolicy::default();
     let plan = FaultPlan::none();
 
-    let serial =
-        run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial()).expect("serial");
-    let one = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions { threads: 1 })
-        .expect("one worker");
-    let wide = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions { threads: 32 })
-        .expect("32 workers");
+    let serial = run_serial(&chip, &spec, &policy, &plan);
+    let one = run(&chip, &spec, &policy, &plan, 1);
+    let wide = run(&chip, &spec, &policy, &plan, 32);
 
     assert!(serial.cells.iter().all(|(_, o)| o.is_completed()));
     for report in [&one, &wide] {
@@ -169,10 +190,8 @@ fn empty_sweep_grid_completes_with_no_cells() {
     let policy = RetryPolicy::default();
     let plan = FaultPlan::none();
 
-    let serial =
-        run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions::serial()).expect("serial");
-    let parallel = run_sweep_with(&chip, &spec, &policy, &plan, &SweepOptions { threads: 4 })
-        .expect("parallel");
+    let serial = run_serial(&chip, &spec, &policy, &plan);
+    let parallel = run(&chip, &spec, &policy, &plan, 4);
 
     assert!(serial.cells.is_empty());
     assert_eq!(serial.summary(), "sweep: 0/0 cells completed");
@@ -191,14 +210,7 @@ fn timing_reflects_requested_threads() {
         scale: Scale::Test,
         seed: 7,
     };
-    let r = run_sweep_with(
-        &chip,
-        &spec,
-        &RetryPolicy::default(),
-        &FaultPlan::none(),
-        &SweepOptions { threads: 3 },
-    )
-    .expect("sweep");
+    let r = run(&chip, &spec, &RetryPolicy::default(), &FaultPlan::none(), 3);
     assert_eq!(r.timing.threads, 3);
     assert_eq!(r.timing.cell_seconds.len(), r.cells.len());
     assert!(r.timing.total_seconds > 0.0);
