@@ -12,10 +12,17 @@
 //! Add `--json` for machine-readable output and `--paper` for full
 //! experiment scale (default is the fast quarter scale). `sweep` and
 //! `check` accept `--trace PATH` (Chrome `trace_event` JSON, loadable in
-//! Perfetto) and `--trace-summary` (aggregate table on stderr).
+//! Perfetto) and `--trace-summary` (aggregate table on stderr). `sweep`
+//! additionally accepts `--checkpoint PATH` / `--resume PATH` (a
+//! crash-safe cell journal: kill the run, resume it, get byte-identical
+//! output) and `--cell-deadline SECS` (per-cell watchdog).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use cmp_tlp::check::prop::{run_suite, CheckConfig, SuiteReport};
-use cmp_tlp::cli_args::parse_u64_flag;
+use cmp_tlp::cli_args::{parse_u64_flag, take_value};
 use cmp_tlp::jsonout;
 use cmp_tlp::prelude::*;
 use cmp_tlp::{checks, report, scenario1, scenario2};
@@ -99,6 +106,17 @@ fn usage() -> ! {
                                           byte-identical for any N; timing goes to stderr)\n\
            --trace PATH                   write a Chrome trace_event JSON file (Perfetto)\n\
            --trace-summary                print an aggregate span/counter table to stderr\n\
+         sweep options:\n\
+           --checkpoint PATH              journal each settled cell to PATH (crash-safe;\n\
+                                          Ctrl-C flushes the journal and prints the\n\
+                                          exact --resume command)\n\
+           --resume PATH                  resume from an existing journal, splicing\n\
+                                          completed cells instead of re-running them\n\
+                                          (output stays byte-identical to an\n\
+                                          uninterrupted run)\n\
+           --cell-deadline SECS           per-cell watchdog deadline in seconds\n\
+                                          (fractional allowed); hung cells become typed\n\
+                                          failures while the sweep keeps draining\n\
          check options:\n\
            --seed N                       run seed (decimal or 0x hex; default 0xD1CE)\n\
            --cases M                      cases per cheap property (default 256)\n\
@@ -106,7 +124,8 @@ fn usage() -> ! {
            --replay SEED                  replay one case seed from a failure report\n\
                                           (requires --oracle)\n\
            --report PATH                  also write the JSON report to PATH\n\
-         exit codes: 0 success, 1 experiment/property failure, 2 usage error"
+         exit codes: 0 success, 1 experiment/property failure, 2 usage error,\n\
+                     130 interrupted (journal flushed; resumable)"
     );
     std::process::exit(2)
 }
@@ -247,6 +266,30 @@ fn run_command(
             Ok(())
         }
         "sweep" => {
+            let mut args = args.to_vec();
+            let checkpoint = take_value(&mut args, "--checkpoint")?;
+            let resume = take_value(&mut args, "--resume")?;
+            if checkpoint.is_some() && resume.is_some() {
+                return Err("--checkpoint and --resume are mutually exclusive \
+                            (--resume reopens an existing journal and keeps appending)"
+                    .into());
+            }
+            let deadline_arg = take_value(&mut args, "--cell-deadline")?;
+            let deadline = match &deadline_arg {
+                None => None,
+                Some(s) => {
+                    let secs: f64 = s
+                        .parse()
+                        .map_err(|_| format!("bad --cell-deadline '{s}'"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(format!(
+                            "--cell-deadline must be a positive number of seconds, got '{s}'"
+                        )
+                        .into());
+                    }
+                    Some(Duration::from_secs_f64(secs))
+                }
+            };
             if args.is_empty() {
                 return Err("sweep needs at least one application".into());
             }
@@ -255,12 +298,42 @@ fn run_command(
                 .map(|a| parse_app(a))
                 .collect::<Result<Vec<_>, _>>()?;
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
-            let report = chip
+            let mut builder = chip
                 .sweep()
                 .grid(SweepSpec::fig3(apps, scale, DEFAULT_SEED))
                 .threads(common.threads)
-                .trace(common.sink())
-                .run()?;
+                .trace(common.sink());
+            if let Some(d) = deadline {
+                builder = builder.cell_deadline(d);
+            }
+            if let Some(path) = &checkpoint {
+                builder = builder.checkpoint(path);
+            }
+            if let Some(path) = &resume {
+                builder = builder.resume(path);
+            }
+            // Ctrl-C is only worth catching when there is a journal to
+            // keep: without one the default disposition (die) is right.
+            let journal_path = checkpoint.or(resume);
+            if journal_path.is_some() {
+                builder = builder.interrupt(install_sigint_flag());
+            }
+            let report = match builder.run() {
+                Ok(r) => r,
+                Err(ExperimentError::Interrupted(info)) => {
+                    let path = journal_path.expect("interrupt handler implies a journal");
+                    eprintln!("sweep interrupted: {info}; every settled outcome is journaled");
+                    eprintln!(
+                        "resume with:\n  {}",
+                        resume_recipe(&args, common, &deadline_arg, &path)
+                    );
+                    // 128 + SIGINT, the conventional "killed by Ctrl-C"
+                    // status, so wrappers can tell "resumable" from
+                    // "failed".
+                    std::process::exit(130);
+                }
+                Err(e) => return Err(e.into()),
+            };
             // Wall clock is nondeterministic, so the summary goes to
             // stderr and the JSON payload excludes timing: --json stdout
             // is byte-identical for any --threads. (The human listing
@@ -270,29 +343,12 @@ fn run_command(
             if json {
                 println!("{}", report.to_json().to_string_pretty());
             } else {
-                for (i, (cell, outcome)) in report.cells.iter().enumerate() {
-                    if let CellOutcome::Completed {
-                        row,
-                        attempts,
-                        solver_iterations,
-                    } = outcome
-                    {
-                        println!(
-                            "{cell:<16} speedup {:.2}  power {:.1} W  temp {:.1} °C  \
-                             [{attempts} attempt(s), {solver_iterations} solver iters, \
-                             {:.3} s]",
-                            row.actual_speedup,
-                            row.power_watts,
-                            row.temperature_c,
-                            report.timing.cell_seconds[i],
-                        );
-                    }
-                }
+                print!("{}", report::sweep_cells(&report));
                 println!("{}", report.summary());
             }
-            // Lost cells are an experiment failure even though the sweep
-            // itself ran to completion.
-            if report.failed().next().is_some() {
+            // Lost cells — failed or quarantined — are an experiment
+            // failure even though the sweep itself ran to completion.
+            if report.failed().next().is_some() || report.quarantined().next().is_some() {
                 std::process::exit(1);
             }
             Ok(())
@@ -469,6 +525,73 @@ fn validate_trace(args: &[String]) -> Result<(), CliError> {
     }
     println!("trace OK: {spans} span event(s), {counters} counter sample(s)");
     Ok(())
+}
+
+/// The cooperative interrupt flag shared between the SIGINT handler and
+/// the sweep engine. A `OnceLock<Arc<_>>` so the handler body is a plain
+/// atomic load + store — both async-signal-safe — with no allocation.
+static SIGINT_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    if let Some(flag) = SIGINT_FLAG.get() {
+        flag.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Installs a SIGINT handler that raises (and returns) the cooperative
+/// interrupt flag instead of killing the process, so a checkpointed
+/// sweep can finish in-flight cells, flush its journal, and print the
+/// resume recipe. Uses `signal(2)` through a raw `extern "C"`
+/// declaration — the workspace deliberately has no libc crate.
+fn install_sigint_flag() -> Arc<AtomicBool> {
+    let flag = SIGINT_FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)));
+    const SIGINT: i32 = 2;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: the handler only touches static atomics (no allocation,
+    // no locks), and `signal` itself has no preconditions beyond a
+    // valid handler pointer.
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    Arc::clone(flag)
+}
+
+/// The exact command line that resumes an interrupted sweep: the same
+/// applications and flags the user gave, with the journal path moved
+/// behind `--resume`. Printed verbatim so it can be pasted back.
+fn resume_recipe(
+    apps: &[String],
+    common: &CommonArgs,
+    deadline: &Option<String>,
+    journal: &str,
+) -> String {
+    let mut cmd = String::from("cmp-tlp sweep");
+    for a in apps {
+        cmd.push(' ');
+        cmd.push_str(a);
+    }
+    if common.scale == Scale::Paper {
+        cmd.push_str(" --paper");
+    }
+    if common.json {
+        cmd.push_str(" --json");
+    }
+    if common.threads != 0 {
+        cmd.push_str(&format!(" --threads {}", common.threads));
+    }
+    if let Some(path) = &common.trace {
+        cmd.push_str(&format!(" --trace {path}"));
+    }
+    if common.trace_summary {
+        cmd.push_str(" --trace-summary");
+    }
+    if let Some(d) = deadline {
+        cmd.push_str(&format!(" --cell-deadline {d}"));
+    }
+    cmd.push_str(&format!(" --resume {journal}"));
+    cmd
 }
 
 fn split_app(args: &[String]) -> Result<(AppId, &[String]), String> {

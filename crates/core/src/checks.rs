@@ -12,10 +12,17 @@
 //!   efficiency, must agree on normalized power within a bounded
 //!   tolerance (the residual gap is the memory-gap effect the paper
 //!   itself highlights in Fig. 3).
+//! - [`resume_identity`] — a checkpointed sweep whose journal is
+//!   truncated at a random record boundary (simulating a crash,
+//!   optionally with a torn tail) and then resumed must produce a
+//!   report byte-identical to the uninterrupted run, injected faults
+//!   and all.
 //!
 //! [`suite`] is the full oracle collection the `cmp-tlp check`
 //! subcommand and CI run.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use tlp_analytic::{AnalyticChip, AnalyticError, Scenario1};
@@ -184,6 +191,176 @@ pub fn sweep_determinism() -> Property {
     .expensive()
 }
 
+/// One randomized kill-and-resume case: a (possibly faulted) sweep, a
+/// truncation point standing in for the crash, and optionally a torn
+/// tail left by an interrupted write.
+#[derive(Debug, Clone)]
+pub struct ResumeCase {
+    /// The underlying grid, seed, and injected faults (`threads` is
+    /// unused — the oracle runs serial on both sides so divergence
+    /// blames the journal, not scheduling; serial-vs-parallel identity
+    /// is [`sweep_determinism`]'s job).
+    pub sweep: SweepCase,
+    /// How many post-header journal records survive the simulated crash
+    /// (reduced modulo the record count actually written).
+    pub keep_records: u64,
+    /// Whether the crash leaves a torn, checksum-less tail behind the
+    /// last surviving record.
+    pub garbage: bool,
+}
+
+fn gen_resume_case(rng: &mut SplitMix64) -> ResumeCase {
+    ResumeCase {
+        sweep: gen_sweep_case(rng),
+        keep_records: rng.next_u64(),
+        garbage: rng.gen_range_usize(0..2) == 1,
+    }
+}
+
+fn shrink_resume_case(c: &ResumeCase) -> Vec<ResumeCase> {
+    let mut out: Vec<ResumeCase> = shrink_sweep_case(&c.sweep)
+        .into_iter()
+        .map(|sweep| ResumeCase { sweep, ..c.clone() })
+        .collect();
+    if c.garbage {
+        out.push(ResumeCase {
+            garbage: false,
+            ..c.clone()
+        });
+    }
+    for keep_records in shrink::u64_toward(c.keep_records, 0) {
+        out.push(ResumeCase {
+            keep_records,
+            ..c.clone()
+        });
+    }
+    out
+}
+
+/// A scratch journal path that is deleted when the case ends, pass or
+/// fail, so failing shrink runs don't litter the temp directory.
+struct TempJournal(PathBuf);
+
+impl Drop for TempJournal {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn scratch_journal(tag: u64) -> TempJournal {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+    TempJournal(std::env::temp_dir().join(format!(
+        "cmp-tlp-resume-oracle-{}-{unique}-{tag:x}.journal",
+        std::process::id()
+    )))
+}
+
+fn resume_check(c: &ResumeCase) -> Result<(), String> {
+    let chip = shared_chip();
+    let spec = SweepSpec {
+        apps: c.sweep.apps.clone(),
+        core_counts: c.sweep.core_counts.clone(),
+        scale: Scale::Test,
+        seed: c.sweep.seed,
+    };
+    let mut plan = FaultPlan::none();
+    for &(app, n, fault) in &c.sweep.faults {
+        plan = plan.inject(app, n, fault);
+    }
+    let policy = RetryPolicy::default();
+    let configured = || {
+        chip.sweep()
+            .grid(spec.clone())
+            .retry_policy(policy)
+            .faults(plan.clone())
+            .serial()
+    };
+
+    let reference = configured()
+        .run()
+        .map_err(|e| format!("uninterrupted sweep refused to start: {e}"))?
+        .to_json()
+        .to_string_pretty();
+
+    let journal = scratch_journal(c.sweep.seed ^ c.keep_records);
+    let path = journal.0.clone();
+    let full = configured()
+        .checkpoint(&path)
+        .run()
+        .map_err(|e| format!("checkpointed sweep failed: {e}"))?
+        .to_json()
+        .to_string_pretty();
+    if full != reference {
+        return Err(format!(
+            "checkpointing changed the report:\nplain:\n{reference}\njournaled:\n{full}"
+        ));
+    }
+
+    // Simulate the crash: keep the header plus a random prefix of the
+    // records, and optionally leave a torn (checksum-less, unterminated)
+    // tail the way an interrupted write would.
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read the journal: {e}"))?;
+    let lines: Vec<&str> = text.split_inclusive('\n').collect();
+    if lines.is_empty() {
+        return Err("the journal is empty after a checkpointed run".into());
+    }
+    let keep = 1 + (c.keep_records as usize) % lines.len();
+    let mut crashed: String = lines[..keep.min(lines.len())].concat();
+    if c.garbage {
+        crashed.push_str("3fc9 {\"torn\":tru");
+    }
+    std::fs::write(&path, &crashed).map_err(|e| format!("cannot truncate the journal: {e}"))?;
+
+    let resumed = configured()
+        .resume(&path)
+        .run()
+        .map_err(|e| format!("resumed sweep failed: {e}"))?
+        .to_json()
+        .to_string_pretty();
+    if resumed != reference {
+        return Err(format!(
+            "resume after losing {} of {} journal line(s){} diverged:\n\
+             uninterrupted:\n{reference}\nresumed:\n{resumed}",
+            lines.len() - keep,
+            lines.len(),
+            if c.garbage { " (torn tail)" } else { "" },
+        ));
+    }
+
+    // Resume once more: every completed cell now splices straight from
+    // the journal without re-simulation, and must still match.
+    let respliced = configured()
+        .resume(&path)
+        .run()
+        .map_err(|e| format!("second resume failed: {e}"))?
+        .to_json()
+        .to_string_pretty();
+    if respliced != reference {
+        return Err(format!(
+            "second resume (fully spliced) diverged:\n\
+             uninterrupted:\n{reference}\nrespliced:\n{respliced}"
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 6: kill-and-resume byte-identity. A checkpointed sweep whose
+/// journal loses a random suffix (and may gain a torn tail) must, after
+/// resume, report exactly what the uninterrupted sweep reports — and so
+/// must a second, fully-spliced resume.
+pub fn resume_identity() -> Property {
+    Property::new(
+        "resume-identity",
+        "a killed-and-resumed checkpointed sweep is byte-identical to an uninterrupted one",
+        gen_resume_case,
+        shrink_resume_case,
+        resume_check,
+    )
+    .expensive()
+}
+
 /// Apps the analytic-vs-simulator oracle draws from: a mix of
 /// compute-bound (Water, Barnes) and memory-bound (Ocean) behavior, so
 /// the probed power-ratio band sees both ends of the memory-gap effect.
@@ -331,6 +508,7 @@ pub fn suite() -> Vec<Property> {
     let mut props = tlp_check::oracles::physics_suite();
     props.push(sweep_determinism());
     props.push(analytic_vs_sim());
+    props.push(resume_identity());
     props
 }
 
@@ -350,13 +528,14 @@ mod tests {
                 "thermal-transient",
                 "sweep-determinism",
                 "analytic-vs-sim",
+                "resume-identity",
             ]
         );
     }
 
     #[test]
     fn experiment_oracles_pass_a_small_pinned_run() {
-        for prop in [sweep_determinism(), analytic_vs_sim()] {
+        for prop in [sweep_determinism(), analytic_vs_sim(), resume_identity()] {
             let r = prop.run(&CheckConfig {
                 seed: 0xD1CE,
                 cases: 96,

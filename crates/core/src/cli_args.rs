@@ -112,12 +112,15 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     args.len() != before
 }
 
-/// Removes `flag VALUE`; returns the value if the flag was present.
+/// Removes `flag VALUE` from `args`; returns the value if the flag was
+/// present. Public so subcommands can strip their own value flags (the
+/// sweep's `--checkpoint PATH` / `--resume PATH` / `--cell-deadline S`)
+/// with the same dialect as the shared ones.
 ///
 /// # Errors
 ///
 /// When the flag is present without a following value.
-fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+pub fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
     let Some(pos) = args.iter().position(|a| a == flag) else {
         return Ok(None);
     };

@@ -42,6 +42,27 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// Progress snapshot carried by [`ExperimentError::Interrupted`]: how far
+/// the sweep got before the interrupt flag stopped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptInfo {
+    /// Cells whose outcomes were settled (computed or spliced from the
+    /// journal) before the interrupt.
+    pub completed_cells: usize,
+    /// Cells the sweep was asked for in total.
+    pub total_cells: usize,
+}
+
+impl fmt::Display for InterruptInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} cells had settled outcomes",
+            self.completed_cells, self.total_cells
+        )
+    }
+}
+
 /// Any failure of the experiment pipeline, from any layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExperimentError {
@@ -57,6 +78,16 @@ pub enum ExperimentError {
     /// A requested trace artifact could not be written. The experiment
     /// itself succeeded; only the observability output was lost.
     Trace(TraceError),
+    /// The durability layer failed: the cell journal could not be
+    /// opened, verified, or written (see
+    /// [`JournalError`](crate::journal::JournalError)). Without a
+    /// trustworthy journal a checkpointed sweep cannot keep its
+    /// crash-safety promise, so this is loud.
+    Journal(crate::journal::JournalError),
+    /// The sweep's interrupt flag was raised (e.g. SIGINT) and the
+    /// engine stopped starting new cells. All settled outcomes are in
+    /// the journal; resume with the same configuration to finish.
+    Interrupted(InterruptInfo),
 }
 
 impl ExperimentError {
@@ -83,6 +114,10 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Power(e) => write!(f, "power accounting failed: {e}"),
             ExperimentError::Tech(e) => write!(f, "technology model failed: {e}"),
             ExperimentError::Trace(e) => write!(f, "trace sink failed: {e}"),
+            ExperimentError::Journal(e) => write!(f, "sweep journal failed: {e}"),
+            ExperimentError::Interrupted(info) => {
+                write!(f, "sweep interrupted: {info}; resume to finish")
+            }
         }
     }
 }
@@ -95,6 +130,8 @@ impl std::error::Error for ExperimentError {
             ExperimentError::Power(e) => Some(e),
             ExperimentError::Tech(e) => Some(e),
             ExperimentError::Trace(e) => Some(e),
+            ExperimentError::Journal(e) => Some(e),
+            ExperimentError::Interrupted(_) => None,
         }
     }
 }
@@ -141,6 +178,12 @@ impl From<TechError> for ExperimentError {
 impl From<TraceError> for ExperimentError {
     fn from(e: TraceError) -> Self {
         ExperimentError::Trace(e)
+    }
+}
+
+impl From<crate::journal::JournalError> for ExperimentError {
+    fn from(e: crate::journal::JournalError) -> Self {
+        ExperimentError::Journal(e)
     }
 }
 
@@ -206,6 +249,31 @@ mod tests {
         // ExperimentError → SimError → DeadlockInfo: three layers.
         assert_eq!(chain.len(), 3, "{chain:?}");
         assert!(chain[2].contains("cycle 42"), "{chain:?}");
+    }
+
+    #[test]
+    fn journal_errors_display_path_and_cause() {
+        let e = ExperimentError::from(crate::journal::JournalError::Missing {
+            path: "/nope/sweep.journal".to_string(),
+        });
+        assert!(!e.is_retryable());
+        let chain = error_chain(&e);
+        assert!(chain[0].starts_with("sweep journal failed:"), "{chain:?}");
+        assert!(chain[1].contains("/nope/sweep.journal"), "{chain:?}");
+    }
+
+    #[test]
+    fn interrupted_reports_progress_and_has_no_source() {
+        use std::error::Error;
+        let e = ExperimentError::Interrupted(InterruptInfo {
+            completed_cells: 3,
+            total_cells: 10,
+        });
+        assert!(!e.is_retryable());
+        assert!(e.source().is_none());
+        let s = e.to_string();
+        assert!(s.contains("3/10"), "{s}");
+        assert!(s.contains("resume"), "{s}");
     }
 
     #[test]

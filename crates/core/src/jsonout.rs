@@ -150,10 +150,19 @@ impl ToJson for SweepReport {
     /// byte-identical for every thread count.
     fn to_json(&self) -> Json {
         let done = self.cells.iter().filter(|(_, o)| o.is_completed()).count();
+        let quarantined = self
+            .cells
+            .iter()
+            .filter(|(_, o)| o.is_quarantined())
+            .count();
         Json::object([
             ("cells_total", Json::from(self.cells.len())),
             ("cells_completed", Json::from(done)),
-            ("cells_failed", Json::from(self.cells.len() - done)),
+            (
+                "cells_failed",
+                Json::from(self.cells.len() - done - quarantined),
+            ),
+            ("cells_quarantined", Json::from(quarantined)),
             (
                 "cells",
                 Json::array(&self.cells, |(cell, outcome)| {
@@ -181,6 +190,21 @@ impl ToJson for SweepReport {
                             o.set(
                                 "reason_chain",
                                 Json::array(crate::error::error_chain(reason), Json::from),
+                            );
+                        }
+                        CellOutcome::Quarantined {
+                            reason_chain,
+                            attempts,
+                            replay_seed,
+                        } => {
+                            o.set("status", "quarantined");
+                            o.set("attempts", *attempts);
+                            // Hex, matching the CLI's --seed syntax, so
+                            // the replay recipe can be pasted verbatim.
+                            o.set("replay_seed", format!("{replay_seed:#x}"));
+                            o.set(
+                                "reason_chain",
+                                Json::array(reason_chain, |s| Json::from(s.clone())),
                             );
                         }
                     }
@@ -242,6 +266,40 @@ mod tests {
         // deterministic payload.
         assert!(!j.contains("seconds"), "{j}");
         assert!(!j.contains("threads"), "{j}");
+    }
+
+    #[test]
+    fn quarantined_sweep_cell_shape() {
+        use crate::sweep::SweepCell;
+        use tlp_workloads::AppId;
+
+        let report = SweepReport {
+            cells: vec![(
+                SweepCell {
+                    app: AppId::Radix,
+                    n: 8,
+                },
+                CellOutcome::Quarantined {
+                    reason_chain: vec![
+                        "quarantined after 3 poison strike(s)".to_string(),
+                        "simulation failed: hung".to_string(),
+                    ],
+                    attempts: 4,
+                    replay_seed: 0xD1CE,
+                },
+            )],
+            timing: crate::sweep::SweepTiming {
+                threads: 1,
+                total_seconds: 0.1,
+                cell_seconds: vec![0.0],
+            },
+        };
+        let j = report.to_json().to_string_compact();
+        assert!(j.contains("\"cells_quarantined\":1"), "{j}");
+        assert!(j.contains("\"cells_failed\":0"), "{j}");
+        assert!(j.contains("\"status\":\"quarantined\""), "{j}");
+        assert!(j.contains("\"replay_seed\":\"0xd1ce\""), "{j}");
+        assert!(j.contains("poison strike"), "{j}");
     }
 
     #[test]

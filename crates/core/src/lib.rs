@@ -50,6 +50,7 @@ pub mod chipstate;
 pub mod cli_args;
 pub mod energy;
 pub mod error;
+pub mod journal;
 pub mod jsonout;
 pub mod pool;
 pub mod prelude;
@@ -61,10 +62,9 @@ pub mod sweep;
 pub mod transient;
 
 pub use chipstate::{ChipMeasurement, ExperimentalChip, MeasureFaults, DIE_EDGE_MM};
-pub use error::{error_chain, ExperimentError, TraceError};
+pub use error::{error_chain, ExperimentError, InterruptInfo, TraceError};
+pub use journal::{Journal, JournalError, JournalMode, RecoveryReport};
 pub use profiling::{profile, EfficiencyProfile};
-#[allow(deprecated)]
-pub use sweep::{run_sweep, run_sweep_with};
 pub use sweep::{
     CellOutcome, Fault, FaultPlan, RetryPolicy, SweepBuilder, SweepCell, SweepOptions, SweepReport,
     SweepSpec, SweepTiming, TraceSink,

@@ -16,6 +16,15 @@
 //!   ones, has finished. A panicking task takes its worker down but
 //!   still counts as finished (so the remaining workers drain and exit),
 //!   and the scope re-raises the panic on join.
+//! - [`run_watched`] adds a per-task watchdog: tasks spawned with
+//!   [`Pool::spawn_watched`] get a [`tlp_obs::cancel::CancelToken`]
+//!   installed for their duration, and a dedicated watchdog thread fires
+//!   the token once the task has been executing longer than the
+//!   deadline. Cancellation is *cooperative* — the substrate loops
+//!   (simulator stride checks, thermal fixpoint iterations) poll the
+//!   token and return a typed `DeadlineExceeded` error — so a hung cell
+//!   becomes an ordinary failed outcome while the pool keeps draining.
+//!   Nothing is ever killed mid-write.
 //!
 //! Scheduling order is *not* deterministic; users that need
 //! deterministic output (the sweep runner does — its parallel output
@@ -23,13 +32,27 @@
 //! slots and reduce in index order afterwards.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-type Task<'scope> = Box<dyn FnOnce(&Pool<'scope>) + Send + 'scope>;
+use tlp_obs::cancel::CancelToken;
+
+struct Task<'scope> {
+    f: Box<dyn FnOnce(&Pool<'scope>) + Send + 'scope>,
+    watched: bool,
+}
+
+/// What the watchdog sees of one worker: the watched task it is
+/// currently executing, if any.
+struct RunningTask {
+    started: Instant,
+    token: CancelToken,
+    fired: bool,
+}
 
 /// Handle through which running tasks spawn further tasks; created by
-/// [`run`] and passed to every task.
+/// [`run`] / [`run_watched`] and passed to every task.
 pub struct Pool<'scope> {
     queues: Vec<Mutex<VecDeque<Task<'scope>>>>,
     /// Tasks spawned but not yet finished (queued or executing). The
@@ -37,14 +60,21 @@ pub struct Pool<'scope> {
     pending: AtomicUsize,
     /// Round-robin cursor for task placement.
     next: AtomicUsize,
+    /// Per-worker watchdog slots (what each worker is running).
+    running: Vec<Mutex<Option<RunningTask>>>,
+    /// Watchdog deadline for watched tasks; `None` disables the
+    /// watchdog entirely (watched tasks run like plain ones).
+    deadline: Option<Duration>,
 }
 
 impl<'scope> Pool<'scope> {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, deadline: Option<Duration>) -> Self {
         Self {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(0),
             next: AtomicUsize::new(0),
+            running: (0..workers).map(|_| Mutex::new(None)).collect(),
+            deadline,
         }
     }
 
@@ -56,12 +86,30 @@ impl<'scope> Pool<'scope> {
     /// Enqueues a task. Callable both from outside the pool (seeding)
     /// and from within a running task (fan-out).
     pub fn spawn(&self, task: impl FnOnce(&Pool<'scope>) + Send + 'scope) {
+        self.push(Task {
+            f: Box::new(task),
+            watched: false,
+        });
+    }
+
+    /// Enqueues a task under the pool's watchdog deadline (a no-op
+    /// distinction under [`run`], which has no watchdog). Use only for
+    /// tasks whose code paths return typed errors on cancellation; a
+    /// token firing inside a panicking-API path would abort the pool.
+    pub fn spawn_watched(&self, task: impl FnOnce(&Pool<'scope>) + Send + 'scope) {
+        self.push(Task {
+            f: Box::new(task),
+            watched: true,
+        });
+    }
+
+    fn push(&self, task: Task<'scope>) {
         self.pending.fetch_add(1, Ordering::SeqCst);
         let w = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
         self.queues[w]
             .lock()
             .expect("pool queue poisoned")
-            .push_back(Box::new(task));
+            .push_back(task);
     }
 
     /// Worker loop: drain own deque, steal when empty, exit when no task
@@ -96,7 +144,32 @@ impl<'scope> Pool<'scope> {
                         }
                     }
                     let _finished = Finished(&self.pending);
-                    task(self);
+                    if task.watched && self.deadline.is_some() {
+                        // Register with the watchdog and expose the
+                        // token to everything the task calls; both are
+                        // torn down on unwind too.
+                        struct Deregister<'a>(&'a Mutex<Option<RunningTask>>);
+                        impl Drop for Deregister<'_> {
+                            fn drop(&mut self) {
+                                *match self.0.lock() {
+                                    Ok(g) => g,
+                                    Err(poisoned) => poisoned.into_inner(),
+                                } = None;
+                            }
+                        }
+                        let token = CancelToken::new();
+                        *self.running[me].lock().expect("watchdog slot poisoned") =
+                            Some(RunningTask {
+                                started: Instant::now(),
+                                token: token.clone(),
+                                fired: false,
+                            });
+                        let _deregister = Deregister(&self.running[me]);
+                        let _installed = tlp_obs::cancel::install(token);
+                        (task.f)(self);
+                    } else {
+                        (task.f)(self);
+                    }
                 }
                 None => {
                     if self.pending.load(Ordering::SeqCst) == 0 {
@@ -115,6 +188,29 @@ impl<'scope> Pool<'scope> {
             }
         }
     }
+
+    /// Watchdog loop: scan every worker's running slot and fire the
+    /// cancellation token of any watched task executing past `deadline`.
+    /// Firing is one-shot per task and merely requests cooperative
+    /// cancellation; the task itself converts it into a typed error.
+    fn watch(&self, deadline: Duration, stop: &AtomicBool) {
+        let tick = (deadline / 8)
+            .min(Duration::from_millis(50))
+            .max(Duration::from_millis(1));
+        while !stop.load(Ordering::SeqCst) {
+            for slot in &self.running {
+                let mut guard = slot.lock().expect("watchdog slot poisoned");
+                if let Some(task) = guard.as_mut() {
+                    if !task.fired && task.started.elapsed() >= deadline {
+                        task.token.fire();
+                        task.fired = true;
+                        tlp_obs::metrics::SWEEP_DEADLINE_CANCELLATIONS.incr();
+                    }
+                }
+            }
+            std::thread::sleep(tick);
+        }
+    }
 }
 
 /// Runs a work-stealing pool of `workers` scoped threads until every
@@ -128,12 +224,52 @@ impl<'scope> Pool<'scope> {
 ///
 /// Re-raises the panic of any panicking task once the pool drains.
 pub fn run<'env>(workers: usize, seed: impl FnOnce(&Pool<'env>)) {
-    let pool = Pool::new(workers.max(1));
+    run_watched(workers, None, seed);
+}
+
+/// Like [`run`], plus a per-task watchdog: tasks spawned with
+/// [`Pool::spawn_watched`] that execute longer than `deadline` get their
+/// [`CancelToken`] fired (see [`tlp_obs::cancel`]), turning a hung task
+/// into a typed `DeadlineExceeded` failure at the task's next
+/// cancellation poll. `deadline: None` is exactly [`run`].
+///
+/// # Panics
+///
+/// Re-raises the panic of any panicking task once the pool drains.
+pub fn run_watched<'env>(
+    workers: usize,
+    deadline: Option<Duration>,
+    seed: impl FnOnce(&Pool<'env>),
+) {
+    let pool = Pool::new(workers.max(1), deadline);
     seed(&pool);
+    let stop = AtomicBool::new(false);
     std::thread::scope(|s| {
-        for w in 0..pool.workers() {
-            let pool = &pool;
-            s.spawn(move || pool.work(w));
+        let handles: Vec<_> = (0..pool.workers())
+            .map(|w| {
+                let pool = &pool;
+                s.spawn(move || pool.work(w))
+            })
+            .collect();
+        let watchdog = deadline.map(|d| {
+            let (pool, stop) = (&pool, &stop);
+            s.spawn(move || pool.watch(d, stop))
+        });
+        // Join the workers explicitly (capturing at most one panic
+        // payload) so the watchdog can be told to stop before the scope
+        // would try to join it — otherwise it would spin forever.
+        let mut panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panic.get_or_insert(payload);
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        if let Some(w) = watchdog {
+            let _ = w.join();
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
         }
     });
 }
@@ -267,5 +403,63 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn watchdog_fires_only_watched_tasks_past_the_deadline() {
+        let watched_saw_cancel = AtomicBool::new(false);
+        let plain_saw_cancel = AtomicBool::new(false);
+        run_watched(2, Some(Duration::from_millis(20)), |p| {
+            p.spawn_watched(|_| {
+                let start = Instant::now();
+                while !tlp_obs::cancel::cancelled() {
+                    assert!(
+                        start.elapsed() < Duration::from_secs(10),
+                        "watchdog never fired"
+                    );
+                    std::thread::yield_now();
+                }
+                watched_saw_cancel.store(true, Ordering::SeqCst);
+            });
+            p.spawn(|_| {
+                // A plain task outlives the deadline untouched: no token
+                // is ever installed for it.
+                std::thread::sleep(Duration::from_millis(60));
+                plain_saw_cancel.store(tlp_obs::cancel::cancelled(), Ordering::SeqCst);
+            });
+        });
+        assert!(watched_saw_cancel.load(Ordering::SeqCst));
+        assert!(!plain_saw_cancel.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn watched_tasks_without_a_deadline_run_plain() {
+        let hits = AtomicU64::new(0);
+        run(2, |p| {
+            p.spawn_watched(|_| {
+                assert!(!tlp_obs::cancel::cancelled());
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cancellation_tokens_are_per_task_not_sticky_on_the_worker() {
+        // After a cancelled watched task finishes, the next watched task
+        // on the same worker must get a fresh, unfired token.
+        run_watched(1, Some(Duration::from_millis(10)), |p| {
+            p.spawn_watched(|p| {
+                while !tlp_obs::cancel::cancelled() {
+                    std::thread::yield_now();
+                }
+                p.spawn_watched(|_| {
+                    assert!(
+                        !tlp_obs::cancel::cancelled(),
+                        "fresh task saw a stale fired token"
+                    );
+                });
+            });
+        });
     }
 }

@@ -10,6 +10,7 @@ use tlp_workloads::AppId;
 
 use crate::scenario1::Scenario1Result;
 use crate::scenario2::Scenario2Result;
+use crate::sweep::{CellOutcome, SweepReport};
 
 /// Renders the analytic Fig. 1 series (normalized power vs. efficiency).
 pub fn fig1(node: &str, series: &[Scenario1Series]) -> String {
@@ -109,6 +110,53 @@ pub fn fig4(results: &[Scenario2Result]) -> String {
                 row.power_watts,
                 if row.unconstrained { "yes" } else { "no" }
             );
+        }
+    }
+    out
+}
+
+/// Renders the per-cell human listing of a supervised sweep, in request
+/// order: completed cells with their measurements and wall clock, failed
+/// cells with the outermost diagnosis, and quarantined cells with the
+/// exact `--seed` value that replays the poisoned execution (paste it
+/// into `cmp-tlp check --oracle sweep-determinism --replay SEED` or a
+/// scripted single-cell run to reproduce under a debugger).
+pub fn sweep_cells(report: &SweepReport) -> String {
+    let mut out = String::new();
+    for (i, (cell, outcome)) in report.cells.iter().enumerate() {
+        match outcome {
+            CellOutcome::Completed {
+                row,
+                attempts,
+                solver_iterations,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{cell:<16} speedup {:.2}  power {:.1} W  temp {:.1} °C  \
+                     [{attempts} attempt(s), {solver_iterations} solver iters, {:.3} s]",
+                    row.actual_speedup,
+                    row.power_watts,
+                    row.temperature_c,
+                    report.timing.cell_seconds[i],
+                );
+            }
+            CellOutcome::Failed { reason, attempts } => {
+                let _ = writeln!(out, "{cell:<16} FAILED [{attempts} attempt(s)]: {reason}");
+            }
+            CellOutcome::Quarantined {
+                reason_chain,
+                attempts,
+                replay_seed,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{cell:<16} QUARANTINED [{attempts} attempt(s), \
+                     replay with --seed {replay_seed:#x}]"
+                );
+                for line in reason_chain {
+                    let _ = writeln!(out, "{:16}   {line}", "");
+                }
+            }
         }
     }
     out
@@ -229,6 +277,84 @@ mod tests {
         assert!(out.contains("yes"));
         assert!(out.contains("Radix"));
         assert!(out.contains("25.0 W"));
+    }
+
+    #[test]
+    fn sweep_cells_renders_all_three_outcomes() {
+        use crate::scenario1::Scenario1Row;
+        use crate::sweep::{SweepCell, SweepTiming};
+        use tlp_power::PowerError;
+        use tlp_tech::units::{Hertz, Volts};
+        use tlp_tech::OperatingPoint;
+
+        let row = Scenario1Row {
+            n: 2,
+            nominal_efficiency: 0.9,
+            actual_speedup: 1.01,
+            power_watts: 18.5,
+            normalized_power: 0.62,
+            normalized_density: 0.62,
+            temperature_c: 71.3,
+            operating_point: OperatingPoint {
+                frequency: Hertz::from_ghz(1.6),
+                voltage: Volts::new(0.9),
+            },
+        };
+        let report = SweepReport {
+            cells: vec![
+                (
+                    SweepCell {
+                        app: AppId::Fft,
+                        n: 2,
+                    },
+                    CellOutcome::Completed {
+                        row,
+                        attempts: 1,
+                        solver_iterations: 7,
+                    },
+                ),
+                (
+                    SweepCell {
+                        app: AppId::Fft,
+                        n: 4,
+                    },
+                    CellOutcome::Failed {
+                        reason: crate::error::ExperimentError::Power(PowerError::EmptyRun),
+                        attempts: 2,
+                    },
+                ),
+                (
+                    SweepCell {
+                        app: AppId::Fft,
+                        n: 8,
+                    },
+                    CellOutcome::Quarantined {
+                        reason_chain: vec![
+                            "quarantined after 3 poison strike(s)".to_string(),
+                            "simulation failed: cancelled".to_string(),
+                        ],
+                        attempts: 3,
+                        replay_seed: 0xD1CE,
+                    },
+                ),
+            ],
+            timing: SweepTiming {
+                threads: 1,
+                total_seconds: 0.5,
+                cell_seconds: vec![0.25, 0.15, 0.0],
+            },
+        };
+        let out = sweep_cells(&report);
+        assert!(out.contains("speedup 1.01"), "{out}");
+        assert!(out.contains("FAILED [2 attempt(s)]"), "{out}");
+        assert!(out.contains("power accounting failed"), "{out}");
+        assert!(
+            out.contains("QUARANTINED [3 attempt(s), replay with --seed 0xd1ce]"),
+            "{out}"
+        );
+        // Every causal line of the quarantine diagnosis is listed.
+        assert!(out.contains("poison strike"), "{out}");
+        assert!(out.contains("simulation failed: cancelled"), "{out}");
     }
 
     #[test]

@@ -60,19 +60,54 @@
 //! byte-identical to a serial run ([`SweepOptions::threads`] = 1).
 //! Wall-clock timings are kept out of the deterministic payload in a
 //! separate [`SweepTiming`] record.
+//!
+//! # Crash safety: checkpoint, resume, watchdog, quarantine
+//!
+//! Long sweeps also need to survive the *process* dying. Three layers
+//! provide that (see [`crate::journal`] for the substrate):
+//!
+//! - **Checkpointing** ([`SweepBuilder::checkpoint`] /
+//!   [`SweepBuilder::resume`]): every settled [`CellOutcome`] is
+//!   appended to a checksummed, atomically-flushed journal. A resumed
+//!   sweep splices journaled completed outcomes back into the report
+//!   without recomputing them and re-runs everything else; because every
+//!   cell is deterministic and completed rows roundtrip bit-exactly,
+//!   the resumed report — including its JSON rendering — is
+//!   byte-identical to an uninterrupted run.
+//! - **Watchdog deadlines** ([`SweepBuilder::cell_deadline`]): a cell
+//!   executing past the deadline gets its cancellation token fired (see
+//!   [`tlp_obs::cancel`]); the simulator and thermal solver poll the
+//!   token and return typed `DeadlineExceeded` errors, so a hung cell
+//!   becomes an ordinary [`CellOutcome::Failed`] while the pool keeps
+//!   draining.
+//! - **Poison-cell quarantine** ([`RetryPolicy::quarantine_after`]): a
+//!   cell that keeps taking runs down — journaled executions abandoned
+//!   without an outcome (crash/kill mid-cell) or cancelled by the
+//!   watchdog — is spliced as [`CellOutcome::Quarantined`] on resume
+//!   instead of being re-run, so one poison cell cannot prevent the
+//!   sweep from ever completing. Ordinary typed failures are *not*
+//!   strikes; they re-run deterministically.
+//!
+//! A cooperative interrupt flag ([`SweepBuilder::interrupt`], used by
+//! the CLI's SIGINT handler) stops new cells from starting; in-flight
+//! cells finish and journal their outcomes, and the engine returns
+//! [`ExperimentError::Interrupted`] with the progress so far.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use tlp_sim::SimFaults;
+use tlp_sim::{SimError, SimFaults};
 use tlp_tech::units::Hertz;
 use tlp_tech::{DvfsTable, OperatingPoint, Technology};
-use tlp_thermal::FixpointOptions;
+use tlp_thermal::{FixpointOptions, ThermalError};
 use tlp_workloads::{gang, AppId, Scale};
 
 use crate::chipstate::{ChipMeasurement, ExperimentalChip, MeasureFaults};
-use crate::error::ExperimentError;
+use crate::error::{error_chain, ExperimentError, InterruptInfo};
+use crate::journal::{Journal, JournalError, JournalMode};
 use crate::pool;
 use crate::profiling::{profile, EfficiencyProfile};
 use crate::scenario1::{operating_point_for, Scenario1Row};
@@ -139,6 +174,12 @@ pub enum Fault {
         /// Thread whose arrival is dropped.
         thread: usize,
     },
+    /// Spin the simulation forever — deterministically — until the
+    /// per-cell watchdog ([`SweepOptions::deadline`]) cancels it.
+    /// Diagnosed as `SimError::DeadlineExceeded` (never retried).
+    /// Without a watchdog the cell genuinely never finishes, so only
+    /// arm this under a deadline.
+    Hang,
     /// Shrink the cell's cycle budget to this many cycles. A healthy but
     /// unfinished run is diagnosed as `SimError::CycleBudgetExhausted`
     /// (never retried).
@@ -181,6 +222,7 @@ impl FaultPlan {
                     f.drop_barrier_arrival = Some((*barrier, *thread));
                 }
                 Fault::CycleBudget(budget) => f.cycle_budget = Some(*budget),
+                Fault::Hang => f.hang = true,
                 _ => {}
             }
         }
@@ -222,6 +264,13 @@ pub struct RetryPolicy {
     pub tolerance_relax: f64,
     /// Iteration-cap multiplier per retry (≥ 1).
     pub iteration_factor: u32,
+    /// Poison strikes before a resumed sweep quarantines a cell instead
+    /// of re-running it. A strike is an execution that took the run down
+    /// with it: journaled as started but never finished (crash/kill
+    /// mid-cell), or cancelled by the watchdog deadline. Ordinary typed
+    /// failures are not strikes. `0` disables quarantine. Only consulted
+    /// on resume — a fresh run never quarantines.
+    pub quarantine_after: u32,
     /// Base fixpoint options for attempt 1.
     pub base: FixpointOptions,
 }
@@ -233,6 +282,7 @@ impl Default for RetryPolicy {
             damping_step: 0.35,
             tolerance_relax: 3.0,
             iteration_factor: 2,
+            quarantine_after: 3,
             base: FixpointOptions::default(),
         }
     }
@@ -262,19 +312,27 @@ impl RetryPolicy {
     }
 }
 
-/// How many worker threads a sweep uses.
+/// How many worker threads a sweep uses, and the per-cell watchdog.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SweepOptions {
     /// Worker threads for the cell fan-out. `0` (the default) means
     /// [`std::thread::available_parallelism`]; `1` is fully serial.
     /// Output is byte-identical at every setting.
     pub threads: usize,
+    /// Per-cell watchdog deadline: a cell executing longer than this has
+    /// its cancellation token fired and fails with a typed
+    /// `DeadlineExceeded` instead of hanging the sweep. `None` (the
+    /// default) disables the watchdog.
+    pub deadline: Option<Duration>,
 }
 
 impl SweepOptions {
     /// A fully serial configuration.
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
     }
 
     /// The worker count this configuration resolves to on this machine.
@@ -310,12 +368,32 @@ pub enum CellOutcome {
         /// Solve attempts consumed before giving up.
         attempts: u32,
     },
+    /// The cell was quarantined on resume: previous runs kept being
+    /// taken down by it (crash/kill mid-cell or watchdog cancellation,
+    /// [`RetryPolicy::quarantine_after`] strikes) so it was not re-run.
+    /// The sweep completes degraded rather than never.
+    Quarantined {
+        /// Why, outermost first: a strike summary followed by the last
+        /// journaled failure chain (if any failure was ever recorded).
+        reason_chain: Vec<String>,
+        /// Attempts consumed across all previous runs (abandoned
+        /// executions count as one each).
+        attempts: u32,
+        /// The workload seed to replay this one cell under a debugger
+        /// (the sweep's seed; cells derive nothing else from it).
+        replay_seed: u64,
+    },
 }
 
 impl CellOutcome {
     /// Whether the cell completed.
     pub fn is_completed(&self) -> bool {
         matches!(self, CellOutcome::Completed { .. })
+    }
+
+    /// Whether the cell was quarantined rather than executed.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, CellOutcome::Quarantined { .. })
     }
 }
 
@@ -367,7 +445,7 @@ impl SweepReport {
     pub fn completed(&self) -> impl Iterator<Item = (SweepCell, &Scenario1Row)> {
         self.cells.iter().filter_map(|(c, o)| match o {
             CellOutcome::Completed { row, .. } => Some((*c, row)),
-            CellOutcome::Failed { .. } => None,
+            _ => None,
         })
     }
 
@@ -375,22 +453,57 @@ impl SweepReport {
     pub fn failed(&self) -> impl Iterator<Item = (SweepCell, &ExperimentError, u32)> {
         self.cells.iter().filter_map(|(c, o)| match o {
             CellOutcome::Failed { reason, attempts } => Some((*c, reason, *attempts)),
-            CellOutcome::Completed { .. } => None,
+            _ => None,
         })
     }
 
-    /// A human-readable summary: completed/failed counts, then one line
-    /// per failed cell naming the cell and its diagnosis. Failed sweeps
-    /// are loud — a truncated result set always says what is missing.
+    /// Quarantined cells, in request order:
+    /// `(cell, reason_chain, attempts, replay_seed)`.
+    pub fn quarantined(&self) -> impl Iterator<Item = (SweepCell, &[String], u32, u64)> {
+        self.cells.iter().filter_map(|(c, o)| match o {
+            CellOutcome::Quarantined {
+                reason_chain,
+                attempts,
+                replay_seed,
+            } => Some((*c, reason_chain.as_slice(), *attempts, *replay_seed)),
+            _ => None,
+        })
+    }
+
+    /// A human-readable summary: completed/failed/quarantined counts,
+    /// then one line per failed or quarantined cell naming the cell and
+    /// its diagnosis. Degraded sweeps are loud — a truncated result set
+    /// always says what is missing, and why.
     pub fn summary(&self) -> String {
         let total = self.cells.len();
         let done = self.cells.iter().filter(|(_, o)| o.is_completed()).count();
+        let quarantined = self
+            .cells
+            .iter()
+            .filter(|(_, o)| o.is_quarantined())
+            .count();
+        let failed = total - done - quarantined;
         let mut s = format!("sweep: {done}/{total} cells completed");
-        if done < total {
-            s.push_str(&format!(", {} failed:", total - done));
-            for (cell, reason, attempts) in self.failed() {
-                s.push_str(&format!("\n  {cell} ({attempts} attempts): {reason}"));
-            }
+        if failed > 0 {
+            s.push_str(&format!(", {failed} failed"));
+        }
+        if quarantined > 0 {
+            s.push_str(&format!(", {quarantined} quarantined"));
+        }
+        if failed > 0 || quarantined > 0 {
+            s.push(':');
+        }
+        for (cell, reason, attempts) in self.failed() {
+            s.push_str(&format!("\n  {cell} ({attempts} attempts): {reason}"));
+        }
+        for (cell, chain, attempts, seed) in self.quarantined() {
+            s.push_str(&format!(
+                "\n  {cell} QUARANTINED ({attempts} attempts, replay with seed {seed:#x}): {}",
+                chain
+                    .first()
+                    .map(String::as_str)
+                    .unwrap_or("no recorded failure")
+            ));
         }
         s
     }
@@ -496,6 +609,8 @@ pub struct SweepBuilder<'c> {
     plan: FaultPlan,
     opts: SweepOptions,
     sink: TraceSink,
+    journal: Option<(PathBuf, JournalMode)>,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl<'c> SweepBuilder<'c> {
@@ -508,6 +623,8 @@ impl<'c> SweepBuilder<'c> {
             plan: FaultPlan::none(),
             opts: SweepOptions::default(),
             sink: TraceSink::none(),
+            journal: None,
+            interrupt: None,
         }
     }
 
@@ -562,15 +679,53 @@ impl<'c> SweepBuilder<'c> {
         self
     }
 
-    /// Fully serial execution (equivalent to `.threads(1)`).
+    /// Fully serial execution (equivalent to `.threads(1)`). Leaves the
+    /// other options — notably a [`cell_deadline`](Self::cell_deadline)
+    /// set earlier — untouched.
     pub fn serial(mut self) -> Self {
-        self.opts = SweepOptions::serial();
+        self.opts.threads = 1;
         self
     }
 
     /// Trace sink; an active sink turns the recorder on for the run.
     pub fn trace(mut self, sink: TraceSink) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Journals every cell outcome to `path` (created if absent, resumed
+    /// if present): cells the journal already holds completed outcomes
+    /// for are spliced into the report without recomputation, making the
+    /// resumed report byte-identical to an uninterrupted run. See
+    /// [`crate::journal`].
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some((path.into(), JournalMode::Checkpoint));
+        self
+    }
+
+    /// Like [`SweepBuilder::checkpoint`], but the journal must already
+    /// exist (strict resume): a typo'd path fails loudly with
+    /// [`JournalError::Missing`](crate::journal::JournalError) instead
+    /// of silently starting over.
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some((path.into(), JournalMode::Resume));
+        self
+    }
+
+    /// Per-cell watchdog deadline: a cell executing longer than this is
+    /// cooperatively cancelled and fails with a typed `DeadlineExceeded`
+    /// while the rest of the sweep keeps going.
+    pub fn cell_deadline(mut self, deadline: Duration) -> Self {
+        self.opts.deadline = Some(deadline);
+        self
+    }
+
+    /// Cooperative interrupt flag (e.g. set by a SIGINT handler): once
+    /// raised, no new cells start; in-flight cells finish and journal
+    /// their outcomes, and the run returns
+    /// [`ExperimentError::Interrupted`].
+    pub fn interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(flag);
         self
     }
 
@@ -595,11 +750,17 @@ impl<'c> SweepBuilder<'c> {
             plan,
             opts,
             sink,
+            journal,
+            interrupt,
         } = self;
+        let journal = journal.as_ref().map(|(p, m)| (p.as_path(), *m));
+        let interrupt = interrupt.as_deref();
         if !sink.is_active() {
-            return sweep_engine(chip, &spec, &policy, &plan, &opts);
+            return sweep_engine(chip, &spec, &policy, &plan, &opts, journal, interrupt);
         }
-        let (result, trace) = tlp_obs::capture(|| sweep_engine(chip, &spec, &policy, &plan, &opts));
+        let (result, trace) = tlp_obs::capture(|| {
+            sweep_engine(chip, &spec, &policy, &plan, &opts, journal, interrupt)
+        });
         let report = result?;
         sink.emit(&trace)?;
         Ok(report)
@@ -624,8 +785,14 @@ impl<'c> SweepBuilder<'c> {
             plan,
             opts,
             sink,
+            journal,
+            interrupt,
         } = self;
-        let (result, trace) = tlp_obs::capture(|| sweep_engine(chip, &spec, &policy, &plan, &opts));
+        let journal = journal.as_ref().map(|(p, m)| (p.as_path(), *m));
+        let interrupt = interrupt.as_deref();
+        let (result, trace) = tlp_obs::capture(|| {
+            sweep_engine(chip, &spec, &policy, &plan, &opts, journal, interrupt)
+        });
         let report = result?;
         sink.emit(&trace)?;
         Ok((report, trace))
@@ -640,49 +807,6 @@ impl ExperimentalChip {
     }
 }
 
-/// Runs a supervised fig. 3-style sweep with default options.
-///
-/// # Errors
-///
-/// Returns [`ExperimentError::Tech`] only if the DVFS ladder itself
-/// cannot be built — without it no cell is meaningful.
-///
-/// # Panics
-///
-/// Panics if the spec's core counts are empty or do not start at 1 (the
-/// single-core cell anchors every normalization).
-#[deprecated(since = "0.1.0", note = "use `chip.sweep()` (SweepBuilder) instead")]
-pub fn run_sweep(
-    chip: &ExperimentalChip,
-    spec: &SweepSpec,
-    policy: &RetryPolicy,
-    plan: &FaultPlan,
-) -> Result<SweepReport, ExperimentError> {
-    sweep_engine(chip, spec, policy, plan, &SweepOptions::default())
-}
-
-/// Runs a supervised fig. 3-style sweep across `opts.threads` workers.
-///
-/// # Errors
-///
-/// Returns [`ExperimentError::Tech`] only if the DVFS ladder itself
-/// cannot be built — without it no cell is meaningful.
-///
-/// # Panics
-///
-/// Panics if the spec's core counts are empty or do not start at 1 (the
-/// single-core cell anchors every normalization).
-#[deprecated(since = "0.1.0", note = "use `chip.sweep()` (SweepBuilder) instead")]
-pub fn run_sweep_with(
-    chip: &ExperimentalChip,
-    spec: &SweepSpec,
-    policy: &RetryPolicy,
-    plan: &FaultPlan,
-    opts: &SweepOptions,
-) -> Result<SweepReport, ExperimentError> {
-    sweep_engine(chip, spec, policy, plan, opts)
-}
-
 /// The sweep engine proper: each application is profiled at nominal V/f
 /// over the spec's core counts; each (application, core count) cell is
 /// then re-simulated at its Eq. 7 iso-performance operating point and
@@ -694,12 +818,71 @@ pub fn run_sweep_with(
 /// in request order and every cell's computation is self-contained, so
 /// the outcome sequence — and its JSON rendering — is byte-identical for
 /// any thread count.
+/// The journal plus the first durability-layer error, shared across
+/// cell tasks. Journal failures are collected (first wins) rather than
+/// panicking a worker; the engine surfaces them once the pool drains.
+struct JournalState {
+    journal: Journal,
+    error: Option<JournalError>,
+}
+
+/// Applies `f` to the journal, remembering the first failure and
+/// suppressing further writes after it (a broken journal cannot keep the
+/// crash-safety promise; one loud error beats a spray).
+fn journal_record(
+    journal: Option<&Mutex<JournalState>>,
+    f: impl FnOnce(&mut Journal) -> Result<(), JournalError>,
+) {
+    let Some(state) = journal else { return };
+    let mut st = state.lock().expect("journal poisoned");
+    if st.error.is_none() {
+        if let Err(e) = f(&mut st.journal) {
+            st.error = Some(e);
+        }
+    }
+}
+
+/// Whether the sweep's cooperative interrupt flag is raised.
+fn interrupt_raised(flag: Option<&AtomicBool>) -> bool {
+    flag.is_some_and(|f| f.load(Ordering::SeqCst))
+}
+
+/// Whether `e` is a watchdog cancellation — the failure class that
+/// counts as a poison strike in the journal (along with abandoned
+/// executions), unlike ordinary deterministic failures.
+fn is_hung(e: &ExperimentError) -> bool {
+    matches!(
+        e,
+        ExperimentError::Sim(SimError::DeadlineExceeded { .. })
+            | ExperimentError::Thermal(ThermalError::DeadlineExceeded { .. })
+    )
+}
+
+/// Builds the quarantine outcome for a cell whose journal history has
+/// reached the strike threshold.
+fn quarantine_outcome(cell: &crate::journal::JournaledCell, replay_seed: u64) -> CellOutcome {
+    let mut reason_chain = vec![format!(
+        "quarantined after {} poison strike(s): {} execution(s) abandoned mid-cell, {} cancelled by the watchdog",
+        cell.total_strikes(),
+        cell.dangling_starts(),
+        cell.strikes,
+    )];
+    reason_chain.extend(cell.last_failure_chain.iter().cloned());
+    CellOutcome::Quarantined {
+        reason_chain,
+        attempts: cell.total_failed_attempts(),
+        replay_seed,
+    }
+}
+
 fn sweep_engine(
     chip: &ExperimentalChip,
     spec: &SweepSpec,
     policy: &RetryPolicy,
     plan: &FaultPlan,
     opts: &SweepOptions,
+    journal_at: Option<(&Path, JournalMode)>,
+    interrupt: Option<&AtomicBool>,
 ) -> Result<SweepReport, ExperimentError> {
     let _span = tlp_obs::span("sweep.run");
     assert!(
@@ -710,19 +893,79 @@ fn sweep_engine(
     let table = DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))?;
     let threads = opts.resolved_threads();
     let n_counts = spec.core_counts.len();
+    let total = spec.apps.len() * n_counts;
+
+    let journal = match journal_at {
+        Some((path, mode)) => {
+            let j = Journal::open(path, mode, spec, plan, policy)?;
+            if !j.recovery.created {
+                eprintln!("{}", j.recovery.summary(path));
+            }
+            Some(Mutex::new(JournalState {
+                journal: j,
+                error: None,
+            }))
+        }
+        None => None,
+    };
+    let journal = journal.as_ref();
 
     // One slot per cell, in request order. Tasks finish in arbitrary
     // order; the deterministic reduction below reads the slots in index
     // order.
-    let slots: Vec<Mutex<Option<(CellOutcome, f64)>>> = (0..spec.apps.len() * n_counts)
-        .map(|_| Mutex::new(None))
-        .collect();
+    let slots: Vec<Mutex<Option<(CellOutcome, f64)>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+
+    // Splice what the journal already settled: completed outcomes are
+    // reused bit-exactly (never recomputed); cells past the poison
+    // threshold are quarantined. Everything else — including ordinary
+    // journaled failures — re-runs, which is deterministic, so the
+    // resumed report is byte-identical to an uninterrupted one.
+    let mut spliced = vec![false; total];
+    if let Some(state) = journal {
+        let st = state.lock().expect("journal poisoned");
+        for (ai, &app) in spec.apps.iter().enumerate() {
+            for (ni, &n) in spec.core_counts.iter().enumerate() {
+                let Some(cell) = st.journal.cell(app.name(), n) else {
+                    continue;
+                };
+                let idx = ai * n_counts + ni;
+                if let Some(done) = &cell.completed {
+                    *slots[idx].lock().expect("slot poisoned") = Some((
+                        CellOutcome::Completed {
+                            row: done.row.clone(),
+                            attempts: done.attempts,
+                            solver_iterations: done.solver_iterations,
+                        },
+                        0.0,
+                    ));
+                    spliced[idx] = true;
+                    tlp_obs::metrics::SWEEP_CELLS_RESUMED.incr();
+                } else if policy.quarantine_after > 0
+                    && cell.total_strikes() >= policy.quarantine_after
+                {
+                    *slots[idx].lock().expect("slot poisoned") =
+                        Some((quarantine_outcome(cell, spec.seed), 0.0));
+                    spliced[idx] = true;
+                }
+            }
+        }
+    }
+    let spliced = &spliced;
     let start = Instant::now();
 
-    pool::run(threads, |p| {
+    pool::run_watched(threads, opts.deadline, |p| {
         for (ai, &app) in spec.apps.iter().enumerate() {
+            // An application whose every cell is already settled needs
+            // no preparation (profiling is the expensive part).
+            if (0..n_counts).all(|ni| spliced[ai * n_counts + ni]) {
+                continue;
+            }
             let (slots, table, tech) = (&slots, &table, tech);
             p.spawn(move |p| {
+                if interrupt_raised(interrupt) {
+                    return;
+                }
                 // Preparation: profile at nominal V/f, then the
                 // single-core reference measurement. If the reference
                 // fails (including by injected fault), every cell of
@@ -748,8 +991,16 @@ fn sweep_engine(
                     Ok(pair) => pair,
                     Err((reason, attempts)) => {
                         let wall = prep_start.elapsed().as_secs_f64();
-                        for ni in 0..n_counts {
-                            *slots[ai * n_counts + ni].lock().expect("slot poisoned") = Some((
+                        let chain = error_chain(&reason);
+                        for (ni, &n) in spec.core_counts.iter().enumerate() {
+                            let idx = ai * n_counts + ni;
+                            if spliced[idx] {
+                                continue;
+                            }
+                            journal_record(journal, |j| {
+                                j.record_failed(app.name(), n, spec.seed, &chain, attempts, false)
+                            });
+                            *slots[idx].lock().expect("slot poisoned") = Some((
                                 CellOutcome::Failed {
                                     reason: reason.clone(),
                                     attempts,
@@ -768,13 +1019,55 @@ fn sweep_engine(
                     base_attempts,
                 });
                 for (ni, &n) in spec.core_counts.iter().enumerate() {
+                    if spliced[ai * n_counts + ni] {
+                        continue;
+                    }
                     let baseline = Arc::clone(&baseline);
-                    p.spawn(move |_| {
+                    // Watched: the cell path returns typed errors on
+                    // watchdog cancellation (prep does not, which is why
+                    // it is spawned unwatched above).
+                    p.spawn_watched(move |_| {
+                        if interrupt_raised(interrupt) {
+                            return;
+                        }
                         let cell_start = Instant::now();
                         let _span =
                             tlp_obs::span_with("sweep.cell", || format!("{}@{}", app.name(), n));
+                        journal_record(journal, |j| j.record_start(app.name(), n, spec.seed));
                         let outcome =
                             run_cell(chip, spec, policy, plan, table, tech, &baseline, app, n, ni);
+                        match &outcome {
+                            CellOutcome::Completed {
+                                row,
+                                attempts,
+                                solver_iterations,
+                            } => journal_record(journal, |j| {
+                                j.record_completed(
+                                    app.name(),
+                                    n,
+                                    spec.seed,
+                                    row,
+                                    *attempts,
+                                    *solver_iterations,
+                                )
+                            }),
+                            CellOutcome::Failed { reason, attempts } => {
+                                let chain = error_chain(reason);
+                                journal_record(journal, |j| {
+                                    j.record_failed(
+                                        app.name(),
+                                        n,
+                                        spec.seed,
+                                        &chain,
+                                        *attempts,
+                                        is_hung(reason),
+                                    )
+                                });
+                            }
+                            CellOutcome::Quarantined { .. } => {
+                                unreachable!("run_cell never quarantines")
+                            }
+                        }
                         *slots[ai * n_counts + ni].lock().expect("slot poisoned") =
                             Some((outcome, cell_start.elapsed().as_secs_f64()));
                     });
@@ -782,6 +1075,34 @@ fn sweep_engine(
             });
         }
     });
+
+    // The durability layer failing is loud: a checkpointed sweep whose
+    // journal cannot be written has silently lost its crash-safety
+    // promise, which is exactly what checkpointing exists to prevent.
+    if let Some(state) = journal {
+        let st = state.lock().expect("journal poisoned");
+        if let Some(e) = &st.error {
+            return Err(ExperimentError::Journal(e.clone()));
+        }
+    }
+
+    // Interrupt: unfilled slots are cells that never started. Their
+    // settled siblings are all in the journal, so a resume finishes the
+    // job; report how far we got.
+    let filled = slots
+        .iter()
+        .filter(|s| s.lock().expect("slot poisoned").is_some())
+        .count();
+    if filled < total {
+        assert!(
+            interrupt_raised(interrupt),
+            "every sweep cell writes its slot"
+        );
+        return Err(ExperimentError::Interrupted(InterruptInfo {
+            completed_cells: filled,
+            total_cells: total,
+        }));
+    }
 
     let mut cells = Vec::with_capacity(slots.len());
     let mut cell_seconds = Vec::with_capacity(slots.len());
@@ -794,10 +1115,10 @@ fn sweep_engine(
             app: spec.apps[i / n_counts],
             n: spec.core_counts[i % n_counts],
         };
-        if outcome.is_completed() {
-            tlp_obs::metrics::SWEEP_CELLS_COMPLETED.incr();
-        } else {
-            tlp_obs::metrics::SWEEP_CELLS_FAILED.incr();
+        match &outcome {
+            CellOutcome::Completed { .. } => tlp_obs::metrics::SWEEP_CELLS_COMPLETED.incr(),
+            CellOutcome::Failed { .. } => tlp_obs::metrics::SWEEP_CELLS_FAILED.incr(),
+            CellOutcome::Quarantined { .. } => tlp_obs::metrics::SWEEP_CELLS_QUARANTINED.incr(),
         }
         cells.push((cell, outcome));
         cell_seconds.push(wall);
@@ -1030,6 +1351,117 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ExperimentError::Trace(_)), "{err}");
         assert!(err.to_string().starts_with("trace sink failed:"), "{err}");
+    }
+
+    #[test]
+    fn retry_backoff_sequence_is_deterministic_and_capped() {
+        let p = RetryPolicy::default();
+        // Attempt 1 is the stock solve.
+        let o1 = p.options_for(1);
+        assert_eq!(o1.damping, 0.0);
+        assert_eq!(o1.tolerance_celsius, p.base.tolerance_celsius);
+        assert_eq!(o1.max_iterations, p.base.max_iterations);
+        // Each retry escalates exactly per the documented formula.
+        let o2 = p.options_for(2);
+        assert_eq!(o2.damping, 0.35);
+        assert_eq!(o2.tolerance_celsius, p.base.tolerance_celsius * 3.0);
+        assert_eq!(o2.max_iterations, p.base.max_iterations * 2);
+        let o3 = p.options_for(3);
+        assert_eq!(o3.damping, 0.35 * 2.0);
+        assert_eq!(o3.tolerance_celsius, p.base.tolerance_celsius * 9.0);
+        assert_eq!(o3.max_iterations, p.base.max_iterations * 4);
+        // Damping saturates at 0.9 — a long retry tail never over-damps
+        // the solve into a frozen iteration.
+        assert_eq!(p.options_for(4).damping, 0.9);
+        assert_eq!(p.options_for(40).damping, 0.9);
+        // The divergence guard is never relaxed: a runaway must still
+        // be caught on every attempt.
+        for k in 1..5 {
+            assert_eq!(
+                p.options_for(k).divergence_limit_celsius,
+                p.base.divergence_limit_celsius
+            );
+        }
+    }
+
+    #[test]
+    fn supervise_spends_attempts_only_on_retryable_failures() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        let retryable = || {
+            ExperimentError::Thermal(ThermalError::NoConvergence {
+                iterations: 5,
+                last_delta: 1.0,
+                tolerance: 0.1,
+            })
+        };
+
+        // Succeeds on the third attempt: three attempts consumed, each
+        // one solving with the escalated options for its ordinal.
+        let mut damping_seen = Vec::new();
+        let mut calls = 0u32;
+        let r = supervise(&policy, |opts| {
+            calls += 1;
+            damping_seen.push(opts.damping);
+            if calls < 3 {
+                Err(retryable())
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r.unwrap(), (3, 3));
+        assert_eq!(damping_seen, vec![0.0, 0.35, 0.35 * 2.0]);
+
+        // Exhausts the budget: exactly max_attempts calls, and the
+        // error carries the full count.
+        let mut calls = 0u32;
+        let r = supervise(&policy, |_| {
+            calls += 1;
+            Err::<(), _>(retryable())
+        });
+        let (e, attempts) = r.unwrap_err();
+        assert_eq!((attempts, calls), (4, 4));
+        assert!(e.is_retryable());
+
+        // A deterministic fault surfacing at the retry boundary (after
+        // a retryable first attempt) is final even with budget left.
+        let mut calls = 0u32;
+        let r = supervise(&policy, |_| {
+            calls += 1;
+            if calls == 1 {
+                Err::<(), _>(retryable())
+            } else {
+                Err(ExperimentError::Power(tlp_power::PowerError::EmptyRun))
+            }
+        });
+        let (e, attempts) = r.unwrap_err();
+        assert_eq!((attempts, calls), (2, 2));
+        assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn no_retries_policy_caps_even_retryable_faults_at_one_attempt() {
+        let plan = FaultPlan::none().inject(AppId::WaterNsq, 2, Fault::InflateLeakage(100.0));
+        let r = chip()
+            .sweep()
+            .grid(spec(vec![AppId::WaterNsq]))
+            .retry_policy(RetryPolicy::no_retries())
+            .faults(plan)
+            .run()
+            .unwrap();
+        let failed: Vec<_> = r.failed().collect();
+        assert_eq!(failed.len(), 1, "{}", r.summary());
+        let (_, reason, attempts) = failed[0];
+        assert!(
+            reason.is_retryable(),
+            "runaway should be retryable: {reason}"
+        );
+        assert_eq!(
+            attempts, 1,
+            "no_retries must not retry even retryable errors"
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cancel;
 pub mod chrome;
 pub mod metrics;
 pub mod summary;

@@ -232,6 +232,20 @@ counters! { COUNTERS;
     SWEEP_CELLS_COMPLETED => "sweep.cells_completed",
     /// Sweep cells that failed after exhausting their retry policy.
     SWEEP_CELLS_FAILED => "sweep.cells_failed",
+    /// Sweep cells whose completed outcome was spliced from a checkpoint
+    /// journal instead of being recomputed.
+    SWEEP_CELLS_RESUMED => "sweep.cells_resumed",
+    /// Sweep cells quarantined as poison (repeatedly crashed or hung
+    /// across resumed runs) and skipped without recomputation.
+    SWEEP_CELLS_QUARANTINED => "sweep.cells_quarantined",
+    /// Watchdog deadline cancellations fired against overrunning cells.
+    SWEEP_DEADLINE_CANCELLATIONS => "sweep.deadline_cancellations",
+    /// Records appended to a checkpoint journal (starts and outcomes).
+    JOURNAL_RECORDS_WRITTEN => "journal.records_written",
+    /// Valid records recovered from an existing journal on resume.
+    JOURNAL_RECORDS_RECOVERED => "journal.records_recovered",
+    /// Bytes discarded from a journal's torn or corrupt tail on resume.
+    JOURNAL_TORN_TAIL_BYTES => "journal.torn_tail_bytes",
     /// Property-based oracle cases executed.
     CHECK_CASES => "check.cases",
 }
@@ -251,6 +265,9 @@ histograms! { HISTOGRAMS;
     HIST_SIM_RUN_CYCLES => "sim.cycles_per_run",
     /// Matrix dimension per LU factorization.
     HIST_LU_DIMENSION => "linalg.lu_dimension",
+    /// Bytes written per checkpoint-journal flush (each flush rewrites
+    /// the whole file and renames it into place).
+    HIST_JOURNAL_FLUSH_BYTES => "journal.flush_bytes",
 }
 
 /// Resets every counter and histogram to zero (called by

@@ -162,6 +162,16 @@ impl CmpSimulator {
             self.cores.iter().map(|c| (c.progress(), 0)).collect();
         let mut next_check = DEADLOCK_CHECK_INTERVAL;
         while remaining > 0 {
+            // Injected hang: stop advancing simulated time entirely and
+            // wait for the supervisor's cancellation token — the
+            // deterministic stand-in for a run that would never finish.
+            if self.config.faults.hang {
+                if tlp_obs::cancel::cancelled() {
+                    return Err(SimError::DeadlineExceeded { cycle });
+                }
+                std::thread::yield_now();
+                continue;
+            }
             // Rotate the service order so no core gets structural bus
             // priority.
             let start = (cycle as usize) % n;
@@ -176,6 +186,12 @@ impl CmpSimulator {
             cycle += 1;
             if cycle >= next_check {
                 next_check = cycle + DEADLOCK_CHECK_INTERVAL;
+                // Watchdog poll, piggybacked on the deadlock stride so
+                // the steady-state cost is one thread-local read per
+                // 16 Ki simulated cycles.
+                if tlp_obs::cancel::cancelled() {
+                    return Err(SimError::DeadlineExceeded { cycle });
+                }
                 let mut any_advanced = false;
                 for (core, slot) in self.cores.iter().zip(&mut last_progress) {
                     let p = core.progress();

@@ -88,12 +88,19 @@ pub struct SimFaults {
     /// Override the cycle budget (e.g. shrink it so a healthy workload
     /// exhausts it), forcing a budget/deadlock error.
     pub cycle_budget: Option<u64>,
+    /// Hang the run: the run loop stops advancing simulated time and
+    /// spins (yielding) until a supervisor fires the thread's
+    /// [`tlp_obs::cancel`] token, at which point it unwinds as
+    /// [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded).
+    /// Models a genuinely hung cell; without a watchdog it spins forever
+    /// by design, so only arm it under a per-cell deadline.
+    pub hang: bool,
 }
 
 impl SimFaults {
     /// Whether any fault is armed.
     pub fn any(&self) -> bool {
-        self.drop_barrier_arrival.is_some() || self.cycle_budget.is_some()
+        self.drop_barrier_arrival.is_some() || self.cycle_budget.is_some() || self.hang
     }
 }
 

@@ -196,6 +196,13 @@ pub enum SimError {
         /// Per-core state at the stop, for slow-progress diagnosis.
         cores: Vec<CoreStuck>,
     },
+    /// A supervisor fired this run's cancellation token (per-cell
+    /// watchdog deadline) and the run loop unwound cooperatively at its
+    /// next poll point.
+    DeadlineExceeded {
+        /// Simulated cycle at which the cancellation was observed.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -211,6 +218,11 @@ impl fmt::Display for SimError {
                 "cycle budget of {budget} exhausted while still making progress \
                  ({retired_instructions} instructions retired)"
             ),
+            SimError::DeadlineExceeded { cycle } => write!(
+                f,
+                "run cancelled by its watchdog deadline at cycle {cycle} \
+                 (hung or overrunning cell)"
+            ),
         }
     }
 }
@@ -224,7 +236,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Deadlock(info) => Some(info),
-            SimError::CycleBudgetExhausted { .. } => None,
+            SimError::CycleBudgetExhausted { .. } | SimError::DeadlineExceeded { .. } => None,
         }
     }
 }

@@ -188,6 +188,69 @@ impl Json {
     }
 }
 
+/// A non-finite number (NaN or ∞) found while vetting a document for
+/// emission: the value at `path` would silently degrade to `null` in the
+/// rendered output.
+///
+/// The printer's `null` fallback is the right behaviour for lossy,
+/// human-facing reports, but consumers that *re-read* their own output —
+/// the sweep checkpoint journal above all — must not let a poisoned
+/// float degrade silently: a `null` where a number belonged would turn a
+/// resumed sweep's spliced row into garbage. [`Json::check_finite`]
+/// turns that degradation into this typed error at emit time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonFiniteNumber {
+    /// JSONPath-style location of the offending number (e.g.
+    /// `$.cells[3].row.power_watts`).
+    pub path: String,
+}
+
+impl std::fmt::Display for NonFiniteNumber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "non-finite number at {} would emit as null", self.path)
+    }
+}
+
+impl std::error::Error for NonFiniteNumber {}
+
+impl Json {
+    /// Verifies every number in the document is finite, so the rendered
+    /// text contains no degraded `null`s and a parse of the output
+    /// reproduces the document exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`NonFiniteNumber`] naming the first offending value's path, in
+    /// document order.
+    pub fn check_finite(&self) -> Result<(), NonFiniteNumber> {
+        fn walk(j: &Json, path: &mut String) -> Result<(), NonFiniteNumber> {
+            match j {
+                Json::Num(x) if !x.is_finite() => Err(NonFiniteNumber { path: path.clone() }),
+                Json::Arr(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        let len = path.len();
+                        let _ = write!(path, "[{i}]");
+                        walk(item, path)?;
+                        path.truncate(len);
+                    }
+                    Ok(())
+                }
+                Json::Obj(pairs) => {
+                    for (k, v) in pairs {
+                        let len = path.len();
+                        let _ = write!(path, ".{k}");
+                        walk(v, path)?;
+                        path.truncate(len);
+                    }
+                    Ok(())
+                }
+                _ => Ok(()),
+            }
+        }
+        walk(self, &mut String::from("$"))
+    }
+}
+
 /// A parse failure: what went wrong and the byte offset where.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonParseError {
@@ -510,6 +573,36 @@ mod tests {
     fn non_finite_numbers_become_null() {
         assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
         assert_eq!(Json::Num(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn check_finite_accepts_clean_documents() {
+        let doc = Json::object([
+            ("x", Json::from(1.5f64)),
+            ("xs", Json::Arr(vec![Json::Num(0.0), Json::Null])),
+        ]);
+        assert_eq!(doc.check_finite(), Ok(()));
+    }
+
+    #[test]
+    fn check_finite_names_the_offending_path() {
+        let doc = Json::object([
+            ("ok", Json::from(1.0f64)),
+            (
+                "cells",
+                Json::Arr(vec![
+                    Json::object([("row", Json::object([("p", Json::Num(7.0))]))]),
+                    Json::object([("row", Json::object([("p", Json::Num(f64::NAN))]))]),
+                ]),
+            ),
+        ]);
+        let err = doc.check_finite().unwrap_err();
+        assert_eq!(err.path, "$.cells[1].row.p");
+        assert!(err.to_string().contains("$.cells[1].row.p"), "{err}");
+        assert_eq!(
+            Json::Num(f64::INFINITY).check_finite().unwrap_err().path,
+            "$"
+        );
     }
 
     #[test]

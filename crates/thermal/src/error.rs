@@ -47,6 +47,14 @@ pub enum ThermalError {
         /// Where the non-finite value was seen.
         context: &'static str,
     },
+    /// A supervisor fired this solve's cancellation token (per-cell
+    /// watchdog deadline, see `tlp_obs::cancel`) and the fixpoint loop
+    /// abandoned the solve at its next iteration boundary. Never
+    /// retried: the watchdog has already declared the cell overrunning.
+    DeadlineExceeded {
+        /// Iterations performed before the cancellation was observed.
+        iterations: u32,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -75,6 +83,11 @@ impl fmt::Display for ThermalError {
             } => write!(
                 f,
                 "non-finite value in {context} after {iterations} iterations"
+            ),
+            ThermalError::DeadlineExceeded { iterations } => write!(
+                f,
+                "fixpoint abandoned after {iterations} iterations: \
+                 cancelled by its watchdog deadline"
             ),
         }
     }

@@ -401,6 +401,15 @@ impl ThermalModel {
         let mut error = None;
         let mut iterations = opts.max_iterations;
         for iter in 1..=opts.max_iterations {
+            // Watchdog poll: a fired cancellation token (per-cell sweep
+            // deadline) abandons the solve at an iteration boundary.
+            if tlp_obs::cancel::cancelled() {
+                error = Some(ThermalError::DeadlineExceeded {
+                    iterations: iter - 1,
+                });
+                iterations = iter - 1;
+                break;
+            }
             let fresh = static_of(&map);
             assert_eq!(fresh.len(), nb, "one static power entry per block");
             if !finite(&fresh) {

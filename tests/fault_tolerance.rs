@@ -59,8 +59,8 @@ fn failed_cells(report: &cmp_tlp::sweep::SweepReport) -> Vec<(SweepCell, &Experi
     report.failed().collect()
 }
 
-/// Runs a faulted sweep through the builder front end (the one public
-/// entry point since the `run_sweep*` free functions were deprecated).
+/// Runs a faulted sweep through the builder front end (the sole public
+/// entry point; the deprecated `run_sweep*` free functions are gone).
 fn sweep(spec: SweepSpec, policy: &RetryPolicy, plan: &FaultPlan) -> SweepReport {
     chip()
         .sweep()
