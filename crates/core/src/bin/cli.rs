@@ -25,6 +25,7 @@ use cmp_tlp::check::prop::{run_suite, CheckConfig, SuiteReport};
 use cmp_tlp::cli_args::{parse_u64_flag, take_value};
 use cmp_tlp::jsonout;
 use cmp_tlp::prelude::*;
+use cmp_tlp::serve::{ServeConfig, Server};
 use cmp_tlp::{checks, report, scenario1, scenario2};
 use tlp_sim::CmpConfig;
 use tlp_tech::json::{Json, ToJson};
@@ -98,6 +99,7 @@ fn usage() -> ! {
            scenario1 <app> [N...]         iso-performance power optimization\n\
            scenario2 <app> [N...]         budget-constrained performance optimization\n\
            sweep <app> [app...]           supervised fig. 3 sweep (failures reported per cell)\n\
+           serve --state-dir DIR          sweep-as-a-service HTTP daemon (see serve options)\n\
            measure <app> <N> <GHz>        run and measure one configuration\n\
            check                          run the property-based differential oracle suite\n\
            validate-trace <path>          parse a --trace file and verify its structure\n\
@@ -117,6 +119,21 @@ fn usage() -> ! {
            --cell-deadline SECS           per-cell watchdog deadline in seconds\n\
                                           (fractional allowed); hung cells become typed\n\
                                           failures while the sweep keeps draining\n\
+         serve options:\n\
+           --addr HOST:PORT               listen address (default 127.0.0.1:7070; port 0\n\
+                                          picks an ephemeral port)\n\
+           --state-dir DIR                durable job records + cell journals; rescanned\n\
+                                          on startup so unfinished jobs resume\n\
+           --max-jobs N                   sweeps running concurrently (default 2)\n\
+           --queue N                      queued jobs before submissions shed with 429\n\
+                                          (default 8)\n\
+           --http-workers N               concurrent connection handlers (default 4)\n\
+           --rate R / --burst B           per-IP token bucket: R requests/s, burst B\n\
+                                          (default 20/40; 0 disables)\n\
+           --max-body BYTES               request body cap (default 1 MiB)\n\
+           --request-deadline SECS        read/write deadline per request (default 10)\n\
+           --cell-deadline SECS           per-cell watchdog for daemon-run sweeps\n\
+           --api-key KEY                  require Authorization: Bearer KEY on POST /sweeps\n\
          check options:\n\
            --seed N                       run seed (decimal or 0x hex; default 0xD1CE)\n\
            --cases M                      cases per cheap property (default 256)\n\
@@ -125,7 +142,7 @@ fn usage() -> ! {
                                           (requires --oracle)\n\
            --report PATH                  also write the JSON report to PATH\n\
          exit codes: 0 success, 1 experiment/property failure, 2 usage error,\n\
-                     130 interrupted (journal flushed; resumable)"
+                     130 interrupted by SIGINT/SIGTERM (journals flushed; resumable)"
     );
     std::process::exit(2)
 }
@@ -312,11 +329,12 @@ fn run_command(
             if let Some(path) = &resume {
                 builder = builder.resume(path);
             }
-            // Ctrl-C is only worth catching when there is a journal to
-            // keep: without one the default disposition (die) is right.
+            // Ctrl-C and SIGTERM are only worth catching when there is a
+            // journal to keep: without one the default disposition (die)
+            // is right.
             let journal_path = checkpoint.or(resume);
             if journal_path.is_some() {
-                builder = builder.interrupt(install_sigint_flag());
+                builder = builder.interrupt(install_interrupt_flag());
             }
             let report = match builder.run() {
                 Ok(r) => r,
@@ -353,6 +371,7 @@ fn run_command(
             }
             Ok(())
         }
+        "serve" => run_serve(args, common),
         "check" => run_check(args, common),
         "validate-trace" => validate_trace(args),
         "measure" => {
@@ -393,6 +412,87 @@ fn run_command(
         }
         _ => usage(),
     }
+}
+
+/// Parses a positive-seconds flag value into a `Duration`.
+fn parse_secs_flag(flag: &str, value: &str) -> Result<Duration, String> {
+    let secs: f64 = value.parse().map_err(|_| format!("bad {flag} '{value}'"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!(
+            "{flag} must be a positive number of seconds, got '{value}'"
+        ));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+/// The `serve` subcommand: the sweep-as-a-service daemon. Runs until
+/// SIGINT/SIGTERM, then drains: stops accepting, interrupts running
+/// sweeps at the next cell boundary (journals flush), and exits 0 when
+/// every job finished or 130 when unfinished jobs remain — restarting
+/// with the same `--state-dir` resumes them.
+fn run_serve(args: &[String], common: &CommonArgs) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let addr = take_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let state_dir = take_value(&mut args, "--state-dir")?
+        .ok_or("serve needs --state-dir DIR (durable job state and journals)")?;
+    let mut config = ServeConfig::new(addr, state_dir);
+    config.job_threads = common.threads;
+
+    let parse_usize = |flag: &str, v: String| -> Result<usize, String> {
+        v.parse::<usize>().map_err(|_| format!("bad {flag} '{v}'"))
+    };
+    let parse_f64 = |flag: &str, v: String| -> Result<f64, String> {
+        match v.parse::<f64>() {
+            Ok(x) if x.is_finite() && x >= 0.0 => Ok(x),
+            _ => Err(format!("bad {flag} '{v}'")),
+        }
+    };
+    if let Some(v) = take_value(&mut args, "--max-jobs")? {
+        config.max_active_jobs = parse_usize("--max-jobs", v)?.max(1);
+    }
+    if let Some(v) = take_value(&mut args, "--queue")? {
+        config.queue_capacity = parse_usize("--queue", v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--http-workers")? {
+        config.http_workers = parse_usize("--http-workers", v)?.max(1);
+    }
+    if let Some(v) = take_value(&mut args, "--rate")? {
+        config.rate_per_sec = parse_f64("--rate", v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--burst")? {
+        config.burst = parse_f64("--burst", v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--max-body")? {
+        config.max_body_bytes = parse_usize("--max-body", v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--request-deadline")? {
+        config.request_deadline = parse_secs_flag("--request-deadline", &v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--cell-deadline")? {
+        config.cell_deadline = Some(parse_secs_flag("--cell-deadline", &v)?);
+    }
+    config.api_key = take_value(&mut args, "--api-key")?;
+    if let Some(unknown) = args.first() {
+        return Err(format!("unknown serve option '{unknown}'").into());
+    }
+
+    config.shutdown = install_interrupt_flag();
+    let server = Server::bind(config).map_err(|e| CliError::chained(&e))?;
+    eprintln!(
+        "serve: listening on http://{} (SIGINT/SIGTERM drains and preserves resumable state)",
+        server.local_addr()
+    );
+    let outcome = server.run().map_err(|e| CliError::chained(&e))?;
+    eprintln!(
+        "serve: drained; {} completed, {} failed, {} resumable",
+        outcome.jobs_completed, outcome.jobs_failed, outcome.jobs_unfinished
+    );
+    if outcome.jobs_unfinished > 0 {
+        // Same convention as an interrupted sweep: "resumable" is
+        // distinguishable from "failed" for wrappers.
+        std::process::exit(130);
+    }
+    Ok(())
 }
 
 /// The `check` subcommand: runs the differential oracle suite (or one
@@ -527,25 +627,30 @@ fn validate_trace(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// The cooperative interrupt flag shared between the SIGINT handler and
-/// the sweep engine. A `OnceLock<Arc<_>>` so the handler body is a plain
-/// atomic load + store — both async-signal-safe — with no allocation.
-static SIGINT_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+/// The cooperative interrupt flag shared between the signal handlers
+/// and the sweep engine / serve daemon. A `OnceLock<Arc<_>>` so the
+/// handler body is a plain atomic load + store — both
+/// async-signal-safe — with no allocation.
+static INTERRUPT_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
 
-extern "C" fn on_sigint(_signum: i32) {
-    if let Some(flag) = SIGINT_FLAG.get() {
+extern "C" fn on_interrupt(_signum: i32) {
+    if let Some(flag) = INTERRUPT_FLAG.get() {
         flag.store(true, Ordering::SeqCst);
     }
 }
 
-/// Installs a SIGINT handler that raises (and returns) the cooperative
-/// interrupt flag instead of killing the process, so a checkpointed
-/// sweep can finish in-flight cells, flush its journal, and print the
-/// resume recipe. Uses `signal(2)` through a raw `extern "C"`
-/// declaration — the workspace deliberately has no libc crate.
-fn install_sigint_flag() -> Arc<AtomicBool> {
-    let flag = SIGINT_FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)));
+/// Installs SIGINT *and* SIGTERM handlers that raise (and return) the
+/// cooperative interrupt flag instead of killing the process, so a
+/// checkpointed sweep — or the serve daemon — can finish in-flight
+/// cells, flush its journals, and print the resume recipe. Ctrl-C and
+/// an orchestrator's `kill`/`docker stop` get identical
+/// drain-and-resume behavior. Uses `signal(2)` through a raw
+/// `extern "C"` declaration — the workspace deliberately has no libc
+/// crate.
+fn install_interrupt_flag() -> Arc<AtomicBool> {
+    let flag = INTERRUPT_FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)));
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
@@ -553,7 +658,8 @@ fn install_sigint_flag() -> Arc<AtomicBool> {
     // no locks), and `signal` itself has no preconditions beyond a
     // valid handler pointer.
     unsafe {
-        signal(SIGINT, on_sigint);
+        signal(SIGINT, on_interrupt);
+        signal(SIGTERM, on_interrupt);
     }
     Arc::clone(flag)
 }

@@ -18,12 +18,18 @@
 //!   report byte-identical to the uninterrupted run, injected faults
 //!   and all.
 //!
+//! - [`serve_http_parser`] — the daemon's HTTP request parser, fed
+//!   truncated, bit-flipped, and garbage-extended requests, must never
+//!   panic, and every rejection must render as a well-formed HTTP/1.1
+//!   status line in the 4xx/5xx range.
+//!
 //! [`suite`] is the full oracle collection the `cmp-tlp check`
 //! subcommand and CI run.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use std::time::Duration;
 
 use tlp_analytic::{AnalyticChip, AnalyticError, Scenario1};
 use tlp_check::prop::Property;
@@ -35,6 +41,8 @@ use tlp_tech::Technology;
 use tlp_workloads::{AppId, Scale};
 
 use crate::chipstate::ExperimentalChip;
+use crate::serve::http::{read_request, HttpLimits, Response};
+use crate::serve::router;
 use crate::sweep::{Fault, FaultPlan, RetryPolicy, SweepSpec};
 use crate::{profiling, scenario1};
 
@@ -502,13 +510,160 @@ pub fn analytic_vs_sim() -> Property {
     .expensive()
 }
 
+/// Well-formed HTTP requests the parser fuzzer mutates. They span the
+/// daemon's surface: a body-less probe, a submission with a body, a
+/// nested resource path, a huge declared content-length, and a
+/// several-header request.
+const HTTP_TEMPLATES: [&str; 5] = [
+    "GET /health HTTP/1.1\r\nhost: x\r\n\r\n",
+    "POST /sweeps HTTP/1.1\r\ncontent-length: 22\r\n\r\n{\"apps\":[\"fft\"],\"x\":1}",
+    "GET /sweeps/j000001/report HTTP/1.1\r\n\r\n",
+    "POST /sweeps HTTP/1.1\r\ncontent-length: 999999999999999999999\r\n\r\n",
+    "GET /metrics HTTP/1.1\r\nauthorization: Bearer abc\r\nx-a: 1\r\nx-b: 2\r\n\r\n",
+];
+
+/// One randomized HTTP-parser abuse case: a template request run
+/// through truncation, byte flips, and appended garbage.
+#[derive(Debug, Clone)]
+pub struct HttpFuzzCase {
+    /// Index into [`HTTP_TEMPLATES`].
+    pub template: usize,
+    /// Cut point (reduced modulo the template length + 1; the full
+    /// length means no truncation).
+    pub truncate_at: u64,
+    /// `(position, xor mask)` byte corruptions applied after the cut.
+    pub flips: Vec<(u64, u8)>,
+    /// Arbitrary trailing bytes standing in for pipelined junk.
+    pub garbage: Vec<u8>,
+}
+
+fn gen_http_fuzz_case(rng: &mut SplitMix64) -> HttpFuzzCase {
+    let template = rng.gen_range_usize(0..HTTP_TEMPLATES.len());
+    let truncate_at = rng.next_u64();
+    let flips = (0..rng.gen_range_usize(0..4))
+        .map(|_| (rng.next_u64(), (rng.next_u64() & 0xFF) as u8))
+        .collect();
+    let garbage = (0..rng.gen_range_usize(0..48))
+        .map(|_| (rng.next_u64() & 0xFF) as u8)
+        .collect();
+    HttpFuzzCase {
+        template,
+        truncate_at,
+        flips,
+        garbage,
+    }
+}
+
+fn shrink_http_fuzz_case(c: &HttpFuzzCase) -> Vec<HttpFuzzCase> {
+    let mut out = Vec::new();
+    for flips in shrink::remove_each(&c.flips, 0) {
+        out.push(HttpFuzzCase { flips, ..c.clone() });
+    }
+    if !c.garbage.is_empty() {
+        out.push(HttpFuzzCase {
+            garbage: Vec::new(),
+            ..c.clone()
+        });
+        out.push(HttpFuzzCase {
+            garbage: c.garbage[..c.garbage.len() / 2].to_vec(),
+            ..c.clone()
+        });
+    }
+    for truncate_at in shrink::u64_toward(c.truncate_at, 0) {
+        out.push(HttpFuzzCase {
+            truncate_at,
+            ..c.clone()
+        });
+    }
+    if c.template != 0 {
+        out.push(HttpFuzzCase {
+            template: 0,
+            ..c.clone()
+        });
+    }
+    out
+}
+
+/// Asserts that `bytes` begin with `HTTP/1.1 <3-digit status> ` and the
+/// status is an error class — the shape every rejection must have.
+fn well_formed_error_status(bytes: &[u8]) -> Result<(), String> {
+    let text = String::from_utf8_lossy(bytes);
+    let line = text.split("\r\n").next().unwrap_or("");
+    let rest = line
+        .strip_prefix("HTTP/1.1 ")
+        .ok_or_else(|| format!("status line does not start with HTTP/1.1: {line:?}"))?;
+    let code = rest.split(' ').next().unwrap_or("");
+    if code.len() != 3 || !code.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("status code is not three digits: {line:?}"));
+    }
+    let n: u16 = code.parse().expect("three ASCII digits parse");
+    if !(400..=599).contains(&n) {
+        return Err(format!("rejection carries a non-error status: {line:?}"));
+    }
+    Ok(())
+}
+
+fn http_fuzz_check(c: &HttpFuzzCase) -> Result<(), String> {
+    let mut bytes = HTTP_TEMPLATES[c.template % HTTP_TEMPLATES.len()]
+        .as_bytes()
+        .to_vec();
+    bytes.truncate((c.truncate_at as usize) % (bytes.len() + 1));
+    for &(pos, mask) in &c.flips {
+        if !bytes.is_empty() {
+            let i = (pos as usize) % bytes.len();
+            bytes[i] ^= mask;
+        }
+    }
+    bytes.extend_from_slice(&c.garbage);
+
+    // Tight caps so limit paths (431/413) get exercised alongside the
+    // syntax paths; reading from a slice never blocks, so the deadline
+    // is irrelevant.
+    let limits = HttpLimits {
+        max_head_bytes: 512,
+        max_headers: 8,
+        max_body_bytes: 128,
+        deadline: Duration::from_secs(5),
+    };
+    let parsed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        read_request(&mut &bytes[..], &limits)
+    }))
+    .map_err(|_| format!("the HTTP parser panicked on {} mutated bytes", bytes.len()))?;
+
+    match parsed {
+        Ok(req) => {
+            // Whatever survives parsing must also route without a
+            // panic (the router sees attacker-controlled targets).
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router::route(&req.target)))
+                .map_err(|_| format!("the router panicked on target {:?}", req.target))?;
+            Ok(())
+        }
+        Err(e) => well_formed_error_status(&Response::from_parse_error(&e).to_bytes()),
+    }
+}
+
+/// Oracle 7: the serve HTTP parser under mutation — truncations, bit
+/// flips, and trailing garbage must produce typed rejections that
+/// render as well-formed 4xx/5xx status lines, never panics.
+pub fn serve_http_parser() -> Property {
+    Property::new(
+        "serve-http-parser",
+        "mutated HTTP requests never panic the parser and reject with well-formed status lines",
+        gen_http_fuzz_case,
+        shrink_http_fuzz_case,
+        http_fuzz_check,
+    )
+}
+
 /// The complete differential-oracle suite: the physics-layer oracles
-/// from [`tlp_check::oracles`] plus the two experiment-layer oracles.
+/// from [`tlp_check::oracles`] plus the experiment-layer oracles and
+/// the serve-surface fuzzer.
 pub fn suite() -> Vec<Property> {
     let mut props = tlp_check::oracles::physics_suite();
     props.push(sweep_determinism());
     props.push(analytic_vs_sim());
     props.push(resume_identity());
+    props.push(serve_http_parser());
     props
 }
 
@@ -529,7 +684,24 @@ mod tests {
                 "sweep-determinism",
                 "analytic-vs-sim",
                 "resume-identity",
+                "serve-http-parser",
             ]
+        );
+    }
+
+    #[test]
+    fn http_parser_oracle_passes_a_large_pinned_run() {
+        // Cheap (no chip), so it affords far more cases than the
+        // simulation-backed oracles.
+        let prop = serve_http_parser();
+        let r = prop.run(&CheckConfig {
+            seed: 0xF422,
+            cases: 2000,
+        });
+        assert!(
+            r.passed(),
+            "serve-http-parser failed: {}",
+            r.counterexample.unwrap().render()
         );
     }
 

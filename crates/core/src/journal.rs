@@ -371,6 +371,24 @@ impl Journal {
         &self.path
     }
 
+    /// Every recovered or appended record as parsed JSON, header first —
+    /// the durable execution trace `cmp-tlp serve` exposes on
+    /// `/sweeps/{id}/trace`.
+    pub fn records(&self) -> Vec<Json> {
+        self.lines
+            .iter()
+            .filter_map(|line| Self::parse_line(line))
+            .collect()
+    }
+
+    /// Number of cells with a journaled completed outcome.
+    pub fn completed_cells(&self) -> usize {
+        self.cells
+            .values()
+            .filter(|c| c.completed.is_some())
+            .count()
+    }
+
     /// Records that cell `(app, n)` is about to execute. If no matching
     /// outcome ever follows (the process dies mid-cell), the dangling
     /// start becomes a poison strike on the next resume.

@@ -58,6 +58,7 @@ pub mod profiling;
 pub mod report;
 pub mod scenario1;
 pub mod scenario2;
+pub mod serve;
 pub mod sweep;
 pub mod transient;
 

@@ -118,18 +118,24 @@ impl<'scope> Pool<'scope> {
         let n = self.queues.len();
         let mut idle_spins = 0u32;
         loop {
-            let task = self.queues[me]
+            // Pop the own deque in its own statement so the guard drops
+            // before stealing begins. Folding both into one expression
+            // would hold the own-queue lock across the steal probes —
+            // with every worker idle (each holding its own lock, each
+            // waiting on a neighbour's) that is a hold-and-wait cycle
+            // that deadlocks the whole pool.
+            let mut task = self.queues[me]
                 .lock()
                 .expect("pool queue poisoned")
-                .pop_back()
-                .or_else(|| {
-                    (1..n).find_map(|d| {
-                        self.queues[(me + d) % n]
-                            .lock()
-                            .expect("pool queue poisoned")
-                            .pop_front()
-                    })
+                .pop_back();
+            if task.is_none() {
+                task = (1..n).find_map(|d| {
+                    self.queues[(me + d) % n]
+                        .lock()
+                        .expect("pool queue poisoned")
+                        .pop_front()
                 });
+            }
             match task {
                 Some(task) => {
                     idle_spins = 0;
@@ -403,6 +409,30 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn many_idle_workers_spinning_beside_a_long_task_do_not_deadlock() {
+        // Regression test: stealing used to hold the worker's own queue
+        // lock while probing the other queues. Workers that idle for a
+        // long stretch — the serve daemon's steady state — would each
+        // grab their own lock and wait on a neighbour's, deadlocking the
+        // pool within seconds. Post-fix, one long-running task plus many
+        // spinning idlers must finish promptly.
+        let hits = AtomicU64::new(0);
+        run(8, |p| {
+            p.spawn(|p| {
+                std::thread::sleep(Duration::from_millis(300));
+                // Late fan-out: the idlers must still be alive to take
+                // these after spinning the whole time.
+                for _ in 0..16 {
+                    p.spawn(|_| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Endpoint handlers: route → response, given the shared server state.
+
+use std::net::IpAddr;
+use std::time::Instant;
+
+use tlp_obs::metrics::{SERVE_HTTP_RATE_LIMITED, SERVE_JOBS_SHED, SERVE_JOBS_SUBMITTED};
+use tlp_tech::json::{Json, JsonLimits};
+
+use super::http::{Request, Response};
+use super::jobs::{parse_submission, scale_name, JobRecord, JobState, JobStore, JobStoreError};
+use super::middleware::Admission;
+use super::router::{route, Route};
+use super::{pump, Ctx};
+use crate::journal::{Journal, JournalMode};
+use crate::pool::Pool;
+use crate::sweep::{FaultPlan, RetryPolicy};
+use tlp_tech::json::ToJson;
+
+/// Dispatches one parsed request.
+pub(crate) fn handle<'a>(ctx: Ctx<'a>, p: &Pool<'a>, req: &Request, ip: IpAddr) -> Response {
+    let resolved = route(&req.target);
+    // Liveness and readiness stay answerable under any load: a client
+    // burning its budget on submissions must not blind the orchestrator
+    // probing the daemon.
+    if !matches!(resolved, Route::Health | Route::Ready) {
+        if let Admission::Limited { retry_after_secs } = ctx.limiter.check(ip, Instant::now()) {
+            SERVE_HTTP_RATE_LIMITED.incr();
+            return Response::error(429, "Too Many Requests", "per-IP rate limit exceeded")
+                .with_retry_after(retry_after_secs);
+        }
+    }
+    match (req.method.as_str(), resolved) {
+        ("GET", Route::Health) => health(ctx),
+        ("GET", Route::Ready) => ready(ctx),
+        ("GET", Route::Metrics) => Response::text(200, "OK", tlp_obs::prometheus::render()),
+        ("GET", Route::Sweeps) => list(ctx),
+        ("POST", Route::Sweeps) => submit(ctx, p, req),
+        ("GET", Route::Sweep(id)) => status(ctx, &id),
+        ("GET", Route::SweepReport(id)) => report(ctx, &id),
+        ("GET", Route::SweepTrace(id)) => trace(ctx, &id),
+        (_, Route::NotFound) => Response::error(404, "Not Found", "no such endpoint"),
+        (method, _) => Response::error(
+            405,
+            "Method Not Allowed",
+            &format!("method {method} not supported on this endpoint"),
+        ),
+    }
+}
+
+/// Summary document served for a job in listings, submissions, and
+/// status responses.
+fn job_summary(record: &JobRecord) -> Json {
+    let mut doc = Json::object([
+        ("id", Json::from(record.id.as_str())),
+        ("state", Json::from(record.state.name())),
+        ("apps", Json::array(&record.apps, |a| a.name())),
+        ("core_counts", Json::array(&record.core_counts, |&n| n)),
+        ("scale", Json::from(scale_name(record.scale))),
+        ("seed", Json::from(format!("{:#x}", record.seed))),
+        (
+            "cells_total",
+            Json::from(record.apps.len() * record.core_counts.len()),
+        ),
+        ("url", Json::from(format!("/sweeps/{}", record.id))),
+    ]);
+    if !record.error_chain.is_empty() {
+        doc.set(
+            "error_chain",
+            Json::array(&record.error_chain, |e| e.as_str()),
+        );
+    }
+    doc
+}
+
+fn store_error(e: &JobStoreError) -> Response {
+    match e {
+        JobStoreError::Missing { id } => {
+            Response::error(404, "Not Found", &format!("no job named {id}"))
+        }
+        other => Response::error(500, "Internal Server Error", &other.to_string()),
+    }
+}
+
+fn health(ctx: Ctx<'_>) -> Response {
+    let (active, queued) = {
+        let d = ctx.dispatch.lock().expect("dispatch lock poisoned");
+        (d.active, d.queue.len())
+    };
+    Response::json(
+        200,
+        "OK",
+        &Json::object([
+            ("status", Json::from("ok")),
+            ("draining", Json::from(ctx.draining())),
+            ("jobs_active", Json::from(active)),
+            ("jobs_queued", Json::from(queued)),
+        ]),
+    )
+}
+
+fn ready(ctx: Ctx<'_>) -> Response {
+    if ctx.draining() {
+        Response::json(
+            503,
+            "Service Unavailable",
+            &Json::object([("ready", Json::from(false)), ("draining", Json::from(true))]),
+        )
+        .with_retry_after(5)
+    } else {
+        Response::json(200, "OK", &Json::object([("ready", true)]))
+    }
+}
+
+fn list(ctx: Ctx<'_>) -> Response {
+    match ctx.store.list() {
+        Ok(jobs) => Response::json(
+            200,
+            "OK",
+            &Json::object([(
+                "jobs",
+                Json::Arr(jobs.iter().map(|j| job_summary(&j.value)).collect()),
+            )]),
+        ),
+        Err(e) => store_error(&e),
+    }
+}
+
+fn submit<'a>(ctx: Ctx<'a>, p: &Pool<'a>, req: &Request) -> Response {
+    if let Some(key) = &ctx.config.api_key {
+        let expected = format!("Bearer {key}");
+        if req.header("authorization").map(str::trim) != Some(expected.as_str()) {
+            return Response::error(401, "Unauthorized", "missing or invalid bearer token");
+        }
+    }
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "Bad Request", "body is not UTF-8");
+    };
+    let doc = match Json::parse_with_limits(body, JsonLimits::untrusted(ctx.config.max_body_bytes))
+    {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, "Bad Request", &format!("invalid JSON: {e}")),
+    };
+    let record = match parse_submission(&doc) {
+        Ok(record) => record,
+        Err(message) => return Response::error(422, "Unprocessable Content", &message),
+    };
+
+    // Admission check and store insert under one lock, so two racing
+    // submitters cannot both squeeze past a nearly-full queue.
+    let created = {
+        let mut d = ctx.dispatch.lock().expect("dispatch lock poisoned");
+        if ctx.draining() {
+            return Response::error(503, "Service Unavailable", "daemon is draining")
+                .with_retry_after(5);
+        }
+        if d.queue.len() >= ctx.config.queue_capacity {
+            SERVE_JOBS_SHED.incr();
+            return Response::error(429, "Too Many Requests", "admission queue is full")
+                .with_retry_after(30);
+        }
+        match ctx.store.create(record) {
+            Ok(created) => {
+                d.queue.push_back(created.value.id.clone());
+                created
+            }
+            Err(e) => return store_error(&e),
+        }
+    };
+    SERVE_JOBS_SUBMITTED.incr();
+    pump(ctx, p);
+    Response::json(202, "Accepted", &job_summary(&created.value))
+}
+
+/// Opens the job's cell journal read-only, if it exists and matches.
+/// The journal's atomic whole-file replacement makes this safe while
+/// the job is running: a reader sees either the previous flush or the
+/// next one, never a torn file.
+fn open_journal(ctx: Ctx<'_>, record: &JobRecord) -> Option<Journal> {
+    let path = ctx.store.journal_path(&record.id);
+    if !path.exists() {
+        return None;
+    }
+    Journal::open(
+        &path,
+        JournalMode::Resume,
+        &record.spec(),
+        &FaultPlan::none(),
+        &RetryPolicy::default(),
+    )
+    .ok()
+}
+
+fn status(ctx: Ctx<'_>, id: &str) -> Response {
+    let snap = match ctx.store.snapshot(id) {
+        Ok(snap) => snap,
+        Err(e) => return store_error(&e),
+    };
+    let mut doc = job_summary(&snap.value);
+    if let Some(journal) = open_journal(ctx, &snap.value) {
+        doc.set("cells_completed", journal.completed_cells());
+        let spec = snap.value.spec();
+        let mut cells = Vec::new();
+        for app in &spec.apps {
+            for &n in &spec.core_counts {
+                let mut cell =
+                    Json::object([("app", Json::from(app.name())), ("n", Json::from(n))]);
+                match journal.cell(app.name(), n) {
+                    Some(journaled) => {
+                        if let Some(done) = &journaled.completed {
+                            cell.set("status", "completed");
+                            cell.set("attempts", done.attempts);
+                            cell.set("row", done.row.to_json());
+                        } else {
+                            cell.set("status", "pending");
+                            cell.set("failed_attempts", journaled.failed_attempts);
+                            if !journaled.last_failure_chain.is_empty() {
+                                cell.set(
+                                    "last_failure",
+                                    Json::array(&journaled.last_failure_chain, |e| e.as_str()),
+                                );
+                            }
+                        }
+                    }
+                    None => cell.set("status", "pending"),
+                }
+                cells.push(cell);
+            }
+        }
+        doc.set("cells", Json::Arr(cells));
+    }
+    Response::json(200, "OK", &doc)
+}
+
+fn report(ctx: Ctx<'_>, id: &str) -> Response {
+    let snap = match ctx.store.snapshot(id) {
+        Ok(snap) => snap,
+        Err(e) => return store_error(&e),
+    };
+    match (&snap.value.state, &snap.value.report) {
+        (JobState::Completed, Some(report)) => Response::json(200, "OK", report),
+        (state, _) => Response::error(
+            409,
+            "Conflict",
+            &format!("job {id} is {}; no final report yet", state.name()),
+        ),
+    }
+}
+
+fn trace(ctx: Ctx<'_>, id: &str) -> Response {
+    let snap = match ctx.store.snapshot(id) {
+        Ok(snap) => snap,
+        Err(e) => return store_error(&e),
+    };
+    let records = open_journal(ctx, &snap.value)
+        .map(|j| j.records())
+        .unwrap_or_default();
+    Response::json(
+        200,
+        "OK",
+        &Json::object([("id", Json::from(id)), ("records", Json::Arr(records))]),
+    )
+}

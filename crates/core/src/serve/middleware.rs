@@ -1,0 +1,175 @@
+//! Admission middleware: per-IP token-bucket rate limiting.
+//!
+//! Each client IP gets a bucket of `burst` tokens refilled at `rate`
+//! tokens per second; a request spends one token. An empty bucket means
+//! [`Admission::Limited`] with the number of whole seconds until a token
+//! is available — the handler turns that into `429` +
+//! `Retry-After`. The tracked-IP map is bounded: past
+//! [`RateLimiter::MAX_TRACKED`] addresses, the stalest buckets (those
+//! that have fully refilled, i.e. carry no state worth keeping) are
+//! evicted first, so an address-spraying client cannot balloon memory.
+//!
+//! Time is injected as an [`Instant`] so tests can drive the clock.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Under the limit; proceed.
+    Allowed,
+    /// Over the limit; shed with `Retry-After: retry_after_secs`.
+    Limited {
+        /// Whole seconds (at least 1) until a token will be available.
+        retry_after_secs: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refilled_at: Instant,
+}
+
+/// Per-IP token-bucket rate limiter.
+#[derive(Debug)]
+pub struct RateLimiter {
+    rate_per_sec: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+impl RateLimiter {
+    /// Bound on distinct tracked addresses.
+    pub const MAX_TRACKED: usize = 4096;
+
+    /// A limiter allowing `burst` immediate requests per IP, refilled at
+    /// `rate_per_sec`. Non-positive values disable limiting.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        Self {
+            rate_per_sec,
+            burst,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Charges one token to `ip` at time `now`.
+    pub fn check(&self, ip: IpAddr, now: Instant) -> Admission {
+        if self.rate_per_sec <= 0.0 || self.burst <= 0.0 {
+            return Admission::Allowed;
+        }
+        let mut buckets = self.buckets.lock().expect("rate limiter lock poisoned");
+        if buckets.len() >= Self::MAX_TRACKED && !buckets.contains_key(&ip) {
+            // Evict buckets that have refilled to full — they hold no
+            // information beyond "this IP exists".
+            let burst = self.burst;
+            let rate = self.rate_per_sec;
+            buckets.retain(|_, b| {
+                let refilled =
+                    b.tokens + now.saturating_duration_since(b.refilled_at).as_secs_f64() * rate;
+                refilled < burst
+            });
+            if buckets.len() >= Self::MAX_TRACKED {
+                // Every tracked IP is actively spending tokens; fail
+                // closed for the newcomer rather than growing the map.
+                return Admission::Limited {
+                    retry_after_secs: 1,
+                };
+            }
+        }
+        let bucket = buckets.entry(ip).or_insert(Bucket {
+            tokens: self.burst,
+            refilled_at: now,
+        });
+        let elapsed = now
+            .saturating_duration_since(bucket.refilled_at)
+            .as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate_per_sec).min(self.burst);
+        bucket.refilled_at = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Admission::Allowed
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let secs = (deficit / self.rate_per_sec).ceil().max(1.0);
+            Admission::Limited {
+                retry_after_secs: secs as u64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from([127, 0, 0, last])
+    }
+
+    #[test]
+    fn burst_is_allowed_then_limited_with_retry_after() {
+        let limiter = RateLimiter::new(1.0, 3.0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(limiter.check(ip(1), t0), Admission::Allowed);
+        }
+        match limiter.check(ip(1), t0) {
+            Admission::Limited { retry_after_secs } => assert!(retry_after_secs >= 1),
+            other => panic!("expected Limited, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let limiter = RateLimiter::new(2.0, 1.0);
+        let t0 = Instant::now();
+        assert_eq!(limiter.check(ip(1), t0), Admission::Allowed);
+        assert!(matches!(
+            limiter.check(ip(1), t0),
+            Admission::Limited { .. }
+        ));
+        // 2 tokens/s → after one second the bucket is full again.
+        let t1 = t0 + Duration::from_secs(1);
+        assert_eq!(limiter.check(ip(1), t1), Admission::Allowed);
+    }
+
+    #[test]
+    fn ips_are_limited_independently() {
+        let limiter = RateLimiter::new(1.0, 1.0);
+        let t0 = Instant::now();
+        assert_eq!(limiter.check(ip(1), t0), Admission::Allowed);
+        assert!(matches!(
+            limiter.check(ip(1), t0),
+            Admission::Limited { .. }
+        ));
+        assert_eq!(limiter.check(ip(2), t0), Admission::Allowed);
+    }
+
+    #[test]
+    fn zero_rate_disables_limiting() {
+        let limiter = RateLimiter::new(0.0, 0.0);
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            assert_eq!(limiter.check(ip(1), t0), Admission::Allowed);
+        }
+    }
+
+    #[test]
+    fn tracked_ip_map_is_bounded() {
+        let limiter = RateLimiter::new(1000.0, 1.0);
+        let t0 = Instant::now();
+        // Spray far more addresses than the cap; idle (refilled) buckets
+        // are evicted so the map never exceeds MAX_TRACKED.
+        for i in 0..(RateLimiter::MAX_TRACKED + 500) {
+            let addr = IpAddr::from([10, (i >> 16) as u8, (i >> 8) as u8, i as u8]);
+            let later = t0 + Duration::from_secs(1 + i as u64 / 100);
+            let _ = limiter.check(addr, later);
+        }
+        assert!(limiter.buckets.lock().unwrap().len() <= RateLimiter::MAX_TRACKED);
+    }
+}

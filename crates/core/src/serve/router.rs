@@ -1,0 +1,106 @@
+//! Request-target routing for the sweep service.
+//!
+//! Pure function of the target string; query strings are ignored and
+//! job ids are validated to the `j` + digits shape here, so handlers
+//! never see a path-traversal attempt dressed up as an id.
+
+/// A resolved route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /health` — liveness, never rate-limited.
+    Health,
+    /// `GET /ready` — readiness; 503 while draining, never rate-limited.
+    Ready,
+    /// `GET /metrics` — Prometheus text exposition.
+    Metrics,
+    /// `GET /sweeps` (list) or `POST /sweeps` (submit).
+    Sweeps,
+    /// `GET /sweeps/{id}` — status plus partial results.
+    Sweep(String),
+    /// `GET /sweeps/{id}/report` — final report, byte-identical to the
+    /// CLI's `--json` output.
+    SweepReport(String),
+    /// `GET /sweeps/{id}/trace` — raw journal records.
+    SweepTrace(String),
+    /// Anything else.
+    NotFound,
+}
+
+/// Whether an id has the `j` + digits shape the store generates.
+fn valid_id(id: &str) -> bool {
+    let mut bytes = id.bytes();
+    bytes.next() == Some(b'j') && id.len() > 1 && bytes.all(|b| b.is_ascii_digit())
+}
+
+/// Resolves `target` (path plus optional query) to a [`Route`].
+pub fn route(target: &str) -> Route {
+    let path = target.split('?').next().unwrap_or("");
+    let path = path
+        .strip_suffix('/')
+        .filter(|p| !p.is_empty())
+        .unwrap_or(path);
+    let mut segments = path.split('/');
+    if segments.next() != Some("") {
+        return Route::NotFound;
+    }
+    match (
+        segments.next(),
+        segments.next(),
+        segments.next(),
+        segments.next(),
+    ) {
+        (Some("health"), None, ..) => Route::Health,
+        (Some("ready"), None, ..) => Route::Ready,
+        (Some("metrics"), None, ..) => Route::Metrics,
+        (Some("sweeps"), None, ..) => Route::Sweeps,
+        (Some("sweeps"), Some(id), rest, None) if valid_id(id) => match rest {
+            None => Route::Sweep(id.to_string()),
+            Some("report") => Route::SweepReport(id.to_string()),
+            Some("trace") => Route::SweepTrace(id.to_string()),
+            Some(_) => Route::NotFound,
+        },
+        _ => Route::NotFound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_resolve() {
+        assert_eq!(route("/health"), Route::Health);
+        assert_eq!(route("/ready"), Route::Ready);
+        assert_eq!(route("/metrics"), Route::Metrics);
+        assert_eq!(route("/sweeps"), Route::Sweeps);
+        assert_eq!(route("/sweeps/"), Route::Sweeps);
+        assert_eq!(route("/sweeps/j000001"), Route::Sweep("j000001".into()));
+        assert_eq!(
+            route("/sweeps/j000001/report"),
+            Route::SweepReport("j000001".into())
+        );
+        assert_eq!(
+            route("/sweeps/j000001/trace"),
+            Route::SweepTrace("j000001".into())
+        );
+        assert_eq!(route("/sweeps/j01?verbose=1"), Route::Sweep("j01".into()));
+    }
+
+    #[test]
+    fn hostile_or_unknown_targets_are_not_found() {
+        for target in [
+            "",
+            "health",
+            "/",
+            "/nope",
+            "/sweeps/../../etc/passwd",
+            "/sweeps/j1x",
+            "/sweeps/x000001",
+            "/sweeps/j",
+            "/sweeps/j000001/trace/extra",
+            "/sweeps/j000001/nope",
+        ] {
+            assert_eq!(route(target), Route::NotFound, "{target:?}");
+        }
+    }
+}

@@ -68,6 +68,7 @@
 pub mod cancel;
 pub mod chrome;
 pub mod metrics;
+pub mod prometheus;
 pub mod summary;
 mod trace;
 

@@ -9,6 +9,11 @@
 //! Counters only advance while a [`capture`](crate::capture) is active
 //! (they are reset when one starts), so a snapshot reflects exactly the
 //! captured interval.
+//!
+//! The serve registries ([`SERVE_COUNTERS`] / [`SERVE_HISTOGRAMS`]) are
+//! the exception: a long-running `cmp-tlp serve` daemon scrapes them via
+//! `/metrics`, so they are *always on* — they advance outside captures
+//! and are never reset (Prometheus requires monotonic counters).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -16,6 +21,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct Counter {
     name: &'static str,
     value: AtomicU64,
+    /// Gated counters only advance during a capture; ungated ones always
+    /// advance and are exempt from [`reset_all`].
+    gated: bool,
 }
 
 impl Counter {
@@ -23,6 +31,17 @@ impl Counter {
         Self {
             name,
             value: AtomicU64::new(0),
+            gated: true,
+        }
+    }
+
+    /// A counter that advances with or without an active capture and is
+    /// never reset — for long-running daemons scraped via `/metrics`.
+    const fn always_on(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            gated: false,
         }
     }
 
@@ -31,11 +50,11 @@ impl Counter {
         self.name
     }
 
-    /// Adds `delta` when a capture is active; no-op (one relaxed atomic
-    /// load) otherwise.
+    /// Adds `delta` when a capture is active (always, for ungated
+    /// counters); no-op (one relaxed atomic load) otherwise.
     #[inline]
     pub fn add(&self, delta: u64) {
-        if crate::enabled() {
+        if !self.gated || crate::enabled() {
             self.value.fetch_add(delta, Ordering::Relaxed);
         }
     }
@@ -71,6 +90,7 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    gated: bool,
 }
 
 impl Histogram {
@@ -85,6 +105,22 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            gated: true,
+        }
+    }
+
+    /// A histogram that records with or without an active capture and is
+    /// never reset — see [`Counter::always_on`].
+    const fn always_on(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name,
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            gated: false,
         }
     }
 
@@ -108,10 +144,11 @@ impl Histogram {
         }
     }
 
-    /// Records one sample when a capture is active.
+    /// Records one sample when a capture is active (always, for ungated
+    /// histograms).
     #[inline]
     pub fn record(&self, value: u64) {
-        if !crate::enabled() {
+        if self.gated && !crate::enabled() {
             return;
         }
         self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
@@ -187,14 +224,14 @@ impl HistogramSnapshot {
 }
 
 macro_rules! counters {
-    ($registry:ident; $($(#[$doc:meta])* $ident:ident => $name:literal),+ $(,)?) => {
-        $( $(#[$doc])* pub static $ident: Counter = Counter::new($name); )+
-        /// Every counter, in stable registry order.
+    ($registry:ident, $ctor:ident; $($(#[$doc:meta])* $ident:ident => $name:literal),+ $(,)?) => {
+        $( $(#[$doc])* pub static $ident: Counter = Counter::$ctor($name); )+
+        /// Counters of this registry, in stable order.
         pub static $registry: &[&Counter] = &[$(&$ident),+];
     };
 }
 
-counters! { COUNTERS;
+counters! { COUNTERS, new;
     /// Simulated cycles retired by the CMP simulator's run loop.
     SIM_CYCLES_RETIRED => "sim.cycles_retired",
     /// Instructions retired chip-wide.
@@ -250,15 +287,44 @@ counters! { COUNTERS;
     CHECK_CASES => "check.cases",
 }
 
+counters! { SERVE_COUNTERS, always_on;
+    /// HTTP requests accepted by the serve listener (including ones that
+    /// later fail parsing or admission).
+    SERVE_HTTP_REQUESTS => "serve.http_requests",
+    /// Responses in the 2xx class.
+    SERVE_HTTP_RESPONSES_2XX => "serve.http_responses_2xx",
+    /// Responses in the 4xx class.
+    SERVE_HTTP_RESPONSES_4XX => "serve.http_responses_4xx",
+    /// Responses in the 5xx class.
+    SERVE_HTTP_RESPONSES_5XX => "serve.http_responses_5xx",
+    /// Requests shed by the per-IP token-bucket rate limiter (429).
+    SERVE_HTTP_RATE_LIMITED => "serve.http_rate_limited",
+    /// Requests rejected by the HTTP parser (malformed, oversized, or
+    /// timed out before a full request arrived).
+    SERVE_HTTP_PARSE_REJECTED => "serve.http_parse_rejected",
+    /// Sweep submissions shed because the admission queue was full (429).
+    SERVE_JOBS_SHED => "serve.jobs_shed",
+    /// Sweep jobs accepted into the admission queue.
+    SERVE_JOBS_SUBMITTED => "serve.jobs_submitted",
+    /// Sweep jobs that ran to completion.
+    SERVE_JOBS_COMPLETED => "serve.jobs_completed",
+    /// Sweep jobs that failed with a typed error.
+    SERVE_JOBS_FAILED => "serve.jobs_failed",
+    /// Sweep jobs interrupted by a drain (SIGTERM/SIGINT).
+    SERVE_JOBS_INTERRUPTED => "serve.jobs_interrupted",
+    /// Jobs re-queued from the state directory on startup.
+    SERVE_JOBS_RESUMED => "serve.jobs_resumed",
+}
+
 macro_rules! histograms {
-    ($registry:ident; $($(#[$doc:meta])* $ident:ident => $name:literal),+ $(,)?) => {
-        $( $(#[$doc])* pub static $ident: Histogram = Histogram::new($name); )+
-        /// Every histogram, in stable registry order.
+    ($registry:ident, $ctor:ident; $($(#[$doc:meta])* $ident:ident => $name:literal),+ $(,)?) => {
+        $( $(#[$doc])* pub static $ident: Histogram = Histogram::$ctor($name); )+
+        /// Histograms of this registry, in stable order.
         pub static $registry: &[&Histogram] = &[$(&$ident),+];
     };
 }
 
-histograms! { HISTOGRAMS;
+histograms! { HISTOGRAMS, new;
     /// Iterations per power↔temperature fixpoint solve.
     HIST_FIXPOINT_ITERATIONS => "thermal.fixpoint_iterations_per_solve",
     /// Cycles per completed simulator run.
@@ -270,8 +336,18 @@ histograms! { HISTOGRAMS;
     HIST_JOURNAL_FLUSH_BYTES => "journal.flush_bytes",
 }
 
-/// Resets every counter and histogram to zero (called by
-/// [`capture`](crate::capture) when a new capture starts).
+histograms! { SERVE_HISTOGRAMS, always_on;
+    /// Request body bytes per accepted HTTP request.
+    SERVE_HIST_REQUEST_BYTES => "serve.request_bytes",
+    /// Wall-clock microseconds from accepted connection to response
+    /// flushed.
+    SERVE_HIST_RESPONSE_MICROS => "serve.response_micros",
+}
+
+/// Resets every *gated* counter and histogram to zero (called by
+/// [`capture`](crate::capture) when a new capture starts). The ungated
+/// serve registries are exempt: Prometheus scrapes require them to stay
+/// monotonic across captures.
 pub fn reset_all() {
     for c in COUNTERS {
         c.reset();
@@ -364,9 +440,27 @@ mod tests {
     fn registries_have_unique_names() {
         let mut names: Vec<_> = COUNTERS.iter().map(|c| c.name()).collect();
         names.extend(HISTOGRAMS.iter().map(|h| h.name()));
+        names.extend(SERVE_COUNTERS.iter().map(|c| c.name()));
+        names.extend(SERVE_HISTOGRAMS.iter().map(|h| h.name()));
         let n = names.len();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), n, "duplicate metric name");
+    }
+
+    #[test]
+    fn ungated_metrics_advance_outside_captures_and_survive_resets() {
+        let before = SERVE_HTTP_REQUESTS.get();
+        SERVE_HTTP_REQUESTS.incr(); // no capture active: still counted
+        assert_eq!(SERVE_HTTP_REQUESTS.get(), before + 1);
+
+        let hist_before = SERVE_HIST_REQUEST_BYTES.snapshot().count;
+        SERVE_HIST_REQUEST_BYTES.record(512);
+        assert_eq!(SERVE_HIST_REQUEST_BYTES.snapshot().count, hist_before + 1);
+
+        // A capture resets the gated registries but not the serve ones.
+        let ((), _trace) = crate::capture(|| {});
+        assert_eq!(SERVE_HTTP_REQUESTS.get(), before + 1);
+        assert!(SERVE_HIST_REQUEST_BYTES.snapshot().count > hist_before);
     }
 }

