@@ -1,0 +1,269 @@
+//! Deterministic per-stage regression harness.
+//!
+//! Wall-clock is meaningless on a one-CPU CI container, so this
+//! benchmark regresses on *counters* instead: simulated cycles that had
+//! to be stepped one-by-one vs. batch fast-forwarded, linear-solver
+//! structural flops per thermal solve, fixpoint iterations, and sweep
+//! cell outcomes. Every number is deterministic for a given seed and
+//! scale, so the thresholds below are enforced in-process: the binary
+//! writes `BENCH_stages.json` at the repository root and exits non-zero
+//! if any stage regressed past its bound.
+//!
+//! `cargo run --release -p tlp-bench --bin bench_stages [--quick]`
+
+use cmp_tlp::prelude::*;
+use tlp_bench::SEED;
+use tlp_sim::config::SleepPolicy;
+use tlp_sim::{CmpConfig, CmpSimulator};
+use tlp_tech::json::Json;
+use tlp_tech::units::{Celsius, Watts};
+use tlp_tech::Technology;
+use tlp_thermal::{Floorplan, PackageParams, RcNetwork};
+use tlp_workloads::gang;
+
+/// Pulls a counter out of a capture, defaulting to zero (absent means
+/// the instrumented path never ran).
+fn counter(trace: &tlp_obs::Trace, name: &str) -> u64 {
+    trace.counter(name).unwrap_or(0)
+}
+
+/// Stage 1: the simulator loop on barrier/lock-heavy gangs. The same
+/// gang runs once with event-driven fast-forward (the default) and once
+/// fully stepped; results must be identical and the fast-forward run
+/// must step measurably fewer cycles one-by-one.
+fn sim_stage(violations: &mut Vec<String>) -> Json {
+    // Cholesky scales poorly (heavy barrier spin), Radix is lock-heavy;
+    // the thrifty sleep policy adds the Asleep wait state to the mix.
+    let apps = [AppId::Cholesky, AppId::Radix];
+    let mut config = CmpConfig::ispass05(16);
+    config.core.sleep = SleepPolicy::THRIFTY;
+
+    let mut total_cycles = 0u64;
+    let mut ff_cycles = 0u64;
+    let mut stepped_without_ff = 0u64;
+    let mut per_app = Vec::new();
+    for app in apps {
+        let run = |fast_forward: bool| {
+            tlp_obs::capture(|| {
+                CmpSimulator::new(config.clone(), gang(app, 16, Scale::Test, SEED))
+                    .with_fast_forward(fast_forward)
+                    .try_run(tlp_sim::chip::MAX_CYCLES)
+            })
+        };
+        let (fast, fast_trace) = run(true);
+        let (stepped, stepped_trace) = run(false);
+        if format!("{fast:?}") != format!("{stepped:?}") {
+            violations.push(format!(
+                "sim: {} fast-forwarded result diverges from the stepped reference",
+                app.name()
+            ));
+        }
+        let cycles = counter(&fast_trace, "sim.cycles_retired");
+        let ff = counter(&fast_trace, "sim.cycles_fast_forwarded");
+        total_cycles += cycles;
+        ff_cycles += ff;
+        stepped_without_ff += counter(&stepped_trace, "sim.cycles_retired");
+        per_app.push((
+            app.name(),
+            Json::object([
+                ("cycles", Json::from(cycles)),
+                ("fast_forwarded", Json::from(ff)),
+            ]),
+        ));
+    }
+    let stepped_with_ff = total_cycles - ff_cycles;
+    let ff_fraction = ff_cycles as f64 / total_cycles.max(1) as f64;
+    let stepped_ratio = stepped_with_ff as f64 / stepped_without_ff.max(1) as f64;
+    // Thresholds: on these gangs well over half the simulated cycles are
+    // pure wait (measured ~0.8 fast-forwarded at Test scale); regress if
+    // the fast path stops covering them.
+    if ff_fraction < 0.5 {
+        violations.push(format!(
+            "sim: fast-forwarded fraction {ff_fraction:.3} fell below 0.5"
+        ));
+    }
+    if stepped_ratio > 0.5 {
+        violations.push(format!(
+            "sim: stepped-cycle ratio {stepped_ratio:.3} (fast-forward on/off) exceeds 0.5"
+        ));
+    }
+    eprintln!(
+        "  sim     : {total_cycles} cycles, {ff_cycles} fast-forwarded \
+         ({:.1}%), stepped ratio {stepped_ratio:.3}",
+        100.0 * ff_fraction
+    );
+    Json::object([
+        ("apps", Json::object(per_app)),
+        ("cycles_total", Json::from(total_cycles)),
+        ("cycles_fast_forwarded", Json::from(ff_cycles)),
+        ("cycles_stepped", Json::from(stepped_with_ff)),
+        ("cycles_stepped_without_ff", Json::from(stepped_without_ff)),
+        ("fast_forward_fraction", Json::from(ff_fraction)),
+        ("stepped_ratio", Json::from(stepped_ratio)),
+    ])
+}
+
+/// Stage 2: the thermal solver work. Banded/profile elimination must
+/// engage on the CMP floorplan networks and cut the structural flops
+/// per factorization and per solve well below the dense counts; the
+/// power↔temperature fixpoint must stay within its iteration budget.
+fn thermal_stage(violations: &mut Vec<String>) -> Json {
+    const SOLVES: u64 = 32;
+    let floorplan = Floorplan::ispass_cmp(16, 15.6, 15.6);
+    let n = (floorplan.blocks().len() + 2) as u64;
+    let ((), trace) = tlp_obs::capture(|| {
+        let net = RcNetwork::build(&floorplan, &PackageParams::default());
+        assert!(net.uses_banded_solver(), "16-core network must go banded");
+        let powers: Vec<Watts> = (0..net.n_blocks())
+            .map(|i| Watts::new(0.1 + 0.01 * i as f64))
+            .collect();
+        for _ in 0..SOLVES {
+            let _ = net.steady_state(&powers, Celsius::new(45.0));
+        }
+    });
+    let factor_flops = counter(&trace, "linalg.factor_flops");
+    let solve_flops = counter(&trace, "linalg.solve_flops");
+    let banded_solves = counter(&trace, "linalg.banded_solves");
+    let dense_factor_flops = (n - 1) * n * (n + 1) / 3;
+    let factor_fraction = factor_flops as f64 / dense_factor_flops as f64;
+    let solve_fraction = (solve_flops as f64 / banded_solves.max(1) as f64) / (n * n) as f64;
+    if banded_solves < SOLVES {
+        violations.push(format!(
+            "thermal: only {banded_solves} of {SOLVES} steady solves took the banded path"
+        ));
+    }
+    // Measured on the 163-node network: factoring costs ~2% of dense,
+    // each solve ~15% of the dense n² back-substitution.
+    if factor_fraction > 0.10 {
+        violations.push(format!(
+            "thermal: factor flops are {factor_fraction:.3} of dense (> 0.10)"
+        ));
+    }
+    if solve_fraction > 0.5 {
+        violations.push(format!(
+            "thermal: per-solve flops are {solve_fraction:.3} of dense n² (> 0.5)"
+        ));
+    }
+
+    // The real measurement pipeline: per-tile fixpoints behind
+    // ExperimentalChip::measure must converge briskly and also ride the
+    // banded solver.
+    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let result = chip.run(
+        gang(AppId::WaterNsq, 4, Scale::Test, SEED),
+        chip.config().operating_point,
+    );
+    let ((), fix_trace) = tlp_obs::capture(|| {
+        let _ = chip.measure(&result, chip.tech().vdd_nominal());
+    });
+    let fixpoint_iterations = counter(&fix_trace, "thermal.fixpoint_iterations");
+    let steady_solves = counter(&fix_trace, "thermal.steady_solves");
+    let fixpoint_banded = counter(&fix_trace, "linalg.banded_solves");
+    let iters_per_solve = fixpoint_iterations as f64 / steady_solves.max(1) as f64;
+    if steady_solves == 0 {
+        violations.push("thermal: the measurement ran no steady solves".into());
+    }
+    if fixpoint_banded == 0 {
+        violations.push("thermal: the fixpoint pipeline never used the banded solver".into());
+    }
+    // The damped fixpoint historically converges in a handful of
+    // iterations per tile; 12 is far outside normal.
+    if iters_per_solve > 12.0 {
+        violations.push(format!(
+            "thermal: {iters_per_solve:.2} fixpoint iterations per solve (> 12)"
+        ));
+    }
+    eprintln!(
+        "  thermal : factor {:.3}x dense, solve {:.3}x dense, \
+         {fixpoint_iterations} fixpoint iters over {steady_solves} solves",
+        factor_fraction, solve_fraction
+    );
+    Json::object([
+        ("nodes", Json::from(n)),
+        ("steady_solves", Json::from(SOLVES)),
+        ("banded_solves", Json::from(banded_solves)),
+        ("factor_flops", Json::from(factor_flops)),
+        ("factor_fraction_of_dense", Json::from(factor_fraction)),
+        ("solve_flops", Json::from(solve_flops)),
+        ("solve_fraction_of_dense", Json::from(solve_fraction)),
+        ("fixpoint_iterations", Json::from(fixpoint_iterations)),
+        ("fixpoint_steady_solves", Json::from(steady_solves)),
+        ("fixpoint_iters_per_solve", Json::from(iters_per_solve)),
+    ])
+}
+
+/// Stage 3: the sweep engine end to end. Cells per million simulated
+/// cycles is the machine-independent throughput proxy; failures and
+/// retries must stay at zero on a clean grid.
+fn sweep_stage(violations: &mut Vec<String>) -> Json {
+    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let spec = SweepSpec {
+        apps: vec![AppId::WaterNsq, AppId::Fft],
+        core_counts: vec![1, 2, 4],
+        scale: Scale::Test,
+        seed: SEED,
+    };
+    let (report, trace) = tlp_obs::capture(|| {
+        chip.sweep()
+            .grid(spec)
+            .serial()
+            .run()
+            .expect("bench sweep refused to start")
+    });
+    let cells = report.cells.len() as u64;
+    let completed = counter(&trace, "sweep.cells_completed");
+    let failed = counter(&trace, "sweep.cells_failed");
+    let retries = counter(&trace, "sweep.retry_attempts");
+    let sim_cycles = counter(&trace, "sim.cycles_retired");
+    let ff = counter(&trace, "sim.cycles_fast_forwarded");
+    let cells_per_mcycle = cells as f64 / (sim_cycles as f64 / 1e6).max(1e-9);
+    if completed < cells || failed > 0 || retries > 0 {
+        violations.push(format!(
+            "sweep: {completed}/{cells} cells completed, {failed} failed, {retries} retries on a clean grid"
+        ));
+    }
+    eprintln!(
+        "  sweep   : {cells} cells over {sim_cycles} simulated cycles \
+         ({cells_per_mcycle:.3} cells/Mcycle, {ff} fast-forwarded)"
+    );
+    Json::object([
+        ("cells", Json::from(cells)),
+        ("cells_completed", Json::from(completed)),
+        ("cells_failed", Json::from(failed)),
+        ("retry_attempts", Json::from(retries)),
+        ("sim_cycles", Json::from(sim_cycles)),
+        ("sim_cycles_fast_forwarded", Json::from(ff)),
+        ("cells_per_million_sim_cycles", Json::from(cells_per_mcycle)),
+    ])
+}
+
+fn main() {
+    eprintln!("bench_stages: deterministic per-stage counters (seed {SEED:#x})");
+    let mut violations = Vec::new();
+    let sim = sim_stage(&mut violations);
+    let thermal = thermal_stage(&mut violations);
+    let sweep = sweep_stage(&mut violations);
+
+    let json = Json::object([
+        ("benchmark", Json::from("stage_counters")),
+        ("seed", Json::from(SEED)),
+        ("sim", sim),
+        ("thermal", thermal),
+        ("sweep", sweep),
+        (
+            "violations",
+            Json::array(violations.iter(), |v| Json::from(v.as_str())),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stages.json");
+    std::fs::write(path, json.to_string_pretty() + "\n").expect("write BENCH_stages.json");
+    eprintln!("  wrote {path}");
+
+    if !violations.is_empty() {
+        eprintln!("bench_stages: {} regression(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

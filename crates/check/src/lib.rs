@@ -60,6 +60,7 @@ pub mod gen;
 pub mod oracles;
 pub mod prop;
 pub mod shrink;
+pub mod sim_oracles;
 
 pub use prop::{
     case_seed, CheckConfig, Cost, Counterexample, Property, PropertyReport, SuiteReport,

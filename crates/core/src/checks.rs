@@ -1,7 +1,8 @@
 //! Experiment-layer differential oracles and the assembled check suite.
 //!
-//! The physics-layer oracles live in [`tlp_check::oracles`]; this module
-//! adds the two oracles that need the full experimental stack:
+//! The physics-layer oracles live in [`tlp_check::oracles`] and the
+//! simulator-loop identity oracle in [`tlp_check::sim_oracles`]; this
+//! module adds the oracles that need the full experimental stack:
 //!
 //! - [`sweep_determinism`] — a serial sweep and a multi-threaded sweep
 //!   of the same randomized grid (with randomized injected faults) must
@@ -660,6 +661,7 @@ pub fn serve_http_parser() -> Property {
 /// the serve-surface fuzzer.
 pub fn suite() -> Vec<Property> {
     let mut props = tlp_check::oracles::physics_suite();
+    props.push(tlp_check::sim_oracles::fast_forward_identity());
     props.push(sweep_determinism());
     props.push(analytic_vs_sim());
     props.push(resume_identity());
@@ -680,7 +682,9 @@ mod tests {
             [
                 "leakage-fit",
                 "lu-solve",
+                "sparse-vs-dense",
                 "thermal-transient",
+                "fast-forward-identity",
                 "sweep-determinism",
                 "analytic-vs-sim",
                 "resume-identity",

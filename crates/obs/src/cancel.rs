@@ -65,6 +65,15 @@ pub fn cancelled() -> bool {
     CURRENT.with(|c| c.borrow().as_ref().is_some_and(CancelToken::is_fired))
 }
 
+/// Whether this thread has a cancellation token installed at all —
+/// i.e. whether anyone is supervising it. Loops that would otherwise
+/// wait on [`cancelled`] forever (the simulator's injected-hang fault)
+/// consult this to pick between "wait for the watchdog" and "fail fast
+/// on their own budget".
+pub fn armed() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
 /// Restores the previously installed token when dropped.
 #[must_use = "dropping the guard immediately uninstalls the token"]
 pub struct InstallGuard {
@@ -85,6 +94,18 @@ mod tests {
     #[test]
     fn no_token_means_not_cancelled() {
         assert!(!cancelled());
+        assert!(!armed());
+    }
+
+    #[test]
+    fn installed_token_arms_the_thread_even_before_firing() {
+        let token = CancelToken::new();
+        {
+            let _guard = install(token);
+            assert!(armed());
+            assert!(!cancelled());
+        }
+        assert!(!armed());
     }
 
     #[test]

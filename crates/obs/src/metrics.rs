@@ -234,6 +234,10 @@ macro_rules! counters {
 counters! { COUNTERS, new;
     /// Simulated cycles retired by the CMP simulator's run loop.
     SIM_CYCLES_RETIRED => "sim.cycles_retired",
+    /// Simulated cycles covered by closed-form fast-forward batches
+    /// instead of cycle-by-cycle stepping (a subset of
+    /// `sim.cycles_retired`).
+    SIM_CYCLES_FAST_FORWARDED => "sim.cycles_fast_forwarded",
     /// Instructions retired chip-wide.
     SIM_INSTRUCTIONS => "sim.instructions_retired",
     /// Cycles cores spent spinning or asleep at barriers and locks.
@@ -256,6 +260,16 @@ counters! { COUNTERS, new;
     LINALG_LU_FACTORS => "linalg.lu_factors",
     /// Back-substitution solves against a cached factorization (O(n²)).
     LINALG_LU_SOLVES => "linalg.lu_solves",
+    /// Profile (banded/envelope) factorizations.
+    LINALG_BANDED_FACTORS => "linalg.banded_factors",
+    /// Envelope-restricted solves against a cached profile factorization.
+    LINALG_BANDED_SOLVES => "linalg.banded_solves",
+    /// Structural multiply-add upper bound spent in factorizations (a
+    /// deterministic flops proxy: dense counts the full triangle, profile
+    /// counts only its envelope).
+    LINALG_FACTOR_FLOPS => "linalg.factor_flops",
+    /// Structural multiply-add upper bound spent in triangular solves.
+    LINALG_SOLVE_FLOPS => "linalg.solve_flops",
     /// Dynamic-power breakdowns computed by the power model.
     POWER_BREAKDOWNS => "power.breakdowns",
     /// Analytic scenario operating points solved.

@@ -59,6 +59,8 @@ pub struct CmpSimulator {
     cores: Vec<Core>,
     memory: MemorySystem,
     sync: SyncManager,
+    /// Event-driven batching of pure-wait stretches (on by default).
+    fast_forward: bool,
 }
 
 impl CmpSimulator {
@@ -92,7 +94,19 @@ impl CmpSimulator {
             cores,
             memory,
             sync,
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables the event-driven fast-forward that
+    /// batch-advances through stretches where every live core is in a
+    /// pure wait (stalls, spin loops between retries, sleep). On by
+    /// default; results are identical either way — the stepped path is
+    /// kept as the reference the `fast-forward-identity` oracle in
+    /// `tlp-check` compares against.
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
     }
 
     /// Runs the program to completion and returns the collected
@@ -161,31 +175,57 @@ impl CmpSimulator {
         let mut last_progress: Vec<(u64, u64)> =
             self.cores.iter().map(|c| (c.progress(), 0)).collect();
         let mut next_check = DEADLOCK_CHECK_INTERVAL;
+        let mut ff_cycles: u64 = 0;
         while remaining > 0 {
-            // Injected hang: stop advancing simulated time entirely and
-            // wait for the supervisor's cancellation token — the
-            // deterministic stand-in for a run that would never finish.
             if self.config.faults.hang {
-                if tlp_obs::cancel::cancelled() {
-                    return Err(SimError::DeadlineExceeded { cycle });
-                }
-                std::thread::yield_now();
-                continue;
-            }
-            // Rotate the service order so no core gets structural bus
-            // priority.
-            let start = (cycle as usize) % n;
-            for k in 0..n {
-                let i = (start + k) % n;
-                if self.cores[i].done() {
+                // Injected hang. Supervised (a cancellation token is
+                // installed): stop advancing simulated time entirely and
+                // wait for the watchdog — the deterministic stand-in for
+                // a run that would never finish. Unsupervised: honor the
+                // caller's cycle budget instead of spinning the host CPU
+                // forever — jump simulated time to the budget and let the
+                // shared exhaustion check below report it.
+                if tlp_obs::cancel::armed() {
+                    if tlp_obs::cancel::cancelled() {
+                        return Err(SimError::DeadlineExceeded { cycle });
+                    }
+                    std::thread::yield_now();
                     continue;
                 }
-                self.cores[i].step(cycle, &mut self.memory, &mut self.sync);
+                cycle = budget.max(cycle.saturating_add(1));
+            } else if let Some(target) = self.fast_forward_target(
+                cycle,
+                next_check,
+                budget,
+                window_start.saturating_add(window),
+            ) {
+                // Every live core is in a pure wait: apply the stat
+                // deltas of `target - cycle` single steps in closed form.
+                // The target is clamped to every boundary the stepped
+                // loop inspects, so the checks below fire at exactly the
+                // same cycles either way.
+                let k = target - cycle;
+                for core in &mut self.cores {
+                    core.fast_forward(k);
+                }
+                ff_cycles += k;
+                cycle = target;
+            } else {
+                // Rotate the service order so no core gets structural bus
+                // priority.
+                let start = (cycle as usize) % n;
+                for k in 0..n {
+                    let i = (start + k) % n;
+                    if self.cores[i].done() {
+                        continue;
+                    }
+                    self.cores[i].step(cycle, &mut self.memory, &mut self.sync);
+                }
+                remaining = self.cores.iter().filter(|c| !c.done()).count();
+                cycle += 1;
             }
-            remaining = self.cores.iter().filter(|c| !c.done()).count();
-            cycle += 1;
             if cycle >= next_check {
-                next_check = cycle + DEADLOCK_CHECK_INTERVAL;
+                next_check = cycle.saturating_add(DEADLOCK_CHECK_INTERVAL);
                 // Watchdog poll, piggybacked on the deadlock stride so
                 // the steady-state cost is one thread-local read per
                 // 16 Ki simulated cycles.
@@ -232,7 +272,10 @@ impl CmpSimulator {
                     }
                 });
             }
-            if cycle - window_start == window || (remaining == 0 && cycle > window_start) {
+            // `>=` rather than `==`: the boundary can only be hit exactly
+            // (fast-forward clamps to it, stepping advances by 1), but an
+            // overshoot bug here would silently merge windows forever.
+            if cycle - window_start >= window || (remaining == 0 && cycle > window_start) {
                 let snapshot: Vec<_> = self.cores.iter().map(|c| *c.stats()).collect();
                 windows.push(SampleWindow {
                     start_cycle: window_start,
@@ -261,6 +304,7 @@ impl CmpSimulator {
             use tlp_obs::metrics;
             metrics::SIM_RUNS.incr();
             metrics::SIM_CYCLES_RETIRED.add(result.cycles);
+            metrics::SIM_CYCLES_FAST_FORWARDED.add(ff_cycles);
             metrics::HIST_SIM_RUN_CYCLES.record(result.cycles);
             let mut instructions = 0u64;
             let mut stall = 0u64;
@@ -274,6 +318,36 @@ impl CmpSimulator {
             metrics::SIM_CACHE_MISSES.add(misses);
         }
         Ok((result, windows))
+    }
+
+    /// If every live core is in a pure wait (see [`Core::wait_horizon`]),
+    /// the cycle to batch-advance to: the earliest per-core event,
+    /// clamped to the next deadlock-check/budget/window boundary so those
+    /// fire at exactly the cycles the stepped loop would observe them.
+    /// `None` when some core must actually be stepped (or fast-forward is
+    /// disabled).
+    fn fast_forward_target(
+        &self,
+        cycle: u64,
+        next_check: u64,
+        budget: u64,
+        window_end: u64,
+    ) -> Option<u64> {
+        if !self.fast_forward {
+            return None;
+        }
+        let mut event = u64::MAX;
+        for core in &self.cores {
+            if core.done() {
+                continue;
+            }
+            event = event.min(core.wait_horizon(cycle, &self.sync)?);
+        }
+        let target = event.min(next_check).min(budget).min(window_end);
+        // The loop invariants put every boundary strictly ahead of
+        // `cycle`; the guard is belt-and-braces against a zero-length
+        // batch looping forever.
+        (target > cycle).then_some(target)
     }
 
     /// Per-core stuck snapshot for error reports.
@@ -624,6 +698,107 @@ mod tests {
         assert!(msg.contains("barrier 7"), "{msg}");
         assert!(msg.contains("core 0"), "{msg}");
         assert!(msg.contains("core 1"), "{msg}");
+    }
+
+    #[test]
+    fn injected_hang_without_watchdog_exhausts_the_budget() {
+        // Regression: the hang branch used to `continue` past the budget
+        // check, so an unsupervised `try_run` with a budget spun the host
+        // CPU forever instead of returning.
+        let mut cfg = CmpConfig::ispass05(2);
+        cfg.faults.hang = true;
+        let err = CmpSimulator::new(cfg, vec![boxed(vec![Op::Int { count: 10 }])])
+            .try_run(5_000)
+            .unwrap_err();
+        match err {
+            SimError::CycleBudgetExhausted { budget, .. } => assert_eq!(budget, 5_000),
+            other => panic!("expected budget exhaustion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn injected_hang_under_fired_watchdog_is_deadline_exceeded() {
+        // Supervised hang keeps its original contract: wait for the
+        // cancellation token, then report the deadline.
+        let mut cfg = CmpConfig::ispass05(2);
+        cfg.faults.hang = true;
+        let token = tlp_obs::cancel::CancelToken::new();
+        token.fire();
+        let _guard = tlp_obs::cancel::install(token);
+        let err = CmpSimulator::new(cfg, vec![boxed(vec![Op::Int { count: 10 }])])
+            .try_run(5_000)
+            .unwrap_err();
+        assert!(matches!(err, SimError::DeadlineExceeded { .. }), "{err}");
+    }
+
+    /// A gang with long barrier spins, lock contention, thrifty sleep on
+    /// one core, and memory stalls — every pure-wait state the
+    /// fast-forward handles.
+    fn wait_heavy_sim() -> CmpSimulator {
+        let mut cfg = CmpConfig::ispass05(4);
+        cfg.core.sleep = crate::config::SleepPolicy {
+            enabled: true,
+            after_spin_cycles: 256,
+            wakeup_penalty: 40,
+        };
+        let mk = |t: u64| {
+            boxed(vec![
+                Op::Int {
+                    count: 100 + 40_000 * t as u32,
+                },
+                Op::Barrier { id: 0 },
+                Op::Lock { id: 0 },
+                Op::Load {
+                    addr: 0x40_0000 + t * 4096,
+                },
+                Op::Unlock { id: 0 },
+                Op::Barrier { id: 1 },
+            ])
+        };
+        CmpSimulator::new(cfg, (0..3u64).map(mk).collect())
+    }
+
+    #[test]
+    fn fast_forward_matches_stepped_results_and_windows() {
+        let (fast_r, fast_w) = wait_heavy_sim().try_run_sampled(512, 10_000_000).unwrap();
+        let (slow_r, slow_w) = wait_heavy_sim()
+            .with_fast_forward(false)
+            .try_run_sampled(512, 10_000_000)
+            .unwrap();
+        assert_eq!(format!("{fast_r:?}"), format!("{slow_r:?}"));
+        assert_eq!(format!("{fast_w:?}"), format!("{slow_w:?}"));
+    }
+
+    #[test]
+    fn fast_forward_matches_stepped_budget_exhaustion() {
+        // Error paths must be identical too: same variant, same snapshot.
+        let fast = wait_heavy_sim().try_run(3_000).unwrap_err();
+        let slow = wait_heavy_sim()
+            .with_fast_forward(false)
+            .try_run(3_000)
+            .unwrap_err();
+        assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+    }
+
+    #[test]
+    fn fast_forward_covers_memory_stalls() {
+        // A cold pointer-chase spends almost every cycle in a memory
+        // stall; the fast-forward must batch the bulk of the run.
+        let ops: Vec<Op> = (0..50)
+            .map(|i| Op::Load {
+                addr: 0x40_0000 + i * 4096,
+            })
+            .collect();
+        let ((), trace) = tlp_obs::capture(|| {
+            let _ = CmpSimulator::new(CmpConfig::ispass05(2), vec![boxed(ops)]).run();
+        });
+        let retired = trace.counter("sim.cycles_retired").unwrap_or(0);
+        let ff = trace.counter("sim.cycles_fast_forwarded").unwrap_or(0);
+        assert!(ff <= retired, "ff {ff} cannot exceed retired {retired}");
+        assert!(
+            2 * ff > retired,
+            "fast-forward covered only {ff} of {retired} cycles"
+        );
     }
 
     #[test]

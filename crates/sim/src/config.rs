@@ -92,8 +92,10 @@ pub struct SimFaults {
     /// spins (yielding) until a supervisor fires the thread's
     /// [`tlp_obs::cancel`] token, at which point it unwinds as
     /// [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded).
-    /// Models a genuinely hung cell; without a watchdog it spins forever
-    /// by design, so only arm it under a per-cell deadline.
+    /// Models a genuinely hung cell. Under an armed watchdog
+    /// cancellation token it spins until cancelled; otherwise it spins
+    /// until the run's cycle budget is exhausted, so an unsupervised
+    /// `try_run` still terminates (with `CycleBudgetExhausted`).
     pub hang: bool,
 }
 

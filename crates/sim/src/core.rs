@@ -117,6 +117,90 @@ impl Core {
         LOCK_REGION_BASE + (id as u64) * 128
     }
 
+    /// If the core is in a *pure wait* at cycle `now` — a state whose
+    /// [`step`](Core::step) only bumps stat counters until some future
+    /// cycle, touching neither memory nor `sync` — returns the first
+    /// cycle at which it would do anything else (`u64::MAX` for "never
+    /// on its own", e.g. an unreleased barrier). Returns `None` when the
+    /// next step must actually act.
+    ///
+    /// This is the legality test for the simulator's fast-forward: while
+    /// *every* live core reports `Some`, stepping the chip is equivalent
+    /// to adding closed-form per-cycle deltas (see
+    /// [`fast_forward`](Core::fast_forward)), in any order, with no
+    /// cross-core interaction.
+    pub fn wait_horizon(&self, now: u64, sync: &SyncManager) -> Option<u64> {
+        match self.state {
+            CoreState::Ready => None,
+            CoreState::Done => Some(u64::MAX),
+            CoreState::StallUntil { until, .. } => (until > now).then_some(until),
+            CoreState::AtBarrier(ticket) => {
+                if sync.released(ticket) {
+                    None
+                } else if self.cfg.sleep.enabled
+                    && self.barrier_spin >= self.cfg.sleep.after_spin_cycles
+                {
+                    // The next step transitions to Asleep — not a pure
+                    // spin cycle, so it must be stepped.
+                    None
+                } else if self.cfg.sleep.enabled {
+                    // Spins until the sleep threshold, then transitions.
+                    Some(now.saturating_add(self.cfg.sleep.after_spin_cycles - self.barrier_spin))
+                } else {
+                    Some(u64::MAX)
+                }
+            }
+            CoreState::Asleep(ticket) => {
+                if sync.released(ticket) {
+                    None
+                } else {
+                    Some(u64::MAX)
+                }
+            }
+            CoreState::SpinLock { next_retry, .. } => (now < next_retry).then_some(next_retry),
+        }
+    }
+
+    /// Applies `k` cycles' worth of pure-wait stat deltas in closed form
+    /// — exactly what `k` consecutive [`step`](Core::step) calls would do
+    /// from a state where [`wait_horizon`](Core::wait_horizon) returned
+    /// `Some(h)` with `now + k <= h`.
+    pub fn fast_forward(&mut self, k: u64) {
+        match self.state {
+            CoreState::Done => {}
+            CoreState::StallUntil { memory, .. } => {
+                if memory {
+                    self.stats.mem_stall_cycles += k;
+                } else {
+                    self.stats.other_stall_cycles += k;
+                }
+            }
+            CoreState::AtBarrier(_) => {
+                self.barrier_spin += k;
+                self.stats.spin_cycles += k;
+                self.stats.spin_instructions += 2 * k;
+                self.stats.instructions += 2 * k;
+                self.stats.int_ops += k;
+                self.stats.branches += k;
+                self.stats.l1i_accesses += k;
+            }
+            CoreState::Asleep(_) => {
+                self.stats.sleep_cycles += k;
+            }
+            CoreState::SpinLock { .. } => {
+                // Local spin on the cached lock word (the between-retries
+                // branch of `step`).
+                self.stats.spin_cycles += k;
+                self.stats.spin_instructions += 2 * k;
+                self.stats.instructions += 2 * k;
+                self.stats.int_ops += k;
+                self.stats.branches += k;
+                self.stats.l1i_accesses += k;
+            }
+            CoreState::Ready => unreachable!("Ready is never a pure wait"),
+        }
+    }
+
     /// Advances the core by one cycle.
     pub fn step(&mut self, now: u64, mem: &mut MemorySystem, sync: &mut SyncManager) {
         match self.state {
@@ -549,6 +633,55 @@ mod tests {
         // once; instead check the default policy's constants.
         run(&mut core, &mut mem, &mut sync, 100);
         assert_eq!(core.stats().sleep_cycles, 0);
+    }
+
+    #[test]
+    fn fast_forward_matches_stepping_through_a_pure_wait() {
+        // A core spinning at a 2-thread barrier nobody else reaches is a
+        // pure wait: batching k cycles must equal k single steps.
+        let cfg = CmpConfig::ispass05(2);
+        let mk = || {
+            let mut c = Core::new(
+                0,
+                cfg.core,
+                Box::new(ScriptedProgram::new(vec![Op::Barrier { id: 0 }])),
+            );
+            let mut mem = MemorySystem::new(&cfg, 2);
+            let mut sync = SyncManager::new(2);
+            c.step(0, &mut mem, &mut sync); // arrive; now AtBarrier
+            (c, mem, sync)
+        };
+        let (mut stepped, mut mem, mut sync) = mk();
+        for now in 1..=1000 {
+            assert!(stepped.wait_horizon(now, &sync).is_some());
+            stepped.step(now, &mut mem, &mut sync);
+        }
+        let (mut batched, _mem2, sync2) = mk();
+        assert_eq!(batched.wait_horizon(1, &sync2), Some(u64::MAX));
+        batched.fast_forward(1000);
+        assert_eq!(
+            format!("{:?}", stepped.stats()),
+            format!("{:?}", batched.stats())
+        );
+        assert_eq!(stepped.barrier_spin, batched.barrier_spin);
+    }
+
+    #[test]
+    fn wait_horizon_classifies_states() {
+        // Ready must act.
+        let (core, _mem, sync) = rig(vec![Op::Int { count: 4 }]);
+        assert_eq!(core.wait_horizon(0, &sync), None);
+        // A memory stall reports its deadline, then expires.
+        let (mut core, mut mem, mut sync) = rig(vec![Op::Load { addr: 0x9000 }]);
+        core.step(0, &mut mem, &mut sync);
+        let h = core.wait_horizon(1, &sync).expect("stalled is a pure wait");
+        assert!(h > 1 && h < u64::MAX);
+        assert_eq!(core.wait_horizon(h, &sync), None, "deadline reached");
+        // Done never needs stepping.
+        let (mut core, mut mem, mut sync) = rig(vec![]);
+        core.step(0, &mut mem, &mut sync);
+        assert!(core.done());
+        assert_eq!(core.wait_horizon(5, &sync), Some(u64::MAX));
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! boundary. Steady-state temperatures solve `G·T = P + g_amb·T_amb`;
 //! transients use implicit-Euler stepping on `C·dT/dt = P − G·T`.
 
-use tlp_tech::linalg::LuFactorization;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tlp_tech::linalg::Factorization;
 use tlp_tech::units::{Celsius, Seconds, Watts};
 
 use crate::floorplan::Floorplan;
@@ -52,24 +55,61 @@ impl Default for PackageParams {
 /// a node.
 ///
 /// The conductance matrix `G` is fixed at build time (only
-/// [`RcNetwork::set_sink_conductance`] changes it), so its LU
-/// factorization is computed once and cached: every steady-state solve —
-/// and there is one per fixpoint iteration — is a cheap O(n²)
-/// back-substitution instead of an O(n³) refactorization. This mirrors
-/// HotSpot's reuse of the factored thermal matrix across solves.
-#[derive(Debug, Clone, PartialEq)]
+/// [`RcNetwork::set_sink_conductance`] changes it), so its factorization
+/// is computed once and cached: every steady-state solve — and there is
+/// one per fixpoint iteration — is a cheap back-substitution instead of
+/// a refactorization. This mirrors HotSpot's reuse of the factored
+/// thermal matrix across solves. The factorization itself is chosen by
+/// [`Factorization::auto`]: RC networks couple each node only to its
+/// floorplan neighbours, so on real CMP floorplans the profile/banded
+/// path replaces dense elimination with identical results at a fraction
+/// of the arithmetic.
+#[derive(Debug)]
 pub struct RcNetwork {
     n_blocks: usize,
     /// Dense symmetric conductance matrix including boundary conductance on
     /// the diagonal, row-major `(n_blocks+2)²`.
     g: Vec<f64>,
     /// Cached factorization of `g`, rebuilt only when `g` changes.
-    g_lu: LuFactorization,
+    g_lu: Factorization,
     /// Per-node thermal capacitance, J/K.
     c: Vec<f64>,
     /// Boundary conductance to ambient per node (only the sink's entry is
     /// nonzero in the standard package).
     g_amb: Vec<f64>,
+    /// Bumped on every mutation of `g`. Outstanding [`TransientSolver`]s
+    /// carry the value they were factored at and refuse to step once it
+    /// moves — a stale `(C/dt + G)` would silently use the old
+    /// conductances.
+    revision: Arc<AtomicU64>,
+}
+
+impl Clone for RcNetwork {
+    fn clone(&self) -> Self {
+        Self {
+            n_blocks: self.n_blocks,
+            g: self.g.clone(),
+            g_lu: self.g_lu.clone(),
+            c: self.c.clone(),
+            g_amb: self.g_amb.clone(),
+            // A detached counter: mutating a clone (the sink-conductance
+            // calibration probes do this hundreds of times) must not
+            // invalidate solvers built from the original, and vice versa.
+            revision: Arc::new(AtomicU64::new(self.revision.load(Ordering::Acquire))),
+        }
+    }
+}
+
+impl PartialEq for RcNetwork {
+    fn eq(&self, other: &Self) -> bool {
+        // The revision counter is solver-invalidation bookkeeping, not
+        // network state.
+        self.n_blocks == other.n_blocks
+            && self.g == other.g
+            && self.g_lu == other.g_lu
+            && self.c == other.c
+            && self.g_amb == other.g_amb
+    }
 }
 
 impl RcNetwork {
@@ -119,14 +159,15 @@ impl RcNetwork {
         c[spreader] = package.c_spreader;
         c[sink] = package.c_sink;
 
-        let g_lu = LuFactorization::factor(n, &g)
-            .expect("thermal conductance matrix is SPD and nonsingular");
+        let g_lu =
+            Factorization::auto(n, &g).expect("thermal conductance matrix is SPD and nonsingular");
         Self {
             n_blocks: nb,
             g,
             g_lu,
             c,
             g_amb,
+            revision: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -207,18 +248,23 @@ impl RcNetwork {
             a[i * n + i] += cdt;
             c_over_dt[i] = cdt;
         }
-        let lu = LuFactorization::factor(n, &a).expect("implicit-Euler matrix is nonsingular");
+        let lu = Factorization::auto(n, &a).expect("implicit-Euler matrix is nonsingular");
         TransientSolver {
             n_blocks: self.n_blocks,
             dt,
             lu,
             c_over_dt,
             g_amb: self.g_amb.clone(),
+            revision: self.revision.load(Ordering::Acquire),
+            source: Arc::clone(&self.revision),
         }
     }
 
     /// Updates the sink-to-ambient conductance (used by calibration) and
-    /// refactors the cached conductance matrix.
+    /// refactors the cached conductance matrix. Any [`TransientSolver`]
+    /// previously built from this network is invalidated — its next
+    /// [`TransientSolver::step`] panics rather than stepping with the old
+    /// conductances; rebuild it via [`RcNetwork::transient_solver`].
     pub fn set_sink_conductance(&mut self, g_sink_ambient: f64) {
         assert!(g_sink_ambient > 0.0, "conductance must be positive");
         let n = self.n();
@@ -226,8 +272,15 @@ impl RcNetwork {
         self.g[sink * n + sink] -= self.g_amb[sink];
         self.g_amb[sink] = g_sink_ambient;
         self.g[sink * n + sink] += g_sink_ambient;
-        self.g_lu = LuFactorization::factor(n, &self.g)
+        self.revision.fetch_add(1, Ordering::Release);
+        self.g_lu = Factorization::auto(n, &self.g)
             .expect("thermal conductance matrix is SPD and nonsingular");
+    }
+
+    /// Whether the cached factorization took the profile/banded path
+    /// (diagnostic; the result is identical either way).
+    pub fn uses_banded_solver(&self) -> bool {
+        self.g_lu.is_banded()
     }
 }
 
@@ -235,13 +288,29 @@ impl RcNetwork {
 /// step: the `(C/dt + G)` matrix is factored once at construction, so
 /// every [`TransientSolver::step`] costs one O(n²) solve. Build via
 /// [`RcNetwork::transient_solver`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TransientSolver {
     n_blocks: usize,
     dt: Seconds,
-    lu: LuFactorization,
+    lu: Factorization,
     c_over_dt: Vec<f64>,
     g_amb: Vec<f64>,
+    /// Network revision the `(C/dt + G)` factors were built at.
+    revision: u64,
+    /// The owning network's revision counter (shared by clones — a clone
+    /// of a stale solver is equally stale).
+    source: Arc<AtomicU64>,
+}
+
+impl PartialEq for TransientSolver {
+    fn eq(&self, other: &Self) -> bool {
+        // Staleness bookkeeping is not part of the mathematical state.
+        self.n_blocks == other.n_blocks
+            && self.dt == other.dt
+            && self.lu == other.lu
+            && self.c_over_dt == other.c_over_dt
+            && self.g_amb == other.g_amb
+    }
 }
 
 impl TransientSolver {
@@ -255,8 +324,17 @@ impl TransientSolver {
     ///
     /// # Panics
     ///
-    /// Panics on dimension mismatches.
+    /// Panics on dimension mismatches, or if the owning [`RcNetwork`] was
+    /// modified (e.g. by [`RcNetwork::set_sink_conductance`]) after this
+    /// solver was factored — stepping would silently use the old
+    /// conductances.
     pub fn step(&self, t_now: &[Celsius], powers: &[Watts], ambient: Celsius) -> Vec<Celsius> {
+        assert_eq!(
+            self.source.load(Ordering::Acquire),
+            self.revision,
+            "stale TransientSolver: the RcNetwork changed after this solver \
+             was built; rebuild it with RcNetwork::transient_solver"
+        );
         tlp_obs::metrics::THERMAL_TRANSIENT_STEPS.incr();
         let n = self.lu.n();
         assert_eq!(t_now.len(), n, "one temperature per node");
@@ -420,6 +498,120 @@ mod tests {
         net.set_sink_conductance(8.0);
         let cool = net.steady_state(&powers, Celsius::new(45.0));
         assert!(cool[0].as_f64() < warm[0].as_f64());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale TransientSolver")]
+    fn calibration_after_solver_build_invalidates_it() {
+        // Regression: set_sink_conductance refactored the steady-state
+        // matrix but an outstanding TransientSolver silently kept its
+        // stale (C/dt + G) factors. Now it refuses to step.
+        let (f, mut net) = small_net();
+        let nb = f.blocks().len();
+        let solver = net.transient_solver(Seconds::new(0.5));
+        net.set_sink_conductance(5.0); // calibration retunes the sink
+        let _ = solver.step(
+            &vec![Celsius::new(45.0); nb + 2],
+            &vec![Watts::new(1.0); nb],
+            Celsius::new(45.0),
+        );
+    }
+
+    #[test]
+    fn rebuilt_solver_after_sink_change_matches_one_shot() {
+        let (f, mut net) = small_net();
+        let nb = f.blocks().len();
+        net.set_sink_conductance(5.0);
+        let solver = net.transient_solver(Seconds::new(0.5));
+        let t0 = vec![Celsius::new(45.0); nb + 2];
+        let powers = vec![Watts::new(1.0); nb];
+        assert_eq!(
+            solver.step(&t0, &powers, Celsius::new(45.0)),
+            net.transient_step(&t0, &powers, Celsius::new(45.0), Seconds::new(0.5))
+        );
+    }
+
+    #[test]
+    fn mutating_a_clone_does_not_invalidate_original_solvers() {
+        // The thermal calibration probes clone the network and retune the
+        // clone's sink hundreds of times; solvers built from the original
+        // must stay valid throughout.
+        let (f, net) = small_net();
+        let nb = f.blocks().len();
+        let solver = net.transient_solver(Seconds::new(0.5));
+        let mut probe = net.clone();
+        assert_eq!(probe, net);
+        probe.set_sink_conductance(123.0);
+        let t = solver.step(
+            &vec![Celsius::new(45.0); nb + 2],
+            &vec![Watts::ZERO; nb],
+            Celsius::new(45.0),
+        );
+        assert_eq!(t.len(), nb + 2);
+    }
+
+    #[test]
+    fn cmp_floorplan_networks_take_the_banded_path() {
+        for cores in [4usize, 16] {
+            let f = Floorplan::ispass_cmp(cores, 14.0, 14.0);
+            let net = RcNetwork::build(&f, &PackageParams::default());
+            assert!(
+                net.uses_banded_solver(),
+                "{cores}-core network stayed dense"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_steady_state_matches_dense_exactly() {
+        let f = Floorplan::ispass_cmp(8, 12.0, 12.0);
+        let net = RcNetwork::build(&f, &PackageParams::default());
+        let nb = f.blocks().len();
+        let n = nb + 2;
+        let powers: Vec<Watts> = (0..nb).map(|i| Watts::new(0.1 + 0.05 * i as f64)).collect();
+        let amb = Celsius::new(45.0);
+        let via_net = net.steady_state(&powers, amb);
+        // Reference: the dense one-shot solver on the same matrix/rhs.
+        let mut rhs = vec![0.0; n];
+        for (i, p) in powers.iter().enumerate() {
+            rhs[i] = p.as_f64();
+        }
+        rhs[n - 1] += net.g_amb[n - 1] * amb.as_f64();
+        let dense = tlp_tech::linalg::solve_dense(n, net.conductance(), &rhs).unwrap();
+        // Bitwise-identical, not approximately equal: the profile path
+        // must run the same arithmetic as dense elimination.
+        assert_eq!(
+            via_net.iter().map(|t| t.as_f64()).collect::<Vec<_>>(),
+            dense
+        );
+    }
+
+    #[test]
+    fn rc_matrix_structure_bandwidth_and_rcm_ordering() {
+        use tlp_tech::linalg::{bandwidth, bandwidth_under, profile, rcm_order};
+        let f = Floorplan::ispass_cmp(16, 14.0, 14.0);
+        let net = RcNetwork::build(&f, &PackageParams::default());
+        let n = f.blocks().len() + 2;
+        let a = net.conductance();
+        // The spreader (node n-2) couples to every block, so the natural
+        // bandwidth is the full arrowhead span.
+        assert_eq!(bandwidth(n, a), n - 2);
+        let order = rcm_order(n, a);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "RCM is a permutation");
+        // RCM cannot beat the hub structure's inherent width, but its
+        // profile must not be worse than natural — and the natural
+        // profile must sit within the selection heuristic's 4× guard of
+        // the RCM reference (this is what lets the banded path engage).
+        let natural: Vec<usize> = (0..n).collect();
+        let nat_profile = profile(n, a, &natural);
+        let rcm_profile = profile(n, a, &order);
+        assert!(bandwidth_under(n, a, &order) <= bandwidth(n, a));
+        assert!(
+            nat_profile <= 4 * rcm_profile.max(n),
+            "natural profile {nat_profile} vs RCM {rcm_profile}"
+        );
     }
 
     #[test]
