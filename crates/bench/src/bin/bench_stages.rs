@@ -198,6 +198,7 @@ fn thermal_stage(violations: &mut Vec<String>) -> Json {
 fn sweep_stage(violations: &mut Vec<String>) -> Json {
     let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
     let spec = SweepSpec {
+        server_loads: Vec::new(),
         apps: vec![AppId::WaterNsq, AppId::Fft],
         core_counts: vec![1, 2, 4],
         scale: Scale::Test,

@@ -59,6 +59,7 @@
 pub mod gen;
 pub mod oracles;
 pub mod prop;
+pub mod server_oracles;
 pub mod shrink;
 pub mod sim_oracles;
 

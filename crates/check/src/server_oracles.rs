@@ -1,0 +1,411 @@
+//! Queueing-sanity oracles for the open-loop server workload.
+//!
+//! Two properties pin the request-latency pipeline end to end:
+//!
+//! - [`latency_sanity`] runs randomized server gangs and checks the
+//!   bookkeeping invariants any correct open-loop latency accounting
+//!   must satisfy: every scheduled request completes, completions stay
+//!   inside the run, percentiles are ordered, Little's law holds as an
+//!   exact cycle-count identity (the time-integral of request
+//!   concurrency equals the latency sum — two independent computations
+//!   over the same records), the queue-depth peak dominates the mean
+//!   concurrency, and raising the offered load never *lowers* latency.
+//! - [`server_ff_identity`] replays the fast-forward identity oracle on
+//!   server gangs specifically: arrival-idle stretches are the one wait
+//!   state batch workloads never enter, and the `Debug` rendering of
+//!   `(SimResult, windows)` — request records included — must be
+//!   identical with fast-forward on and off.
+
+use tlp_sim::op::ThreadProgram;
+use tlp_sim::stats::RequestRecord;
+use tlp_sim::{CmpConfig, CmpSimulator};
+use tlp_tech::rng::SplitMix64;
+use tlp_tech::units::Hertz;
+use tlp_workloads::server::{RequestClass, ServerSpec};
+use tlp_workloads::{AccessPattern, Kernel};
+
+use crate::prop::Property;
+use crate::{gen, shrink};
+
+/// One randomized server-workload scenario.
+#[derive(Debug, Clone)]
+pub struct ServerCase {
+    /// The workload specification (offered load, mix, contention).
+    pub spec: ServerSpec,
+    /// Gang size (one core per thread).
+    pub n_threads: usize,
+    /// Workload seed shared by all threads.
+    pub seed: u64,
+    /// Chip clock in GHz — converts the wall-clock load into cycles.
+    pub ghz: f64,
+    /// Sampling window in cycles (`u64::MAX` ≈ unsampled).
+    pub window: u64,
+}
+
+fn small_kernel(rng: &mut SplitMix64) -> Kernel {
+    Kernel {
+        int_per_item: rng.gen_range_u64(1..32) as u32,
+        fp_per_item: rng.gen_range_u64(0..8) as u32,
+        loads_per_item: rng.gen_range_u64(0..6) as u32,
+        stores_per_item: rng.gen_range_u64(0..4) as u32,
+        branches_per_item: rng.gen_range_u64(0..4) as u32,
+        mispredict_rate: rng.gen_range_f64(0.0..0.1),
+        load_pattern: AccessPattern::Random {
+            base: 0x2000,
+            len: 1 << 16,
+        },
+        store_pattern: AccessPattern::Streaming {
+            base: 0x200_0000,
+            len: 1 << 13,
+            stride: 64,
+        },
+    }
+}
+
+fn gen_server_case(rng: &mut SplitMix64) -> ServerCase {
+    let n_threads = rng.gen_range_usize(1..4);
+    let classes = (0..rng.gen_range_usize(1..3))
+        .map(|_| RequestClass {
+            weight: rng.gen_range_u64(1..5) as u32,
+            items: rng.gen_range_u64(1..5),
+            kernel: small_kernel(rng),
+        })
+        .collect();
+    let spec = ServerSpec {
+        // High loads stress queueing, low loads stress the idle
+        // fast-forward; cover both.
+        offered_rps: rng.gen_range_u64(500_000..30_000_000) as u32,
+        total_requests: rng.gen_range_u64(4..40),
+        classes,
+        session_locks: rng.gen_range_u64(1..4) as u32,
+        imbalance: gen::pick(rng, &[0.0, 0.2, 1.0]),
+    };
+    ServerCase {
+        spec,
+        n_threads,
+        seed: rng.next_u64(),
+        ghz: gen::pick(rng, &[0.8, 1.6, 3.2]),
+        window: gen::pick(rng, &[u64::MAX, 256, 4_096]),
+    }
+}
+
+fn shrink_server_case(c: &ServerCase) -> Vec<ServerCase> {
+    let mut out = Vec::new();
+    if c.window != u64::MAX {
+        out.push(ServerCase {
+            window: u64::MAX,
+            ..c.clone()
+        });
+    }
+    if c.spec.imbalance != 0.0 {
+        let mut s = c.clone();
+        s.spec.imbalance = 0.0;
+        out.push(s);
+    }
+    if c.n_threads > 1 {
+        out.push(ServerCase {
+            n_threads: c.n_threads - 1,
+            ..c.clone()
+        });
+    }
+    if c.spec.total_requests > 1 {
+        let mut s = c.clone();
+        s.spec.total_requests /= 2;
+        out.push(s);
+    }
+    if c.spec.classes.len() > 1 {
+        for classes in shrink::remove_each(&c.spec.classes, 1) {
+            let mut s = c.clone();
+            s.spec.classes = classes;
+            out.push(s);
+        }
+    }
+    if c.spec.classes.iter().any(|cl| cl.items > 1) {
+        let mut s = c.clone();
+        for cl in &mut s.spec.classes {
+            cl.items = (cl.items / 2).max(1);
+        }
+        out.push(s);
+    }
+    if c.spec.session_locks > 1 {
+        let mut s = c.clone();
+        s.spec.session_locks = 1;
+        out.push(s);
+    }
+    out
+}
+
+/// Generous budget: the largest generated case is well under 10M cycles,
+/// and idle stretches fast-forward.
+const CASE_BUDGET: u64 = 500_000_000;
+
+fn simulator_for(c: &ServerCase, fast_forward: bool, skew: Option<u64>) -> CmpSimulator {
+    let mut config = CmpConfig::ispass05(c.n_threads);
+    config.faults.skew_request_completion = skew;
+    let programs: Vec<Box<dyn ThreadProgram>> =
+        c.spec.gang(c.n_threads, c.seed, Hertz::from_ghz(c.ghz));
+    CmpSimulator::new(config, programs).with_fast_forward(fast_forward)
+}
+
+/// The time-integral of request concurrency, in request-cycles: an event
+/// sweep over (arrival, +1) / (completion, −1), independent of the
+/// latency arithmetic it is checked against.
+fn concurrency_integral(records: &[RequestRecord]) -> u128 {
+    let mut events: Vec<(u64, i64)> = Vec::with_capacity(records.len() * 2);
+    for r in records {
+        events.push((r.arrival, 1));
+        events.push((r.completion, -1));
+    }
+    events.sort_unstable_by_key(|&(t, d)| (t, d));
+    let (mut depth, mut last_t, mut integral) = (0i64, 0u64, 0u128);
+    for (t, d) in events {
+        integral += depth as u128 * (t - last_t) as u128;
+        depth += d;
+        last_t = t;
+    }
+    integral
+}
+
+fn sanity_check(c: &ServerCase, skew: Option<u64>) -> Result<(), String> {
+    let (result, _windows) = simulator_for(c, true, skew)
+        .try_run_sampled(c.window, CASE_BUDGET)
+        .map_err(|e| format!("server run failed: {e}"))?;
+    let req = result
+        .requests
+        .ok_or("server run reported no request stats")?;
+
+    // Open loop: every scheduled request is served, exactly once.
+    if req.completed != c.spec.total_requests {
+        return Err(format!(
+            "completed {} of {} scheduled requests",
+            req.completed, c.spec.total_requests
+        ));
+    }
+    // Causality: a request completes after it arrives and inside the run.
+    for r in &req.records {
+        if r.completion < r.arrival {
+            return Err(format!("request completed before it arrived: {r:?}"));
+        }
+        if r.completion > result.cycles {
+            return Err(format!(
+                "request completion {} lies beyond the run's {} cycles: {r:?}",
+                r.completion, result.cycles
+            ));
+        }
+    }
+    // Nearest-rank percentiles are ordered by construction; pin it.
+    if !(req.p50_cycles <= req.p90_cycles
+        && req.p90_cycles <= req.p99_cycles
+        && req.p99_cycles <= req.max_cycles)
+    {
+        return Err(format!(
+            "percentiles out of order: p50 {} p90 {} p99 {} max {}",
+            req.p50_cycles, req.p90_cycles, req.p99_cycles, req.max_cycles
+        ));
+    }
+    // Little's law as an exact identity in cycle units: the event-sweep
+    // time-integral of concurrency equals the sum of latencies.
+    let latency_sum: u128 = req.records.iter().map(|r| r.latency_cycles() as u128).sum();
+    let integral = concurrency_integral(&req.records);
+    if latency_sum != integral {
+        return Err(format!(
+            "Little's law violated: Σ latency {latency_sum} ≠ ∫ concurrency {integral}"
+        ));
+    }
+    // The observed peak dominates the time-averaged concurrency.
+    if (req.queue_depth_peak as f64) < req.mean_concurrency() {
+        return Err(format!(
+            "queue-depth peak {} below mean concurrency {}",
+            req.queue_depth_peak,
+            req.mean_concurrency()
+        ));
+    }
+    // Monotonicity: the same workload offered 4× faster cannot see lower
+    // latency. Checked single-threaded, where service times are load
+    // independent; a small tolerance absorbs boundary rounding in the
+    // arrival draws.
+    if c.n_threads == 1 && c.spec.offered_rps <= u32::MAX / 4 {
+        let mut hot = c.clone();
+        hot.spec.offered_rps = c.spec.offered_rps * 4;
+        let (hot_result, _) = simulator_for(&hot, true, skew)
+            .try_run_sampled(hot.window, CASE_BUDGET)
+            .map_err(|e| format!("hot server run failed: {e}"))?;
+        let hot_req = hot_result
+            .requests
+            .ok_or("hot server run reported no request stats")?;
+        let (lo, hi) = (req.mean_latency_cycles(), hot_req.mean_latency_cycles());
+        if hi < lo * 0.98 {
+            return Err(format!(
+                "latency fell as offered load rose 4x: mean {lo:.1} -> {hi:.1} cycles"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn ff_check(c: &ServerCase) -> Result<(), String> {
+    let fast = simulator_for(c, true, None).try_run_sampled(c.window, CASE_BUDGET);
+    let stepped = simulator_for(c, false, None).try_run_sampled(c.window, CASE_BUDGET);
+    let fast = format!("{fast:?}");
+    let stepped = format!("{stepped:?}");
+    if fast != stepped {
+        return Err(format!(
+            "fast-forwarded server run diverges from the stepped reference:\n  fast:    {fast}\n  stepped: {stepped}"
+        ));
+    }
+    Ok(())
+}
+
+/// Builds the latency-sanity property with an optional injected
+/// completion-skew fault — `None` is the shipping oracle; tests pass
+/// `Some(k)` to prove the oracle detects corrupted accounting.
+pub fn latency_sanity_with(skew: Option<u64>) -> Property {
+    Property::new(
+        "latency-sanity",
+        "open-loop request accounting satisfies completeness, causality, ordered percentiles, Little's law, and load monotonicity",
+        gen_server_case,
+        shrink_server_case,
+        move |c| sanity_check(c, skew),
+    )
+    .expensive()
+}
+
+/// Oracle: queueing bookkeeping invariants on randomized server gangs.
+pub fn latency_sanity() -> Property {
+    latency_sanity_with(None)
+}
+
+/// Oracle: fast-forward on/off produce `Debug`-identical results —
+/// request records and sample windows included — on server gangs whose
+/// arrival-idle stretches exercise the `IdleUntil` wait state.
+pub fn server_ff_identity() -> Property {
+    Property::new(
+        "server-ff-identity",
+        "arrival-idle fast-forward is observationally identical to stepping every cycle on server gangs",
+        gen_server_case,
+        shrink_server_case,
+        ff_check,
+    )
+    .expensive()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::CheckConfig;
+    use tlp_sim::stats::nearest_rank_percentile;
+
+    #[test]
+    fn latency_sanity_passes_with_the_pinned_ci_seed() {
+        let r = latency_sanity().run(&CheckConfig {
+            seed: 0xD1CE,
+            cases: 48,
+        });
+        assert!(
+            r.passed(),
+            "latency-sanity failed: {}",
+            r.counterexample.unwrap().render()
+        );
+    }
+
+    #[test]
+    fn server_ff_identity_passes_with_the_pinned_ci_seed() {
+        let r = server_ff_identity().run(&CheckConfig {
+            seed: 0xD1CE,
+            cases: 48,
+        });
+        assert!(
+            r.passed(),
+            "server-ff-identity failed: {}",
+            r.counterexample.unwrap().render()
+        );
+    }
+
+    #[test]
+    fn sabotaged_latency_accounting_is_detected_and_replayable() {
+        // Skew every recorded completion 10k cycles late: the request
+        // *runs* unchanged but the books lie. The oracle must fail, and
+        // the reported case seed must replay the same failure.
+        let sabotaged = latency_sanity_with(Some(10_000));
+        let r = sabotaged.run(&CheckConfig {
+            seed: 0xD1CE,
+            cases: 48,
+        });
+        let c = r.counterexample.expect("sabotage must be detected");
+        assert!(
+            c.message.contains("beyond the run"),
+            "unexpected failure mode: {}",
+            c.message
+        );
+        let replayed = sabotaged.replay(c.case_seed);
+        let rc = replayed.counterexample.expect("replay must fail too");
+        assert_eq!(rc.shrunk, c.shrunk, "replay found a different input");
+        // The clean oracle passes on the very same case seed.
+        assert!(latency_sanity().replay(c.case_seed).passed());
+    }
+
+    #[test]
+    fn server_oracles_are_deterministic() {
+        let cfg = CheckConfig { seed: 9, cases: 4 };
+        assert_eq!(latency_sanity().run(&cfg), latency_sanity().run(&cfg));
+        assert_eq!(
+            server_ff_identity().run(&cfg),
+            server_ff_identity().run(&cfg)
+        );
+    }
+
+    #[test]
+    fn generated_cases_actually_idle_between_arrivals() {
+        // The generator must produce open-loop gaps: some case must
+        // spend real cycles in the arrival-idle state, or the ff oracle
+        // is vacuous.
+        let mut rng = SplitMix64::seed_from_u64(0xFE);
+        let mut saw_idle = false;
+        for _ in 0..16 {
+            let c = gen_server_case(&mut rng);
+            if let Ok((r, _)) = simulator_for(&c, true, None).try_run_sampled(c.window, CASE_BUDGET)
+            {
+                if r.cores.iter().any(|s| s.idle_cycles > 0) {
+                    saw_idle = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_idle, "no generated case ever idled for an arrival");
+    }
+
+    #[test]
+    fn percentile_of_a_singleton_is_the_element_under_shrinking() {
+        // A Property (not a bare loop) so the claim is exercised through
+        // the same generate/shrink machinery the oracles use.
+        let prop = Property::new(
+            "singleton-percentile",
+            "nearest-rank percentile of a one-element sample is that element",
+            |rng| {
+                (
+                    rng.gen_range_u64(0..1_000_000),
+                    rng.gen_range_f64(0.0..100.0).max(0.001),
+                )
+            },
+            |&(v, p)| {
+                crate::shrink::u64_toward(v, 0)
+                    .into_iter()
+                    .map(|v| (v, p))
+                    .collect()
+            },
+            |&(v, p)| {
+                let got = nearest_rank_percentile(&[v], p);
+                if got == v {
+                    Ok(())
+                } else {
+                    Err(format!("p{p} of [{v}] returned {got}"))
+                }
+            },
+        );
+        let r = prop.run(&CheckConfig {
+            seed: 0xD1CE,
+            cases: 256,
+        });
+        assert!(r.passed(), "{}", r.counterexample.unwrap().render());
+    }
+}

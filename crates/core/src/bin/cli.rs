@@ -99,6 +99,8 @@ fn usage() -> ! {
            scenario1 <app> [N...]         iso-performance power optimization\n\
            scenario2 <app> [N...]         budget-constrained performance optimization\n\
            sweep <app> [app...]           supervised fig. 3 sweep (failures reported per cell)\n\
+                                          add --server-load RPS (repeatable) for open-loop\n\
+                                          server rows with request-latency percentiles\n\
            serve --state-dir DIR          sweep-as-a-service HTTP daemon (see serve options)\n\
            measure <app> <N> <GHz>        run and measure one configuration\n\
            check                          run the property-based differential oracle suite\n\
@@ -307,17 +309,30 @@ fn run_command(
                     Some(Duration::from_secs_f64(secs))
                 }
             };
-            if args.is_empty() {
-                return Err("sweep needs at least one application".into());
+            // --server-load is repeatable: each occurrence adds one
+            // open-loop server row (offered requests/second) to the grid.
+            let mut server_loads: Vec<u32> = Vec::new();
+            while let Some(v) = take_value(&mut args, "--server-load")? {
+                let rps: u32 = v
+                    .parse()
+                    .ok()
+                    .filter(|&rps| rps >= 1)
+                    .ok_or_else(|| format!("bad --server-load '{v}' (requests/second >= 1)"))?;
+                server_loads.push(rps);
+            }
+            if args.is_empty() && server_loads.is_empty() {
+                return Err("sweep needs at least one application or --server-load".into());
             }
             let apps = args
                 .iter()
                 .map(|a| parse_app(a))
                 .collect::<Result<Vec<_>, _>>()?;
             let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let mut spec = SweepSpec::fig3(apps, scale, DEFAULT_SEED);
+            spec.server_loads = server_loads.clone();
             let mut builder = chip
                 .sweep()
-                .grid(SweepSpec::fig3(apps, scale, DEFAULT_SEED))
+                .grid(spec)
                 .threads(common.threads)
                 .trace(common.sink());
             if let Some(d) = deadline {
@@ -343,7 +358,7 @@ fn run_command(
                     eprintln!("sweep interrupted: {info}; every settled outcome is journaled");
                     eprintln!(
                         "resume with:\n  {}",
-                        resume_recipe(&args, common, &deadline_arg, &path)
+                        resume_recipe(&args, &server_loads, common, &deadline_arg, &path)
                     );
                     // 128 + SIGINT, the conventional "killed by Ctrl-C"
                     // status, so wrappers can tell "resumable" from
@@ -669,6 +684,7 @@ fn install_interrupt_flag() -> Arc<AtomicBool> {
 /// behind `--resume`. Printed verbatim so it can be pasted back.
 fn resume_recipe(
     apps: &[String],
+    server_loads: &[u32],
     common: &CommonArgs,
     deadline: &Option<String>,
     journal: &str,
@@ -677,6 +693,9 @@ fn resume_recipe(
     for a in apps {
         cmd.push(' ');
         cmd.push_str(a);
+    }
+    for rps in server_loads {
+        cmd.push_str(&format!(" --server-load {rps}"));
     }
     if common.scale == Scale::Paper {
         cmd.push_str(" --paper");

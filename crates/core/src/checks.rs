@@ -25,7 +25,9 @@
 //!   status line in the 4xx/5xx range.
 //!
 //! [`suite`] is the full oracle collection the `cmp-tlp check`
-//! subcommand and CI run.
+//! subcommand and CI run; it also pulls in the server-workload
+//! queueing-sanity oracles from [`tlp_check::server_oracles`]
+//! (`latency-sanity`, `server-ff-identity`).
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,11 +73,18 @@ const SWEEP_FAULTS: [Fault; 3] = [
     Fault::CycleBudget(2000),
 ];
 
+/// Server offered loads (requests/second) the sweep oracle mixes in, so
+/// the determinism and resume contracts also cover open-loop cells and
+/// their journaled request summaries.
+const SWEEP_SERVER_LOADS: [u32; 2] = [2_000_000, 8_000_000];
+
 /// One randomized sweep-determinism case.
 #[derive(Debug, Clone)]
 pub struct SweepCase {
     /// Applications in the grid.
     pub apps: Vec<AppId>,
+    /// Server offered loads in the grid (0 or 1 entries).
+    pub server_loads: Vec<u32>,
     /// Core counts (always a prefix of `[1, 2, 4]`).
     pub core_counts: Vec<usize>,
     /// Workload seed.
@@ -88,6 +97,11 @@ pub struct SweepCase {
 
 fn gen_sweep_case(rng: &mut SplitMix64) -> SweepCase {
     let apps = gen::subset(rng, &SWEEP_APPS, 1, 2);
+    let server_loads = if rng.gen_range_usize(0..3) == 0 {
+        vec![gen::pick(rng, &SWEEP_SERVER_LOADS)]
+    } else {
+        Vec::new()
+    };
     let core_counts = gen::prefix(rng, &[1usize, 2, 4], 1);
     let seed = rng.next_u64() & 0xFFFF;
     let threads = rng.gen_range_usize(2..7);
@@ -103,6 +117,7 @@ fn gen_sweep_case(rng: &mut SplitMix64) -> SweepCase {
         .collect();
     SweepCase {
         apps,
+        server_loads,
         core_counts,
         seed,
         threads,
@@ -112,6 +127,12 @@ fn gen_sweep_case(rng: &mut SplitMix64) -> SweepCase {
 
 fn shrink_sweep_case(c: &SweepCase) -> Vec<SweepCase> {
     let mut out = Vec::new();
+    if !c.server_loads.is_empty() {
+        out.push(SweepCase {
+            server_loads: Vec::new(),
+            ..c.clone()
+        });
+    }
     for faults in shrink::remove_each(&c.faults, 0) {
         out.push(SweepCase {
             faults,
@@ -142,6 +163,7 @@ fn sweep_check(c: &SweepCase) -> Result<(), String> {
     let chip = shared_chip();
     let spec = SweepSpec {
         apps: c.apps.clone(),
+        server_loads: c.server_loads.clone(),
         core_counts: c.core_counts.clone(),
         scale: Scale::Test,
         seed: c.seed,
@@ -269,6 +291,7 @@ fn resume_check(c: &ResumeCase) -> Result<(), String> {
     let chip = shared_chip();
     let spec = SweepSpec {
         apps: c.sweep.apps.clone(),
+        server_loads: c.sweep.server_loads.clone(),
         core_counts: c.sweep.core_counts.clone(),
         scale: Scale::Test,
         seed: c.sweep.seed,
@@ -666,6 +689,8 @@ pub fn suite() -> Vec<Property> {
     props.push(analytic_vs_sim());
     props.push(resume_identity());
     props.push(serve_http_parser());
+    props.push(tlp_check::server_oracles::latency_sanity());
+    props.push(tlp_check::server_oracles::server_ff_identity());
     props
 }
 
@@ -689,6 +714,8 @@ mod tests {
                 "analytic-vs-sim",
                 "resume-identity",
                 "serve-http-parser",
+                "latency-sanity",
+                "server-ff-identity",
             ]
         );
     }

@@ -117,6 +117,7 @@ mod tests {
                 frequency: Hertz::from_ghz(3.2),
                 voltage: Volts::new(1.1),
             },
+            requests: None,
         }
     }
 

@@ -49,7 +49,7 @@ use tlp_tech::json::Json;
 use tlp_tech::units::{Hertz, Volts};
 use tlp_tech::OperatingPoint;
 
-use crate::scenario1::Scenario1Row;
+use crate::scenario1::{RequestSummary, Scenario1Row};
 use crate::sweep::{FaultPlan, RetryPolicy, SweepSpec};
 
 /// Journal format version; bumped on incompatible record changes.
@@ -281,7 +281,42 @@ fn row_json(row: &Scenario1Row) -> Json {
         ("temperature_c", Json::from(row.temperature_c)),
         ("op_hz", Json::from(row.operating_point.frequency.as_f64())),
         ("op_v", Json::from(row.operating_point.voltage.as_f64())),
+        (
+            "requests",
+            match &row.requests {
+                Some(r) => requests_json(r),
+                None => Json::Null,
+            },
+        ),
     ])
+}
+
+fn requests_json(r: &RequestSummary) -> Json {
+    Json::object([
+        ("offered_rps", Json::from(r.offered_rps as u64)),
+        ("completed", Json::from(r.completed)),
+        ("throughput_rps", Json::from(r.throughput_rps)),
+        ("p50_s", Json::from(r.p50_s)),
+        ("p90_s", Json::from(r.p90_s)),
+        ("p99_s", Json::from(r.p99_s)),
+        ("max_s", Json::from(r.max_s)),
+        ("queue_depth_peak", Json::from(r.queue_depth_peak)),
+        ("energy_per_request_j", Json::from(r.energy_per_request_j)),
+    ])
+}
+
+fn requests_from_json(j: &Json) -> Option<RequestSummary> {
+    Some(RequestSummary {
+        offered_rps: num_field(j, "offered_rps")? as u32,
+        completed: num_field(j, "completed")? as u64,
+        throughput_rps: num_field(j, "throughput_rps")?,
+        p50_s: num_field(j, "p50_s")?,
+        p90_s: num_field(j, "p90_s")?,
+        p99_s: num_field(j, "p99_s")?,
+        max_s: num_field(j, "max_s")?,
+        queue_depth_peak: num_field(j, "queue_depth_peak")? as u64,
+        energy_per_request_j: num_field(j, "energy_per_request_j")?,
+    })
 }
 
 fn row_from_json(j: &Json) -> Option<Scenario1Row> {
@@ -296,6 +331,12 @@ fn row_from_json(j: &Json) -> Option<Scenario1Row> {
         operating_point: OperatingPoint {
             frequency: Hertz::new(num_field(j, "op_hz")?),
             voltage: Volts::new(num_field(j, "op_v")?),
+        },
+        // Tolerant: journals written before the server workload existed
+        // have no "requests" key, which reads back as None.
+        requests: match field(j, "requests") {
+            Some(obj @ Json::Obj(_)) => requests_from_json(obj),
+            _ => None,
         },
     })
 }
@@ -470,6 +511,10 @@ impl Journal {
             ("version", Json::from(VERSION)),
             ("fingerprint", Json::from(format!("{fingerprint:016x}"))),
             ("apps", Json::array(&spec.apps, |a| Json::from(a.name()))),
+            (
+                "server_loads",
+                Json::array(&spec.server_loads, |rps| Json::from(*rps as u64)),
+            ),
             (
                 "core_counts",
                 Json::array(&spec.core_counts, |n| Json::from(*n)),
@@ -666,6 +711,7 @@ mod tests {
     fn spec() -> SweepSpec {
         SweepSpec {
             apps: vec![AppId::WaterNsq],
+            server_loads: Vec::new(),
             core_counts: vec![1, 2],
             scale: Scale::Test,
             seed: 7,
@@ -685,6 +731,7 @@ mod tests {
                 frequency: Hertz::new(2.15e9 / 3.0),
                 voltage: Volts::new(0.9333333333333333),
             },
+            requests: None,
         }
     }
 
@@ -723,6 +770,38 @@ mod tests {
         // Bit-exact: every f64 survives the disk roundtrip.
         assert_eq!(format!("{:?}", done.row), format!("{:?}", r));
         assert_eq!(cell.total_strikes(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn roundtrips_a_server_row_with_request_summary_bit_exactly() {
+        let path = tmp("roundtrip-server");
+        let _ = std::fs::remove_file(&path);
+        let mut j = open(&path, JournalMode::Checkpoint).unwrap();
+        let mut r = row();
+        r.requests = Some(RequestSummary {
+            offered_rps: 2_000_000,
+            completed: 1729,
+            throughput_rps: 1_999_874.321,
+            p50_s: 3.0000000000000004e-7,
+            p90_s: 7.25e-7,
+            p99_s: 1.5e-6,
+            max_s: 2.0625e-6,
+            queue_depth_peak: 11,
+            energy_per_request_j: 2.0875e-5,
+        });
+        j.record_completed("server-2000000", 2, 7, &r, 1, 17)
+            .unwrap();
+        drop(j);
+
+        let j = open(&path, JournalMode::Resume).unwrap();
+        let done = j
+            .cell("server-2000000", 2)
+            .unwrap()
+            .completed
+            .as_ref()
+            .unwrap();
+        assert_eq!(format!("{:?}", done.row), format!("{:?}", r));
         let _ = std::fs::remove_file(&path);
     }
 

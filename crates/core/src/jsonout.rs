@@ -12,9 +12,27 @@ use tlp_tech::OperatingPoint;
 
 use crate::chipstate::ChipMeasurement;
 use crate::profiling::EfficiencyProfile;
-use crate::scenario1::{Scenario1Result, Scenario1Row};
+use crate::scenario1::{RequestSummary, Scenario1Result, Scenario1Row};
 use crate::scenario2::{Scenario2Result, Scenario2Row};
 use crate::sweep::{CellOutcome, SweepReport};
+
+/// Renders a request-latency digest (open-loop server cells only).
+pub fn request_summary_json(r: &RequestSummary) -> Json {
+    Json::object([
+        ("offered_rps", Json::from(r.offered_rps as u64)),
+        ("completed", Json::from(r.completed)),
+        ("throughput_rps", Json::from(r.throughput_rps)),
+        ("p50_us", Json::from(r.p50_s * 1e6)),
+        ("p90_us", Json::from(r.p90_s * 1e6)),
+        ("p99_us", Json::from(r.p99_s * 1e6)),
+        ("max_us", Json::from(r.max_s * 1e6)),
+        ("queue_depth_peak", Json::from(r.queue_depth_peak)),
+        (
+            "energy_per_request_uj",
+            Json::from(r.energy_per_request_j * 1e6),
+        ),
+    ])
+}
 
 /// Renders a power/thermal calibration (§3.3) as JSON.
 pub fn calibration_json(cal: &Calibration) -> Json {
@@ -84,6 +102,13 @@ impl ToJson for Scenario1Row {
             (
                 "operating_point",
                 operating_point_json(&self.operating_point),
+            ),
+            (
+                "requests",
+                match &self.requests {
+                    Some(r) => request_summary_json(r),
+                    None => Json::Null,
+                },
             ),
         ])
     }
@@ -167,7 +192,7 @@ impl ToJson for SweepReport {
                 "cells",
                 Json::array(&self.cells, |(cell, outcome)| {
                     let mut o = Json::object([
-                        ("app", Json::from(cell.app.name())),
+                        ("app", Json::from(cell.work.name())),
                         ("n", Json::from(cell.n)),
                     ]);
                     match outcome {
@@ -234,14 +259,14 @@ mod tests {
 
     #[test]
     fn failed_sweep_cell_shape() {
-        use crate::sweep::SweepCell;
+        use crate::sweep::{SweepCell, WorkloadId};
         use tlp_power::PowerError;
         use tlp_workloads::AppId;
 
         let report = SweepReport {
             cells: vec![(
                 SweepCell {
-                    app: AppId::Fft,
+                    work: WorkloadId::App(AppId::Fft),
                     n: 4,
                 },
                 CellOutcome::Failed {
@@ -270,13 +295,13 @@ mod tests {
 
     #[test]
     fn quarantined_sweep_cell_shape() {
-        use crate::sweep::SweepCell;
+        use crate::sweep::{SweepCell, WorkloadId};
         use tlp_workloads::AppId;
 
         let report = SweepReport {
             cells: vec![(
                 SweepCell {
-                    app: AppId::Radix,
+                    work: WorkloadId::App(AppId::Radix),
                     n: 8,
                 },
                 CellOutcome::Quarantined {

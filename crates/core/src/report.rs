@@ -139,6 +139,20 @@ pub fn sweep_cells(report: &SweepReport) -> String {
                     row.temperature_c,
                     report.timing.cell_seconds[i],
                 );
+                if let Some(req) = &row.requests {
+                    let _ = writeln!(
+                        out,
+                        "{:16} latency p50 {:.2} µs  p99 {:.2} µs  max {:.2} µs  \
+                         {:.0} req/s  {:.2} µJ/req  peak queue {}",
+                        "",
+                        req.p50_s * 1e6,
+                        req.p99_s * 1e6,
+                        req.max_s * 1e6,
+                        req.throughput_rps,
+                        req.energy_per_request_j * 1e6,
+                        req.queue_depth_peak,
+                    );
+                }
             }
             CellOutcome::Failed { reason, attempts } => {
                 let _ = writeln!(out, "{cell:<16} FAILED [{attempts} attempt(s)]: {reason}");
@@ -281,8 +295,8 @@ mod tests {
 
     #[test]
     fn sweep_cells_renders_all_three_outcomes() {
-        use crate::scenario1::Scenario1Row;
-        use crate::sweep::{SweepCell, SweepTiming};
+        use crate::scenario1::{RequestSummary, Scenario1Row};
+        use crate::sweep::{SweepCell, SweepTiming, WorkloadId};
         use tlp_power::PowerError;
         use tlp_tech::units::{Hertz, Volts};
         use tlp_tech::OperatingPoint;
@@ -299,12 +313,25 @@ mod tests {
                 frequency: Hertz::from_ghz(1.6),
                 voltage: Volts::new(0.9),
             },
+            requests: None,
         };
+        let mut server_row = row.clone();
+        server_row.requests = Some(RequestSummary {
+            offered_rps: 2_000_000,
+            completed: 2000,
+            throughput_rps: 1_987_654.0,
+            p50_s: 3.1e-7,
+            p90_s: 6.0e-7,
+            p99_s: 1.2e-6,
+            max_s: 2.5e-6,
+            queue_depth_peak: 9,
+            energy_per_request_j: 9.25e-6,
+        });
         let report = SweepReport {
             cells: vec![
                 (
                     SweepCell {
-                        app: AppId::Fft,
+                        work: WorkloadId::App(AppId::Fft),
                         n: 2,
                     },
                     CellOutcome::Completed {
@@ -315,7 +342,7 @@ mod tests {
                 ),
                 (
                     SweepCell {
-                        app: AppId::Fft,
+                        work: WorkloadId::App(AppId::Fft),
                         n: 4,
                     },
                     CellOutcome::Failed {
@@ -325,7 +352,7 @@ mod tests {
                 ),
                 (
                     SweepCell {
-                        app: AppId::Fft,
+                        work: WorkloadId::App(AppId::Fft),
                         n: 8,
                     },
                     CellOutcome::Quarantined {
@@ -337,11 +364,22 @@ mod tests {
                         replay_seed: 0xD1CE,
                     },
                 ),
+                (
+                    SweepCell {
+                        work: WorkloadId::Server { rps: 2_000_000 },
+                        n: 2,
+                    },
+                    CellOutcome::Completed {
+                        row: server_row,
+                        attempts: 1,
+                        solver_iterations: 5,
+                    },
+                ),
             ],
             timing: SweepTiming {
                 threads: 1,
                 total_seconds: 0.5,
-                cell_seconds: vec![0.25, 0.15, 0.0],
+                cell_seconds: vec![0.25, 0.15, 0.0, 0.1],
             },
         };
         let out = sweep_cells(&report);
@@ -355,6 +393,11 @@ mod tests {
         // Every causal line of the quarantine diagnosis is listed.
         assert!(out.contains("poison strike"), "{out}");
         assert!(out.contains("simulation failed: cancelled"), "{out}");
+        // Server cells get a latency line; the cell name carries the load.
+        assert!(out.contains("server-2000000@2"), "{out}");
+        assert!(out.contains("latency p50 0.31 µs"), "{out}");
+        assert!(out.contains("p99 1.20 µs"), "{out}");
+        assert!(out.contains("peak queue 9"), "{out}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! the narrowing processor–memory gap under chip-only DVFS, which gives
 //! memory-bound applications actual speedups above the nominal target.
 
+use tlp_sim::stats::RequestStats;
 use tlp_sim::SimResult;
 use tlp_tech::units::Hertz;
 use tlp_tech::{DvfsTable, OperatingPoint};
@@ -20,7 +21,72 @@ use crate::chipstate::ExperimentalChip;
 use crate::error::ExperimentError;
 use crate::profiling::EfficiencyProfile;
 
-/// One Fig. 3 data point (one application on `n` cores).
+/// Request-latency digest for one open-loop server cell, in wall-clock
+/// units (the simulator's cycle-domain [`RequestStats`] divided by the
+/// cell's operating frequency, so rows at different DVFS points compare
+/// directly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSummary {
+    /// The offered load the arrival process was built for,
+    /// requests/second.
+    pub offered_rps: u32,
+    /// Requests that completed during the run.
+    pub completed: u64,
+    /// Achieved throughput, completed requests per second of execution
+    /// time. An uncongested open-loop cell achieves ≈ the offered load.
+    pub throughput_rps: f64,
+    /// Median request latency, seconds (arrival to retire, queueing
+    /// included; nearest-rank percentile).
+    pub p50_s: f64,
+    /// 90th-percentile request latency, seconds.
+    pub p90_s: f64,
+    /// 99th-percentile request latency, seconds.
+    pub p99_s: f64,
+    /// Worst request latency, seconds.
+    pub max_s: f64,
+    /// Peak number of requests in flight at once.
+    pub queue_depth_peak: u64,
+    /// Chip energy per completed request, joules
+    /// (power × execution time / completed).
+    pub energy_per_request_j: f64,
+}
+
+impl RequestSummary {
+    /// Converts the simulator's cycle-domain stats into wall-clock
+    /// units at the cell's operating frequency and power.
+    pub fn from_stats(
+        stats: &RequestStats,
+        offered_rps: u32,
+        frequency: Hertz,
+        power_watts: f64,
+        exec_time_s: f64,
+    ) -> Self {
+        let f = frequency.as_f64();
+        let secs = |cycles: u64| cycles as f64 / f;
+        let completed = stats.completed;
+        Self {
+            offered_rps,
+            completed,
+            throughput_rps: if exec_time_s > 0.0 {
+                completed as f64 / exec_time_s
+            } else {
+                0.0
+            },
+            p50_s: secs(stats.p50_cycles),
+            p90_s: secs(stats.p90_cycles),
+            p99_s: secs(stats.p99_cycles),
+            max_s: secs(stats.max_cycles),
+            queue_depth_peak: stats.queue_depth_peak,
+            energy_per_request_j: if completed > 0 {
+                power_watts * exec_time_s / completed as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// One Fig. 3 data point (one workload on `n` cores).
 #[derive(Debug, Clone)]
 pub struct Scenario1Row {
     /// Active cores.
@@ -40,6 +106,9 @@ pub struct Scenario1Row {
     pub temperature_c: f64,
     /// The operating point the configuration ran at.
     pub operating_point: OperatingPoint,
+    /// Request-latency digest — `Some` only for open-loop server cells
+    /// (batch applications have no request boundaries).
+    pub requests: Option<RequestSummary>,
 }
 
 /// Fig. 3 series for one application.
@@ -149,6 +218,7 @@ pub fn try_run(
             normalized_density: m.power_density.as_w_per_mm2() / base_density.as_w_per_mm2(),
             temperature_c: m.avg_core_temp().as_f64(),
             operating_point: op,
+            requests: None,
         });
     }
     Ok(Scenario1Result {

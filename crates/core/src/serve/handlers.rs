@@ -54,12 +54,16 @@ fn job_summary(record: &JobRecord) -> Json {
         ("id", Json::from(record.id.as_str())),
         ("state", Json::from(record.state.name())),
         ("apps", Json::array(&record.apps, |a| a.name())),
+        (
+            "server_loads",
+            Json::array(&record.server_loads, |&rps| rps as u64),
+        ),
         ("core_counts", Json::array(&record.core_counts, |&n| n)),
         ("scale", Json::from(scale_name(record.scale))),
         ("seed", Json::from(format!("{:#x}", record.seed))),
         (
             "cells_total",
-            Json::from(record.apps.len() * record.core_counts.len()),
+            Json::from((record.apps.len() + record.server_loads.len()) * record.core_counts.len()),
         ),
         ("url", Json::from(format!("/sweeps/{}", record.id))),
     ]);
@@ -200,11 +204,12 @@ fn status(ctx: Ctx<'_>, id: &str) -> Response {
         doc.set("cells_completed", journal.completed_cells());
         let spec = snap.value.spec();
         let mut cells = Vec::new();
-        for app in &spec.apps {
+        for work in spec.works() {
+            let name = work.name();
             for &n in &spec.core_counts {
                 let mut cell =
-                    Json::object([("app", Json::from(app.name())), ("n", Json::from(n))]);
-                match journal.cell(app.name(), n) {
+                    Json::object([("app", Json::from(name.as_str())), ("n", Json::from(n))]);
+                match journal.cell(&name, n) {
                     Some(journaled) => {
                         if let Some(done) = &journaled.completed {
                             cell.set("status", "completed");

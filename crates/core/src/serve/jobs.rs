@@ -107,6 +107,8 @@ pub struct JobRecord {
     pub state: JobState,
     /// Applications in the grid.
     pub apps: Vec<AppId>,
+    /// Offered loads (requests/second) for open-loop server grid rows.
+    pub server_loads: Vec<u32>,
     /// Core counts in the grid (must start at 1, ascending).
     pub core_counts: Vec<usize>,
     /// Workload scale.
@@ -130,6 +132,7 @@ impl JobRecord {
             seq: 0,
             state: JobState::Queued,
             apps,
+            server_loads: Vec::new(),
             core_counts,
             scale,
             seed,
@@ -142,6 +145,7 @@ impl JobRecord {
     pub fn spec(&self) -> SweepSpec {
         SweepSpec {
             apps: self.apps.clone(),
+            server_loads: self.server_loads.clone(),
             core_counts: self.core_counts.clone(),
             scale: self.scale,
             seed: self.seed,
@@ -156,6 +160,10 @@ impl JobRecord {
             ("version", Json::from(version)),
             ("state", Json::from(self.state.name())),
             ("apps", Json::array(&self.apps, |a| a.name())),
+            (
+                "server_loads",
+                Json::array(&self.server_loads, |&rps| rps as u64),
+            ),
             ("core_counts", Json::array(&self.core_counts, |&n| n)),
             ("scale", Json::from(scale_name(self.scale))),
             ("seed", Json::from(format!("{:#x}", self.seed))),
@@ -179,6 +187,19 @@ impl JobRecord {
                 _ => None,
             })
             .collect::<Option<Vec<_>>>()?;
+        // Tolerant: records written before server workloads existed have
+        // no "server_loads" key; treat that as an empty grid row set.
+        let server_loads = match field(doc, "server_loads") {
+            None => Vec::new(),
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|n| match n {
+                    Json::Num(x) if *x >= 0.0 => Some(*x as u32),
+                    _ => None,
+                })
+                .collect::<Option<Vec<_>>>()?,
+            Some(_) => return None,
+        };
         let core_counts = arr_field(doc, "core_counts")?
             .iter()
             .map(|n| match n {
@@ -201,6 +222,7 @@ impl JobRecord {
                 seq: num_field(doc, "seq")? as u64,
                 state: JobState::from_name(str_field(doc, "state")?)?,
                 apps,
+                server_loads,
                 core_counts,
                 scale: scale_from_name(str_field(doc, "scale")?)?,
                 seed,
@@ -505,10 +527,12 @@ impl JobStore for FsJobStore {
 
 /// Parses a sweep submission body into a validated [`JobRecord`].
 ///
-/// Accepted shape (only `apps` is required):
+/// Accepted shape (at least one of `apps` / `server_loads` must be
+/// non-empty):
 ///
 /// ```json
-/// {"apps": ["fft", "lu"], "core_counts": [1, 2, 4, 8, 16],
+/// {"apps": ["fft", "lu"], "server_loads": [2000000],
+///  "core_counts": [1, 2, 4, 8, 16],
 ///  "scale": "small", "seed": "0x15952005"}
 /// ```
 ///
@@ -519,16 +543,42 @@ pub fn parse_submission(doc: &Json) -> Result<JobRecord, String> {
     if !matches!(doc, Json::Obj(_)) {
         return Err("submission must be a JSON object".to_string());
     }
-    let apps_json = arr_field(doc, "apps").ok_or("submission needs an \"apps\" array")?;
-    if apps_json.is_empty() {
-        return Err("\"apps\" must name at least one application".to_string());
+    let mut apps = Vec::new();
+    if let Some(apps_json) = arr_field(doc, "apps") {
+        apps.reserve(apps_json.len());
+        for a in apps_json {
+            let Json::Str(name) = a else {
+                return Err("\"apps\" entries must be strings".to_string());
+            };
+            apps.push(app_from_name(name).ok_or_else(|| format!("unknown application {name:?}"))?);
+        }
+    } else if field(doc, "apps").is_some() {
+        return Err("\"apps\" must be an array".to_string());
     }
-    let mut apps = Vec::with_capacity(apps_json.len());
-    for a in apps_json {
-        let Json::Str(name) = a else {
-            return Err("\"apps\" entries must be strings".to_string());
-        };
-        apps.push(app_from_name(name).ok_or_else(|| format!("unknown application {name:?}"))?);
+
+    let server_loads = match field(doc, "server_loads") {
+        None => Vec::new(),
+        Some(Json::Arr(items)) => {
+            let mut loads = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Json::Num(x) if *x >= 1.0 && x.fract() == 0.0 && *x <= 4.0e9 => {
+                        loads.push(*x as u32);
+                    }
+                    _ => {
+                        return Err(
+                            "\"server_loads\" must be integer requests/second in 1..=4e9"
+                                .to_string(),
+                        )
+                    }
+                }
+            }
+            loads
+        }
+        Some(_) => return Err("\"server_loads\" must be an array".to_string()),
+    };
+    if apps.is_empty() && server_loads.is_empty() {
+        return Err("submission needs a non-empty \"apps\" or \"server_loads\" array".to_string());
     }
 
     let core_counts = match field(doc, "core_counts") {
@@ -571,7 +621,9 @@ pub fn parse_submission(doc: &Json) -> Result<JobRecord, String> {
         Some(_) => return Err("\"seed\" must be an integer or a hex string".to_string()),
     };
 
-    Ok(JobRecord::new(apps, core_counts, scale, seed))
+    let mut record = JobRecord::new(apps, core_counts, scale, seed);
+    record.server_loads = server_loads;
+    Ok(record)
 }
 
 #[cfg(test)]
@@ -688,12 +740,43 @@ mod tests {
     }
 
     #[test]
+    fn server_only_submissions_parse_and_roundtrip() {
+        let doc =
+            Json::parse("{\"server_loads\": [2000000, 8000000], \"core_counts\": [1, 2]}").unwrap();
+        let r = parse_submission(&doc).unwrap();
+        assert!(r.apps.is_empty());
+        assert_eq!(r.server_loads, vec![2_000_000, 8_000_000]);
+        assert_eq!(r.spec().works().len(), 2);
+
+        // The loads survive the disk roundtrip.
+        let store = FsJobStore::open(temp_dir("server-loads")).unwrap();
+        let created = store.create(r).unwrap();
+        let read = store.snapshot(&created.value.id).unwrap();
+        assert_eq!(read.value.server_loads, vec![2_000_000, 8_000_000]);
+
+        // Pre-server records (no "server_loads" key) still parse.
+        let old = Json::parse(
+            "{\"id\": \"j000009\", \"seq\": 9, \"version\": 1, \"state\": \"queued\", \
+             \"apps\": [\"fft\"], \"core_counts\": [1], \"scale\": \"test\", \
+             \"seed\": \"0x7\", \"error_chain\": []}",
+        )
+        .unwrap();
+        let (rec, _) = JobRecord::from_json(&old).unwrap();
+        assert!(rec.server_loads.is_empty());
+    }
+
+    #[test]
     fn bad_submissions_are_typed_errors_not_panics() {
         for (body, needle) in [
             ("[]", "object"),
             ("{}", "apps"),
-            ("{\"apps\": []}", "at least one"),
+            ("{\"apps\": []}", "non-empty"),
             ("{\"apps\": [\"nope\"]}", "unknown application"),
+            ("{\"server_loads\": [0]}", "server_loads"),
+            (
+                "{\"apps\": [\"fft\"], \"server_loads\": \"fast\"}",
+                "must be an array",
+            ),
             (
                 "{\"apps\": [\"fft\"], \"core_counts\": [2, 4]}",
                 "start at 1",

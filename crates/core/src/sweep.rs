@@ -99,26 +99,33 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use tlp_sim::{SimError, SimFaults};
+use tlp_sim::{SimError, SimFaults, SimResult};
 use tlp_tech::units::Hertz;
 use tlp_tech::{DvfsTable, OperatingPoint, Technology};
 use tlp_thermal::{FixpointOptions, ThermalError};
-use tlp_workloads::{gang, AppId, Scale};
+use tlp_workloads::{gang, AppId, Scale, ServerSpec};
 
 use crate::chipstate::{ChipMeasurement, ExperimentalChip, MeasureFaults};
 use crate::error::{error_chain, ExperimentError, InterruptInfo};
 use crate::journal::{Journal, JournalError, JournalMode};
 use crate::pool;
-use crate::profiling::{profile, EfficiencyProfile};
-use crate::scenario1::{operating_point_for, Scenario1Row};
+use crate::profiling::profile;
+use crate::scenario1::{operating_point_for, RequestSummary, Scenario1Row};
 
-/// What to sweep: the cross product of applications and core counts at
-/// one workload scale.
+/// What to sweep: the cross product of workloads and core counts at
+/// one workload scale. Workloads are the batch applications in `apps`
+/// plus one open-loop server workload per offered load in
+/// `server_loads` (requests/second; see
+/// [`tlp_workloads::ServerSpec`]).
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
-    /// Applications to sweep.
+    /// Batch applications to sweep.
     pub apps: Vec<AppId>,
-    /// Core counts per application (ascending, starting at 1).
+    /// Offered loads (requests/second) for the open-loop server
+    /// workload; each one is an independent grid row, swept over the
+    /// same core counts as the applications.
+    pub server_loads: Vec<u32>,
+    /// Core counts per workload (ascending, starting at 1).
     pub core_counts: Vec<usize>,
     /// Workload scale.
     pub scale: Scale,
@@ -132,26 +139,72 @@ impl SweepSpec {
     pub fn fig3(apps: Vec<AppId>, scale: Scale, seed: u64) -> Self {
         Self {
             apps,
+            server_loads: Vec::new(),
             core_counts: vec![1, 2, 4, 8, 16],
             scale,
             seed,
         }
     }
+
+    /// The grid's workload rows in report order: the batch applications
+    /// first, then one server workload per offered load.
+    pub fn works(&self) -> Vec<WorkloadId> {
+        self.apps
+            .iter()
+            .map(|&app| WorkloadId::App(app))
+            .chain(
+                self.server_loads
+                    .iter()
+                    .map(|&rps| WorkloadId::Server { rps }),
+            )
+            .collect()
+    }
 }
 
-/// One sweep cell: an application on `n` cores (the V/f point follows
+/// One workload row of the sweep grid: a batch application or an
+/// open-loop server workload at a fixed offered load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadId {
+    /// A SPLASH-2-style batch application.
+    App(AppId),
+    /// The open-loop request-serving workload at `rps` offered
+    /// requests/second ([`ServerSpec::standard`]).
+    Server {
+        /// Offered load, requests per second of wall-clock time.
+        rps: u32,
+    },
+}
+
+impl WorkloadId {
+    /// The stable name the journal and JSON reports key cells by,
+    /// e.g. `"fft"` or `"server-2000000"`.
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadId::App(app) => app.name().to_string(),
+            WorkloadId::Server { rps } => format!("server-{rps}"),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One sweep cell: a workload on `n` cores (the V/f point follows
 /// from the Eq. 7 iso-performance rule).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepCell {
-    /// Application.
-    pub app: AppId,
+    /// Workload (batch application or server load level).
+    pub work: WorkloadId,
     /// Active cores.
     pub n: usize,
 }
 
 impl fmt::Display for SweepCell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}", self.app.name(), self.n)
+        write!(f, "{}@{}", self.work, self.n)
     }
 }
 
@@ -200,8 +253,14 @@ impl FaultPlan {
 
     /// Arms `fault` on the (`app`, `n`) cell. Multiple faults may target
     /// the same cell.
-    pub fn inject(mut self, app: AppId, n: usize, fault: Fault) -> Self {
-        self.faults.push((SweepCell { app, n }, fault));
+    pub fn inject(self, app: AppId, n: usize, fault: Fault) -> Self {
+        self.inject_work(WorkloadId::App(app), n, fault)
+    }
+
+    /// Arms `fault` on the (`work`, `n`) cell — the general form of
+    /// [`FaultPlan::inject`] that can also target server workloads.
+    pub fn inject_work(mut self, work: WorkloadId, n: usize, fault: Fault) -> Self {
+        self.faults.push((SweepCell { work, n }, fault));
         self
     }
 
@@ -509,11 +568,19 @@ impl SweepReport {
     }
 }
 
-/// Per-application state shared between that application's cell tasks:
-/// the nominal profile and the single-core reference measurement every
+/// Per-workload state shared between that workload's cell tasks: the
+/// nominal single-core run, the per-count nominal efficiencies Eq. 7
+/// consumes, and the single-core reference measurement every
 /// normalization anchors on.
-struct AppBaseline {
-    prof: EfficiencyProfile,
+///
+/// Batch applications get their efficiencies from
+/// [`profile`](crate::profiling::profile); the server workload is
+/// open-loop (its capacity target is the offered load itself, not a
+/// speedup over one core), so its nominal efficiency is 1.0 at every
+/// count and Eq. 7 reduces to the iso-capacity point `f1/n`.
+struct WorkBaseline {
+    baseline: SimResult,
+    efficiencies: Vec<f64>,
     base_measure: ChipMeasurement,
     base_attempts: u32,
 }
@@ -893,7 +960,8 @@ fn sweep_engine(
     let table = DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))?;
     let threads = opts.resolved_threads();
     let n_counts = spec.core_counts.len();
-    let total = spec.apps.len() * n_counts;
+    let works = spec.works();
+    let total = works.len() * n_counts;
 
     let journal = match journal_at {
         Some((path, mode)) => {
@@ -924,9 +992,10 @@ fn sweep_engine(
     let mut spliced = vec![false; total];
     if let Some(state) = journal {
         let st = state.lock().expect("journal poisoned");
-        for (ai, &app) in spec.apps.iter().enumerate() {
+        for (ai, work) in works.iter().enumerate() {
+            let name = work.name();
             for (ni, &n) in spec.core_counts.iter().enumerate() {
-                let Some(cell) = st.journal.cell(app.name(), n) else {
+                let Some(cell) = st.journal.cell(&name, n) else {
                     continue;
                 };
                 let idx = ai * n_counts + ni;
@@ -954,10 +1023,11 @@ fn sweep_engine(
     let spliced = &spliced;
     let start = Instant::now();
 
+    let works = &works;
     pool::run_watched(threads, opts.deadline, |p| {
-        for (ai, &app) in spec.apps.iter().enumerate() {
-            // An application whose every cell is already settled needs
-            // no preparation (profiling is the expensive part).
+        for (ai, &work) in works.iter().enumerate() {
+            // A workload whose every cell is already settled needs no
+            // preparation (profiling is the expensive part).
             if (0..n_counts).all(|ni| spliced[ai * n_counts + ni]) {
                 continue;
             }
@@ -966,39 +1036,29 @@ fn sweep_engine(
                 if interrupt_raised(interrupt) {
                     return;
                 }
-                // Preparation: profile at nominal V/f, then the
-                // single-core reference measurement. If the reference
-                // fails (including by injected fault), every cell of
-                // this application fails with the same diagnosis —
-                // normalization needs the anchor.
+                // Preparation: the nominal-V/f single-core anchor run
+                // (plus, for batch applications, the efficiency
+                // profile), then the single-core reference measurement.
+                // If the anchor fails (including by injected fault),
+                // every cell of this workload fails with the same
+                // diagnosis — normalization needs the anchor.
                 let prep_start = Instant::now();
-                let _span = tlp_obs::span_with("sweep.prep", || app.name().to_string());
-                let prof: EfficiencyProfile =
-                    profile(chip, app, &spec.core_counts, spec.scale, spec.seed);
-                let base_cell = SweepCell { app, n: 1 };
-                let base = {
-                    let _span = tlp_obs::span_with("sweep.baseline", || app.name().to_string());
-                    supervise(policy, |opts| {
-                        chip.try_measure_with(
-                            &prof.baseline,
-                            tech.vdd_nominal(),
-                            opts,
-                            &plan.measure_faults_for(base_cell),
-                        )
-                    })
-                };
-                let (base_measure, base_attempts) = match base {
-                    Ok(pair) => pair,
+                let _span = tlp_obs::span_with("sweep.prep", || work.name());
+                let base_cell = SweepCell { work, n: 1 };
+                let base = prepare_baseline(chip, spec, policy, plan, tech, work, base_cell);
+                let baseline = match base {
+                    Ok(b) => Arc::new(b),
                     Err((reason, attempts)) => {
                         let wall = prep_start.elapsed().as_secs_f64();
                         let chain = error_chain(&reason);
+                        let name = work.name();
                         for (ni, &n) in spec.core_counts.iter().enumerate() {
                             let idx = ai * n_counts + ni;
                             if spliced[idx] {
                                 continue;
                             }
                             journal_record(journal, |j| {
-                                j.record_failed(app.name(), n, spec.seed, &chain, attempts, false)
+                                j.record_failed(&name, n, spec.seed, &chain, attempts, false)
                             });
                             *slots[idx].lock().expect("slot poisoned") = Some((
                                 CellOutcome::Failed {
@@ -1011,13 +1071,8 @@ fn sweep_engine(
                         return;
                     }
                 };
-                // Fan the application's cells out the moment the anchor
-                // is ready — no barrier against other applications.
-                let baseline = Arc::new(AppBaseline {
-                    prof,
-                    base_measure,
-                    base_attempts,
-                });
+                // Fan the workload's cells out the moment the anchor
+                // is ready — no barrier against other workloads.
                 for (ni, &n) in spec.core_counts.iter().enumerate() {
                     if spliced[ai * n_counts + ni] {
                         continue;
@@ -1031,11 +1086,12 @@ fn sweep_engine(
                             return;
                         }
                         let cell_start = Instant::now();
-                        let _span =
-                            tlp_obs::span_with("sweep.cell", || format!("{}@{}", app.name(), n));
-                        journal_record(journal, |j| j.record_start(app.name(), n, spec.seed));
-                        let outcome =
-                            run_cell(chip, spec, policy, plan, table, tech, &baseline, app, n, ni);
+                        let name = work.name();
+                        let _span = tlp_obs::span_with("sweep.cell", || format!("{name}@{n}"));
+                        journal_record(journal, |j| j.record_start(&name, n, spec.seed));
+                        let outcome = run_cell(
+                            chip, spec, policy, plan, table, tech, &baseline, work, n, ni,
+                        );
                         match &outcome {
                             CellOutcome::Completed {
                                 row,
@@ -1043,7 +1099,7 @@ fn sweep_engine(
                                 solver_iterations,
                             } => journal_record(journal, |j| {
                                 j.record_completed(
-                                    app.name(),
+                                    &name,
                                     n,
                                     spec.seed,
                                     row,
@@ -1055,7 +1111,7 @@ fn sweep_engine(
                                 let chain = error_chain(reason);
                                 journal_record(journal, |j| {
                                     j.record_failed(
-                                        app.name(),
+                                        &name,
                                         n,
                                         spec.seed,
                                         &chain,
@@ -1112,7 +1168,7 @@ fn sweep_engine(
             .expect("slot poisoned")
             .expect("every sweep cell writes its slot");
         let cell = SweepCell {
-            app: spec.apps[i / n_counts],
+            work: works[i / n_counts],
             n: spec.core_counts[i % n_counts],
         };
         match &outcome {
@@ -1133,6 +1189,64 @@ fn sweep_engine(
     })
 }
 
+/// Builds the per-workload anchor: the nominal-V/f single-core run, the
+/// per-count nominal efficiencies, and the supervised single-core
+/// reference measurement.
+///
+/// Batch applications are profiled over the spec's core counts; the
+/// open-loop server workload runs its single-thread gang once at
+/// nominal V/f (its arrival process is anchored to wall-clock offered
+/// load, so the gang is rebuilt per operating point later) and uses
+/// efficiency 1.0 at every count.
+fn prepare_baseline(
+    chip: &ExperimentalChip,
+    spec: &SweepSpec,
+    policy: &RetryPolicy,
+    plan: &FaultPlan,
+    tech: &Technology,
+    work: WorkloadId,
+    base_cell: SweepCell,
+) -> Result<WorkBaseline, (ExperimentError, u32)> {
+    let (baseline, efficiencies) = match work {
+        WorkloadId::App(app) => {
+            let prof = profile(chip, app, &spec.core_counts, spec.scale, spec.seed);
+            (prof.baseline, prof.efficiencies)
+        }
+        WorkloadId::Server { rps } => {
+            let nominal = OperatingPoint {
+                frequency: tech.f_nominal(),
+                voltage: tech.vdd_nominal(),
+            };
+            let server = ServerSpec::standard(rps, spec.scale);
+            let r = chip
+                .try_run_with(
+                    server.gang(1, spec.seed, nominal.frequency),
+                    nominal,
+                    plan.sim_faults_for(base_cell),
+                )
+                .map_err(|e| (e, 1))?;
+            (r, vec![1.0; spec.core_counts.len()])
+        }
+    };
+    let (base_measure, base_attempts) = {
+        let _span = tlp_obs::span_with("sweep.baseline", || work.name());
+        supervise(policy, |opts| {
+            chip.try_measure_with(
+                &baseline,
+                tech.vdd_nominal(),
+                opts,
+                &plan.measure_faults_for(base_cell),
+            )
+        })?
+    };
+    Ok(WorkBaseline {
+        baseline,
+        efficiencies,
+        base_measure,
+        base_attempts,
+    })
+}
+
 /// One supervised cell: simulate at the Eq. 7 iso-performance operating
 /// point, then measure under the retry policy. Self-contained and
 /// deterministic — the outcome depends only on the arguments, never on
@@ -1145,12 +1259,12 @@ fn run_cell(
     plan: &FaultPlan,
     table: &DvfsTable,
     tech: &Technology,
-    baseline: &AppBaseline,
-    app: AppId,
+    baseline: &WorkBaseline,
+    work: WorkloadId,
     n: usize,
     idx: usize,
 ) -> CellOutcome {
-    let cell = SweepCell { app, n };
+    let cell = SweepCell { work, n };
     let f1 = tech.f_nominal();
     let nominal = OperatingPoint {
         frequency: f1,
@@ -1158,29 +1272,44 @@ fn run_cell(
     };
     let base_power = baseline.base_measure.total();
     let base_density = baseline.base_measure.power_density;
-    let base_time = baseline.prof.baseline.execution_time();
-    let eps = baseline.prof.efficiencies[idx];
+    let base_time = baseline.baseline.execution_time();
+    let eps = baseline.efficiencies[idx];
 
     // The operating point and the simulation run once per cell; only
     // the thermal solve is retried (the simulator is deterministic, so
     // re-running it cannot change anything).
     let outcome = (|| -> Result<(Scenario1Row, u32, u32), (ExperimentError, u32)> {
         let (result, op) = if n == 1 {
-            (baseline.prof.baseline.clone(), nominal)
+            (baseline.baseline.clone(), nominal)
         } else {
             let op = operating_point_for(table, f1, n, eps).map_err(|e| (e, 1))?;
+            let gang = match work {
+                WorkloadId::App(app) => gang(app, n, spec.scale, spec.seed),
+                // The arrival process is pinned to wall-clock offered
+                // load, so the gang depends on the cell's own clock:
+                // rebuild it at the Eq. 7 frequency.
+                WorkloadId::Server { rps } => {
+                    ServerSpec::standard(rps, spec.scale).gang(n, spec.seed, op.frequency)
+                }
+            };
             let r = chip
-                .try_run_with(
-                    gang(app, n, spec.scale, spec.seed),
-                    op,
-                    plan.sim_faults_for(cell),
-                )
+                .try_run_with(gang, op, plan.sim_faults_for(cell))
                 .map_err(|e| (e, 1))?;
             (r, op)
         };
         let (m, attempts) = supervise(policy, |opts| {
             chip.try_measure_with(&result, op.voltage, opts, &plan.measure_faults_for(cell))
         })?;
+        let requests = match (work, &result.requests) {
+            (WorkloadId::Server { rps }, Some(stats)) => Some(RequestSummary::from_stats(
+                stats,
+                rps,
+                op.frequency,
+                m.total().as_f64(),
+                result.execution_time().as_f64(),
+            )),
+            _ => None,
+        };
         Ok((
             Scenario1Row {
                 n,
@@ -1191,6 +1320,7 @@ fn run_cell(
                 normalized_density: m.power_density.as_w_per_mm2() / base_density.as_w_per_mm2(),
                 temperature_c: m.avg_core_temp().as_f64(),
                 operating_point: op,
+                requests,
             },
             attempts.max(if n == 1 { baseline.base_attempts } else { 1 }),
             m.fixpoint_iterations,
@@ -1243,6 +1373,7 @@ mod tests {
     fn spec(apps: Vec<AppId>) -> SweepSpec {
         SweepSpec {
             apps,
+            server_loads: Vec::new(),
             core_counts: vec![1, 2],
             scale: Scale::Test,
             seed: 7,
@@ -1481,7 +1612,7 @@ mod tests {
         assert_eq!(
             cell,
             SweepCell {
-                app: AppId::WaterNsq,
+                work: WorkloadId::App(AppId::WaterNsq),
                 n: 2
             }
         );
@@ -1521,11 +1652,11 @@ mod tests {
             .inject(AppId::Fft, 4, Fault::InflateLeakage(4.0))
             .inject(AppId::Fft, 8, Fault::CycleBudget(1000));
         let cell4 = SweepCell {
-            app: AppId::Fft,
+            work: WorkloadId::App(AppId::Fft),
             n: 4,
         };
         let cell8 = SweepCell {
-            app: AppId::Fft,
+            work: WorkloadId::App(AppId::Fft),
             n: 8,
         };
         assert_eq!(
@@ -1537,8 +1668,72 @@ mod tests {
         assert_eq!(plan.sim_faults_for(cell8).cycle_budget, Some(1000));
         assert!(!plan.measure_faults_for(cell8).any());
         assert!(!plan.targets(SweepCell {
-            app: AppId::Fft,
+            work: WorkloadId::App(AppId::Fft),
             n: 2
         }));
+    }
+
+    #[test]
+    fn server_rows_carry_request_summaries_and_batch_rows_do_not() {
+        let mut grid = spec(vec![AppId::WaterNsq]);
+        grid.server_loads = vec![5_000_000];
+        let r = chip().sweep().grid(grid).serial().run().unwrap();
+        assert_eq!(r.cells.len(), 4);
+        assert!(
+            r.cells.iter().all(|(_, o)| o.is_completed()),
+            "{}",
+            r.summary()
+        );
+        for (cell, row) in r.completed() {
+            match cell.work {
+                WorkloadId::App(_) => {
+                    assert!(row.requests.is_none(), "{cell}: batch row has latency data")
+                }
+                WorkloadId::Server { rps } => {
+                    let req = row.requests.as_ref().expect("server row has latency data");
+                    assert_eq!(req.offered_rps, rps);
+                    assert!(req.completed > 0);
+                    assert!(req.throughput_rps > 0.0);
+                    assert!(req.p50_s > 0.0 && req.p50_s <= req.p99_s && req.p99_s <= req.max_s);
+                    assert!(req.energy_per_request_j > 0.0);
+                }
+            }
+        }
+        // Report order: batch applications first, then server loads.
+        assert_eq!(
+            r.cells
+                .iter()
+                .map(|(c, _)| c.to_string())
+                .collect::<Vec<_>>(),
+            [
+                "Water-Nsq@1",
+                "Water-Nsq@2",
+                "server-5000000@1",
+                "server-5000000@2"
+            ]
+        );
+    }
+
+    #[test]
+    fn server_cells_respect_injected_faults() {
+        let mut grid = spec(Vec::new());
+        grid.server_loads = vec![5_000_000];
+        let work = WorkloadId::Server { rps: 5_000_000 };
+        let plan = FaultPlan::none().inject_work(work, 2, Fault::CycleBudget(500));
+        let r = chip()
+            .sweep()
+            .grid(grid)
+            .faults(plan)
+            .serial()
+            .run()
+            .unwrap();
+        let failed: Vec<_> = r.failed().collect();
+        assert_eq!(failed.len(), 1, "{}", r.summary());
+        assert_eq!(failed[0].0, SweepCell { work, n: 2 });
+        assert!(matches!(
+            failed[0].1,
+            ExperimentError::Sim(SimError::CycleBudgetExhausted { .. })
+        ));
+        assert_eq!(r.completed().count(), 1);
     }
 }

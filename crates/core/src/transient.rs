@@ -118,6 +118,7 @@ pub fn trace_from_windows(
             l1d: result.l1d.clone(),
             l2: result.l2,
             mem: result.mem,
+            requests: None,
         };
         let breakdown = chip.power_calculator().dynamic(&window_result, v);
         for c in &breakdown.cores {

@@ -246,6 +246,8 @@ counters! { COUNTERS, new;
     SIM_CACHE_MISSES => "sim.cache_misses",
     /// Completed simulator runs.
     SIM_RUNS => "sim.runs",
+    /// Open-loop requests completed across simulator runs.
+    SIM_REQUESTS_COMPLETED => "sim.requests_completed",
     /// Steady-state RC solves (one per fixpoint iteration plus one seed
     /// solve per fixpoint, plus direct calls).
     THERMAL_STEADY_SOLVES => "thermal.steady_solves",
@@ -343,6 +345,9 @@ histograms! { HISTOGRAMS, new;
     HIST_FIXPOINT_ITERATIONS => "thermal.fixpoint_iterations_per_solve",
     /// Cycles per completed simulator run.
     HIST_SIM_RUN_CYCLES => "sim.cycles_per_run",
+    /// Latency in cycles per completed open-loop request (scheduled
+    /// arrival to retirement, queueing included).
+    HIST_REQUEST_LATENCY => "sim.request_latency_cycles",
     /// Matrix dimension per LU factorization.
     HIST_LU_DIMENSION => "linalg.lu_dimension",
     /// Bytes written per checkpoint-journal flush (each flush rewrites

@@ -445,6 +445,7 @@ mod tests {
             l1d: vec![Default::default()],
             l2: Default::default(),
             mem: Default::default(),
+            requests: None,
         };
         assert_eq!(
             calc.try_dynamic(&empty, Volts::new(1.1)).unwrap_err(),

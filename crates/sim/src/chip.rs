@@ -87,7 +87,11 @@ impl CmpSimulator {
         let cores = programs
             .into_iter()
             .enumerate()
-            .map(|(id, p)| Core::new(id, config.core, p))
+            .map(|(id, p)| {
+                let mut core = Core::new(id, config.core, p);
+                core.set_completion_skew(config.faults.skew_request_completion);
+                core
+            })
             .collect();
         Self {
             config,
@@ -291,6 +295,18 @@ impl CmpSimulator {
             }
         }
 
+        // Request records in core-index order (each core's records are
+        // already in completion order) — deterministic for a fixed seed.
+        let requests = if self.cores.iter().any(|c| c.saw_requests()) {
+            crate::stats::RequestStats::from_records(
+                self.cores
+                    .iter()
+                    .flat_map(|c| c.request_records().iter().copied())
+                    .collect(),
+            )
+        } else {
+            None
+        };
         let result = SimResult {
             cycles: cycle,
             frequency: self.config.frequency(),
@@ -299,6 +315,7 @@ impl CmpSimulator {
             l1d: (0..n).map(|i| *self.memory.l1d_stats(i)).collect(),
             l2: *self.memory.l2_stats(),
             mem: *self.memory.stats(),
+            requests,
         };
         if tlp_obs::enabled() {
             use tlp_obs::metrics;
@@ -316,6 +333,12 @@ impl CmpSimulator {
             metrics::SIM_BARRIER_STALL_CYCLES.add(stall);
             let misses = result.l1d.iter().map(|c| c.misses).sum::<u64>() + result.l2.misses;
             metrics::SIM_CACHE_MISSES.add(misses);
+            if let Some(req) = &result.requests {
+                metrics::SIM_REQUESTS_COMPLETED.add(req.completed);
+                for r in &req.records {
+                    metrics::HIST_REQUEST_LATENCY.record(r.latency_cycles());
+                }
+            }
         }
         Ok((result, windows))
     }
@@ -799,6 +822,130 @@ mod tests {
             2 * ff > retired,
             "fast-forward covered only {ff} of {retired} cycles"
         );
+    }
+
+    fn server_script(t: u64) -> Vec<Op> {
+        // Two requests per core: the first arrives immediately, the
+        // second is scheduled far enough out that the core idles.
+        vec![
+            Op::RequestArrive { id: 0, at: 0 },
+            Op::Int {
+                count: 400 + 100 * t as u32,
+            },
+            Op::Load {
+                addr: 0x50_000 + t * 4096,
+            },
+            Op::RequestRetire { id: 0 },
+            Op::RequestArrive {
+                id: 1,
+                at: 40_000 + 64 * t,
+            },
+            Op::Int { count: 300 },
+            Op::RequestRetire { id: 1 },
+        ]
+    }
+
+    #[test]
+    fn request_markers_produce_latency_records() {
+        let r = CmpSimulator::new(
+            CmpConfig::ispass05(2),
+            (0..2).map(|t| boxed(server_script(t))).collect(),
+        )
+        .run();
+        let req = r.requests.expect("server run must report requests");
+        assert_eq!(req.completed, 4);
+        // Core-index order, completion order within a core.
+        assert_eq!(
+            req.records
+                .iter()
+                .map(|x| (x.core, x.id))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
+        );
+        for rec in &req.records {
+            assert!(rec.arrival <= rec.completion);
+            assert!(rec.completion <= r.cycles);
+        }
+        assert!(req.p50_cycles <= req.p90_cycles);
+        assert!(req.p90_cycles <= req.p99_cycles);
+        assert!(req.p99_cycles <= req.max_cycles);
+        // The gap before the second request is idle time, not stall time.
+        assert!(
+            r.cores[0].idle_cycles > 30_000,
+            "{}",
+            r.cores[0].idle_cycles
+        );
+    }
+
+    #[test]
+    fn batch_runs_report_no_requests() {
+        let r = CmpSimulator::new(
+            CmpConfig::ispass05(2),
+            vec![boxed(vec![Op::Int { count: 100 }])],
+        )
+        .run();
+        assert!(r.requests.is_none());
+    }
+
+    #[test]
+    fn late_request_arrival_charges_queueing_delay() {
+        // The core is busy until ~cycle 2500; a request scheduled at
+        // cycle 100 queues behind it, so its latency includes the wait.
+        let r = CmpSimulator::new(
+            CmpConfig::ispass05(2),
+            vec![boxed(vec![
+                Op::Int { count: 10_000 },
+                Op::RequestArrive { id: 0, at: 100 },
+                Op::Int { count: 40 },
+                Op::RequestRetire { id: 0 },
+            ])],
+        )
+        .run();
+        let req = r.requests.unwrap();
+        assert_eq!(req.records[0].arrival, 100);
+        assert!(
+            req.records[0].latency_cycles() > 2_000,
+            "queueing delay missing: {}",
+            req.records[0].latency_cycles()
+        );
+    }
+
+    #[test]
+    fn request_idle_fast_forward_matches_stepped() {
+        let mk = || {
+            CmpSimulator::new(
+                CmpConfig::ispass05(4),
+                (0..3).map(|t| boxed(server_script(t))).collect(),
+            )
+        };
+        let (fast_r, fast_w) = mk().try_run_sampled(512, 10_000_000).unwrap();
+        let (slow_r, slow_w) = mk()
+            .with_fast_forward(false)
+            .try_run_sampled(512, 10_000_000)
+            .unwrap();
+        assert_eq!(format!("{fast_r:?}"), format!("{slow_r:?}"));
+        assert_eq!(format!("{fast_w:?}"), format!("{slow_w:?}"));
+        // The idle stretch must actually be fast-forwarded.
+        let ((), trace) = tlp_obs::capture(|| {
+            let _ = mk().run();
+        });
+        assert!(trace.counter("sim.cycles_fast_forwarded").unwrap_or(0) > 10_000);
+    }
+
+    #[test]
+    fn completion_skew_fault_corrupts_the_records() {
+        let mut cfg = CmpConfig::ispass05(2);
+        cfg.faults.skew_request_completion = Some(7);
+        let clean = CmpSimulator::new(CmpConfig::ispass05(2), vec![boxed(server_script(0))]).run();
+        let skewed = CmpSimulator::new(cfg, vec![boxed(server_script(0))]).run();
+        let c = clean.requests.unwrap();
+        let s = skewed.requests.unwrap();
+        for (a, b) in c.records.iter().zip(&s.records) {
+            assert_eq!(a.completion + 7, b.completion);
+        }
+        // The last record's skewed completion overruns the run length —
+        // the bound the latency-sanity oracle checks.
+        assert!(s.records.iter().any(|r| r.completion > skewed.cycles));
     }
 
     #[test]

@@ -97,12 +97,20 @@ pub struct SimFaults {
     /// until the run's cycle budget is exhausted, so an unsupervised
     /// `try_run` still terminates (with `CycleBudgetExhausted`).
     pub hang: bool,
+    /// Corrupt the request-latency accounting: every request completion
+    /// cycle is recorded `k` cycles late (the request *runs* unchanged —
+    /// only the measurement lies). Exists solely so the `latency-sanity`
+    /// oracle's sabotage test can prove it detects broken accounting.
+    pub skew_request_completion: Option<u64>,
 }
 
 impl SimFaults {
     /// Whether any fault is armed.
     pub fn any(&self) -> bool {
-        self.drop_barrier_arrival.is_some() || self.cycle_budget.is_some() || self.hang
+        self.drop_barrier_arrival.is_some()
+            || self.cycle_budget.is_some()
+            || self.hang
+            || self.skew_request_completion.is_some()
     }
 }
 

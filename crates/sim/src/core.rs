@@ -11,7 +11,7 @@ use crate::config::CoreConfig;
 use crate::error::StuckReason;
 use crate::memory::{AccessKind, MemorySystem};
 use crate::op::{Op, ThreadProgram};
-use crate::stats::CoreStats;
+use crate::stats::{CoreStats, RequestRecord};
 use crate::sync::{BarrierTicket, SyncManager};
 
 /// Spinning threads retry the lock (a coherence store) every this many
@@ -33,6 +33,11 @@ enum CoreState {
     /// Asleep at a barrier (thrifty-barrier extension): no activity until
     /// the barrier releases, then a wake-up penalty applies.
     Asleep(BarrierTicket),
+    /// Idle until a scheduled open-loop request arrival (deep
+    /// clock-gated: no instructions, no memory or sync traffic).
+    IdleUntil {
+        until: u64,
+    },
     SpinLock {
         id: u32,
         next_retry: u64,
@@ -54,6 +59,14 @@ pub struct Core {
     /// Consecutive spin cycles at the current barrier (sleep threshold).
     barrier_spin: u64,
     stats: CoreStats,
+    /// The request currently being served: `(id, scheduled arrival)`.
+    open_request: Option<(u32, u64)>,
+    /// Completed-request records, in completion order.
+    records: Vec<RequestRecord>,
+    /// Whether the program emitted any request-boundary marker.
+    saw_requests: bool,
+    /// Injected fault: record every completion this many cycles late.
+    completion_skew: Option<u64>,
 }
 
 impl Core {
@@ -69,7 +82,17 @@ impl Core {
             store_buffer: Vec::new(),
             barrier_spin: 0,
             stats: CoreStats::default(),
+            open_request: None,
+            records: Vec::new(),
+            saw_requests: false,
+            completion_skew: None,
         }
+    }
+
+    /// Arms the latency-accounting corruption fault (see
+    /// [`SimFaults::skew_request_completion`](crate::config::SimFaults)).
+    pub fn set_completion_skew(&mut self, skew: Option<u64>) {
+        self.completion_skew = skew;
     }
 
     /// Whether the thread has finished.
@@ -82,6 +105,16 @@ impl Core {
         &self.stats
     }
 
+    /// Whether the program emitted any request-boundary marker.
+    pub fn saw_requests(&self) -> bool {
+        self.saw_requests
+    }
+
+    /// Completed-request records, in completion order.
+    pub fn request_records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
     /// Snapshot of what the core is blocked on right now — the input to
     /// deadlock diagnosis. Spin states are resolved against `sync` so the
     /// report can name the lock holder.
@@ -90,6 +123,7 @@ impl Core {
             CoreState::Ready => StuckReason::Executing,
             CoreState::Done => StuckReason::Finished,
             CoreState::StallUntil { .. } => StuckReason::Stalled,
+            CoreState::IdleUntil { .. } => StuckReason::Idle,
             CoreState::AtBarrier(t) => StuckReason::AtBarrier {
                 id: t.barrier(),
                 generation: t.generation(),
@@ -134,6 +168,7 @@ impl Core {
             CoreState::Ready => None,
             CoreState::Done => Some(u64::MAX),
             CoreState::StallUntil { until, .. } => (until > now).then_some(until),
+            CoreState::IdleUntil { until } => (until > now).then_some(until),
             CoreState::AtBarrier(ticket) => {
                 if sync.released(ticket) {
                     None
@@ -175,6 +210,9 @@ impl Core {
                     self.stats.other_stall_cycles += k;
                 }
             }
+            CoreState::IdleUntil { .. } => {
+                self.stats.idle_cycles += k;
+            }
             CoreState::AtBarrier(_) => {
                 self.barrier_spin += k;
                 self.stats.spin_cycles += k;
@@ -212,6 +250,14 @@ impl Core {
                     } else {
                         self.stats.other_stall_cycles += 1;
                     }
+                } else {
+                    self.state = CoreState::Ready;
+                    self.issue(now, mem, sync);
+                }
+            }
+            CoreState::IdleUntil { until } => {
+                if now < until {
+                    self.stats.idle_cycles += 1;
                 } else {
                     self.state = CoreState::Ready;
                     self.issue(now, mem, sync);
@@ -437,6 +483,40 @@ impl Core {
                     let _ = mem.access(self.id, Self::lock_addr(id), AccessKind::Write, now);
                     budget = budget.saturating_sub(1);
                 }
+                Op::RequestArrive { id, at } => {
+                    // Measurement marker, zero instructions. Latency is
+                    // charged from the *scheduled* arrival `at`: if the
+                    // core is behind (`at <= now`) the request has been
+                    // queuing and starts immediately; otherwise the core
+                    // idles until the arrival.
+                    debug_assert!(
+                        self.open_request.is_none(),
+                        "nested request markers on core {}",
+                        self.id
+                    );
+                    self.saw_requests = true;
+                    self.open_request = Some((id, at));
+                    if at > now {
+                        self.state = CoreState::IdleUntil { until: at };
+                        break;
+                    }
+                }
+                Op::RequestRetire { id } => {
+                    // Close the open record; zero instructions, no cycle
+                    // consumed — the next op issues in the same cycle.
+                    let (open_id, arrival) = self
+                        .open_request
+                        .take()
+                        .expect("RequestRetire without an open request");
+                    debug_assert_eq!(open_id, id, "request marker ids mismatch");
+                    let completion = now + self.completion_skew.unwrap_or(0);
+                    self.records.push(RequestRecord {
+                        core: self.id,
+                        id: open_id,
+                        arrival,
+                        completion,
+                    });
+                }
                 Op::End => {
                     self.state = CoreState::Done;
                     self.stats.finish_cycle = now;
@@ -451,6 +531,10 @@ impl Core {
         } else if self.state == CoreState::Ready {
             // Structural stall (e.g. fp throughput exhausted with backlog).
             self.stats.other_stall_cycles += 1;
+        } else if matches!(self.state, CoreState::IdleUntil { .. }) {
+            // Went idle without issuing anything: the whole cycle was
+            // request-wait.
+            self.stats.idle_cycles += 1;
         }
     }
 }

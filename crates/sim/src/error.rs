@@ -41,6 +41,10 @@ pub enum StuckReason {
     /// such a core always resumes, so it is never the cause of a
     /// deadlock.
     Stalled,
+    /// Idle until a scheduled open-loop request arrival; the arrival
+    /// cycle is finite, so like [`StuckReason::Stalled`] this core always
+    /// resumes and never participates in a deadlock.
+    Idle,
     /// Ready to issue — the core was executing normally.
     Executing,
     /// The thread finished.
@@ -79,6 +83,7 @@ impl fmt::Display for StuckReason {
                 write!(f, "spinning on lock {id} (no holder)")
             }
             StuckReason::Stalled => write!(f, "stalled on a bounded event"),
+            StuckReason::Idle => write!(f, "idle until a scheduled request arrival"),
             StuckReason::Executing => write!(f, "executing"),
             StuckReason::Finished => write!(f, "finished"),
         }

@@ -49,6 +49,25 @@ pub enum Op {
         /// Lock identifier.
         id: u32,
     },
+    /// Open-loop request boundary: a request with this id is *scheduled*
+    /// to arrive at absolute cycle `at`, independent of whether the core
+    /// has finished earlier requests. If the core reaches this marker
+    /// before `at` it idles (clock-gated, no activity) until `at`; if it
+    /// reaches it later, the request has been queuing and its measured
+    /// latency includes the backlog. Zero dynamic instructions.
+    RequestArrive {
+        /// Request identifier (unique per core).
+        id: u32,
+        /// Absolute cycle at which the request arrives.
+        at: u64,
+    },
+    /// Open-loop request boundary: the request opened by the matching
+    /// [`Op::RequestArrive`] completes here. Latency is the retire cycle
+    /// minus the *scheduled* arrival cycle. Zero dynamic instructions.
+    RequestRetire {
+        /// Request identifier matching the open request.
+        id: u32,
+    },
     /// Thread has finished its work.
     End,
 }
@@ -62,7 +81,9 @@ impl Op {
             // Synchronization ops expand into spin instructions at runtime;
             // the static cost is one instruction (the acquire/arrive).
             Op::Barrier { .. } | Op::Lock { .. } | Op::Unlock { .. } => 1,
-            Op::End => 0,
+            // Request boundaries are measurement markers, not executed
+            // instructions.
+            Op::RequestArrive { .. } | Op::RequestRetire { .. } | Op::End => 0,
         }
     }
 }
@@ -121,6 +142,8 @@ mod tests {
         assert_eq!(Op::Store { addr: 0 }.instruction_count(), 1);
         assert_eq!(Op::Branch { mispredict: true }.instruction_count(), 1);
         assert_eq!(Op::Barrier { id: 0 }.instruction_count(), 1);
+        assert_eq!(Op::RequestArrive { id: 0, at: 5 }.instruction_count(), 0);
+        assert_eq!(Op::RequestRetire { id: 0 }.instruction_count(), 0);
         assert_eq!(Op::End.instruction_count(), 0);
     }
 

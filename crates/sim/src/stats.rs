@@ -33,6 +33,9 @@ pub struct CoreStats {
     pub spin_cycles: u64,
     /// Cycles spent asleep at a barrier (thrifty-barrier extension).
     pub sleep_cycles: u64,
+    /// Cycles spent idle waiting for a scheduled request arrival
+    /// (open-loop server workloads; deep clock-gated, no activity).
+    pub idle_cycles: u64,
     /// Instructions executed while spinning (subset of `instructions`).
     pub spin_instructions: u64,
     /// Instruction-cache fetch accesses (one per active or spinning cycle).
@@ -58,6 +61,7 @@ impl CoreStats {
             other_stall_cycles: self.other_stall_cycles - prev.other_stall_cycles,
             spin_cycles: self.spin_cycles - prev.spin_cycles,
             sleep_cycles: self.sleep_cycles - prev.sleep_cycles,
+            idle_cycles: self.idle_cycles - prev.idle_cycles,
             spin_instructions: self.spin_instructions - prev.spin_instructions,
             l1i_accesses: self.l1i_accesses - prev.l1i_accesses,
             finish_cycle: self.finish_cycle,
@@ -65,13 +69,144 @@ impl CoreStats {
     }
 
     /// Total cycles this core was accounted for (active + stalls + spin +
-    /// sleep).
+    /// sleep). Idle request-wait cycles are deliberately excluded: a core
+    /// with no request to serve is not busy in any sense.
     pub fn busy_cycles(&self) -> u64 {
         self.active_cycles
             + self.mem_stall_cycles
             + self.other_stall_cycles
             + self.spin_cycles
             + self.sleep_cycles
+    }
+}
+
+/// Completion record of one open-loop request: scheduled arrival cycle
+/// through retire cycle on the core that served it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Core that served the request.
+    pub core: usize,
+    /// Request id (unique per core).
+    pub id: u32,
+    /// Scheduled arrival cycle (from [`Op::RequestArrive`]'s `at` field —
+    /// includes queueing delay when the core was still serving earlier
+    /// requests at that cycle).
+    ///
+    /// [`Op::RequestArrive`]: crate::op::Op::RequestArrive
+    pub arrival: u64,
+    /// Cycle at which the request retired.
+    pub completion: u64,
+}
+
+impl RequestRecord {
+    /// Request latency in cycles (completion − scheduled arrival).
+    pub fn latency_cycles(&self) -> u64 {
+        self.completion - self.arrival
+    }
+}
+
+/// The exact-rank percentile of an already-sorted sample, using the
+/// *nearest-rank* definition: the p-th percentile of `n` sorted values is
+/// the value at 1-based rank `ceil(p/100 × n)` (clamped to `[1, n]`).
+/// With this definition the percentile of a singleton is the element
+/// itself, the 100th percentile is the maximum, and every percentile is
+/// an actual observed value rather than an interpolation.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `(0, 100]`.
+pub fn nearest_rank_percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!(p > 0.0 && p <= 100.0, "percentile {p} outside (0, 100]");
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregate request-latency statistics of one open-loop run.
+///
+/// Present on [`SimResult::requests`] whenever any thread program emitted
+/// request-boundary markers. All latencies are in cycles; callers convert
+/// to seconds at [`SimResult::frequency`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Every completed request, in core-index order and, within a core,
+    /// in completion order. Deterministic for a fixed seed and config.
+    pub records: Vec<RequestRecord>,
+    /// Number of completed requests.
+    pub completed: u64,
+    /// Median latency (nearest-rank p50), cycles.
+    pub p50_cycles: u64,
+    /// 90th-percentile latency (nearest-rank), cycles.
+    pub p90_cycles: u64,
+    /// 99th-percentile latency (nearest-rank), cycles.
+    pub p99_cycles: u64,
+    /// Worst-case latency, cycles.
+    pub max_cycles: u64,
+    /// Peak number of simultaneously outstanding requests (arrived but
+    /// not yet completed) at any cycle.
+    pub queue_depth_peak: u64,
+}
+
+impl RequestStats {
+    /// Builds the aggregate from per-request records. Returns `None` for
+    /// an empty record set (a server run that completed zero requests has
+    /// no percentiles).
+    pub fn from_records(records: Vec<RequestRecord>) -> Option<RequestStats> {
+        if records.is_empty() {
+            return None;
+        }
+        let mut latencies: Vec<u64> = records.iter().map(|r| r.latency_cycles()).collect();
+        latencies.sort_unstable();
+        // Event sweep over (cycle, ±1) deltas; completions sort before
+        // arrivals at the same cycle so a back-to-back handoff does not
+        // inflate the peak.
+        let mut events: Vec<(u64, i64)> = Vec::with_capacity(records.len() * 2);
+        for r in &records {
+            events.push((r.arrival, 1));
+            events.push((r.completion, -1));
+        }
+        events.sort_unstable_by_key(|&(t, d)| (t, d));
+        let mut depth: i64 = 0;
+        let mut peak: i64 = 0;
+        for (_, d) in events {
+            depth += d;
+            peak = peak.max(depth);
+        }
+        Some(RequestStats {
+            completed: records.len() as u64,
+            p50_cycles: nearest_rank_percentile(&latencies, 50.0),
+            p90_cycles: nearest_rank_percentile(&latencies, 90.0),
+            p99_cycles: nearest_rank_percentile(&latencies, 99.0),
+            max_cycles: *latencies.last().expect("non-empty"),
+            queue_depth_peak: peak.max(0) as u64,
+            records,
+        })
+    }
+
+    /// Mean latency over all completed requests, cycles.
+    pub fn mean_latency_cycles(&self) -> f64 {
+        let sum: u64 = self.records.iter().map(|r| r.latency_cycles()).sum();
+        sum as f64 / self.completed as f64
+    }
+
+    /// Observation span in cycles: last completion − first arrival.
+    pub fn span_cycles(&self) -> u64 {
+        let first = self.records.iter().map(|r| r.arrival).min().unwrap_or(0);
+        let last = self.records.iter().map(|r| r.completion).max().unwrap_or(0);
+        last - first
+    }
+
+    /// Time-averaged number of outstanding requests over the observation
+    /// span. By construction `Σ latency = ∫ concurrency dt`, so this
+    /// equals `completed × mean_latency / span` exactly — the identity
+    /// the `latency-sanity` oracle checks differentially.
+    pub fn mean_concurrency(&self) -> f64 {
+        let span = self.span_cycles();
+        if span == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.records.iter().map(|r| r.latency_cycles()).sum();
+        sum as f64 / span as f64
     }
 }
 
@@ -92,6 +227,9 @@ pub struct SimResult {
     pub l2: CacheStats,
     /// Bus and memory statistics.
     pub mem: MemStats,
+    /// Request-latency statistics — `Some` iff the workload emitted
+    /// request-boundary markers (open-loop server programs).
+    pub requests: Option<RequestStats>,
 }
 
 impl SimResult {
@@ -159,6 +297,7 @@ mod tests {
             l1d: vec![CacheStats::default()],
             l2: CacheStats::default(),
             mem: MemStats::default(),
+            requests: None,
         }
     }
 
@@ -184,5 +323,104 @@ mod tests {
         let r = result(1000, 3.2);
         assert!((r.ipc() - 1.0).abs() < 1e-12);
         assert!((r.memory_stall_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_of_singleton_is_the_element() {
+        for p in [0.001, 1.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(nearest_rank_percentile(&[42], p), 42, "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_pair_splits_at_the_median() {
+        // rank = ceil(p/100 × 2): p ≤ 50 → first element, p > 50 → second.
+        assert_eq!(nearest_rank_percentile(&[10, 20], 50.0), 10);
+        assert_eq!(nearest_rank_percentile(&[10, 20], 50.1), 20);
+        assert_eq!(nearest_rank_percentile(&[10, 20], 90.0), 20);
+        assert_eq!(nearest_rank_percentile(&[10, 20], 100.0), 20);
+    }
+
+    #[test]
+    fn percentile_of_all_equal_sample_is_that_value() {
+        let xs = [7u64; 13];
+        for p in [1.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(nearest_rank_percentile(&xs, p), 7);
+        }
+    }
+
+    #[test]
+    fn percentile_is_a_function_of_the_multiset_not_the_insertion_order() {
+        // Records built from a shuffled multiset must sort to the same
+        // latency vector, hence identical percentiles.
+        let sorted = vec![1u64, 2, 3, 5, 8, 13, 21, 34];
+        let shuffled = vec![21u64, 1, 34, 5, 2, 13, 3, 8];
+        let stats_of = |lats: &[u64]| {
+            RequestStats::from_records(
+                lats.iter()
+                    .enumerate()
+                    .map(|(i, &l)| RequestRecord {
+                        core: 0,
+                        id: i as u32,
+                        arrival: 1000 * i as u64,
+                        completion: 1000 * i as u64 + l,
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let a = stats_of(&sorted);
+        let b = stats_of(&shuffled);
+        assert_eq!(
+            (a.p50_cycles, a.p90_cycles, a.p99_cycles, a.max_cycles),
+            (b.p50_cycles, b.p90_cycles, b.p99_cycles, b.max_cycles)
+        );
+        assert_eq!(a.p50_cycles, 5); // rank ceil(0.5×8)=4 → 4th smallest
+        assert_eq!(a.p90_cycles, 34); // rank ceil(0.9×8)=8 → max
+        assert_eq!(a.max_cycles, 34);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_of_empty_sample_panics() {
+        let _ = nearest_rank_percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn request_stats_from_empty_records_is_none() {
+        assert!(RequestStats::from_records(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn queue_depth_counts_overlapping_requests() {
+        // Three requests: two overlap, the third starts exactly when the
+        // first completes (a handoff — must not count as depth 3).
+        let recs = vec![
+            RequestRecord {
+                core: 0,
+                id: 0,
+                arrival: 0,
+                completion: 100,
+            },
+            RequestRecord {
+                core: 1,
+                id: 0,
+                arrival: 50,
+                completion: 150,
+            },
+            RequestRecord {
+                core: 0,
+                id: 1,
+                arrival: 100,
+                completion: 200,
+            },
+        ];
+        let s = RequestStats::from_records(recs).unwrap();
+        assert_eq!(s.queue_depth_peak, 2);
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.span_cycles(), 200);
+        // Little's identity: Σlat / span == mean concurrency.
+        assert!((s.mean_concurrency() - 300.0 / 200.0).abs() < 1e-12);
+        assert!((s.mean_latency_cycles() - 100.0).abs() < 1e-12);
     }
 }

@@ -123,7 +123,12 @@ pub enum PhaseSpec {
 /// with a linear skew of `imbalance` (0 = perfectly even; 0.2 means the
 /// most loaded thread gets ~20 % more than the mean).
 ///
-/// The partition always sums to `total`.
+/// Invariants (asserted in debug builds, property-tested in release):
+///
+/// - the shares always sum to exactly `total`, at every `imbalance` in
+///   `[0, 1]` — rounding drift is redistributed, never discarded;
+/// - no share is zero unless `total < n` (there genuinely aren't enough
+///   items to go around).
 ///
 /// # Examples
 ///
@@ -146,15 +151,132 @@ pub fn partition(total: u64, n: usize, imbalance: f64) -> Vec<u64> {
             (mean * (1.0 + skew)).round().max(0.0) as u64
         })
         .collect();
-    // Fix rounding drift on thread 0.
+    // Fix rounding drift without losing items: an excess is taken back
+    // walking from the least-loaded end (only as much as each share can
+    // give — at maximum skew the excess can exceed the last share), a
+    // deficit is added to thread 0.
     let sum: u64 = shares.iter().sum();
     if sum > total {
-        let overflow = sum - total;
-        shares[n - 1] = shares[n - 1].saturating_sub(overflow);
+        let mut overflow = sum - total;
+        for share in shares.iter_mut().rev() {
+            let take = overflow.min(*share);
+            *share -= take;
+            overflow -= take;
+            if overflow == 0 {
+                break;
+            }
+        }
     } else {
         shares[0] += total - sum;
     }
+    // No empty shard when there are enough items: rounding at extreme
+    // skew can zero out the tail; steal one item from the currently
+    // largest share for each empty one (pigeonhole keeps the donor ≥ 2
+    // while any share is still empty).
+    if total >= n as u64 {
+        for i in 0..n {
+            if shares[i] == 0 {
+                let largest = (0..n)
+                    .max_by_key(|&j| shares[j])
+                    .expect("n > 0 shares exist");
+                shares[largest] -= 1;
+                shares[i] += 1;
+            }
+        }
+    }
+    debug_assert_eq!(shares.iter().sum::<u64>(), total, "partition lost items");
+    debug_assert!(
+        total < n as u64 || shares.iter().all(|&s| s > 0),
+        "empty shard despite total {total} >= n {n}"
+    );
     shares
+}
+
+/// Draws the next address of an access-pattern stream, advancing the
+/// shared `(rng, stream_pos)` state exactly as [`SyntheticProgram`] does
+/// — the single definition of the draw order, shared by the batch and
+/// server program generators.
+pub(crate) fn address_for(
+    pattern: &AccessPattern,
+    rng: &mut SplitMix64,
+    stream_pos: &mut u64,
+) -> u64 {
+    match *pattern {
+        AccessPattern::Streaming { base, len, stride } => {
+            let addr = base + (*stream_pos % len.max(1));
+            *stream_pos = stream_pos.wrapping_add(stride);
+            addr
+        }
+        AccessPattern::Random { base, len } => base + rng.gen_range_u64(0..len.max(1)),
+        AccessPattern::Walk {
+            base,
+            len,
+            jump_prob,
+        } => {
+            if rng.gen_bool(jump_prob.clamp(0.0, 1.0)) {
+                *stream_pos = rng.gen_range_u64(0..len.max(1));
+            } else {
+                *stream_pos = (*stream_pos + 16) % len.max(1);
+            }
+            base + *stream_pos
+        }
+    }
+}
+
+/// Expands one item of `kernel` into `buf`, interleaving instruction
+/// classes so memory accesses spread across the item's compute. The
+/// single definition of the expansion and RNG draw order, shared by the
+/// batch and server program generators.
+pub(crate) fn expand_item_into(
+    buf: &mut VecDeque<Op>,
+    kernel: &Kernel,
+    rng: &mut SplitMix64,
+    stream_pos: &mut u64,
+) {
+    let mem_ops = kernel.loads_per_item + kernel.stores_per_item;
+    let chunks = mem_ops.max(1);
+    let int_chunk = kernel.int_per_item / chunks;
+    let fp_chunk = kernel.fp_per_item / chunks;
+    let mut int_left = kernel.int_per_item;
+    let mut fp_left = kernel.fp_per_item;
+    let mut loads_left = kernel.loads_per_item;
+    let mut stores_left = kernel.stores_per_item;
+
+    for _ in 0..chunks {
+        if int_chunk > 0 {
+            buf.push_back(Op::Int { count: int_chunk });
+            int_left -= int_chunk;
+        }
+        if fp_chunk > 0 {
+            buf.push_back(Op::Fp { count: fp_chunk });
+            fp_left -= fp_chunk;
+        }
+        if loads_left > 0 {
+            let addr = address_for(&kernel.load_pattern, rng, stream_pos);
+            buf.push_back(Op::Load { addr });
+            loads_left -= 1;
+        } else if stores_left > 0 {
+            let addr = address_for(&kernel.store_pattern, rng, stream_pos);
+            buf.push_back(Op::Store { addr });
+            stores_left -= 1;
+        }
+    }
+    // Remainders.
+    while stores_left > 0 {
+        let addr = address_for(&kernel.store_pattern, rng, stream_pos);
+        buf.push_back(Op::Store { addr });
+        stores_left -= 1;
+    }
+    if int_left > 0 {
+        buf.push_back(Op::Int { count: int_left });
+    }
+    if fp_left > 0 {
+        buf.push_back(Op::Fp { count: fp_left });
+    }
+    for _ in 0..kernel.branches_per_item {
+        let mis = rng.gen_bool(kernel.mispredict_rate.clamp(0.0, 1.0));
+        buf.push_back(Op::Branch { mispredict: mis });
+    }
 }
 
 #[derive(Debug)]
@@ -255,76 +377,10 @@ impl SyntheticProgram {
             .sum()
     }
 
-    fn address_for(&mut self, pattern: &AccessPattern) -> u64 {
-        match *pattern {
-            AccessPattern::Streaming { base, len, stride } => {
-                let addr = base + (self.stream_pos % len.max(1));
-                self.stream_pos = self.stream_pos.wrapping_add(stride);
-                addr
-            }
-            AccessPattern::Random { base, len } => base + self.rng.gen_range_u64(0..len.max(1)),
-            AccessPattern::Walk {
-                base,
-                len,
-                jump_prob,
-            } => {
-                if self.rng.gen_bool(jump_prob.clamp(0.0, 1.0)) {
-                    self.stream_pos = self.rng.gen_range_u64(0..len.max(1));
-                } else {
-                    self.stream_pos = (self.stream_pos + 16) % len.max(1);
-                }
-                base + self.stream_pos
-            }
-        }
-    }
-
-    /// Expands one item of `kernel` into the buffer, interleaving classes
-    /// so memory accesses spread across the item's compute.
+    /// Expands one item of `kernel` into the buffer (see
+    /// [`expand_item_into`] for the interleaving).
     fn expand_item(&mut self, kernel: &Kernel) {
-        let mem_ops = kernel.loads_per_item + kernel.stores_per_item;
-        let chunks = mem_ops.max(1);
-        let int_chunk = kernel.int_per_item / chunks;
-        let fp_chunk = kernel.fp_per_item / chunks;
-        let mut int_left = kernel.int_per_item;
-        let mut fp_left = kernel.fp_per_item;
-        let mut loads_left = kernel.loads_per_item;
-        let mut stores_left = kernel.stores_per_item;
-
-        for _ in 0..chunks {
-            if int_chunk > 0 {
-                self.buf.push_back(Op::Int { count: int_chunk });
-                int_left -= int_chunk;
-            }
-            if fp_chunk > 0 {
-                self.buf.push_back(Op::Fp { count: fp_chunk });
-                fp_left -= fp_chunk;
-            }
-            if loads_left > 0 {
-                let addr = self.address_for(&kernel.load_pattern);
-                self.buf.push_back(Op::Load { addr });
-                loads_left -= 1;
-            } else if stores_left > 0 {
-                let addr = self.address_for(&kernel.store_pattern);
-                self.buf.push_back(Op::Store { addr });
-                stores_left -= 1;
-            }
-        }
-        // Remainders.
-        while stores_left > 0 {
-            let addr = self.address_for(&kernel.store_pattern);
-            self.buf.push_back(Op::Store { addr });
-            stores_left -= 1;
-        }
-        if int_left > 0 {
-            self.buf.push_back(Op::Int { count: int_left });
-        }
-        if fp_left > 0 {
-            self.buf.push_back(Op::Fp { count: fp_left });
-        }
-        for _ in 0..kernel.branches_per_item {
-            let mis = self.rng.gen_bool(kernel.mispredict_rate.clamp(0.0, 1.0));
-            self.buf.push_back(Op::Branch { mispredict: mis });
-        }
+        expand_item_into(&mut self.buf, kernel, &mut self.rng, &mut self.stream_pos);
     }
 
     /// Advances to the next phase, initializing its cursor.
@@ -476,6 +532,40 @@ mod tests {
     }
 
     #[test]
+    fn partition_at_imbalance_boundaries_preserves_invariants() {
+        // imbalance 1.0 used to both lose items (rounding overflow larger
+        // than the last share was discarded) and produce empty tail
+        // shards; both are violations of the documented invariant.
+        for imb in [0.0, 1.0] {
+            for n in [1usize, 2, 3, 4, 7, 16] {
+                for total in [0u64, 1, 3, 4, 5, 16, 17, 100, 10_000] {
+                    let shares = partition(total, n, imb);
+                    assert_eq!(
+                        shares.iter().sum::<u64>(),
+                        total,
+                        "sum lost: n={n} imb={imb} total={total} {shares:?}"
+                    );
+                    if total >= n as u64 {
+                        assert!(
+                            shares.iter().all(|&s| s > 0),
+                            "empty shard: n={n} imb={imb} total={total} {shares:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_regression_full_skew_small_total() {
+        // The historical violation in miniature: partition(4, 4, 1.0)
+        // rounded to [2, 1, 1, 0] — an empty last shard.
+        let shares = partition(4, 4, 1.0);
+        assert_eq!(shares.iter().sum::<u64>(), 4);
+        assert!(shares.iter().all(|&s| s > 0), "{shares:?}");
+    }
+
+    #[test]
     fn program_emits_expected_instruction_volume() {
         let phases = vec![
             PhaseSpec::Parallel {
@@ -613,9 +703,9 @@ mod tests {
             len: 128,
             stride: 64,
         };
-        let a = p.address_for(&pat);
-        let b = p.address_for(&pat);
-        let c = p.address_for(&pat);
+        let a = address_for(&pat, &mut p.rng, &mut p.stream_pos);
+        let b = address_for(&pat, &mut p.rng, &mut p.stream_pos);
+        let c = address_for(&pat, &mut p.rng, &mut p.stream_pos);
         assert_eq!((a, b, c), (100, 164, 100));
     }
 
@@ -627,7 +717,7 @@ mod tests {
             len: 0x100,
         };
         for _ in 0..100 {
-            let a = p.address_for(&pat);
+            let a = address_for(&pat, &mut p.rng, &mut p.stream_pos);
             assert!((0x1000..0x1100).contains(&a));
         }
     }

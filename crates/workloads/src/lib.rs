@@ -28,9 +28,11 @@
 mod apps;
 pub mod framework;
 pub mod micro;
+pub mod server;
 pub mod suite;
 
 pub use framework::{AccessPattern, Kernel, PhaseSpec, SyntheticProgram};
+pub use server::{RequestClass, ServerSpec};
 pub use suite::{gang, program, AppId, Scale};
 
 #[cfg(test)]
@@ -62,17 +64,31 @@ mod proptests {
         }
     }
 
-    /// The partition always sums to the total and never loses items.
+    /// The partition always sums to the total and never loses items —
+    /// including at the imbalance boundaries 0.0 and 1.0 — and no shard
+    /// is empty unless there are fewer items than shards.
     #[test]
     fn partition_is_conservative() {
         let mut rng = SplitMix64::seed_from_u64(0xE0);
-        for _case in 0..64 {
+        for case in 0..96 {
             let total = rng.gen_range_u64(0..1_000_000);
             let n = rng.gen_range_usize(1..32);
-            let imb = rng.gen_range_f64(0.0..0.5);
+            // Pin the first cases to the boundaries, then sample the
+            // full closed range.
+            let imb = match case {
+                0..=7 => 0.0,
+                8..=15 => 1.0,
+                _ => rng.gen_range_f64(0.0..1.0),
+            };
             let shares = partition(total, n, imb);
             assert_eq!(shares.len(), n);
             assert_eq!(shares.iter().sum::<u64>(), total);
+            if total >= n as u64 {
+                assert!(
+                    shares.iter().all(|&s| s > 0),
+                    "empty shard at imb {imb}: {shares:?} (total {total}, n {n})"
+                );
+            }
         }
     }
 

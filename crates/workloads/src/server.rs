@@ -1,0 +1,415 @@
+//! Open-loop request-serving workload.
+//!
+//! The batch SPLASH-2 models ask "how long does the kernel take"; a
+//! server asks "what does this operating point do to request latency at
+//! N requests per second". This module generates that workload shape: a
+//! seeded deterministic arrival process (exponential interarrivals —
+//! Poisson-like — via [`SplitMix64`]) at a fixed *offered* load in
+//! requests per second, per-request instruction footprints drawn from a
+//! configurable [`RequestClass`] mix, and shared-data contention through
+//! lock-protected session state. Requests are *open-loop*: arrivals are
+//! scheduled in advance and do not wait for earlier requests to finish,
+//! so an overloaded configuration visibly queues (latency grows) instead
+//! of silently throttling the load.
+//!
+//! Programs compile to the same [`Op`] stream the batch workloads use —
+//! the simulator runs them unchanged except for the zero-instruction
+//! request-boundary markers ([`Op::RequestArrive`]/[`Op::RequestRetire`])
+//! that drive the latency accounting in `tlp-sim`.
+
+use std::collections::VecDeque;
+
+use tlp_sim::op::{Op, ThreadProgram};
+use tlp_tech::rng::SplitMix64;
+use tlp_tech::units::Hertz;
+
+use crate::framework::{expand_item_into, partition, AccessPattern, Kernel};
+use crate::suite::Scale;
+
+/// Base address of the shared session-state region (one line per lock).
+const SESSION_REGION_BASE: u64 = 0x6000_0000;
+
+/// One class of requests in the server's mix (e.g. cheap lookups vs.
+/// expensive scans).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestClass {
+    /// Relative weight in the mix (picked proportionally).
+    pub weight: u32,
+    /// Work items one request of this class expands to.
+    pub items: u64,
+    /// The per-item instruction recipe.
+    pub kernel: Kernel,
+}
+
+/// Specification of an open-loop server workload.
+///
+/// The offered load is fixed in *wall-clock* requests per second, so the
+/// same spec run at a lower DVFS point sees proportionally more cycles of
+/// work arrive per interarrival gap — the utilization effect the latency
+/// sweeps exist to measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSpec {
+    /// Aggregate offered load across all threads, requests per second.
+    pub offered_rps: u32,
+    /// Total requests served across all threads.
+    pub total_requests: u64,
+    /// Request-class mix (must be non-empty with positive total weight).
+    pub classes: Vec<RequestClass>,
+    /// Number of distinct locks the shared session state hashes onto.
+    pub session_locks: u32,
+    /// Skew of the per-thread request partition (0 = round-robin even).
+    pub imbalance: f64,
+}
+
+impl ServerSpec {
+    /// The standard mix: mostly cheap lookup requests with an occasional
+    /// heavier scan, sessions hashed onto 4 locks. `scale` multiplies the
+    /// request count exactly as it multiplies batch item counts.
+    pub fn standard(offered_rps: u32, scale: Scale) -> ServerSpec {
+        assert!(offered_rps > 0, "offered load must be positive");
+        let lookup = Kernel {
+            int_per_item: 24,
+            fp_per_item: 0,
+            loads_per_item: 4,
+            stores_per_item: 1,
+            branches_per_item: 4,
+            mispredict_rate: 0.04,
+            load_pattern: AccessPattern::Random {
+                base: 0x10_0000,
+                len: 1 << 21, // 2 MB: misses L1, mostly hits L2
+            },
+            store_pattern: AccessPattern::Streaming {
+                base: 0x4000_0000,
+                len: 1 << 14,
+                stride: 64,
+            },
+        };
+        let scan = Kernel {
+            int_per_item: 12,
+            fp_per_item: 6,
+            loads_per_item: 8,
+            stores_per_item: 2,
+            branches_per_item: 2,
+            mispredict_rate: 0.01,
+            load_pattern: AccessPattern::Streaming {
+                base: 0x800_0000,
+                len: 1 << 22,
+                stride: 64,
+            },
+            store_pattern: AccessPattern::Streaming {
+                base: 0x4800_0000,
+                len: 1 << 14,
+                stride: 64,
+            },
+        };
+        ServerSpec {
+            offered_rps,
+            total_requests: scale.items(2_000),
+            classes: vec![
+                RequestClass {
+                    weight: 7,
+                    items: 6,
+                    kernel: lookup,
+                },
+                RequestClass {
+                    weight: 1,
+                    items: 40,
+                    kernel: scan,
+                },
+            ],
+            session_locks: 4,
+            imbalance: 0.0,
+        }
+    }
+
+    /// Builds the program for one thread of the gang. Requests are
+    /// dispatched round-robin: each thread serves its share of
+    /// [`ServerSpec::total_requests`] from its own independent arrival
+    /// stream at `offered_rps / n_threads` requests per second.
+    ///
+    /// All threads of a run must use the same `seed`, `n_threads`, and
+    /// `frequency` (the chip operating point, which converts the
+    /// wall-clock arrival rate into cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread >= n_threads`, `n_threads == 0`, the class mix
+    /// is empty or zero-weighted, or the frequency is non-positive.
+    pub fn program(
+        &self,
+        thread: usize,
+        n_threads: usize,
+        seed: u64,
+        frequency: Hertz,
+    ) -> ServerProgram {
+        assert!(n_threads > 0 && thread < n_threads, "bad thread index");
+        assert!(!self.classes.is_empty(), "empty request-class mix");
+        let total_weight: u32 = self.classes.iter().map(|c| c.weight).sum();
+        assert!(total_weight > 0, "zero-weight request-class mix");
+        assert!(frequency.as_f64() > 0.0, "non-positive frequency");
+        let shares = partition(self.total_requests, n_threads, self.imbalance);
+        // Per-thread arrival rate is offered_rps / n, so the mean
+        // interarrival gap in cycles is n × f / rps.
+        let mean_interarrival = n_threads as f64 * frequency.as_f64() / self.offered_rps as f64;
+        ServerProgram {
+            spec: self.clone(),
+            total_weight,
+            remaining: shares[thread],
+            // Distinct decorrelated streams for arrivals and request
+            // bodies, so changing a kernel mix never shifts the arrival
+            // schedule (and vice versa).
+            arrival_rng: SplitMix64::seed_from_u64(
+                seed ^ (0xA076_1D64_78BD_642Fu64.wrapping_mul(thread as u64 + 1)),
+            ),
+            body_rng: SplitMix64::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1)),
+            ),
+            mean_interarrival,
+            next_arrival: 0,
+            next_id: 0,
+            stream_pos: 0,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Builds the whole gang: one boxed program per thread.
+    pub fn gang(
+        &self,
+        n_threads: usize,
+        seed: u64,
+        frequency: Hertz,
+    ) -> Vec<Box<dyn ThreadProgram>> {
+        tlp_obs::metrics::WORKLOADS_GANGS_BUILT.incr();
+        (0..n_threads)
+            .map(|t| {
+                Box::new(self.program(t, n_threads, seed, frequency)) as Box<dyn ThreadProgram>
+            })
+            .collect()
+    }
+}
+
+/// One thread of an open-loop server gang (see [`ServerSpec::program`]).
+///
+/// Lazily expands one request at a time: a [`Op::RequestArrive`] marker
+/// with the next exponential arrival cycle, a lock-protected session
+/// update, the class kernel's items, and the closing
+/// [`Op::RequestRetire`].
+pub struct ServerProgram {
+    spec: ServerSpec,
+    total_weight: u32,
+    remaining: u64,
+    arrival_rng: SplitMix64,
+    body_rng: SplitMix64,
+    mean_interarrival: f64,
+    next_arrival: u64,
+    next_id: u32,
+    stream_pos: u64,
+    buf: VecDeque<Op>,
+}
+
+impl ServerProgram {
+    /// Draws the next exponential interarrival gap in cycles, at least 1.
+    /// Uses `−ln(1−U)` so a draw of exactly `U = 0` (possible from the
+    /// 53-bit generator) maps to the minimum gap instead of infinity.
+    fn draw_gap(&mut self) -> u64 {
+        let u = self.arrival_rng.next_f64();
+        let gap = -(1.0 - u).ln() * self.mean_interarrival;
+        (gap.round()).max(1.0) as u64
+    }
+
+    /// Picks a request class proportionally to its weight.
+    fn pick_class(&mut self) -> RequestClass {
+        let mut pick = self.body_rng.gen_range_u64(0..self.total_weight as u64) as u32;
+        for class in &self.spec.classes {
+            if pick < class.weight {
+                return *class;
+            }
+            pick -= class.weight;
+        }
+        unreachable!("weights sum to total_weight")
+    }
+
+    fn emit_request(&mut self) {
+        let gap = self.draw_gap();
+        self.next_arrival += gap;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.buf.push_back(Op::RequestArrive {
+            id,
+            at: self.next_arrival,
+        });
+        // Session update under a lock: read-modify-write one shared line
+        // — cross-thread contention and coherence traffic.
+        let sid = self
+            .body_rng
+            .gen_range_u64(0..self.spec.session_locks.max(1) as u64) as u32;
+        let session_addr = SESSION_REGION_BASE + sid as u64 * 64;
+        self.buf.push_back(Op::Lock { id: sid });
+        self.buf.push_back(Op::Load { addr: session_addr });
+        self.buf.push_back(Op::Store { addr: session_addr });
+        self.buf.push_back(Op::Unlock { id: sid });
+        // The request body.
+        let class = self.pick_class();
+        for _ in 0..class.items {
+            expand_item_into(
+                &mut self.buf,
+                &class.kernel,
+                &mut self.body_rng,
+                &mut self.stream_pos,
+            );
+        }
+        self.buf.push_back(Op::RequestRetire { id });
+    }
+}
+
+impl ThreadProgram for ServerProgram {
+    fn next_op(&mut self) -> Op {
+        if self.buf.is_empty() {
+            if self.remaining == 0 {
+                return Op::End;
+            }
+            self.remaining -= 1;
+            self.emit_request();
+        }
+        self.buf.pop_front().unwrap_or(Op::End)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_sim::{CmpConfig, CmpSimulator};
+
+    fn f() -> Hertz {
+        Hertz::from_ghz(3.2)
+    }
+
+    fn drain(p: &mut ServerProgram) -> Vec<Op> {
+        let mut ops = Vec::new();
+        loop {
+            let op = p.next_op();
+            if op == Op::End {
+                return ops;
+            }
+            ops.push(op);
+        }
+    }
+
+    #[test]
+    fn programs_are_deterministic_per_seed() {
+        let spec = ServerSpec::standard(5_000_000, Scale::Test);
+        let a = drain(&mut spec.program(0, 2, 42, f()));
+        let b = drain(&mut spec.program(0, 2, 42, f()));
+        assert_eq!(a, b);
+        let c = drain(&mut spec.program(0, 2, 43, f()));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn markers_are_well_nested_and_arrivals_strictly_increase() {
+        let spec = ServerSpec::standard(2_000_000, Scale::Test);
+        for thread in 0..3 {
+            let ops = drain(&mut spec.program(thread, 3, 7, f()));
+            let mut open: Option<u32> = None;
+            let mut last_at = 0u64;
+            let mut completed = 0u64;
+            for op in &ops {
+                match *op {
+                    Op::RequestArrive { id, at } => {
+                        assert!(open.is_none(), "nested request");
+                        assert!(at > last_at, "arrivals must strictly increase");
+                        last_at = at;
+                        open = Some(id);
+                    }
+                    Op::RequestRetire { id } => {
+                        assert_eq!(open, Some(id));
+                        open = None;
+                        completed += 1;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(open.is_none());
+            let shares = partition(spec.total_requests, 3, 0.0);
+            assert_eq!(completed, shares[thread]);
+        }
+    }
+
+    #[test]
+    fn locks_are_balanced_inside_requests() {
+        let spec = ServerSpec::standard(1_000_000, Scale::Test);
+        let ops = drain(&mut spec.program(0, 1, 3, f()));
+        let mut held: Option<u32> = None;
+        for op in &ops {
+            match *op {
+                Op::Lock { id } => {
+                    assert!(held.is_none());
+                    held = Some(id);
+                }
+                Op::Unlock { id } => {
+                    assert_eq!(held, Some(id));
+                    held = None;
+                }
+                _ => {}
+            }
+        }
+        assert!(held.is_none());
+    }
+
+    #[test]
+    fn higher_offered_load_arrives_pointwise_earlier() {
+        // Same seed → same uniform draws; a smaller mean interarrival
+        // maps each draw to an earlier (or equal) arrival cycle.
+        let lo = ServerSpec::standard(1_000_000, Scale::Test);
+        let hi = ServerSpec::standard(4_000_000, Scale::Test);
+        let arrivals = |spec: &ServerSpec| {
+            drain(&mut spec.program(0, 1, 11, f()))
+                .into_iter()
+                .filter_map(|op| match op {
+                    Op::RequestArrive { at, .. } => Some(at),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let a_lo = arrivals(&lo);
+        let a_hi = arrivals(&hi);
+        assert_eq!(a_lo.len(), a_hi.len());
+        for (l, h) in a_lo.iter().zip(&a_hi) {
+            assert!(h <= l, "higher load arrived later: {h} > {l}");
+        }
+    }
+
+    #[test]
+    fn gang_completes_in_the_simulator_with_full_request_stats() {
+        let spec = ServerSpec::standard(10_000_000, Scale::Test);
+        let r = CmpSimulator::new(CmpConfig::ispass05(4), spec.gang(2, 5, f())).run();
+        let req = r.requests.expect("server run reports requests");
+        assert_eq!(req.completed, spec.total_requests);
+        for rec in &req.records {
+            assert!(rec.arrival <= rec.completion);
+            assert!(rec.completion <= r.cycles);
+        }
+        assert!(req.p50_cycles <= req.p90_cycles);
+        assert!(req.p90_cycles <= req.max_cycles);
+        assert!(req.queue_depth_peak >= 1);
+    }
+
+    #[test]
+    fn slower_clock_raises_latency_in_seconds() {
+        // At a fixed wall-clock offered load, halving the frequency
+        // roughly doubles the service time per request; mean latency in
+        // seconds must rise.
+        let spec = ServerSpec::standard(1_000_000, Scale::Test);
+        let run = |f: Hertz| {
+            let r = CmpSimulator::new(CmpConfig::ispass05(2), spec.gang(1, 9, f)).run();
+            let req = r.requests.unwrap();
+            req.mean_latency_cycles() / f.as_f64()
+        };
+        let fast = run(Hertz::from_ghz(3.2));
+        let slow = run(Hertz::from_ghz(0.8));
+        assert!(
+            slow > fast,
+            "latency did not rise at the slower clock: {slow} !> {fast}"
+        );
+    }
+}

@@ -34,6 +34,7 @@ fn first_barrier_id(app: AppId, n: usize) -> u32 {
 fn main() {
     let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
     let spec = SweepSpec {
+        server_loads: Vec::new(),
         apps: vec![AppId::WaterNsq, AppId::Fft],
         core_counts: vec![1, 2, 4],
         scale: Scale::Test,

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use cmp_tlp::error::ExperimentError;
 use cmp_tlp::journal::{Journal, JournalError, JournalMode};
-use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepReport, SweepSpec};
+use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepReport, SweepSpec, WorkloadId};
 use cmp_tlp::ExperimentalChip;
 use tlp_sim::{CmpConfig, SimError};
 use tlp_tech::json::ToJson;
@@ -28,6 +28,7 @@ fn chip() -> ExperimentalChip {
 
 fn spec(apps: Vec<AppId>, counts: Vec<usize>) -> SweepSpec {
     SweepSpec {
+        server_loads: Vec::new(),
         apps,
         core_counts: counts,
         scale: Scale::Test,
@@ -249,7 +250,7 @@ fn three_abandoned_executions_quarantine_the_cell_on_resume() {
     let quarantined: Vec<_> = report.quarantined().collect();
     assert_eq!(quarantined.len(), 1, "{}", report.summary());
     let (cell, reason_chain, attempts, replay_seed) = quarantined[0];
-    assert_eq!((cell.app, cell.n), (AppId::WaterNsq, 2));
+    assert_eq!((cell.work, cell.n), (WorkloadId::App(AppId::WaterNsq), 2));
     assert_eq!(attempts, 3, "each abandoned execution costs one attempt");
     assert_eq!(replay_seed, SEED);
     assert!(
@@ -311,7 +312,7 @@ fn watchdog_deadline_turns_a_hung_cell_into_a_typed_failure() {
     let failed: Vec<_> = report.failed().collect();
     assert_eq!(failed.len(), 1, "{}", report.summary());
     let (cell, reason, attempts) = failed[0];
-    assert_eq!((cell.app, cell.n), (AppId::WaterNsq, 2));
+    assert_eq!((cell.work, cell.n), (WorkloadId::App(AppId::WaterNsq), 2));
     assert_eq!(attempts, 1, "a cancelled cell must not be retried");
     assert!(
         matches!(

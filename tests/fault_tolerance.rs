@@ -10,7 +10,9 @@
 //! measured rows everywhere else.
 
 use cmp_tlp::error::ExperimentError;
-use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepCell, SweepReport, SweepSpec};
+use cmp_tlp::sweep::{
+    Fault, FaultPlan, RetryPolicy, SweepCell, SweepReport, SweepSpec, WorkloadId,
+};
 use cmp_tlp::ExperimentalChip;
 use tlp_sim::op::Op;
 use tlp_sim::{CmpConfig, SimError};
@@ -34,6 +36,7 @@ impl Technology65 {
 
 fn spec(apps: Vec<AppId>, counts: Vec<usize>) -> SweepSpec {
     SweepSpec {
+        server_loads: Vec::new(),
         apps,
         core_counts: counts,
         scale: Scale::Test,
@@ -81,7 +84,13 @@ fn deadlock_fault_names_the_stuck_barrier_and_cores() {
     let failed = failed_cells(&report);
     assert_eq!(failed.len(), 1, "{}", report.summary());
     let (cell, reason, attempts) = failed[0];
-    assert_eq!(cell, SweepCell { app, n: 2 });
+    assert_eq!(
+        cell,
+        SweepCell {
+            work: WorkloadId::App(app),
+            n: 2
+        }
+    );
     // A deadlock is deterministic; the supervisor must not have retried.
     assert_eq!(attempts, 1);
     let ExperimentError::Sim(SimError::Deadlock(info)) = reason else {
@@ -115,7 +124,13 @@ fn thermal_runaway_is_retried_with_damping_then_reported() {
     let failed = failed_cells(&report);
     assert_eq!(failed.len(), 1, "{}", report.summary());
     let (cell, reason, attempts) = failed[0];
-    assert_eq!(cell, SweepCell { app, n: 2 });
+    assert_eq!(
+        cell,
+        SweepCell {
+            work: WorkloadId::App(app),
+            n: 2
+        }
+    );
     // Convergence failures are retryable: the supervisor must have spent
     // its full attempt budget (escalating damping cannot stabilize a
     // genuinely supercritical leakage loop).
@@ -161,7 +176,13 @@ fn shrunken_cycle_budget_reports_exhaustion_not_deadlock() {
     let failed = failed_cells(&report);
     assert_eq!(failed.len(), 1, "{}", report.summary());
     let (cell, reason, _) = failed[0];
-    assert_eq!(cell, SweepCell { app, n: 2 });
+    assert_eq!(
+        cell,
+        SweepCell {
+            work: WorkloadId::App(app),
+            n: 2
+        }
+    );
     // A healthy run cut short is budget exhaustion, not a deadlock: the
     // cores were still making progress.
     assert!(
@@ -205,11 +226,11 @@ fn faulted_fig3_sweep_completes_with_exact_failure_set() {
         failed_set,
         vec![
             SweepCell {
-                app: deadlocked,
+                work: WorkloadId::App(deadlocked),
                 n: 2
             },
             SweepCell {
-                app: diverged,
+                work: WorkloadId::App(diverged),
                 n: 4
             },
         ],
@@ -219,10 +240,10 @@ fn faulted_fig3_sweep_completes_with_exact_failure_set() {
     for (cell, reason, _) in &failed {
         match reason {
             ExperimentError::Sim(SimError::Deadlock(info)) => {
-                assert_eq!(cell.app, deadlocked);
+                assert_eq!(cell.work, WorkloadId::App(deadlocked));
                 assert!(info.stuck_barriers().contains(&barrier), "{info}");
             }
-            ExperimentError::Thermal(_) => assert_eq!(cell.app, diverged),
+            ExperimentError::Thermal(_) => assert_eq!(cell.work, WorkloadId::App(diverged)),
             other => panic!("unexpected diagnosis for {cell}: {other}"),
         }
     }

@@ -136,6 +136,7 @@ fn sweep_report_round_trips() {
     // Include a failed cell so the snapshot pins the failure shape
     // (status, attempts, reason) alongside the completed rows.
     let spec = SweepSpec {
+        server_loads: Vec::new(),
         apps: vec![AppId::WaterNsq],
         core_counts: vec![1, 2],
         scale: Scale::Test,

@@ -18,6 +18,7 @@ fn chip() -> ExperimentalChip {
 
 fn spec() -> SweepSpec {
     SweepSpec {
+        server_loads: Vec::new(),
         apps: vec![AppId::WaterNsq, AppId::Fft],
         core_counts: vec![1, 2, 4],
         scale: Scale::Test,
@@ -103,6 +104,7 @@ fn determinism_holds_under_injected_faults() {
     // must reproduce those outcomes byte-for-byte too.
     let chip = chip();
     let spec = SweepSpec {
+        server_loads: Vec::new(),
         apps: vec![AppId::WaterNsq, AppId::Fft, AppId::Radix],
         core_counts: vec![1, 2, 4],
         scale: Scale::Test,
@@ -153,6 +155,7 @@ fn one_worker_and_oversubscribed_pool_agree_on_a_small_grid() {
     // the pool machinery) and far more workers than the grid has cells.
     let chip = chip();
     let spec = SweepSpec {
+        server_loads: Vec::new(),
         apps: vec![AppId::WaterNsq],
         core_counts: vec![1, 2],
         scale: Scale::Test,
@@ -182,6 +185,7 @@ fn empty_sweep_grid_completes_with_no_cells() {
     // report must come back whole (and say so) at any thread count.
     let chip = chip();
     let spec = SweepSpec {
+        server_loads: Vec::new(),
         apps: Vec::new(),
         core_counts: vec![1, 2],
         scale: Scale::Test,
@@ -205,6 +209,7 @@ fn empty_sweep_grid_completes_with_no_cells() {
 fn timing_reflects_requested_threads() {
     let chip = chip();
     let spec = SweepSpec {
+        server_loads: Vec::new(),
         apps: vec![AppId::WaterNsq],
         core_counts: vec![1, 2],
         scale: Scale::Test,

@@ -237,6 +237,7 @@ fn submit_poll_fetch_report_is_byte_identical_to_direct_run() {
     let report = get(addr, &format!("/sweeps/{id}/report"));
     assert_eq!(report.status, 200);
     let expected = reference_report(SweepSpec {
+        server_loads: Vec::new(),
         apps: vec![AppId::Fft],
         core_counts: vec![1, 2],
         scale: Scale::Test,
@@ -433,6 +434,7 @@ fn ready_flips_to_503_while_draining() {
 fn crashed_mid_run_job_resumes_to_a_byte_identical_report() {
     let dir = TempDir::new("resume");
     let spec = SweepSpec {
+        server_loads: Vec::new(),
         apps: vec![AppId::Fft, AppId::Ocean],
         core_counts: vec![1, 2],
         scale: Scale::Test,

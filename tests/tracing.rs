@@ -26,6 +26,7 @@ fn chip() -> ExperimentalChip {
 
 fn spec() -> SweepSpec {
     SweepSpec {
+        server_loads: Vec::new(),
         apps: vec![AppId::WaterNsq, AppId::Fft],
         core_counts: vec![1, 2],
         scale: Scale::Test,
