@@ -42,12 +42,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod budget;
 pub mod chip;
 pub mod efficiency;
 pub mod error;
 pub mod scenario1;
 pub mod scenario2;
 
+pub use budget::{BudgetSpec, BudgetedChip};
 pub use chip::{AnalyticChip, Equilibrium, ReferencePoint, ThermalCoupling, DIE_EDGE_MM};
 pub use efficiency::EfficiencyCurve;
 pub use error::AnalyticError;

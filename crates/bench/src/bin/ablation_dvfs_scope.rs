@@ -19,7 +19,7 @@ use tlp_workloads::gang;
 fn main() {
     let scale = scale_from_args();
     let tech = Technology::itrs_65nm();
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech.clone());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech.clone());
     let app = AppId::Ocean;
     let profile = profiling::profile(&chip, app, &[1, 2, 4, 8], scale, SEED);
     let table = DvfsTable::for_technology(&tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))

@@ -148,7 +148,7 @@ fn thermal_stage(violations: &mut Vec<String>) -> Json {
     // The real measurement pipeline: per-tile fixpoints behind
     // ExperimentalChip::measure must converge briskly and also ride the
     // banded solver.
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let result = chip.run(
         gang(AppId::WaterNsq, 4, Scale::Test, SEED),
         chip.config().operating_point,
@@ -196,7 +196,7 @@ fn thermal_stage(violations: &mut Vec<String>) -> Json {
 /// cycles is the machine-independent throughput proxy; failures and
 /// retries must stay at zero on a clean grid.
 fn sweep_stage(violations: &mut Vec<String>) -> Json {
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let spec = SweepSpec {
         server_loads: Vec::new(),
         apps: vec![AppId::WaterNsq, AppId::Fft],
@@ -238,12 +238,73 @@ fn sweep_stage(violations: &mut Vec<String>) -> Json {
     ])
 }
 
+/// Stage 4: heterogeneous per-class activity. A full-width gang on a
+/// big.LITTLE chip must light both core classes, and the per-class
+/// cycle/flop counters must account for exactly the per-core totals —
+/// all deterministic for the fixed seed.
+fn hetero_stage(violations: &mut Vec<String>) -> Json {
+    let chip = ExperimentalChip::from_spec(ChipSpec::big_little(4, 12), Technology::itrs_65nm());
+    let result = chip.run(
+        gang(AppId::WaterNsq, 16, Scale::Test, SEED),
+        chip.config().operating_point,
+    );
+    let classes = chip.spec().class_activity(&result.cores);
+
+    let total_instructions: u64 = result.cores.iter().map(|c| c.instructions).sum();
+    let total_fp: u64 = result.cores.iter().map(|c| c.fp_ops).sum();
+    let class_instructions: u64 = classes.iter().map(|c| c.instructions).sum();
+    let class_fp: u64 = classes.iter().map(|c| c.fp_ops).sum();
+    if class_instructions != total_instructions || class_fp != total_fp {
+        violations.push(format!(
+            "hetero: class totals ({class_instructions} instr, {class_fp} flop) \
+             do not account for the per-core totals ({total_instructions}, {total_fp})"
+        ));
+    }
+    for class in &classes {
+        if class.cores == 0 || class.active_cycles == 0 || class.instructions == 0 {
+            violations.push(format!(
+                "hetero: class '{}' never lit ({} core(s), {} active cycles)",
+                class.name, class.cores, class.active_cycles
+            ));
+        }
+    }
+    eprintln!(
+        "  hetero  : {}",
+        classes
+            .iter()
+            .map(|c| format!(
+                "{} x{} {} cycles {} instr",
+                c.name, c.cores, c.active_cycles, c.instructions
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Json::object([
+        ("chip", Json::from(chip.spec().tag())),
+        (
+            "classes",
+            Json::array(&classes, |c| {
+                Json::object([
+                    ("name", Json::from(c.name.as_str())),
+                    ("cores", Json::from(c.cores)),
+                    ("active_cycles", Json::from(c.active_cycles)),
+                    ("instructions", Json::from(c.instructions)),
+                    ("fp_ops", Json::from(c.fp_ops)),
+                ])
+            }),
+        ),
+        ("instructions_total", Json::from(total_instructions)),
+        ("fp_ops_total", Json::from(total_fp)),
+    ])
+}
+
 fn main() {
     eprintln!("bench_stages: deterministic per-stage counters (seed {SEED:#x})");
     let mut violations = Vec::new();
     let sim = sim_stage(&mut violations);
     let thermal = thermal_stage(&mut violations);
     let sweep = sweep_stage(&mut violations);
+    let hetero = hetero_stage(&mut violations);
 
     let json = Json::object([
         ("benchmark", Json::from("stage_counters")),
@@ -251,6 +312,7 @@ fn main() {
         ("sim", sim),
         ("thermal", thermal),
         ("sweep", sweep),
+        ("hetero", hetero),
         (
             "violations",
             Json::array(violations.iter(), |v| Json::from(v.as_str())),

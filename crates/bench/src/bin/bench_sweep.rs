@@ -14,7 +14,7 @@
 
 use cmp_tlp::prelude::*;
 use tlp_bench::{scale_from_args, SEED};
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::json::{Json, ToJson};
 use tlp_tech::Technology;
 
@@ -35,7 +35,7 @@ fn main() {
         spec.apps.len(),
         spec.core_counts.len()
     );
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
 
     let serial = chip
         .sweep()

@@ -26,7 +26,7 @@ fn main() {
         tech.p_dynamic_core_nominal().as_f64()
     );
 
-    let chip = ExperimentalChip::new(cfg, tech);
+    let chip = ExperimentalChip::from_spec(ChipSpec::from_config(&cfg), tech);
     let cal = chip.calibration();
     println!("  renormalization ratio              {:.4}", cal.renorm);
     println!(

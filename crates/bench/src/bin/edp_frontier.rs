@@ -11,12 +11,12 @@ use cmp_tlp::energy::{best_n, scenario1_energy, Metric};
 use cmp_tlp::prelude::*;
 use cmp_tlp::{profiling, scenario1};
 use tlp_bench::{scale_from_args, EXPERIMENT_CORE_COUNTS, SEED};
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::Technology;
 
 fn main() {
     let scale = scale_from_args();
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
 
     println!("Extension: energy / energy-delay frontier under Scenario-I DVFS\n");
     println!(

@@ -11,7 +11,7 @@
 
 use cmp_tlp::prelude::*;
 use tlp_bench::{scale_from_args, SEED};
-use tlp_sim::CmpConfig;
+use tlp_sim::{ChipSpec, CmpConfig};
 use tlp_tech::Technology;
 use tlp_workloads::gang;
 
@@ -19,10 +19,10 @@ fn main() {
     let scale = scale_from_args();
     let tech = Technology::itrs_65nm();
 
-    let plain = ExperimentalChip::new(CmpConfig::ispass05(16), tech.clone());
+    let plain = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech.clone());
     let mut filtered_cfg = CmpConfig::ispass05(16);
     filtered_cfg.snoop_filter = true;
-    let filtered = ExperimentalChip::new(filtered_cfg, tech);
+    let filtered = ExperimentalChip::from_spec(ChipSpec::from_config(&filtered_cfg), tech);
 
     println!("Extension: JETTY-style snoop filter [30] ({scale:?} scale)\n");
     println!(

@@ -12,7 +12,7 @@
 use cmp_tlp::prelude::*;
 use tlp_bench::{scale_from_args, SEED};
 use tlp_sim::config::SleepPolicy;
-use tlp_sim::CmpConfig;
+use tlp_sim::{ChipSpec, CmpConfig};
 use tlp_tech::Technology;
 use tlp_workloads::gang;
 
@@ -33,10 +33,10 @@ fn main() {
     let scale = scale_from_args();
     let tech = Technology::itrs_65nm();
 
-    let baseline_chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech.clone());
+    let baseline_chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech.clone());
     let mut thrifty_cfg = CmpConfig::ispass05(16);
     thrifty_cfg.core.sleep = SleepPolicy::THRIFTY;
-    let thrifty_chip = ExperimentalChip::new(thrifty_cfg, tech);
+    let thrifty_chip = ExperimentalChip::from_spec(ChipSpec::from_config(&thrifty_cfg), tech);
 
     println!("Extension: thrifty barrier [26] at nominal V/f ({scale:?} scale)\n");
     println!(

@@ -7,7 +7,7 @@
 
 use cmp_tlp::prelude::*;
 use cmp_tlp::transient;
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::Technology;
 use tlp_workloads::gang;
 use tlp_workloads::micro::power_virus;
@@ -37,7 +37,7 @@ fn sparkline(values: &[f64], lo: f64, hi: f64) -> String {
 }
 
 fn main() {
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let op = chip.config().operating_point;
 
     println!("Extension: transient thermal traces (65nm, nominal V/f)\n");

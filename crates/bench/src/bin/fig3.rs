@@ -7,13 +7,13 @@
 use cmp_tlp::prelude::*;
 use cmp_tlp::{profiling, report, scenario1};
 use tlp_bench::{scale_from_args, EXPERIMENT_CORE_COUNTS, SEED};
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::Technology;
 
 fn main() {
     let scale = scale_from_args();
     eprintln!("fig3: running at {scale:?} scale (use --quick for a fast pass)");
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
 
     let mut results = Vec::new();
     for app in AppId::ALL {

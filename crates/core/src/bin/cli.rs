@@ -27,7 +27,7 @@ use cmp_tlp::jsonout;
 use cmp_tlp::prelude::*;
 use cmp_tlp::serve::{ServeConfig, Server};
 use cmp_tlp::{checks, report, scenario1, scenario2};
-use tlp_sim::CmpConfig;
+use tlp_sim::{ChipSpec, CmpConfig};
 use tlp_tech::json::{Json, ToJson};
 use tlp_tech::units::Hertz;
 use tlp_tech::{DvfsTable, OperatingPoint, Technology};
@@ -111,6 +111,14 @@ fn usage() -> ! {
            --trace PATH                   write a Chrome trace_event JSON file (Perfetto)\n\
            --trace-summary                print an aggregate span/counter table to stderr\n\
          sweep options:\n\
+           --cores LIST                   comma-separated core-count axis (default\n\
+                                          1,2,4,8,16; the n=1 anchor is always included)\n\
+           --core-mix BIG:LITTLE          run on a heterogeneous big.LITTLE chip (BIG\n\
+                                          4-wide cores at base clock, LITTLE 2-wide at\n\
+                                          half clock) instead of the homogeneous 16-way\n\
+           --budget AREA_MM2:TDP_WATTS    arm dark-silicon budget axes: every completed\n\
+                                          cell also reports how many such cores fit and\n\
+                                          the dark-silicon ratio\n\
            --checkpoint PATH              journal each settled cell to PATH (crash-safe;\n\
                                           Ctrl-C flushes the journal and prints the\n\
                                           exact --resume command)\n\
@@ -226,7 +234,7 @@ fn run_command(
             Ok(())
         }
         "calibration" => {
-            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech);
             let cal = chip.calibration();
             if json {
                 println!("{}", jsonout::calibration_json(&cal).to_string_pretty());
@@ -246,7 +254,7 @@ fn run_command(
         "profile" => {
             let (app, rest) = split_app(args)?;
             let counts = core_counts(rest)?;
-            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech);
             let p = profile(&chip, app, &counts, scale, DEFAULT_SEED);
             if json {
                 println!("{}", p.to_json().to_string_pretty());
@@ -261,7 +269,7 @@ fn run_command(
         "scenario1" => {
             let (app, rest) = split_app(args)?;
             let counts = core_counts(rest)?;
-            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech);
             let p = profile(&chip, app, &counts, scale, DEFAULT_SEED);
             let r = scenario1::try_run(&chip, &p, scale, DEFAULT_SEED)?;
             if json {
@@ -274,7 +282,7 @@ fn run_command(
         "scenario2" => {
             let (app, rest) = split_app(args)?;
             let counts = core_counts(rest)?;
-            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech);
             let p = profile(&chip, app, &counts, scale, DEFAULT_SEED);
             let r = scenario2::try_run(&chip, &p, scale, DEFAULT_SEED, None)?;
             if json {
@@ -309,32 +317,37 @@ fn run_command(
                     Some(Duration::from_secs_f64(secs))
                 }
             };
-            // --server-load is repeatable: each occurrence adds one
-            // open-loop server row (offered requests/second) to the grid.
-            let mut server_loads: Vec<u32> = Vec::new();
-            while let Some(v) = take_value(&mut args, "--server-load")? {
-                let rps: u32 = v
-                    .parse()
-                    .ok()
-                    .filter(|&rps| rps >= 1)
-                    .ok_or_else(|| format!("bad --server-load '{v}' (requests/second >= 1)"))?;
-                server_loads.push(rps);
-            }
-            if args.is_empty() && server_loads.is_empty() {
+            // The chip-shape axes (--cores, --server-load, --core-mix,
+            // --budget) share one dialect with serve submissions and
+            // resume recipes.
+            let chip_args = ChipArgs::parse(&mut args)?;
+            if args.is_empty() && chip_args.server_loads.is_empty() {
                 return Err("sweep needs at least one application or --server-load".into());
             }
             let apps = args
                 .iter()
                 .map(|a| parse_app(a))
                 .collect::<Result<Vec<_>, _>>()?;
-            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+            let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech);
             let mut spec = SweepSpec::fig3(apps, scale, DEFAULT_SEED);
-            spec.server_loads = server_loads.clone();
+            spec.server_loads = chip_args.server_loads.clone();
+            if let Some(counts) = &chip_args.cores {
+                spec.core_counts = counts.clone();
+            }
             let mut builder = chip
                 .sweep()
                 .grid(spec)
                 .threads(common.threads)
                 .trace(common.sink());
+            if let Some((big, little)) = chip_args.core_mix {
+                builder = builder.core_mix(big, little);
+            }
+            if let Some((area_mm2, tdp_watts)) = chip_args.budget {
+                builder = builder.budget(tlp_analytic::BudgetSpec {
+                    area_mm2,
+                    tdp_watts,
+                });
+            }
             if let Some(d) = deadline {
                 builder = builder.cell_deadline(d);
             }
@@ -358,7 +371,7 @@ fn run_command(
                     eprintln!("sweep interrupted: {info}; every settled outcome is journaled");
                     eprintln!(
                         "resume with:\n  {}",
-                        resume_recipe(&args, &server_loads, common, &deadline_arg, &path)
+                        resume_recipe(&args, &chip_args, common, &deadline_arg, &path)
                     );
                     // 128 + SIGINT, the conventional "killed by Ctrl-C"
                     // status, so wrappers can tell "resumable" from
@@ -396,7 +409,7 @@ fn run_command(
             }
             let n: usize = rest[0].parse().map_err(|_| "bad core count")?;
             let ghz: f64 = rest[1].parse().map_err(|_| "bad frequency")?;
-            let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech.clone());
+            let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech.clone());
             let f = Hertz::from_ghz(ghz);
             let table =
                 DvfsTable::for_technology(&tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))
@@ -684,7 +697,7 @@ fn install_interrupt_flag() -> Arc<AtomicBool> {
 /// behind `--resume`. Printed verbatim so it can be pasted back.
 fn resume_recipe(
     apps: &[String],
-    server_loads: &[u32],
+    chip: &ChipArgs,
     common: &CommonArgs,
     deadline: &Option<String>,
     journal: &str,
@@ -694,9 +707,9 @@ fn resume_recipe(
         cmd.push(' ');
         cmd.push_str(a);
     }
-    for rps in server_loads {
-        cmd.push_str(&format!(" --server-load {rps}"));
-    }
+    // Chip-shape axes round-trip verbatim: a heterogeneous or budgeted
+    // sweep resumes as exactly the same experiment.
+    cmd.push_str(&chip.recipe_fragment());
     if common.scale == Scale::Paper {
         cmd.push_str(" --paper");
     }

@@ -19,6 +19,12 @@
 //!   report byte-identical to the uninterrupted run, injected faults
 //!   and all.
 //!
+//! - [`hetero_homogeneous_identity`] — the `ChipSpec` migration
+//!   invariant: a sweep on the homogeneous `ChipSpec::ispass05(16)`
+//!   must be byte-identical (report and journal) to the deprecated
+//!   `CmpConfig::ispass05(16)` construction, with no chip tag leaking
+//!   into the journal header.
+//!
 //! - [`serve_http_parser`] — the daemon's HTTP request parser, fed
 //!   truncated, bit-flipped, and garbage-extended requests, must never
 //!   panic, and every rejection must render as a well-formed HTTP/1.1
@@ -37,7 +43,7 @@ use std::time::Duration;
 use tlp_analytic::{AnalyticChip, AnalyticError, Scenario1};
 use tlp_check::prop::Property;
 use tlp_check::{gen, shrink};
-use tlp_sim::CmpConfig;
+use tlp_sim::{ChipSpec, CmpConfig};
 use tlp_tech::json::ToJson;
 use tlp_tech::rng::SplitMix64;
 use tlp_tech::Technology;
@@ -46,13 +52,25 @@ use tlp_workloads::{AppId, Scale};
 use crate::chipstate::ExperimentalChip;
 use crate::serve::http::{read_request, HttpLimits, Response};
 use crate::serve::router;
-use crate::sweep::{Fault, FaultPlan, RetryPolicy, SweepSpec};
+use crate::sweep::{Fault, FaultPlan, RetryPolicy, SweepSpec, WorkloadId};
 use crate::{profiling, scenario1};
 
 /// The one experimental chip every oracle case shares (calibration is
 /// expensive; the chip is immutable and thread-safe).
 fn shared_chip() -> &'static ExperimentalChip {
     static CHIP: OnceLock<ExperimentalChip> = OnceLock::new();
+    CHIP.get_or_init(|| {
+        ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
+    })
+}
+
+/// The same chip built through the deprecated pre-`ChipSpec`
+/// constructor — the migration reference for
+/// [`hetero_homogeneous_identity`]. Deliberately pinned to the old
+/// entry point so the oracle keeps watching it.
+fn shared_legacy_chip() -> &'static ExperimentalChip {
+    static CHIP: OnceLock<ExperimentalChip> = OnceLock::new();
+    #[allow(deprecated)]
     CHIP.get_or_init(|| ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm()))
 }
 
@@ -170,7 +188,7 @@ fn sweep_check(c: &SweepCase) -> Result<(), String> {
     };
     let mut plan = FaultPlan::none();
     for &(app, n, fault) in &c.faults {
-        plan = plan.inject(app, n, fault);
+        plan = plan.inject_work(WorkloadId::App(app), n, fault);
     }
     let policy = RetryPolicy::default();
     let serial = chip
@@ -298,7 +316,7 @@ fn resume_check(c: &ResumeCase) -> Result<(), String> {
     };
     let mut plan = FaultPlan::none();
     for &(app, n, fault) in &c.sweep.faults {
-        plan = plan.inject(app, n, fault);
+        plan = plan.inject_work(WorkloadId::App(app), n, fault);
     }
     let policy = RetryPolicy::default();
     let configured = || {
@@ -389,6 +407,80 @@ pub fn resume_identity() -> Property {
         gen_resume_case,
         shrink_resume_case,
         resume_check,
+    )
+    .expensive()
+}
+
+fn hetero_identity_check(c: &SweepCase) -> Result<(), String> {
+    let spec = SweepSpec {
+        apps: c.apps.clone(),
+        server_loads: c.server_loads.clone(),
+        core_counts: c.core_counts.clone(),
+        scale: Scale::Test,
+        seed: c.seed,
+    };
+    let mut plan = FaultPlan::none();
+    for &(app, n, fault) in &c.faults {
+        plan = plan.inject_work(WorkloadId::App(app), n, fault);
+    }
+    let policy = RetryPolicy::default();
+    let run = |chip: &ExperimentalChip| -> Result<(String, String, String), String> {
+        let journal = scratch_journal(c.seed);
+        let path = journal.0.clone();
+        let r = chip
+            .sweep()
+            .grid(spec.clone())
+            .retry_policy(policy)
+            .faults(plan.clone())
+            .serial()
+            .checkpoint(&path)
+            .run()
+            .map_err(|e| format!("sweep refused to start: {e}"))?;
+        let journal_text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read the journal: {e}"))?;
+        Ok((
+            format!("{:?}", r.cells),
+            r.to_json().to_string_pretty(),
+            journal_text,
+        ))
+    };
+    let (legacy_dbg, legacy_json, legacy_journal) = run(shared_legacy_chip())?;
+    let (spec_dbg, spec_json, spec_journal) = run(shared_chip())?;
+    if spec_dbg != legacy_dbg {
+        return Err(format!(
+            "ChipSpec and legacy reports differ (Debug):\nlegacy: {legacy_dbg}\nspec:   {spec_dbg}"
+        ));
+    }
+    if spec_json != legacy_json {
+        return Err(format!(
+            "ChipSpec and legacy JSON differ:\nlegacy:\n{legacy_json}\nspec:\n{spec_json}"
+        ));
+    }
+    if spec_journal != legacy_journal {
+        return Err(format!(
+            "ChipSpec and legacy journals differ:\nlegacy:\n{legacy_journal}\nspec:\n{spec_journal}"
+        ));
+    }
+    // A homogeneous chip must not stamp a class tag anywhere — that is
+    // what keeps old journals resumable and old JSON diffs quiet.
+    if spec_journal.contains("\"chip\"") {
+        return Err("homogeneous journal header carries a chip tag".into());
+    }
+    Ok(())
+}
+
+/// Oracle 12: the homogeneous migration invariant. A sweep on
+/// `ChipSpec::ispass05(16)` must be byte-identical — report `Debug`,
+/// report JSON, and every journal record — to the same sweep on the
+/// deprecated `CmpConfig::ispass05(16)` construction, and its journal
+/// must carry no heterogeneity tag.
+pub fn hetero_homogeneous_identity() -> Property {
+    Property::new(
+        "hetero-homogeneous-identity",
+        "a homogeneous ChipSpec sweep matches the legacy CmpConfig path byte-for-byte",
+        gen_sweep_case,
+        shrink_sweep_case,
+        hetero_identity_check,
     )
     .expensive()
 }
@@ -688,6 +780,7 @@ pub fn suite() -> Vec<Property> {
     props.push(sweep_determinism());
     props.push(analytic_vs_sim());
     props.push(resume_identity());
+    props.push(hetero_homogeneous_identity());
     props.push(serve_http_parser());
     props.push(tlp_check::server_oracles::latency_sanity());
     props.push(tlp_check::server_oracles::server_ff_identity());
@@ -713,6 +806,7 @@ mod tests {
                 "sweep-determinism",
                 "analytic-vs-sim",
                 "resume-identity",
+                "hetero-homogeneous-identity",
                 "serve-http-parser",
                 "latency-sanity",
                 "server-ff-identity",

@@ -9,13 +9,14 @@
 //! power↔temperature fixpoint solved per tile.
 
 use tlp_power::{Calibration, PowerCalculator, StaticPower};
-use tlp_sim::{CmpConfig, CmpSimulator, SimFaults, SimResult};
-use tlp_tech::units::{Celsius, PowerDensity, Volts, Watts};
-use tlp_tech::{OperatingPoint, Technology};
+use tlp_sim::{ChipSpec, CmpConfig, CmpSimulator, SimFaults, SimResult};
+use tlp_tech::units::{Celsius, Hertz, PowerDensity, Volts, Watts};
+use tlp_tech::{DvfsTable, OperatingPoint, Technology};
 use tlp_thermal::{FixpointOptions, Floorplan, ThermalModel};
 use tlp_workloads::micro::power_virus;
 
 use crate::error::ExperimentError;
+use crate::governor::{ChipWide, Governor};
 
 /// Die edge (Table 1: 15.6 mm × 15.6 mm).
 pub const DIE_EDGE_MM: f64 = 15.6;
@@ -89,8 +90,22 @@ impl ChipMeasurement {
     }
 }
 
+/// Per-class power/thermal state for heterogeneous chips. `None` on the
+/// homogeneous path, which therefore pays nothing for the machinery.
+struct HeteroState {
+    /// One calibrated calculator per class (all share the §3.3 renorm).
+    class_power: Vec<PowerCalculator>,
+    /// One calibrated single-core tile per class.
+    class_tiles: Vec<ThermalModel>,
+    /// Per-core tile area of each class, mm².
+    class_areas: Vec<f64>,
+    /// DVFS ladder used to pick each non-base class's supply rail.
+    dvfs: DvfsTable,
+}
+
 /// The calibrated experimental platform.
 pub struct ExperimentalChip {
+    spec: ChipSpec,
     config: CmpConfig,
     tech: Technology,
     power: PowerCalculator,
@@ -98,6 +113,8 @@ pub struct ExperimentalChip {
     tile: ThermalModel,
     tile_area_mm2: f64,
     calibration: Calibration,
+    hetero: Option<HeteroState>,
+    governor: Box<dyn Governor>,
 }
 
 impl ExperimentalChip {
@@ -108,7 +125,37 @@ impl ExperimentalChip {
     /// 2. Renormalize so that equals the HotSpot-anchored `P_D1`.
     /// 3. Calibrate the per-core-tile thermal package so a core at
     ///    `P_D1 + P_S1(T_max)` equilibrates at `T_max`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use ExperimentalChip::from_spec (wrap an existing config \
+                with tlp_sim::ChipSpec::from_config)"
+    )]
     pub fn new(config: CmpConfig, tech: Technology) -> Self {
+        Self::from_spec(ChipSpec::from_config(&config), tech)
+    }
+
+    /// Builds and calibrates the platform from a [`ChipSpec`].
+    ///
+    /// A homogeneous spec (one class, base clock domain) takes the exact
+    /// legacy path — same calibration run, same single shared tile — so
+    /// its measurements are byte-identical to the deprecated
+    /// [`ExperimentalChip::new`]. A heterogeneous spec additionally
+    /// builds, per class: a power calculator for that class's pipeline
+    /// (sharing the one §3.3 renorm), a thermal tile whose area is
+    /// apportioned by issue width (the area proxy the heterogeneous
+    /// floorplan uses), and a supply rail picked off the DVFS ladder at
+    /// the class frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics (for heterogeneous specs only) if the technology cannot
+    /// produce a DVFS ladder — without one there are no per-class rails.
+    pub fn from_spec(spec: ChipSpec, tech: Technology) -> Self {
+        // Calibration always runs on the base (class 0) configuration:
+        // for homogeneous specs that *is* the legacy config, and for
+        // heterogeneous ones core 0 is a class-0 core at base clock, so
+        // the §3.3 virus measures the same thing either way.
+        let config = spec.to_cmp_config().unwrap_or_else(|| spec.base_config());
         let raw_run = CmpSimulator::new(config.clone(), vec![power_virus(0, 1, 30_000)]).run();
         let raw_power = PowerCalculator::new(&config)
             .dynamic(&raw_run, tech.vdd_nominal())
@@ -125,7 +172,14 @@ impl ExperimentalChip {
         let p1 = tech.p_dynamic_core_nominal() + tech.p_static_core_at_tmax();
         let tile =
             ThermalModel::calibrated_active(floorplan, p1, 1, tech.t_max(), Celsius::new(45.0));
+
+        let hetero = if spec.is_homogeneous() {
+            None
+        } else {
+            Some(Self::hetero_state(&spec, &tech, calibration.renorm, p1))
+        };
         Self {
+            spec,
             config,
             tech,
             power,
@@ -133,10 +187,83 @@ impl ExperimentalChip {
             tile,
             tile_area_mm2: tile_area,
             calibration,
+            hetero,
+            governor: Box::new(ChipWide),
         }
     }
 
-    /// The chip configuration (nominal operating point).
+    /// Builds the per-class calculators, tiles, and rail ladder for a
+    /// heterogeneous spec.
+    fn hetero_state(spec: &ChipSpec, tech: &Technology, renorm: f64, p1: Watts) -> HeteroState {
+        let base = spec.base_config();
+        let core_region = DIE_EDGE_MM * DIE_EDGE_MM * CORE_REGION_FRAC;
+        // Issue width is the area proxy: a 2-wide core gets half the die
+        // area of a 4-wide one, matching Floorplan::hetero_cmp.
+        let total_weight: f64 = spec
+            .classes
+            .iter()
+            .map(|c| c.count as f64 * f64::from(c.core.issue_width))
+            .sum();
+        let mut class_power = Vec::with_capacity(spec.classes.len());
+        let mut class_tiles = Vec::with_capacity(spec.classes.len());
+        let mut class_areas = Vec::with_capacity(spec.classes.len());
+        for class in &spec.classes {
+            let cfg = CmpConfig {
+                core: class.core,
+                l1i: class.l1i,
+                l1d: class.l1d,
+                ..base.clone()
+            };
+            class_power.push(PowerCalculator::new(&cfg).with_renorm(renorm));
+            let area = core_region * f64::from(class.core.issue_width) / total_weight;
+            let edge = area.sqrt();
+            let floorplan = Floorplan::new(Floorplan::ev6_core("core0", 0.0, 0.0, edge, edge, 0));
+            class_tiles.push(ThermalModel::calibrated_active(
+                floorplan,
+                p1,
+                1,
+                tech.t_max(),
+                Celsius::new(45.0),
+            ));
+            class_areas.push(area);
+        }
+        let dvfs = DvfsTable::for_technology(tech, Hertz::from_mhz(200.0), Hertz::from_mhz(200.0))
+            .expect("per-class rails need a DVFS ladder");
+        HeteroState {
+            class_power,
+            class_tiles,
+            class_areas,
+            dvfs,
+        }
+    }
+
+    /// The chip specification this platform was built from.
+    pub fn spec(&self) -> &ChipSpec {
+        &self.spec
+    }
+
+    /// The installed DVFS governor (default: [`ChipWide`], the legacy
+    /// fixed-operating-point policy).
+    pub fn governor(&self) -> &dyn Governor {
+        self.governor.as_ref()
+    }
+
+    /// Installs a DVFS governor; consulted by the sweep engine after each
+    /// cell measurement.
+    pub fn with_governor(mut self, governor: Box<dyn Governor>) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Average per-core area of the die's core region, mm² — the `a`
+    /// input of a dark-silicon budget fit.
+    pub fn core_area_mm2(&self) -> f64 {
+        DIE_EDGE_MM * DIE_EDGE_MM * CORE_REGION_FRAC / self.spec.n_cores() as f64
+    }
+
+    /// The representative chip configuration: the legacy [`CmpConfig`]
+    /// for homogeneous chips, class 0's view of the shared uncore for
+    /// heterogeneous ones (never used to simulate the latter).
     pub fn config(&self) -> &CmpConfig {
         &self.config
     }
@@ -193,8 +320,13 @@ impl ExperimentalChip {
         programs: Vec<Box<dyn tlp_sim::op::ThreadProgram>>,
         op: OperatingPoint,
     ) -> Result<SimResult, ExperimentError> {
-        let cfg = self.config.at_operating_point(op);
-        Ok(CmpSimulator::new(cfg, programs).try_run(tlp_sim::chip::MAX_CYCLES)?)
+        if self.hetero.is_none() {
+            let cfg = self.config.at_operating_point(op);
+            Ok(CmpSimulator::new(cfg, programs).try_run(tlp_sim::chip::MAX_CYCLES)?)
+        } else {
+            let spec = self.spec.at_operating_point(op);
+            Ok(CmpSimulator::from_spec(&spec, programs).try_run(tlp_sim::chip::MAX_CYCLES)?)
+        }
     }
 
     /// [`ExperimentalChip::try_run`] with per-run simulation-stage fault
@@ -211,9 +343,15 @@ impl ExperimentalChip {
         op: OperatingPoint,
         faults: SimFaults,
     ) -> Result<SimResult, ExperimentError> {
-        let mut cfg = self.config.at_operating_point(op);
-        cfg.faults = faults;
-        Ok(CmpSimulator::new(cfg, programs).try_run(tlp_sim::chip::MAX_CYCLES)?)
+        if self.hetero.is_none() {
+            let mut cfg = self.config.at_operating_point(op);
+            cfg.faults = faults;
+            Ok(CmpSimulator::new(cfg, programs).try_run(tlp_sim::chip::MAX_CYCLES)?)
+        } else {
+            let mut spec = self.spec.at_operating_point(op);
+            spec.faults = faults;
+            Ok(CmpSimulator::from_spec(&spec, programs).try_run(tlp_sim::chip::MAX_CYCLES)?)
+        }
     }
 
     /// Measures power, temperature, and density for a finished run at
@@ -260,6 +398,9 @@ impl ExperimentalChip {
         opts: &FixpointOptions,
         faults: &MeasureFaults,
     ) -> Result<ChipMeasurement, ExperimentError> {
+        if self.hetero.is_some() {
+            return self.try_measure_hetero(result, v, opts, faults);
+        }
         let _span = tlp_obs::span("chip.measure");
         let breakdown = self.power.try_dynamic(result, v)?;
         let tile_fp = self.tile.floorplan().clone();
@@ -326,6 +467,108 @@ impl ExperimentalChip {
             fixpoint_iterations,
         })
     }
+
+    /// The heterogeneous measurement path: each core is charged from its
+    /// class's calculator at its class's supply rail and solved on its
+    /// class's tile. Deliberately a separate body from the homogeneous
+    /// path above — sharing a generalized loop would perturb the
+    /// floating-point evaluation order and break the byte-identity the
+    /// redesign guarantees for legacy chips.
+    fn try_measure_hetero(
+        &self,
+        result: &SimResult,
+        v: Volts,
+        opts: &FixpointOptions,
+        faults: &MeasureFaults,
+    ) -> Result<ChipMeasurement, ExperimentError> {
+        let _span = tlp_obs::span("chip.measure");
+        let h = self.hetero.as_ref().expect("heterogeneous state");
+        let n = result.cores.len();
+        let assign: Vec<usize> = (0..n).map(|i| self.spec.class_of(i)).collect();
+        // Per-class supply rails: the base domain runs at the caller's
+        // voltage; a scaled domain runs at the ladder voltage for its
+        // class frequency (clamped — a 2:1 little class at base f_min
+        // simply shares the floor rail).
+        let base_f = result.frequency;
+        let volts: Vec<Volts> = self
+            .spec
+            .classes
+            .iter()
+            .map(|c| {
+                if c.base_domain() {
+                    v
+                } else {
+                    h.dvfs.voltage_for_clamped(c.frequency(base_f))
+                }
+            })
+            .collect();
+        let breakdown =
+            PowerCalculator::try_dynamic_classes(&h.class_power, &assign, &volts, result)?;
+
+        let mut core_temps = Vec::with_capacity(n);
+        let mut static_total = Watts::ZERO;
+        let mut core_dynamic_total = Watts::ZERO;
+        let mut fixpoint_iterations = 0u32;
+        let mut area_total = 0.0;
+
+        for (i, core) in breakdown.cores.iter().enumerate() {
+            let class = assign[i];
+            let calc = &h.class_power[class];
+            let tile = &h.class_tiles[class];
+            let tile_fp = tile.floorplan().clone();
+            let vc = volts[class];
+            let single = tlp_power::DynamicBreakdown {
+                cores: vec![*core],
+                l2: Watts::ZERO,
+                bus: breakdown.bus / n as f64,
+            };
+            let mut dyn_blocks = calc.try_per_block(&single, &tile_fp)?;
+            if faults.nan_power {
+                if let Some(first) = dyn_blocks.first_mut() {
+                    *first = Watts::new(f64::NAN);
+                }
+            }
+            let statics = &self.statics;
+            let leakage_scale = faults.leakage_scale;
+            let fix = tile.try_fixpoint(
+                &dyn_blocks,
+                |map| {
+                    let t = map
+                        .average_active_core_temperature(&tile_fp, 1)
+                        .max(tile.ambient());
+                    let s = statics.core_static(vc, t) * leakage_scale;
+                    tile.uniform_core_power(s, 1)
+                },
+                opts,
+            )?;
+            let temp = fix.map.average_active_core_temperature(&tile_fp, 1);
+            core_temps.push(temp);
+            fixpoint_iterations += fix.iterations;
+            static_total += fix.static_power.iter().copied().sum::<Watts>();
+            core_dynamic_total += core.total() + breakdown.bus / n as f64;
+            area_total += h.class_areas[class];
+        }
+
+        // L2: static at the base rail and the average core temperature,
+        // exactly as on the homogeneous path.
+        let avg =
+            Celsius::new(core_temps.iter().map(|t| t.as_f64()).sum::<f64>() / n.max(1) as f64);
+        let l2_static = self.statics.chip_static(0, v, avg);
+        static_total += l2_static;
+
+        let density = PowerDensity::new(
+            (core_dynamic_total.as_f64() + static_total.as_f64() - l2_static.as_f64())
+                / area_total.max(f64::MIN_POSITIVE),
+        );
+
+        Ok(ChipMeasurement {
+            dynamic: breakdown.total(),
+            static_: static_total,
+            core_temps,
+            power_density: density,
+            fixpoint_iterations,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -334,7 +577,7 @@ mod tests {
     use tlp_workloads::{gang, AppId, Scale};
 
     fn chip() -> ExperimentalChip {
-        ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+        ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
     }
 
     #[test]
@@ -389,6 +632,69 @@ mod tests {
         let p1 = chip.measure(&one, v).total();
         let p4 = chip.measure(&four, v).total();
         assert!(p4.as_f64() > 1.5 * p1.as_f64());
+    }
+
+    #[test]
+    fn from_spec_homogeneous_measures_byte_identically_to_legacy() {
+        #[allow(deprecated)]
+        let legacy = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+        let spec = chip();
+        assert!(spec.hetero.is_none());
+        assert_eq!(spec.config(), legacy.config());
+        let op = legacy.config().operating_point;
+        let r_legacy = legacy.run(gang(AppId::WaterNsq, 2, Scale::Test, 7), op);
+        let r_spec = spec.run(gang(AppId::WaterNsq, 2, Scale::Test, 7), op);
+        let v = legacy.tech().vdd_nominal();
+        let m_legacy = legacy.measure(&r_legacy, v);
+        let m_spec = spec.measure(&r_spec, v);
+        assert_eq!(
+            format!("{m_legacy:?}"),
+            format!("{m_spec:?}"),
+            "homogeneous ChipSpec must be bit-exact with the legacy constructor"
+        );
+    }
+
+    #[test]
+    fn big_little_chip_measures_with_per_class_rails() {
+        let chip = ExperimentalChip::from_spec(ChipSpec::big_little(2, 2), Technology::itrs_65nm());
+        assert_eq!(chip.spec().n_cores(), 4);
+        let op = chip.config().operating_point;
+        let r = chip.run(gang(AppId::WaterNsq, 4, Scale::Test, 7), op);
+        let m = chip.measure(&r, chip.tech().vdd_nominal());
+        assert_eq!(m.core_temps.len(), 4);
+        assert!(m.dynamic.as_f64() > 0.0);
+        assert!(m.static_.as_f64() > 0.0);
+        assert!(m.power_density.as_w_per_mm2() > 0.0);
+        // The little cores run at half frequency on a lower rail in a
+        // smaller tile; the chip must still equilibrate above ambient.
+        for t in &m.core_temps {
+            assert!(t.as_f64() >= 45.0, "core at {t}");
+        }
+    }
+
+    #[test]
+    fn default_governor_is_chip_wide_and_replaceable() {
+        let c = chip();
+        assert!(c.governor().is_chip_wide());
+        assert_eq!(c.governor().name(), "chip-wide");
+        let c = c.with_governor(Box::new(crate::governor::ThermalAware::new(Celsius::new(
+            90.0,
+        ))));
+        assert!(!c.governor().is_chip_wide());
+        assert_eq!(c.governor().name(), "thermal-aware");
+    }
+
+    #[test]
+    fn core_area_covers_the_core_region() {
+        let c = chip();
+        assert!((c.core_area_mm2() * 16.0 - DIE_EDGE_MM * DIE_EDGE_MM * 0.65).abs() < 1e-9);
+        // Heterogeneous chips apportion the same region by issue width.
+        let mix = ExperimentalChip::from_spec(ChipSpec::big_little(4, 12), Technology::itrs_65nm());
+        let h = mix.hetero.as_ref().unwrap();
+        let total: f64 = h.class_areas[0] * 4.0 + h.class_areas[1] * 12.0;
+        assert!((total - DIE_EDGE_MM * DIE_EDGE_MM * 0.65).abs() < 1e-9);
+        // A 2-wide little tile is half the area of a 4-wide big tile.
+        assert!((h.class_areas[0] / h.class_areas[1] - 2.0).abs() < 1e-12);
     }
 
     #[test]

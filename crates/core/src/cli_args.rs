@@ -105,6 +105,138 @@ impl CommonArgs {
     }
 }
 
+/// The chip-shape flags shared by every front end that runs a sweep:
+/// `--cores LIST`, `--server-load RPS` (repeatable), `--core-mix
+/// BIG:LITTLE`, `--budget AREA_MM2:TDP_WATTS`. Parsed once here so the
+/// `sweep` subcommand, daemon-submitted jobs, and resume recipes all
+/// speak — and round-trip — the same dialect.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChipArgs {
+    /// `--cores 1,2,4,8`: explicit core-count axis (always includes the
+    /// `n = 1` anchor; sorted, deduplicated). `None` keeps the front
+    /// end's default grid.
+    pub cores: Option<Vec<usize>>,
+    /// `--server-load RPS`, repeatable: open-loop server rows to add to
+    /// the grid (offered requests/second each).
+    pub server_loads: Vec<u32>,
+    /// `--core-mix BIG:LITTLE`: run on a heterogeneous big.LITTLE
+    /// [`ChipSpec`](tlp_sim::ChipSpec) instead of the homogeneous
+    /// 16-way default.
+    pub core_mix: Option<(usize, usize)>,
+    /// `--budget AREA_MM2:TDP_WATTS`: arm dark-silicon budget axes on
+    /// the sweep report.
+    pub budget: Option<(f64, f64)>,
+}
+
+impl ChipArgs {
+    /// Parses and removes the chip-shape flags from `args`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for a malformed value (non-numeric or
+    /// empty `--cores` list, zero `--server-load`, a `--core-mix` with
+    /// no cores or more than 1024, non-positive `--budget` axes).
+    pub fn parse(args: &mut Vec<String>) -> Result<Self, String> {
+        let cores = match take_value(args, "--cores")? {
+            None => None,
+            Some(list) => {
+                let mut counts = vec![1usize];
+                for part in list.split(',') {
+                    let n: usize = part
+                        .trim()
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad --cores entry '{part}' (core count >= 1)"))?;
+                    counts.push(n);
+                }
+                counts.sort_unstable();
+                counts.dedup();
+                Some(counts)
+            }
+        };
+        let mut server_loads: Vec<u32> = Vec::new();
+        while let Some(v) = take_value(args, "--server-load")? {
+            let rps: u32 = v
+                .parse()
+                .ok()
+                .filter(|&rps| rps >= 1)
+                .ok_or_else(|| format!("bad --server-load '{v}' (requests/second >= 1)"))?;
+            server_loads.push(rps);
+        }
+        let core_mix = match take_value(args, "--core-mix")? {
+            None => None,
+            Some(v) => Some(parse_core_mix(&v)?),
+        };
+        let budget = match take_value(args, "--budget")? {
+            None => None,
+            Some(v) => Some(parse_budget(&v)?),
+        };
+        Ok(Self {
+            cores,
+            server_loads,
+            core_mix,
+            budget,
+        })
+    }
+
+    /// The flag fragment that reproduces these axes verbatim — appended
+    /// to resume recipes so an interrupted heterogeneous or budgeted
+    /// sweep resumes as exactly the same experiment.
+    pub fn recipe_fragment(&self) -> String {
+        let mut out = String::new();
+        if let Some(counts) = &self.cores {
+            let list: Vec<String> = counts.iter().map(usize::to_string).collect();
+            out.push_str(&format!(" --cores {}", list.join(",")));
+        }
+        for rps in &self.server_loads {
+            out.push_str(&format!(" --server-load {rps}"));
+        }
+        if let Some((big, little)) = self.core_mix {
+            out.push_str(&format!(" --core-mix {big}:{little}"));
+        }
+        if let Some((area, tdp)) = self.budget {
+            out.push_str(&format!(" --budget {area}:{tdp}"));
+        }
+        out
+    }
+}
+
+/// Parses `BIG:LITTLE` into a validated core mix (1..=1024 total).
+///
+/// # Errors
+///
+/// A human-readable message when the value is not two counts or the
+/// total is out of range.
+pub fn parse_core_mix(value: &str) -> Result<(usize, usize), String> {
+    let err = || format!("bad --core-mix '{value}' (expected BIG:LITTLE, 1..=1024 cores total)");
+    let (big, little) = value.split_once(':').ok_or_else(err)?;
+    let big: usize = big.trim().parse().map_err(|_| err())?;
+    let little: usize = little.trim().parse().map_err(|_| err())?;
+    if !(1..=1024).contains(&(big + little)) {
+        return Err(err());
+    }
+    Ok((big, little))
+}
+
+/// Parses `AREA_MM2:TDP_WATTS` into validated budget axes (both
+/// positive and finite).
+///
+/// # Errors
+///
+/// A human-readable message when either axis is missing, non-numeric,
+/// non-positive, or non-finite.
+pub fn parse_budget(value: &str) -> Result<(f64, f64), String> {
+    let err = || format!("bad --budget '{value}' (expected AREA_MM2:TDP_WATTS, both positive)");
+    let (area, tdp) = value.split_once(':').ok_or_else(err)?;
+    let area: f64 = area.trim().parse().map_err(|_| err())?;
+    let tdp: f64 = tdp.trim().parse().map_err(|_| err())?;
+    if !(area.is_finite() && area > 0.0 && tdp.is_finite() && tdp > 0.0) {
+        return Err(err());
+    }
+    Ok((area, tdp))
+}
+
 /// Removes every occurrence of `flag`; returns whether any was present.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     let before = args.len();
@@ -210,6 +342,69 @@ mod tests {
         assert!(CommonArgs::parse(&mut b, ScaleDefault::Small).is_err());
         let mut z = args(&["--threads", "0"]);
         assert!(CommonArgs::parse(&mut z, ScaleDefault::Small).is_err());
+    }
+
+    #[test]
+    fn chip_args_parse_and_round_trip() {
+        let mut a = args(&[
+            "fft",
+            "--cores",
+            "4,2,4,8",
+            "--server-load",
+            "1000000",
+            "--core-mix",
+            "4:12",
+            "--budget",
+            "111:125",
+            "--server-load",
+            "2000000",
+        ]);
+        let c = ChipArgs::parse(&mut a).unwrap();
+        assert_eq!(a, args(&["fft"]));
+        // The n = 1 anchor is always present; duplicates collapse.
+        assert_eq!(c.cores.as_deref(), Some(&[1, 2, 4, 8][..]));
+        assert_eq!(c.server_loads, vec![1_000_000, 2_000_000]);
+        assert_eq!(c.core_mix, Some((4, 12)));
+        assert_eq!(c.budget, Some((111.0, 125.0)));
+        // The recipe fragment reproduces every axis verbatim.
+        let frag = c.recipe_fragment();
+        assert_eq!(
+            frag,
+            " --cores 1,2,4,8 --server-load 1000000 --server-load 2000000 \
+             --core-mix 4:12 --budget 111:125"
+        );
+        // And parsing the fragment back yields the same axes.
+        let mut again: Vec<String> = frag.split_whitespace().map(str::to_string).collect();
+        assert_eq!(ChipArgs::parse(&mut again).unwrap(), c);
+    }
+
+    #[test]
+    fn absent_chip_flags_leave_the_defaults() {
+        let mut a = args(&["sweep", "fft"]);
+        let c = ChipArgs::parse(&mut a).unwrap();
+        assert_eq!(c, ChipArgs::default());
+        assert_eq!(c.recipe_fragment(), "");
+        assert_eq!(a, args(&["sweep", "fft"]));
+    }
+
+    #[test]
+    fn malformed_chip_flags_are_rejected() {
+        for bad in [
+            vec!["--cores", "0"],
+            vec!["--cores", "two"],
+            vec!["--cores", ""],
+            vec!["--server-load", "0"],
+            vec!["--core-mix", "16"],
+            vec!["--core-mix", "0:0"],
+            vec!["--core-mix", "1024:1"],
+            vec!["--core-mix", "big:little"],
+            vec!["--budget", "111"],
+            vec!["--budget", "-1:125"],
+            vec!["--budget", "111:nan"],
+        ] {
+            let mut a = args(&bad);
+            assert!(ChipArgs::parse(&mut a).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

@@ -243,7 +243,29 @@ fn fnv64(bytes: &[u8]) -> u64 {
 /// policy. Two sweeps share a journal if and only if their fingerprints
 /// match.
 pub fn sweep_fingerprint(spec: &SweepSpec, plan: &FaultPlan, policy: &RetryPolicy) -> u64 {
-    fnv64(format!("v{VERSION}|{spec:?}|{plan:?}|{policy:?}").as_bytes())
+    sweep_fingerprint_ext(spec, plan, policy, None)
+}
+
+/// [`sweep_fingerprint`] extended with the chip's heterogeneity tag
+/// ([`tlp_sim::ChipSpec::tag`]). `None` — the homogeneous legacy chip —
+/// hashes the exact same string as before the tag existed, so every
+/// pre-heterogeneity journal still resumes; `Some(tag)` appends a
+/// `|chip:` component, so a heterogeneous sweep pointed at a homogeneous
+/// journal (or a different mix) fails with a typed
+/// [`JournalError::SpecMismatch`] instead of splicing rows measured on a
+/// different chip.
+pub fn sweep_fingerprint_ext(
+    spec: &SweepSpec,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    chip_tag: Option<&str>,
+) -> u64 {
+    let mut text = format!("v{VERSION}|{spec:?}|{plan:?}|{policy:?}");
+    if let Some(tag) = chip_tag {
+        text.push_str("|chip:");
+        text.push_str(tag);
+    }
+    fnv64(text.as_bytes())
 }
 
 fn field<'a>(j: &'a Json, key: &str) -> Option<&'a Json> {
@@ -361,7 +383,28 @@ impl Journal {
         plan: &FaultPlan,
         policy: &RetryPolicy,
     ) -> Result<Self, JournalError> {
-        let fingerprint = sweep_fingerprint(spec, plan, policy);
+        Self::open_with_chip(path, mode, spec, plan, policy, None)
+    }
+
+    /// [`Journal::open`] for sweeps on a specific chip: `chip_tag` is the
+    /// heterogeneity tag ([`tlp_sim::ChipSpec::tag`]) for chips the
+    /// legacy homogeneous path cannot express, `None` otherwise. The tag
+    /// goes into both the fingerprint and the header record, so
+    /// homogeneous journals stay byte-identical and cross-chip resumes
+    /// are refused with [`JournalError::SpecMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Journal::open`].
+    pub fn open_with_chip(
+        path: &Path,
+        mode: JournalMode,
+        spec: &SweepSpec,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        chip_tag: Option<&str>,
+    ) -> Result<Self, JournalError> {
+        let fingerprint = sweep_fingerprint_ext(spec, plan, policy, chip_tag);
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -379,7 +422,7 @@ impl Journal {
                         ..RecoveryReport::default()
                     },
                 };
-                j.append(Self::header_record(spec, fingerprint))?;
+                j.append(Self::header_record(spec, fingerprint, chip_tag))?;
                 return Ok(j);
             }
             Err(e) => {
@@ -505,8 +548,8 @@ impl Journal {
         ]))
     }
 
-    fn header_record(spec: &SweepSpec, fingerprint: u64) -> Json {
-        Json::object([
+    fn header_record(spec: &SweepSpec, fingerprint: u64, chip_tag: Option<&str>) -> Json {
+        let mut pairs = vec![
             ("kind", Json::from("header")),
             ("version", Json::from(VERSION)),
             ("fingerprint", Json::from(format!("{fingerprint:016x}"))),
@@ -521,7 +564,13 @@ impl Journal {
             ),
             ("scale", Json::from(format!("{:?}", spec.scale))),
             ("seed", Json::from(format!("{:#x}", spec.seed))),
-        ])
+        ];
+        // Only heterogeneous chips write the key: homogeneous headers
+        // stay byte-identical to pre-heterogeneity journals.
+        if let Some(tag) = chip_tag {
+            pairs.push(("chip", Json::from(tag)));
+        }
+        Json::object(pairs)
     }
 
     /// Appends one record: checksum the compact rendering, push the
@@ -930,7 +979,11 @@ mod tests {
         let base = sweep_fingerprint(&s, &FaultPlan::none(), &RetryPolicy::default());
         let faulted = sweep_fingerprint(
             &s,
-            &FaultPlan::none().inject(AppId::WaterNsq, 2, crate::sweep::Fault::NanPower),
+            &FaultPlan::none().inject_work(
+                crate::sweep::WorkloadId::App(AppId::WaterNsq),
+                2,
+                crate::sweep::Fault::NanPower,
+            ),
             &RetryPolicy::default(),
         );
         let tighter = sweep_fingerprint(&s, &FaultPlan::none(), &RetryPolicy::no_retries());
@@ -940,5 +993,70 @@ mod tests {
             base,
             sweep_fingerprint(&s, &FaultPlan::none(), &RetryPolicy::default())
         );
+    }
+
+    #[test]
+    fn chip_tag_extends_the_fingerprint_but_none_is_the_legacy_hash() {
+        let s = spec();
+        let plan = FaultPlan::none();
+        let policy = RetryPolicy::default();
+        // None must hash the exact pre-heterogeneity string: every
+        // homogeneous journal on disk keeps resuming.
+        assert_eq!(
+            sweep_fingerprint(&s, &plan, &policy),
+            sweep_fingerprint_ext(&s, &plan, &policy, None)
+        );
+        let big_little =
+            sweep_fingerprint_ext(&s, &plan, &policy, Some("big:4w4@1/1+little:12w2@1/2"));
+        let other_mix =
+            sweep_fingerprint_ext(&s, &plan, &policy, Some("big:8w4@1/1+little:8w2@1/2"));
+        assert_ne!(big_little, sweep_fingerprint(&s, &plan, &policy));
+        assert_ne!(big_little, other_mix);
+    }
+
+    #[test]
+    fn heterogeneous_resume_against_homogeneous_journal_is_refused() {
+        let path = tmp("chip-mismatch");
+        let _ = std::fs::remove_file(&path);
+        // Written by a homogeneous sweep (no chip tag)...
+        drop(open(&path, JournalMode::Checkpoint).unwrap());
+        // ...resumed by a heterogeneous one: typed SpecMismatch.
+        let err = Journal::open_with_chip(
+            &path,
+            JournalMode::Resume,
+            &spec(),
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+            Some("big:4w4@1/1+little:12w2@1/2"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, JournalError::SpecMismatch { .. }), "{err}");
+        // The matching tag resumes fine and records it in the header.
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open_with_chip(
+            &path,
+            JournalMode::Checkpoint,
+            &spec(),
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+            Some("big:4w4@1/1+little:12w2@1/2"),
+        )
+        .unwrap();
+        let header = &j.records()[0];
+        assert_eq!(
+            super::str_field(header, "chip"),
+            Some("big:4w4@1/1+little:12w2@1/2")
+        );
+        drop(j);
+        let resumed = Journal::open_with_chip(
+            &path,
+            JournalMode::Resume,
+            &spec(),
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+            Some("big:4w4@1/1+little:12w2@1/2"),
+        );
+        assert!(resumed.is_ok());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -180,7 +180,7 @@ impl ToJson for SweepReport {
             .iter()
             .filter(|(_, o)| o.is_quarantined())
             .count();
-        Json::object([
+        let mut doc = Json::object([
             ("cells_total", Json::from(self.cells.len())),
             ("cells_completed", Json::from(done)),
             (
@@ -188,55 +188,84 @@ impl ToJson for SweepReport {
                 Json::from(self.cells.len() - done - quarantined),
             ),
             ("cells_quarantined", Json::from(quarantined)),
-            (
-                "cells",
-                Json::array(&self.cells, |(cell, outcome)| {
-                    let mut o = Json::object([
-                        ("app", Json::from(cell.work.name())),
-                        ("n", Json::from(cell.n)),
-                    ]);
-                    match outcome {
-                        CellOutcome::Completed {
-                            row,
-                            attempts,
-                            solver_iterations,
-                        } => {
-                            o.set("status", "completed");
-                            o.set("attempts", *attempts);
-                            o.set("solver_iterations", *solver_iterations);
-                            o.set("row", row.to_json());
-                        }
-                        CellOutcome::Failed { reason, attempts } => {
-                            o.set("status", "failed");
-                            o.set("attempts", *attempts);
-                            o.set("reason", reason.to_string());
-                            // The full causal chain (outermost first), so
-                            // pipelines can triage without re-running.
+        ]);
+        // Heterogeneity and budget axes are emitted only when armed, so
+        // homogeneous un-budgeted sweeps stay byte-identical to the
+        // pre-heterogeneity payload.
+        if let Some(tag) = &self.chip {
+            doc.set("chip", tag.as_str());
+        }
+        if let Some(axes) = &self.budget {
+            doc.set(
+                "budget",
+                Json::object([
+                    ("area_mm2", Json::from(axes.spec.area_mm2)),
+                    ("tdp_watts", Json::from(axes.spec.tdp_watts)),
+                    ("core_area_mm2", Json::from(axes.core_area_mm2)),
+                ]),
+            );
+        }
+        doc.set(
+            "cells",
+            Json::array(&self.cells, |(cell, outcome)| {
+                let mut o = Json::object([
+                    ("app", Json::from(cell.work.name())),
+                    ("n", Json::from(cell.n)),
+                ]);
+                match outcome {
+                    CellOutcome::Completed {
+                        row,
+                        attempts,
+                        solver_iterations,
+                    } => {
+                        o.set("status", "completed");
+                        o.set("attempts", *attempts);
+                        o.set("solver_iterations", *solver_iterations);
+                        o.set("row", row.to_json());
+                        // Per-cell dark-silicon fit, only under armed
+                        // budget axes (and only when ≥1 core fits).
+                        if let Some(fit) = self.dark_silicon(row) {
                             o.set(
-                                "reason_chain",
-                                Json::array(crate::error::error_chain(reason), Json::from),
-                            );
-                        }
-                        CellOutcome::Quarantined {
-                            reason_chain,
-                            attempts,
-                            replay_seed,
-                        } => {
-                            o.set("status", "quarantined");
-                            o.set("attempts", *attempts);
-                            // Hex, matching the CLI's --seed syntax, so
-                            // the replay recipe can be pasted verbatim.
-                            o.set("replay_seed", format!("{replay_seed:#x}"));
-                            o.set(
-                                "reason_chain",
-                                Json::array(reason_chain, |s| Json::from(s.clone())),
+                                "dark_silicon",
+                                Json::object([
+                                    ("n_cores", Json::from(fit.n_cores)),
+                                    ("power_limited", Json::from(fit.power_limited)),
+                                    ("dark_silicon_ratio", Json::from(fit.dark_silicon_ratio)),
+                                ]),
                             );
                         }
                     }
-                    o
-                }),
-            ),
-        ])
+                    CellOutcome::Failed { reason, attempts } => {
+                        o.set("status", "failed");
+                        o.set("attempts", *attempts);
+                        o.set("reason", reason.to_string());
+                        // The full causal chain (outermost first), so
+                        // pipelines can triage without re-running.
+                        o.set(
+                            "reason_chain",
+                            Json::array(crate::error::error_chain(reason), Json::from),
+                        );
+                    }
+                    CellOutcome::Quarantined {
+                        reason_chain,
+                        attempts,
+                        replay_seed,
+                    } => {
+                        o.set("status", "quarantined");
+                        o.set("attempts", *attempts);
+                        // Hex, matching the CLI's --seed syntax, so
+                        // the replay recipe can be pasted verbatim.
+                        o.set("replay_seed", format!("{replay_seed:#x}"));
+                        o.set(
+                            "reason_chain",
+                            Json::array(reason_chain, |s| Json::from(s.clone())),
+                        );
+                    }
+                }
+                o
+            }),
+        );
+        doc
     }
 }
 
@@ -279,6 +308,8 @@ mod tests {
                 total_seconds: 0.25,
                 cell_seconds: vec![0.25],
             },
+            chip: None,
+            budget: None,
         };
         let j = report.to_json().to_string_compact();
         assert!(j.contains("\"cells_failed\":1"), "{j}");
@@ -318,6 +349,8 @@ mod tests {
                 total_seconds: 0.1,
                 cell_seconds: vec![0.0],
             },
+            chip: None,
+            budget: None,
         };
         let j = report.to_json().to_string_compact();
         assert!(j.contains("\"cells_quarantined\":1"), "{j}");

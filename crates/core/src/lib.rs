@@ -20,7 +20,9 @@
 //! thermal model, SPLASH-2-like workloads, technology/DVFS/leakage
 //! models) into the paper's experimental methodology:
 //!
-//! 1. [`ExperimentalChip::new`] calibrates power against thermal (§3.3).
+//! 1. [`ExperimentalChip::from_spec`] calibrates power against thermal
+//!    (§3.3) from a [`tlp_sim::ChipSpec`] — core classes, clock domains,
+//!    and the shared uncore.
 //! 2. [`profiling::profile`] obtains nominal parallel-efficiency curves.
 //! 3. [`scenario1::run`] / [`scenario2::run`] re-simulate under DVFS and
 //!    measure power, temperature, and density.
@@ -30,11 +32,11 @@
 //!
 //! ```
 //! use cmp_tlp::{profiling, scenario1, ExperimentalChip};
-//! use tlp_sim::CmpConfig;
+//! use tlp_sim::ChipSpec;
 //! use tlp_tech::Technology;
 //! use tlp_workloads::{AppId, Scale};
 //!
-//! let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+//! let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
 //! let profile = profiling::profile(&chip, AppId::WaterNsq, &[1, 2], Scale::Test, 42);
 //! let fig3 = scenario1::run(&chip, &profile, Scale::Test, 42);
 //! // Two cores at reduced V/f deliver the single-core performance for
@@ -50,6 +52,7 @@ pub mod chipstate;
 pub mod cli_args;
 pub mod energy;
 pub mod error;
+pub mod governor;
 pub mod journal;
 pub mod jsonout;
 pub mod pool;
@@ -64,6 +67,7 @@ pub mod transient;
 
 pub use chipstate::{ChipMeasurement, ExperimentalChip, MeasureFaults, DIE_EDGE_MM};
 pub use error::{error_chain, ExperimentError, InterruptInfo, TraceError};
+pub use governor::{ChipWide, Governor, ThermalAware};
 pub use journal::{Journal, JournalError, JournalMode, RecoveryReport};
 pub use profiling::{profile, EfficiencyProfile};
 pub use sweep::{

@@ -8,14 +8,17 @@
 //! vocabulary.
 
 pub use crate::chipstate::{ChipMeasurement, ExperimentalChip, MeasureFaults};
-pub use crate::cli_args::{CommonArgs, ScaleDefault, DEFAULT_SEED};
+pub use crate::cli_args::{ChipArgs, CommonArgs, ScaleDefault, DEFAULT_SEED};
 pub use crate::error::{error_chain, ExperimentError, TraceError};
+pub use crate::governor::{ChipWide, Governor, ThermalAware};
 pub use crate::profiling::{profile, EfficiencyProfile};
 pub use crate::scenario1::{Scenario1Result, Scenario1Row};
 pub use crate::scenario2::{Scenario2Result, Scenario2Row};
 pub use crate::sweep::{
     CellOutcome, Fault, FaultPlan, RetryPolicy, SweepBuilder, SweepCell, SweepOptions, SweepReport,
-    SweepSpec, SweepTiming, TraceSink,
+    SweepSpec, SweepTiming, TraceSink, WorkloadId,
 };
+pub use tlp_analytic::{BudgetSpec, BudgetedChip};
 pub use tlp_obs::Trace;
+pub use tlp_sim::{ChipSpec, CoreClass};
 pub use tlp_workloads::{AppId, Scale};

@@ -123,11 +123,11 @@ pub fn profile(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tlp_sim::CmpConfig;
+    use tlp_sim::ChipSpec;
     use tlp_tech::Technology;
 
     fn chip() -> ExperimentalChip {
-        ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+        ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
     }
 
     #[test]

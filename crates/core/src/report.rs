@@ -123,6 +123,16 @@ pub fn fig4(results: &[Scenario2Result]) -> String {
 /// scripted single-cell run to reproduce under a debugger).
 pub fn sweep_cells(report: &SweepReport) -> String {
     let mut out = String::new();
+    if let Some(tag) = &report.chip {
+        let _ = writeln!(out, "chip: {tag}");
+    }
+    if let Some(axes) = &report.budget {
+        let _ = writeln!(
+            out,
+            "budget: {:.1} mm² / {:.1} W TDP (core {:.2} mm²)",
+            axes.spec.area_mm2, axes.spec.tdp_watts, axes.core_area_mm2
+        );
+    }
     for (i, (cell, outcome)) in report.cells.iter().enumerate() {
         match outcome {
             CellOutcome::Completed {
@@ -139,6 +149,16 @@ pub fn sweep_cells(report: &SweepReport) -> String {
                     row.temperature_c,
                     report.timing.cell_seconds[i],
                 );
+                if let Some(fit) = report.dark_silicon(row) {
+                    let _ = writeln!(
+                        out,
+                        "{:16} dark silicon {:.0}%  ({} core(s) lit, {}-limited)",
+                        "",
+                        fit.dark_silicon_ratio * 100.0,
+                        fit.n_cores,
+                        if fit.power_limited { "TDP" } else { "area" },
+                    );
+                }
                 if let Some(req) = &row.requests {
                     let _ = writeln!(
                         out,
@@ -381,6 +401,8 @@ mod tests {
                 total_seconds: 0.5,
                 cell_seconds: vec![0.25, 0.15, 0.0, 0.1],
             },
+            chip: None,
+            budget: None,
         };
         let out = sweep_cells(&report);
         assert!(out.contains("speedup 1.01"), "{out}");

@@ -231,11 +231,11 @@ pub fn try_run(
 mod tests {
     use super::*;
     use crate::profiling::profile;
-    use tlp_sim::CmpConfig;
+    use tlp_sim::ChipSpec;
     use tlp_tech::Technology;
 
     fn run_app(app: AppId, counts: &[usize]) -> Scenario1Result {
-        let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+        let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
         let p = profile(&chip, app, counts, Scale::Test, 13);
         run(&chip, &p, Scale::Test, 13)
     }

@@ -133,11 +133,11 @@ pub fn try_run(
 mod tests {
     use super::*;
     use crate::profiling::profile;
-    use tlp_sim::CmpConfig;
+    use tlp_sim::ChipSpec;
     use tlp_tech::Technology;
 
     fn chip() -> ExperimentalChip {
-        ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+        ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
     }
 
     #[test]

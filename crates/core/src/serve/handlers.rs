@@ -67,6 +67,20 @@ fn job_summary(record: &JobRecord) -> Json {
         ),
         ("url", Json::from(format!("/sweeps/{}", record.id))),
     ]);
+    // Optional axes, like the store: absent for homogeneous/unbudgeted
+    // jobs so pre-heterogeneity clients see unchanged documents.
+    if let Some((big, little)) = record.core_mix {
+        doc.set("core_mix", Json::array(&[big, little], |&n| n));
+    }
+    if let Some((area, tdp)) = record.budget {
+        doc.set(
+            "budget",
+            Json::object([
+                ("area_mm2", Json::from(area)),
+                ("tdp_watts", Json::from(tdp)),
+            ]),
+        );
+    }
     if !record.error_chain.is_empty() {
         doc.set(
             "error_chain",
@@ -184,12 +198,20 @@ fn open_journal(ctx: Ctx<'_>, record: &JobRecord) -> Option<Journal> {
     if !path.exists() {
         return None;
     }
-    Journal::open(
+    // A heterogeneous job's journal is fingerprinted with its chip tag;
+    // reading it back needs the same tag or the open is (correctly)
+    // refused as a spec mismatch.
+    let chip_tag = record.core_mix.and_then(|(big, little)| {
+        let spec = tlp_sim::ChipSpec::big_little(big, little);
+        (!spec.is_homogeneous()).then(|| spec.tag())
+    });
+    Journal::open_with_chip(
         &path,
         JournalMode::Resume,
         &record.spec(),
         &FaultPlan::none(),
         &RetryPolicy::default(),
+        chip_tag.as_deref(),
     )
     .ok()
 }

@@ -115,6 +115,14 @@ pub struct JobRecord {
     pub scale: Scale,
     /// Sweep seed.
     pub seed: u64,
+    /// Heterogeneous chip: `(n_big, n_little)` for a
+    /// [`tlp_sim::ChipSpec::big_little`] mix. `None` runs the stock
+    /// homogeneous 16-core chip (and keeps the record byte-identical to
+    /// pre-heterogeneity stores).
+    pub core_mix: Option<(usize, usize)>,
+    /// Budget axes: `(area_mm2, tdp_watts)` for the dark-silicon fit
+    /// reported per completed cell.
+    pub budget: Option<(f64, f64)>,
     /// Outer-to-inner error chain for a failed job.
     pub error_chain: Vec<String>,
     /// The final report document (`SweepReport::to_json()`), present
@@ -136,6 +144,8 @@ impl JobRecord {
             core_counts,
             scale,
             seed,
+            core_mix: None,
+            budget: None,
             error_chain: Vec::new(),
             report: None,
         }
@@ -172,6 +182,20 @@ impl JobRecord {
                 Json::array(&self.error_chain, |e| e.as_str()),
             ),
         ]);
+        // Optional axes are written only when set, so homogeneous
+        // records stay byte-identical to pre-heterogeneity stores.
+        if let Some((big, little)) = self.core_mix {
+            doc.set("core_mix", Json::array(&[big, little], |&n| n));
+        }
+        if let Some((area, tdp)) = self.budget {
+            doc.set(
+                "budget",
+                Json::object([
+                    ("area_mm2", Json::from(area)),
+                    ("tdp_watts", Json::from(tdp)),
+                ]),
+            );
+        }
         if let Some(report) = &self.report {
             doc.set("report", report.clone());
         }
@@ -216,6 +240,22 @@ impl JobRecord {
             .collect::<Option<Vec<_>>>()?;
         let seed_text = str_field(doc, "seed")?;
         let seed = crate::cli_args::parse_u64_flag("seed", Some(&seed_text.to_string())).ok()?;
+        // Tolerant like "server_loads": absent keys mean a homogeneous,
+        // unbudgeted job written before these axes existed.
+        let core_mix = match field(doc, "core_mix") {
+            None => None,
+            Some(Json::Arr(items)) => match items[..] {
+                [Json::Num(b), Json::Num(l)] if b >= 0.0 && l >= 0.0 => {
+                    Some((b as usize, l as usize))
+                }
+                _ => return None,
+            },
+            Some(_) => return None,
+        };
+        let budget = match field(doc, "budget") {
+            None => None,
+            Some(b) => Some((num_field(b, "area_mm2")?, num_field(b, "tdp_watts")?)),
+        };
         Some((
             Self {
                 id: str_field(doc, "id")?.to_string(),
@@ -226,6 +266,8 @@ impl JobRecord {
                 core_counts,
                 scale: scale_from_name(str_field(doc, "scale")?)?,
                 seed,
+                core_mix,
+                budget,
                 error_chain,
                 report: field(doc, "report").cloned(),
             },
@@ -533,8 +575,15 @@ impl JobStore for FsJobStore {
 /// ```json
 /// {"apps": ["fft", "lu"], "server_loads": [2000000],
 ///  "core_counts": [1, 2, 4, 8, 16],
-///  "scale": "small", "seed": "0x15952005"}
+///  "scale": "small", "seed": "0x15952005",
+///  "core_mix": [4, 12],
+///  "budget": {"area_mm2": 111.0, "tdp_watts": 125.0}}
 /// ```
+///
+/// `core_mix` (optional) runs the job on a big.LITTLE
+/// [`tlp_sim::ChipSpec`] instead of the stock homogeneous chip;
+/// `budget` (optional) adds the dark-silicon fit to every completed
+/// cell of the report.
 ///
 /// # Errors
 ///
@@ -621,8 +670,59 @@ pub fn parse_submission(doc: &Json) -> Result<JobRecord, String> {
         Some(_) => return Err("\"seed\" must be an integer or a hex string".to_string()),
     };
 
+    let core_mix = match field(doc, "core_mix") {
+        None => None,
+        Some(Json::Arr(items)) => match items[..] {
+            [Json::Num(b), Json::Num(l)]
+                if b >= 0.0
+                    && l >= 0.0
+                    && b.fract() == 0.0
+                    && l.fract() == 0.0
+                    && b + l >= 1.0
+                    && b + l <= 1024.0 =>
+            {
+                Some((b as usize, l as usize))
+            }
+            _ => {
+                return Err(
+                    "\"core_mix\" must be [n_big, n_little] with 1..=1024 cores total".to_string(),
+                )
+            }
+        },
+        Some(_) => return Err("\"core_mix\" must be a two-element array".to_string()),
+    };
+    if let Some((big, little)) = core_mix {
+        if let Some(&max) = core_counts.last() {
+            if max > big + little {
+                return Err(format!(
+                    "\"core_counts\" reach {max} but the core mix only has {} core(s)",
+                    big + little
+                ));
+            }
+        }
+    }
+
+    let budget = match field(doc, "budget") {
+        None => None,
+        Some(b @ Json::Obj(_)) => {
+            let area = num_field(b, "area_mm2")
+                .ok_or_else(|| "\"budget\" needs a numeric \"area_mm2\"".to_string())?;
+            let tdp = num_field(b, "tdp_watts")
+                .ok_or_else(|| "\"budget\" needs a numeric \"tdp_watts\"".to_string())?;
+            if !(area.is_finite() && area > 0.0 && tdp.is_finite() && tdp > 0.0) {
+                return Err("\"budget\" axes must be positive and finite".to_string());
+            }
+            Some((area, tdp))
+        }
+        Some(_) => {
+            return Err("\"budget\" must be an object with area_mm2 and tdp_watts".to_string())
+        }
+    };
+
     let mut record = JobRecord::new(apps, core_counts, scale, seed);
     record.server_loads = server_loads;
+    record.core_mix = core_mix;
+    record.budget = budget;
     Ok(record)
 }
 
@@ -766,6 +866,34 @@ mod tests {
     }
 
     #[test]
+    fn hetero_axes_parse_persist_and_stay_optional() {
+        let doc = Json::parse(
+            "{\"apps\": [\"fft\"], \"core_counts\": [1, 2], \"core_mix\": [1, 2], \
+             \"budget\": {\"area_mm2\": 111.0, \"tdp_watts\": 125.0}}",
+        )
+        .unwrap();
+        let r = parse_submission(&doc).unwrap();
+        assert_eq!(r.core_mix, Some((1, 2)));
+        assert_eq!(r.budget, Some((111.0, 125.0)));
+
+        // Round-trip through disk.
+        let store = FsJobStore::open(temp_dir("hetero-axes")).unwrap();
+        let created = store.create(r).unwrap();
+        let read = store.snapshot(&created.value.id).unwrap();
+        assert_eq!(read.value.core_mix, Some((1, 2)));
+        assert_eq!(read.value.budget, Some((111.0, 125.0)));
+
+        // Homogeneous records carry neither key on disk.
+        let plain = store.create(record()).unwrap();
+        let text = fs::read_to_string(store.record_path(&plain.value.id)).unwrap();
+        assert!(!text.contains("core_mix") && !text.contains("budget"));
+        assert_eq!(
+            store.snapshot(&plain.value.id).unwrap().value.core_mix,
+            None
+        );
+    }
+
+    #[test]
     fn bad_submissions_are_typed_errors_not_panics() {
         for (body, needle) in [
             ("[]", "object"),
@@ -790,6 +918,21 @@ mod tests {
                 "unknown scale",
             ),
             ("{\"apps\": [\"fft\"], \"seed\": \"zzz\"}", "seed"),
+            ("{\"apps\": [\"fft\"], \"core_mix\": [1]}", "core_mix"),
+            ("{\"apps\": [\"fft\"], \"core_mix\": [0, 0]}", "core_mix"),
+            (
+                "{\"apps\": [\"fft\"], \"core_counts\": [1, 2, 4], \"core_mix\": [1, 1]}",
+                "core mix only has",
+            ),
+            (
+                "{\"apps\": [\"fft\"], \"budget\": {\"area_mm2\": 111.0}}",
+                "tdp_watts",
+            ),
+            (
+                "{\"apps\": [\"fft\"], \"budget\": {\"area_mm2\": -1.0, \"tdp_watts\": 5.0}}",
+                "positive",
+            ),
+            ("{\"apps\": [\"fft\"], \"budget\": [1, 2]}", "budget"),
         ] {
             let doc = Json::parse(body).unwrap();
             let err = parse_submission(&doc).unwrap_err();

@@ -52,13 +52,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use tlp_analytic::BudgetSpec;
 use tlp_obs::metrics::{
     SERVE_HIST_REQUEST_BYTES, SERVE_HIST_RESPONSE_MICROS, SERVE_HTTP_PARSE_REJECTED,
     SERVE_HTTP_REQUESTS, SERVE_HTTP_RESPONSES_2XX, SERVE_HTTP_RESPONSES_4XX,
     SERVE_HTTP_RESPONSES_5XX, SERVE_JOBS_COMPLETED, SERVE_JOBS_FAILED, SERVE_JOBS_INTERRUPTED,
     SERVE_JOBS_RESUMED,
 };
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::json::ToJson;
 use tlp_tech::Technology;
 
@@ -277,7 +278,7 @@ impl Server {
     /// [`ServeError::Store`] when job state cannot be read or written
     /// during startup rescan or final accounting.
     pub fn run(&self) -> Result<ServeOutcome, ServeError> {
-        let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+        let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
 
         // Crash recovery: anything not terminal goes back on the queue.
         let mut resumed = 0usize;
@@ -459,6 +460,17 @@ fn run_job(ctx: Ctx<'_>, id: &str) {
         .threads(ctx.config.job_threads)
         .checkpoint(ctx.store.journal_path(id))
         .interrupt(Arc::clone(&ctx.config.shutdown));
+    // Heterogeneity and budget axes ride on the submission; the shared
+    // homogeneous chip stays untouched for everyone else.
+    if let Some((big, little)) = current.value.core_mix {
+        builder = builder.core_mix(big, little);
+    }
+    if let Some((area_mm2, tdp_watts)) = current.value.budget {
+        builder = builder.budget(BudgetSpec {
+            area_mm2,
+            tdp_watts,
+        });
+    }
     if let Some(deadline) = ctx.config.cell_deadline {
         builder = builder.cell_deadline(deadline);
     }

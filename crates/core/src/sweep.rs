@@ -7,13 +7,13 @@
 //!
 //! ```no_run
 //! use cmp_tlp::prelude::*;
-//! use tlp_sim::CmpConfig;
+//! use tlp_sim::ChipSpec;
 //! use tlp_tech::Technology;
 //!
-//! let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+//! let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
 //! let report = chip
 //!     .sweep()
-//!     .apps(vec![AppId::WaterNsq])
+//!     .workloads(vec![WorkloadId::App(AppId::WaterNsq)])
 //!     .core_counts(vec![1, 2, 4])
 //!     .scale(Scale::Test)
 //!     .threads(4)
@@ -99,7 +99,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use tlp_sim::{SimError, SimFaults, SimResult};
+use tlp_analytic::BudgetSpec;
+use tlp_sim::{ChipSpec, SimError, SimFaults, SimResult};
 use tlp_tech::units::Hertz;
 use tlp_tech::{DvfsTable, OperatingPoint, Technology};
 use tlp_thermal::{FixpointOptions, ThermalError};
@@ -251,14 +252,10 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Arms `fault` on the (`app`, `n`) cell. Multiple faults may target
-    /// the same cell.
-    pub fn inject(self, app: AppId, n: usize, fault: Fault) -> Self {
-        self.inject_work(WorkloadId::App(app), n, fault)
-    }
-
-    /// Arms `fault` on the (`work`, `n`) cell — the general form of
-    /// [`FaultPlan::inject`] that can also target server workloads.
+    /// Arms `fault` on the (`work`, `n`) cell — batch applications via
+    /// [`WorkloadId::App`], server loads via [`WorkloadId::Server`].
+    /// Multiple faults may target the same cell. (The old app-only
+    /// `inject` shim is gone; wrap the app in `WorkloadId::App`.)
     pub fn inject_work(mut self, work: WorkloadId, n: usize, fault: Fault) -> Self {
         self.faults.push((SweepCell { work, n }, fault));
         self
@@ -488,6 +485,17 @@ impl SweepTiming {
     }
 }
 
+/// The budget axes armed on a sweep, plus the per-core area its
+/// dark-silicon fits use (see [`SweepBuilder::budget`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetAxes {
+    /// Area/TDP budget pair.
+    pub spec: BudgetSpec,
+    /// Average per-core area of the swept chip's core region, mm² — the
+    /// `a` input of every per-cell [`BudgetSpec::fit`].
+    pub core_area_mm2: f64,
+}
+
 /// The supervised sweep's complete record: one outcome per requested
 /// cell, in request order. No cell is ever dropped from the report.
 #[derive(Debug, Clone)]
@@ -497,6 +505,13 @@ pub struct SweepReport {
     /// Wall-clock record (nondeterministic; excluded from the
     /// deterministic JSON payload).
     pub timing: SweepTiming,
+    /// Heterogeneity tag of the swept chip ([`ChipSpec::tag`]); `None`
+    /// for homogeneous chips, which keeps their JSON byte-identical to
+    /// the pre-heterogeneity renderer.
+    pub chip: Option<String>,
+    /// Budget axes armed on the sweep; `None` (the default) emits
+    /// nothing, keeping un-budgeted JSON byte-identical.
+    pub budget: Option<BudgetAxes>,
 }
 
 impl SweepReport {
@@ -527,6 +542,17 @@ impl SweepReport {
             } => Some((*c, reason_chain.as_slice(), *attempts, *replay_seed)),
             _ => None,
         })
+    }
+
+    /// The dark-silicon fit of one completed row under the armed budget
+    /// axes: how many cores drawing that row's per-core power fit under
+    /// the area/TDP budget, and what fraction of the die stays dark.
+    /// `None` when no budget is armed or not even one core fits.
+    pub fn dark_silicon(&self, row: &Scenario1Row) -> Option<tlp_analytic::BudgetedChip> {
+        let axes = self.budget?;
+        axes.spec
+            .fit(axes.core_area_mm2, row.power_watts / row.n as f64)
+            .ok()
     }
 
     /// A human-readable summary: completed/failed/quarantined counts,
@@ -670,7 +696,7 @@ impl TraceSink {
 #[derive(Clone)]
 #[must_use = "a SweepBuilder does nothing until .run()"]
 pub struct SweepBuilder<'c> {
-    chip: &'c ExperimentalChip,
+    chip: ChipRef<'c>,
     spec: SweepSpec,
     policy: RetryPolicy,
     plan: FaultPlan,
@@ -678,13 +704,32 @@ pub struct SweepBuilder<'c> {
     sink: TraceSink,
     journal: Option<(PathBuf, JournalMode)>,
     interrupt: Option<Arc<AtomicBool>>,
+    budget: Option<BudgetSpec>,
+}
+
+/// The chip a sweep runs on: the caller's (borrowed) or one the builder
+/// built itself from a [`ChipSpec`] (shared, so the builder stays
+/// `Clone`).
+#[derive(Clone)]
+enum ChipRef<'c> {
+    Borrowed(&'c ExperimentalChip),
+    Owned(Arc<ExperimentalChip>),
+}
+
+impl ChipRef<'_> {
+    fn get(&self) -> &ExperimentalChip {
+        match self {
+            ChipRef::Borrowed(c) => c,
+            ChipRef::Owned(c) => c,
+        }
+    }
 }
 
 impl<'c> SweepBuilder<'c> {
     /// Starts a sweep on `chip` with default settings.
     pub fn new(chip: &'c ExperimentalChip) -> Self {
         Self {
-            chip,
+            chip: ChipRef::Borrowed(chip),
             spec: SweepSpec::fig3(Vec::new(), Scale::Small, crate::cli_args::DEFAULT_SEED),
             policy: RetryPolicy::default(),
             plan: FaultPlan::none(),
@@ -692,6 +737,7 @@ impl<'c> SweepBuilder<'c> {
             sink: TraceSink::none(),
             journal: None,
             interrupt: None,
+            budget: None,
         }
     }
 
@@ -702,9 +748,53 @@ impl<'c> SweepBuilder<'c> {
         self
     }
 
+    /// Workload rows to sweep: batch applications and/or server loads,
+    /// in one list.
+    pub fn workloads(mut self, works: Vec<WorkloadId>) -> Self {
+        self.spec.apps.clear();
+        self.spec.server_loads.clear();
+        for w in works {
+            match w {
+                WorkloadId::App(app) => self.spec.apps.push(app),
+                WorkloadId::Server { rps } => self.spec.server_loads.push(rps),
+            }
+        }
+        self
+    }
+
     /// Applications to sweep.
-    pub fn apps(mut self, apps: Vec<AppId>) -> Self {
-        self.spec.apps = apps;
+    #[deprecated(
+        since = "0.9.0",
+        note = "use SweepBuilder::workloads with WorkloadId::App entries"
+    )]
+    pub fn apps(self, apps: Vec<AppId>) -> Self {
+        self.workloads(apps.into_iter().map(WorkloadId::App).collect())
+    }
+
+    /// Replaces the chip under sweep with one built from `spec` (same
+    /// technology as the current chip). Heterogeneous specs flow through
+    /// everything downstream: per-class clock domains in the simulator,
+    /// per-class rails and tiles in the measurement, a `chip` tag in the
+    /// journal fingerprint and the JSON report.
+    pub fn chip_spec(mut self, spec: ChipSpec) -> Self {
+        let tech = self.chip.get().tech().clone();
+        self.chip = ChipRef::Owned(Arc::new(ExperimentalChip::from_spec(spec, tech)));
+        self
+    }
+
+    /// Shorthand for [`SweepBuilder::chip_spec`] with a
+    /// [`ChipSpec::big_little`] mix of `n_big` EV6-class cores and
+    /// `n_little` half-clock narrow cores.
+    pub fn core_mix(self, n_big: usize, n_little: usize) -> Self {
+        self.chip_spec(ChipSpec::big_little(n_big, n_little))
+    }
+
+    /// Arms area/TDP budget axes: every completed cell additionally
+    /// reports its dark-silicon fit ([`SweepReport::dark_silicon`]) in
+    /// the JSON and human reports. Off by default (reports stay
+    /// byte-identical).
+    pub fn budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -819,14 +909,20 @@ impl<'c> SweepBuilder<'c> {
             sink,
             journal,
             interrupt,
+            budget,
         } = self;
+        let chip = chip.get();
         let journal = journal.as_ref().map(|(p, m)| (p.as_path(), *m));
         let interrupt = interrupt.as_deref();
         if !sink.is_active() {
-            return sweep_engine(chip, &spec, &policy, &plan, &opts, journal, interrupt);
+            return sweep_engine(
+                chip, &spec, &policy, &plan, &opts, journal, interrupt, budget,
+            );
         }
         let (result, trace) = tlp_obs::capture(|| {
-            sweep_engine(chip, &spec, &policy, &plan, &opts, journal, interrupt)
+            sweep_engine(
+                chip, &spec, &policy, &plan, &opts, journal, interrupt, budget,
+            )
         });
         let report = result?;
         sink.emit(&trace)?;
@@ -854,11 +950,15 @@ impl<'c> SweepBuilder<'c> {
             sink,
             journal,
             interrupt,
+            budget,
         } = self;
+        let chip = chip.get();
         let journal = journal.as_ref().map(|(p, m)| (p.as_path(), *m));
         let interrupt = interrupt.as_deref();
         let (result, trace) = tlp_obs::capture(|| {
-            sweep_engine(chip, &spec, &policy, &plan, &opts, journal, interrupt)
+            sweep_engine(
+                chip, &spec, &policy, &plan, &opts, journal, interrupt, budget,
+            )
         });
         let report = result?;
         sink.emit(&trace)?;
@@ -942,6 +1042,7 @@ fn quarantine_outcome(cell: &crate::journal::JournaledCell, replay_seed: u64) ->
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sweep_engine(
     chip: &ExperimentalChip,
     spec: &SweepSpec,
@@ -950,6 +1051,7 @@ fn sweep_engine(
     opts: &SweepOptions,
     journal_at: Option<(&Path, JournalMode)>,
     interrupt: Option<&AtomicBool>,
+    budget: Option<BudgetSpec>,
 ) -> Result<SweepReport, ExperimentError> {
     let _span = tlp_obs::span("sweep.run");
     assert!(
@@ -962,10 +1064,14 @@ fn sweep_engine(
     let n_counts = spec.core_counts.len();
     let works = spec.works();
     let total = works.len() * n_counts;
+    // Heterogeneous chips stamp their class layout into the journal
+    // fingerprint and the report; homogeneous ones stay tag-free so
+    // their journals and JSON stay byte-identical to the legacy path.
+    let chip_tag = (!chip.spec().is_homogeneous()).then(|| chip.spec().tag());
 
     let journal = match journal_at {
         Some((path, mode)) => {
-            let j = Journal::open(path, mode, spec, plan, policy)?;
+            let j = Journal::open_with_chip(path, mode, spec, plan, policy, chip_tag.as_deref())?;
             if !j.recovery.created {
                 eprintln!("{}", j.recovery.summary(path));
             }
@@ -1186,6 +1292,11 @@ fn sweep_engine(
             total_seconds: start.elapsed().as_secs_f64(),
             cell_seconds,
         },
+        chip: chip_tag,
+        budget: budget.map(|b| BudgetAxes {
+            spec: b,
+            core_area_mm2: chip.core_area_mm2(),
+        }),
     })
 }
 
@@ -1297,9 +1408,39 @@ fn run_cell(
                 .map_err(|e| (e, 1))?;
             (r, op)
         };
-        let (m, attempts) = supervise(policy, |opts| {
+        let (mut m, mut attempts) = supervise(policy, |opts| {
             chip.try_measure_with(&result, op.voltage, opts, &plan.measure_faults_for(cell))
         })?;
+        // Per-core governors close the loop on the thermal evidence:
+        // measure → adjust the operating point → re-run → re-measure,
+        // bounded so a ringing policy cannot iterate forever. The
+        // default chip-wide governor skips this entirely, which keeps
+        // the legacy path byte-identical.
+        let mut op = op;
+        let mut result = result;
+        if !chip.governor().is_chip_wide() {
+            for _ in 0..3 {
+                let Some(next) = chip.governor().adjust(&m.core_temps, table, op) else {
+                    break;
+                };
+                op = next;
+                let gang = match work {
+                    WorkloadId::App(app) => gang(app, n, spec.scale, spec.seed),
+                    WorkloadId::Server { rps } => {
+                        ServerSpec::standard(rps, spec.scale).gang(n, spec.seed, op.frequency)
+                    }
+                };
+                result = chip
+                    .try_run_with(gang, op, plan.sim_faults_for(cell))
+                    .map_err(|e| (e, attempts))?;
+                let (m2, a2) = supervise(policy, |opts| {
+                    chip.try_measure_with(&result, op.voltage, opts, &plan.measure_faults_for(cell))
+                })
+                .map_err(|(e, a)| (e, attempts + a))?;
+                m = m2;
+                attempts += a2;
+            }
+        }
         let requests = match (work, &result.requests) {
             (WorkloadId::Server { rps }, Some(stats)) => Some(RequestSummary::from_stats(
                 stats,
@@ -1362,12 +1503,11 @@ fn supervise<T>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tlp_sim::CmpConfig;
     use tlp_tech::Technology;
     use tlp_thermal::ThermalError;
 
     fn chip() -> ExperimentalChip {
-        ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+        ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
     }
 
     fn spec(apps: Vec<AppId>) -> SweepSpec {
@@ -1397,7 +1537,7 @@ mod tests {
         let c = chip();
         let b = c
             .sweep()
-            .apps(vec![AppId::Fft])
+            .workloads(vec![WorkloadId::App(AppId::Fft)])
             .scale(Scale::Test)
             .seed(11)
             .retry_policy(RetryPolicy::no_retries())
@@ -1411,6 +1551,94 @@ mod tests {
         let b = b.threads(3).core_counts(vec![1, 2]);
         assert_eq!(b.opts.threads, 3);
         assert_eq!(b.spec.core_counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn workloads_splits_apps_and_server_loads_and_apps_shim_still_works() {
+        let c = chip();
+        let b = c.sweep().workloads(vec![
+            WorkloadId::App(AppId::Fft),
+            WorkloadId::Server { rps: 5_000_000 },
+            WorkloadId::App(AppId::WaterNsq),
+        ]);
+        assert_eq!(b.spec.apps, vec![AppId::Fft, AppId::WaterNsq]);
+        assert_eq!(b.spec.server_loads, vec![5_000_000]);
+        // The deprecated shim routes through workloads: it replaces
+        // both lists, not just the apps.
+        #[allow(deprecated)]
+        let b = b.apps(vec![AppId::Lu]);
+        assert_eq!(b.spec.apps, vec![AppId::Lu]);
+        assert!(b.spec.server_loads.is_empty());
+    }
+
+    #[test]
+    fn chip_spec_and_budget_flow_into_the_report() {
+        let c = chip();
+        let r = c
+            .sweep()
+            .core_mix(1, 1)
+            .grid(spec(vec![AppId::WaterNsq]))
+            .budget(BudgetSpec {
+                area_mm2: 200.0,
+                tdp_watts: 125.0,
+            })
+            .serial()
+            .run()
+            .unwrap();
+        assert_eq!(r.chip.as_deref(), Some("big:1w4@1/1+little:1w2@1/2"));
+        let axes = r.budget.expect("budget axes recorded");
+        assert!(axes.core_area_mm2 > 0.0);
+        let (_, row) = r.completed().next().expect("completed cell");
+        let fit = r.dark_silicon(row).expect("budget fit");
+        assert!(fit.n_cores >= 1);
+        assert!((0.0..=1.0).contains(&fit.dark_silicon_ratio));
+    }
+
+    #[test]
+    fn homogeneous_report_carries_no_chip_tag_or_budget() {
+        let r = chip()
+            .sweep()
+            .grid(spec(vec![AppId::WaterNsq]))
+            .serial()
+            .run()
+            .unwrap();
+        assert_eq!(r.chip, None);
+        assert!(r.budget.is_none());
+        let (_, row) = r.completed().next().unwrap();
+        assert!(r.dark_silicon(row).is_none(), "no budget axes, no fit");
+    }
+
+    #[test]
+    fn thermal_governor_throttles_hot_cells_below_eq7_frequency() {
+        // A threshold below any plausible die temperature forces the
+        // governor to step down on every adjust call; the bounded loop
+        // must settle and the row must record the throttled point.
+        let hot = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
+            .with_governor(Box::new(crate::governor::ThermalAware {
+                threshold: tlp_tech::units::Celsius::new(10.0),
+            }));
+        let baseline = chip()
+            .sweep()
+            .grid(spec(vec![AppId::WaterNsq]))
+            .serial()
+            .run()
+            .unwrap();
+        let throttled = hot
+            .sweep()
+            .grid(spec(vec![AppId::WaterNsq]))
+            .serial()
+            .run()
+            .unwrap();
+        let f_of = |r: &SweepReport, n: usize| {
+            r.completed()
+                .find(|(c, _)| c.n == n)
+                .map(|(_, row)| row.operating_point.frequency.as_f64())
+                .expect("cell completed")
+        };
+        assert!(
+            f_of(&throttled, 2) < f_of(&baseline, 2),
+            "governor must throttle below the Eq. 7 point"
+        );
     }
 
     #[test]
@@ -1576,7 +1804,11 @@ mod tests {
 
     #[test]
     fn no_retries_policy_caps_even_retryable_faults_at_one_attempt() {
-        let plan = FaultPlan::none().inject(AppId::WaterNsq, 2, Fault::InflateLeakage(100.0));
+        let plan = FaultPlan::none().inject_work(
+            WorkloadId::App(AppId::WaterNsq),
+            2,
+            Fault::InflateLeakage(100.0),
+        );
         let r = chip()
             .sweep()
             .grid(spec(vec![AppId::WaterNsq]))
@@ -1599,7 +1831,8 @@ mod tests {
 
     #[test]
     fn nan_fault_fails_only_its_cell_without_retries() {
-        let plan = FaultPlan::none().inject(AppId::WaterNsq, 2, Fault::NanPower);
+        let plan =
+            FaultPlan::none().inject_work(WorkloadId::App(AppId::WaterNsq), 2, Fault::NanPower);
         let r = chip()
             .sweep()
             .grid(spec(vec![AppId::WaterNsq]))
@@ -1641,16 +1874,16 @@ mod tests {
     #[test]
     fn fault_plan_routes_faults_to_the_right_stage() {
         let plan = FaultPlan::none()
-            .inject(
-                AppId::Fft,
+            .inject_work(
+                WorkloadId::App(AppId::Fft),
                 4,
                 Fault::DropBarrierArrival {
                     barrier: 0,
                     thread: 1,
                 },
             )
-            .inject(AppId::Fft, 4, Fault::InflateLeakage(4.0))
-            .inject(AppId::Fft, 8, Fault::CycleBudget(1000));
+            .inject_work(WorkloadId::App(AppId::Fft), 4, Fault::InflateLeakage(4.0))
+            .inject_work(WorkloadId::App(AppId::Fft), 8, Fault::CycleBudget(1000));
         let cell4 = SweepCell {
             work: WorkloadId::App(AppId::Fft),
             n: 4,

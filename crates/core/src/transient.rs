@@ -208,13 +208,13 @@ pub fn trace_from_windows(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tlp_sim::CmpConfig;
+    use tlp_sim::ChipSpec;
     use tlp_tech::Technology;
     use tlp_workloads::micro::power_virus;
     use tlp_workloads::{gang, AppId, Scale};
 
     fn chip() -> ExperimentalChip {
-        ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+        ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
     }
 
     #[test]

@@ -257,6 +257,83 @@ impl PowerCalculator {
         Ok(DynamicBreakdown { cores, l2, bus })
     }
 
+    /// Per-class heterogeneous accounting: core `i` is charged from the
+    /// energy table (and renorm) of `class_calcs[assign[i]]` at that
+    /// class's supply voltage `volts[assign[i]]`, while the shared
+    /// L2/bus — always in the base clock domain — is charged from
+    /// `class_calcs[0]` at `volts[0]`. With a single class this is
+    /// exactly [`PowerCalculator::try_dynamic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (API misuse) if `class_calcs`/`volts` lengths differ, if
+    /// `assign` is shorter than the run's core count, or if an
+    /// assignment indexes out of range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::EmptyRun`] when the run covered zero
+    /// cycles.
+    pub fn try_dynamic_classes(
+        class_calcs: &[PowerCalculator],
+        assign: &[usize],
+        volts: &[Volts],
+        result: &SimResult,
+    ) -> Result<DynamicBreakdown, PowerError> {
+        assert_eq!(
+            class_calcs.len(),
+            volts.len(),
+            "one supply voltage per class"
+        );
+        assert!(
+            assign.len() >= result.cores.len(),
+            "class assignment shorter than core count"
+        );
+        if result.cycles == 0 {
+            return Err(PowerError::EmptyRun);
+        }
+        tlp_obs::metrics::POWER_BREAKDOWNS.incr();
+        let time: Seconds = result.execution_time();
+
+        let cores = result
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let calc = &class_calcs[assign[i]];
+                let v = volts[assign[i]];
+                let to_power = |j: f64| -> Watts { Joules::new(j * calc.renorm).over(time) };
+                let e = calc.core_energy(s, v, result.cycles);
+                CoreDynamic {
+                    clock: to_power(e.clock.as_f64()),
+                    icache: to_power(e.icache.as_f64()),
+                    dcache: to_power(e.dcache.as_f64()),
+                    int_exec: to_power(e.int_exec.as_f64()),
+                    fp_exec: to_power(e.fp_exec.as_f64()),
+                    regfile: to_power(e.regfile.as_f64()),
+                    issue: to_power(e.issue.as_f64()),
+                    bpred: to_power(e.bpred.as_f64()),
+                    lsq: to_power(e.lsq.as_f64()),
+                }
+            })
+            .collect();
+
+        let base = &class_calcs[0];
+        let v0 = volts[0];
+        let to_power = |j: f64| -> Watts { Joules::new(j * base.renorm).over(time) };
+        let l2_accesses = result.l2.accesses();
+        let l2 = to_power(base.energies.l2_access.read_energy(v0).as_f64() * l2_accesses as f64);
+        let bus = to_power(
+            CoreEnergies::switch(base.energies.c_bus_per_txn, v0).as_f64()
+                * result.mem.bus_transactions as f64
+                + CoreEnergies::switch(base.energies.c_snoop_probe, v0).as_f64()
+                    * result.mem.snoop_probes as f64
+                + CoreEnergies::switch(base.energies.c_filter_lookup, v0).as_f64()
+                    * result.mem.snoops_filtered as f64,
+        );
+        Ok(DynamicBreakdown { cores, l2, bus })
+    }
+
     /// Distributes a breakdown onto the blocks of a CMP floorplan
     /// (`core<i>.<structure>` names as produced by
     /// [`Floorplan::ispass_cmp`]), returning one dynamic power entry per
@@ -424,6 +501,82 @@ mod tests {
         let d = calc.dynamic(&r, Volts::new(1.1));
         let sum: f64 = d.by_structure().values().map(|w| w.as_f64()).sum();
         assert!((sum - d.total().as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_class_accounting_matches_homogeneous_path() {
+        let cfg = CmpConfig::ispass05(4);
+        let progs: Vec<_> = (0..2u64)
+            .map(|t| {
+                Box::new(ScriptedProgram::new(vec![
+                    Op::Int { count: 5_000 },
+                    Op::Load {
+                        addr: 0x1000 + t * 64,
+                    },
+                    Op::Barrier { id: 0 },
+                ])) as Box<dyn ThreadProgram>
+            })
+            .collect();
+        let r = CmpSimulator::new(cfg.clone(), progs).run();
+        let calc = PowerCalculator::new(&cfg).with_renorm(1.7);
+        let v = Volts::new(1.05);
+        let homo = calc.try_dynamic(&r, v).unwrap();
+        let per_class = PowerCalculator::try_dynamic_classes(
+            std::slice::from_ref(&calc),
+            &[0usize; 4],
+            &[v],
+            &r,
+        )
+        .unwrap();
+        assert_eq!(format!("{homo:?}"), format!("{per_class:?}"));
+    }
+
+    #[test]
+    fn class_voltage_rails_charge_cores_differently() {
+        let cfg = CmpConfig::ispass05(4);
+        let progs: Vec<_> = (0..2)
+            .map(|_| {
+                Box::new(ScriptedProgram::new(vec![Op::Int { count: 5_000 }]))
+                    as Box<dyn ThreadProgram>
+            })
+            .collect();
+        let r = CmpSimulator::new(cfg.clone(), progs).run();
+        let calc = PowerCalculator::new(&cfg);
+        let calcs = vec![calc.clone(), calc];
+        // Core 1 rides a half-voltage rail: quarter the dynamic power.
+        let d = PowerCalculator::try_dynamic_classes(
+            &calcs,
+            &[0, 1, 0, 0],
+            &[Volts::new(1.1), Volts::new(0.55)],
+            &r,
+        )
+        .unwrap();
+        let hi = d.cores[0].total().as_f64();
+        let lo = d.cores[1].total().as_f64();
+        assert!((hi / lo - 4.0).abs() < 1e-6, "ratio {}", hi / lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "one supply voltage per class")]
+    fn mismatched_class_rails_rejected() {
+        let cfg = CmpConfig::ispass05(2);
+        let calc = PowerCalculator::new(&cfg);
+        let r = SimResult {
+            cycles: 10,
+            frequency: cfg.frequency(),
+            n_threads: 1,
+            cores: vec![CoreStats::default()],
+            l1d: vec![Default::default()],
+            l2: Default::default(),
+            mem: Default::default(),
+            requests: None,
+        };
+        let _ = PowerCalculator::try_dynamic_classes(
+            std::slice::from_ref(&calc),
+            &[0],
+            &[Volts::new(1.1), Volts::new(1.0)],
+            &r,
+        );
     }
 
     #[test]

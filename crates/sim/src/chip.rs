@@ -5,6 +5,7 @@ use crate::core::Core;
 use crate::error::{CoreStuck, DeadlockInfo, SimError};
 use crate::memory::MemorySystem;
 use crate::op::ThreadProgram;
+use crate::spec::ChipSpec;
 use crate::stats::{CoreStats, SimResult};
 use crate::sync::SyncManager;
 
@@ -61,6 +62,17 @@ pub struct CmpSimulator {
     sync: SyncManager,
     /// Event-driven batching of pure-wait stretches (on by default).
     fast_forward: bool,
+    /// Per-core clock-domain ratios `(num, den)` relative to the base
+    /// domain, present only for heterogeneous chips: core `i` is stepped
+    /// on base cycle `c` iff `⌊(c+1)·num/den⌋ > ⌊c·num/den⌋` (an integer
+    /// phase accumulator). `None` — every homogeneous chip — steps every
+    /// core every cycle, bit-identical to the pre-`ChipSpec` loop.
+    domains: Option<Vec<(u32, u32)>>,
+}
+
+/// Domain ticks elapsed in `[0, cycle)` base cycles for ratio `num/den`.
+fn phase_ticks(cycle: u64, num: u32, den: u32) -> u64 {
+    ((u128::from(cycle) * u128::from(num)) / u128::from(den)) as u64
 }
 
 impl CmpSimulator {
@@ -99,6 +111,90 @@ impl CmpSimulator {
             memory,
             sync,
             fast_forward: true,
+            domains: None,
+        }
+    }
+
+    /// Builds a simulator for a [`ChipSpec`]. Homogeneous specs take the
+    /// exact [`CmpSimulator::new`] path (byte-identical results to the
+    /// pre-`ChipSpec` API); heterogeneous specs get per-class cores and
+    /// L1Ds plus per-core clock-domain gating. Threads fill cores in
+    /// core-index order, so class 0's cores are occupied first.
+    ///
+    /// Domain-tick latencies (L1 hit, mispredict penalty, sleep wakeup)
+    /// are converted to base cycles here, once, via
+    /// [`CoreClass::base_cycles`](crate::spec::CoreClass::base_cycles);
+    /// the run loop itself only ever sees base cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty or larger than the spec's core
+    /// count.
+    pub fn from_spec(spec: &ChipSpec, programs: Vec<Box<dyn ThreadProgram>>) -> Self {
+        if let Some(cfg) = spec.to_cmp_config() {
+            return Self::new(cfg, programs);
+        }
+        let n = programs.len();
+        assert!(
+            n >= 1 && n <= spec.n_cores(),
+            "thread count {n} outside 1..={}",
+            spec.n_cores()
+        );
+        let base = spec.base_config();
+        let l1d = (0..n)
+            .map(|i| {
+                let class = &spec.classes[spec.class_of(i)];
+                (class.l1d, class.base_cycles(class.l1d.latency_cycles))
+            })
+            .collect();
+        let memory = MemorySystem::heterogeneous(&base, l1d);
+        let mut sync = SyncManager::new(n);
+        if let Some((barrier, core)) = spec.faults.drop_barrier_arrival {
+            sync.inject_drop_arrival(barrier, core);
+        }
+        // The spin→sleep countdown is the one wait horizon measured in
+        // domain ticks rather than absolute base cycles, so fast-forward
+        // is only safe when no gated class can sleep at a barrier.
+        let gated_sleeper = (0..n).any(|i| {
+            let class = &spec.classes[spec.class_of(i)];
+            class.core.sleep.enabled && !class.base_domain()
+        });
+        let cores = programs
+            .into_iter()
+            .enumerate()
+            .map(|(id, p)| {
+                let class = &spec.classes[spec.class_of(id)];
+                let mut cfg = class.core;
+                cfg.mispredict_penalty = class.base_cycles(cfg.mispredict_penalty);
+                if cfg.sleep.enabled {
+                    cfg.sleep.wakeup_penalty = class.base_cycles(cfg.sleep.wakeup_penalty);
+                }
+                let mut core = Core::new(id, cfg, p);
+                core.set_completion_skew(spec.faults.skew_request_completion);
+                core
+            })
+            .collect();
+        let domains = (0..n)
+            .map(|i| spec.classes[spec.class_of(i)].clock)
+            .collect();
+        Self {
+            config: base,
+            cores,
+            memory,
+            sync,
+            fast_forward: !gated_sleeper,
+            domains: Some(domains),
+        }
+    }
+
+    /// Whether base cycle `cycle` is a tick of core `i`'s clock domain.
+    fn domain_ticks(&self, i: usize, cycle: u64) -> bool {
+        match &self.domains {
+            None => true,
+            Some(d) => {
+                let (num, den) = d[i];
+                phase_ticks(cycle + 1, num, den) > phase_ticks(cycle, num, den)
+            }
         }
     }
 
@@ -209,8 +305,22 @@ impl CmpSimulator {
                 // loop inspects, so the checks below fire at exactly the
                 // same cycles either way.
                 let k = target - cycle;
-                for core in &mut self.cores {
-                    core.fast_forward(k);
+                match &self.domains {
+                    None => {
+                        for core in &mut self.cores {
+                            core.fast_forward(k);
+                        }
+                    }
+                    Some(domains) => {
+                        // Each gated core advances by its own tick count
+                        // over [cycle, target) — exactly the steps the
+                        // stepped loop would have granted it.
+                        for (core, &(num, den)) in self.cores.iter_mut().zip(domains) {
+                            let ticks =
+                                phase_ticks(target, num, den) - phase_ticks(cycle, num, den);
+                            core.fast_forward(ticks);
+                        }
+                    }
                 }
                 ff_cycles += k;
                 cycle = target;
@@ -220,7 +330,7 @@ impl CmpSimulator {
                 let start = (cycle as usize) % n;
                 for k in 0..n {
                     let i = (start + k) % n;
-                    if self.cores[i].done() {
+                    if self.cores[i].done() || !self.domain_ticks(i, cycle) {
                         continue;
                     }
                     self.cores[i].step(cycle, &mut self.memory, &mut self.sync);
@@ -946,6 +1056,113 @@ mod tests {
         // The last record's skewed completion overruns the run length —
         // the bound the latency-sanity oracle checks.
         assert!(s.records.iter().any(|r| r.completion > skewed.cycles));
+    }
+
+    #[test]
+    fn from_spec_homogeneous_is_byte_identical_to_legacy() {
+        use crate::spec::ChipSpec;
+        let prog = || {
+            (0..3u64)
+                .map(|t| {
+                    boxed(vec![
+                        Op::Int { count: 2_000 },
+                        Op::Load {
+                            addr: 0x10_000 + t * 4096,
+                        },
+                        Op::Barrier { id: 0 },
+                    ])
+                })
+                .collect::<Vec<_>>()
+        };
+        let legacy = CmpSimulator::new(CmpConfig::ispass05(4), prog()).run();
+        let spec = CmpSimulator::from_spec(&ChipSpec::ispass05(4), prog()).run();
+        assert_eq!(format!("{legacy:?}"), format!("{spec:?}"));
+    }
+
+    #[test]
+    fn half_rate_class_takes_twice_as_long_on_compute() {
+        use crate::spec::ChipSpec;
+        // One big core vs one little (half-rate, 2-wide) core on pure
+        // integer work: the little core retires at 2 IPC on half the
+        // ticks, so ~4x the base cycles.
+        let spec = ChipSpec::big_little(1, 1);
+        let big = CmpSimulator::from_spec(&spec, vec![boxed(vec![Op::Int { count: 8_000 }])]).run();
+        let both = CmpSimulator::from_spec(
+            &spec,
+            vec![
+                boxed(vec![Op::Int { count: 8_000 }]),
+                boxed(vec![Op::Int { count: 8_000 }]),
+            ],
+        )
+        .run();
+        // Core 0 (big) alone: ~2000 cycles at 4-wide.
+        assert!(big.cycles < 2_500, "big took {} cycles", big.cycles);
+        // With the little core the run is dominated by it: 8000 instrs /
+        // (2-wide · half-rate) ≈ 8000 base cycles.
+        assert!(
+            both.cycles > 3 * big.cycles,
+            "little core finished too fast: {} vs {}",
+            both.cycles,
+            big.cycles
+        );
+        // The gated core only got ~half the base cycles as ticks.
+        let little_busy = both.cores[1].active_cycles
+            + both.cores[1].mem_stall_cycles
+            + both.cores[1].other_stall_cycles;
+        assert!(
+            little_busy < both.cycles / 2 + 2,
+            "gated core ticked {little_busy} of {} cycles",
+            both.cycles
+        );
+    }
+
+    #[test]
+    fn hetero_fast_forward_matches_stepped() {
+        use crate::spec::ChipSpec;
+        let spec = ChipSpec::big_little(2, 2);
+        let mk = |ff: bool| {
+            let progs: Vec<_> = (0..4u64)
+                .map(|t| {
+                    boxed(vec![
+                        Op::Int {
+                            count: 100 + 10_000 * t as u32,
+                        },
+                        Op::Load {
+                            addr: 0x40_0000 + t * 4096,
+                        },
+                        Op::Barrier { id: 0 },
+                        Op::Lock { id: 0 },
+                        Op::Int { count: 500 },
+                        Op::Unlock { id: 0 },
+                        Op::Barrier { id: 1 },
+                    ])
+                })
+                .collect();
+            CmpSimulator::from_spec(&spec, progs).with_fast_forward(ff)
+        };
+        let (fast_r, fast_w) = mk(true).try_run_sampled(512, 10_000_000).unwrap();
+        let (slow_r, slow_w) = mk(false).try_run_sampled(512, 10_000_000).unwrap();
+        assert_eq!(format!("{fast_r:?}"), format!("{slow_r:?}"));
+        assert_eq!(format!("{fast_w:?}"), format!("{slow_w:?}"));
+    }
+
+    #[test]
+    fn gated_sleeper_disables_fast_forward() {
+        use crate::config::SleepPolicy;
+        use crate::spec::{ChipSpec, CoreClass};
+        let mut spec = ChipSpec::big_little(1, 1);
+        let little: &mut CoreClass = &mut spec.classes[1];
+        little.core.sleep = SleepPolicy::THRIFTY;
+        let sim = CmpSimulator::from_spec(
+            &spec,
+            vec![
+                boxed(vec![Op::Int { count: 10 }, Op::Barrier { id: 0 }]),
+                boxed(vec![Op::Int { count: 10_000 }, Op::Barrier { id: 0 }]),
+            ],
+        );
+        assert!(!sim.fast_forward, "gated sleeper must step");
+        let r = sim.run();
+        assert_eq!(r.n_threads, 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! CMP configuration (paper Table 1).
 
 use tlp_tech::units::{Hertz, Seconds};
-use tlp_tech::{OperatingPoint, Technology};
+use tlp_tech::OperatingPoint;
 
 /// Geometry and timing of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,52 +180,18 @@ impl CmpConfig {
     /// The paper's Table 1 configuration at nominal 65 nm V/f, with
     /// `n_cores` cores (the paper's chip has 16).
     ///
+    /// This is the one-class special case of
+    /// [`ChipSpec::ispass05`](crate::spec::ChipSpec::ispass05), which is
+    /// the single source of truth for the Table 1 numbers; this
+    /// constructor is a thin wrapper over it.
+    ///
     /// # Panics
     ///
     /// Panics if `n_cores` is zero.
     pub fn ispass05(n_cores: usize) -> Self {
-        assert!(n_cores > 0, "need at least one core");
-        let tech = Technology::itrs_65nm();
-        Self {
-            n_cores,
-            core: CoreConfig {
-                issue_width: 4,
-                int_throughput: 4,
-                fp_throughput: 2,
-                mispredict_penalty: 7,
-                store_buffer: 8,
-                mshrs: 8,
-                sleep: SleepPolicy::DISABLED,
-            },
-            l1i: CacheConfig {
-                size_bytes: 64 * 1024,
-                line_bytes: 64,
-                ways: 2,
-                latency_cycles: 2,
-            },
-            l1d: CacheConfig {
-                size_bytes: 64 * 1024,
-                line_bytes: 64,
-                ways: 2,
-                latency_cycles: 2,
-            },
-            l2: CacheConfig {
-                size_bytes: 4 * 1024 * 1024,
-                line_bytes: 128,
-                ways: 8,
-                latency_cycles: 12,
-            },
-            bus_addr_cycles: 4,
-            bus_data_cycles: 8,
-            cache_to_cache_cycles: 16,
-            memory_round_trip: Seconds::from_ns(75.0),
-            snoop_filter: false,
-            operating_point: OperatingPoint {
-                frequency: tech.f_nominal(),
-                voltage: tech.vdd_nominal(),
-            },
-            faults: SimFaults::default(),
-        }
+        crate::spec::ChipSpec::ispass05(n_cores)
+            .to_cmp_config()
+            .expect("ispass05 is a one-class base-domain spec")
     }
 
     /// Returns a copy running at a different chip-wide operating point.

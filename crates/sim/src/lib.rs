@@ -44,12 +44,14 @@ pub mod core;
 pub mod error;
 pub mod memory;
 pub mod op;
+pub mod spec;
 pub mod stats;
 pub mod sync;
 
 pub use chip::CmpSimulator;
 pub use config::{CacheConfig, CmpConfig, CoreConfig, SimFaults};
 pub use error::{CoreStuck, DeadlockInfo, SimError, StuckReason};
+pub use spec::{ChipSpec, ClassActivity, CoreClass};
 pub use stats::{CoreStats, SimResult};
 
 #[cfg(test)]

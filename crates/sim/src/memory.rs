@@ -9,7 +9,7 @@
 //! mechanism behind the paper's memory-bound speedup observations.
 
 use crate::cache::{Cache, CacheStats, Evicted, Mesi};
-use crate::config::CmpConfig;
+use crate::config::{CacheConfig, CmpConfig};
 
 /// Read or write intent of a data access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +50,10 @@ pub struct MemStats {
 pub struct MemorySystem {
     l1d: Vec<Cache>,
     l2: Cache,
-    l1_latency: u64,
+    /// Per-core L1 hit latency in base cycles (uniform for homogeneous
+    /// chips; per-class for heterogeneous ones, pre-converted from
+    /// domain ticks).
+    l1_latency: Vec<u64>,
     l2_latency: u64,
     c2c_latency: u64,
     bus_addr: u64,
@@ -66,16 +69,38 @@ pub struct MemorySystem {
 }
 
 impl MemorySystem {
-    /// Builds the hierarchy for `n_active` cores of the given config.
+    /// Builds the hierarchy for `n_active` identical cores of the given
+    /// config.
     pub fn new(cfg: &CmpConfig, n_active: usize) -> Self {
         assert!(
             n_active >= 1 && n_active <= cfg.n_cores,
             "active cores out of range"
         );
+        Self::heterogeneous(cfg, vec![(cfg.l1d, cfg.l1d.latency_cycles); n_active])
+    }
+
+    /// Builds the hierarchy for a heterogeneous chip: one `(geometry,
+    /// hit latency in base cycles)` pair per active core, in core-index
+    /// order. The shared L2/bus/memory parameters come from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1d` is empty or longer than `cfg.n_cores`.
+    pub fn heterogeneous(cfg: &CmpConfig, l1d: Vec<(CacheConfig, u64)>) -> Self {
+        assert!(
+            !l1d.is_empty() && l1d.len() <= cfg.n_cores,
+            "active cores out of range"
+        );
+        // Inclusion maintenance walks L2 victims at one L1 line
+        // granularity; mixed line sizes would leave stale sub-lines.
+        assert!(
+            l1d.iter().all(|(g, _)| g.line_bytes == l1d[0].0.line_bytes),
+            "all L1D line sizes must match"
+        );
         Self {
-            l1d: (0..n_active).map(|_| Cache::new(cfg.l1d)).collect(),
+            l1d: l1d.iter().map(|(geom, _)| Cache::new(*geom)).collect(),
             l2: Cache::new(cfg.l2),
-            l1_latency: cfg.l1d.latency_cycles,
+            l1_latency: l1d.iter().map(|&(_, lat)| lat).collect(),
             l2_latency: cfg.l2.latency_cycles,
             c2c_latency: cfg.cache_to_cache_cycles,
             bus_addr: cfg.bus_addr_cycles,
@@ -88,9 +113,10 @@ impl MemorySystem {
         }
     }
 
-    /// L1 hit latency in cycles.
+    /// Core 0's L1 hit latency in cycles (the uniform latency on a
+    /// homogeneous chip).
     pub fn l1_latency(&self) -> u64 {
-        self.l1_latency
+        self.l1_latency[0]
     }
 
     /// Acquires the address/snoop channel at or after `now`; returns the
@@ -134,11 +160,11 @@ impl MemorySystem {
         match (l1_state, kind) {
             (Mesi::Modified, _)
             | (Mesi::Exclusive, AccessKind::Read)
-            | (Mesi::Shared, AccessKind::Read) => now + self.l1_latency,
+            | (Mesi::Shared, AccessKind::Read) => now + self.l1_latency[core],
             (Mesi::Exclusive, AccessKind::Write) => {
                 // Silent E→M upgrade.
                 self.l1d[core].set_state(addr, Mesi::Modified);
-                now + self.l1_latency
+                now + self.l1_latency[core]
             }
             (Mesi::Shared, AccessKind::Write) => {
                 // BusUpgr: invalidate other sharers, no data transfer.
@@ -152,7 +178,7 @@ impl MemorySystem {
                     }
                 }
                 self.l1d[core].set_state(addr, Mesi::Modified);
-                grant + self.bus_addr + self.l1_latency
+                grant + self.bus_addr + self.l1_latency[core]
             }
             (Mesi::Invalid, _) => self.miss(core, addr, kind, now),
         }

@@ -163,6 +163,32 @@ impl DvfsTable {
         Ok(self.points[idx - 1])
     }
 
+    /// The next table operating point strictly *below* frequency `f` —
+    /// one DVFS rung down, the primitive a thermal-aware governor uses
+    /// to back off an overheating domain. `None` when `f` is already at
+    /// or below the lowest rung.
+    pub fn step_down(&self, f: Hertz) -> Option<OperatingPoint> {
+        let idx = self
+            .points
+            .partition_point(|p| p.frequency.as_f64() < f.as_f64() - 1e-9);
+        idx.checked_sub(1).map(|i| self.points[i])
+    }
+
+    /// The supply voltage for `f`, with frequencies outside the table
+    /// range clamped to the nearest end point — the per-domain variant
+    /// of [`DvfsTable::voltage_for`]: a clock domain geared below the
+    /// grid (e.g. a half-rate little core under a 200 MHz base) still
+    /// gets a well-defined rail.
+    pub fn voltage_for_clamped(&self, f: Hertz) -> Volts {
+        if f <= self.f_min() {
+            self.points[0].voltage
+        } else if f >= self.f_max() {
+            self.points[self.points.len() - 1].voltage
+        } else {
+            self.voltage_for(f).expect("in-range frequency")
+        }
+    }
+
     /// Iterates over the operating points in ascending frequency order.
     pub fn iter(&self) -> core::slice::Iter<'_, OperatingPoint> {
         self.points.iter()
@@ -247,6 +273,35 @@ mod tests {
         let exact = t.quantize_down(Hertz::from_mhz(2400.0)).unwrap();
         assert!((exact.frequency.as_mhz() - 2400.0).abs() < 1e-6);
         assert!(t.quantize_down(Hertz::from_mhz(100.0)).is_err());
+    }
+
+    #[test]
+    fn step_down_walks_the_ladder() {
+        let t = table65();
+        // From an off-grid frequency: the rung below.
+        let op = t.step_down(Hertz::from_mhz(2350.0)).unwrap();
+        assert!((op.frequency.as_mhz() - 2200.0).abs() < 1e-6);
+        // From an exact rung: strictly the previous rung.
+        let op = t.step_down(Hertz::from_mhz(2200.0)).unwrap();
+        assert!((op.frequency.as_mhz() - 2000.0).abs() < 1e-6);
+        // The bottom rung has nowhere to go.
+        assert!(t.step_down(t.f_min()).is_none());
+        assert!(t.step_down(Hertz::from_mhz(100.0)).is_none());
+    }
+
+    #[test]
+    fn clamped_voltage_covers_out_of_range_domains() {
+        let t = table65();
+        assert_eq!(
+            t.voltage_for_clamped(Hertz::from_mhz(100.0)),
+            t.points()[0].voltage
+        );
+        assert_eq!(
+            t.voltage_for_clamped(Hertz::from_ghz(4.0)),
+            t.points().last().unwrap().voltage
+        );
+        let mid = t.voltage_for_clamped(Hertz::from_mhz(2300.0));
+        assert_eq!(mid, t.voltage_for(Hertz::from_mhz(2300.0)).unwrap());
     }
 
     #[test]

@@ -226,6 +226,55 @@ impl Floorplan {
         Self::new(blocks)
     }
 
+    /// A heterogeneous CMP floorplan: one EV6-style tile per core, with
+    /// die area apportioned by `weights` (e.g. big cores weight 1.0,
+    /// little cores 0.35). The shared L2 stays a bottom slab as in
+    /// [`Floorplan::ispass_cmp`]; the core region above it is split into
+    /// full-height columns whose widths are proportional to the weights,
+    /// so a heavier class gets a proportionally larger (and better
+    /// spreading) tile. Block names follow the `core<i>.<unit>` scheme
+    /// the power mapper expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is non-positive or
+    /// non-finite.
+    pub fn hetero_cmp(weights: &[f64], die_w_mm: f64, die_h_mm: f64) -> Self {
+        assert!(!weights.is_empty(), "need at least one core");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive"
+        );
+        let l2_frac = 0.35;
+        let l2_h = die_h_mm * l2_frac;
+        let core_region_h = die_h_mm - l2_h;
+        let total: f64 = weights.iter().sum();
+
+        let mut blocks = Vec::with_capacity(weights.len() * EV6_TILE_LAYOUT.len() + 1);
+        blocks.push(Block {
+            name: "l2".into(),
+            kind: BlockKind::L2,
+            x_mm: 0.0,
+            y_mm: 0.0,
+            w_mm: die_w_mm,
+            h_mm: l2_h,
+        });
+        let mut x = 0.0;
+        for (core, w) in weights.iter().enumerate() {
+            let tile_w = die_w_mm * w / total;
+            blocks.extend(Self::ev6_core(
+                &format!("core{core}"),
+                x,
+                l2_h,
+                tile_w,
+                core_region_h,
+                core,
+            ));
+            x += tile_w;
+        }
+        Self::new(blocks)
+    }
+
     /// All blocks.
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
@@ -305,6 +354,27 @@ mod tests {
         for c in 1..16 {
             assert!((f.core_area(c).as_f64() - a0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn hetero_floorplan_apportions_area_by_weight() {
+        // Two big cores (weight 1.0) and four little ones (0.35).
+        let weights = [1.0, 1.0, 0.35, 0.35, 0.35, 0.35];
+        let f = Floorplan::hetero_cmp(&weights, 15.6, 15.6);
+        assert!((f.total_area().as_f64() - 15.6 * 15.6).abs() < 1e-6);
+        assert_eq!(f.core_count(), 6);
+        let big = f.core_area(0).as_f64();
+        let little = f.core_area(2).as_f64();
+        assert!((big / little - 1.0 / 0.35).abs() < 1e-9);
+        // Same per-unit naming scheme as the homogeneous plan.
+        assert!(f.index_of("core3.icache").is_some());
+        assert!(f.index_of("l2").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn hetero_floorplan_rejects_bad_weights() {
+        let _ = Floorplan::hetero_cmp(&[1.0, 0.0], 10.0, 10.0);
     }
 
     #[test]

@@ -6,12 +6,12 @@
 //! Run with: `cargo run --release -p cmp-tlp --example efficiency_explorer`
 
 use cmp_tlp::{profiling, ExperimentalChip};
-use tlp_sim::{CmpConfig, CmpSimulator};
+use tlp_sim::{ChipSpec, CmpConfig, CmpSimulator};
 use tlp_tech::Technology;
 use tlp_workloads::{gang, AppId, Scale};
 
 fn main() {
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let counts = [1usize, 2, 4, 8, 16];
 
     println!(

@@ -12,7 +12,7 @@
 
 use cmp_tlp::prelude::*;
 use tlp_sim::op::Op;
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::json::ToJson;
 use tlp_tech::Technology;
 use tlp_workloads::gang;
@@ -32,7 +32,7 @@ fn first_barrier_id(app: AppId, n: usize) -> u32 {
 }
 
 fn main() {
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let spec = SweepSpec {
         server_loads: Vec::new(),
         apps: vec![AppId::WaterNsq, AppId::Fft],
@@ -43,12 +43,12 @@ fn main() {
 
     let barrier = first_barrier_id(AppId::WaterNsq, 2);
     let plan = FaultPlan::none()
-        .inject(
-            AppId::WaterNsq,
+        .inject_work(
+            WorkloadId::App(AppId::WaterNsq),
             2,
             Fault::DropBarrierArrival { barrier, thread: 1 },
         )
-        .inject(AppId::Fft, 4, Fault::InflateLeakage(100.0));
+        .inject_work(WorkloadId::App(AppId::Fft), 4, Fault::InflateLeakage(100.0));
 
     println!(
         "injecting: dropped arrival at barrier {barrier} (Water-Nsq@2), \

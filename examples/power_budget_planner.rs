@@ -6,7 +6,7 @@
 //! `cargo run --release -p cmp-tlp --example power_budget_planner [watts]`
 
 use cmp_tlp::{profiling, scenario2, ExperimentalChip};
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::units::Watts;
 use tlp_tech::Technology;
 use tlp_workloads::{AppId, Scale};
@@ -17,7 +17,7 @@ fn main() {
         .and_then(|s| s.parse::<f64>().ok())
         .map(Watts::new);
 
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let effective = budget.unwrap_or(chip.calibration().single_core_budget);
     println!(
         "Planning within a {:.1} W budget (default = single-core max, as in the paper)\n",

@@ -8,7 +8,7 @@
 
 use cmp_tlp::{profiling, scenario1, scenario2, ExperimentalChip};
 use tlp_analytic::{AnalyticChip, EfficiencyCurve, Scenario2};
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::Technology;
 use tlp_workloads::{AppId, Scale};
 
@@ -39,7 +39,7 @@ fn main() {
     );
 
     // ---- Experimental model (Sections 3-4) ---------------------------
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech);
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech);
     let app = AppId::WaterNsq;
     let profile = profiling::profile(&chip, app, &[1, 2, 4], Scale::Test, 42);
     println!(

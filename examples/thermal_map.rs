@@ -6,7 +6,7 @@
 
 use cmp_tlp::ExperimentalChip;
 use tlp_power::DynamicBreakdown;
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::units::Watts;
 use tlp_tech::Technology;
 use tlp_workloads::{gang, AppId, Scale};
@@ -18,7 +18,7 @@ fn shade(frac: f64) -> char {
 }
 
 fn main() {
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let v = chip.tech().vdd_nominal();
     let op = chip.config().operating_point;
 

@@ -16,14 +16,14 @@ use cmp_tlp::error::ExperimentError;
 use cmp_tlp::journal::{Journal, JournalError, JournalMode};
 use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepReport, SweepSpec, WorkloadId};
 use cmp_tlp::ExperimentalChip;
-use tlp_sim::{CmpConfig, SimError};
+use tlp_sim::{ChipSpec, SimError};
 use tlp_tech::json::ToJson;
 use tlp_workloads::{AppId, Scale};
 
 const SEED: u64 = 0xC8A5;
 
 fn chip() -> ExperimentalChip {
-    ExperimentalChip::new(CmpConfig::ispass05(16), tlp_tech::Technology::itrs_65nm())
+    ExperimentalChip::from_spec(ChipSpec::ispass05(16), tlp_tech::Technology::itrs_65nm())
 }
 
 fn spec(apps: Vec<AppId>, counts: Vec<usize>) -> SweepSpec {
@@ -66,7 +66,8 @@ fn killed_and_resumed_sweep_is_byte_identical_under_faults() {
     let counts = vec![1, 2];
     // A fault in the grid: the failed cell re-runs deterministically on
     // resume and must not disturb byte-identity.
-    let plan = FaultPlan::none().inject(AppId::Fft, 2, Fault::InflateLeakage(100.0));
+    let plan =
+        FaultPlan::none().inject_work(WorkloadId::App(AppId::Fft), 2, Fault::InflateLeakage(100.0));
 
     let reference = chip()
         .sweep()
@@ -300,7 +301,7 @@ fn three_abandoned_executions_quarantine_the_cell_on_resume() {
 
 #[test]
 fn watchdog_deadline_turns_a_hung_cell_into_a_typed_failure() {
-    let plan = FaultPlan::none().inject(AppId::WaterNsq, 2, Fault::Hang);
+    let plan = FaultPlan::none().inject_work(WorkloadId::App(AppId::WaterNsq), 2, Fault::Hang);
     let report = chip()
         .sweep()
         .grid(spec(vec![AppId::WaterNsq], vec![1, 2]))
@@ -329,7 +330,7 @@ fn watchdog_deadline_turns_a_hung_cell_into_a_typed_failure() {
 fn hung_executions_accumulate_strikes_until_quarantine() {
     let apps = vec![AppId::WaterNsq];
     let counts = vec![1, 2];
-    let plan = FaultPlan::none().inject(AppId::WaterNsq, 2, Fault::Hang);
+    let plan = FaultPlan::none().inject_work(WorkloadId::App(AppId::WaterNsq), 2, Fault::Hang);
     let journal = TempJournal::new("hung-strikes");
 
     // First run checkpoints; two more resume. Each records one

@@ -4,17 +4,17 @@
 
 use cmp_tlp::ExperimentalChip;
 use tlp_sim::config::SleepPolicy;
-use tlp_sim::{CmpConfig, CmpSimulator};
+use tlp_sim::{ChipSpec, CmpConfig, CmpSimulator};
 use tlp_tech::Technology;
 use tlp_workloads::{gang, AppId, Scale};
 
 #[test]
 fn thrifty_barrier_cuts_power_of_imbalanced_apps() {
     let tech = Technology::itrs_65nm();
-    let base_chip = ExperimentalChip::new(CmpConfig::ispass05(16), tech.clone());
+    let base_chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), tech.clone());
     let mut cfg = CmpConfig::ispass05(16);
     cfg.core.sleep = SleepPolicy::THRIFTY;
-    let thrifty_chip = ExperimentalChip::new(cfg, tech);
+    let thrifty_chip = ExperimentalChip::from_spec(ChipSpec::from_config(&cfg), tech);
 
     // Cholesky on 8 cores: the single task queue leaves cores spinning.
     let op = base_chip.config().operating_point;

@@ -15,14 +15,14 @@ use cmp_tlp::sweep::{
 };
 use cmp_tlp::ExperimentalChip;
 use tlp_sim::op::Op;
-use tlp_sim::{CmpConfig, SimError};
+use tlp_sim::{ChipSpec, SimError};
 use tlp_thermal::ThermalError;
 use tlp_workloads::{gang, AppId, Scale};
 
 const SEED: u64 = 0x0F_AB_17;
 
 fn chip() -> ExperimentalChip {
-    ExperimentalChip::new(CmpConfig::ispass05(16), Technology65::get())
+    ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology65::get())
 }
 
 /// One shared 65 nm technology (construction is cheap, this is just for
@@ -78,7 +78,11 @@ fn sweep(spec: SweepSpec, policy: &RetryPolicy, plan: &FaultPlan) -> SweepReport
 fn deadlock_fault_names_the_stuck_barrier_and_cores() {
     let app = AppId::WaterNsq;
     let barrier = first_barrier_id(app, 2);
-    let plan = FaultPlan::none().inject(app, 2, Fault::DropBarrierArrival { barrier, thread: 1 });
+    let plan = FaultPlan::none().inject_work(
+        WorkloadId::App(app),
+        2,
+        Fault::DropBarrierArrival { barrier, thread: 1 },
+    );
     let report = sweep(spec(vec![app], vec![1, 2]), &RetryPolicy::default(), &plan);
 
     let failed = failed_cells(&report);
@@ -117,7 +121,7 @@ fn thermal_runaway_is_retried_with_damping_then_reported() {
     let app = AppId::WaterNsq;
     // The n = 2 cell runs at reduced V/f where leakage is tiny; 100×
     // pushes the feedback loop supercritical even there.
-    let plan = FaultPlan::none().inject(app, 2, Fault::InflateLeakage(100.0));
+    let plan = FaultPlan::none().inject_work(WorkloadId::App(app), 2, Fault::InflateLeakage(100.0));
     let policy = RetryPolicy::default();
     let report = sweep(spec(vec![app], vec![1, 2]), &policy, &plan);
 
@@ -150,7 +154,7 @@ fn thermal_runaway_is_retried_with_damping_then_reported() {
 #[test]
 fn nan_power_is_caught_before_the_thermal_solver() {
     let app = AppId::WaterNsq;
-    let plan = FaultPlan::none().inject(app, 2, Fault::NanPower);
+    let plan = FaultPlan::none().inject_work(WorkloadId::App(app), 2, Fault::NanPower);
     let report = sweep(spec(vec![app], vec![1, 2]), &RetryPolicy::default(), &plan);
 
     let failed = failed_cells(&report);
@@ -170,7 +174,7 @@ fn nan_power_is_caught_before_the_thermal_solver() {
 #[test]
 fn shrunken_cycle_budget_reports_exhaustion_not_deadlock() {
     let app = AppId::WaterNsq;
-    let plan = FaultPlan::none().inject(app, 2, Fault::CycleBudget(5_000));
+    let plan = FaultPlan::none().inject_work(WorkloadId::App(app), 2, Fault::CycleBudget(5_000));
     let report = sweep(spec(vec![app], vec![1, 2]), &RetryPolicy::default(), &plan);
 
     let failed = failed_cells(&report);
@@ -205,12 +209,12 @@ fn faulted_fig3_sweep_completes_with_exact_failure_set() {
     let diverged = AppId::Fft;
     let barrier = first_barrier_id(deadlocked, 2);
     let plan = FaultPlan::none()
-        .inject(
-            deadlocked,
+        .inject_work(
+            WorkloadId::App(deadlocked),
             2,
             Fault::DropBarrierArrival { barrier, thread: 0 },
         )
-        .inject(diverged, 4, Fault::InflateLeakage(100.0));
+        .inject_work(WorkloadId::App(diverged), 4, Fault::InflateLeakage(100.0));
     let report = sweep(
         spec(vec![deadlocked, diverged], vec![1, 2, 4]),
         &RetryPolicy::default(),

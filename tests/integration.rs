@@ -2,12 +2,12 @@
 //! workload generation through simulation, power, and thermal measurement.
 
 use cmp_tlp::{profiling, scenario1, scenario2, ExperimentalChip};
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::Technology;
 use tlp_workloads::{AppId, Scale};
 
 fn chip() -> ExperimentalChip {
-    ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+    ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
 }
 
 #[test]

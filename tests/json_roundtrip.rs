@@ -23,9 +23,9 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use cmp_tlp::jsonout::{calibration_json, operating_point_json, sim_result_json};
-use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepSpec};
+use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepSpec, WorkloadId};
 use cmp_tlp::{profiling, scenario1, scenario2, EfficiencyProfile, ExperimentalChip};
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::json::{Json, ToJson};
 use tlp_tech::units::Hertz;
 use tlp_tech::{OperatingPoint, Technology};
@@ -35,7 +35,9 @@ const SEED: u64 = 42;
 
 fn chip() -> &'static ExperimentalChip {
     static CHIP: OnceLock<ExperimentalChip> = OnceLock::new();
-    CHIP.get_or_init(|| ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm()))
+    CHIP.get_or_init(|| {
+        ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
+    })
 }
 
 fn profile() -> &'static EfficiencyProfile {
@@ -142,7 +144,7 @@ fn sweep_report_round_trips() {
         scale: Scale::Test,
         seed: SEED,
     };
-    let plan = FaultPlan::none().inject(AppId::WaterNsq, 2, Fault::NanPower);
+    let plan = FaultPlan::none().inject_work(WorkloadId::App(AppId::WaterNsq), 2, Fault::NanPower);
     let r = chip()
         .sweep()
         .grid(spec)

@@ -5,7 +5,7 @@
 
 use cmp_tlp::{profiling, scenario1, scenario2, ExperimentalChip};
 use tlp_analytic::{optimal_point, AnalyticChip, EfficiencyCurve, Scenario1, Scenario2};
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::Technology;
 use tlp_workloads::{AppId, Scale};
 
@@ -113,7 +113,7 @@ fn fig2_65nm_suffers_more_from_static_power() {
 fn fig3_power_savings_with_good_efficiency() {
     // "Given sufficient parallel efficiency, power consumption can be
     // effectively reduced as the number of participating cores increases"
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let profile = profiling::profile(&chip, AppId::WaterNsq, &[1, 2, 4], Scale::Small, 51);
     let r = scenario1::run(&chip, &profile, Scale::Small, 51);
     let p2 = r.rows.iter().find(|x| x.n == 2).unwrap().normalized_power;
@@ -132,7 +132,7 @@ fn fig3_memory_bound_apps_beat_iso_performance_target() {
     // is applied to the chip (but not to off-chip memory), the
     // processor-memory speed gap narrows, which benefits memory-bound
     // applications" — visible as actual speedups above 1 (Ocean).
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let profile = profiling::profile(&chip, AppId::Ocean, &[1, 4], Scale::Test, 51);
     let r = scenario1::run(&chip, &profile, Scale::Test, 51);
     let four = r.rows.iter().find(|x| x.n == 4).unwrap();
@@ -145,7 +145,7 @@ fn fig3_memory_bound_apps_beat_iso_performance_target() {
 
 #[test]
 fn fig3_temperature_decreases_with_parallelism() {
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let profile = profiling::profile(&chip, AppId::Fmm, &[1, 4], Scale::Test, 53);
     let r = scenario1::run(&chip, &profile, Scale::Test, 53);
     assert!(
@@ -162,7 +162,7 @@ fn fig3_temperature_decreases_with_parallelism() {
 fn fig4_gap_largest_for_compute_intensive_apps() {
     // "The gap is most significant in the compute-intensive application
     // (FMM), and least so for Radix, which is memory-bound."
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let gap = |app: AppId| {
         // Full experiment scale: reduced scales leave compute-bound power
         // warmup-depressed and blur the contrast (see EXPERIMENTS.md).
@@ -184,7 +184,7 @@ fn fig4_radix_runs_at_nominal_for_small_n() {
     // "the nominal power consumption of Radix is low enough that it allows
     // up to eight-core configurations to run at nominal voltage and
     // frequency without exceeding our power budget"
-    let chip = ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm());
+    let chip = ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm());
     let profile = profiling::profile(&chip, AppId::Radix, &[1, 2, 4], Scale::Test, 57);
     let r = scenario2::run(&chip, &profile, Scale::Test, 57, None);
     for row in r.rows.iter().filter(|x| x.n <= 4) {

@@ -4,16 +4,16 @@
 //! only thing allowed to differ, and it lives outside the deterministic
 //! payload.
 
-use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepReport, SweepSpec};
+use cmp_tlp::sweep::{Fault, FaultPlan, RetryPolicy, SweepReport, SweepSpec, WorkloadId};
 use cmp_tlp::ExperimentalChip;
 use tlp_sim::op::Op;
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::json::ToJson;
 use tlp_tech::Technology;
 use tlp_workloads::{gang, AppId, Scale};
 
 fn chip() -> ExperimentalChip {
-    ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+    ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
 }
 
 fn spec() -> SweepSpec {
@@ -124,14 +124,14 @@ fn determinism_holds_under_injected_faults() {
     };
     let policy = RetryPolicy::default();
     let plan = FaultPlan::none()
-        .inject(AppId::Fft, 2, Fault::NanPower)
-        .inject(
-            AppId::WaterNsq,
+        .inject_work(WorkloadId::App(AppId::Fft), 2, Fault::NanPower)
+        .inject_work(
+            WorkloadId::App(AppId::WaterNsq),
             4,
             Fault::DropBarrierArrival { barrier, thread: 1 },
         )
         // Baseline-anchor fault: fails every Radix cell with one diagnosis.
-        .inject(AppId::Radix, 1, Fault::NanPower);
+        .inject_work(WorkloadId::App(AppId::Radix), 1, Fault::NanPower);
 
     let serial = run_serial(&chip, &spec, &policy, &plan);
     let parallel = run(&chip, &spec, &policy, &plan, 6);

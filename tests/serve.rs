@@ -19,7 +19,7 @@ use cmp_tlp::serve::jobs::{FsJobStore, JobRecord, JobState, JobStore};
 use cmp_tlp::serve::{ServeConfig, ServeOutcome, Server};
 use cmp_tlp::sweep::SweepSpec;
 use cmp_tlp::ExperimentalChip;
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::json::ToJson;
 use tlp_workloads::{AppId, Scale};
 
@@ -198,7 +198,7 @@ fn wait_for_state(addr: SocketAddr, id: &str, state: &str, limit: Duration) {
 }
 
 fn chip() -> ExperimentalChip {
-    ExperimentalChip::new(CmpConfig::ispass05(16), tlp_tech::Technology::itrs_65nm())
+    ExperimentalChip::from_spec(ChipSpec::ispass05(16), tlp_tech::Technology::itrs_65nm())
 }
 
 /// The exact bytes the CLI's `--json` mode prints for this spec: the

@@ -19,7 +19,7 @@ use cmp_tlp::jsonout::request_summary_json;
 use cmp_tlp::scenario1::RequestSummary;
 use cmp_tlp::sweep::{CellOutcome, SweepReport, SweepSpec, WorkloadId};
 use cmp_tlp::ExperimentalChip;
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::json::{Json, ToJson};
 use tlp_tech::Technology;
 use tlp_workloads::{AppId, Scale, ServerSpec};
@@ -27,7 +27,7 @@ use tlp_workloads::{AppId, Scale, ServerSpec};
 const SEED: u64 = 0x5E12;
 
 fn chip() -> ExperimentalChip {
-    ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+    ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
 }
 
 /// A mixed grid: one batch application next to two offered loads, so

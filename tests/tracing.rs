@@ -16,12 +16,12 @@ use std::path::PathBuf;
 use cmp_tlp::obs::metrics::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 use cmp_tlp::obs::{chrome, summary, SpanRec};
 use cmp_tlp::prelude::*;
-use tlp_sim::CmpConfig;
+use tlp_sim::ChipSpec;
 use tlp_tech::json::Json;
 use tlp_tech::Technology;
 
 fn chip() -> ExperimentalChip {
-    ExperimentalChip::new(CmpConfig::ispass05(16), Technology::itrs_65nm())
+    ExperimentalChip::from_spec(ChipSpec::ispass05(16), Technology::itrs_65nm())
 }
 
 fn spec() -> SweepSpec {
