@@ -17,15 +17,17 @@
 //! crash-safe cell journal: kill the run, resume it, get byte-identical
 //! output) and `--cell-deadline SECS` (per-cell watchdog).
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use cmp_tlp::check::prop::{run_suite, CheckConfig, SuiteReport};
-use cmp_tlp::cli_args::{parse_u64_flag, take_value};
+use cmp_tlp::cli_args::{parse_u64_flag, take_flag, take_value};
 use cmp_tlp::jsonout;
 use cmp_tlp::prelude::*;
 use cmp_tlp::serve::{ServeConfig, Server};
+use cmp_tlp::shard::{run_worker, WorkerConfig};
 use cmp_tlp::{checks, report, scenario1, scenario2};
 use tlp_sim::{ChipSpec, CmpConfig};
 use tlp_tech::json::{Json, ToJson};
@@ -102,6 +104,9 @@ fn usage() -> ! {
                                           add --server-load RPS (repeatable) for open-loop\n\
                                           server rows with request-latency percentiles\n\
            serve --state-dir DIR          sweep-as-a-service HTTP daemon (see serve options)\n\
+           work --coordinator URL         worker loop for a sharded sweep: claims leases\n\
+                                          from a serve daemon (POST /shards creates one),\n\
+                                          computes ranges, uploads journal segments\n\
            measure <app> <N> <GHz>        run and measure one configuration\n\
            check                          run the property-based differential oracle suite\n\
            validate-trace <path>          parse a --trace file and verify its structure\n\
@@ -144,6 +149,16 @@ fn usage() -> ! {
            --request-deadline SECS        read/write deadline per request (default 10)\n\
            --cell-deadline SECS           per-cell watchdog for daemon-run sweeps\n\
            --api-key KEY                  require Authorization: Bearer KEY on POST /sweeps\n\
+         work options:\n\
+           --coordinator HOST:PORT        the serve daemon to claim leases from (required)\n\
+           --shard ID                     pin to one shard (default: discover open shards)\n\
+           --name NAME                    worker name shown in shard status views\n\
+           --poll SECS                    idle poll interval while waiting for leases\n\
+                                          (default 0.5; fractional allowed)\n\
+           --max-leases N                 exit after completing N leases (default: run\n\
+                                          until the work is done)\n\
+           --work-dir DIR                 scratch directory for per-lease journals\n\
+           --api-key KEY                  sent as x-api-key with every request\n\
          check options:\n\
            --seed N                       run seed (decimal or 0x hex; default 0xD1CE)\n\
            --cases M                      cases per cheap property (default 256)\n\
@@ -400,6 +415,7 @@ fn run_command(
             Ok(())
         }
         "serve" => run_serve(args, common),
+        "work" => run_work(args, common),
         "check" => run_check(args, common),
         "validate-trace" => validate_trace(args),
         "measure" => {
@@ -520,6 +536,68 @@ fn run_serve(args: &[String], common: &CommonArgs) -> Result<(), CliError> {
         // distinguishable from "failed" for wrappers.
         std::process::exit(130);
     }
+    Ok(())
+}
+
+/// The `work` subcommand: the distributed-sweep worker loop. Claims
+/// work-range leases from a coordinating serve daemon, computes each
+/// range through the ordinary sweep engine with a local journal, and
+/// uploads checksummed segments until the shard completes (exit 0) or
+/// SIGINT/SIGTERM lands (exit 0 after the current lease; the lease
+/// either uploads or expires and is reassigned).
+fn run_work(args: &[String], common: &CommonArgs) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let coordinator = take_value(&mut args, "--coordinator")?
+        .ok_or("work needs --coordinator HOST:PORT (a running cmp-tlp serve)")?;
+    let coordinator = coordinator
+        .strip_prefix("http://")
+        .unwrap_or(&coordinator)
+        .trim_end_matches('/')
+        .to_string();
+    let shard = take_value(&mut args, "--shard")?;
+    let name = take_value(&mut args, "--name")?
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let poll = match take_value(&mut args, "--poll")? {
+        Some(v) => parse_secs_flag("--poll", &v)?,
+        None => Duration::from_millis(500),
+    };
+    let max_leases = take_value(&mut args, "--max-leases")?
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad --max-leases '{v}'"))
+        })
+        .transpose()?;
+    let work_dir = take_value(&mut args, "--work-dir")?
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("cmp-tlp-work-{}", std::process::id()))
+        });
+    let api_key = take_value(&mut args, "--api-key")?;
+    // Test hook, deliberately undocumented: die like kill -9 after
+    // computing a range but before uploading it, so fault-tolerance
+    // tests can stage a worker death at the worst possible moment.
+    let chaos_abort_before_upload = take_flag(&mut args, "--chaos-abort-before-upload");
+    if let Some(unknown) = args.first() {
+        return Err(format!("unknown work option '{unknown}'").into());
+    }
+
+    let config = WorkerConfig {
+        coordinator,
+        shard,
+        name,
+        threads: common.threads,
+        poll,
+        max_leases,
+        work_dir,
+        api_key,
+        chaos_abort_before_upload,
+        interrupt: Some(install_interrupt_flag()),
+    };
+    let summary = run_worker(&config).map_err(|e| CliError::chained(&e))?;
+    eprintln!(
+        "work: done; {} lease(s), {} segment(s) uploaded, {} duplicate(s)",
+        summary.leases, summary.segments, summary.duplicates
+    );
     Ok(())
 }
 

@@ -51,7 +51,10 @@ use tlp_workloads::{AppId, Scale};
 
 use crate::chipstate::ExperimentalChip;
 use crate::serve::http::{read_request, HttpLimits, Response};
+use crate::serve::jobs::JobRecord;
 use crate::serve::router;
+use crate::shard::chaos::run_chaotic;
+use crate::shard::{Clock as ShardClock, ShardBoard};
 use crate::sweep::{Fault, FaultPlan, RetryPolicy, SweepSpec, WorkloadId};
 use crate::{profiling, scenario1};
 
@@ -771,6 +774,144 @@ pub fn serve_http_parser() -> Property {
     )
 }
 
+/// One randomized shard-merge case: a small grid, a lease granularity,
+/// and a chaos seed driving the distribution-layer fault injector.
+#[derive(Debug, Clone)]
+pub struct ShardCase {
+    /// Applications in the grid.
+    pub apps: Vec<AppId>,
+    /// Server offered loads in the grid (0 or 1 entries).
+    pub server_loads: Vec<u32>,
+    /// Core counts (always a prefix of `[1, 2, 4]`).
+    pub core_counts: Vec<usize>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Workload rows per lease (the shard partitioning).
+    pub lease_works: usize,
+    /// Seed for the chaos driver's fate draws.
+    pub chaos_seed: u64,
+}
+
+fn gen_shard_case(rng: &mut SplitMix64) -> ShardCase {
+    let apps = gen::subset(rng, &SWEEP_APPS, 1, 2);
+    let server_loads = if rng.gen_range_usize(0..3) == 0 {
+        vec![gen::pick(rng, &SWEEP_SERVER_LOADS)]
+    } else {
+        Vec::new()
+    };
+    let core_counts = gen::prefix(rng, &[1usize, 2, 4], 1);
+    let seed = rng.next_u64() & 0xFFFF;
+    let lease_works = rng.gen_range_usize(1..3);
+    let chaos_seed = rng.next_u64();
+    ShardCase {
+        apps,
+        server_loads,
+        core_counts,
+        seed,
+        lease_works,
+        chaos_seed,
+    }
+}
+
+fn shrink_shard_case(c: &ShardCase) -> Vec<ShardCase> {
+    let mut out = Vec::new();
+    if !c.server_loads.is_empty() {
+        out.push(ShardCase {
+            server_loads: Vec::new(),
+            ..c.clone()
+        });
+    }
+    for apps in shrink::remove_each(&c.apps, 1) {
+        out.push(ShardCase { apps, ..c.clone() });
+    }
+    if c.core_counts.len() > 1 {
+        out.push(ShardCase {
+            core_counts: c.core_counts[..c.core_counts.len() - 1].to_vec(),
+            ..c.clone()
+        });
+    }
+    if c.lease_works > 1 {
+        out.push(ShardCase {
+            lease_works: 1,
+            ..c.clone()
+        });
+    }
+    out
+}
+
+/// A scratch directory deleted when the case ends, pass or fail.
+struct TempDir(PathBuf);
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn scratch_dir(tag: u64) -> Result<TempDir, String> {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "cmp-tlp-shard-oracle-{}-{unique}-{tag:x}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    Ok(TempDir(dir))
+}
+
+fn shard_merge_check(c: &ShardCase) -> Result<(), String> {
+    let chip = shared_chip();
+    let dir = scratch_dir(c.seed ^ c.chaos_seed)?;
+    let (clock, hands) = ShardClock::manual(0);
+    let board = ShardBoard::open(dir.0.join("board"), clock)
+        .map_err(|e| format!("cannot open the shard board: {e}"))?;
+    let mut job = JobRecord::new(c.apps.clone(), c.core_counts.clone(), Scale::Test, c.seed);
+    job.server_loads = c.server_loads.clone();
+    let view = board
+        .create(job.clone(), c.lease_works, 30_000, chip)
+        .map_err(|e| format!("cannot create the shard: {e}"))?;
+
+    let tally = run_chaotic(&board, chip, &view.id, c.chaos_seed, &hands, &dir.0)?;
+
+    let merged = board
+        .report(&view.id)
+        .map_err(|e| format!("merged report unavailable: {e}"))?
+        .ok_or("the chaos run converged but left no merged report")?
+        .to_string_pretty();
+    let direct = chip
+        .sweep()
+        .grid(job.spec())
+        .serial()
+        .run()
+        .map_err(|e| format!("direct sweep refused to start: {e}"))?
+        .to_json()
+        .to_string_pretty();
+    if merged != direct {
+        return Err(format!(
+            "distributed merge diverged from the direct run after {} lease(s) \
+             ({} kill(s), {} duplicate(s), {} zombie(s), {} torn):\n\
+             direct:\n{direct}\nmerged:\n{merged}",
+            tally.leases, tally.kills, tally.duplicates, tally.zombies, tally.torn
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 13: shard-merge identity. A sweep cut into leased ranges and
+/// driven to completion under distribution-layer chaos — worker kills,
+/// duplicate and zombie uploads, torn transfers — must merge to a
+/// report byte-identical to an undisturbed single-process run.
+pub fn shard_merge_identity() -> Property {
+    Property::new(
+        "shard-merge-identity",
+        "a chaos-sharded distributed sweep merges to the direct run's exact report",
+        gen_shard_case,
+        shrink_shard_case,
+        shard_merge_check,
+    )
+    .expensive()
+}
+
 /// The complete differential-oracle suite: the physics-layer oracles
 /// from [`tlp_check::oracles`] plus the experiment-layer oracles and
 /// the serve-surface fuzzer.
@@ -784,6 +925,7 @@ pub fn suite() -> Vec<Property> {
     props.push(serve_http_parser());
     props.push(tlp_check::server_oracles::latency_sanity());
     props.push(tlp_check::server_oracles::server_ff_identity());
+    props.push(shard_merge_identity());
     props
 }
 
@@ -810,6 +952,7 @@ mod tests {
                 "serve-http-parser",
                 "latency-sanity",
                 "server-ff-identity",
+                "shard-merge-identity",
             ]
         );
     }
@@ -844,6 +987,22 @@ mod tests {
                 r.counterexample.unwrap().render()
             );
         }
+    }
+
+    #[test]
+    fn shard_oracle_passes_a_small_pinned_run() {
+        // Each case is a full chaos-driven distributed run plus a direct
+        // reference run, so the pinned budget stays modest.
+        let prop = shard_merge_identity();
+        let r = prop.run(&CheckConfig {
+            seed: 0x5AAD,
+            cases: 12,
+        });
+        assert!(
+            r.passed(),
+            "shard-merge-identity failed: {}",
+            r.counterexample.unwrap().render()
+        );
     }
 
     /// Measures the actual analytic/experimental divergence over the

@@ -238,7 +238,9 @@ pub fn parse_budget(value: &str) -> Result<(f64, f64), String> {
 }
 
 /// Removes every occurrence of `flag`; returns whether any was present.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+/// Public for the same reason as [`take_value`]: subcommands strip
+/// their own boolean flags with the shared dialect.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     let before = args.len();
     args.retain(|a| a != flag);
     args.len() != before

@@ -228,8 +228,9 @@ pub struct Journal {
 }
 
 /// FNV-1a 64-bit — the workspace's standard content hash (the check
-/// harness derives case seeds the same way).
-fn fnv64(bytes: &[u8]) -> u64 {
+/// harness derives case seeds the same way). Public so the shard layer
+/// checksums canonical segments with the journal's own hash.
+pub fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -268,21 +269,54 @@ pub fn sweep_fingerprint_ext(
     fnv64(text.as_bytes())
 }
 
-fn field<'a>(j: &'a Json, key: &str) -> Option<&'a Json> {
+/// Renders one journal line for `record`: the FNV-1a-64 checksum of the
+/// compact JSON rendering, a space, and the rendering itself (no
+/// trailing newline) — exactly the line [`Journal`] appends. The shard
+/// merge uses it to rebuild canonical segments whose lines are
+/// byte-identical to ones the journal itself would write.
+pub fn render_line(record: &Json) -> String {
+    let text = record.to_string_compact();
+    format!("{:016x} {text}", fnv64(text.as_bytes()))
+}
+
+/// Scans raw journal `text` with the journal's own torn-tail-tolerant
+/// recovery rules: every checksum-valid, newline-terminated line up to
+/// the first bad one parses into a record; everything from the first
+/// bad line on is the discarded tail, returned as a byte count. The
+/// shard layer validates uploaded segments through this, so a torn or
+/// truncated upload is rejected by the exact FNV recovery path a local
+/// resume uses.
+pub fn checked_records(text: &str) -> (Vec<Json>, usize) {
+    let mut consumed = 0usize;
+    let mut records = Vec::new();
+    for line in text.split_inclusive('\n') {
+        let body = line.strip_suffix('\n').unwrap_or(line);
+        match Journal::parse_line(body) {
+            Some(record) if line.ends_with('\n') => {
+                consumed += line.len();
+                records.push(record);
+            }
+            _ => break,
+        }
+    }
+    (records, text.len() - consumed)
+}
+
+pub(crate) fn field<'a>(j: &'a Json, key: &str) -> Option<&'a Json> {
     match j {
         Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
         _ => None,
     }
 }
 
-fn num_field(j: &Json, key: &str) -> Option<f64> {
+pub(crate) fn num_field(j: &Json, key: &str) -> Option<f64> {
     match field(j, key)? {
         Json::Num(x) => Some(*x),
         _ => None,
     }
 }
 
-fn str_field<'a>(j: &'a Json, key: &str) -> Option<&'a str> {
+pub(crate) fn str_field<'a>(j: &'a Json, key: &str) -> Option<&'a str> {
     match field(j, key)? {
         Json::Str(s) => Some(s),
         _ => None,
@@ -548,7 +582,11 @@ impl Journal {
         ]))
     }
 
-    fn header_record(spec: &SweepSpec, fingerprint: u64, chip_tag: Option<&str>) -> Json {
+    /// The header record a journal for `(spec, fingerprint, chip_tag)`
+    /// begins with. Public so the shard merge writes a canonical merged
+    /// journal whose header is byte-identical to one the sweep engine
+    /// would create itself.
+    pub fn header_record(spec: &SweepSpec, fingerprint: u64, chip_tag: Option<&str>) -> Json {
         let mut pairs = vec![
             ("kind", Json::from("header")),
             ("version", Json::from(VERSION)),
@@ -582,10 +620,8 @@ impl Journal {
                 location: e.path,
             });
         }
-        let text = record.to_string_compact();
         self.apply(&record);
-        self.lines
-            .push(format!("{:016x} {text}", fnv64(text.as_bytes())));
+        self.lines.push(render_line(&record));
         self.flush()?;
         tlp_obs::metrics::JOURNAL_RECORDS_WRITTEN.incr();
         Ok(())

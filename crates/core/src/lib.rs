@@ -62,6 +62,7 @@ pub mod report;
 pub mod scenario1;
 pub mod scenario2;
 pub mod serve;
+pub mod shard;
 pub mod sweep;
 pub mod transient;
 

@@ -1,7 +1,7 @@
 //! Endpoint handlers: route → response, given the shared server state.
 
 use std::net::IpAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tlp_obs::metrics::{SERVE_HTTP_RATE_LIMITED, SERVE_JOBS_SHED, SERVE_JOBS_SUBMITTED};
 use tlp_tech::json::{Json, JsonLimits};
@@ -9,10 +9,11 @@ use tlp_tech::json::{Json, JsonLimits};
 use super::http::{Request, Response};
 use super::jobs::{parse_submission, scale_name, JobRecord, JobState, JobStore, JobStoreError};
 use super::middleware::Admission;
-use super::router::{route, Route};
+use super::router::{query_param, route, Route};
 use super::{pump, Ctx};
-use crate::journal::{Journal, JournalMode};
+use crate::journal::{num_field, str_field, Journal, JournalMode};
 use crate::pool::Pool;
+use crate::shard::{LeaseOffer, SegmentOutcome, ShardError};
 use crate::sweep::{FaultPlan, RetryPolicy};
 use tlp_tech::json::ToJson;
 
@@ -35,9 +36,16 @@ pub(crate) fn handle<'a>(ctx: Ctx<'a>, p: &Pool<'a>, req: &Request, ip: IpAddr) 
         ("GET", Route::Metrics) => Response::text(200, "OK", tlp_obs::prometheus::render()),
         ("GET", Route::Sweeps) => list(ctx),
         ("POST", Route::Sweeps) => submit(ctx, p, req),
-        ("GET", Route::Sweep(id)) => status(ctx, &id),
+        ("GET", Route::Sweep(id)) => status(ctx, req, &id),
         ("GET", Route::SweepReport(id)) => report(ctx, &id),
         ("GET", Route::SweepTrace(id)) => trace(ctx, &id),
+        ("GET", Route::Shards) => shard_list(ctx),
+        ("POST", Route::Shards) => shard_create(ctx, req),
+        ("GET", Route::Shard(id)) => shard_status(ctx, &id),
+        ("GET", Route::ShardReport(id)) => shard_report(ctx, &id),
+        ("POST", Route::ShardLease(id)) => shard_lease(ctx, req, &id),
+        ("POST", Route::LeaseHeartbeat(id)) => lease_heartbeat(ctx, req, &id),
+        ("PUT", Route::LeaseSegment(id)) => lease_segment(ctx, req, &id),
         (_, Route::NotFound) => Response::error(404, "Not Found", "no such endpoint"),
         (method, _) => Response::error(
             405,
@@ -143,12 +151,25 @@ fn list(ctx: Ctx<'_>) -> Response {
     }
 }
 
+/// Whether the request carries the configured API key, either as
+/// `Authorization: Bearer <key>` or as the worker loop's `x-api-key`
+/// header. Trivially true when no key is configured.
+fn authorized(ctx: Ctx<'_>, req: &Request) -> bool {
+    let Some(key) = &ctx.config.api_key else {
+        return true;
+    };
+    let bearer = format!("Bearer {key}");
+    req.header("authorization").map(str::trim) == Some(bearer.as_str())
+        || req.header("x-api-key").map(str::trim) == Some(key.as_str())
+}
+
+fn unauthorized() -> Response {
+    Response::error(401, "Unauthorized", "missing or invalid API key")
+}
+
 fn submit<'a>(ctx: Ctx<'a>, p: &Pool<'a>, req: &Request) -> Response {
-    if let Some(key) = &ctx.config.api_key {
-        let expected = format!("Bearer {key}");
-        if req.header("authorization").map(str::trim) != Some(expected.as_str()) {
-            return Response::error(401, "Unauthorized", "missing or invalid bearer token");
-        }
+    if !authorized(ctx, req) {
+        return unauthorized();
     }
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "Bad Request", "body is not UTF-8");
@@ -216,11 +237,41 @@ fn open_journal(ctx: Ctx<'_>, record: &JobRecord) -> Option<Journal> {
     .ok()
 }
 
-fn status(ctx: Ctx<'_>, id: &str) -> Response {
-    let snap = match ctx.store.snapshot(id) {
+/// The progress a long-poller watches: the lifecycle state plus how many
+/// cells the journal has settled. Any change releases the poll.
+fn progress_mark(ctx: Ctx<'_>, record: &JobRecord) -> (JobState, usize) {
+    let completed = open_journal(ctx, record)
+        .map(|j| j.completed_cells())
+        .unwrap_or(0);
+    (record.state, completed)
+}
+
+fn status(ctx: Ctx<'_>, req: &Request, id: &str) -> Response {
+    let mut snap = match ctx.store.snapshot(id) {
         Ok(snap) => snap,
         Err(e) => return store_error(&e),
     };
+    // `?wait=<secs>` long-poll: hold the response until the job makes
+    // progress or the wait runs out. The wait is clamped safely under
+    // the request deadline so the pool watchdog never reaps a healthy
+    // poll, and the loop yields early on drain or cancellation.
+    if let Some(wait_secs) = query_param(&req.target, "wait").and_then(|v| v.parse::<u64>().ok()) {
+        let margin = Duration::from_secs(1);
+        let budget =
+            Duration::from_secs(wait_secs).min(ctx.config.request_deadline.saturating_sub(margin));
+        let deadline = Instant::now() + budget;
+        let mark = progress_mark(ctx, &snap.value);
+        while Instant::now() < deadline && !ctx.draining() && !tlp_obs::cancel::cancelled() {
+            std::thread::sleep(Duration::from_millis(50));
+            snap = match ctx.store.snapshot(id) {
+                Ok(next) => next,
+                Err(e) => return store_error(&e),
+            };
+            if progress_mark(ctx, &snap.value) != mark {
+                break;
+            }
+        }
+    }
     let mut doc = job_summary(&snap.value);
     if let Some(journal) = open_journal(ctx, &snap.value) {
         doc.set("cells_completed", journal.completed_cells());
@@ -286,4 +337,215 @@ fn trace(ctx: Ctx<'_>, id: &str) -> Response {
         "OK",
         &Json::object([("id", Json::from(id)), ("records", Json::Arr(records))]),
     )
+}
+
+/// Maps a typed [`ShardError`] to its HTTP status. Every distributed
+/// failure mode keeps a distinct code so workers can tell "claim a new
+/// lease" (410) from "your segment is wrong" (422) from "someone else
+/// finished this range differently" (409).
+fn shard_error(e: &ShardError) -> Response {
+    let (status, reason) = match e {
+        ShardError::UnknownShard { .. } | ShardError::UnknownLease { .. } => (404, "Not Found"),
+        ShardError::SegmentConflict { .. } => (409, "Conflict"),
+        ShardError::LeaseExpired { .. } => (410, "Gone"),
+        ShardError::SegmentRejected { .. } => (422, "Unprocessable Content"),
+        ShardError::BadRequest { .. } => (400, "Bad Request"),
+        ShardError::Merge(_)
+        | ShardError::Report { .. }
+        | ShardError::Io { .. }
+        | ShardError::Corrupt { .. } => (500, "Internal Server Error"),
+    };
+    Response::error(status, reason, &e.to_string())
+}
+
+/// Renders a job's sweep axes in the submission dialect, so a lease
+/// grant's `spec` round-trips through [`parse_submission`] on the
+/// worker unchanged.
+fn submission_doc(record: &JobRecord) -> Json {
+    let mut doc = Json::object([
+        ("apps", Json::array(&record.apps, |a| a.name())),
+        (
+            "server_loads",
+            Json::array(&record.server_loads, |&rps| rps as u64),
+        ),
+        ("core_counts", Json::array(&record.core_counts, |&n| n)),
+        ("scale", Json::from(scale_name(record.scale))),
+        ("seed", Json::from(format!("{:#x}", record.seed))),
+    ]);
+    if let Some((big, little)) = record.core_mix {
+        doc.set("core_mix", Json::array(&[big, little], |&n| n));
+    }
+    if let Some((area, tdp)) = record.budget {
+        doc.set(
+            "budget",
+            Json::object([
+                ("area_mm2", Json::from(area)),
+                ("tdp_watts", Json::from(tdp)),
+            ]),
+        );
+    }
+    doc
+}
+
+fn shard_list(ctx: Ctx<'_>) -> Response {
+    let shards: Vec<Json> = ctx.shards.list().iter().map(|v| v.to_json()).collect();
+    Response::json(200, "OK", &Json::object([("shards", Json::Arr(shards))]))
+}
+
+fn shard_create(ctx: Ctx<'_>, req: &Request) -> Response {
+    if !authorized(ctx, req) {
+        return unauthorized();
+    }
+    if ctx.draining() {
+        return Response::error(503, "Service Unavailable", "daemon is draining")
+            .with_retry_after(5);
+    }
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "Bad Request", "body is not UTF-8");
+    };
+    let doc = match Json::parse_with_limits(body, JsonLimits::untrusted(ctx.config.max_body_bytes))
+    {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, "Bad Request", &format!("invalid JSON: {e}")),
+    };
+    let record = match parse_submission(&doc) {
+        Ok(record) => record,
+        Err(message) => return Response::error(422, "Unprocessable Content", &message),
+    };
+    let lease_works = match num_field(&doc, "lease_works") {
+        None => 1,
+        Some(v) if v >= 1.0 && v.fract() == 0.0 => v as usize,
+        Some(_) => {
+            return Response::error(
+                422,
+                "Unprocessable Content",
+                "\"lease_works\" must be a positive integer (rows per lease)",
+            )
+        }
+    };
+    let lease_secs = match num_field(&doc, "lease_secs") {
+        None => 60,
+        Some(v) if v >= 1.0 && v.fract() == 0.0 => v as u64,
+        Some(_) => {
+            return Response::error(
+                422,
+                "Unprocessable Content",
+                "\"lease_secs\" must be a positive integer",
+            )
+        }
+    };
+    match ctx.shards.create(
+        record,
+        lease_works,
+        lease_secs.saturating_mul(1000),
+        ctx.chip,
+    ) {
+        Ok(view) => Response::json(201, "Created", &view.to_json()),
+        Err(e) => shard_error(&e),
+    }
+}
+
+fn shard_status(ctx: Ctx<'_>, id: &str) -> Response {
+    match ctx.shards.view(id) {
+        Ok(view) => Response::json(200, "OK", &view.to_json()),
+        Err(e) => shard_error(&e),
+    }
+}
+
+fn shard_report(ctx: Ctx<'_>, id: &str) -> Response {
+    match ctx.shards.report(id) {
+        Ok(Some(report)) => Response::json(200, "OK", &report),
+        Ok(None) => Response::error(
+            409,
+            "Conflict",
+            &format!("shard {id} is not fully merged; no report yet"),
+        ),
+        Err(e) => shard_error(&e),
+    }
+}
+
+fn shard_lease(ctx: Ctx<'_>, req: &Request, id: &str) -> Response {
+    if !authorized(ctx, req) {
+        return unauthorized();
+    }
+    // The worker name is advisory (shown in status views); a missing or
+    // malformed body claims anonymously rather than failing the claim.
+    let worker = std::str::from_utf8(&req.body)
+        .ok()
+        .and_then(|body| {
+            Json::parse_with_limits(body, JsonLimits::untrusted(ctx.config.max_body_bytes)).ok()
+        })
+        .and_then(|doc| str_field(&doc, "worker").map(str::to_string))
+        .unwrap_or_else(|| "anonymous".to_string());
+    match ctx.shards.lease(id, &worker) {
+        Ok(LeaseOffer::Complete) => Response::json(
+            200,
+            "OK",
+            &Json::object([("status", Json::from("complete"))]),
+        ),
+        Ok(LeaseOffer::Wait) => {
+            Response::json(200, "OK", &Json::object([("status", Json::from("wait"))]))
+        }
+        Ok(LeaseOffer::Granted(grant)) => Response::json(
+            200,
+            "OK",
+            &Json::object([
+                ("status", Json::from("granted")),
+                ("lease", Json::from(grant.lease_id.as_str())),
+                ("shard", Json::from(grant.shard_id.as_str())),
+                ("lease_ms", Json::from(grant.lease_ms)),
+                (
+                    "range",
+                    Json::object([
+                        ("lo", Json::from(grant.range.lo)),
+                        ("hi", Json::from(grant.range.hi)),
+                    ]),
+                ),
+                ("spec", submission_doc(&grant.job)),
+            ]),
+        ),
+        Err(e) => shard_error(&e),
+    }
+}
+
+fn lease_heartbeat(ctx: Ctx<'_>, req: &Request, id: &str) -> Response {
+    if !authorized(ctx, req) {
+        return unauthorized();
+    }
+    match ctx.shards.heartbeat(id) {
+        Ok(lease_ms) => Response::json(
+            200,
+            "OK",
+            &Json::object([
+                ("status", Json::from("ok")),
+                ("lease_ms", Json::from(lease_ms)),
+            ]),
+        ),
+        Err(e) => shard_error(&e),
+    }
+}
+
+fn lease_segment(ctx: Ctx<'_>, req: &Request, id: &str) -> Response {
+    if !authorized(ctx, req) {
+        return unauthorized();
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "Bad Request", "segment is not UTF-8 journal text");
+    };
+    match ctx.shards.submit_segment(id, text, ctx.chip) {
+        Ok(SegmentOutcome::Accepted { merged }) => Response::json(
+            200,
+            "OK",
+            &Json::object([
+                ("status", Json::from("accepted")),
+                ("merged", Json::from(merged)),
+            ]),
+        ),
+        Ok(SegmentOutcome::Duplicate) => Response::json(
+            200,
+            "OK",
+            &Json::object([("status", Json::from("duplicate"))]),
+        ),
+        Err(e) => shard_error(&e),
+    }
 }

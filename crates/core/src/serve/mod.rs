@@ -15,6 +15,18 @@
 //! | `GET /sweeps/{id}/report` | Final report (byte-identical to CLI `--json`)|
 //! | `GET /sweeps/{id}/trace`  | Raw journal records                          |
 //! | `GET /metrics`          | Prometheus text exposition                     |
+//! | `POST /shards`          | Submit a sweep for distributed execution       |
+//! | `GET /shards`           | List shards                                    |
+//! | `GET /shards/{id}`      | Shard status (ranges, leases, merge state)     |
+//! | `GET /shards/{id}/report` | Merged report (identical to a direct run)    |
+//! | `POST /shards/{id}/lease` | Worker claims a work range under a lease     |
+//! | `POST /leases/{id}/heartbeat` | Worker extends a live lease              |
+//! | `PUT /leases/{id}/segment` | Worker uploads a range's journal segment    |
+//!
+//! `GET /sweeps/{id}` additionally honors `?wait=<secs>`: the response
+//! is held back until the job's state or completed-cell count changes
+//! (or the wait — clamped under the request deadline — runs out), so
+//! pollers see progress without a tight request loop.
 //!
 //! Robustness posture:
 //!
@@ -66,6 +78,7 @@ use tlp_tech::Technology;
 use crate::chipstate::ExperimentalChip;
 use crate::error::{error_chain, ExperimentError};
 use crate::pool::{self, Pool};
+use crate::shard::{Clock, ShardBoard};
 use http::{HttpLimits, Response};
 use jobs::{FsJobStore, JobState, JobStore, JobStoreError};
 use middleware::RateLimiter;
@@ -154,6 +167,12 @@ pub enum ServeError {
     },
     /// The job store failed.
     Store(JobStoreError),
+    /// The shard board (distributed-sweep coordinator state) failed to
+    /// open.
+    Shards {
+        /// Rendered [`crate::shard::ShardError`].
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -161,6 +180,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Bind { addr, message } => write!(f, "cannot bind {addr}: {message}"),
             ServeError::Store(e) => write!(f, "job store failure: {e}"),
+            ServeError::Shards { message } => write!(f, "shard board failure: {message}"),
         }
     }
 }
@@ -169,7 +189,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Store(e) => Some(e),
-            ServeError::Bind { .. } => None,
+            ServeError::Bind { .. } | ServeError::Shards { .. } => None,
         }
     }
 }
@@ -193,6 +213,7 @@ pub(crate) struct Ctx<'a> {
     pub(crate) limiter: &'a RateLimiter,
     pub(crate) dispatch: &'a Mutex<Dispatch>,
     pub(crate) chip: &'a ExperimentalChip,
+    pub(crate) shards: &'a ShardBoard,
 }
 
 impl Clone for Ctx<'_> {
@@ -215,6 +236,7 @@ pub struct Server {
     store: FsJobStore,
     limiter: RateLimiter,
     dispatch: Mutex<Dispatch>,
+    shards: ShardBoard,
 }
 
 impl Server {
@@ -227,6 +249,12 @@ impl Server {
     /// prepared.
     pub fn bind(config: ServeConfig) -> Result<Self, ServeError> {
         let store = FsJobStore::open(&config.state_dir)?;
+        let shards =
+            ShardBoard::open(config.state_dir.join("shards"), Clock::real()).map_err(|e| {
+                ServeError::Shards {
+                    message: e.to_string(),
+                }
+            })?;
         let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
             addr: config.addr.clone(),
             message: e.to_string(),
@@ -249,6 +277,7 @@ impl Server {
                 active: 0,
                 queue: VecDeque::new(),
             }),
+            shards,
         })
     }
 
@@ -304,6 +333,13 @@ impl Server {
         if resumed > 0 {
             eprintln!("serve: resuming {resumed} interrupted job(s) from the journal");
         }
+        // Shards whose last segment landed just before a crash may sit
+        // fully covered but unmerged; finish the splice before serving.
+        match self.shards.recover(&chip) {
+            Ok(0) => {}
+            Ok(n) => eprintln!("serve: merged {n} fully-covered shard(s) found on disk"),
+            Err(e) => eprintln!("serve: shard recovery: {e}"),
+        }
 
         let ctx = Ctx {
             config: &self.config,
@@ -311,6 +347,7 @@ impl Server {
             limiter: &self.limiter,
             dispatch: &self.dispatch,
             chip: &chip,
+            shards: &self.shards,
         };
         // One accept task + HTTP handlers + job runners. Sweeps spawn
         // their own worker pools, so a running job occupies exactly one

@@ -22,6 +22,19 @@ pub enum Route {
     SweepReport(String),
     /// `GET /sweeps/{id}/trace` — raw journal records.
     SweepTrace(String),
+    /// `GET /shards` (list) or `POST /shards` (create a sharded sweep).
+    Shards,
+    /// `GET /shards/{id}` — shard status (ranges, leases, merge state).
+    Shard(String),
+    /// `GET /shards/{id}/report` — merged report, byte-identical to an
+    /// uninterrupted single-process run.
+    ShardReport(String),
+    /// `POST /shards/{id}/lease` — claim a work range under a lease.
+    ShardLease(String),
+    /// `POST /leases/{id}/heartbeat` — extend a live lease.
+    LeaseHeartbeat(String),
+    /// `PUT /leases/{id}/segment` — upload a range's journal segment.
+    LeaseSegment(String),
     /// Anything else.
     NotFound,
 }
@@ -30,6 +43,19 @@ pub enum Route {
 fn valid_id(id: &str) -> bool {
     let mut bytes = id.bytes();
     bytes.next() == Some(b'j') && id.len() > 1 && bytes.all(|b| b.is_ascii_digit())
+}
+
+/// Whether an id has the `s` + digits shape the shard board generates.
+fn valid_shard_id(id: &str) -> bool {
+    let mut bytes = id.bytes();
+    bytes.next() == Some(b's') && id.len() > 1 && bytes.all(|b| b.is_ascii_digit())
+}
+
+/// Whether an id has the `L` + digits shape the shard board generates
+/// for leases.
+fn valid_lease_id(id: &str) -> bool {
+    let mut bytes = id.bytes();
+    bytes.next() == Some(b'L') && id.len() > 1 && bytes.all(|b| b.is_ascii_digit())
 }
 
 /// Resolves `target` (path plus optional query) to a [`Route`].
@@ -59,8 +85,32 @@ pub fn route(target: &str) -> Route {
             Some("trace") => Route::SweepTrace(id.to_string()),
             Some(_) => Route::NotFound,
         },
+        (Some("shards"), None, ..) => Route::Shards,
+        (Some("shards"), Some(id), rest, None) if valid_shard_id(id) => match rest {
+            None => Route::Shard(id.to_string()),
+            Some("report") => Route::ShardReport(id.to_string()),
+            Some("lease") => Route::ShardLease(id.to_string()),
+            Some(_) => Route::NotFound,
+        },
+        (Some("leases"), Some(id), rest, None) if valid_lease_id(id) => match rest {
+            Some("heartbeat") => Route::LeaseHeartbeat(id.to_string()),
+            Some("segment") => Route::LeaseSegment(id.to_string()),
+            _ => Route::NotFound,
+        },
         _ => Route::NotFound,
     }
+}
+
+/// Extracts a query parameter's value from a raw request target
+/// ([`route`] strips the query, so handlers that honor one — like the
+/// long-poll `wait` on `GET /sweeps/{id}` — pull it from here).
+pub fn query_param<'a>(target: &'a str, name: &str) -> Option<&'a str> {
+    let (_, query) = target.split_once('?')?;
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
 }
 
 #[cfg(test)]
@@ -84,6 +134,52 @@ mod tests {
             Route::SweepTrace("j000001".into())
         );
         assert_eq!(route("/sweeps/j01?verbose=1"), Route::Sweep("j01".into()));
+    }
+
+    #[test]
+    fn shard_routes_resolve() {
+        assert_eq!(route("/shards"), Route::Shards);
+        assert_eq!(route("/shards/"), Route::Shards);
+        assert_eq!(route("/shards/s000001"), Route::Shard("s000001".into()));
+        assert_eq!(
+            route("/shards/s000001/report"),
+            Route::ShardReport("s000001".into())
+        );
+        assert_eq!(
+            route("/shards/s000001/lease"),
+            Route::ShardLease("s000001".into())
+        );
+        assert_eq!(
+            route("/leases/L000042/heartbeat"),
+            Route::LeaseHeartbeat("L000042".into())
+        );
+        assert_eq!(
+            route("/leases/L000042/segment"),
+            Route::LeaseSegment("L000042".into())
+        );
+        for target in [
+            "/shards/j000001",
+            "/shards/s",
+            "/shards/s1x",
+            "/shards/s000001/nope",
+            "/leases/L000001",
+            "/leases/l000001/heartbeat",
+            "/leases/L000001/heartbeat/extra",
+        ] {
+            assert_eq!(route(target), Route::NotFound, "{target:?}");
+        }
+    }
+
+    #[test]
+    fn query_params_parse_from_raw_targets() {
+        assert_eq!(query_param("/sweeps/j01?wait=5", "wait"), Some("5"));
+        assert_eq!(
+            query_param("/sweeps/j01?verbose=1&wait=30", "wait"),
+            Some("30")
+        );
+        assert_eq!(query_param("/sweeps/j01?wait=", "wait"), Some(""));
+        assert_eq!(query_param("/sweeps/j01", "wait"), None);
+        assert_eq!(query_param("/sweeps/j01?waits=5", "wait"), None);
     }
 
     #[test]

@@ -101,6 +101,7 @@ use std::time::{Duration, Instant};
 
 use tlp_analytic::BudgetSpec;
 use tlp_sim::{ChipSpec, SimError, SimFaults, SimResult};
+use tlp_tech::rng::SplitMix64;
 use tlp_tech::units::Hertz;
 use tlp_tech::{DvfsTable, OperatingPoint, Technology};
 use tlp_thermal::{FixpointOptions, ThermalError};
@@ -365,6 +366,39 @@ impl RetryPolicy {
             damping: (self.damping_step * k as f64).min(0.9),
             divergence_limit_celsius: self.base.divergence_limit_celsius,
         }
+    }
+
+    /// First rung of the client-side backoff ladder (the wait before
+    /// retry attempt 2).
+    pub const BACKOFF_BASE_MS: u64 = 100;
+    /// Ceiling of the backoff ladder: no single wait exceeds this.
+    pub const BACKOFF_CAP_MS: u64 = 5_000;
+
+    /// The wait before 1-based `attempt`, for client-side retries of
+    /// *transient* failures (a shard worker re-contacting its
+    /// coordinator, not the in-process solver escalation of
+    /// [`options_for`]). Equal-jitter exponential backoff: the ceiling
+    /// for attempt `k` is `min(BACKOFF_CAP_MS, BACKOFF_BASE_MS ·
+    /// 2^(k−2))`, and the wait is uniformly drawn from the ceiling's
+    /// upper half so retries spread out without ever collapsing below
+    /// half the ladder rung. Attempt 1 is the initial try — no wait.
+    ///
+    /// The jitter is *deterministic*: it comes from a [`SplitMix64`]
+    /// stream keyed on `(seed, attempt)`, so a given client seed always
+    /// produces the same schedule (testable, reproducible) while
+    /// distinct workers (distinct seeds) spread their retries apart.
+    pub fn backoff_delay(&self, attempt: u32, seed: u64) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        // Shifting by more than 63 is UB-adjacent (debug panic); the cap
+        // is reached long before the exponent saturates anyway.
+        let exponent = (attempt - 2).min(16);
+        let ceiling = Self::BACKOFF_CAP_MS.min(Self::BACKOFF_BASE_MS << exponent);
+        let mut rng =
+            SplitMix64::seed_from_u64(seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let jitter = rng.gen_range_u64(0..ceiling / 2 + 1);
+        Duration::from_millis(ceiling / 2 + jitter)
     }
 }
 
@@ -1742,6 +1776,46 @@ mod tests {
                 p.options_for(k).divergence_limit_celsius,
                 p.base.divergence_limit_celsius
             );
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_schedule_is_seeded_and_bounded() {
+        let p = RetryPolicy::default();
+        // Attempt 1 is the initial try: no wait.
+        assert_eq!(p.backoff_delay(1, 0xBEEF), Duration::ZERO);
+        assert_eq!(p.backoff_delay(0, 0xBEEF), Duration::ZERO);
+        // The same seed always yields the same schedule.
+        let schedule: Vec<u64> = (2..10)
+            .map(|k| p.backoff_delay(k, 0xBEEF).as_millis() as u64)
+            .collect();
+        let again: Vec<u64> = (2..10)
+            .map(|k| p.backoff_delay(k, 0xBEEF).as_millis() as u64)
+            .collect();
+        assert_eq!(schedule, again);
+        // Distinct seeds spread their retries apart (different jitter).
+        let other: Vec<u64> = (2..10)
+            .map(|k| p.backoff_delay(k, 0xD1CE).as_millis() as u64)
+            .collect();
+        assert_ne!(schedule, other);
+        // Equal-jitter bounds: every wait for attempt k lands in
+        // [ceiling/2, ceiling] with ceiling = min(cap, base·2^(k−2)).
+        for (i, &wait) in schedule.iter().enumerate() {
+            let k = i as u32 + 2;
+            let ceiling = RetryPolicy::BACKOFF_CAP_MS.min(RetryPolicy::BACKOFF_BASE_MS << (k - 2));
+            assert!(
+                (ceiling / 2..=ceiling).contains(&wait),
+                "attempt {k}: wait {wait}ms outside [{}, {ceiling}]",
+                ceiling / 2
+            );
+        }
+        // The ladder saturates at the cap: a long retry tail never
+        // waits longer than BACKOFF_CAP_MS, and huge attempt numbers
+        // don't overflow the shift.
+        for k in [20, 40, 1000] {
+            let wait = p.backoff_delay(k, 0xBEEF).as_millis() as u64;
+            assert!(wait >= RetryPolicy::BACKOFF_CAP_MS / 2);
+            assert!(wait <= RetryPolicy::BACKOFF_CAP_MS);
         }
     }
 

@@ -10,10 +10,11 @@
 //! (they are reset when one starts), so a snapshot reflects exactly the
 //! captured interval.
 //!
-//! The serve registries ([`SERVE_COUNTERS`] / [`SERVE_HISTOGRAMS`]) are
-//! the exception: a long-running `cmp-tlp serve` daemon scrapes them via
-//! `/metrics`, so they are *always on* — they advance outside captures
-//! and are never reset (Prometheus requires monotonic counters).
+//! The serve and shard registries ([`SERVE_COUNTERS`] /
+//! [`SHARD_COUNTERS`] / [`SERVE_HISTOGRAMS`]) are the exception: a
+//! long-running `cmp-tlp serve` daemon scrapes them via `/metrics`, so
+//! they are *always on* — they advance outside captures and are never
+//! reset (Prometheus requires monotonic counters).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -332,6 +333,42 @@ counters! { SERVE_COUNTERS, always_on;
     SERVE_JOBS_RESUMED => "serve.jobs_resumed",
 }
 
+counters! { SHARD_COUNTERS, always_on;
+    /// Shards created by the coordinator (`POST /shards` or in-process).
+    SHARD_SHARDS_CREATED => "shard.shards_created",
+    /// Leases granted to workers (including re-grants of expired ranges).
+    SHARD_LEASES_GRANTED => "shard.leases_granted",
+    /// Leases that expired (dead or partitioned worker) and were
+    /// returned to the open pool for reassignment.
+    SHARD_LEASES_EXPIRED => "shard.leases_expired",
+    /// Lease heartbeats accepted.
+    SHARD_HEARTBEATS => "shard.heartbeats",
+    /// Journal segments validated and accepted (first completion of
+    /// their range).
+    SHARD_SEGMENTS_ACCEPTED => "shard.segments_accepted",
+    /// Segment uploads rejected as invalid (torn, corrupt, wrong
+    /// fingerprint, incomplete or out-of-range cells).
+    SHARD_SEGMENTS_REJECTED => "shard.segments_rejected",
+    /// Duplicate uploads of an already-accepted range whose canonical
+    /// checksum matched (idempotent 200, e.g. a zombie worker returning
+    /// after lease expiry).
+    SHARD_SEGMENTS_DUPLICATE => "shard.segments_duplicate",
+    /// Duplicate uploads whose canonical checksum did NOT match the
+    /// accepted segment (typed `SegmentConflict`, never overwritten).
+    SHARD_SEGMENT_CONFLICTS => "shard.segment_conflicts",
+    /// Shards whose segments were spliced into one canonical merged
+    /// journal and report.
+    SHARD_MERGES_COMPLETED => "shard.merges_completed",
+    /// Workload rows pre-completed from the content-addressed cell
+    /// cache at shard creation.
+    SHARD_CACHE_HITS => "shard.cache_hits",
+    /// Workload rows with no usable cell-cache entry.
+    SHARD_CACHE_MISSES => "shard.cache_misses",
+    /// Cell-cache entries evicted because their checksum failed on read
+    /// (corrupt entry → recompute, never a wrong answer).
+    SHARD_CACHE_EVICTIONS => "shard.cache_evictions",
+}
+
 macro_rules! histograms {
     ($registry:ident, $ctor:ident; $($(#[$doc:meta])* $ident:ident => $name:literal),+ $(,)?) => {
         $( $(#[$doc])* pub static $ident: Histogram = Histogram::$ctor($name); )+
@@ -460,6 +497,7 @@ mod tests {
         let mut names: Vec<_> = COUNTERS.iter().map(|c| c.name()).collect();
         names.extend(HISTOGRAMS.iter().map(|h| h.name()));
         names.extend(SERVE_COUNTERS.iter().map(|c| c.name()));
+        names.extend(SHARD_COUNTERS.iter().map(|c| c.name()));
         names.extend(SERVE_HISTOGRAMS.iter().map(|h| h.name()));
         let n = names.len();
         names.sort_unstable();

@@ -8,14 +8,16 @@
 //! names are prefixed `tlp_` with dots mapped to underscores
 //! (`tlp_serve_http_requests_total`).
 //!
-//! All four registries are rendered. The gated sim/sweep registries are
+//! All registries are rendered. The gated sim/sweep registries are
 //! only non-zero while a capture is active (and reset when one starts),
 //! so under a running daemon they mostly read 0 — they are included
 //! anyway so scrape dashboards see a stable metric set. The ungated
 //! serve registries are monotonic for the life of the process, as
 //! Prometheus counters must be.
 
-use crate::metrics::{HistogramSnapshot, COUNTERS, HISTOGRAMS, SERVE_COUNTERS, SERVE_HISTOGRAMS};
+use crate::metrics::{
+    HistogramSnapshot, COUNTERS, HISTOGRAMS, SERVE_COUNTERS, SERVE_HISTOGRAMS, SHARD_COUNTERS,
+};
 
 /// Maps a dotted registry name to a Prometheus metric name:
 /// `serve.http_requests` → `tlp_serve_http_requests`.
@@ -89,6 +91,9 @@ fn render_histogram(out: &mut String, snap: &HistogramSnapshot) {
 pub fn render() -> String {
     let mut out = String::with_capacity(4096);
     for c in SERVE_COUNTERS {
+        render_counter(&mut out, c.name(), c.get());
+    }
+    for c in SHARD_COUNTERS {
         render_counter(&mut out, c.name(), c.get());
     }
     for h in SERVE_HISTOGRAMS {
